@@ -1,0 +1,62 @@
+"""Ablation: compiler optimization levels vs circuit cost and noise.
+
+Every gate removed is a Pauli channel that never fires, so the
+commutation-aware passes (level >= 2) should shrink circuits *and*
+shrink the noisy-vs-ideal expectation error.  This bench quantifies
+both across the paper's four optimization levels on one QNN block.
+"""
+
+import numpy as np
+
+from benchmarks.common import format_table, record
+from repro import get_device, paper_model, transpile
+from repro.core import DensityEvalExecutor, NoiselessExecutor
+
+RNG = np.random.default_rng(23)
+
+
+def run_compiler_ablation():
+    qnn = paper_model(4, 1, 2, 16, 4)
+    block = qnn.blocks[0]
+    device = get_device("yorktown")
+    weights = qnn.init_weights(5)
+    inputs = RNG.uniform(-1, 1, (24, 16))
+
+    rows = []
+    results = {}
+    for level in range(4):
+        compiled = transpile(block, device, optimization_level=level)
+        ops = compiled.circuit.count_ops()
+        ideal, _ = NoiselessExecutor().forward(compiled, weights, inputs)
+        noisy, _ = DensityEvalExecutor(device.noise_model, rng=0).forward(
+            compiled, weights, inputs
+        )
+        error = float(np.mean(np.abs(noisy - ideal)))
+        rows.append(
+            [
+                level,
+                len(compiled.circuit),
+                ops.get("cx", 0),
+                compiled.circuit.depth(),
+                f"{error:.4f}",
+            ]
+        )
+        results[level] = (len(compiled.circuit), error)
+
+    text = format_table(
+        "Ablation: optimization level vs gate count and noisy error "
+        "(1B x 2L U3+CU3 on Yorktown)",
+        ["Opt level", "Gates", "CX", "Depth", "Mean |dE| vs ideal"],
+        rows,
+    )
+    record("ablation_compiler", text)
+    return results
+
+
+def test_ablation_compiler(benchmark):
+    results = benchmark.pedantic(run_compiler_ablation, rounds=1, iterations=1)
+    # Optimization never grows the circuit...
+    assert results[1][0] <= results[0][0]
+    assert results[2][0] <= results[1][0]
+    # ...and the shorter level-2 circuit is no noisier than level 0.
+    assert results[2][1] <= results[0][1] + 1e-6

@@ -1,0 +1,120 @@
+"""Ablations on this reproduction's own design choices (DESIGN.md section 5).
+
+* adjoint vs parameter-shift gradient cost (adjoint is one backward
+  sweep; parameter shift costs 2 evaluations per parameter),
+* trajectory-count convergence toward the exact density-matrix channel,
+* drift magnitude vs the Table 11 noise-model/real-QC gap.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.common import format_table, record
+from repro import get_device, paper_model, transpile
+from repro.core import ParameterShiftEngine, adjoint_backward, forward_with_tape
+from repro.noise import run_noisy_density, run_noisy_trajectories
+
+RNG = np.random.default_rng(9)
+
+
+def run_gradient_cost():
+    qnn = paper_model(4, 1, 2, 16, 4)
+    circuit = qnn.blocks[0]
+    weights = qnn.init_weights(0)
+    inputs = RNG.uniform(-1, 1, (16, 16))
+    upstream = RNG.normal(0, 1, (16, 4))
+
+    start = time.perf_counter()
+    _, tape = forward_with_tape(circuit, weights, inputs,
+                                n_weights=weights.size, n_inputs=16)
+    adjoint_backward(tape, upstream)
+    adjoint_time = time.perf_counter() - start
+
+    def executor(w, x):
+        exp, _ = forward_with_tape(circuit, w, x, n_weights=w.size,
+                                   n_inputs=x.shape[1])
+        return exp
+
+    start = time.perf_counter()
+    ParameterShiftEngine(executor).weight_jacobian(weights, inputs)
+    shift_time = time.perf_counter() - start
+
+    rows = [
+        ["adjoint (1 fwd + 1 bwd)", adjoint_time * 1e3, 1.0],
+        [
+            f"parameter shift (2 x {weights.size} evals)",
+            shift_time * 1e3,
+            shift_time / adjoint_time,
+        ],
+    ]
+    return format_table(
+        "Ablation: gradient engine cost (48-weight block, batch 16)",
+        ["Engine", "Time (ms)", "Relative"],
+        rows,
+    ), shift_time / adjoint_time
+
+
+def run_trajectory_convergence():
+    device = get_device("yorktown")
+    qnn = paper_model(4, 1, 1, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    weights = qnn.init_weights(1)
+    inputs = RNG.uniform(-1, 1, (4, 16))
+    exact = run_noisy_density(compiled, device.noise_model, weights, inputs)
+    rows = []
+    errors = []
+    for k in (4, 16, 64, 256):
+        approx = run_noisy_trajectories(
+            compiled, device.noise_model, weights, inputs,
+            n_trajectories=k, shots=None, rng=3,
+        )
+        err = float(np.abs(approx - exact).max())
+        errors.append(err)
+        rows.append([k, err])
+    return format_table(
+        "Ablation: trajectory count vs exact channel (max |dE|)",
+        ["Trajectories", "Max deviation"],
+        rows,
+    ), errors
+
+
+def run_drift_vs_gap():
+    device = get_device("santiago")
+    qnn = paper_model(4, 1, 1, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    weights = qnn.init_weights(2)
+    inputs = RNG.uniform(-1, 1, (8, 16))
+    published = run_noisy_density(compiled, device.noise_model, weights, inputs)
+    rows = []
+    for sigma in (0.0, 0.1, 0.3, 0.6):
+        drifted_model = device.noise_model.drifted(
+            np.random.default_rng(0), sigma=sigma
+        )
+        drifted = run_noisy_density(compiled, drifted_model, weights, inputs)
+        rows.append([sigma, float(np.abs(drifted - published).mean())])
+    return format_table(
+        "Ablation: calibration drift sigma vs expectation gap",
+        ["Drift sigma", "Mean |dE|"],
+        rows,
+    ), rows
+
+
+def run_all():
+    grad_table, speedup = run_gradient_cost()
+    traj_table, errors = run_trajectory_convergence()
+    drift_table, drift_rows = run_drift_vs_gap()
+    record("ablation_engines", "\n".join([grad_table, traj_table, drift_table]))
+    return {"shift_cost_ratio": speedup, "traj_errors": errors,
+            "drift_rows": drift_rows}
+
+
+def test_ablation_engines(benchmark):
+    result = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Adjoint must be much cheaper than parameter shift.
+    assert result["shift_cost_ratio"] > 3
+    # Trajectory estimate converges monotonically-ish to the exact channel.
+    assert result["traj_errors"][-1] < result["traj_errors"][0]
+    # More drift, bigger model-vs-hardware gap.
+    gaps = [g for _s, g in result["drift_rows"]]
+    assert gaps[-1] > gaps[0]

@@ -1,0 +1,113 @@
+"""Ablation: parameter-shift vs SPSA for on-QC training (Table 3 setting).
+
+Parameter shift measures every gradient component exactly (2 circuit
+evaluations per weight per step); SPSA estimates the whole gradient
+from 2 evaluations total.  On hardware, circuit evaluations are the
+budget that matters, so this bench trains the Table 3 model both ways
+and reports accuracy per evaluation budget.
+"""
+
+import numpy as np
+
+from benchmarks.common import FULL, format_table, record
+from repro import (
+    QuantumNATConfig,
+    QuantumNATModel,
+    get_device,
+    load_scalar_pair_task,
+    make_real_qc_executor,
+    paper_model,
+)
+from repro.core import DensityEvalExecutor, SPSAConfig, minimize_spsa
+from repro.core.losses import cross_entropy
+
+DEVICE = "santiago"
+SPSA_ITERATIONS = 120 if FULL else 60
+
+
+def _make_model():
+    qnn = paper_model(2, 2, 1, 2, 2, design="ry_cnot")
+    return QuantumNATModel(
+        qnn, get_device(DEVICE), QuantumNATConfig.norm_only(), rng=0
+    )
+
+
+def _device_loss(model, executor, x, y):
+    """Loss of a full noisy forward pass at given weights."""
+
+    def loss(weights):
+        logits = model.predict(weights, x, executor)
+        value, _grad, _probs = cross_entropy(logits, y)
+        return float(value)
+
+    return loss
+
+
+def run_onqc_optimizer_ablation():
+    task = load_scalar_pair_task(n_train=64, n_valid=16, n_test=60, seed=0)
+    device_executor = DensityEvalExecutor(
+        get_device(DEVICE).noise_model, shots=2048, rng=3
+    )
+
+    # -- SPSA: 2 evaluations per step, any number of weights -----------------
+    model = _make_model()
+    loss_fn = _device_loss(model, device_executor, task.train_x, task.train_y)
+    rng = np.random.default_rng(1)
+    x0 = model.qnn.init_weights(rng)
+    spsa_result = minimize_spsa(
+        loss_fn,
+        x0,
+        n_iterations=SPSA_ITERATIONS,
+        config=SPSAConfig(a=2.0, c=0.3),
+        rng=2,
+    )
+    spsa_evals = spsa_result.n_evaluations
+    real_qc = make_real_qc_executor(model, rng=7)
+    spsa_acc, _ = model.evaluate(
+        spsa_result.best_weights, task.test_x, task.test_y, real_qc
+    )
+
+    # -- Parameter shift: reuse the Table 3 trainer ---------------------------
+    from benchmarks.bench_table3_onqc_training import EPOCHS, _train_on_qc
+
+    ps_model, ps_weights = _train_on_qc(task, DEVICE)
+    n_weights = ps_model.qnn.n_weights
+    # 1 unshifted + 2 per weight forwards per step, one step per epoch.
+    ps_evals = EPOCHS * (1 + 2 * n_weights)
+    real_qc = make_real_qc_executor(ps_model, rng=7)
+    ps_acc, _ = ps_model.evaluate(ps_weights, task.test_x, task.test_y, real_qc)
+
+    rows = [
+        ["parameter shift", ps_acc, ps_evals],
+        [f"SPSA ({SPSA_ITERATIONS} iters)", spsa_acc, spsa_evals],
+    ]
+    text = format_table(
+        f"Ablation: on-QC optimizers (2-feature 2-class, {DEVICE})",
+        ["Optimizer", "Real-QC accuracy", "Circuit evaluations"],
+        rows,
+    )
+    # Per-step cost scaling: parameter shift grows with the weight count,
+    # SPSA does not -- this is why SPSA wins on larger models even though
+    # the 4-weight Table 3 model slightly favors parameter shift.
+    scaling_rows = [
+        [n, 1 + 2 * n, 3] for n in (4, 48, 480)
+    ]
+    text += "\n" + format_table(
+        "Evaluations per optimizer step vs weight count",
+        ["Weights", "Parameter shift", "SPSA"],
+        scaling_rows,
+    )
+    record("ablation_onqc_optimizers", text)
+    return {"spsa": (spsa_acc, spsa_evals), "pshift": (ps_acc, ps_evals)}
+
+
+def test_ablation_onqc_optimizers(benchmark):
+    results = benchmark.pedantic(
+        run_onqc_optimizer_ablation, rounds=1, iterations=1
+    )
+    spsa_acc, _spsa_evals = results["spsa"]
+    ps_acc, _ps_evals = results["pshift"]
+    # SPSA stays competitive (within 15 points) on this tiny model.
+    assert spsa_acc >= ps_acc - 0.15
+    # Both clearly beat chance on the 2-class task.
+    assert spsa_acc > 0.6 and ps_acc > 0.6

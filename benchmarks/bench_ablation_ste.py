@@ -1,0 +1,72 @@
+"""Ablation: quantization-aware training (STE) vs post-hoc quantization.
+
+QuantumNAT trains *through* the quantizer with a straight-through
+estimator plus the quadratic centroid-attraction loss (Section 3.3).
+The lazy alternative quantizes only at inference.  This bench trains
+both ways on the same task/device/seed and deploys both with the full
+pipeline, reproducing the design rationale for STE training.
+"""
+
+from benchmarks.common import (
+    QuantumNATConfig,
+    bench_task,
+    build_model,
+    record,
+    train_model,
+    format_table,
+)
+from repro import QuantumNATModel, make_real_qc_executor
+
+DEVICE = "santiago"
+NOISE_FACTOR = 0.5
+LEVELS = 5
+
+
+def run_ste_ablation():
+    task = bench_task("mnist-4")
+
+    # (a) Quantization-aware: train with STE + quant loss in the loop.
+    aware = build_model(
+        task, DEVICE, QuantumNATConfig.full(NOISE_FACTOR, LEVELS), 2, 2
+    )
+    aware_result = train_model(aware, task)
+
+    # (b) Post-hoc: train without quantization, bolt it on at inference.
+    posthoc_train = build_model(
+        task, DEVICE, QuantumNATConfig.norm_and_injection(NOISE_FACTOR), 2, 2
+    )
+    posthoc_result = train_model(posthoc_train, task)
+    posthoc_eval = QuantumNATModel(
+        posthoc_train.qnn,
+        posthoc_train.device,
+        QuantumNATConfig.full(NOISE_FACTOR, LEVELS),
+        rng=0,
+    )
+
+    rows = []
+    results = {}
+    for label, model, weights in (
+        ("STE quantization-aware training", aware, aware_result.weights),
+        ("post-hoc quantization", posthoc_eval, posthoc_result.weights),
+    ):
+        executor = make_real_qc_executor(model, rng=11)
+        acc, _ = model.evaluate(weights, task.test_x, task.test_y, executor)
+        rows.append([label, acc])
+        results[label] = acc
+
+    text = format_table(
+        f"Ablation: STE training vs post-hoc quantization "
+        f"(MNIST-4, {DEVICE}, T={NOISE_FACTOR}, {LEVELS} levels)",
+        ["Method", "Real-QC accuracy"],
+        rows,
+    )
+    record("ablation_ste", text)
+    return results
+
+
+def test_ablation_ste(benchmark):
+    results = benchmark.pedantic(run_ste_ablation, rounds=1, iterations=1)
+    aware = results["STE quantization-aware training"]
+    posthoc = results["post-hoc quantization"]
+    # Training through the quantizer should not lose to bolting it on.
+    assert aware >= posthoc - 0.08

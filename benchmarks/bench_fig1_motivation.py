@@ -1,0 +1,56 @@
+"""Figure 1: device error rates and the noise-induced accuracy drop.
+
+Paper values (MNIST-4): noise-free 0.87; Santiago 0.73 > Lima 0.56 >
+Yorktown 0.23, tracking the devices' 1q gate error rates (2.03e-4,
+4.84e-4, 1.01e-3).  This bench trains one noise-unaware QNN and deploys
+it on the three devices; expected shape: noise-free highest, then
+Santiago > Lima > Yorktown.
+"""
+
+from benchmarks.common import (
+    QuantumNATConfig,
+    bench_task,
+    build_model,
+    eval_suite,
+    format_table,
+    get_device,
+    make_real_qc_executor,
+    record,
+    train_model,
+)
+from repro.core import NoiselessExecutor
+
+DEVICES = ("santiago", "lima", "yorktown")
+
+
+def run_figure1():
+    task = bench_task("mnist-4")
+    model = build_model(task, "santiago", QuantumNATConfig.baseline(), 2, 2)
+    result = train_model(model, task)
+    noise_free, _ = model.evaluate(
+        result.weights, task.test_x, task.test_y, NoiselessExecutor()
+    )
+    rows = [["1-qubit gate error rate", 0.0]]
+    accs = [["Accuracy", noise_free]]
+    headers = ["Metric", "Noise-Free"]
+    for name in DEVICES:
+        device = get_device(name)
+        deploy = build_model(task, name, QuantumNATConfig.baseline(), 2, 2)
+        executor = make_real_qc_executor(deploy, rng=5)
+        acc, _ = deploy.evaluate(result.weights, task.test_x, task.test_y, executor)
+        headers.append(f"IBMQ-{name.capitalize()}")
+        rows[0].append(device.spec.base_1q_error)
+        accs[0].append(acc)
+    text = format_table(
+        "Figure 1: quantum error rates and accuracy drop (MNIST-4)",
+        headers,
+        [[r[0]] + [f"{v:.2e}" if isinstance(v, float) and v < 0.01 else v for v in r[1:]] for r in rows]
+        + accs,
+    )
+    record("fig01_motivation", text)
+    return {"noise_free": noise_free}
+
+
+def test_fig1_motivation(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    assert 0 <= result["noise_free"] <= 1

@@ -1,0 +1,76 @@
+"""Figure 6: quantization denoises measurement outcomes.
+
+Paper example (Fashion-4 on IBMQ-Santiago, 5 levels over [-2, 2]):
+"Most errors can be corrected back to zero with few exceptions of being
+quantized to a wrong centroid"; MSE 0.235 -> 0.167, SNR 4.256 -> 6.455.
+
+This bench measures the error of the noisy pipeline relative to what the
+next block consumes in the clean pipeline (the quantized clean
+outcomes).  The headline qualitative claim -- the majority of errors are
+snapped exactly to zero -- reproduces; the MSE ordering additionally
+requires clean outcomes tightly clustered on centroids, which small-
+scale training achieves only partially (see EXPERIMENTS.md; the
+mechanism itself is unit-tested in tests/test_quantization.py).
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    QuantumNATConfig,
+    bench_task,
+    build_model,
+    format_table,
+    record,
+    train_model,
+)
+from repro.core import DensityEvalExecutor, Quantizer, normalize
+
+
+def run_figure6():
+    task = bench_task("fashion-4")
+    model = build_model(task, "santiago", QuantumNATConfig.full(0.25, 5), 2, 2)
+    result = train_model(model, task)
+    clean = model.measure_block_outcomes(result.weights, task.test_x, 0)
+    noisy = model.measure_block_outcomes(
+        result.weights, task.test_x, 0,
+        executor=DensityEvalExecutor(model.device.hardware_model),
+    )
+    norm_clean, _ = normalize(clean)
+    norm_noisy, _ = normalize(noisy)
+    quantizer = Quantizer(5, -2.0, 2.0)
+    reference = quantizer.quantize(norm_clean)
+    err_before = norm_noisy - reference
+    err_after = quantizer.quantize(norm_noisy) - reference
+    zero_before = float((np.abs(err_before) < 1e-9).mean())
+    zero_after = float((np.abs(err_after) < 1e-9).mean())
+    signal = float((reference**2).sum())
+    rows = [
+        [
+            "Before quantize",
+            float((err_before**2).mean()),
+            signal / max(float((err_before**2).sum()), 1e-12),
+            zero_before,
+        ],
+        [
+            "After quantize",
+            float((err_after**2).mean()),
+            signal / max(float((err_after**2).sum()), 1e-12),
+            zero_after,
+        ],
+    ]
+    text = format_table(
+        "Figure 6: error maps before/after post-measurement quantization\n"
+        "(Fashion-4, Santiago, 5 levels, p = [-2, 2]; paper: MSE 0.235 -> "
+        "0.167, SNR 4.256 -> 6.455, 'most errors corrected back to zero')",
+        ["Stage", "MSE", "SNR", "Errors exactly zero"],
+        rows,
+    )
+    record("fig06_quantization_denoise", text)
+    return {"zero_before": zero_before, "zero_after": zero_after}
+
+
+def test_fig6_quantization_denoise(benchmark):
+    report = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    # The paper's qualitative claim: most errors snap exactly back to zero.
+    assert report["zero_after"] > 0.5
+    assert report["zero_after"] > report["zero_before"]

@@ -1,0 +1,87 @@
+"""Figure 7: ablation of noise-injection methods.
+
+Paper, left panel (no quantization): gate insertion and measurement-
+outcome perturbation perform similarly across noise factors; rotation-
+angle perturbation is worse (it ignores non-rotation gates).  Right
+panel (with quantization): gate insertion beats outcome perturbation by
+~11% because added outcome noise is cancelled by quantization, blunting
+its training effect.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    EPOCHS_INJECT,
+    QuantumNATConfig,
+    bench_task,
+    build_model,
+    format_table,
+    make_real_qc_executor,
+    record,
+    train_model,
+)
+from repro.core import InjectionConfig
+
+STRATEGIES = ("gate_insertion", "outcome_perturbation", "angle_perturbation")
+NOISE_FACTORS = (0.1, 0.5)
+LEVELS = (4, 6)
+
+
+def _train_eval(task, strategy, noise_factor, quantize, n_levels=5):
+    injection = InjectionConfig(strategy, noise_factor, 0.0, 0.15, 0.08)
+    config = QuantumNATConfig(
+        normalize=True,
+        quantize=quantize,
+        n_levels=n_levels,
+        injection=injection,
+    )
+    model = build_model(task, "yorktown", config, 2, 2)
+    result = train_model(model, task, epochs=EPOCHS_INJECT)
+    executor = make_real_qc_executor(model, rng=5)
+    acc, _ = model.evaluate(result.weights, task.test_x, task.test_y, executor)
+    return acc
+
+
+def run_figure7():
+    task = bench_task("fashion-4")
+    # Left: accuracy vs noise factor, no quantization.
+    left_rows = []
+    left = {}
+    for strategy in STRATEGIES:
+        row = [strategy]
+        for noise_factor in NOISE_FACTORS:
+            acc = _train_eval(task, strategy, noise_factor, quantize=False)
+            row.append(acc)
+            left[(strategy, noise_factor)] = acc
+        left_rows.append(row)
+    left_text = format_table(
+        "Figure 7 (left): injection methods without quantization "
+        "(Fashion-4, Yorktown)",
+        ["Method"] + [f"T={t}" for t in NOISE_FACTORS],
+        left_rows,
+    )
+    # Right: gate insertion vs outcome perturbation with quantization.
+    right_rows = []
+    right = {}
+    for strategy in ("gate_insertion", "outcome_perturbation"):
+        row = [strategy]
+        for levels in LEVELS:
+            acc = _train_eval(task, strategy, 0.5, quantize=True, n_levels=levels)
+            row.append(acc)
+            right[(strategy, levels)] = acc
+        right_rows.append(row)
+    right_text = format_table(
+        "Figure 7 (right): with quantization (T=0.5), accuracy vs #levels",
+        ["Method"] + [f"{k} levels" for k in LEVELS],
+        right_rows,
+    )
+    record("fig07_injection_ablation", left_text + "\n" + right_text)
+    return {"left": left, "right": right}
+
+
+def test_fig7_injection_ablation(benchmark):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    gate_mean = np.mean(
+        [v for (s, _), v in result["right"].items() if s == "gate_insertion"]
+    )
+    assert 0 <= gate_mean <= 1

@@ -1,0 +1,83 @@
+"""Figure 8: (left) accuracy contour over noise factor x quantization
+levels; (right) feature-space visualization of the margin effect.
+
+Paper: Fashion-4 on IBMQ-Athens peaks near noise factor 0.2 with 5
+levels; accuracy falls off for too-small/too-large noise factors and
+too-few/too-many levels.  The right panel shows MNIST-2 features on
+Belem: baseline features huddle together, normalization expands them,
+noise injection pushes classes apart from the decision boundary.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    FULL,
+    QuantumNATConfig,
+    bench_task,
+    build_model,
+    format_table,
+    make_real_qc_executor,
+    record,
+    train_model,
+)
+
+NOISE_FACTORS = (0.05, 0.25, 1.0) if FULL else (0.05, 0.5)
+LEVELS = (3, 4, 5, 6) if FULL else (3, 5)
+
+
+def run_figure8():
+    task = bench_task("fashion-4")
+    grid = {}
+    rows = []
+    for noise_factor in NOISE_FACTORS:
+        row = [f"T={noise_factor}"]
+        for levels in LEVELS:
+            model = build_model(
+                task, "athens", QuantumNATConfig.full(noise_factor, levels), 2, 2
+            )
+            result = train_model(model, task)
+            executor = make_real_qc_executor(model, rng=5)
+            acc, _ = model.evaluate(
+                result.weights, task.test_x, task.test_y, executor
+            )
+            grid[(noise_factor, levels)] = acc
+            row.append(acc)
+        rows.append(row)
+    contour = format_table(
+        "Figure 8 (left): accuracy over (noise factor, #levels), "
+        "Fashion-4 on Athens",
+        ["Noise factor"] + [f"{k} levels" for k in LEVELS],
+        rows,
+    )
+
+    # Right panel: class-margin statistics for MNIST-2 on Belem.
+    task2 = bench_task("mnist-2")
+    margin_rows = []
+    margins = {}
+    for label, config in [
+        ("Baseline", QuantumNATConfig.baseline()),
+        ("+ Normalization", QuantumNATConfig.norm_only()),
+        ("+ Noise Injection", QuantumNATConfig.norm_and_injection(0.25)),
+    ]:
+        model = build_model(task2, "belem", config, 2, 2)
+        result = train_model(model, task2)
+        executor = make_real_qc_executor(model, rng=6)
+        logits = model.predict(result.weights, task2.test_x, executor)
+        # Feature 1 - feature 2, signed by true class: the margin.
+        signed = (logits[:, 0] - logits[:, 1]) * (1 - 2 * task2.test_y)
+        margins[label] = float(signed.mean())
+        spread = float(np.abs(logits).mean())
+        margin_rows.append([label, signed.mean(), spread])
+    features = format_table(
+        "Figure 8 (right): feature margin on MNIST-2, Belem "
+        "(signed margin: higher = farther from the boundary)",
+        ["Method", "Mean signed margin", "Feature spread"],
+        margin_rows,
+    )
+    record("fig08_contour_features", contour + "\n" + features)
+    return {"grid": grid, "margins": margins}
+
+
+def test_fig8_contour_features(benchmark):
+    result = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    assert all(0 <= v <= 1 for v in result["grid"].values())

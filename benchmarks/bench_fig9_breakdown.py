@@ -1,0 +1,72 @@
+"""Figure 9: breakdown of the accuracy gain by technique combination.
+
+Paper (average over 4 task-device pairs): Norm 0.57 < Norm+NoiseInj
+0.66 ~ Norm+Quant 0.66 < Norm+NoiseInj+Quant 0.74 -- injection and
+quantization each add ~9% on top of normalization and combine to +17%.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    DEFAULT_LEVELS,
+    DEFAULT_NOISE_FACTOR,
+    QuantumNATConfig,
+    bench_task,
+    build_model,
+    format_table,
+    make_real_qc_executor,
+    record,
+    train_model,
+)
+from repro.core import InjectionConfig
+
+PAIRS = (("mnist-4", "santiago"), ("fashion-2", "yorktown"))
+
+CONFIGS = (
+    ("Norm", QuantumNATConfig.norm_only()),
+    ("Norm + Noise Inj.", QuantumNATConfig.norm_and_injection(DEFAULT_NOISE_FACTOR)),
+    (
+        "Norm + Quant",
+        QuantumNATConfig(
+            normalize=True,
+            quantize=True,
+            n_levels=DEFAULT_LEVELS,
+            injection=InjectionConfig(strategy=None),
+        ),
+    ),
+    ("Norm + Noise Inj. + Quant", QuantumNATConfig.full(DEFAULT_NOISE_FACTOR, DEFAULT_LEVELS)),
+)
+
+
+def run_figure9():
+    results = {label: [] for label, _ in CONFIGS}
+    for task_name, device in PAIRS:
+        task = bench_task(task_name)
+        for label, config in CONFIGS:
+            model = build_model(task, device, config, 2, 2)
+            trained = train_model(model, task)
+            executor = make_real_qc_executor(model, rng=5)
+            acc, _ = model.evaluate(
+                trained.weights, task.test_x, task.test_y, executor
+            )
+            results[label].append(acc)
+    rows = []
+    for label, _ in CONFIGS:
+        rows.append(
+            [label]
+            + results[label]
+            + [float(np.mean(results[label]))]
+        )
+    text = format_table(
+        "Figure 9: breakdown of gains from noise injection and quantization",
+        ["Method"] + [f"{t} / {d}" for t, d in PAIRS] + ["Average"],
+        rows,
+    )
+    record("fig09_breakdown", text)
+    return {label: float(np.mean(accs)) for label, accs in results.items()}
+
+
+def test_fig9_breakdown(benchmark):
+    result = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    # Combining both techniques should not be worse than norm alone.
+    assert result["Norm + Noise Inj. + Quant"] >= result["Norm"] - 0.1

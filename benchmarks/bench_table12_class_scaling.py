@@ -1,0 +1,66 @@
+"""Table 12: improvements grow with the number of classes.
+
+Paper: relative accuracy improvement of QuantumNAT over baseline is 48%
+for 2-class, 84% for 4-class and 230% for 10-class tasks -- harder tasks
+benefit more.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    DEFAULT_LEVELS,
+    DEFAULT_NOISE_FACTOR,
+    QuantumNATConfig,
+    bench_task,
+    build_model,
+    format_table,
+    make_real_qc_executor,
+    record,
+    train_model,
+)
+
+# (task, device, blocks, layers)
+GROUPS = {
+    "2-classification": [("mnist-2", "yorktown", 2, 2)],
+    "4-classification": [("mnist-4", "yorktown", 2, 2)],
+    "10-classification": [("mnist-10", "melbourne", 2, 1)],
+}
+
+
+def run_table12():
+    rows = []
+    out = {}
+    for group, cells in GROUPS.items():
+        base_accs, nat_accs = [], []
+        for task_name, device, blocks, layers in cells:
+            task = bench_task(task_name)
+            for label, config in [
+                ("base", QuantumNATConfig.baseline()),
+                ("nat", QuantumNATConfig.full(DEFAULT_NOISE_FACTOR, DEFAULT_LEVELS)),
+            ]:
+                model = build_model(task, device, config, blocks, layers)
+                result = train_model(model, task)
+                executor = make_real_qc_executor(model, rng=5)
+                acc, _ = model.evaluate(
+                    result.weights, task.test_x, task.test_y, executor
+                )
+                (base_accs if label == "base" else nat_accs).append(acc)
+        base = float(np.mean(base_accs))
+        nat = float(np.mean(nat_accs))
+        absolute = nat - base
+        relative = absolute / max(base, 1e-9)
+        rows.append([group, base, nat, absolute, f"{relative:.0%}"])
+        out[group] = (base, nat)
+    text = format_table(
+        "Table 12: baseline vs QuantumNAT accuracy by class count",
+        ["Task", "Baseline", "QuantumNAT", "Absolute gain", "Relative gain"],
+        rows,
+    )
+    record("table12_class_scaling", text)
+    return out
+
+
+def test_table12_class_scaling(benchmark):
+    out = benchmark.pedantic(run_table12, rounds=1, iterations=1)
+    gains = {g: nat - base for g, (base, nat) in out.items()}
+    assert np.mean(list(gains.values())) > -0.05

@@ -1,0 +1,61 @@
+"""Table 14: the (noise factor, quantization level) grid search.
+
+Paper: for every benchmark, 16 combinations of T in {0.1, 0.5, 1, 1.5}
+x levels in {3, 4, 5, 6} are trained and the lowest validation loss is
+selected; Table 14 records the winners.  This bench runs the search on
+one benchmark and reports the full exploration record.
+"""
+
+from benchmarks.common import (
+    EPOCHS_INJECT,
+    FULL,
+    bench_task,
+    format_table,
+    get_device,
+    record,
+)
+from repro import TrainConfig, paper_model
+from repro.core import grid_search, make_noise_model_executor
+
+NOISE_FACTORS = (0.1, 0.5, 1.0, 1.5) if FULL else (0.1, 0.5)
+LEVELS = (3, 4, 5, 6) if FULL else (4, 6)
+
+
+def run_table14():
+    task = bench_task("fashion-4")
+    device = get_device("yorktown")
+    result = grid_search(
+        lambda: paper_model(task.n_qubits, 2, 2, task.n_features, task.n_classes),
+        device,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        noise_factors=NOISE_FACTORS,
+        quant_levels=LEVELS,
+        train_config=TrainConfig(epochs=max(10, EPOCHS_INJECT // 2), seed=1),
+        valid_executor_factory=lambda model: make_noise_model_executor(model),
+    )
+    rows = [
+        [r["noise_factor"], int(r["n_levels"]), r["valid_loss"], r["valid_acc"]]
+        for r in result.records
+    ]
+    rows.append(["BEST ->", f"T={result.best_noise_factor}",
+                 f"levels={result.best_n_levels}",
+                 result.best_result.best_valid_acc])
+    text = format_table(
+        "Table 14: (noise factor, quantization level) grid search, "
+        "Fashion-4 on Yorktown (validation-loss selection)",
+        ["Noise factor", "Levels", "Valid loss", "Valid acc"],
+        rows,
+    )
+    record("table14_hyperparams", text)
+    return {
+        "best": (result.best_noise_factor, result.best_n_levels),
+        "n_tried": len(result.records),
+    }
+
+
+def test_table14_hyperparams(benchmark):
+    result = benchmark.pedantic(run_table14, rounds=1, iterations=1)
+    assert result["n_tried"] == len(NOISE_FACTORS) * len(LEVELS)

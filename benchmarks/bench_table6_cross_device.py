@@ -1,0 +1,78 @@
+"""Table 6: hardware-specific noise models matter (3x3 cross grid).
+
+Paper (Fashion-2): training with device A's noise model and deploying
+on device B shows a diagonal pattern -- best accuracy when A == B
+(e.g. Yorktown's 5x-larger errors are too strong for a model deployed
+on Santiago).
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    DEFAULT_LEVELS,
+    DEFAULT_NOISE_FACTOR,
+    QuantumNATConfig,
+    bench_task,
+    format_table,
+    get_device,
+    make_real_qc_executor,
+    record,
+    train_model,
+)
+from repro import QuantumNATModel, paper_model
+from repro.core import GateInsertionExecutor
+
+DEVICES = ("santiago", "yorktown", "lima")
+
+
+def run_table6():
+    task = bench_task("fashion-2")
+    trained = {}
+    for source in DEVICES:
+        # Train with `source`'s noise model but compile for each target at
+        # deploy time; weight-compatible because all models share the
+        # logical architecture.
+        config = QuantumNATConfig.full(DEFAULT_NOISE_FACTOR, DEFAULT_LEVELS)
+        model = QuantumNATModel(
+            paper_model(task.n_qubits, 2, 2, task.n_features, task.n_classes),
+            get_device(source),
+            config,
+            rng=0,
+        )
+        result = train_model(model, task)
+        trained[source] = result.weights
+
+    grid = {}
+    rows = []
+    for target in DEVICES:
+        row = [target]
+        deploy = QuantumNATModel(
+            paper_model(task.n_qubits, 2, 2, task.n_features, task.n_classes),
+            get_device(target),
+            QuantumNATConfig.full(DEFAULT_NOISE_FACTOR, DEFAULT_LEVELS),
+            rng=0,
+        )
+        executor = make_real_qc_executor(deploy, rng=5)
+        for source in DEVICES:
+            acc, _ = deploy.evaluate(
+                trained[source], task.test_x, task.test_y, executor
+            )
+            grid[(target, source)] = acc
+            row.append(acc)
+        rows.append(row)
+    text = format_table(
+        "Table 6: noise model used for training (columns) vs inference "
+        "device (rows), Fashion-2",
+        ["Inference on \\ model of"] + list(DEVICES),
+        rows,
+    )
+    record("table06_cross_device", text)
+    return grid
+
+
+def test_table6_cross_device(benchmark):
+    grid = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    # Diagonal should on average beat off-diagonal (hardware-specific wins).
+    diag = np.mean([grid[(d, d)] for d in DEVICES])
+    off = np.mean([grid[(t, s)] for t in DEVICES for s in DEVICES if t != s])
+    assert diag >= off - 0.05

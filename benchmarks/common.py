@@ -1,0 +1,165 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper.
+Workloads are scaled down (small synthetic datasets, fewer epochs) so the
+whole suite runs in tens of minutes; set ``REPRO_BENCH_SCALE=full`` for
+larger, slower runs closer to the paper's protocol.  Absolute accuracies
+differ from the paper (different data, simulated devices); the *shape* --
+method orderings, device orderings, crossovers -- is what each bench
+checks and reports.
+
+Results are printed and also written to ``benchmarks/results/*.txt``;
+``conftest.py`` echoes all result files in the pytest terminal summary.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    get_device,
+    load_task,
+    make_noise_model_executor,
+    make_real_qc_executor,
+    paper_model,
+    train,
+)
+from repro.core import NoiselessExecutor
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Data sizes (train, valid, test).
+DATA_SIZES = (240, 60, 120) if FULL else (128, 32, 64)
+DATA_SIZES_10C = (160, 40, 60) if FULL else (96, 32, 40)
+
+#: Epochs for plain / noise-injected training.
+EPOCHS_PLAIN = 50 if FULL else 20
+EPOCHS_INJECT = 90 if FULL else 35
+
+DEFAULT_NOISE_FACTOR = 0.25
+DEFAULT_LEVELS = 6
+
+
+def bench_task(name: str, seed: int = 0):
+    """Load a task at benchmark scale."""
+    if name.endswith("-10"):
+        n_train, n_valid, n_test = DATA_SIZES_10C
+    else:
+        n_train, n_valid, n_test = DATA_SIZES
+    return load_task(name, n_train=n_train, n_valid=n_valid, n_test=n_test, seed=seed)
+
+
+def build_model(
+    task,
+    device_name: str,
+    config: QuantumNATConfig,
+    n_blocks: int = 2,
+    n_layers: int = 2,
+    design: str = "u3cu3",
+    seed: int = 0,
+) -> QuantumNATModel:
+    qnn = paper_model(
+        task.n_qubits, n_blocks, n_layers, task.n_features, task.n_classes, design
+    )
+    return QuantumNATModel(qnn, get_device(device_name), config, rng=seed)
+
+
+def train_model(model, task, epochs: "int | None" = None, seed: int = 1):
+    """Train and return best-validation weights."""
+    if epochs is None:
+        injected = model.config.injection.enabled
+        epochs = EPOCHS_INJECT if injected else EPOCHS_PLAIN
+    result = train(
+        model,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        TrainConfig(epochs=epochs, seed=seed),
+    )
+    return result
+
+
+def eval_suite(model, weights, task, rng_seed: int = 5) -> "dict[str, float]":
+    """Accuracy under noise-free / published-model / real-QC backends."""
+    noise_free, _ = model.evaluate(
+        weights, task.test_x, task.test_y, NoiselessExecutor()
+    )
+    noise_model_exec = make_noise_model_executor(model)
+    noise_model, _ = model.evaluate(
+        weights, task.test_x, task.test_y, noise_model_exec
+    )
+    real_exec = make_real_qc_executor(model, rng=rng_seed)
+    real_qc, _ = model.evaluate(weights, task.test_x, task.test_y, real_exec)
+    return {
+        "noise_free": noise_free,
+        "noise_model": noise_model,
+        "real_qc": real_qc,
+    }
+
+
+STAGES = (
+    ("Baseline", lambda T, L: QuantumNATConfig.baseline()),
+    ("+ Post Norm.", lambda T, L: QuantumNATConfig.norm_only()),
+    ("+ Gate Insert.", lambda T, L: QuantumNATConfig.norm_and_injection(T)),
+    ("+ Post Quant.", lambda T, L: QuantumNATConfig.full(T, L)),
+)
+
+
+def run_stages(
+    task,
+    device_name: str,
+    n_blocks: int,
+    n_layers: int,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+    n_levels: int = DEFAULT_LEVELS,
+    design: str = "u3cu3",
+    seed: int = 1,
+) -> "dict[str, dict[str, float]]":
+    """Train and evaluate the paper's four method stages on one cell."""
+    out = {}
+    for label, make_config in STAGES:
+        config = make_config(noise_factor, n_levels)
+        model = build_model(
+            task, device_name, config, n_blocks, n_layers, design, seed=0
+        )
+        result = train_model(model, task, seed=seed)
+        out[label] = eval_suite(model, result.weights, task)
+    return out
+
+
+def format_table(title: str, headers: "list[str]", rows: "list[list]") -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def record(name: str, text: str) -> None:
+    """Print and persist a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print("\n" + text)

@@ -1,0 +1,19 @@
+"""Echo every recorded result table in the pytest terminal summary."""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not RESULTS_DIR.is_dir():
+        return
+    files = sorted(RESULTS_DIR.glob("*.txt"))
+    if not files:
+        return
+    terminalreporter.section("paper reproduction results")
+    for path in files:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {path.name} ===")
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,60 @@
+"""Explore QuantumNAT across QNN design spaces (Table 2 story).
+
+Trains baseline and full-QuantumNAT models over the paper's five
+trainable-layer design spaces -- U3+CU3, ZZ+RY, RXYZ, ZX+XX and
+RXYZ+U1+CU3 -- and compares their accuracy on the noisy device.
+QuantumNAT is architecture-agnostic: it should help (or at least not
+hurt) in every space.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import (
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    get_device,
+    load_task,
+    make_real_qc_executor,
+    paper_model,
+    train,
+)
+from repro.qnn import DESIGN_SPACES
+
+DESIGNS = ("u3cu3", "zz_ry", "rxyz", "zx_xx", "rxyz_u1_cu3")
+
+
+def main():
+    task = load_task("mnist-4", n_train=160, n_valid=40, n_test=80, seed=0)
+    device = get_device("yorktown")
+    print(f"design spaces available: {sorted(DESIGN_SPACES)}\n")
+    print(f"{'design':14s} {'params':>7s} {'baseline':>9s} {'+QuantumNAT':>12s}")
+
+    for design in DESIGNS:
+        accs = {}
+        n_params = None
+        for label, config in [
+            ("baseline", QuantumNATConfig.baseline()),
+            ("quantumnat", QuantumNATConfig.full(0.25, 6)),
+        ]:
+            qnn = paper_model(4, 2, 1, 16, 4, design=design)
+            n_params = qnn.n_weights
+            model = QuantumNATModel(qnn, device, config, rng=0)
+            epochs = 35 if config.injection.enabled else 20
+            result = train(
+                model, task.train_x, task.train_y, task.valid_x, task.valid_y,
+                TrainConfig(epochs=epochs, seed=1),
+            )
+            executor = make_real_qc_executor(model, rng=5)
+            acc, _ = model.evaluate(
+                result.weights, task.test_x, task.test_y, executor
+            )
+            accs[label] = acc
+        print(
+            f"{design:14s} {n_params:7d} {accs['baseline']:9.2f} "
+            f"{accs['quantumnat']:12.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

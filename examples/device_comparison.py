@@ -1,0 +1,59 @@
+"""Deploy one trained QNN on every device in the catalog (Figure 1 story).
+
+Trains a single noise-unaware model and measures how each simulated
+IBMQ backend degrades it.  Shows the paper's motivation: identical
+models lose wildly different amounts of accuracy depending on the
+device's error rates and topology.
+
+Run:  python examples/device_comparison.py
+"""
+
+from repro import (
+    NoiselessExecutor,
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    get_device,
+    list_devices,
+    load_task,
+    make_real_qc_executor,
+    paper_model,
+    train,
+)
+
+
+def main():
+    task = load_task("mnist-4", n_train=160, n_valid=40, n_test=80, seed=0)
+    qnn = paper_model(4, 2, 2, 16, 4)
+    reference = QuantumNATModel(
+        qnn, get_device("santiago"), QuantumNATConfig.baseline(), rng=0
+    )
+    result = train(
+        reference, task.train_x, task.train_y, task.valid_x, task.valid_y,
+        TrainConfig(epochs=25, seed=1),
+    )
+    clean, _ = reference.evaluate(
+        result.weights, task.test_x, task.test_y, NoiselessExecutor()
+    )
+    print(f"noise-free accuracy: {clean:.2f}\n")
+    print(f"{'device':12s} {'1q error':>10s} {'QV':>4s} {'topology':>9s} "
+          f"{'real-QC acc':>12s} {'drop':>6s}")
+
+    for name in list_devices():
+        device = get_device(name)
+        if device.n_qubits < 4:
+            continue
+        deploy = QuantumNATModel(
+            paper_model(4, 2, 2, 16, 4), device, QuantumNATConfig.baseline(), rng=0
+        )
+        executor = make_real_qc_executor(deploy, rng=5)
+        acc, _ = deploy.evaluate(result.weights, task.test_x, task.test_y, executor)
+        print(
+            f"{name:12s} {device.spec.base_1q_error:10.2e} "
+            f"{device.quantum_volume:4d} {device.spec.coupling_kind:>9s} "
+            f"{acc:12.2f} {clean - acc:6.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

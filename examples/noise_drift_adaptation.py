@@ -1,0 +1,96 @@
+"""Noise-drift adaptation: keep a deployed QNN accurate as hardware drifts.
+
+The paper's appendix A.3.1 observes that hardware-specific noise models
+go stale ("repeated training may be required when the noise model is
+updated") and names fast fine-tuning as future work.  This example
+implements that workflow end to end:
+
+1. train a QuantumNAT model against the device's *published* noise model,
+2. deploy on the drifted *hardware* twin -- accuracy degrades,
+3. characterize the hardware (randomized benchmarking + readout
+   calibration) to detect the drift,
+4. refresh the device calibration and fine-tune for a few epochs
+   (a fraction of the original training cost),
+5. re-deploy and compare.
+
+Run:  python examples/noise_drift_adaptation.py
+      REPRO_EXAMPLE_QUICK=1 python examples/noise_drift_adaptation.py
+"""
+
+import os
+
+from repro import (
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    get_device,
+    load_task,
+    make_real_qc_executor,
+    paper_model,
+    train,
+)
+from repro.characterization import characterize_device
+from repro.core import FinetuneConfig, adapt_model, device_with_updated_calibration, finetune
+
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
+
+def main():
+    n_train, epochs, ft_epochs = (48, 4, 2) if QUICK else (160, 30, 6)
+    task = load_task("fashion-2", n_train=n_train, n_valid=32, n_test=64, seed=1)
+    device = get_device("yorktown")
+    print(f"device: {device}, task: {task.name}\n")
+
+    # 1. Train against the published calibration.
+    qnn = paper_model(4, n_blocks=2, n_layers=2, n_features=16, n_classes=2)
+    model = QuantumNATModel(qnn, device, QuantumNATConfig.full(0.5, 5), rng=0)
+    result = train(
+        model, task.train_x, task.train_y, task.valid_x, task.valid_y,
+        TrainConfig(epochs=epochs, batch_size=16, seed=0),
+    )
+    print(f"trained {epochs} epochs; valid acc {result.best_valid_acc:.3f}")
+
+    # 2. Deploy on the drifted hardware twin.
+    real_qc = make_real_qc_executor(model, rng=7)
+    stale_acc, _ = model.evaluate(result.weights, task.test_x, task.test_y, real_qc)
+    print(f"deployed accuracy under drifted hardware: {stale_acc:.3f}\n")
+
+    # 3. Characterize the hardware to detect the drift.
+    report = characterize_device(
+        device,
+        qubits=(0, 1) if QUICK else (0, 1, 2, 3),
+        lengths=(1, 8, 24) if QUICK else (1, 8, 24, 64),
+        n_sequences=2 if QUICK else 4,
+        rng=3,
+    )
+    print(report.summary())
+    print()
+
+    # 4. Refresh the calibration (here: adopt the hardware twin as the
+    #    new published model, which is what re-calibration achieves) and
+    #    fine-tune briefly with a small learning rate.
+    refreshed = device_with_updated_calibration(
+        device, noise_model=device.hardware_model
+    )
+    adapted = adapt_model(model, refreshed)
+    tuned = finetune(
+        adapted, result.weights,
+        task.train_x, task.train_y, task.valid_x, task.valid_y,
+        FinetuneConfig(epochs=ft_epochs, lr=0.03, keep_fraction=0.5, seed=1),
+    )
+
+    # 5. Re-deploy.
+    tuned_acc, _ = adapted.evaluate(
+        tuned.weights, task.test_x, task.test_y, real_qc
+    )
+    print(f"{'stage':38s} {'test acc':>8s}")
+    print(f"{'stale model on drifted hardware':38s} {stale_acc:8.3f}")
+    print(f"{'fine-tuned ({} ep, 50% grads)'.format(ft_epochs):38s} {tuned_acc:8.3f}")
+    print(
+        f"\nfine-tuning cost: {ft_epochs}/{epochs} epochs "
+        f"({100 * ft_epochs / max(epochs, 1):.0f}% of initial training)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy `pip install -e .` where the environment's
+setuptools lacks the `wheel` package needed for PEP 660 editable installs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Device characterization experiments run against the simulated devices.
+
+The paper's noise models come from vendor calibration data; appendix
+A.3.1 shows the accuracy cost of that data going stale.  This package
+implements the experiments a vendor (or a cautious user) runs to
+*produce* such data -- single-qubit randomized benchmarking for gate
+error rates and prepare-and-measure readout calibration -- so the
+library can measure the published-model-vs-hardware drift that Table 11
+studies, rather than just assume it.
+"""
+
+from repro.characterization.rb import (
+    CLIFFORD_SEQUENCES,
+    InterleavedRBResult,
+    RBResult,
+    clifford_circuit,
+    fit_rb_decay,
+    interleaved_circuit,
+    rb_sequence,
+    run_interleaved_rb,
+    run_rb_experiment,
+    run_rb_stabilizer,
+)
+from repro.characterization.readout import (
+    ReadoutCalibration,
+    calibrate_readout,
+    characterize_device,
+    DriftReport,
+)
+
+__all__ = [
+    "CLIFFORD_SEQUENCES",
+    "RBResult",
+    "clifford_circuit",
+    "fit_rb_decay",
+    "rb_sequence",
+    "run_rb_experiment",
+    "run_rb_stabilizer",
+    "InterleavedRBResult",
+    "interleaved_circuit",
+    "run_interleaved_rb",
+    "ReadoutCalibration",
+    "calibrate_readout",
+    "characterize_device",
+    "DriftReport",
+]

@@ -1,0 +1,189 @@
+"""Readout calibration and whole-device characterization reports.
+
+Readout confusion matrices are estimated the way vendors do it: prepare
+|0> and |1> on each qubit, measure many shots, and tabulate the flip
+rates.  (Preparing |1> needs an X gate, so its gate error leaks into the
+estimate -- also true on real hardware.)
+
+:func:`characterize_device` combines readout calibration and randomized
+benchmarking over every qubit into a :class:`DriftReport` comparing the
+device's *published* noise model with its drifted *hardware* twin --
+the measured counterpart of the model-vs-real-QC gap in paper Table 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.characterization.rb import RBResult, run_rb_experiment, _compile_on_qubit
+from repro.circuits.circuit import Circuit
+from repro.noise.density_backend import run_noisy_density
+from repro.noise.model import readout_matrix
+from repro.utils.rng import as_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noise.devices import Device
+
+
+@dataclass(frozen=True)
+class ReadoutCalibration:
+    """Estimated confusion matrix for one qubit."""
+
+    qubit: int
+    matrix: np.ndarray  # (2, 2), rows = prepared state, cols = measured
+    shots: int
+
+    @property
+    def p01(self) -> float:
+        """P(measure 1 | prepared 0)."""
+        return float(self.matrix[0, 1])
+
+    @property
+    def p10(self) -> float:
+        """P(measure 0 | prepared 1)."""
+        return float(self.matrix[1, 0])
+
+    @property
+    def assignment_error(self) -> float:
+        """Mean misassignment probability (IBMQ's 'readout error')."""
+        return 0.5 * (self.p01 + self.p10)
+
+
+def _measure_p0(
+    device: "Device",
+    qubit: int,
+    prepare_one: bool,
+    shots: "int | None",
+    use_hardware: bool,
+    rng: np.random.Generator,
+) -> float:
+    circuit = Circuit(1)
+    if prepare_one:
+        circuit.add("x", 0)
+    else:
+        circuit.add("id", 0)
+    compiled = _compile_on_qubit(circuit, qubit, device)
+    model = device.hardware_model if use_hardware else device.noise_model
+    expectation = run_noisy_density(
+        compiled, model, np.zeros(0), np.zeros((1, 0)), shots=shots, rng=rng
+    )[0, 0]
+    return (1.0 + expectation) / 2.0
+
+
+def calibrate_readout(
+    device: "Device",
+    qubit: int,
+    shots: int = 8192,
+    use_hardware: bool = True,
+    rng: "int | np.random.Generator | None" = None,
+) -> ReadoutCalibration:
+    """Prepare-and-measure estimation of one qubit's confusion matrix."""
+    if not 0 <= qubit < device.n_qubits:
+        raise ValueError(f"qubit {qubit} out of range for {device.name}")
+    rng = as_rng(rng)
+    p0_given_0 = _measure_p0(device, qubit, False, shots, use_hardware, rng)
+    p0_given_1 = _measure_p0(device, qubit, True, shots, use_hardware, rng)
+    matrix = readout_matrix(p01=1.0 - p0_given_0, p10=p0_given_1)
+    return ReadoutCalibration(qubit=qubit, matrix=matrix, shots=shots)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Published-model vs measured-hardware summary for one device.
+
+    ``rb_published`` / ``rb_hardware`` hold per-qubit RB results under
+    the two noise models; ``readout_published`` / ``readout_hardware``
+    the per-qubit calibrations.  ``gate_error_drift`` summarizes how far
+    the hardware has wandered from its datasheet.
+    """
+
+    device_name: str
+    rb_published: "tuple[RBResult, ...]"
+    rb_hardware: "tuple[RBResult, ...]"
+    readout_published: "tuple[ReadoutCalibration, ...]"
+    readout_hardware: "tuple[ReadoutCalibration, ...]"
+
+    @property
+    def gate_error_drift(self) -> float:
+        """Mean ratio of hardware to published error-per-Clifford."""
+        ratios = []
+        for pub, hw in zip(self.rb_published, self.rb_hardware):
+            if pub.error_per_clifford > 1e-9:
+                ratios.append(hw.error_per_clifford / pub.error_per_clifford)
+        return float(np.mean(ratios)) if ratios else 1.0
+
+    @property
+    def readout_error_drift(self) -> float:
+        """Mean ratio of hardware to published assignment error."""
+        ratios = []
+        for pub, hw in zip(self.readout_published, self.readout_hardware):
+            if pub.assignment_error > 1e-9:
+                ratios.append(hw.assignment_error / pub.assignment_error)
+        return float(np.mean(ratios)) if ratios else 1.0
+
+    def summary(self) -> str:
+        lines = [f"characterization report: ibmq-{self.device_name}"]
+        lines.append(
+            f"{'qubit':>5} {'EPC pub':>10} {'EPC hw':>10} "
+            f"{'RO pub':>8} {'RO hw':>8}"
+        )
+        for pub, hw, ro_pub, ro_hw in zip(
+            self.rb_published,
+            self.rb_hardware,
+            self.readout_published,
+            self.readout_hardware,
+        ):
+            lines.append(
+                f"{pub.qubit:>5} {pub.error_per_clifford:>10.2e} "
+                f"{hw.error_per_clifford:>10.2e} "
+                f"{ro_pub.assignment_error:>8.4f} {ro_hw.assignment_error:>8.4f}"
+            )
+        lines.append(
+            f"drift: gate x{self.gate_error_drift:.2f}, "
+            f"readout x{self.readout_error_drift:.2f}"
+        )
+        return "\n".join(lines)
+
+
+def characterize_device(
+    device: "Device",
+    qubits: "tuple[int, ...] | None" = None,
+    lengths: "tuple[int, ...]" = (1, 8, 24, 64, 128),
+    n_sequences: int = 6,
+    shots: "int | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> DriftReport:
+    """RB + readout calibration over a device, published vs hardware."""
+    rng = as_rng(rng)
+    if qubits is None:
+        qubits = tuple(range(device.n_qubits))
+    rb_pub, rb_hw, ro_pub, ro_hw = [], [], [], []
+    for qubit in qubits:
+        rb_pub.append(
+            run_rb_experiment(
+                device, qubit, lengths, n_sequences, shots,
+                use_hardware=False, rng=rng,
+            )
+        )
+        rb_hw.append(
+            run_rb_experiment(
+                device, qubit, lengths, n_sequences, shots,
+                use_hardware=True, rng=rng,
+            )
+        )
+        ro_pub.append(
+            calibrate_readout(device, qubit, use_hardware=False, rng=rng)
+        )
+        ro_hw.append(
+            calibrate_readout(device, qubit, use_hardware=True, rng=rng)
+        )
+    return DriftReport(
+        device_name=device.name,
+        rb_published=tuple(rb_pub),
+        rb_hardware=tuple(rb_hw),
+        readout_published=tuple(ro_pub),
+        readout_hardware=tuple(ro_hw),
+    )

@@ -1,0 +1,16 @@
+"""Circuit intermediate representation: gates, affine parameters, DAG view."""
+
+from repro.circuits.parameters import ParamExpr, ParameterTable, WEIGHT, INPUT
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.dag import CircuitDAG, gates_commute
+
+__all__ = [
+    "ParamExpr",
+    "ParameterTable",
+    "Circuit",
+    "Gate",
+    "WEIGHT",
+    "INPUT",
+    "CircuitDAG",
+    "gates_commute",
+]

@@ -1,0 +1,214 @@
+"""Quantum circuit container used throughout the library.
+
+A :class:`Circuit` is an ordered list of :class:`Gate` operations on
+``n_qubits`` qubits.  Gate parameters are :class:`~repro.circuits.parameters.ParamExpr`
+objects, so a circuit is simultaneously a *template* (symbolic weights and
+inputs) and -- once bound with concrete arrays -- an executable program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.parameters import ParamExpr, ParameterTable
+from repro.sim.gates import GATES, gate_def
+from repro.utils.linalg import embed_operator
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate application: name, target qubits and parameters."""
+
+    name: str
+    qubits: "tuple[int, ...]"
+    params: "tuple[ParamExpr, ...]" = ()
+
+    def __post_init__(self) -> None:
+        definition = gate_def(self.name)
+        if len(self.qubits) != definition.num_qubits:
+            raise ValueError(
+                f"{self.name} acts on {definition.num_qubits} qubits, "
+                f"got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in {self.qubits}")
+        if len(self.params) != definition.num_params:
+            raise ValueError(
+                f"{self.name} takes {definition.num_params} params, "
+                f"got {len(self.params)}"
+            )
+
+    @property
+    def definition(self):
+        """The :class:`GateDef` for this gate."""
+        return gate_def(self.name)
+
+    def remapped(self, mapping: "dict[int, int]") -> "Gate":
+        """Return a copy acting on ``mapping[q]`` for each qubit ``q``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+
+class Circuit:
+    """An ordered sequence of gates on a fixed number of qubits."""
+
+    def __init__(self, n_qubits: int, gates: "list[Gate] | None" = None):
+        if n_qubits < 1:
+            raise ValueError("circuit needs at least one qubit")
+        self.n_qubits = n_qubits
+        self.gates: "list[Gate]" = []
+        for gate in gates or []:
+            self._check_and_store(gate)
+
+    # -- construction ------------------------------------------------------
+
+    def _check_and_store(self, gate: Gate) -> None:
+        if any(q < 0 or q >= self.n_qubits for q in gate.qubits):
+            raise ValueError(
+                f"gate {gate.name} on {gate.qubits} out of range for "
+                f"{self.n_qubits} qubits"
+            )
+        self.gates.append(gate)
+
+    def add(
+        self,
+        name: str,
+        qubits: "int | tuple[int, ...]",
+        *params: "ParamExpr | float",
+    ) -> "Circuit":
+        """Append a gate; accepts plain floats as constant angles."""
+        if isinstance(qubits, int):
+            qubits = (qubits,)
+        exprs = tuple(ParamExpr.coerce(p) for p in params)
+        self._check_and_store(Gate(name.lower(), tuple(qubits), exprs))
+        return self
+
+    def extend(self, other: "Circuit") -> "Circuit":
+        """Append all gates of ``other`` (must have same width)."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("cannot extend with a circuit of different width")
+        for gate in other.gates:
+            self._check_and_store(gate)
+        return self
+
+    def copy(self) -> "Circuit":
+        return Circuit(self.n_qubits, list(self.gates))
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self):
+        return iter(self.gates)
+
+    @property
+    def parameter_table(self) -> ParameterTable:
+        """Sizes of the weight / input vectors this circuit references."""
+        exprs = [p for gate in self.gates for p in gate.params]
+        return ParameterTable.scan(exprs)
+
+    def count_ops(self) -> "dict[str, int]":
+        """Histogram of gate names (for overhead accounting)."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth counting each gate as one time step per qubit."""
+        frontier = [0] * self.n_qubits
+        for gate in self.gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def two_qubit_gates(self) -> "list[Gate]":
+        return [g for g in self.gates if len(g.qubits) == 2]
+
+    # -- inversion -----------------------------------------------------------
+
+    _SELF_INVERSE = frozenset(
+        {"id", "x", "y", "z", "h", "cx", "cz", "cy", "swap"}
+    )
+    _DAGGER_NAMES = {
+        "s": "sdg",
+        "sdg": "s",
+        "t": "tdg",
+        "tdg": "t",
+        "sx": "sxdg",
+        "sxdg": "sx",
+        "sh": "shdg",
+        "shdg": "sh",
+    }
+    _NEGATE_ANGLE = frozenset(
+        {"rx", "ry", "rz", "u1", "crx", "cry", "crz", "rxx", "ryy", "rzz", "rzx"}
+    )
+
+    def inverse(self) -> "Circuit":
+        """The adjoint circuit: reversed gate order, each gate inverted.
+
+        Used by zero-noise extrapolation's circuit folding, where
+        ``U (U^dag U)^k`` preserves the function while scaling noise.
+        """
+        inverted = Circuit(self.n_qubits)
+        for gate in reversed(self.gates):
+            name = gate.name
+            if name in self._SELF_INVERSE:
+                inverted.gates.append(gate)
+            elif name in self._DAGGER_NAMES:
+                inverted.gates.append(
+                    Gate(self._DAGGER_NAMES[name], gate.qubits)
+                )
+            elif name in self._NEGATE_ANGLE:
+                inverted.gates.append(
+                    Gate(name, gate.qubits, (gate.params[0].scaled(-1.0),))
+                )
+            elif name in ("u3", "cu3"):
+                theta, phi, lam = gate.params
+                inverted.gates.append(
+                    Gate(
+                        name,
+                        gate.qubits,
+                        (theta.scaled(-1.0), lam.scaled(-1.0), phi.scaled(-1.0)),
+                    )
+                )
+            elif name == "sqswap":
+                for rot in ("rzz", "ryy", "rxx"):
+                    inverted.gates.append(
+                        Gate(rot, gate.qubits, (ParamExpr.constant(-np.pi / 4),))
+                    )
+            else:
+                raise NotImplementedError(f"no inverse rule for gate {name!r}")
+        return inverted
+
+    # -- dense reference ----------------------------------------------------
+
+    def to_matrix(
+        self,
+        weights: "np.ndarray | None" = None,
+        inputs_row: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Dense unitary of the whole circuit (testing / small widths only).
+
+        ``inputs_row`` is a single sample's feature vector; expressions are
+        evaluated against it directly.
+        """
+        dim = 2**self.n_qubits
+        unitary = np.eye(dim, dtype=complex)
+        row = None if inputs_row is None else np.asarray(inputs_row)[None, :]
+        for gate in self.gates:
+            values = []
+            for expr in gate.params:
+                value = expr.evaluate(weights, row)
+                values.append(float(np.asarray(value).reshape(-1)[0]))
+            matrix = gate.definition.matrix(tuple(values))
+            unitary = embed_operator(matrix, gate.qubits, self.n_qubits) @ unitary
+        return unitary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ops = ", ".join(f"{g.name}{list(g.qubits)}" for g in self.gates[:8])
+        more = "..." if len(self.gates) > 8 else ""
+        return f"Circuit({self.n_qubits} qubits, {len(self.gates)} gates: {ops}{more})"

@@ -1,0 +1,217 @@
+"""Dependency-DAG view of a circuit, plus gate commutation analysis.
+
+The gate list is the canonical circuit representation; this module gives
+the *scheduling* view: a directed acyclic graph with one node per gate
+and one edge per qubit-wire dependency.  The DAG answers structural
+questions the flat list cannot cheaply answer -- front layers (what can
+run now), ASAP layering (for the drawer and depth accounting), and which
+gates are genuinely ordered vs merely adjacent in the list.
+
+:func:`gates_commute` implements the commutation oracle the optimizer
+passes rely on: structural rules for the common basis-gate cases (sound,
+proven in the module tests against dense matrices) with a dense-matrix
+fallback for constant-parameter gates.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.utils.linalg import embed_operator
+
+#: Gates diagonal in the computational (Z) basis on all their qubits.
+_DIAGONAL_1Q = frozenset({"rz", "z", "s", "sdg", "t", "tdg", "u1", "id"})
+_DIAGONAL_2Q = frozenset({"cz", "rzz"})
+
+#: Gates diagonal in the X basis on all their qubits.
+_XBASIS_1Q = frozenset({"x", "sx", "sxdg", "rx"})
+_XBASIS_2Q = frozenset({"rxx"})
+
+#: Gates diagonal in the Y basis on all their qubits.
+_YBASIS_1Q = frozenset({"y", "ry"})
+_YBASIS_2Q = frozenset({"ryy"})
+
+
+def _basis_role(gate: Gate, qubit: int) -> "str | None":
+    """How ``gate`` acts on ``qubit``: 'z' / 'x' basis-diagonal, or None.
+
+    A gate is basis-diagonal on a qubit when it decomposes as a sum of
+    that basis' projectors on the qubit tensored with operators elsewhere
+    -- e.g. CX is Z-diagonal on its control and X-diagonal on its target.
+    Two gates commute if on *every shared qubit* they are diagonal in the
+    same basis (proof: expand both as projector sums; projectors commute
+    and the residual factors act on disjoint qubits).
+    """
+    name = gate.name
+    if name in _DIAGONAL_1Q or name in _DIAGONAL_2Q:
+        return "z"
+    if name in _XBASIS_1Q or name in _XBASIS_2Q:
+        return "x"
+    if name in _YBASIS_1Q or name in _YBASIS_2Q:
+        return "y"
+    if name == "cx":
+        return "z" if qubit == gate.qubits[0] else "x"
+    if name == "cy":
+        return "z" if qubit == gate.qubits[0] else "y"
+    if name == "rzx":
+        return "z" if qubit == gate.qubits[0] else "x"
+    if name in ("crz", "cu3", "crx", "cry") and qubit == gate.qubits[0]:
+        return "z"
+    if name == "crz" and qubit == gate.qubits[1]:
+        return "z"
+    if name == "crx" and qubit == gate.qubits[1]:
+        return "x"
+    if name == "cry" and qubit == gate.qubits[1]:
+        return "y"
+    return None
+
+
+def _dense_commute(a: Gate, b: Gate, atol: float = 1e-10) -> bool:
+    """Exact commutation check on the union of the two gates' qubits."""
+    union = sorted(set(a.qubits) | set(b.qubits))
+    local = {q: i for i, q in enumerate(union)}
+    n = len(union)
+
+    def matrix(gate: Gate) -> np.ndarray:
+        values = tuple(float(p.const) for p in gate.params)
+        small = gate.definition.matrix(values)
+        return embed_operator(small, tuple(local[q] for q in gate.qubits), n)
+
+    ma, mb = matrix(a), matrix(b)
+    return bool(np.allclose(ma @ mb, mb @ ma, atol=atol))
+
+
+def gates_commute(a: Gate, b: Gate) -> bool:
+    """True when the two gates are known to commute.
+
+    Sound but incomplete: symbolic-parameter gates without a structural
+    rule report ``False`` (the optimizer then simply does not move past
+    them).
+    """
+    shared = set(a.qubits) & set(b.qubits)
+    if not shared:
+        return True
+    if all(
+        _basis_role(a, q) is not None and _basis_role(a, q) == _basis_role(b, q)
+        for q in shared
+    ):
+        return True
+    # Same-axis rotations on identical qubits commute regardless of angle.
+    if a.name == b.name and a.qubits == b.qubits and a.definition.num_params <= 1:
+        if a.name in ("rx", "ry", "rz", "rxx", "ryy", "rzz", "rzx", "u1",
+                      "crx", "cry", "crz"):
+            return True
+    all_constant = all(p.is_constant for p in a.params + b.params)
+    if all_constant:
+        return _dense_commute(a, b)
+    return False
+
+
+class CircuitDAG:
+    """Gate-dependency DAG: node per gate, edge per qubit wire.
+
+    Node ids are the gate's index in the source circuit; each node stores
+    its :class:`Gate` under the ``"gate"`` attribute, and each edge the
+    qubit wire it represents under ``"qubit"`` (parallel wires between the
+    same pair of gates are collapsed to one edge carrying a qubit set).
+    """
+
+    def __init__(self, n_qubits: int, graph: "nx.DiGraph", order: "list[int]"):
+        self.n_qubits = n_qubits
+        self.graph = graph
+        self._order = order  # original gate indices, for stable output
+
+    @staticmethod
+    def from_circuit(circuit: Circuit) -> "CircuitDAG":
+        graph = nx.DiGraph()
+        last_on: "dict[int, int]" = {}
+        for index, gate in enumerate(circuit.gates):
+            graph.add_node(index, gate=gate)
+            for q in gate.qubits:
+                prev = last_on.get(q)
+                if prev is not None:
+                    if graph.has_edge(prev, index):
+                        graph.edges[prev, index]["qubits"].add(q)
+                    else:
+                        graph.add_edge(prev, index, qubits={q})
+                last_on[q] = index
+        return CircuitDAG(circuit.n_qubits, graph, list(range(len(circuit.gates))))
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def gate(self, node: int) -> Gate:
+        return self.graph.nodes[node]["gate"]
+
+    def front_layer(self) -> "list[int]":
+        """Nodes with no predecessors: gates executable immediately."""
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+    def layers(self) -> "list[list[int]]":
+        """ASAP layering: each gate lands right after its latest input.
+
+        Layer ``k`` holds the gates whose longest dependency chain has
+        length ``k``; the number of layers equals the circuit depth.
+        """
+        level: "dict[int, int]" = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        n_layers = 1 + max(level.values(), default=-1)
+        out: "list[list[int]]" = [[] for _ in range(n_layers)]
+        for node, lvl in level.items():
+            out[lvl].append(node)
+        for layer in out:
+            layer.sort()
+        return out
+
+    def depth(self) -> int:
+        return len(self.layers())
+
+    def successors_on(self, node: int, qubit: int) -> "int | None":
+        """The next gate on ``qubit``'s wire after ``node`` (or None)."""
+        for succ in self.graph.successors(node):
+            if qubit in self.graph.edges[node, succ]["qubits"]:
+                return succ
+        return None
+
+    def predecessors_on(self, node: int, qubit: int) -> "int | None":
+        for pred in self.graph.predecessors(node):
+            if qubit in self.graph.edges[pred, node]["qubits"]:
+                return pred
+        return None
+
+    def descendants(self, node: int) -> "set[int]":
+        return nx.descendants(self.graph, node)
+
+    # -- mutation ------------------------------------------------------------
+
+    def remove_gate(self, node: int) -> None:
+        """Remove a gate, reconnecting each qubit wire across the gap."""
+        gate = self.gate(node)
+        for q in gate.qubits:
+            pred = self.predecessors_on(node, q)
+            succ = self.successors_on(node, q)
+            if pred is not None and succ is not None:
+                if self.graph.has_edge(pred, succ):
+                    self.graph.edges[pred, succ]["qubits"].add(q)
+                else:
+                    self.graph.add_edge(pred, succ, qubits={q})
+        self.graph.remove_node(node)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_circuit(self) -> Circuit:
+        """Rebuild a circuit in a topological order stable w.r.t. input order."""
+        order = list(nx.lexicographical_topological_sort(self.graph))
+        return Circuit(self.n_qubits, [self.gate(n) for n in order])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitDAG({self.n_qubits} qubits, {len(self)} gates, "
+            f"depth {self.depth()})"
+        )

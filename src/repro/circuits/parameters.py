@@ -1,0 +1,172 @@
+"""Affine parameter expressions for differentiable circuits.
+
+A gate angle in a QNN is rarely a free number: it is either a trainable
+weight ``w[i]``, an encoded input feature ``x[j]``, or -- after the
+compiler lowers the circuit to hardware basis gates -- an *affine
+combination* of those, e.g. ``theta + pi`` inside the RZ/SX decomposition
+of U3.  :class:`ParamExpr` represents exactly that family::
+
+    expr = const + sum(coeff_k * ref_k)
+
+where each ``ref`` is ``("w", index)`` for a trainable weight or
+``("x", index)`` for an input feature.  Keeping angles affine means the
+chain rule through transpilation is a single multiply by ``coeff``, so
+gradients stay exact no matter how the compiler rewrites the circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+WEIGHT = "w"
+INPUT = "x"
+_VALID_KINDS = (WEIGHT, INPUT)
+
+
+@dataclass(frozen=True)
+class ParamExpr:
+    """An affine expression ``const + sum(coeff * ref)`` over parameters.
+
+    ``terms`` is a tuple of ``(kind, index, coeff)`` with kind ``"w"``
+    (trainable weight) or ``"x"`` (encoder input).  Most expressions have
+    zero terms (a constant angle) or one term (a plain parameter).
+    """
+
+    terms: "tuple[tuple[str, int, float], ...]" = ()
+    const: float = 0.0
+
+    def __post_init__(self) -> None:
+        for kind, index, _coeff in self.terms:
+            if kind not in _VALID_KINDS:
+                raise ValueError(f"bad parameter kind {kind!r}")
+            if index < 0:
+                raise ValueError(f"negative parameter index {index}")
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def weight(index: int, coeff: float = 1.0, const: float = 0.0) -> "ParamExpr":
+        """Expression ``coeff * w[index] + const``."""
+        return ParamExpr(((WEIGHT, index, float(coeff)),), float(const))
+
+    @staticmethod
+    def input(index: int, coeff: float = 1.0, const: float = 0.0) -> "ParamExpr":
+        """Expression ``coeff * x[index] + const``."""
+        return ParamExpr(((INPUT, index, float(coeff)),), float(const))
+
+    @staticmethod
+    def constant(value: float) -> "ParamExpr":
+        """A constant angle with no free parameters."""
+        return ParamExpr((), float(value))
+
+    @staticmethod
+    def coerce(value: "ParamExpr | float | int") -> "ParamExpr":
+        """Wrap a plain number into a constant expression."""
+        if isinstance(value, ParamExpr):
+            return value
+        return ParamExpr.constant(float(value))
+
+    # -- algebra ----------------------------------------------------------
+
+    def shifted(self, offset: float) -> "ParamExpr":
+        """Return ``self + offset``."""
+        return ParamExpr(self.terms, self.const + float(offset))
+
+    def scaled(self, factor: float) -> "ParamExpr":
+        """Return ``factor * self``."""
+        factor = float(factor)
+        terms = tuple((k, i, c * factor) for k, i, c in self.terms)
+        return ParamExpr(terms, self.const * factor)
+
+    def __add__(self, other: "ParamExpr | float") -> "ParamExpr":
+        other = ParamExpr.coerce(other)
+        merged: dict[tuple[str, int], float] = {}
+        for kind, index, coeff in self.terms + other.terms:
+            merged[(kind, index)] = merged.get((kind, index), 0.0) + coeff
+        terms = tuple(
+            (kind, index, coeff)
+            for (kind, index), coeff in merged.items()
+            if coeff != 0.0
+        )
+        return ParamExpr(terms, self.const + other.const)
+
+    def __neg__(self) -> "ParamExpr":
+        return self.scaled(-1.0)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the expression has no free parameters."""
+        return not self.terms
+
+    @property
+    def depends_on_input(self) -> bool:
+        """True when any term references an encoder input ``x[j]``."""
+        return any(kind == INPUT for kind, _i, _c in self.terms)
+
+    def weight_indices(self) -> "set[int]":
+        return {i for kind, i, _c in self.terms if kind == WEIGHT}
+
+    def input_indices(self) -> "set[int]":
+        return {i for kind, i, _c in self.terms if kind == INPUT}
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(
+        self,
+        weights: "np.ndarray | None" = None,
+        inputs: "np.ndarray | None" = None,
+    ) -> "float | np.ndarray":
+        """Evaluate the expression.
+
+        ``weights`` is a 1-D array; ``inputs`` is ``(batch, n_features)``.
+        Returns a scalar when the expression has no input terms, otherwise
+        a ``(batch,)`` array.
+        """
+        value: "float | np.ndarray" = self.const
+        for kind, index, coeff in self.terms:
+            if kind == WEIGHT:
+                if weights is None:
+                    raise ValueError("expression needs weights but none given")
+                value = value + coeff * float(weights[index])
+            else:
+                if inputs is None:
+                    raise ValueError("expression needs inputs but none given")
+                value = value + coeff * np.asarray(inputs)[:, index]
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{c:+g}*{k}[{i}]" for k, i, c in self.terms]
+        if self.const or not parts:
+            parts.append(f"{self.const:+g}")
+        return "".join(parts).lstrip("+")
+
+
+@dataclass(frozen=True)
+class ParameterTable:
+    """Bookkeeping for how many weights / inputs a circuit references."""
+
+    num_weights: int = 0
+    num_inputs: int = 0
+
+    @staticmethod
+    def scan(exprs: "list[ParamExpr]") -> "ParameterTable":
+        """Infer table sizes from a list of expressions."""
+        max_w = -1
+        max_x = -1
+        for expr in exprs:
+            for kind, index, _coeff in expr.terms:
+                if kind == WEIGHT:
+                    max_w = max(max_w, index)
+                else:
+                    max_x = max(max_x, index)
+        return ParameterTable(max_w + 1, max_x + 1)
+
+    def merge(self, other: "ParameterTable") -> "ParameterTable":
+        return ParameterTable(
+            max(self.num_weights, other.num_weights),
+            max(self.num_inputs, other.num_inputs),
+        )

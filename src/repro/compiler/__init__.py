@@ -1,0 +1,53 @@
+"""Quantum circuit compiler: lowering, layout, routing, cleanup, transpile."""
+
+from repro.compiler.decompositions import (
+    BASIS_GATES,
+    euler_zyz,
+    expand_gate,
+    lower_to_basis,
+)
+from repro.compiler.coupling import (
+    CouplingMap,
+    line_coupling,
+    t_coupling,
+    bowtie_coupling,
+    ladder_coupling,
+)
+from repro.compiler.layout import (
+    trivial_layout,
+    noise_adaptive_layout,
+    apply_layout,
+)
+from repro.compiler.routing import route, routing_overhead
+from repro.compiler.cleanup import cleanup
+from repro.compiler.optimize import (
+    cancel_inverse_pairs,
+    merge_rotations,
+    optimize_circuit,
+    resynthesize_1q_runs,
+)
+from repro.compiler.passes import CompiledCircuit, transpile
+
+__all__ = [
+    "BASIS_GATES",
+    "euler_zyz",
+    "expand_gate",
+    "lower_to_basis",
+    "CouplingMap",
+    "line_coupling",
+    "t_coupling",
+    "bowtie_coupling",
+    "ladder_coupling",
+    "trivial_layout",
+    "noise_adaptive_layout",
+    "apply_layout",
+    "route",
+    "routing_overhead",
+    "cleanup",
+    "cancel_inverse_pairs",
+    "merge_rotations",
+    "optimize_circuit",
+    "resynthesize_1q_runs",
+    "CompiledCircuit",
+    "transpile",
+]

@@ -1,0 +1,101 @@
+"""Peephole cleanup on basis-gate circuits (optimization levels >= 1).
+
+Rewrites applied to fixpoint:
+
+* merge consecutive ``rz`` on the same qubit (affine expressions add),
+* drop ``rz`` whose angle is a constant multiple of 2*pi,
+* cancel adjacent self-inverse pairs: ``x x`` and identical ``cx cx``,
+* fuse ``sx sx -> x`` (equal up to global phase).
+
+"Adjacent" means consecutive with no intervening gate touching any of the
+same qubits, tracked with a per-qubit frontier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.parameters import ParamExpr
+
+_TWO_PI = 2.0 * np.pi
+
+
+def _is_zero_rotation(expr: ParamExpr) -> bool:
+    if not expr.is_constant:
+        return False
+    return bool(np.isclose(expr.const % _TWO_PI, 0.0, atol=1e-12)) or bool(
+        np.isclose(expr.const % _TWO_PI, _TWO_PI, atol=1e-12)
+    )
+
+
+def _cleanup_once(gates: "list[Gate]", n_qubits: int) -> "tuple[list[Gate], bool]":
+    out: "list[Gate | None]" = []
+    # For each qubit, index in `out` of the last gate touching it (or None).
+    last_on_qubit: "list[int | None]" = [None] * n_qubits
+    changed = False
+
+    def previous_gate(gate: Gate) -> "tuple[int, Gate] | None":
+        """The immediately preceding live gate if it covers the same qubits."""
+        indices = {last_on_qubit[q] for q in gate.qubits}
+        if len(indices) != 1 or None in indices:
+            return None
+        idx = indices.pop()
+        prev = out[idx]
+        if prev is None or set(prev.qubits) != set(gate.qubits):
+            return None
+        return idx, prev
+
+    for gate in gates:
+        if gate.name == "rz" and _is_zero_rotation(gate.params[0]):
+            changed = True
+            continue
+        prev_entry = previous_gate(gate)
+        if prev_entry is not None:
+            idx, prev = prev_entry
+            if gate.name == "rz" and prev.name == "rz":
+                merged = prev.params[0] + gate.params[0]
+                out[idx] = None
+                changed = True
+                if not _is_zero_rotation(merged):
+                    out.append(Gate("rz", gate.qubits, (merged,)))
+                    last_on_qubit[gate.qubits[0]] = len(out) - 1
+                else:
+                    last_on_qubit[gate.qubits[0]] = None
+                continue
+            if gate.name == "x" and prev.name == "x":
+                out[idx] = None
+                last_on_qubit[gate.qubits[0]] = None
+                changed = True
+                continue
+            if gate.name == "sx" and prev.name == "sx":
+                out[idx] = None
+                out.append(Gate("x", gate.qubits))
+                last_on_qubit[gate.qubits[0]] = len(out) - 1
+                changed = True
+                continue
+            if (
+                gate.name == "cx"
+                and prev.name == "cx"
+                and gate.qubits == prev.qubits
+            ):
+                out[idx] = None
+                for q in gate.qubits:
+                    last_on_qubit[q] = None
+                changed = True
+                continue
+        out.append(gate)
+        for q in gate.qubits:
+            last_on_qubit[q] = len(out) - 1
+
+    return [g for g in out if g is not None], changed
+
+
+def cleanup(circuit: Circuit, max_rounds: int = 16) -> Circuit:
+    """Apply peephole rewrites to fixpoint."""
+    gates = list(circuit.gates)
+    for _ in range(max_rounds):
+        gates, changed = _cleanup_once(gates, circuit.n_qubits)
+        if not changed:
+            break
+    return Circuit(circuit.n_qubits, gates)

@@ -1,0 +1,87 @@
+"""Device coupling maps (which qubit pairs support two-qubit gates)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+class CouplingMap:
+    """Undirected qubit-connectivity graph of a device."""
+
+    def __init__(self, n_qubits: int, edges: "list[tuple[int, int]]"):
+        self.n_qubits = n_qubits
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(n_qubits))
+        for a, b in edges:
+            if a == b or not (0 <= a < n_qubits and 0 <= b < n_qubits):
+                raise ValueError(f"bad coupling edge ({a}, {b})")
+            self.graph.add_edge(a, b)
+
+    @property
+    def edges(self) -> "list[tuple[int, int]]":
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def shortest_path(self, a: int, b: int) -> "list[int]":
+        """Qubit sequence from a to b along coupling edges (inclusive)."""
+        return nx.shortest_path(self.graph, a, b)
+
+    def distance(self, a: int, b: int) -> int:
+        return nx.shortest_path_length(self.graph, a, b)
+
+    def neighbors(self, q: int) -> "list[int]":
+        return sorted(self.graph.neighbors(q))
+
+    def is_connected_subset(self, qubits: "list[int]") -> bool:
+        """True if the induced subgraph on ``qubits`` is connected."""
+        sub = self.graph.subgraph(qubits)
+        return len(qubits) > 0 and nx.is_connected(sub)
+
+    def connected_subsets(self, size: int) -> "list[tuple[int, ...]]":
+        """All connected qubit subsets of the given size (small devices).
+
+        Enumerated by BFS growth; intended for the <= 5-qubit devices where
+        the noise-adaptive layout pass can afford exhaustive search.
+        """
+        found: "set[tuple[int, ...]]" = set()
+        frontier: "set[frozenset[int]]" = {frozenset([q]) for q in self.graph.nodes}
+        for _ in range(size - 1):
+            next_frontier: "set[frozenset[int]]" = set()
+            for subset in frontier:
+                for q in subset:
+                    for nb in self.graph.neighbors(q):
+                        if nb not in subset:
+                            next_frontier.add(subset | {nb})
+            frontier = next_frontier
+        for subset in frontier:
+            if len(subset) == size:
+                found.add(tuple(sorted(subset)))
+        return sorted(found)
+
+
+def line_coupling(n_qubits: int) -> CouplingMap:
+    """Linear chain 0-1-2-...-(n-1), like IBMQ Santiago/Athens/Bogota."""
+    return CouplingMap(n_qubits, [(i, i + 1) for i in range(n_qubits - 1)])
+
+
+def t_coupling() -> CouplingMap:
+    """5-qubit T shape, like IBMQ Lima/Belem/Quito."""
+    return CouplingMap(5, [(0, 1), (1, 2), (1, 3), (3, 4)])
+
+
+def bowtie_coupling() -> CouplingMap:
+    """5-qubit bowtie, like IBMQ Yorktown."""
+    return CouplingMap(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+
+
+def ladder_coupling(n_qubits: int) -> CouplingMap:
+    """Two-row ladder, like the 15-qubit IBMQ Melbourne."""
+    if n_qubits % 2:
+        raise ValueError("ladder coupling needs an even qubit count")
+    half = n_qubits // 2
+    edges = [(i, i + 1) for i in range(half - 1)]
+    edges += [(half + i, half + i + 1) for i in range(half - 1)]
+    edges += [(i, half + i) for i in range(half)]
+    return CouplingMap(n_qubits, edges)

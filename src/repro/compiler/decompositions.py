@@ -1,0 +1,192 @@
+"""Gate lowering to the IBMQ hardware basis {rz, sx, x, cx, id}.
+
+The paper compiles every QNN "to the basis gate set of the quantum
+hardware (e.g., X, CNOT, RZ, CNOT, and ID) before performing gate
+insertion and training" (Section 3.2).  This module implements that
+lowering.  All rules rewrite gate angles as *affine* expressions of the
+original parameters (via :class:`ParamExpr`), so the lowered circuit is
+exactly differentiable with respect to the original weights and inputs.
+
+Every rule is verified up to global phase in ``tests/test_compiler.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.parameters import ParamExpr
+from repro.sim.gates import gate_def
+
+PI = np.pi
+
+BASIS_GATES = frozenset({"rz", "sx", "x", "cx", "id"})
+
+#: Maximum recursion depth when expanding nested rules (swap -> cx etc.).
+_MAX_LOWER_DEPTH = 8
+
+
+def euler_zyz(matrix: np.ndarray) -> "tuple[float, float, float]":
+    """ZYZ Euler angles (theta, phi, lam) with U ~ e^{i a} u3(theta, phi, lam).
+
+    Used to lower *fixed* single-qubit gates (h, s, t, sh, ...) whose
+    matrices are known numerically.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("euler_zyz expects a 2x2 matrix")
+    # Remove determinant phase to land in SU(2).
+    det = np.linalg.det(matrix)
+    su2 = matrix / np.sqrt(det)
+    theta = 2.0 * np.arctan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[1, 0]) < 1e-12 or abs(su2[1, 1]) < 1e-12:
+        # Diagonal or anti-diagonal: one angle suffices.
+        if abs(su2[1, 0]) < 1e-12:
+            phi_plus_lam = 2.0 * np.angle(su2[1, 1])
+            return (float(theta), float(phi_plus_lam), 0.0)
+        phi_minus_lam = 2.0 * np.angle(su2[1, 0])
+        return (float(theta), float(phi_minus_lam), 0.0)
+    phi = np.angle(su2[1, 1]) + np.angle(su2[1, 0])
+    lam = np.angle(su2[1, 1]) - np.angle(su2[1, 0])
+    return (float(theta), float(phi), float(lam))
+
+
+def _g(name: str, qubits: "tuple[int, ...]", *params: ParamExpr) -> Gate:
+    return Gate(name, qubits, tuple(params))
+
+
+def _const(value: float) -> ParamExpr:
+    return ParamExpr.constant(value)
+
+
+def _lower_u3(
+    qubit: int, theta: ParamExpr, phi: ParamExpr, lam: ParamExpr
+) -> "list[Gate]":
+    """u3(t, p, l) = rz(p + pi) . sx . rz(t + pi) . sx . rz(l), first-to-last."""
+    q = (qubit,)
+    return [
+        _g("rz", q, lam),
+        _g("sx", q),
+        _g("rz", q, theta.shifted(PI)),
+        _g("sx", q),
+        _g("rz", q, phi.shifted(PI)),
+    ]
+
+
+def _lower_cu3(
+    control: int, target: int, theta: ParamExpr, phi: ParamExpr, lam: ParamExpr
+) -> "list[Gate]":
+    """Standard CU3 decomposition into two CX and single-qubit rotations."""
+    half_sum = (lam + phi).scaled(0.5)
+    half_diff = (lam + (-phi)).scaled(0.5)
+    c, t = (control,), (target,)
+    ct = (control, target)
+    return [
+        _g("rz", c, half_sum),
+        _g("rz", t, half_diff),
+        _g("cx", ct),
+        *_lower_u3(target, theta.scaled(-0.5), _const(0.0), half_sum.scaled(-1.0)),
+        _g("cx", ct),
+        *_lower_u3(target, theta.scaled(0.5), phi, _const(0.0)),
+    ]
+
+
+def expand_gate(gate: Gate) -> "list[Gate] | None":
+    """One-step expansion of ``gate`` toward the basis; ``None`` if basis."""
+    name = gate.name
+    if name in BASIS_GATES:
+        return None
+    q = gate.qubits
+    p = gate.params
+
+    # --- fixed single-qubit gates -----------------------------------------
+    if name in ("s", "sdg", "t", "tdg", "z", "u1"):
+        angle = {
+            "s": _const(PI / 2),
+            "sdg": _const(-PI / 2),
+            "t": _const(PI / 4),
+            "tdg": _const(-PI / 4),
+            "z": _const(PI),
+        }.get(name)
+        if name == "u1":
+            angle = p[0]
+        return [_g("rz", q, angle)]
+    if name == "y":
+        # Y = i * X . RZ(pi): equal up to global phase.
+        return [_g("rz", q, _const(PI)), _g("x", q)]
+    if name in ("h", "sh", "shdg", "sxdg"):
+        theta, phi, lam = euler_zyz(gate_def(name).matrix(()))
+        return _lower_u3(q[0], _const(theta), _const(phi), _const(lam))
+
+    # --- parameterized single-qubit gates ----------------------------------
+    if name == "rx":
+        return _lower_u3(q[0], p[0], _const(-PI / 2), _const(PI / 2))
+    if name == "ry":
+        return _lower_u3(q[0], p[0], _const(0.0), _const(0.0))
+    if name == "u3":
+        return _lower_u3(q[0], p[0], p[1], p[2])
+
+    # --- two-qubit gates ----------------------------------------------------
+    if name == "cz":
+        return [_g("h", (q[1],)), _g("cx", q), _g("h", (q[1],))]
+    if name == "cy":
+        return [_g("sdg", (q[1],)), _g("cx", q), _g("s", (q[1],))]
+    if name == "crz":
+        return [
+            _g("rz", (q[1],), p[0].scaled(0.5)),
+            _g("cx", q),
+            _g("rz", (q[1],), p[0].scaled(-0.5)),
+            _g("cx", q),
+        ]
+    if name == "cu3":
+        return _lower_cu3(q[0], q[1], p[0], p[1], p[2])
+    if name == "crx":
+        return _lower_cu3(q[0], q[1], p[0], _const(-PI / 2), _const(PI / 2))
+    if name == "cry":
+        return _lower_cu3(q[0], q[1], p[0], _const(0.0), _const(0.0))
+    if name == "rzz":
+        return [_g("cx", q), _g("rz", (q[1],), p[0]), _g("cx", q)]
+    if name == "rxx":
+        return [
+            _g("h", (q[0],)),
+            _g("h", (q[1],)),
+            _g("rzz", q, p[0]),
+            _g("h", (q[0],)),
+            _g("h", (q[1],)),
+        ]
+    if name == "ryy":
+        return [
+            _g("rx", (q[0],), _const(PI / 2)),
+            _g("rx", (q[1],), _const(PI / 2)),
+            _g("rzz", q, p[0]),
+            _g("rx", (q[0],), _const(-PI / 2)),
+            _g("rx", (q[1],), _const(-PI / 2)),
+        ]
+    if name == "rzx":  # Z on qubits[0], X on qubits[1]
+        return [_g("h", (q[1],)), _g("rzz", q, p[0]), _g("h", (q[1],))]
+    if name == "swap":
+        return [_g("cx", q), _g("cx", (q[1], q[0])), _g("cx", q)]
+    if name == "sqswap":
+        quarter = _const(PI / 4)
+        return [_g("rxx", q, quarter), _g("ryy", q, quarter), _g("rzz", q, quarter)]
+
+    raise NotImplementedError(f"no lowering rule for gate {name!r}")
+
+
+def lower_to_basis(circuit: Circuit) -> Circuit:
+    """Fully lower a circuit to the hardware basis {rz, sx, x, cx, id}."""
+    gates = list(circuit.gates)
+    for _ in range(_MAX_LOWER_DEPTH):
+        expanded: "list[Gate]" = []
+        changed = False
+        for gate in gates:
+            replacement = expand_gate(gate)
+            if replacement is None:
+                expanded.append(gate)
+            else:
+                expanded.extend(replacement)
+                changed = True
+        gates = expanded
+        if not changed:
+            return Circuit(circuit.n_qubits, gates)
+    raise RuntimeError("gate lowering did not converge")

@@ -1,0 +1,245 @@
+"""Commutation-aware circuit optimization passes.
+
+The peephole :mod:`repro.compiler.cleanup` only sees *adjacent* gate
+pairs.  These passes use the commutation oracle from
+:mod:`repro.circuits.dag` to cancel and merge gates separated by
+commuting spectators -- e.g. the two CX of an ``rzz`` lowering merge with
+neighbouring CX even when an ``rz`` sits on the control wire between
+them.  All rewrites preserve the circuit's unitary up to global phase and
+keep gate angles affine in the original parameters, so optimized circuits
+stay exactly differentiable.
+
+Passes
+------
+* :func:`cancel_inverse_pairs` -- drop ``G ... G^-1`` with commuting gates
+  between.
+* :func:`merge_rotations` -- fuse same-axis rotations across commuting
+  spectators, dropping merged rotations that are constant multiples of
+  2*pi.
+* :func:`resynthesize_1q_runs` -- collapse runs of >= 3 constant
+  single-qubit gates into a minimal ``rz``/``sx`` Euler sequence.
+* :func:`optimize_circuit` -- all of the above, to fixpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.dag import gates_commute
+from repro.circuits.parameters import ParamExpr
+from repro.compiler.decompositions import euler_zyz
+
+_TWO_PI = 2.0 * np.pi
+
+#: Self-inverse gates (cancel when the pair acts on identical qubits).
+_SELF_INVERSE = frozenset({"x", "y", "z", "h", "cx", "cz", "cy", "swap", "id"})
+
+#: name -> inverse-name pairs.
+_DAGGERS = {
+    "s": "sdg", "sdg": "s",
+    "t": "tdg", "tdg": "t",
+    "sx": "sxdg", "sxdg": "sx",
+    "sh": "shdg", "shdg": "sh",
+}
+
+#: Single-axis rotations that fuse by adding angles.
+_MERGEABLE_ROTATIONS = frozenset(
+    {"rx", "ry", "rz", "u1", "rxx", "ryy", "rzz", "rzx", "crx", "cry", "crz"}
+)
+
+#: Rotations where a 2*pi multiple is identity up to global phase.
+_PERIODIC_2PI = frozenset({"rx", "ry", "rz", "rxx", "ryy", "rzz", "rzx"})
+
+
+def _is_inverse_pair(a: Gate, b: Gate) -> bool:
+    if a.qubits != b.qubits:
+        return False
+    if a.name in _SELF_INVERSE and a.name == b.name:
+        return True
+    return _DAGGERS.get(a.name) == b.name
+
+
+def _is_removable_rotation(name: str, expr: ParamExpr) -> bool:
+    """Constant rotation that is the identity (up to global phase)."""
+    if not expr.is_constant:
+        return False
+    period = _TWO_PI if name in _PERIODIC_2PI or name == "u1" else 2 * _TWO_PI
+    remainder = expr.const % period
+    return bool(
+        np.isclose(remainder, 0.0, atol=1e-12)
+        or np.isclose(remainder, period, atol=1e-12)
+    )
+
+
+def _walk_and_rewrite(circuit: Circuit, match) -> "tuple[list[Gate], bool]":
+    """Shared scan: for each gate, walk forward past commuting gates.
+
+    ``match(a, b)`` returns a replacement gate list for the *pair* (which
+    may be empty, meaning cancel both) or ``None`` when the pair does not
+    interact.  The walk on gate ``a`` stops at the first overlapping,
+    non-commuting gate.
+    """
+    gates: "list[Gate | None]" = list(circuit.gates)
+    changed = False
+    for i, a in enumerate(gates):
+        if a is None:
+            continue
+        for j in range(i + 1, len(gates)):
+            b = gates[j]
+            if b is None:
+                continue
+            if not set(a.qubits) & set(b.qubits):
+                continue
+            replacement = match(a, b)
+            if replacement is not None:
+                gates[i] = None
+                gates[j] = None
+                # Insert replacement where b stood (it is already past
+                # every gate a commuted with).
+                for offset, gate in enumerate(replacement):
+                    gates.insert(j + 1 + offset, gate)
+                changed = True
+                break
+            if gates_commute(a, b):
+                continue
+            break
+    return [g for g in gates if g is not None], changed
+
+
+def cancel_inverse_pairs(circuit: Circuit) -> Circuit:
+    """Cancel ``G ... G^-1`` pairs separated by commuting gates only."""
+
+    def match(a: Gate, b: Gate) -> "list[Gate] | None":
+        if _is_inverse_pair(a, b):
+            return []
+        return None
+
+    gates, _ = _walk_and_rewrite(circuit, match)
+    return Circuit(circuit.n_qubits, gates)
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Fuse same-axis rotation pairs across commuting spectators.
+
+    Merged angles are affine sums, so symbolic weight/input angles fuse
+    exactly; a merged rotation whose angle is a constant multiple of the
+    gate's period is dropped entirely.
+    """
+
+    def match(a: Gate, b: Gate) -> "list[Gate] | None":
+        if (
+            a.name in _MERGEABLE_ROTATIONS
+            and a.name == b.name
+            and a.qubits == b.qubits
+        ):
+            merged = a.params[0] + b.params[0]
+            if _is_removable_rotation(a.name, merged):
+                return []
+            return [Gate(a.name, a.qubits, (merged,))]
+        return None
+
+    gates = list(circuit.gates)
+    # Also drop standalone identity rotations before pairing.
+    gates = [
+        g
+        for g in gates
+        if not (
+            g.name in _MERGEABLE_ROTATIONS
+            and _is_removable_rotation(g.name, g.params[0])
+        )
+    ]
+    out, _ = _walk_and_rewrite(Circuit(circuit.n_qubits, gates), match)
+    return Circuit(circuit.n_qubits, out)
+
+
+def resynthesize_1q_runs(circuit: Circuit, min_run: int = 3) -> Circuit:
+    """Collapse constant single-qubit runs into minimal Euler sequences.
+
+    A run is a maximal stretch of consecutive constant-parameter 1q gates
+    on one qubit (no other gate touching that qubit between them).  Runs
+    of at least ``min_run`` gates are replaced by their ZYZ synthesis:
+    a single ``rz`` when the product is diagonal, otherwise the 5-gate
+    ``rz sx rz sx rz`` sequence.  Symbolic-parameter gates break runs, so
+    differentiability is untouched.
+    """
+    gates = list(circuit.gates)
+    runs: "list[list[int]]" = []
+    open_run: "dict[int, list[int]]" = {}
+    for index, gate in enumerate(gates):
+        if (
+            len(gate.qubits) == 1
+            and all(p.is_constant for p in gate.params)
+            and gate.name != "id"
+        ):
+            open_run.setdefault(gate.qubits[0], []).append(index)
+            continue
+        for q in gate.qubits:
+            run = open_run.pop(q, None)
+            if run and len(run) >= min_run:
+                runs.append(run)
+    for run in open_run.values():
+        if len(run) >= min_run:
+            runs.append(run)
+
+    if not runs:
+        return circuit
+
+    replacements: "dict[int, list[Gate]]" = {}
+    dropped: "set[int]" = set()
+    for run in runs:
+        qubit = gates[run[0]].qubits[0]
+        product = np.eye(2, dtype=complex)
+        for index in run:
+            gate = gates[index]
+            values = tuple(float(p.const) for p in gate.params)
+            product = gate.definition.matrix(values) @ product
+        synthesis = _synthesize_1q(product, qubit)
+        if len(synthesis) >= len(run):
+            continue  # only rewrite when strictly shorter
+        replacements[run[-1]] = synthesis
+        dropped.update(run[:-1])
+
+    out: "list[Gate]" = []
+    for index, gate in enumerate(gates):
+        if index in dropped:
+            continue
+        if index in replacements:
+            out.extend(replacements[index])
+        else:
+            out.append(gate)
+    return Circuit(circuit.n_qubits, out)
+
+
+def _synthesize_1q(matrix: np.ndarray, qubit: int) -> "list[Gate]":
+    """Minimal basis-gate sequence for a constant 2x2 unitary."""
+    if np.allclose(np.abs(matrix), np.eye(2), atol=1e-12):
+        # Diagonal: a single rz (or nothing for identity-up-to-phase).
+        angle = float(np.angle(matrix[1, 1]) - np.angle(matrix[0, 0]))
+        if np.isclose(angle % _TWO_PI, 0.0, atol=1e-12) or np.isclose(
+            angle % _TWO_PI, _TWO_PI, atol=1e-12
+        ):
+            return []
+        return [Gate("rz", (qubit,), (ParamExpr.constant(angle),))]
+    theta, phi, lam = euler_zyz(matrix)
+    q = (qubit,)
+    return [
+        Gate("rz", q, (ParamExpr.constant(lam),)),
+        Gate("sx", q),
+        Gate("rz", q, (ParamExpr.constant(theta + np.pi),)),
+        Gate("sx", q),
+        Gate("rz", q, (ParamExpr.constant(phi + np.pi),)),
+    ]
+
+
+def optimize_circuit(circuit: Circuit, max_rounds: int = 8) -> Circuit:
+    """Run all passes to fixpoint (bounded by ``max_rounds``)."""
+    current = circuit
+    for _ in range(max_rounds):
+        before = len(current)
+        current = cancel_inverse_pairs(current)
+        current = merge_rotations(current)
+        current = resynthesize_1q_runs(current)
+        if len(current) >= before:
+            break
+    return current

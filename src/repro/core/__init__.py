@@ -1,0 +1,116 @@
+"""QuantumNAT core: the paper's noise-aware training/inference pipeline."""
+
+from repro.core.normalization import (
+    normalize,
+    normalize_backward,
+    normalize_with_stats,
+    denormalize,
+    batch_statistics,
+    NormCache,
+)
+from repro.core.quantization import Quantizer
+from repro.core.injection import (
+    InjectionConfig,
+    GATE_INSERTION,
+    OUTCOME_PERTURBATION,
+    ANGLE_PERTURBATION,
+    STRATEGIES,
+    benchmark_error_statistics,
+    perturb_outcomes,
+    perturb_angles,
+)
+from repro.core.gradients import (
+    forward_with_tape,
+    adjoint_backward,
+    finite_difference_gradients,
+    ParameterShiftEngine,
+    QuantumTape,
+)
+from repro.core.executors import (
+    make_real_qc_executor,
+    make_noise_model_executor,
+    NoiselessExecutor,
+    GateInsertionExecutor,
+    DensityEvalExecutor,
+    TrajectoryEvalExecutor,
+    BlockCache,
+)
+from repro.core.losses import softmax, cross_entropy, accuracy
+from repro.core.optim import Adam, SGD
+from repro.core.pipeline import QuantumNATConfig, QuantumNATModel, ForwardCache
+from repro.core.training import TrainConfig, TrainResult, train, iterate_minibatches
+from repro.core.hyperparam import (
+    grid_search,
+    GridSearchResult,
+    PAPER_NOISE_FACTORS,
+    PAPER_QUANT_LEVELS,
+)
+from repro.core.adaptation import (
+    FinetuneConfig,
+    adapt_model,
+    device_with_updated_calibration,
+    finetune,
+)
+from repro.core.pruning import measurements_saved, prune_gradients
+from repro.core.schedulers import ConstantLR, CosineLR, StepLR, WarmupCosineLR
+from repro.core.spsa import SPSA, SPSAConfig, SPSAResult, minimize_spsa
+
+__all__ = [
+    "normalize",
+    "normalize_backward",
+    "normalize_with_stats",
+    "denormalize",
+    "batch_statistics",
+    "NormCache",
+    "Quantizer",
+    "InjectionConfig",
+    "GATE_INSERTION",
+    "OUTCOME_PERTURBATION",
+    "ANGLE_PERTURBATION",
+    "STRATEGIES",
+    "benchmark_error_statistics",
+    "perturb_outcomes",
+    "perturb_angles",
+    "forward_with_tape",
+    "adjoint_backward",
+    "finite_difference_gradients",
+    "ParameterShiftEngine",
+    "QuantumTape",
+    "make_real_qc_executor",
+    "make_noise_model_executor",
+    "NoiselessExecutor",
+    "GateInsertionExecutor",
+    "DensityEvalExecutor",
+    "TrajectoryEvalExecutor",
+    "BlockCache",
+    "softmax",
+    "cross_entropy",
+    "accuracy",
+    "Adam",
+    "SGD",
+    "QuantumNATConfig",
+    "QuantumNATModel",
+    "ForwardCache",
+    "TrainConfig",
+    "TrainResult",
+    "train",
+    "iterate_minibatches",
+    "grid_search",
+    "GridSearchResult",
+    "PAPER_NOISE_FACTORS",
+    "PAPER_QUANT_LEVELS",
+    "FinetuneConfig",
+    "finetune",
+    "adapt_model",
+    "device_with_updated_calibration",
+    "prune_gradients",
+    "measurements_saved",
+    "ConstantLR",
+    "StepLR",
+    "CosineLR",
+    "WarmupCosineLR",
+    "SPSA",
+    "SPSAConfig",
+    "SPSAResult",
+    "minimize_spsa",
+]

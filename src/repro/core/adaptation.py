@@ -1,0 +1,153 @@
+"""Fast adaptation of trained QNNs to updated noise calibrations.
+
+Paper appendix A.3.1 closes on the limitation that "repeated training
+may be required when the noise model is updated" and names fast
+fine-tuning as the future direction.  This module implements it: given
+weights trained against one calibration, :func:`finetune` continues
+training for a few low-learning-rate epochs under the *new* noise model
+-- optionally updating only the most sensitive weights (gradient
+pruning) or only the later blocks (freezing) -- which costs a small
+fraction of retraining from scratch.
+
+:func:`device_with_updated_calibration` builds the refreshed device
+object (e.g. from a :mod:`repro.characterization` run), and
+:func:`adapt_model` rebinds an existing model to it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import QuantumNATModel
+from repro.core.pruning import prune_gradients
+from repro.core.optim import Adam
+from repro.core.training import TrainResult, iterate_minibatches
+from repro.noise.devices import Device
+from repro.noise.model import NoiseModel
+from repro.utils.rng import as_rng
+
+
+def device_with_updated_calibration(
+    device: Device,
+    noise_model: "NoiseModel | None" = None,
+    hardware_model: "NoiseModel | None" = None,
+) -> Device:
+    """A copy of ``device`` with refreshed noise model(s).
+
+    Typical flow: characterize the hardware twin, convert the measured
+    rates into a :class:`NoiseModel`, and pass it as the new published
+    ``noise_model`` so noise-injected fine-tuning trains against
+    reality instead of the stale datasheet.
+    """
+    return dataclasses.replace(
+        device,
+        noise_model=noise_model or device.noise_model,
+        hardware_model=hardware_model or device.hardware_model,
+    )
+
+
+def adapt_model(model: QuantumNATModel, device: Device) -> QuantumNATModel:
+    """Rebind a model (same QNN, config, compilation level) to a device."""
+    return QuantumNATModel(
+        model.qnn,
+        device,
+        model.config,
+        optimization_level=model.optimization_level,
+        rng=model.rng,
+    )
+
+
+@dataclass(frozen=True)
+class FinetuneConfig:
+    """Knobs for the adaptation run.
+
+    ``keep_fraction < 1`` prunes each step's gradient to its largest
+    components; ``freeze_blocks`` pins whole blocks' weights (the usual
+    choice is freezing early feature-extraction blocks).
+    """
+
+    epochs: int = 5
+    batch_size: int = 16
+    lr: float = 0.02
+    keep_fraction: float = 1.0
+    prune_mode: str = "topk"
+    freeze_blocks: "tuple[int, ...]" = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not 0 < self.keep_fraction <= 1:
+            raise ValueError("keep_fraction must be in (0, 1]")
+
+
+def finetune(
+    model: QuantumNATModel,
+    weights: np.ndarray,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    valid_x: np.ndarray,
+    valid_y: np.ndarray,
+    config: "FinetuneConfig | None" = None,
+    valid_executor: "object | None" = None,
+) -> TrainResult:
+    """Low-cost continuation training from already-trained weights.
+
+    Returns a :class:`TrainResult` whose weights are the best-validation
+    iterate, *including* the starting point -- adaptation can only help.
+    """
+    config = config or FinetuneConfig()
+    for block in config.freeze_blocks:
+        if not 0 <= block < model.n_blocks:
+            raise ValueError(f"freeze_blocks entry {block} out of range")
+    rng = as_rng(config.seed)
+    weights = np.asarray(weights, dtype=float).copy()
+
+    frozen = np.zeros(model.n_weights, dtype=bool)
+    for block in config.freeze_blocks:
+        frozen[model.qnn.weight_slices[block]] = True
+    if frozen.all():
+        raise ValueError("all blocks frozen: nothing to fine-tune")
+
+    optimizer = Adam(weights.size, lr=config.lr, total_steps=None)
+
+    best_acc, best_loss = model.evaluate(weights, valid_x, valid_y, valid_executor)
+    best_weights = weights.copy()
+    history: "list[dict[str, float]]" = []
+
+    for epoch in range(config.epochs):
+        epoch_loss, epoch_acc, n_batches = 0.0, 0.0, 0
+        for batch_x, batch_y in iterate_minibatches(
+            train_x, train_y, config.batch_size, rng
+        ):
+            loss, acc, grad = model.loss_and_gradients(weights, batch_x, batch_y)
+            grad[frozen] = 0.0
+            if config.keep_fraction < 1.0:
+                grad, _mask = prune_gradients(
+                    grad, config.keep_fraction, config.prune_mode, rng
+                )
+            weights = optimizer.step(weights, grad)
+            epoch_loss += loss
+            epoch_acc += acc
+            n_batches += 1
+        valid_acc, valid_loss = model.evaluate(
+            weights, valid_x, valid_y, valid_executor
+        )
+        history.append(
+            {
+                "epoch": float(epoch),
+                "train_loss": epoch_loss / n_batches,
+                "train_acc": epoch_acc / n_batches,
+                "valid_loss": valid_loss,
+                "valid_acc": valid_acc,
+            }
+        )
+        if valid_loss < best_loss:
+            best_loss = valid_loss
+            best_acc = valid_acc
+            best_weights = weights.copy()
+
+    return TrainResult(best_weights, best_loss, best_acc, history)

@@ -1,0 +1,271 @@
+"""Block executors: how one QNN block's circuit actually runs.
+
+The same compiled block can execute on four backends:
+
+* :class:`NoiselessExecutor` -- exact statevector, differentiable
+  (adjoint).  The paper's "noise-free simulation" baseline and the
+  backbone of noise-unaware training.
+* :class:`GateInsertionExecutor` -- statevector with freshly sampled
+  Pauli error gates per call plus analytic readout-error emulation,
+  differentiable.  This is QuantumNAT's noise-injected *training*
+  backend (a new error sample every training step, Figure 5).
+* :class:`DensityEvalExecutor` -- exact noisy channel evaluation
+  (inference only), the "evaluation with noise model" of Table 11.
+* :class:`TrajectoryEvalExecutor` -- Monte-Carlo trajectories + shot
+  sampling against the *drifted hardware* model: the "real QC" surrogate
+  (inference only).
+
+All executors consume/produce expectations in logical qubit order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.gradients import QuantumTape, adjoint_backward, forward_with_tape
+from repro.noise.density_backend import run_noisy_density
+from repro.noise.readout import apply_readout_to_expectations
+from repro.noise.sampler import ErrorGateSampler
+from repro.noise.trajectory import run_noisy_trajectories
+from repro.utils.rng import as_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.passes import CompiledCircuit
+    from repro.noise.model import NoiseModel
+
+
+@dataclass
+class BlockCache:
+    """Per-block state saved by a differentiable forward pass."""
+
+    tape: QuantumTape
+    measure_qubits: "tuple[int, ...]"
+    readout_scales: "np.ndarray | None" = None
+
+
+def _gather_logical(expectations: np.ndarray, measure: "tuple[int, ...]") -> np.ndarray:
+    return expectations[:, list(measure)]
+
+
+def _scatter_logical(
+    grad_logical: np.ndarray, measure: "tuple[int, ...]", n_compact: int
+) -> np.ndarray:
+    grad = np.zeros((grad_logical.shape[0], n_compact))
+    grad[:, list(measure)] = grad_logical
+    return grad
+
+
+def make_real_qc_executor(
+    model,
+    shots: "int | None" = 8192,
+    rng: "int | np.random.Generator | None" = None,
+    n_trajectories: int = 32,
+):
+    """The 'real QC' surrogate for a model's device.
+
+    A physical device run samples errors independently on every shot, so
+    the faithful emulation is the *exact* noisy channel (density matrix,
+    drifted hardware noise model) plus multinomial shot noise.  For wide
+    circuits where density simulation is infeasible (10-qubit models),
+    falls back to Monte-Carlo Pauli trajectories.
+    """
+    from repro.noise.density_backend import MAX_DENSITY_QUBITS
+
+    device = model.device
+    widest = max(c.circuit.n_qubits for c in model.compiled)
+    if widest <= MAX_DENSITY_QUBITS:
+        return DensityEvalExecutor(device.hardware_model, shots=shots, rng=rng)
+    return TrajectoryEvalExecutor(
+        device.hardware_model, n_trajectories=n_trajectories, shots=shots, rng=rng
+    )
+
+
+def make_noise_model_executor(
+    model,
+    shots: "int | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    n_trajectories: int = 32,
+):
+    """Evaluation under the *published* noise model (paper Table 11)."""
+    from repro.noise.density_backend import MAX_DENSITY_QUBITS
+
+    device = model.device
+    widest = max(c.circuit.n_qubits for c in model.compiled)
+    if widest <= MAX_DENSITY_QUBITS:
+        return DensityEvalExecutor(device.noise_model, shots=shots, rng=rng)
+    return TrajectoryEvalExecutor(
+        device.noise_model, n_trajectories=n_trajectories, shots=shots, rng=rng
+    )
+
+
+class NoiselessExecutor:
+    """Exact statevector execution with adjoint gradients."""
+
+    differentiable = True
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, BlockCache]":
+        expectations, tape = forward_with_tape(
+            compiled.circuit,
+            weights,
+            inputs,
+            n_weights=weights.size,
+            n_inputs=np.asarray(inputs).shape[1],
+        )
+        logical = _gather_logical(expectations, compiled.measure_qubits)
+        return logical, BlockCache(tape, compiled.measure_qubits)
+
+    def backward(
+        self, cache: BlockCache, grad_logical: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        grad = _scatter_logical(
+            grad_logical, cache.measure_qubits, cache.tape.circuit.n_qubits
+        )
+        return adjoint_backward(cache.tape, grad)
+
+
+class GateInsertionExecutor:
+    """QuantumNAT's training backend: sampled error gates + readout noise.
+
+    Every ``forward`` call samples a fresh set of Pauli error gates
+    (scaled by noise factor ``T``) and applies the device's readout
+    confusion to the measured expectations.  The inserted Paulis are
+    constant unitaries and the readout map is affine, so the adjoint
+    backward pass stays exact.
+    """
+
+    differentiable = True
+
+    def __init__(
+        self,
+        noise_model: "NoiseModel",
+        noise_factor: float = 1.0,
+        readout: bool = True,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        self.noise_model = noise_model
+        self.noise_factor = noise_factor
+        self.readout = readout
+        self.rng = as_rng(rng)
+        self.sampler = ErrorGateSampler(noise_model, noise_factor)
+        self.last_insertion_stats = None
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, BlockCache]":
+        noisy_circuit, stats = self.sampler.sample(
+            compiled.circuit, compiled.physical_qubits, self.rng
+        )
+        self.last_insertion_stats = stats
+        expectations, tape = forward_with_tape(
+            noisy_circuit,
+            weights,
+            inputs,
+            n_weights=weights.size,
+            n_inputs=np.asarray(inputs).shape[1],
+        )
+        logical = _gather_logical(expectations, compiled.measure_qubits)
+        scales = None
+        if self.readout:
+            readout = compiled.readout_matrices(self.noise_model)
+            logical, scales = apply_readout_to_expectations(logical, readout)
+        return logical, BlockCache(tape, compiled.measure_qubits, scales)
+
+    def backward(
+        self, cache: BlockCache, grad_logical: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        if cache.readout_scales is not None:
+            grad_logical = grad_logical * cache.readout_scales[None, :]
+        grad = _scatter_logical(
+            grad_logical, cache.measure_qubits, cache.tape.circuit.n_qubits
+        )
+        return adjoint_backward(cache.tape, grad)
+
+
+class DensityEvalExecutor:
+    """Exact noisy-channel inference via density matrices (no gradients)."""
+
+    differentiable = False
+
+    def __init__(
+        self,
+        noise_model: "NoiseModel",
+        noise_factor: float = 1.0,
+        shots: "int | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        self.noise_model = noise_model
+        self.noise_factor = noise_factor
+        self.shots = shots
+        self.rng = as_rng(rng)
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, None]":
+        expectations = run_noisy_density(
+            compiled,
+            self.noise_model,
+            weights,
+            inputs,
+            noise_factor=self.noise_factor,
+            shots=self.shots,
+            rng=self.rng,
+        )
+        return expectations, None
+
+    def backward(self, cache, grad):  # pragma: no cover - defensive
+        raise NotImplementedError("density evaluation is inference-only")
+
+
+class TrajectoryEvalExecutor:
+    """'Real QC' surrogate: drifted noise + trajectories + shot sampling."""
+
+    differentiable = False
+
+    def __init__(
+        self,
+        noise_model: "NoiseModel",
+        n_trajectories: int = 8,
+        shots: "int | None" = 8192,
+        noise_factor: float = 1.0,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        self.noise_model = noise_model
+        self.n_trajectories = n_trajectories
+        self.shots = shots
+        self.noise_factor = noise_factor
+        self.rng = as_rng(rng)
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, None]":
+        expectations = run_noisy_trajectories(
+            compiled,
+            self.noise_model,
+            weights,
+            inputs,
+            n_trajectories=self.n_trajectories,
+            shots=self.shots,
+            noise_factor=self.noise_factor,
+            rng=self.rng,
+        )
+        return expectations, None
+
+    def backward(self, cache, grad):  # pragma: no cover - defensive
+        raise NotImplementedError("trajectory evaluation is inference-only")

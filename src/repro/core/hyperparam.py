@@ -1,0 +1,106 @@
+"""Hyperparameter grid search over (noise factor T, quantization levels).
+
+The paper: "For each benchmark, we experiment with noise factor
+T = {0.1, 0.5, 1, 1.5} and quantization level among {3, 4, 5, 6} and
+select one out of 16 combinations with the lowest loss on the validation
+set" (Section 4.2; chosen values recorded in Table 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.injection import InjectionConfig
+from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+from repro.core.training import TrainConfig, TrainResult, train
+from repro.noise.devices import Device
+from repro.qnn.model import QNN
+
+PAPER_NOISE_FACTORS = (0.1, 0.5, 1.0, 1.5)
+PAPER_QUANT_LEVELS = (3, 4, 5, 6)
+
+
+@dataclass
+class GridSearchResult:
+    """Winner of the grid plus the whole exploration record."""
+
+    best_noise_factor: float
+    best_n_levels: int
+    best_result: TrainResult
+    best_model: QuantumNATModel
+    records: "list[dict[str, float]]"
+
+
+def grid_search(
+    qnn_factory,
+    device: Device,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    valid_x: np.ndarray,
+    valid_y: np.ndarray,
+    noise_factors: "tuple[float, ...]" = PAPER_NOISE_FACTORS,
+    quant_levels: "tuple[int, ...]" = PAPER_QUANT_LEVELS,
+    base_config: "QuantumNATConfig | None" = None,
+    train_config: "TrainConfig | None" = None,
+    valid_executor_factory=None,
+    model_rng_seed: int = 0,
+) -> GridSearchResult:
+    """Train every (T, levels) combination; keep the lowest valid loss.
+
+    ``qnn_factory`` builds a fresh :class:`QNN` per combination (weights
+    must not leak between runs); ``valid_executor_factory`` (optional)
+    builds the validation backend per model, e.g. a noisy evaluator.
+    """
+    base = base_config or QuantumNATConfig.full()
+    records: "list[dict[str, float]]" = []
+    best: "tuple[float, float, int, TrainResult, QuantumNATModel] | None" = None
+
+    for noise_factor in noise_factors:
+        for n_levels in quant_levels:
+            config = replace(
+                base,
+                n_levels=n_levels,
+                injection=InjectionConfig(
+                    base.injection.strategy,
+                    noise_factor,
+                    base.injection.outcome_mu,
+                    base.injection.outcome_sigma,
+                    base.injection.angle_sigma,
+                ),
+            )
+            qnn: QNN = qnn_factory()
+            model = QuantumNATModel(qnn, device, config, rng=model_rng_seed)
+            valid_executor = (
+                valid_executor_factory(model) if valid_executor_factory else None
+            )
+            result = train(
+                model,
+                train_x,
+                train_y,
+                valid_x,
+                valid_y,
+                config=train_config,
+                valid_executor=valid_executor,
+            )
+            records.append(
+                {
+                    "noise_factor": noise_factor,
+                    "n_levels": float(n_levels),
+                    "valid_loss": result.best_valid_loss,
+                    "valid_acc": result.best_valid_acc,
+                }
+            )
+            if best is None or result.best_valid_loss < best[0]:
+                best = (
+                    result.best_valid_loss,
+                    noise_factor,
+                    n_levels,
+                    result,
+                    model,
+                )
+
+    assert best is not None
+    _loss, noise_factor, n_levels, result, model = best
+    return GridSearchResult(noise_factor, n_levels, result, model, records)

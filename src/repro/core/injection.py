@@ -1,0 +1,101 @@
+"""Noise-injection strategies for training (paper Section 3.2).
+
+Three ways to make training noise-aware, compared in Figure 7:
+
+* ``gate_insertion`` (the winner): sample Pauli error gates from the
+  device noise model after every compiled gate, plus readout-error
+  emulation on the measured expectations.  Implemented in the
+  :class:`~repro.core.executors.GateInsertionExecutor`.
+* ``outcome_perturbation``: add Gaussian noise N(mu_err, sigma_err^2) to
+  the *normalized* measurement outcomes, with (mu, sigma) profiled from
+  real error benchmarking on the validation set.
+* ``angle_perturbation``: add Gaussian noise to the rotation angles of
+  every gate (weights and encoded inputs alike).
+
+This module defines the configuration and the error-benchmarking helper
+that fits the Gaussian statistics the perturbation strategies need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+GATE_INSERTION = "gate_insertion"
+OUTCOME_PERTURBATION = "outcome_perturbation"
+ANGLE_PERTURBATION = "angle_perturbation"
+STRATEGIES = (GATE_INSERTION, OUTCOME_PERTURBATION, ANGLE_PERTURBATION)
+
+
+@dataclass(frozen=True)
+class InjectionConfig:
+    """How to inject noise during training.
+
+    ``noise_factor`` is the paper's ``T``: it scales Pauli probabilities
+    for gate insertion, and the Gaussian sigma for the perturbation
+    strategies (so the Figure 7 noise-factor sweep is meaningful for all
+    three).
+    """
+
+    strategy: "str | None" = GATE_INSERTION
+    noise_factor: float = 0.5
+    outcome_mu: float = 0.0
+    outcome_sigma: float = 0.1
+    angle_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.strategy is not None and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown injection strategy {self.strategy!r}; "
+                f"pick from {STRATEGIES} or None"
+            )
+        if self.noise_factor < 0:
+            raise ValueError("noise factor must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.strategy is not None
+
+    def with_statistics(self, mu: float, sigma: float) -> "InjectionConfig":
+        """Return a copy carrying benchmarked error statistics."""
+        return InjectionConfig(
+            self.strategy, self.noise_factor, mu, sigma, self.angle_sigma
+        )
+
+
+def benchmark_error_statistics(
+    noise_free: np.ndarray, noisy: np.ndarray
+) -> "tuple[float, float]":
+    """Fit the Gaussian error model from benchmarking samples.
+
+    ``Err = noisy - noise_free`` over validation-set measurement outcomes;
+    returns (mean, std) -- the N(mu_Err, sigma_Err^2) the paper samples
+    outcome perturbations from.
+    """
+    err = np.asarray(noisy, dtype=float) - np.asarray(noise_free, dtype=float)
+    return float(err.mean()), float(err.std())
+
+
+def perturb_outcomes(
+    outcomes: np.ndarray,
+    config: InjectionConfig,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Outcome perturbation: add N(mu, (T * sigma)^2) to outcomes."""
+    rng = as_rng(rng)
+    sigma = config.noise_factor * config.outcome_sigma
+    return outcomes + rng.normal(config.outcome_mu, sigma, size=outcomes.shape)
+
+
+def perturb_angles(
+    values: np.ndarray,
+    config: InjectionConfig,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Angle perturbation: add N(0, (T * sigma)^2) to rotation angles."""
+    rng = as_rng(rng)
+    sigma = config.noise_factor * config.angle_sigma
+    return values + rng.normal(0.0, sigma, size=values.shape)

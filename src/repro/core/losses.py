@@ -1,0 +1,38 @@
+"""Classification loss: softmax cross-entropy with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> "tuple[float, np.ndarray, np.ndarray]":
+    """Mean cross-entropy loss.
+
+    Returns ``(loss, grad_logits, probs)`` where ``grad_logits`` is
+    ``(softmax - onehot) / batch`` -- ready to chain into the QNN head.
+    """
+    labels = np.asarray(labels, dtype=int)
+    probs = softmax(logits)
+    batch = probs.shape[0]
+    picked = np.clip(probs[np.arange(batch), labels], 1e-12, None)
+    loss = float(-np.log(picked).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return loss, grad, probs
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    predictions = np.asarray(logits).argmax(axis=1)
+    return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,81 @@
+"""Post-measurement normalization (paper Section 3.1, Theorem 3.1).
+
+Quantum noise maps each qubit's measurement expectation through
+``E' = gamma * E + beta`` with input-independent ``gamma``.  Normalizing
+each qubit's outcomes to zero mean / unit variance *across the batch*
+cancels both the scale and the (mean) shift:
+
+    (gamma*y + beta - mean(gamma*y + beta)) / std(gamma*y + beta) = y_hat
+
+Unlike classical BatchNorm there are no trainable affine parameters, and
+at test time the *test batch's own statistics* are used (or, when test
+batches are too small, statistics profiled on the validation set --
+paper Appendix A.3.7 / Table 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Variance floor guarding against degenerate (constant) outcome columns.
+EPS = 1e-8
+
+
+@dataclass
+class NormCache:
+    """Saved activations for the backward pass."""
+
+    normalized: np.ndarray
+    std: np.ndarray
+
+
+def batch_statistics(outcomes: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-qubit mean and std across the batch dimension."""
+    outcomes = np.asarray(outcomes, dtype=float)
+    mean = outcomes.mean(axis=0)
+    std = np.sqrt(outcomes.var(axis=0) + EPS)
+    return mean, std
+
+
+def normalize(outcomes: np.ndarray) -> "tuple[np.ndarray, NormCache]":
+    """Normalize a batch of measurement outcomes (forward pass).
+
+    ``outcomes`` is ``(batch, n_qubits)``; each column becomes
+    zero-centered with unit variance.
+    """
+    mean, std = batch_statistics(outcomes)
+    normalized = (outcomes - mean[None, :]) / std[None, :]
+    return normalized, NormCache(normalized, std)
+
+
+def normalize_backward(cache: NormCache, grad: np.ndarray) -> np.ndarray:
+    """Standard batch-norm backward without affine parameters.
+
+    dL/dy_i = (g_i - mean(g) - y_hat_i * mean(g * y_hat)) / std
+    """
+    grad = np.asarray(grad, dtype=float)
+    y_hat = cache.normalized
+    g_mean = grad.mean(axis=0, keepdims=True)
+    gy_mean = (grad * y_hat).mean(axis=0, keepdims=True)
+    return (grad - g_mean - y_hat * gy_mean) / cache.std[None, :]
+
+
+def normalize_with_stats(
+    outcomes: np.ndarray, mean: np.ndarray, std: np.ndarray
+) -> np.ndarray:
+    """Normalize using externally profiled statistics (Table 13 mode).
+
+    Used when the deployment batch is too small for reliable statistics:
+    the mean/std are measured once on the validation set *on the same
+    hardware* and then reused.
+    """
+    outcomes = np.asarray(outcomes, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), np.sqrt(EPS))
+    return (outcomes - np.asarray(mean)[None, :]) / std[None, :]
+
+
+def denormalize(normalized: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`normalize_with_stats` (used in tests)."""
+    return np.asarray(normalized) * np.asarray(std)[None, :] + np.asarray(mean)[None, :]

@@ -1,0 +1,68 @@
+"""Optimizers for QNN weights (the classical part of hybrid training)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam with optional cosine learning-rate decay."""
+
+    def __init__(
+        self,
+        n_params: int,
+        lr: float = 0.05,
+        betas: "tuple[float, float]" = (0.9, 0.999),
+        eps: float = 1e-8,
+        total_steps: "int | None" = None,
+        min_lr_fraction: float = 0.1,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.m = np.zeros(n_params)
+        self.v = np.zeros(n_params)
+        self.t = 0
+        self.total_steps = total_steps
+        self.min_lr_fraction = min_lr_fraction
+
+    def current_lr(self) -> float:
+        """Cosine-decayed learning rate (constant when no schedule)."""
+        if not self.total_steps:
+            return self.lr
+        progress = min(self.t / self.total_steps, 1.0)
+        floor = self.lr * self.min_lr_fraction
+        return floor + 0.5 * (self.lr - floor) * (1 + np.cos(np.pi * progress))
+
+    def step(self, weights: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return updated weights (input array is not modified)."""
+        grad = np.asarray(grad, dtype=float)
+        self.t += 1
+        self.m = self.beta1 * self.m + (1 - self.beta1) * grad
+        self.v = self.beta2 * self.v + (1 - self.beta2) * grad**2
+        m_hat = self.m / (1 - self.beta1**self.t)
+        v_hat = self.v / (1 - self.beta2**self.t)
+        lr = self.current_lr()
+        return weights - lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class SGD:
+    """Plain SGD with momentum (baseline optimizer)."""
+
+    def __init__(self, n_params: int, lr: float = 0.05, momentum: float = 0.9):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self.velocity = np.zeros(n_params)
+        self.t = 0
+
+    def current_lr(self) -> float:
+        return self.lr
+
+    def step(self, weights: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self.t += 1
+        self.velocity = self.momentum * self.velocity - self.lr * np.asarray(grad)
+        return weights + self.velocity

@@ -1,0 +1,395 @@
+"""The QuantumNAT model: QNN + normalization + injection + quantization.
+
+This ties the whole paper together (Figure 3).  A :class:`QuantumNATModel`
+owns a QNN compiled for a device and runs the three-stage pipeline:
+
+* training forward: per block, execute on the *training executor* (gate
+  insertion / perturbation / noiseless), then -- between blocks --
+  post-measurement normalization and quantization (with the quadratic
+  centroid penalty added to the loss);
+* backward: softmax-CE gradient chains through the head, the
+  straight-through quantizer, the batch-norm-style normalization
+  backward, and one adjoint sweep per block;
+* inference: the same classical pipeline over any evaluation backend
+  (noise-free / density "noise model" / trajectory "real QC"), using the
+  *test batch's own statistics* for normalization (or fixed validation
+  statistics, Table 13).
+
+Per the paper, normalization/quantization are applied between blocks but
+*not* after the last block of multi-block models; single-block ("fully
+quantum", Table 8) models instead normalize/quantize their final
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.compiler.passes import CompiledCircuit, transpile
+from repro.core.executors import (
+    GateInsertionExecutor,
+    NoiselessExecutor,
+)
+from repro.core.injection import (
+    ANGLE_PERTURBATION,
+    GATE_INSERTION,
+    InjectionConfig,
+    OUTCOME_PERTURBATION,
+    perturb_angles,
+    perturb_outcomes,
+)
+from repro.core.losses import accuracy, cross_entropy
+from repro.core.normalization import (
+    NormCache,
+    normalize,
+    normalize_backward,
+    normalize_with_stats,
+)
+from repro.core.quantization import Quantizer
+from repro.noise.devices import Device
+from repro.qnn.model import QNN, head_matrix
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class QuantumNATConfig:
+    """Which pieces of the pipeline are enabled, and their knobs.
+
+    The three method stages of paper Table 1 map to:
+
+    * Baseline:        ``QuantumNATConfig.baseline()``
+    * + Post Norm.:    ``normalize=True``
+    * + Gate Insert.:  ``+ injection=InjectionConfig('gate_insertion', T)``
+    * + Post Quant.:   ``+ quantize=True, n_levels=k``
+    """
+
+    normalize: bool = True
+    quantize: bool = True
+    n_levels: int = 5
+    p_min: float = -2.0
+    p_max: float = 2.0
+    quant_loss_weight: float = 0.1
+    injection: InjectionConfig = field(default_factory=InjectionConfig)
+    #: Apply norm/quant to the last block's outputs (single-block models).
+    transform_final: bool = False
+    #: Softmax temperature on the head: expectations live in [-1, 1], so
+    #: unscaled logits give a nearly flat softmax and slow training.
+    logit_scale: float = 3.0
+
+    @staticmethod
+    def baseline() -> "QuantumNATConfig":
+        """Noise-unaware training, no pipeline stages (paper's Baseline)."""
+        return QuantumNATConfig(
+            normalize=False,
+            quantize=False,
+            injection=InjectionConfig(strategy=None),
+        )
+
+    @staticmethod
+    def norm_only() -> "QuantumNATConfig":
+        return QuantumNATConfig(
+            normalize=True,
+            quantize=False,
+            injection=InjectionConfig(strategy=None),
+        )
+
+    @staticmethod
+    def norm_and_injection(noise_factor: float = 0.5) -> "QuantumNATConfig":
+        return QuantumNATConfig(
+            normalize=True,
+            quantize=False,
+            injection=InjectionConfig(GATE_INSERTION, noise_factor),
+        )
+
+    @staticmethod
+    def full(noise_factor: float = 0.5, n_levels: int = 5) -> "QuantumNATConfig":
+        """The complete QuantumNAT pipeline."""
+        return QuantumNATConfig(
+            normalize=True,
+            quantize=True,
+            n_levels=n_levels,
+            injection=InjectionConfig(GATE_INSERTION, noise_factor),
+        )
+
+    def with_injection(self, injection: InjectionConfig) -> "QuantumNATConfig":
+        return replace(self, injection=injection)
+
+
+@dataclass
+class ForwardCache:
+    """Everything one training forward pass saves for backward."""
+
+    block_caches: list
+    norm_caches: "list[NormCache | None]"
+    ste_masks: "list[np.ndarray | None]"
+    normalized: "list[np.ndarray | None]"  # pre-quantization activations
+    logits: np.ndarray
+    quant_loss: float
+
+
+class QuantumNATModel:
+    """A QNN wrapped with the QuantumNAT noise-aware pipeline."""
+
+    def __init__(
+        self,
+        qnn: QNN,
+        device: Device,
+        config: "QuantumNATConfig | None" = None,
+        optimization_level: int = 2,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        self.qnn = qnn
+        self.device = device
+        self.config = config or QuantumNATConfig()
+        self.optimization_level = optimization_level
+        self.rng = as_rng(rng)
+        self.compiled: "list[CompiledCircuit]" = [
+            transpile(block, device, optimization_level) for block in qnn.blocks
+        ]
+        self.head = (
+            head_matrix(qnn.arch.n_classes, qnn.arch.n_qubits)
+            * self.config.logit_scale
+        )
+        self.quantizer = Quantizer(
+            self.config.n_levels, self.config.p_min, self.config.p_max
+        )
+        self._train_executor = self._build_train_executor()
+        #: Fixed normalization statistics per block boundary (Table 13
+        #: valid-stats mode); None means use the batch's own statistics.
+        self.fixed_stats: "list[tuple[np.ndarray, np.ndarray]] | None" = None
+
+    # -- executors -------------------------------------------------------
+
+    def _build_train_executor(self):
+        injection = self.config.injection
+        if injection.strategy == GATE_INSERTION:
+            return GateInsertionExecutor(
+                self.device.noise_model,
+                noise_factor=injection.noise_factor,
+                rng=self.rng,
+            )
+        return NoiselessExecutor()
+
+    @property
+    def n_weights(self) -> int:
+        return self.qnn.n_weights
+
+    @property
+    def n_blocks(self) -> int:
+        return self.qnn.n_blocks
+
+    def _transform_after(self, block: int) -> bool:
+        """Normalize/quantize after this block?"""
+        is_last = block == self.n_blocks - 1
+        return (not is_last) or self.config.transform_final
+
+    # -- training forward / backward ----------------------------------------
+
+    def forward_train(
+        self, weights: np.ndarray, inputs: np.ndarray
+    ) -> ForwardCache:
+        """Noise-injected, differentiable forward pass."""
+        config = self.config
+        injection = config.injection
+        executor = self._train_executor
+
+        if injection.strategy == ANGLE_PERTURBATION:
+            weights = perturb_angles(weights, injection, self.rng)
+            inputs = perturb_angles(np.asarray(inputs, dtype=float), injection, self.rng)
+
+        block_caches = []
+        norm_caches: "list[NormCache | None]" = []
+        ste_masks: "list[np.ndarray | None]" = []
+        normalized_acts: "list[np.ndarray | None]" = []
+        quant_loss = 0.0
+        current = np.asarray(inputs, dtype=float)
+
+        for b in range(self.n_blocks):
+            w_local = self.qnn.block_weights(weights, b)
+            expectations, cache = executor.forward(self.compiled[b], w_local, current)
+            block_caches.append(cache)
+
+            if not self._transform_after(b):
+                norm_caches.append(None)
+                ste_masks.append(None)
+                normalized_acts.append(None)
+                current = expectations
+                continue
+
+            values = expectations
+            if config.normalize:
+                values, norm_cache = normalize(values)
+                norm_caches.append(norm_cache)
+            else:
+                norm_caches.append(None)
+            if injection.strategy == OUTCOME_PERTURBATION:
+                values = perturb_outcomes(values, injection, self.rng)
+            if config.quantize:
+                normalized_acts.append(values)
+                quant_loss += self.quantizer.quantization_loss(values)
+                values, mask = self.quantizer.forward(values)
+                ste_masks.append(mask)
+            else:
+                normalized_acts.append(None)
+                ste_masks.append(None)
+            current = values
+
+        logits = current @ self.head.T
+        return ForwardCache(
+            block_caches, norm_caches, ste_masks, normalized_acts, logits, quant_loss
+        )
+
+    def loss_and_gradients(
+        self, weights: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+    ) -> "tuple[float, float, np.ndarray]":
+        """One training step's loss, accuracy and weight gradient."""
+        config = self.config
+        cache = self.forward_train(weights, inputs)
+        ce_loss, grad_logits, _probs = cross_entropy(cache.logits, labels)
+        loss = ce_loss + config.quant_loss_weight * cache.quant_loss
+        acc = accuracy(cache.logits, labels)
+
+        grad_weights = np.zeros_like(np.asarray(weights, dtype=float))
+        # dL/d(last block output after transforms)
+        grad_current = grad_logits @ self.head
+
+        for b in reversed(range(self.n_blocks)):
+            if self._transform_after(b):
+                if config.quantize:
+                    grad_current = self.quantizer.backward(
+                        cache.ste_masks[b], grad_current
+                    )
+                    grad_current = grad_current + (
+                        config.quant_loss_weight
+                        * self.quantizer.quantization_loss_grad(
+                            cache.normalized[b]
+                        )
+                    )
+                if config.normalize:
+                    grad_current = normalize_backward(
+                        cache.norm_caches[b], grad_current
+                    )
+            w_grad_local, x_grad = self._train_executor.backward(
+                cache.block_caches[b], grad_current
+            )
+            grad_weights[self.qnn.weight_slices[b]] += w_grad_local
+            grad_current = x_grad  # dL/d(previous block's outputs)
+
+        return loss, acc, grad_weights
+
+    # -- inference ---------------------------------------------------------
+
+    def predict(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        executor: "object | None" = None,
+    ) -> np.ndarray:
+        """Run the inference pipeline; returns logits.
+
+        ``executor`` defaults to noise-free simulation; pass a
+        :class:`DensityEvalExecutor` ("noise model") or
+        :class:`TrajectoryEvalExecutor` ("real QC") for noisy inference.
+        Normalization uses the batch's own statistics unless
+        :attr:`fixed_stats` is set (validation-statistics mode).
+        """
+        config = self.config
+        executor = executor or NoiselessExecutor()
+        current = np.asarray(inputs, dtype=float)
+        for b in range(self.n_blocks):
+            w_local = self.qnn.block_weights(weights, b)
+            expectations, _cache = executor.forward(self.compiled[b], w_local, current)
+            if not self._transform_after(b):
+                current = expectations
+                continue
+            values = expectations
+            if config.normalize:
+                if self.fixed_stats is not None:
+                    mean, std = self.fixed_stats[b]
+                    values = normalize_with_stats(values, mean, std)
+                else:
+                    values, _ = normalize(values)
+            if config.quantize:
+                values = self.quantizer.quantize(values)
+            current = values
+        return current @ self.head.T
+
+    def evaluate(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        executor: "object | None" = None,
+    ) -> "tuple[float, float]":
+        """(accuracy, cross-entropy loss) of the pipeline on a dataset."""
+        logits = self.predict(weights, inputs, executor)
+        loss, _grad, _probs = cross_entropy(logits, labels)
+        return accuracy(logits, labels), loss
+
+    def measure_block_outcomes(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        block: int,
+        executor: "object | None" = None,
+        apply_transforms_before: bool = True,
+    ) -> np.ndarray:
+        """Raw measurement outcomes of one block (analysis/figures).
+
+        Runs the pipeline up to ``block`` and returns that block's
+        *untransformed* expectations -- what Figures 4 and 6 histogram.
+        """
+        config = self.config
+        executor = executor or NoiselessExecutor()
+        current = np.asarray(inputs, dtype=float)
+        for b in range(block + 1):
+            w_local = self.qnn.block_weights(weights, b)
+            expectations, _cache = executor.forward(self.compiled[b], w_local, current)
+            if b == block:
+                return expectations
+            if not self._transform_after(b) or not apply_transforms_before:
+                current = expectations
+                continue
+            values = expectations
+            if config.normalize:
+                values, _ = normalize(values)
+            if config.quantize:
+                values = self.quantizer.quantize(values)
+            current = values
+        raise AssertionError("unreachable")
+
+    def profile_statistics(
+        self,
+        weights: np.ndarray,
+        inputs: np.ndarray,
+        executor: "object | None" = None,
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Per-block-boundary normalization statistics on a dataset.
+
+        Run once on the validation set and assign to :attr:`fixed_stats`
+        to reproduce the paper's small-test-batch deployment mode
+        (Appendix A.3.7, Table 13).
+        """
+        config = self.config
+        executor = executor or NoiselessExecutor()
+        current = np.asarray(inputs, dtype=float)
+        stats: "list[tuple[np.ndarray, np.ndarray]]" = []
+        for b in range(self.n_blocks):
+            w_local = self.qnn.block_weights(weights, b)
+            expectations, _cache = executor.forward(self.compiled[b], w_local, current)
+            if not self._transform_after(b):
+                stats.append((np.zeros(expectations.shape[1]), np.ones(expectations.shape[1])))
+                current = expectations
+                continue
+            mean = expectations.mean(axis=0)
+            std = expectations.std(axis=0)
+            stats.append((mean, std))
+            values = expectations
+            if config.normalize:
+                values = normalize_with_stats(values, mean, std)
+            if config.quantize:
+                values = self.quantizer.quantize(values)
+            current = values
+        return stats

@@ -1,0 +1,65 @@
+"""Gradient pruning for cheap on-QC training steps.
+
+On real hardware every gradient component costs two parameter-shift
+circuit executions, so the follow-up work the paper cites (QOC, DAC'22)
+prunes the gradient: only the most promising components are measured
+and updated each step.  We implement the two standard policies:
+
+* ``topk`` -- keep the largest-magnitude fraction (needs all components
+  measured once; saves *optimizer* work and regularizes),
+* ``random`` -- keep a random fraction (saves *measurement* work: the
+  dropped components never need their shifted circuits run).
+
+Both return a pruned copy plus the boolean mask, so callers can count
+the measurements a real deployment would have saved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def prune_gradients(
+    gradient: np.ndarray,
+    keep_fraction: float,
+    mode: str = "topk",
+    rng: "int | np.random.Generator | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Zero out all but a fraction of gradient components.
+
+    Returns ``(pruned gradient, keep mask)``.  ``keep_fraction=1`` is a
+    no-op; at least one component is always kept.
+    """
+    if not 0 < keep_fraction <= 1:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    gradient = np.asarray(gradient, dtype=float)
+    n = gradient.size
+    n_keep = max(1, int(round(keep_fraction * n)))
+    if n_keep >= n:
+        return gradient.copy(), np.ones(n, dtype=bool)
+
+    mask = np.zeros(n, dtype=bool)
+    if mode == "topk":
+        order = np.argsort(np.abs(gradient.ravel()))
+        mask[order[-n_keep:]] = True
+    elif mode == "random":
+        rng = as_rng(rng)
+        mask[rng.choice(n, size=n_keep, replace=False)] = True
+    else:
+        raise ValueError(f"unknown mode {mode!r}; use 'topk' or 'random'")
+    pruned = np.where(mask, gradient.ravel(), 0.0).reshape(gradient.shape)
+    return pruned, mask.reshape(gradient.shape)
+
+
+def measurements_saved(
+    mask: np.ndarray, shots_per_component: int = 2
+) -> int:
+    """Parameter-shift circuit executions avoided by a pruning mask.
+
+    Each dropped component skips its two shifted-circuit evaluations
+    (``shots_per_component`` lets callers account for repetitions).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    return int((mask.size - mask.sum()) * shots_per_component)

@@ -1,0 +1,84 @@
+"""Learning-rate schedules, standalone and composable.
+
+:class:`~repro.core.optim.Adam` bakes in one cosine decay; these
+schedule objects factor that policy out so fine-tuning
+(:mod:`repro.core.adaptation`) and SPSA can pick schedules
+independently.  A schedule is a callable ``step -> lr``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ConstantLR:
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.base_lr = lr
+
+    def lr(self, step: int) -> float:
+        return self.base_lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr(step)
+
+
+class StepLR(ConstantLR):
+    """Multiply the rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, lr: float, period: int, gamma: float = 0.5):
+        super().__init__(lr)
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.period = period
+        self.gamma = gamma
+
+    def lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.period)
+
+
+class CosineLR(ConstantLR):
+    """Cosine decay from ``lr`` to ``lr * min_fraction`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, min_fraction: float = 0.1):
+        super().__init__(lr)
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if not 0 <= min_fraction <= 1:
+            raise ValueError("min_fraction must be in [0, 1]")
+        self.total_steps = total_steps
+        self.min_fraction = min_fraction
+
+    def lr(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        floor = self.base_lr * self.min_fraction
+        return floor + 0.5 * (self.base_lr - floor) * (1 + np.cos(np.pi * progress))
+
+
+class WarmupCosineLR(CosineLR):
+    """Linear warmup for ``warmup_steps``, then cosine decay."""
+
+    def __init__(
+        self,
+        lr: float,
+        total_steps: int,
+        warmup_steps: int,
+        min_fraction: float = 0.1,
+    ):
+        super().__init__(lr, total_steps, min_fraction)
+        if not 0 <= warmup_steps < total_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.warmup_steps = warmup_steps
+
+    def lr(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        remaining = self.total_steps - self.warmup_steps
+        progress = min((step - self.warmup_steps) / max(remaining, 1), 1.0)
+        floor = self.base_lr * self.min_fraction
+        return floor + 0.5 * (self.base_lr - floor) * (1 + np.cos(np.pi * progress))

@@ -1,0 +1,114 @@
+"""Simultaneous Perturbation Stochastic Approximation (SPSA).
+
+Table 3 trains directly on quantum hardware with the parameter-shift
+rule, which costs two circuit evaluations *per weight* per step.  SPSA
+is the standard cheaper alternative for on-QC training: two evaluations
+per step *total*, regardless of the weight count, with the classic
+Spall gain sequences
+
+    a_k = a / (k + 1 + A)^alpha,   c_k = c / (k + 1)^gamma.
+
+The gradient estimate ``g = (L(w + c d) - L(w - c d)) / (2 c) * d^-1``
+uses a random Rademacher direction ``d``; its expectation is the true
+gradient, so SPSA converges like stochastic gradient descent while
+tolerating the shot noise of real measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class SPSAConfig:
+    """Gain-sequence hyperparameters (Spall's standard parameterization)."""
+
+    a: float = 0.2
+    c: float = 0.15
+    stability: float = 10.0  # the 'A' offset that tames early steps
+    alpha: float = 0.602
+    gamma: float = 0.101
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.c <= 0:
+            raise ValueError("gain constants a and c must be positive")
+
+
+@dataclass
+class SPSAResult:
+    """Outcome of an SPSA minimization."""
+
+    weights: np.ndarray
+    best_weights: np.ndarray
+    best_loss: float
+    losses: "list[float]"
+
+    @property
+    def n_evaluations(self) -> int:
+        """Loss evaluations used (2 per iteration + tracking evals)."""
+        return 3 * len(self.losses)
+
+
+class SPSA:
+    """Iterative SPSA minimizer over a loss callable."""
+
+    def __init__(
+        self,
+        config: "SPSAConfig | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        self.config = config or SPSAConfig()
+        self.rng = as_rng(rng)
+        self.k = 0
+
+    def step(
+        self, weights: np.ndarray, loss_fn: Callable[[np.ndarray], float]
+    ) -> np.ndarray:
+        """One SPSA update; two loss evaluations."""
+        cfg = self.config
+        a_k = cfg.a / (self.k + 1 + cfg.stability) ** cfg.alpha
+        c_k = cfg.c / (self.k + 1) ** cfg.gamma
+        direction = self.rng.choice([-1.0, 1.0], size=weights.shape)
+        loss_plus = loss_fn(weights + c_k * direction)
+        loss_minus = loss_fn(weights - c_k * direction)
+        gradient = (loss_plus - loss_minus) / (2.0 * c_k) * direction
+        self.k += 1
+        return weights - a_k * gradient
+
+
+def minimize_spsa(
+    loss_fn: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    n_iterations: int = 100,
+    config: "SPSAConfig | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    callback: "Callable[[int, np.ndarray, float], None] | None" = None,
+) -> SPSAResult:
+    """Minimize ``loss_fn`` from ``x0``; returns best-seen weights.
+
+    ``loss_fn`` may be stochastic (shot noise); the best-loss tracking
+    evaluates the loss once more per iteration at the current iterate.
+    """
+    if n_iterations < 1:
+        raise ValueError("need at least one iteration")
+    rng = as_rng(rng)
+    optimizer = SPSA(config, rng)
+    weights = np.asarray(x0, dtype=float).copy()
+    best_weights = weights.copy()
+    best_loss = float(loss_fn(weights))
+    losses = [best_loss]
+    for iteration in range(n_iterations):
+        weights = optimizer.step(weights, loss_fn)
+        current = float(loss_fn(weights))
+        losses.append(current)
+        if current < best_loss:
+            best_loss = current
+            best_weights = weights.copy()
+        if callback is not None:
+            callback(iteration, weights, current)
+    return SPSAResult(weights, best_weights, best_loss, losses)

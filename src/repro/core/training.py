@@ -1,0 +1,129 @@
+"""Training loop for QuantumNAT models.
+
+Minibatch Adam with per-epoch validation; keeps the weights that achieve
+the best validation loss (evaluated on the configured validation
+executor, which for noise-aware training should be a noisy backend so
+model selection sees what deployment will see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.optim import Adam
+from repro.core.pipeline import QuantumNATModel
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    epochs: int = 30
+    batch_size: int = 16
+    lr: float = 0.2
+    seed: int = 0
+    weight_init_scale: float = 0.3
+    use_lr_schedule: bool = True
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    weights: np.ndarray
+    best_valid_loss: float
+    best_valid_acc: float
+    history: "list[dict[str, float]]" = field(default_factory=list)
+
+    @property
+    def final_epoch(self) -> int:
+        return len(self.history)
+
+
+def iterate_minibatches(
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+):
+    """Shuffled minibatch generator."""
+    n = inputs.shape[0]
+    order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield inputs[idx], labels[idx]
+
+
+def train(
+    model: QuantumNATModel,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    valid_x: np.ndarray,
+    valid_y: np.ndarray,
+    config: "TrainConfig | None" = None,
+    valid_executor: "object | None" = None,
+    initial_weights: "np.ndarray | None" = None,
+) -> TrainResult:
+    """Train a QuantumNAT model; returns best-validation weights.
+
+    ``valid_executor`` controls which backend validation runs on
+    (noise-free by default; pass a noisy executor for noise-aware model
+    selection as the paper does for its (T, levels) grid search).
+    """
+    config = config or TrainConfig()
+    rng = as_rng(config.seed)
+    if initial_weights is None:
+        weights = model.qnn.init_weights(rng, config.weight_init_scale)
+    else:
+        weights = np.asarray(initial_weights, dtype=float).copy()
+
+    steps_per_epoch = max(1, int(np.ceil(train_x.shape[0] / config.batch_size)))
+    optimizer = Adam(
+        weights.size,
+        lr=config.lr,
+        total_steps=config.epochs * steps_per_epoch if config.use_lr_schedule else None,
+    )
+
+    best_weights = weights.copy()
+    best_loss = float("inf")
+    best_acc = 0.0
+    history: "list[dict[str, float]]" = []
+
+    for epoch in range(config.epochs):
+        epoch_loss = 0.0
+        epoch_acc = 0.0
+        n_batches = 0
+        for batch_x, batch_y in iterate_minibatches(
+            train_x, train_y, config.batch_size, rng
+        ):
+            loss, acc, grad = model.loss_and_gradients(weights, batch_x, batch_y)
+            weights = optimizer.step(weights, grad)
+            epoch_loss += loss
+            epoch_acc += acc
+            n_batches += 1
+        valid_acc, valid_loss = model.evaluate(
+            weights, valid_x, valid_y, valid_executor
+        )
+        history.append(
+            {
+                "epoch": float(epoch),
+                "train_loss": epoch_loss / n_batches,
+                "train_acc": epoch_acc / n_batches,
+                "valid_loss": valid_loss,
+                "valid_acc": valid_acc,
+            }
+        )
+        if config.verbose:  # pragma: no cover - console output
+            print(
+                f"epoch {epoch:3d}  train_loss {epoch_loss / n_batches:.4f}  "
+                f"train_acc {epoch_acc / n_batches:.3f}  "
+                f"valid_loss {valid_loss:.4f}  valid_acc {valid_acc:.3f}"
+            )
+        if valid_loss < best_loss:
+            best_loss = valid_loss
+            best_acc = valid_acc
+            best_weights = weights.copy()
+
+    return TrainResult(best_weights, best_loss, best_acc, history)

@@ -1,0 +1,34 @@
+"""Datasets: synthetic corpora + the paper's preprocessing + task loaders."""
+
+from repro.data.preprocessing import (
+    center_crop,
+    average_pool,
+    to_grayscale,
+    flatten_images,
+    PCA,
+    AngleScaler,
+)
+from repro.data.synthetic import (
+    synthetic_digits,
+    synthetic_garments,
+    synthetic_scenes,
+    synthetic_vowels,
+)
+from repro.data.tasks import TaskData, TASK_NAMES, load_task, load_scalar_pair_task
+
+__all__ = [
+    "center_crop",
+    "average_pool",
+    "to_grayscale",
+    "flatten_images",
+    "PCA",
+    "AngleScaler",
+    "synthetic_digits",
+    "synthetic_garments",
+    "synthetic_scenes",
+    "synthetic_vowels",
+    "TaskData",
+    "TASK_NAMES",
+    "load_task",
+    "load_scalar_pair_task",
+]

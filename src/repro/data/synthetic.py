@@ -1,0 +1,250 @@
+"""Synthetic stand-ins for MNIST, Fashion-MNIST, CIFAR and Vowel.
+
+No datasets ship in the offline environment, so each corpus is replaced
+by a generator that produces class-structured samples at the *native*
+resolution (28x28 digits, 28x28 garment silhouettes, 32x32 RGB scenes,
+formant-style vowel features).  The paper's preprocessing pipeline then
+runs unchanged, so the QNN sees inputs of exactly the same shape and
+the noise-robustness phenomena under study are preserved.  Substitution
+is documented in DESIGN.md section 3.
+
+Generators:
+
+* digits      -- 5x7 bitmap glyphs of 0-9, pasted with random shift /
+                 upscale / intensity / pixel noise into 28x28,
+* garments    -- programmatic silhouette masks (t-shirt, trouser,
+                 pullover, dress, ..., shirt) with the same augmentations,
+* scenes      -- 32x32 RGB "frog" (green textured blob on foliage) vs
+                 "ship" (grey hull on sea under bright sky),
+* vowel formants -- 4 vowel classes as clusters in a 3-formant latent
+                 space lifted through a fixed random linear map to 20
+                 correlated dims (PCA back to 10 happens in the task
+                 pipeline, as in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+# -- digit glyphs (5 columns x 7 rows, row-major strings) ---------------------
+
+_DIGIT_GLYPHS = {
+    0: ["01110", "10001", "10011", "10101", "11001", "10001", "01110"],
+    1: ["00100", "01100", "00100", "00100", "00100", "00100", "01110"],
+    2: ["01110", "10001", "00001", "00110", "01000", "10000", "11111"],
+    3: ["11110", "00001", "00001", "01110", "00001", "00001", "11110"],
+    4: ["00010", "00110", "01010", "10010", "11111", "00010", "00010"],
+    5: ["11111", "10000", "11110", "00001", "00001", "10001", "01110"],
+    6: ["00110", "01000", "10000", "11110", "10001", "10001", "01110"],
+    7: ["11111", "00001", "00010", "00100", "01000", "01000", "01000"],
+    8: ["01110", "10001", "10001", "01110", "10001", "10001", "01110"],
+    9: ["01110", "10001", "10001", "01111", "00001", "00010", "01100"],
+}
+
+
+def _glyph_array(digit: int) -> np.ndarray:
+    rows = _DIGIT_GLYPHS[digit]
+    return np.array([[int(c) for c in row] for row in rows], dtype=float)
+
+
+def _paste_with_jitter(
+    canvas_size: int,
+    glyph: np.ndarray,
+    rng: np.random.Generator,
+    upscale_choices: "tuple[int, ...]" = (3, 4),
+) -> np.ndarray:
+    """Upscale a glyph and paste it at a jittered position."""
+    scale = int(rng.choice(upscale_choices))
+    big = np.kron(glyph, np.ones((scale, scale)))
+    canvas = np.zeros((canvas_size, canvas_size))
+
+    def jittered(limit: int) -> int:
+        lo = max(0, limit // 2 - 2)
+        hi = min(limit, limit // 2 + 2)
+        return int(rng.integers(lo, hi + 1))
+
+    top = jittered(canvas_size - big.shape[0])
+    left = jittered(canvas_size - big.shape[1])
+    canvas[top : top + big.shape[0], left : left + big.shape[1]] = big
+    return canvas
+
+
+def _augment(
+    canvas: np.ndarray, rng: np.random.Generator, noise: float = 0.08
+) -> np.ndarray:
+    intensity = rng.uniform(0.75, 1.0)
+    noisy = canvas * intensity + rng.normal(0.0, noise, canvas.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def synthetic_digits(
+    n_samples: int,
+    classes: "tuple[int, ...]",
+    rng: "int | np.random.Generator | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """(images 28x28 in [0,1], labels indexed into ``classes``)."""
+    rng = as_rng(rng)
+    images = np.empty((n_samples, 28, 28))
+    labels = rng.integers(0, len(classes), size=n_samples)
+    for i, label in enumerate(labels):
+        glyph = _glyph_array(classes[label])
+        images[i] = _augment(_paste_with_jitter(28, glyph, rng), rng)
+    return images, labels
+
+
+# -- garment silhouettes -------------------------------------------------------
+
+
+def _garment_mask(kind: int, rng: np.random.Generator) -> np.ndarray:
+    """Silhouette masks on a 28x28 canvas for the 10 Fashion classes."""
+    mask = np.zeros((28, 28))
+    jitter = lambda lo, hi: int(rng.integers(lo, hi + 1))  # noqa: E731
+
+    if kind == 0:  # t-shirt/top: torso + short sleeves
+        mask[8:24, 9:19] = 1
+        mask[8:13, 4:24] = 1
+    elif kind == 1:  # trouser: two legs from a waistband
+        mask[5:9, 9:19] = 1
+        mask[9:25, 9:13] = 1
+        mask[9:25, 15:19] = 1
+    elif kind == 2:  # pullover: torso + long sleeves
+        mask[7:24, 9:19] = 1
+        mask[7:22, 4:9] = 1
+        mask[7:22, 19:24] = 1
+    elif kind == 3:  # dress: fitted top flaring to a wide hem
+        for row in range(6, 25):
+            half = 2 + (row - 6) * 5 // 18
+            mask[row, 14 - half : 14 + half] = 1
+    elif kind == 4:  # coat: long torso, wide lapels
+        mask[6:26, 8:20] = 1
+        mask[6:20, 5:8] = 1
+        mask[6:20, 20:23] = 1
+        mask[6:12, 12:16] = 0
+    elif kind == 5:  # sandal: flat sole + straps
+        mask[20:24, 5:23] = 1
+        mask[14:20, 7:9] = 1
+        mask[14:20, 14:16] = 1
+        mask[14:20, 20:22] = 1
+    elif kind == 6:  # shirt: torso + sleeves + collar notch
+        mask[7:24, 9:19] = 1
+        mask[7:18, 5:9] = 1
+        mask[7:18, 19:23] = 1
+        mask[7:10, 13:15] = 0
+    elif kind == 7:  # sneaker: low profile with a toe rise
+        mask[18:24, 4:24] = 1
+        mask[15:18, 14:24] = 1
+    elif kind == 8:  # bag: body + handle
+        mask[12:24, 6:22] = 1
+        mask[8:12, 11:17] = 1
+        mask[9:11, 12:16] = 0
+    elif kind == 9:  # ankle boot: shaft + foot
+        mask[8:24, 14:21] = 1
+        mask[18:24, 6:21] = 1
+    else:
+        raise ValueError(f"unknown garment class {kind}")
+
+    shift_r, shift_c = jitter(-2, 2), jitter(-2, 2)
+    return np.roll(np.roll(mask, shift_r, axis=0), shift_c, axis=1)
+
+
+def synthetic_garments(
+    n_samples: int,
+    classes: "tuple[int, ...]",
+    rng: "int | np.random.Generator | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Fashion-MNIST-like silhouettes: (images 28x28, labels)."""
+    rng = as_rng(rng)
+    images = np.empty((n_samples, 28, 28))
+    labels = rng.integers(0, len(classes), size=n_samples)
+    for i, label in enumerate(labels):
+        mask = _garment_mask(classes[label], rng)
+        textured = mask * rng.uniform(0.6, 1.0, mask.shape)
+        images[i] = _augment(textured, rng, noise=0.06)
+    return images, labels
+
+
+# -- CIFAR-like scenes ---------------------------------------------------------
+
+
+def _frog_scene(rng: np.random.Generator) -> np.ndarray:
+    """Green textured blob (frog) on mottled foliage."""
+    img = np.empty((32, 32, 3))
+    img[..., 0] = rng.uniform(0.1, 0.3, (32, 32))
+    img[..., 1] = rng.uniform(0.3, 0.5, (32, 32))
+    img[..., 2] = rng.uniform(0.05, 0.2, (32, 32))
+    cy, cx = rng.integers(14, 20), rng.integers(12, 20)
+    yy, xx = np.mgrid[0:32, 0:32]
+    ry, rx = rng.uniform(5, 8), rng.uniform(6, 10)
+    blob = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 < 1
+    img[blob, 0] = 0.35 + 0.1 * rng.random()
+    img[blob, 1] = 0.65 + 0.15 * rng.random()
+    img[blob, 2] = 0.2
+    return img
+
+
+def _ship_scene(rng: np.random.Generator) -> np.ndarray:
+    """Grey hull on dark sea below a bright sky."""
+    img = np.empty((32, 32, 3))
+    horizon = int(rng.integers(16, 21))
+    img[:horizon] = rng.uniform(0.65, 0.85)  # bright sky
+    img[horizon:, :, 0] = rng.uniform(0.05, 0.15, (32 - horizon, 32))
+    img[horizon:, :, 1] = rng.uniform(0.15, 0.3, (32 - horizon, 32))
+    img[horizon:, :, 2] = rng.uniform(0.35, 0.55, (32 - horizon, 32))
+    hull_left = int(rng.integers(4, 10))
+    hull_right = int(rng.integers(22, 28))
+    hull_top = horizon - int(rng.integers(2, 5))
+    img[hull_top:horizon, hull_left:hull_right] = rng.uniform(0.4, 0.55)
+    mast_x = (hull_left + hull_right) // 2
+    img[hull_top - 6 : hull_top, mast_x : mast_x + 2] = 0.3
+    return img
+
+
+def synthetic_scenes(
+    n_samples: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """CIFAR-like frog (0) vs ship (1) RGB scenes: (n, 32, 32, 3)."""
+    rng = as_rng(rng)
+    images = np.empty((n_samples, 32, 32, 3))
+    labels = rng.integers(0, 2, size=n_samples)
+    for i, label in enumerate(labels):
+        scene = _frog_scene(rng) if label == 0 else _ship_scene(rng)
+        images[i] = np.clip(scene + rng.normal(0, 0.04, scene.shape), 0, 1)
+    return images, labels
+
+
+# -- vowel formants -------------------------------------------------------------
+
+#: (F1, F2, F3) formant prototypes (kHz-ish) for hid, hId, had, hOd.
+_VOWEL_FORMANTS = {
+    0: (0.28, 2.25, 2.9),  # hid
+    1: (0.4, 1.99, 2.55),  # hId
+    2: (0.66, 1.72, 2.41),  # had
+    3: (0.45, 1.03, 2.4),  # hOd
+}
+
+
+def synthetic_vowels(
+    n_samples: int = 990,
+    n_raw_features: int = 20,
+    rng: "int | np.random.Generator | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vowel-4 style features: (n, n_raw_features), labels in 0..3.
+
+    Three latent formants per class, speaker variability, lifted through
+    a fixed random linear map into correlated raw features (the paper's
+    pipeline then performs PCA to 10 dimensions).
+    """
+    rng = as_rng(rng)
+    lift_rng = np.random.default_rng(7241)  # fixed: same map for all splits
+    lift = lift_rng.normal(0.0, 1.0, (3, n_raw_features))
+    labels = rng.integers(0, 4, size=n_samples)
+    latents = np.empty((n_samples, 3))
+    for i, label in enumerate(labels):
+        base = np.array(_VOWEL_FORMANTS[int(label)])
+        speaker = rng.normal(1.0, 0.08)  # vocal-tract length scaling
+        latents[i] = base * speaker + rng.normal(0.0, 0.035, 3)
+    features = latents @ lift + rng.normal(0.0, 0.15, (n_samples, n_raw_features))
+    return features, labels

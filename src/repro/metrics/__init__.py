@@ -1,0 +1,5 @@
+"""Evaluation metrics: SNR / RMD / MSE (paper Section 3.1, Figures 4 & 6)."""
+
+from repro.metrics.snr import snr, rmd, mse, per_qubit_snr
+
+__all__ = ["snr", "rmd", "mse", "per_qubit_snr"]

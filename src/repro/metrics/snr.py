@@ -1,0 +1,52 @@
+"""Signal-to-noise metrics for measurement-outcome matrices.
+
+The paper adopts ``SNR = ||A||_2^2 / ||A - A_tilde||_2^2`` -- the inverse
+of the relative matrix distance (RMD) -- where ``A`` holds noise-free
+measurement outcomes (rows = batch samples, columns = qubits) and
+``A_tilde`` their noisy counterparts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(clean: np.ndarray, noisy: np.ndarray) -> float:
+    """Mean squared error between outcome matrices."""
+    clean = np.asarray(clean, dtype=float)
+    noisy = np.asarray(noisy, dtype=float)
+    if clean.shape != noisy.shape:
+        raise ValueError(f"shape mismatch {clean.shape} vs {noisy.shape}")
+    return float(np.mean((clean - noisy) ** 2))
+
+
+def rmd(clean: np.ndarray, noisy: np.ndarray) -> float:
+    """Relative matrix distance ``||A - A~||^2 / ||A||^2``."""
+    clean = np.asarray(clean, dtype=float)
+    noisy = np.asarray(noisy, dtype=float)
+    if clean.shape != noisy.shape:
+        raise ValueError(f"shape mismatch {clean.shape} vs {noisy.shape}")
+    signal = float(np.sum(clean**2))
+    if signal == 0:
+        return float("inf")
+    return float(np.sum((clean - noisy) ** 2) / signal)
+
+
+def snr(clean: np.ndarray, noisy: np.ndarray) -> float:
+    """``||A||^2 / ||A - A~||^2`` (higher is better; inf when identical)."""
+    distance = rmd(clean, noisy)
+    if distance == 0:
+        return float("inf")
+    if not np.isfinite(distance):
+        return 0.0
+    return 1.0 / distance
+
+
+def per_qubit_snr(clean: np.ndarray, noisy: np.ndarray) -> np.ndarray:
+    """SNR computed per qubit column (Figure 4's per-qubit panel)."""
+    clean = np.asarray(clean, dtype=float)
+    noisy = np.asarray(noisy, dtype=float)
+    out = np.empty(clean.shape[1])
+    for q in range(clean.shape[1]):
+        out[q] = snr(clean[:, q : q + 1], noisy[:, q : q + 1])
+    return out

@@ -1,0 +1,41 @@
+"""Orthogonal noise-mitigation baselines.
+
+Std-extrapolation (the paper's Table 4 variant), general zero-noise
+extrapolation with unitary folding, and readout-error mitigation.
+"""
+
+from repro.mitigation.extrapolation import (
+    linear_extrapolate_to_zero,
+    extrapolate_noise_free_std,
+    rescale_to_extrapolated_std,
+    ExtrapolationResult,
+)
+from repro.mitigation.measurement import (
+    full_confusion_matrix,
+    mitigate_expectations,
+    mitigate_probabilities,
+)
+from repro.mitigation.zne import (
+    achieved_scale,
+    exponential_zero,
+    fold_circuit,
+    linear_zero,
+    richardson_zero,
+    zne_expectations,
+)
+
+__all__ = [
+    "linear_extrapolate_to_zero",
+    "extrapolate_noise_free_std",
+    "rescale_to_extrapolated_std",
+    "ExtrapolationResult",
+    "fold_circuit",
+    "achieved_scale",
+    "linear_zero",
+    "richardson_zero",
+    "exponential_zero",
+    "zne_expectations",
+    "mitigate_expectations",
+    "mitigate_probabilities",
+    "full_confusion_matrix",
+]

@@ -1,0 +1,116 @@
+"""Measurement (readout) error mitigation.
+
+The inverse of the noise-*injection* story: where QuantumNAT emulates
+readout confusion during training, readout mitigation removes it from
+deployment results.  Per-qubit confusion matrices (from the noise model
+or a :func:`repro.characterization.calibrate_readout` run) act on the
+joint distribution as a tensor product, so the correction also factors
+per qubit:
+
+* ``method='inverse'`` applies each qubit's inverse confusion matrix --
+  unbiased but can produce (small) negative quasi-probabilities;
+* ``method='least_squares'`` projects onto the probability simplex by
+  constrained least squares -- biased but always a valid distribution.
+
+For QNN pipelines that only consume per-qubit <Z>,
+:func:`mitigate_expectations` inverts the per-qubit affine map directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import lsq_linear
+
+from repro.noise.readout import readout_affine
+from repro.utils.linalg import kron_all
+
+
+def mitigate_expectations(
+    expectations: np.ndarray, readout: np.ndarray
+) -> np.ndarray:
+    """Invert the per-qubit affine readout map on <Z> values.
+
+    ``expectations`` is ``(batch, n_qubits)``; ``readout`` the matching
+    ``(n_qubits, 2, 2)`` confusion matrices.  Inverse of
+    :func:`repro.noise.readout.apply_readout_to_expectations`.
+    """
+    expectations = np.asarray(expectations, dtype=float)
+    n_qubits = expectations.shape[1]
+    out = np.empty_like(expectations)
+    for q in range(n_qubits):
+        scale, shift = readout_affine(readout[q])
+        if abs(scale) < 1e-9:
+            raise ValueError(
+                f"qubit {q} readout is non-invertible (assignment ~50/50)"
+            )
+        out[:, q] = (expectations[:, q] - shift) / scale
+    return out
+
+
+def _per_qubit_inverse(probs: np.ndarray, readout: np.ndarray) -> np.ndarray:
+    """Apply each qubit's inverse confusion matrix along its bit axis."""
+    batch, dim = probs.shape
+    n_qubits = dim.bit_length() - 1
+    out = probs
+    for q in range(n_qubits):
+        inv = np.linalg.inv(readout[q])
+        reshaped = out.reshape(batch, dim // (2 ** (q + 1)), 2, 2**q)
+        measured0 = reshaped[:, :, 0, :]
+        measured1 = reshaped[:, :, 1, :]
+        fixed = np.empty_like(reshaped)
+        # inv maps measured -> true: true_t = sum_m inv[m, t]... careful:
+        # forward was P'(m) = sum_t P(t) M[t, m]; inverse uses M^-1 as
+        # P(t) = sum_m P'(m) Minv[m, t].
+        fixed[:, :, 0, :] = inv[0, 0] * measured0 + inv[1, 0] * measured1
+        fixed[:, :, 1, :] = inv[0, 1] * measured0 + inv[1, 1] * measured1
+        out = fixed.reshape(batch, dim)
+    return out
+
+
+def full_confusion_matrix(readout: np.ndarray) -> np.ndarray:
+    """Joint ``(2^n, 2^n)`` confusion matrix ``A[true, measured]``.
+
+    Tensor product of the per-qubit matrices; row-stochastic.  Qubit 0
+    is the least-significant bit of the joint index, so the Kronecker
+    product runs from the highest qubit down.
+    """
+    readout = np.asarray(readout, dtype=float)
+    return kron_all([readout[q] for q in reversed(range(readout.shape[0]))])
+
+
+def mitigate_probabilities(
+    probs: np.ndarray,
+    readout: np.ndarray,
+    method: str = "inverse",
+) -> np.ndarray:
+    """Undo readout confusion on joint outcome distributions.
+
+    ``probs`` is ``(batch, 2^n)`` measured frequencies; ``readout`` the
+    per-qubit confusion matrices.  Returns corrected distributions
+    (rows summing to 1; 'inverse' may contain negative entries).
+    """
+    probs = np.asarray(probs, dtype=float)
+    if probs.ndim != 2:
+        raise ValueError(f"probs must be (batch, 2^n), got {probs.shape}")
+    dim = probs.shape[1]
+    n_qubits = dim.bit_length() - 1
+    if 2**n_qubits != dim:
+        raise ValueError(f"dimension {dim} is not a power of two")
+    if readout.shape != (n_qubits, 2, 2):
+        raise ValueError(
+            f"readout shape {readout.shape} does not match {n_qubits} qubits"
+        )
+
+    if method == "inverse":
+        return _per_qubit_inverse(probs, readout)
+    if method == "least_squares":
+        # Solve min || A^T p - q ||^2 with 0 <= p <= 1, then renormalize.
+        design = full_confusion_matrix(readout).T
+        out = np.empty_like(probs)
+        for b in range(probs.shape[0]):
+            result = lsq_linear(design, probs[b], bounds=(0.0, 1.0))
+            p = result.x
+            total = p.sum()
+            out[b] = p / total if total > 0 else np.full(dim, 1.0 / dim)
+        return out
+    raise ValueError(f"unknown method {method!r}; use 'inverse' or 'least_squares'")

@@ -1,0 +1,95 @@
+"""Exact noisy inference via the density-matrix simulator.
+
+This is the "evaluation with noise model" backend of paper Table 11:
+every compiled gate applies as a unitary followed by the noise model's
+Pauli channel on its operand qubits; readout confusion mixes the final
+joint probabilities.  Exact (no sampling), but cost grows as 4**n_qubits,
+so it is reserved for the <= ~8-qubit compact circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.passes import CompiledCircuit
+from repro.noise.model import NoiseModel
+from repro.noise.readout import apply_readout_to_joint_probabilities
+from repro.sim.density import (
+    apply_kraus_to_density,
+    apply_unitary_to_density,
+    density_probabilities,
+    zero_density,
+)
+from repro.sim.kraus import pauli_channel
+from repro.sim.statevector import bind_circuit, z_signs
+
+#: Above this compact width, refuse and let the caller use trajectories.
+MAX_DENSITY_QUBITS = 8
+
+
+def _coherent_unitary(ey: float, ez: float) -> "np.ndarray":
+    """RZ(ez) @ RY(ey): the systematic post-gate miscalibration rotation."""
+    from repro.sim.gates import gate_matrix
+
+    return gate_matrix("rz", (ez,)) @ gate_matrix("ry", (ey,))
+
+
+def run_noisy_density(
+    compiled: CompiledCircuit,
+    noise_model: NoiseModel,
+    weights: "np.ndarray | None" = None,
+    inputs: "np.ndarray | None" = None,
+    batch: int = 1,
+    noise_factor: float = 1.0,
+    shots: "int | None" = None,
+    rng: "np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Exact noisy per-qubit <Z> in logical order (optionally shot-sampled)."""
+    n = compiled.circuit.n_qubits
+    if n > MAX_DENSITY_QUBITS:
+        raise ValueError(
+            f"{n}-qubit density simulation too large; use trajectories"
+        )
+    scaled = noise_model.scaled(noise_factor) if noise_factor != 1.0 else noise_model
+    if inputs is not None:
+        batch = np.asarray(inputs).shape[0]
+    ops = bind_circuit(compiled.circuit, weights, inputs, batch)
+    rho = zero_density(n, batch)
+    for op in ops:
+        rho = apply_unitary_to_density(rho, op.matrix, op.qubits, n)
+        phys = tuple(compiled.physical_qubits[q] for q in op.qubits)
+        for local_q, (_phys_q, error) in zip(
+            op.qubits, scaled.gate_errors(op.gate.name, phys)
+        ):
+            if error.total <= 0:
+                continue
+            kraus = pauli_channel(error.px, error.py, error.pz)
+            rho = apply_kraus_to_density(rho, kraus, (local_q,), n)
+        if op.gate.name not in ("rz", "id"):
+            for local_q, phys_q in zip(op.qubits, phys):
+                coherent = scaled.coherent_for(phys_q)
+                if coherent is not None:
+                    rho = apply_unitary_to_density(
+                        rho, _coherent_unitary(*coherent), (local_q,), n
+                    )
+
+    probs = density_probabilities(rho)
+    readout = np.stack(
+        [noise_model.readout_for(p) for p in compiled.physical_qubits]
+    )
+    probs = apply_readout_to_joint_probabilities(probs, readout)
+    if shots is None:
+        expectations = probs @ z_signs(n).T
+    else:
+        if rng is None:
+            rng = np.random.default_rng()
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        counts = np.empty_like(probs, dtype=np.int64)
+        for b in range(batch):
+            counts[b] = rng.multinomial(shots, probs[b])
+        expectations = (counts / shots) @ z_signs(n).T
+    return expectations[:, list(compiled.measure_qubits)]

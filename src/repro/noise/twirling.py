@@ -1,0 +1,53 @@
+"""Pauli twirling: approximate arbitrary channels by Pauli channels.
+
+Section 3.2 notes that "different quantum errors can be approximated by
+Pauli errors via Pauli Twirling".  Twirling a single-qubit channel with
+Kraus operators ``{O_k}`` over the Pauli group yields a Pauli channel
+with probabilities given by the diagonal of the chi matrix:
+
+    p_Q = sum_k |tr(Q O_k)|^2 / 4,   Q in {I, X, Y, Z}.
+
+This is how the library converts physically-motivated channels (e.g.
+amplitude damping from T1) into the ``E = {X, Y, Z, None}`` distributions
+QuantumNAT samples error gates from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noise.model import PauliError
+from repro.sim.gates import I2, PAULI_X, PAULI_Y, PAULI_Z
+
+_PAULIS = (I2, PAULI_X, PAULI_Y, PAULI_Z)
+
+
+def twirl_to_pauli_probs(kraus_ops: "list[np.ndarray]") -> np.ndarray:
+    """Pauli-twirled probabilities (pI, pX, pY, pZ) of a 1q channel."""
+    probs = np.empty(4)
+    for i, pauli in enumerate(_PAULIS):
+        probs[i] = sum(abs(np.trace(pauli.conj().T @ op)) ** 2 / 4 for op in kraus_ops)
+    if not np.isclose(probs.sum(), 1.0, atol=1e-6):
+        # Coherent (non-Pauli-diagonal) parts are discarded by twirling;
+        # renormalize so the result is a valid distribution.
+        probs = probs / probs.sum()
+    return probs
+
+
+def twirl_to_pauli_error(kraus_ops: "list[np.ndarray]") -> PauliError:
+    """Pauli-twirl a channel and drop the identity component."""
+    _, px, py, pz = twirl_to_pauli_probs(kraus_ops)
+    return PauliError(float(px), float(py), float(pz))
+
+
+def pauli_error_from_gate_fidelity(error_rate: float) -> PauliError:
+    """Depolarizing-equivalent Pauli error for a reported gate error rate.
+
+    IBMQ reports average gate infidelity ``e``; the depolarizing channel
+    with the same infidelity has parameter ``p = 2e`` (single qubit), so
+    each Pauli probability is ``p / 3 = 2e / 3``.
+    """
+    if error_rate < 0:
+        raise ValueError("error rate must be non-negative")
+    p_each = 2.0 * error_rate / 3.0
+    return PauliError(p_each, p_each, p_each)

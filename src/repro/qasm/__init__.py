@@ -1,0 +1,15 @@
+"""OpenQASM 2.0 interchange: export bound circuits, import programs.
+
+QuantumNAT's deployment story ends with a compiled circuit handed to a
+vendor toolchain; OpenQASM 2.0 is the lingua franca for that hand-off.
+:func:`to_qasm` serializes any bound :class:`~repro.circuits.Circuit`
+into a program that standard tools accept (non-qelib gates are lowered
+first), and :func:`from_qasm` parses a useful OpenQASM 2.0 subset --
+including user-defined gate macros and pi-expressions -- back into a
+circuit.
+"""
+
+from repro.qasm.exporter import to_qasm
+from repro.qasm.parser import QasmError, from_qasm
+
+__all__ = ["to_qasm", "from_qasm", "QasmError"]

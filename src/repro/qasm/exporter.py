@@ -1,0 +1,139 @@
+"""Serialize circuits to OpenQASM 2.0 text.
+
+Gates with a direct ``qelib1.inc`` equivalent are emitted verbatim.
+Fixed single-qubit gates outside qelib (``sx`` on old toolchains, ``sh``)
+are emitted as an equivalent ``u3``; parameterized non-qelib gates
+(``ryy``, ``rzx``, ``sqswap``) are lowered one step with the compiler's
+expansion rules and re-tried.  The output therefore always parses against
+the standard include file.
+
+Parameter expressions must be *bound*: pass ``weights`` (and
+``inputs_row`` for encoder gates) so every angle evaluates to a float.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.compiler.decompositions import euler_zyz, expand_gate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuits.circuit import Circuit, Gate
+
+#: Gates defined (with identical semantics) in qelib1.inc.
+QASM_NATIVE = frozenset(
+    {
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+        "rx", "ry", "rz", "u1", "u3",
+        "cx", "cy", "cz", "swap", "crx", "cry", "crz", "cu3",
+        "rxx", "rzz",
+    }
+)
+
+
+def _format_angle(value: float) -> str:
+    """Format an angle, preferring exact reduced pi fractions."""
+    import math
+
+    for den in (1, 2, 3, 4, 6, 8):
+        for num in range(-8, 9):
+            if num == 0 or math.gcd(abs(num), den) != 1:
+                continue
+            if np.isclose(value, num * np.pi / den, rtol=0, atol=1e-12):
+                sign = "-" if num < 0 else ""
+                mag = abs(num)
+                numerator = "pi" if mag == 1 else f"{mag}*pi"
+                if den == 1:
+                    return f"{sign}{numerator}"
+                return f"{sign}{numerator}/{den}"
+    if value == 0:
+        return "0"
+    return repr(float(value))
+
+
+def _bound_params(gate: "Gate", weights, inputs_row) -> "tuple[float, ...]":
+    row = None if inputs_row is None else np.asarray(inputs_row, dtype=float)[None, :]
+    values = []
+    for expr in gate.params:
+        try:
+            value = expr.evaluate(weights, row)
+        except ValueError as exc:
+            raise ValueError(
+                f"cannot export unbound gate {gate.name}: {exc}; "
+                "pass weights/inputs_row to to_qasm"
+            ) from None
+        values.append(float(np.asarray(value).reshape(-1)[0]))
+    return tuple(values)
+
+
+def _emit(gate_name: str, params: "tuple[float, ...]", qubits) -> str:
+    args = ", ".join(f"q[{q}]" for q in qubits)
+    if params:
+        angle_text = ", ".join(_format_angle(v) for v in params)
+        return f"{gate_name}({angle_text}) {args};"
+    return f"{gate_name} {args};"
+
+
+def _lower_for_export(gate: "Gate") -> "list[Gate]":
+    """Rewrite one non-native gate into gates closer to the QASM set."""
+    if len(gate.qubits) == 1 and gate.definition.num_params == 0:
+        # Fixed 1q gate: emit the equivalent u3 (global phase dropped).
+        from repro.circuits.circuit import Gate as GateCls
+        from repro.circuits.parameters import ParamExpr
+
+        theta, phi, lam = euler_zyz(gate.definition.matrix(()))
+        return [
+            GateCls(
+                "u3",
+                gate.qubits,
+                tuple(ParamExpr.constant(v) for v in (theta, phi, lam)),
+            )
+        ]
+    expanded = expand_gate(gate)
+    if expanded is None:  # pragma: no cover - basis gates are all native
+        raise ValueError(f"no QASM lowering for gate {gate.name!r}")
+    return expanded
+
+
+def to_qasm(
+    circuit: "Circuit",
+    weights: "np.ndarray | None" = None,
+    inputs_row: "np.ndarray | None" = None,
+    creg: bool = True,
+) -> str:
+    """OpenQASM 2.0 text for a bound circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to serialize.
+    weights, inputs_row:
+        Bindings for symbolic angles; optional when the circuit is
+        constant.
+    creg:
+        Also emit a classical register and per-qubit measurements
+        (what a deployment payload looks like).
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.n_qubits}];",
+    ]
+    if creg:
+        lines.append(f"creg c[{circuit.n_qubits}];")
+
+    pending = list(circuit.gates)
+    while pending:
+        gate = pending.pop(0)
+        if gate.name in QASM_NATIVE:
+            params = _bound_params(gate, weights, inputs_row)
+            lines.append(_emit(gate.name, params, gate.qubits))
+        else:
+            pending = _lower_for_export(gate) + pending
+
+    if creg:
+        for q in range(circuit.n_qubits):
+            lines.append(f"measure q[{q}] -> c[{q}];")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,455 @@
+"""Parse an OpenQASM 2.0 subset back into a :class:`Circuit`.
+
+Supported constructs:
+
+* ``OPENQASM 2.0;`` header and ``include`` statements (includes are not
+  read from disk; ``qelib1.inc`` names are built in),
+* any number of ``qreg`` declarations (flattened into one qubit space),
+* ``creg`` declarations, ``measure`` and ``barrier`` (validated, then
+  ignored -- the library's measurement model lives outside the circuit),
+* gate applications with angle expressions over ``pi`` and the usual
+  arithmetic (``rz(3*pi/4) q[0];``), applied to explicit qubits or
+  broadcast over whole registers (``h q;``),
+* user-defined gate macros, with and without parameters, expanded
+  recursively at parse time.
+
+Gates in ``qelib1.inc`` that have no native :class:`GateDef` (``u2``,
+``u0``, ``cu1``, ``ccx``, ``ch``, ``cswap``) are provided as built-in
+macros written in QASM itself and bootstrapped through this same parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.parameters import ParamExpr
+from repro.sim.gates import GATES
+
+
+class QasmError(ValueError):
+    """Raised on malformed OpenQASM input."""
+
+
+#: qelib1.inc entries that map 1:1 onto native gate definitions.
+_NATIVE = frozenset(
+    {
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+        "rx", "ry", "rz", "u1", "u3",
+        "cx", "CX", "cy", "cz", "swap", "crx", "cry", "crz", "cu3",
+        "rxx", "rzz",
+    }
+)
+
+#: qelib1.inc gates without a native GateDef, defined as QASM macros.
+_BUILTIN_MACROS = """
+gate u2(phi, lam) a { u3(pi/2, phi, lam) a; }
+gate u0(gamma) a { id a; }
+gate u(theta, phi, lam) a { u3(theta, phi, lam) a; }
+gate p(lam) a { u1(lam) a; }
+gate cu1(lam) a, b { u1(lam/2) a; cx a, b; u1(-lam/2) b; cx a, b; u1(lam/2) b; }
+gate cp(lam) a, b { cu1(lam) a, b; }
+gate ch a, b { h b; sdg b; cx a, b; h b; t b; cx a, b; t b; h b; s b; x b; s a; }
+gate ccx a, b, c {
+  h c; cx b, c; tdg c; cx a, c; t c; cx b, c; tdg c; cx a, c;
+  t b; t c; h c; cx a, b; t a; tdg b; cx a, b;
+}
+gate cswap a, b, c { cx c, b; ccx a, b, c; cx c, b; }
+"""
+
+
+# -- tokenizer -----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*)
+  | (?P<string>"[^"]*")
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<arrow>->)
+  | (?P<symbol>[{}()\[\];,+\-*/^])
+  | (?P<space>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> "list[str]":
+    tokens: "list[str]" = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QasmError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("comment", "space"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+# -- angle expression evaluation ---------------------------------------------------
+
+
+class _ExprParser:
+    """Recursive-descent evaluator for angle expressions.
+
+    Grammar: expr := term (('+'|'-') term)*; term := factor (('*'|'/')
+    factor)*; factor := ('-'|'+') factor | atom ('^' factor)?; atom :=
+    number | 'pi' | name | '(' expr ')'.  ``names`` supplies macro
+    parameter bindings.
+    """
+
+    def __init__(self, tokens: "list[str]", names: "dict[str, float]"):
+        self.tokens = tokens
+        self.names = names
+        self.pos = 0
+
+    def parse(self) -> float:
+        value = self._expr()
+        if self.pos != len(self.tokens):
+            raise QasmError(
+                f"trailing tokens in expression: {self.tokens[self.pos:]}"
+            )
+        return value
+
+    def _peek(self) -> "str | None":
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QasmError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def _expr(self) -> float:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            if self._next() == "+":
+                value += self._term()
+            else:
+                value -= self._term()
+        return value
+
+    def _term(self) -> float:
+        value = self._factor()
+        while self._peek() in ("*", "/"):
+            if self._next() == "*":
+                value *= self._factor()
+            else:
+                denom = self._factor()
+                if denom == 0:
+                    raise QasmError("division by zero in angle expression")
+                value /= denom
+        return value
+
+    def _factor(self) -> float:
+        token = self._peek()
+        if token in ("-", "+"):
+            self._next()
+            sign = -1.0 if token == "-" else 1.0
+            return sign * self._factor()
+        value = self._atom()
+        if self._peek() == "^":
+            self._next()
+            value = value ** self._factor()
+        return value
+
+    def _atom(self) -> float:
+        token = self._next()
+        if token == "(":
+            value = self._expr()
+            if self._next() != ")":
+                raise QasmError("unbalanced parentheses in expression")
+            return value
+        if token == "pi":
+            return float(np.pi)
+        if token in self.names:
+            return self.names[token]
+        try:
+            return float(token)
+        except ValueError:
+            raise QasmError(f"unknown identifier {token!r} in expression") from None
+
+
+def _eval_expr(tokens: "list[str]", names: "dict[str, float]") -> float:
+    return _ExprParser(tokens, names).parse()
+
+
+# -- statement-level parsing ------------------------------------------------------
+
+
+@dataclass
+class _Macro:
+    """A user-defined gate: parameter names, qubit argument names, body."""
+
+    params: "list[str]"
+    qargs: "list[str]"
+    body: "list[list[str]]"  # statements, each a token list
+
+
+class _Program:
+    def __init__(self) -> None:
+        self.registers: "dict[str, tuple[int, int]]" = {}  # name -> (offset, size)
+        self.n_qubits = 0
+        self.cregs: "dict[str, int]" = {}
+        self.gates: "list[Gate]" = []
+        self.macros: "dict[str, _Macro]" = {}
+
+
+def _split_statements(tokens: "list[str]") -> "list[list[str]]":
+    """Split on ';', keeping 'gate ... { ... }' blocks as single units."""
+    statements: "list[list[str]]" = []
+    current: "list[str]" = []
+    depth = 0
+    for token in tokens:
+        if token == "{":
+            depth += 1
+            current.append(token)
+        elif token == "}":
+            depth -= 1
+            if depth < 0:
+                raise QasmError("unbalanced '}'")
+            current.append(token)
+            if depth == 0 and current and current[0] == "gate":
+                statements.append(current)
+                current = []
+        elif token == ";" and depth == 0:
+            if current:
+                statements.append(current)
+            current = []
+        else:
+            current.append(token)
+    if depth != 0:
+        raise QasmError("unbalanced '{' in gate definition")
+    if current:
+        raise QasmError(f"missing ';' after: {' '.join(current[:6])}")
+    return statements
+
+
+def _split_on(tokens: "list[str]", sep: str) -> "list[list[str]]":
+    """Split a token list on a separator, respecting parentheses."""
+    parts: "list[list[str]]" = [[]]
+    depth = 0
+    for token in tokens:
+        if token in ("(", "["):
+            depth += 1
+        elif token in (")", "]"):
+            depth -= 1
+        if token == sep and depth == 0:
+            parts.append([])
+        else:
+            parts[-1].append(token)
+    return parts
+
+
+def _parse_gate_def(tokens: "list[str]", program: _Program) -> None:
+    # gate NAME [(p0, p1)] q0, q1 { body }
+    pos = 1
+    name = tokens[pos]
+    pos += 1
+    params: "list[str]" = []
+    if tokens[pos] == "(":
+        close = tokens.index(")", pos)
+        params = [t for t in tokens[pos + 1 : close] if t != ","]
+        pos = close + 1
+    brace = tokens.index("{", pos)
+    qargs = [t for t in tokens[pos:brace] if t != ","]
+    body_tokens = tokens[brace + 1 : -1]
+    body = _split_statements([t for t in body_tokens] + [";"])
+    body = [s for s in body if s]
+    if name in GATES or name in program.macros:
+        # Re-definitions of known gates (e.g. qelib1 re-included) are
+        # ignored -- the native definition wins.
+        if name in _NATIVE:
+            return
+    program.macros[name] = _Macro(params, qargs, body)
+
+
+def _qubit_operands(
+    tokens: "list[str]", program: _Program
+) -> "list[list[int]]":
+    """Resolve gate operands to qubit index lists (register broadcast)."""
+    operands: "list[list[int]]" = []
+    for part in _split_on(tokens, ","):
+        if not part:
+            raise QasmError("empty gate operand")
+        reg = part[0]
+        if reg not in program.registers:
+            raise QasmError(f"unknown quantum register {reg!r}")
+        offset, size = program.registers[reg]
+        if len(part) == 1:
+            operands.append([offset + i for i in range(size)])
+        elif len(part) == 4 and part[1] == "[" and part[3] == "]":
+            index = int(part[2])
+            if not 0 <= index < size:
+                raise QasmError(f"index {index} out of range for {reg}[{size}]")
+            operands.append([offset + index])
+        else:
+            raise QasmError(f"malformed operand: {' '.join(part)}")
+    return operands
+
+
+def _broadcast(operands: "list[list[int]]") -> "list[tuple[int, ...]]":
+    """qelib broadcast rule: whole-register operands expand in lockstep."""
+    lengths = {len(op) for op in operands}
+    lengths.discard(1)
+    if not lengths:
+        return [tuple(op[0] for op in operands)]
+    if len(lengths) != 1:
+        raise QasmError(f"mismatched register lengths in broadcast: {operands}")
+    n = lengths.pop()
+    return [
+        tuple(op[0] if len(op) == 1 else op[i] for op in operands)
+        for i in range(n)
+    ]
+
+
+def _apply_gate(
+    name: str,
+    param_values: "list[float]",
+    qubits: "tuple[int, ...]",
+    program: _Program,
+) -> None:
+    if name in program.macros:
+        macro = program.macros[name]
+        if len(param_values) != len(macro.params):
+            raise QasmError(
+                f"{name} takes {len(macro.params)} params, got {len(param_values)}"
+            )
+        if len(qubits) != len(macro.qargs):
+            raise QasmError(
+                f"{name} takes {len(macro.qargs)} qubits, got {len(qubits)}"
+            )
+        bindings = dict(zip(macro.params, param_values))
+        qubit_map = dict(zip(macro.qargs, qubits))
+        for statement in macro.body:
+            _expand_macro_statement(statement, bindings, qubit_map, program)
+        return
+
+    lowered = "cx" if name == "CX" else name
+    if lowered not in GATES:
+        raise QasmError(f"unknown gate {name!r}")
+    params = tuple(ParamExpr.constant(v) for v in param_values)
+    program.gates.append(Gate(lowered, qubits, params))
+
+
+def _expand_macro_statement(
+    tokens: "list[str]",
+    bindings: "dict[str, float]",
+    qubit_map: "dict[str, int]",
+    program: _Program,
+) -> None:
+    name = tokens[0]
+    if name == "barrier":
+        return
+    pos = 1
+    param_values: "list[float]" = []
+    if pos < len(tokens) and tokens[pos] == "(":
+        depth = 0
+        for close in range(pos, len(tokens)):
+            if tokens[close] == "(":
+                depth += 1
+            elif tokens[close] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+        else:
+            raise QasmError(f"unbalanced '(' in macro body: {' '.join(tokens)}")
+        inner = tokens[pos + 1 : close]
+        param_values = [
+            _eval_expr(part, bindings) for part in _split_on(inner, ",") if part
+        ]
+        pos = close + 1
+    qarg_names = [t for t in tokens[pos:] if t != ","]
+    try:
+        qubits = tuple(qubit_map[q] for q in qarg_names)
+    except KeyError as exc:
+        raise QasmError(f"unknown qubit argument {exc} in macro body") from None
+    _apply_gate(name, param_values, qubits, program)
+
+
+def _parse_application(tokens: "list[str]", program: _Program) -> None:
+    name = tokens[0]
+    pos = 1
+    param_values: "list[float]" = []
+    if pos < len(tokens) and tokens[pos] == "(":
+        depth = 0
+        for close in range(pos, len(tokens)):
+            if tokens[close] == "(":
+                depth += 1
+            elif tokens[close] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+        else:
+            raise QasmError(f"unbalanced '(' in: {' '.join(tokens)}")
+        inner = tokens[pos + 1 : close]
+        param_values = [
+            _eval_expr(part, {}) for part in _split_on(inner, ",") if part
+        ]
+        pos = close + 1
+    operands = _qubit_operands(tokens[pos:], program)
+    for qubits in _broadcast(operands):
+        _apply_gate(name, param_values, qubits, program)
+
+
+def _parse_statement(tokens: "list[str]", program: _Program) -> None:
+    head = tokens[0]
+    if head == "OPENQASM":
+        if tokens[1:] != ["2.0"]:
+            raise QasmError(f"unsupported OPENQASM version: {tokens[1:]}")
+    elif head == "include":
+        return  # qelib1.inc contents are built in
+    elif head in ("qreg", "creg"):
+        if len(tokens) != 5 or tokens[2] != "[" or tokens[4] != "]":
+            raise QasmError(f"malformed register declaration: {' '.join(tokens)}")
+        name, size = tokens[1], int(tokens[3])
+        if size < 1:
+            raise QasmError(f"register {name} must have positive size")
+        if head == "qreg":
+            if name in program.registers:
+                raise QasmError(f"duplicate register {name!r}")
+            program.registers[name] = (program.n_qubits, size)
+            program.n_qubits += size
+        else:
+            program.cregs[name] = size
+    elif head == "gate":
+        _parse_gate_def(tokens, program)
+    elif head == "measure":
+        parts = _split_on(tokens[1:], "->")
+        if len(parts) != 2:
+            raise QasmError(f"malformed measure: {' '.join(tokens)}")
+        _qubit_operands(parts[0], program)  # validates the qubit side
+    elif head == "barrier":
+        _qubit_operands(tokens[1:], program)
+    elif head in ("if", "reset", "opaque"):
+        raise QasmError(f"unsupported OpenQASM statement: {head}")
+    else:
+        _parse_application(tokens, program)
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 source into a :class:`Circuit`.
+
+    Measurements and barriers are validated but not represented; custom
+    gate macros are expanded in place.
+    """
+    program = _Program()
+    for statement in _split_statements(_tokenize(_BUILTIN_MACROS)):
+        if statement:
+            _parse_gate_def(statement, program)
+
+    statements = _split_statements(_tokenize(text))
+    if not statements or statements[0][0] != "OPENQASM":
+        raise QasmError("missing 'OPENQASM 2.0;' header")
+    for statement in statements:
+        _parse_statement(statement, program)
+    if program.n_qubits == 0:
+        raise QasmError("no qreg declared")
+    return Circuit(program.n_qubits, program.gates)

@@ -1,0 +1,29 @@
+"""QNN model zoo: encoders, trainable-layer design spaces and architectures."""
+
+from repro.qnn.encoders import (
+    EncoderSpec,
+    image_4x4_encoder,
+    image_6x6_encoder,
+    vowel_encoder,
+    reupload_encoder,
+    scalar_pair_encoder,
+    encoder_for_features,
+)
+from repro.qnn.layers import DESIGN_SPACES, design_space
+from repro.qnn.model import QNN, QNNArchitecture, head_matrix, paper_model
+
+__all__ = [
+    "EncoderSpec",
+    "image_4x4_encoder",
+    "image_6x6_encoder",
+    "vowel_encoder",
+    "reupload_encoder",
+    "scalar_pair_encoder",
+    "encoder_for_features",
+    "DESIGN_SPACES",
+    "design_space",
+    "QNN",
+    "QNNArchitecture",
+    "head_matrix",
+    "paper_model",
+]

@@ -1,0 +1,102 @@
+"""Input encoders: classical values -> rotation angles (paper Section 3).
+
+Each encoder is a list of ``(gate_name, qubit)`` slots; slot ``j`` encodes
+input feature ``x[j]`` as that gate's rotation angle.  The paper's three
+first-block encoders:
+
+* 4x4 images (16 features, 4 qubits): 4 layers of RY, RX, RZ, RY,
+* 6x6 images (36 features, 10 qubits): 10 RY, 10 RX, 10 RZ, 6 RY,
+* Vowel (10 features, 4 qubits): 4 RY, 4 RX, 2 RZ.
+
+Re-uploading blocks (block 2+) encode the previous block's measurement
+outcomes with one RY per qubit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import ParamExpr
+
+
+@dataclass(frozen=True)
+class EncoderSpec:
+    """An ordered list of encoding gates; slot j consumes feature x[j]."""
+
+    n_qubits: int
+    slots: "tuple[tuple[str, int], ...]"
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.slots)
+
+    def append_to(self, circuit: Circuit) -> None:
+        """Append encoding gates; feature j binds as ParamExpr.input(j)."""
+        if circuit.n_qubits != self.n_qubits:
+            raise ValueError(
+                f"encoder built for {self.n_qubits} qubits, "
+                f"circuit has {circuit.n_qubits}"
+            )
+        for j, (gate, qubit) in enumerate(self.slots):
+            circuit.add(gate, qubit, ParamExpr.input(j))
+
+
+def _layered(n_qubits: int, plan: "list[tuple[str, int]]") -> EncoderSpec:
+    """Build slots from a plan of (gate_name, how_many_qubits) layers."""
+    slots: "list[tuple[str, int]]" = []
+    for gate, count in plan:
+        if count > n_qubits:
+            raise ValueError(f"layer of {count} gates exceeds {n_qubits} qubits")
+        slots.extend((gate, q) for q in range(count))
+    return EncoderSpec(n_qubits, tuple(slots))
+
+
+def image_4x4_encoder() -> EncoderSpec:
+    """16 pixels on 4 qubits: RY x4, RX x4, RZ x4, RY x4 (paper Sec. 4.1)."""
+    return _layered(4, [("ry", 4), ("rx", 4), ("rz", 4), ("ry", 4)])
+
+
+def image_6x6_encoder() -> EncoderSpec:
+    """36 pixels on 10 qubits: RY x10, RX x10, RZ x10, RY x6."""
+    return _layered(10, [("ry", 10), ("rx", 10), ("rz", 10), ("ry", 6)])
+
+
+def vowel_encoder() -> EncoderSpec:
+    """10 PCA features on 4 qubits: RY x4, RX x4, RZ x2."""
+    return _layered(4, [("ry", 4), ("rx", 4), ("rz", 2)])
+
+
+def reupload_encoder(n_qubits: int) -> EncoderSpec:
+    """One RY per qubit: encodes the previous block's outcomes."""
+    return _layered(n_qubits, [("ry", n_qubits)])
+
+
+def scalar_pair_encoder() -> EncoderSpec:
+    """Two features on two qubits (Table 3's minimal 2-class task)."""
+    return _layered(2, [("ry", 2)])
+
+
+def encoder_for_features(n_features: int, n_qubits: int) -> EncoderSpec:
+    """Choose the paper's encoder matching a feature/qubit combination."""
+    if (n_features, n_qubits) == (16, 4):
+        return image_4x4_encoder()
+    if (n_features, n_qubits) == (36, 10):
+        return image_6x6_encoder()
+    if (n_features, n_qubits) == (10, 4):
+        return vowel_encoder()
+    if (n_features, n_qubits) == (2, 2):
+        return scalar_pair_encoder()
+    if n_features == n_qubits:
+        return reupload_encoder(n_qubits)
+    # Generic fallback: cycle RY/RX/RZ layers until all features encoded.
+    plan: "list[tuple[str, int]]" = []
+    remaining = n_features
+    gates = ("ry", "rx", "rz")
+    i = 0
+    while remaining > 0:
+        take = min(n_qubits, remaining)
+        plan.append((gates[i % 3], take))
+        remaining -= take
+        i += 1
+    return _layered(n_qubits, plan)

@@ -1,0 +1,163 @@
+"""Trainable-layer design spaces (paper Table 2 + Section 4.1).
+
+Each builder appends one *layer* of its design space to a circuit,
+allocating trainable weights sequentially from a running offset, and
+returns the new offset.  The spaces:
+
+* ``u3cu3``  -- U3 on every qubit + CU3 ring (the paper's default,
+  "U3 and CU3 layers interleaved as in Figure 2"),
+* ``zz_ry``  -- ZZ ring with ring connections + RY layer [17],
+* ``rxyz``   -- sqrt(H), RX, RY, RZ, CZ ring [20],
+* ``zx_xx``  -- ZX ring + XX ring [5],
+* ``rxyz_u1_cu3`` -- RX, S, CNOT, RY, T, SWAP, RZ, H, sqrt(SWAP), U1, CU3
+  (the random-circuit basis of [7]),
+* ``ry_cnot`` -- RY per qubit + CNOT chain (Table 3's minimal model).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import ParamExpr
+
+
+def _ring(n_qubits: int) -> "list[tuple[int, int]]":
+    """Ring connections (i, i+1 mod n); a single pair when n == 2."""
+    if n_qubits < 2:
+        return []
+    if n_qubits == 2:
+        return [(0, 1)]
+    return [(i, (i + 1) % n_qubits) for i in range(n_qubits)]
+
+
+def _chain(n_qubits: int) -> "list[tuple[int, int]]":
+    return [(i, i + 1) for i in range(n_qubits - 1)]
+
+
+def _w(index: int) -> ParamExpr:
+    return ParamExpr.weight(index)
+
+
+def u3cu3_layer(circuit: Circuit, w0: int) -> int:
+    """U3 on all qubits, then CU3 along the ring: 3n + 3|ring| weights."""
+    n = circuit.n_qubits
+    w = w0
+    for q in range(n):
+        circuit.add("u3", q, _w(w), _w(w + 1), _w(w + 2))
+        w += 3
+    for a, b in _ring(n):
+        circuit.add("cu3", (a, b), _w(w), _w(w + 1), _w(w + 2))
+        w += 3
+    return w
+
+
+def zz_ry_layer(circuit: Circuit, w0: int) -> int:
+    """ZZ ring (trainable angles) + RY layer."""
+    n = circuit.n_qubits
+    w = w0
+    for a, b in _ring(n):
+        circuit.add("rzz", (a, b), _w(w))
+        w += 1
+    for q in range(n):
+        circuit.add("ry", q, _w(w))
+        w += 1
+    return w
+
+
+def rxyz_layer(circuit: Circuit, w0: int) -> int:
+    """sqrt(H), RX, RY, RZ, CZ ring -- five sub-layers."""
+    n = circuit.n_qubits
+    w = w0
+    for q in range(n):
+        circuit.add("sh", q)
+    for gate in ("rx", "ry", "rz"):
+        for q in range(n):
+            circuit.add(gate, q, _w(w))
+            w += 1
+    for a, b in _ring(n):
+        circuit.add("cz", (a, b))
+    return w
+
+
+def zx_xx_layer(circuit: Circuit, w0: int) -> int:
+    """ZX ring + XX ring, both with trainable angles."""
+    n = circuit.n_qubits
+    w = w0
+    for a, b in _ring(n):
+        circuit.add("rzx", (a, b), _w(w))
+        w += 1
+    for a, b in _ring(n):
+        circuit.add("rxx", (a, b), _w(w))
+        w += 1
+    return w
+
+
+def rxyz_u1_cu3_layer(circuit: Circuit, w0: int) -> int:
+    """11 sub-layers: RX, S, CNOT, RY, T, SWAP, RZ, H, sqrt(SWAP), U1, CU3."""
+    n = circuit.n_qubits
+    w = w0
+    for q in range(n):
+        circuit.add("rx", q, _w(w))
+        w += 1
+    for q in range(n):
+        circuit.add("s", q)
+    for a, b in _ring(n):
+        circuit.add("cx", (a, b))
+    for q in range(n):
+        circuit.add("ry", q, _w(w))
+        w += 1
+    for q in range(n):
+        circuit.add("t", q)
+    for a, b in _chain(n):
+        if a % 2 == 0:
+            circuit.add("swap", (a, b))
+    for q in range(n):
+        circuit.add("rz", q, _w(w))
+        w += 1
+    for q in range(n):
+        circuit.add("h", q)
+    for a, b in _chain(n):
+        if a % 2 == 1:
+            circuit.add("sqswap", (a, b))
+    for q in range(n):
+        circuit.add("u1", q, _w(w))
+        w += 1
+    for a, b in _ring(n):
+        circuit.add("cu3", (a, b), _w(w), _w(w + 1), _w(w + 2))
+        w += 3
+    return w
+
+
+def ry_cnot_layer(circuit: Circuit, w0: int) -> int:
+    """RY on each qubit + CNOT chain (Table 3 minimal architecture)."""
+    n = circuit.n_qubits
+    w = w0
+    for q in range(n):
+        circuit.add("ry", q, _w(w))
+        w += 1
+    for a, b in _chain(n):
+        circuit.add("cx", (a, b))
+    return w
+
+
+LayerBuilder = Callable[[Circuit, int], int]
+
+DESIGN_SPACES: "dict[str, LayerBuilder]" = {
+    "u3cu3": u3cu3_layer,
+    "zz_ry": zz_ry_layer,
+    "rxyz": rxyz_layer,
+    "zx_xx": zx_xx_layer,
+    "rxyz_u1_cu3": rxyz_u1_cu3_layer,
+    "ry_cnot": ry_cnot_layer,
+}
+
+
+def design_space(name: str) -> LayerBuilder:
+    """Look up a design-space layer builder by name."""
+    try:
+        return DESIGN_SPACES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown design space {name!r}; available: {sorted(DESIGN_SPACES)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Quantum simulation substrates: gates, statevector and density-matrix engines."""
+
+from repro.sim.gates import GATES, GateDef, gate_def, gate_matrix
+from repro.sim.statevector import (
+    zero_state,
+    apply_matrix,
+    z_expectations,
+    z_signs,
+    joint_probabilities,
+    sample_counts,
+    expectations_from_counts,
+    bind_circuit,
+    run_circuit,
+    run_ops,
+    BoundOp,
+)
+from repro.sim.density import (
+    zero_density,
+    density_from_state,
+    apply_unitary_to_density,
+    apply_kraus_to_density,
+    density_probabilities,
+    density_z_expectations,
+    purity,
+)
+from repro.sim import kraus
+from repro.sim.channels import (
+    QuantumChannel,
+    average_channel_fidelity,
+    channel_fidelity,
+)
+from repro.sim.pauli import (
+    PauliObservable,
+    PauliString,
+    all_pauli_strings,
+    random_pauli,
+)
+from repro.sim.stabilizer import CLIFFORD_GATES, StabilizerState
+from repro.sim.unitary import (
+    average_gate_fidelity,
+    circuit_unitary,
+    circuits_equivalent,
+    process_fidelity,
+)
+
+__all__ = [
+    "GATES",
+    "GateDef",
+    "gate_def",
+    "gate_matrix",
+    "zero_state",
+    "apply_matrix",
+    "z_expectations",
+    "z_signs",
+    "joint_probabilities",
+    "sample_counts",
+    "expectations_from_counts",
+    "bind_circuit",
+    "run_circuit",
+    "run_ops",
+    "BoundOp",
+    "zero_density",
+    "density_from_state",
+    "apply_unitary_to_density",
+    "apply_kraus_to_density",
+    "density_probabilities",
+    "density_z_expectations",
+    "purity",
+    "kraus",
+    "QuantumChannel",
+    "channel_fidelity",
+    "average_channel_fidelity",
+    "PauliString",
+    "PauliObservable",
+    "random_pauli",
+    "all_pauli_strings",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "process_fidelity",
+    "average_gate_fidelity",
+    "StabilizerState",
+    "CLIFFORD_GATES",
+]

@@ -1,0 +1,226 @@
+"""Quantum channel toolbox: Choi matrices, transfer matrices, fidelities.
+
+:mod:`repro.sim.kraus` provides the raw Kraus operator lists the density
+simulator consumes.  This module adds the channel-level representations
+needed by noise *analysis*: Choi matrices (for CPTP checks and process
+fidelity), Pauli transfer matrices (where twirling literally diagonalizes
+the channel), thermal relaxation built from device T1/T2 times, and
+channel composition/mixing.  The characterization experiments
+(:mod:`repro.characterization`) and the twirling pipeline are the main
+consumers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.gates import I2, PAULI_X, PAULI_Y, PAULI_Z
+from repro.sim.kraus import (
+    amplitude_damping_channel,
+    apply_channel_to_density,
+    depolarizing_channel,
+    is_cptp,
+    pauli_channel,
+    phase_damping_channel,
+)
+
+_PAULIS_1Q = (I2, PAULI_X, PAULI_Y, PAULI_Z)
+
+
+class QuantumChannel:
+    """A CPTP map stored as a list of Kraus operators.
+
+    Thin value type over ``list[np.ndarray]`` adding composition,
+    mixtures and the derived representations (Choi, PTM).  All operators
+    must share one square dimension ``2^k``.
+    """
+
+    def __init__(self, kraus_ops: "list[np.ndarray]", check: bool = True):
+        if not kraus_ops:
+            raise ValueError("channel needs at least one Kraus operator")
+        ops = [np.asarray(op, dtype=complex) for op in kraus_ops]
+        dim = ops[0].shape[0]
+        for op in ops:
+            if op.shape != (dim, dim):
+                raise ValueError(f"inconsistent Kraus shapes: {op.shape} vs {dim}")
+        if dim & (dim - 1):
+            raise ValueError(f"Kraus dimension {dim} is not a power of two")
+        if check and not is_cptp(ops):
+            raise ValueError("Kraus operators do not satisfy sum(O^dag O) = I")
+        self.kraus_ops = ops
+        self.dim = dim
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def identity(n_qubits: int = 1) -> "QuantumChannel":
+        return QuantumChannel([np.eye(2**n_qubits, dtype=complex)], check=False)
+
+    @staticmethod
+    def from_unitary(matrix: np.ndarray) -> "QuantumChannel":
+        """The coherent channel ``rho -> U rho U^dag``."""
+        return QuantumChannel([np.asarray(matrix, dtype=complex)])
+
+    @staticmethod
+    def pauli(px: float, py: float, pz: float) -> "QuantumChannel":
+        return QuantumChannel(pauli_channel(px, py, pz), check=False)
+
+    @staticmethod
+    def depolarizing(p: float, n_qubits: int = 1) -> "QuantumChannel":
+        """Uniform depolarizing channel on ``n_qubits`` qubits.
+
+        ``rho -> (1 - p) rho + p/(4^n - 1) sum_{P != I} P rho P``; for one
+        qubit this matches :func:`repro.sim.kraus.depolarizing_channel`.
+        """
+        if n_qubits == 1:
+            return QuantumChannel(depolarizing_channel(p), check=False)
+        if not 0 <= p <= 1:
+            raise ValueError(f"depolarizing parameter out of range: {p}")
+        paulis = _pauli_basis(n_qubits)
+        n_errors = len(paulis) - 1
+        ops = [np.sqrt(1.0 - p) * paulis[0]]
+        ops += [np.sqrt(p / n_errors) * matrix for matrix in paulis[1:]]
+        return QuantumChannel(ops, check=False)
+
+    @staticmethod
+    def amplitude_damping(gamma: float) -> "QuantumChannel":
+        return QuantumChannel(amplitude_damping_channel(gamma), check=False)
+
+    @staticmethod
+    def phase_damping(lam: float) -> "QuantumChannel":
+        return QuantumChannel(phase_damping_channel(lam), check=False)
+
+    @staticmethod
+    def thermal_relaxation(
+        t1: float, t2: float, duration: float
+    ) -> "QuantumChannel":
+        """Combined T1/T2 relaxation over a gate of length ``duration``.
+
+        Composes amplitude damping ``gamma = 1 - exp(-t/T1)`` with the
+        pure dephasing left over after accounting for the T1 contribution
+        to T2 (requires the physical constraint ``T2 <= 2 T1``).  This is
+        how a device's published T1/T2 microseconds and gate durations
+        become a concrete channel.
+        """
+        if t1 <= 0 or t2 <= 0 or duration < 0:
+            raise ValueError("T1, T2 must be positive and duration non-negative")
+        if t2 > 2 * t1 + 1e-12:
+            raise ValueError(f"unphysical relaxation times: T2={t2} > 2*T1={2 * t1}")
+        gamma = 1.0 - np.exp(-duration / t1)
+        # 1/T_phi = 1/T2 - 1/(2 T1); lambda is the dephasing probability.
+        rate_phi = max(0.0, 1.0 / t2 - 0.5 / t1)
+        lam = 1.0 - np.exp(-2.0 * duration * rate_phi)
+        damping = QuantumChannel.amplitude_damping(float(gamma))
+        dephasing = QuantumChannel.phase_damping(float(lam))
+        return dephasing.compose(damping)
+
+    # -- algebra ----------------------------------------------------------------
+
+    def compose(self, first: "QuantumChannel") -> "QuantumChannel":
+        """The channel "``first`` then ``self``" (operator-style order)."""
+        if first.dim != self.dim:
+            raise ValueError("cannot compose channels of different dimension")
+        ops = [a @ b for a in self.kraus_ops for b in first.kraus_ops]
+        return QuantumChannel(_prune(ops), check=False)
+
+    def mix(self, other: "QuantumChannel", p_other: float) -> "QuantumChannel":
+        """Probabilistic mixture ``(1 - p) self + p other``."""
+        if not 0 <= p_other <= 1:
+            raise ValueError(f"mixture probability out of range: {p_other}")
+        ops = [np.sqrt(1 - p_other) * op for op in self.kraus_ops]
+        ops += [np.sqrt(p_other) * op for op in other.kraus_ops]
+        return QuantumChannel(_prune(ops), check=False)
+
+    def apply(self, rho: np.ndarray) -> np.ndarray:
+        """Dense application to a single density matrix."""
+        return apply_channel_to_density(rho, self.kraus_ops)
+
+    # -- representations -----------------------------------------------------
+
+    def choi(self) -> np.ndarray:
+        """Choi matrix ``sum_k vec(O_k) vec(O_k)^dag`` (column stacking).
+
+        Positive semidefinite iff the map is completely positive; its
+        partial trace is the identity iff trace preserving.
+        """
+        d = self.dim
+        choi = np.zeros((d * d, d * d), dtype=complex)
+        for op in self.kraus_ops:
+            vec = op.reshape(-1, order="F")
+            choi += np.outer(vec, vec.conj())
+        return choi
+
+    def pauli_transfer_matrix(self) -> np.ndarray:
+        """PTM ``R[i, j] = tr(P_i E(P_j)) / d`` over the Pauli basis.
+
+        Real for any CPTP map.  A Pauli channel's PTM is diagonal --
+        twirling literally zeroes the off-diagonal entries, which the
+        twirling tests assert.
+        """
+        paulis = _pauli_basis(_n_qubits(self.dim))
+        d = self.dim
+        ptm = np.empty((len(paulis), len(paulis)))
+        for j, pj in enumerate(paulis):
+            image = self.apply(pj.astype(complex))
+            for i, pi in enumerate(paulis):
+                ptm[i, j] = np.real(np.trace(pi @ image)) / d
+        return ptm
+
+    def is_cptp(self, atol: float = 1e-9) -> bool:
+        return is_cptp(self.kraus_ops, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantumChannel(dim={self.dim}, {len(self.kraus_ops)} Kraus ops)"
+
+
+def _n_qubits(dim: int) -> int:
+    n = int(round(np.log2(dim)))
+    if 2**n != dim:
+        raise ValueError(f"dimension {dim} is not a power of two")
+    return n
+
+
+def _pauli_basis(n_qubits: int) -> "list[np.ndarray]":
+    """All n-qubit Pauli matrices, identity first, lexicographic order."""
+    basis = [np.eye(1, dtype=complex)]
+    for _ in range(n_qubits):
+        basis = [np.kron(p, q) for p in basis for q in _PAULIS_1Q]
+    return basis
+
+
+def _prune(ops: "list[np.ndarray]", atol: float = 1e-14) -> "list[np.ndarray]":
+    """Drop numerically-zero Kraus operators produced by composition."""
+    kept = [op for op in ops if np.max(np.abs(op)) > atol]
+    return kept or ops[:1]
+
+
+def channel_fidelity(a: QuantumChannel, b: QuantumChannel) -> float:
+    """Process fidelity between two channels via normalized Choi overlap.
+
+    Reduces to :func:`repro.sim.unitary.process_fidelity` when both
+    channels are unitary.  Uses the general mixed-state fidelity
+    ``F(rho, sigma) = (tr sqrt(sqrt(rho) sigma sqrt(rho)))^2`` on the
+    normalized Choi states.
+    """
+    if a.dim != b.dim:
+        raise ValueError("channels have different dimensions")
+    rho = a.choi() / a.dim
+    sigma = b.choi() / b.dim
+    return float(_state_fidelity(rho, sigma))
+
+
+def average_channel_fidelity(a: QuantumChannel, b: QuantumChannel) -> float:
+    """Average fidelity ``(d F_pro + 1) / (d + 1)`` between two channels."""
+    d = a.dim
+    return float((d * channel_fidelity(a, b) + 1.0) / (d + 1.0))
+
+
+def _state_fidelity(rho: np.ndarray, sigma: np.ndarray) -> float:
+    # Hermitian square root via eigen-decomposition (scipy-free).
+    vals, vecs = np.linalg.eigh(rho)
+    vals = np.clip(vals, 0.0, None)
+    sqrt_rho = (vecs * np.sqrt(vals)) @ vecs.conj().T
+    inner = sqrt_rho @ sigma @ sqrt_rho
+    inner_vals = np.linalg.eigvalsh(inner)
+    inner_vals = np.clip(inner_vals, 0.0, None)
+    return float(np.sum(np.sqrt(inner_vals)) ** 2)

@@ -1,0 +1,74 @@
+"""Kraus-operator channels for the density-matrix simulator.
+
+The paper (Definition A.2) models any noise process as a CPTP map
+``rho -> sum_k O_k rho O_k^dagger``.  This module provides the standard
+channels the noise models are built from, plus the completeness check
+used by the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.gates import I2, PAULI_X, PAULI_Y, PAULI_Z
+
+
+def is_cptp(kraus_ops: "list[np.ndarray]", atol: float = 1e-9) -> bool:
+    """Check the Kraus completeness relation sum(O^dag O) = I."""
+    dim = kraus_ops[0].shape[0]
+    total = sum(op.conj().T @ op for op in kraus_ops)
+    return bool(np.allclose(total, np.eye(dim), atol=atol))
+
+
+def pauli_channel(px: float, py: float, pz: float) -> "list[np.ndarray]":
+    """Kraus operators of a single-qubit Pauli channel.
+
+    With probability ``px/py/pz`` the corresponding Pauli is applied; with
+    probability ``1 - px - py - pz`` nothing happens.  This is the channel
+    QuantumNAT's error-gate insertion samples from (Section 3.2).
+    """
+    p_total = px + py + pz
+    if min(px, py, pz) < 0 or p_total > 1 + 1e-12:
+        raise ValueError(f"invalid Pauli probabilities ({px}, {py}, {pz})")
+    p_id = max(0.0, 1.0 - p_total)
+    ops = [np.sqrt(p_id) * I2]
+    for prob, pauli in ((px, PAULI_X), (py, PAULI_Y), (pz, PAULI_Z)):
+        if prob > 0:
+            ops.append(np.sqrt(prob) * pauli)
+    return ops
+
+
+def depolarizing_channel(p: float) -> "list[np.ndarray]":
+    """Single-qubit depolarizing channel with parameter ``p``.
+
+    ``rho -> (1 - p) rho + p/3 (X rho X + Y rho Y + Z rho Z)``.
+    """
+    return pauli_channel(p / 3, p / 3, p / 3)
+
+
+def amplitude_damping_channel(gamma: float) -> "list[np.ndarray]":
+    """T1 relaxation: |1> decays to |0> with probability ``gamma``."""
+    if not 0 <= gamma <= 1:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping_channel(lam: float) -> "list[np.ndarray]":
+    """Pure dephasing (T2) with probability ``lam``."""
+    if not 0 <= lam <= 1:
+        raise ValueError(f"lambda must be in [0, 1], got {lam}")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, np.sqrt(lam)]], dtype=complex)
+    return [k0, k1]
+
+
+def apply_channel_to_density(
+    rho: np.ndarray, kraus_ops: "list[np.ndarray]"
+) -> np.ndarray:
+    """Reference dense application ``sum_k O rho O^dag`` (same dim as rho)."""
+    out = np.zeros_like(rho)
+    for op in kraus_ops:
+        out += op @ rho @ op.conj().T
+    return out

@@ -1,0 +1,342 @@
+"""Pauli-string algebra and observables.
+
+Pauli strings are the working language of NISQ noise analysis: the
+paper's Theorem 3.1 expands states and noise operators in the Pauli
+basis, Pauli twirling projects arbitrary channels onto Pauli channels,
+and randomized-benchmarking / twirling experiments multiply strings
+together.  This module provides a :class:`PauliString` value type with
+exact phase-tracked composition, commutation analysis, and batched
+expectation values on both statevectors and density matrices.
+
+Conventions: internally ``ops[q]`` is the single-qubit Pauli acting on
+qubit ``q`` (little-endian, like the simulators).  Text labels follow
+the Qiskit convention -- the *rightmost* character is qubit 0, so
+``"XI"`` is X on qubit 1.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.gates import gate_matrix
+from repro.sim.statevector import apply_matrix, z_signs
+from repro.utils.rng import as_rng
+
+_OPS = ("I", "X", "Y", "Z")
+
+#: Single-qubit products: ``_PRODUCT[a][b] = (phase, c)`` with a.b = phase*c.
+_PRODUCT = {
+    "I": {"I": (1, "I"), "X": (1, "X"), "Y": (1, "Y"), "Z": (1, "Z")},
+    "X": {"I": (1, "X"), "X": (1, "I"), "Y": (1j, "Z"), "Z": (-1j, "Y")},
+    "Y": {"I": (1, "Y"), "X": (-1j, "Z"), "Y": (1, "I"), "Z": (1j, "X")},
+    "Z": {"I": (1, "Z"), "X": (1j, "Y"), "Y": (-1j, "X"), "Z": (1, "I")},
+}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """An n-qubit Pauli operator, e.g. ``X (x) I (x) Z``.
+
+    ``ops[q]`` is the operator on qubit ``q``; one of ``"I" "X" "Y" "Z"``.
+    """
+
+    ops: "tuple[str, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("Pauli string needs at least one qubit")
+        for op in self.ops:
+            if op not in _OPS:
+                raise ValueError(f"bad Pauli op {op!r}; expected one of {_OPS}")
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def from_label(label: str) -> "PauliString":
+        """Parse a label whose rightmost character acts on qubit 0."""
+        return PauliString(tuple(reversed(label.upper())))
+
+    @staticmethod
+    def identity(n_qubits: int) -> "PauliString":
+        return PauliString(("I",) * n_qubits)
+
+    @staticmethod
+    def single(n_qubits: int, qubit: int, op: str) -> "PauliString":
+        """The string with ``op`` on ``qubit`` and identity elsewhere."""
+        if not 0 <= qubit < n_qubits:
+            raise ValueError(f"qubit {qubit} out of range for {n_qubits}")
+        ops = ["I"] * n_qubits
+        ops[qubit] = op.upper()
+        return PauliString(tuple(ops))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.ops)
+
+    @property
+    def label(self) -> str:
+        """Qiskit-style label, rightmost character = qubit 0."""
+        return "".join(reversed(self.ops))
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return sum(1 for op in self.ops if op != "I")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.weight == 0
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True when the string only contains I and Z (diagonal in Z basis)."""
+        return all(op in ("I", "Z") for op in self.ops)
+
+    def support(self) -> "tuple[int, ...]":
+        """Qubits with a non-identity factor."""
+        return tuple(q for q, op in enumerate(self.ops) if op != "I")
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """Two strings commute iff they anticommute on an even # of qubits."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("Pauli strings act on different qubit counts")
+        anti = sum(
+            1
+            for a, b in zip(self.ops, other.ops)
+            if a != "I" and b != "I" and a != b
+        )
+        return anti % 2 == 0
+
+    # -- algebra --------------------------------------------------------------
+
+    def compose(self, other: "PauliString") -> "tuple[complex, PauliString]":
+        """Operator product ``self @ other`` as ``(phase, string)``."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("Pauli strings act on different qubit counts")
+        phase: complex = 1
+        ops = []
+        for a, b in zip(self.ops, other.ops):
+            p, c = _PRODUCT[a][b]
+            phase *= p
+            ops.append(c)
+        return phase, PauliString(tuple(ops))
+
+    def evolve(self, gate_name: str, qubits: "tuple[int, ...]") -> "tuple[int, PauliString]":
+        """Conjugate by a Clifford gate: ``(sign, C P C^dag)``.
+
+        This is Pauli-frame propagation -- how an injected error
+        commutes forward through the rest of a Clifford circuit, the
+        core move of twirling analysis and error-propagation studies.
+        ``sign`` is +/-1 (Clifford conjugation preserves Pauli-ness up
+        to sign).  Raises for non-Clifford gates.
+        """
+        table = _conjugation_table(gate_name.lower())
+        ops = list(self.ops)
+        local = tuple(ops[q] for q in qubits)
+        factor, new_local = table[local]
+        for q, op in zip(qubits, new_local):
+            ops[q] = op
+        return factor, PauliString(tuple(ops))
+
+    def evolve_through(self, circuit) -> "tuple[int, PauliString]":
+        """Propagate this Pauli forward through a whole Clifford circuit."""
+        sign = 1
+        current = self
+        for gate in circuit.gates:
+            factor, current = current.evolve(gate.name, gate.qubits)
+            sign *= factor
+        return sign, current
+
+    # -- numerics --------------------------------------------------------------
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``(2^n, 2^n)`` matrix (little-endian embedding)."""
+        out = np.ones((1, 1), dtype=complex)
+        # Little-endian: qubit n-1 is the leftmost (most significant) factor.
+        for op in reversed(self.ops):
+            out = np.kron(out, _single_matrix(op))
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal of the matrix -- only valid for diagonal strings."""
+        if not self.is_diagonal:
+            raise ValueError(f"{self.label} is not diagonal in the Z basis")
+        diag = np.ones(2**self.n_qubits)
+        signs = z_signs(self.n_qubits)
+        for q, op in enumerate(self.ops):
+            if op == "Z":
+                diag = diag * signs[q]
+        return diag
+
+    def apply_to_state(self, state: np.ndarray) -> np.ndarray:
+        """``P |psi>`` for a batched ``(batch, 2^n)`` statevector."""
+        out = state
+        for q in self.support():
+            out = apply_matrix(out, _single_matrix(self.ops[q]), (q,), self.n_qubits)
+        return out
+
+    def expectation(self, state: np.ndarray) -> np.ndarray:
+        """``<psi| P |psi>`` per batch entry (real array, shape (batch,)).
+
+        Diagonal strings use the probability/sign fast path; general
+        strings apply the operator then take the inner product.
+        """
+        if self.is_diagonal:
+            probs = np.abs(state) ** 2
+            return probs @ self.diagonal()
+        applied = self.apply_to_state(state)
+        return np.real(np.einsum("bi,bi->b", state.conj(), applied))
+
+    def expectation_density(self, rho: np.ndarray) -> np.ndarray:
+        """``tr(P rho)`` per batch entry for ``(batch, dim, dim)`` densities."""
+        matrix = self.matrix()
+        return np.real(np.einsum("ij,bji->b", matrix, rho))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PauliString({self.label!r})"
+
+
+def _single_matrix(op: str) -> np.ndarray:
+    if op == "I":
+        return np.eye(2, dtype=complex)
+    return gate_matrix(op.lower())
+
+
+@functools.lru_cache(maxsize=64)
+def _conjugation_table(name: str):
+    """Conjugation action of a Clifford gate on its local Pauli group.
+
+    Maps each local op tuple to ``(sign, new ops)`` by direct matrix
+    conjugation; raises when any image is not ``+/- Pauli`` (i.e. the
+    gate is not Clifford).  Cached per gate name.
+    """
+    from repro.sim.gates import gate_def
+
+    definition = gate_def(name)
+    if definition.num_params:
+        raise ValueError(f"{name!r} is not a supported Clifford gate")
+    unitary = definition.matrix(())
+    k = definition.num_qubits
+
+    combos = [()]
+    for _ in range(k):
+        combos = [c + (op,) for c in combos for op in _OPS]
+
+    def local_matrix(ops: "tuple[str, ...]") -> np.ndarray:
+        out = np.ones((1, 1), dtype=complex)
+        for op in reversed(ops):  # ops[0] acts on the gate's first qubit
+            out = np.kron(out, _single_matrix(op))
+        return out
+
+    table = {}
+    for ops in combos:
+        image = unitary @ local_matrix(ops) @ unitary.conj().T
+        for candidate in combos:
+            target = local_matrix(candidate)
+            if np.allclose(image, target, atol=1e-9):
+                table[ops] = (1, candidate)
+                break
+            if np.allclose(image, -target, atol=1e-9):
+                table[ops] = (-1, candidate)
+                break
+        else:
+            raise ValueError(f"{name!r} is not a supported Clifford gate")
+    return table
+
+
+def random_pauli(
+    n_qubits: int,
+    rng: "int | np.random.Generator | None" = None,
+    allow_identity: bool = True,
+) -> PauliString:
+    """A uniformly random Pauli string (used by twirling tests)."""
+    rng = as_rng(rng)
+    while True:
+        ops = tuple(_OPS[i] for i in rng.integers(0, 4, size=n_qubits))
+        string = PauliString(ops)
+        if allow_identity or not string.is_identity:
+            return string
+
+
+def all_pauli_strings(n_qubits: int) -> "list[PauliString]":
+    """All ``4^n`` Pauli strings in lexicographic op order (small n only)."""
+    if n_qubits > 6:
+        raise ValueError("enumerating 4^n strings is impractical beyond 6 qubits")
+    strings = [()]
+    for _ in range(n_qubits):
+        strings = [s + (op,) for s in strings for op in _OPS]
+    return [PauliString(s) for s in strings]
+
+
+class PauliObservable:
+    """A real-weighted sum of Pauli strings ``H = sum_k c_k P_k``.
+
+    The effective observables of the adjoint trick (a per-qubit weighted
+    sum of single-qubit Zs) are one instance; randomized-benchmarking
+    fidelity estimators are another.
+    """
+
+    def __init__(self, terms: "list[tuple[float, PauliString]]"):
+        if not terms:
+            raise ValueError("observable needs at least one term")
+        widths = {p.n_qubits for _c, p in terms}
+        if len(widths) != 1:
+            raise ValueError(f"mixed qubit counts in observable: {widths}")
+        self.n_qubits = widths.pop()
+        merged: "dict[tuple[str, ...], float]" = {}
+        for coeff, string in terms:
+            merged[string.ops] = merged.get(string.ops, 0.0) + float(coeff)
+        self.terms = [
+            (coeff, PauliString(ops))
+            for ops, coeff in merged.items()
+            if coeff != 0.0
+        ]
+        if not self.terms:
+            self.terms = [(0.0, PauliString.identity(self.n_qubits))]
+
+    @staticmethod
+    def z_on(qubit: int, n_qubits: int, coeff: float = 1.0) -> "PauliObservable":
+        """The single-qubit observable ``coeff * Z_q``."""
+        return PauliObservable([(coeff, PauliString.single(n_qubits, qubit, "Z"))])
+
+    @property
+    def is_diagonal(self) -> bool:
+        return all(p.is_diagonal for _c, p in self.terms)
+
+    def expectation(self, state: np.ndarray) -> np.ndarray:
+        """``<psi| H |psi>`` per batch entry."""
+        total = np.zeros(state.shape[0])
+        for coeff, string in self.terms:
+            total += coeff * string.expectation(state)
+        return total
+
+    def expectation_density(self, rho: np.ndarray) -> np.ndarray:
+        """``tr(H rho)`` per batch entry."""
+        total = np.zeros(rho.shape[0])
+        for coeff, string in self.terms:
+            total += coeff * string.expectation_density(rho)
+        return total
+
+    def matrix(self) -> np.ndarray:
+        """Dense Hermitian matrix of the observable."""
+        dim = 2**self.n_qubits
+        out = np.zeros((dim, dim), dtype=complex)
+        for coeff, string in self.terms:
+            out += coeff * string.matrix()
+        return out
+
+    def __add__(self, other: "PauliObservable") -> "PauliObservable":
+        return PauliObservable(self.terms + other.terms)
+
+    def scaled(self, factor: float) -> "PauliObservable":
+        return PauliObservable([(c * factor, p) for c, p in self.terms])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = " + ".join(f"{c:+g}*{p.label}" for c, p in self.terms[:4])
+        more = " + ..." if len(self.terms) > 4 else ""
+        return f"PauliObservable({parts}{more})"

@@ -1,0 +1,87 @@
+"""Unitary accumulation and gate-fidelity measures.
+
+``Circuit.to_matrix`` is the slow, obviously-correct reference (explicit
+operator embedding).  :func:`circuit_unitary` here is the fast version --
+it pushes the columns of the identity through the batched statevector
+kernel, so an n-qubit circuit's full unitary costs one ``2^n``-wide batch
+run.  The fidelity helpers quantify how close a compiled/optimized
+circuit is to its source, which is what the compiler equivalence tests
+and the randomized-benchmarking analysis consume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.statevector import apply_matrix, bind_circuit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuits.circuit import Circuit
+
+
+def circuit_unitary(
+    circuit: "Circuit",
+    weights: "np.ndarray | None" = None,
+    inputs_row: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Full ``(2^n, 2^n)`` unitary of a circuit (fast batched evaluation).
+
+    ``inputs_row`` is a single sample's feature vector for circuits whose
+    angles encode inputs; weight-only and constant circuits need none.
+    """
+    n_qubits = circuit.n_qubits
+    dim = 2**n_qubits
+    row = None if inputs_row is None else np.asarray(inputs_row, dtype=float)[None, :]
+    ops = bind_circuit(circuit, weights, row, batch=1)
+    # Rows of `state` are the basis states; after applying the circuit,
+    # row j holds U |j>, i.e. the j-th column of U.
+    state = np.eye(dim, dtype=complex)
+    for op in ops:
+        matrix = op.matrix[0] if op.batched else op.matrix
+        state = apply_matrix(state, matrix, op.qubits, n_qubits)
+    return state.T.copy()
+
+
+def process_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Entanglement fidelity between two unitaries: ``|tr(U^dag V)|^2 / d^2``.
+
+    1 when ``U = e^{i phi} V``; insensitive to global phase.
+    """
+    u = np.asarray(u, dtype=complex)
+    v = np.asarray(v, dtype=complex)
+    if u.shape != v.shape or u.ndim != 2 or u.shape[0] != u.shape[1]:
+        raise ValueError(f"incompatible unitary shapes {u.shape} vs {v.shape}")
+    d = u.shape[0]
+    overlap = np.trace(u.conj().T @ v)
+    return float(np.abs(overlap) ** 2 / d**2)
+
+
+def average_gate_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Average fidelity over Haar-random inputs: ``(d F_pro + 1) / (d + 1)``.
+
+    This is the quantity randomized benchmarking estimates; converting
+    its decay parameter back to an error rate uses the same formula.
+    """
+    d = np.asarray(u).shape[0]
+    return float((d * process_fidelity(u, v) + 1.0) / (d + 1.0))
+
+
+def circuits_equivalent(
+    a: "Circuit",
+    b: "Circuit",
+    weights: "np.ndarray | None" = None,
+    inputs_row: "np.ndarray | None" = None,
+    atol: float = 1e-9,
+) -> bool:
+    """True when two circuits implement the same unitary up to global phase.
+
+    The compiler's pass tests call this at several random weight bindings
+    to certify a rewrite.
+    """
+    if a.n_qubits != b.n_qubits:
+        return False
+    ua = circuit_unitary(a, weights, inputs_row)
+    ub = circuit_unitary(b, weights, inputs_row)
+    return process_fidelity(ua, ub) > 1.0 - atol

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling and small linear-algebra helpers."""
+
+from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.linalg import (
+    is_unitary,
+    is_hermitian,
+    kron_all,
+    global_phase_distance,
+    embed_operator,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rng",
+    "is_unitary",
+    "is_hermitian",
+    "kron_all",
+    "global_phase_distance",
+    "embed_operator",
+]

@@ -1,0 +1,88 @@
+"""Small linear-algebra helpers used across the simulator and compiler."""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return ``True`` if ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return ``True`` if ``matrix`` equals its conjugate transpose."""
+    matrix = np.asarray(matrix)
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def kron_all(matrices: "list[np.ndarray]") -> np.ndarray:
+    """Kronecker product of a list of matrices, left to right."""
+    return functools.reduce(np.kron, matrices)
+
+
+def global_phase_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Distance between two matrices ignoring a global phase.
+
+    Returns ``0`` when ``a = e^{i phi} b`` for some real ``phi``.  Uses the
+    largest-magnitude entry of ``b`` to estimate the phase, which is robust
+    for unitaries (every unitary has an entry of magnitude >= 1/dim).
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    flat_b = b.ravel()
+    anchor = int(np.argmax(np.abs(flat_b)))
+    if abs(flat_b[anchor]) < 1e-12:
+        return float(np.max(np.abs(a - b)))
+    phase = a.ravel()[anchor] / flat_b[anchor]
+    magnitude = abs(phase)
+    if magnitude < 1e-12:
+        return float(np.max(np.abs(a - b)))
+    phase = phase / magnitude
+    return float(np.max(np.abs(a - phase * b)))
+
+
+def embed_operator(op: np.ndarray, qubits: "tuple[int, ...]", n_qubits: int) -> np.ndarray:
+    """Embed a k-qubit operator acting on ``qubits`` into an n-qubit space.
+
+    Little-endian convention: qubit 0 is the least-significant bit of the
+    state index.  ``qubits`` orders the operator's own qubit axes, so
+    ``embed_operator(CX, (0, 1), 2)`` applies control on qubit 0.
+
+    This is the slow, obviously-correct reference used by tests to validate
+    the fast reshape/einsum kernels in the simulators.
+    """
+    op = np.asarray(op, dtype=complex)
+    k = len(qubits)
+    if op.shape != (2**k, 2**k):
+        raise ValueError(f"operator shape {op.shape} does not match {k} qubits")
+    if len(set(qubits)) != k:
+        raise ValueError(f"duplicate qubits in {qubits}")
+    if any(q < 0 or q >= n_qubits for q in qubits):
+        raise ValueError(f"qubit index out of range in {qubits} for n={n_qubits}")
+
+    dim = 2**n_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    others = [q for q in range(n_qubits) if q not in qubits]
+    for col in range(dim):
+        op_col = sum(((col >> q) & 1) << i for i, q in enumerate(qubits))
+        rest = [(col >> q) & 1 for q in others]
+        for op_row in range(2**k):
+            amp = op[op_row, op_col]
+            if amp == 0:
+                continue
+            row = 0
+            for i, q in enumerate(qubits):
+                row |= ((op_row >> i) & 1) << q
+            for bit, q in zip(rest, others):
+                row |= bit << q
+            full[row, col] += amp
+    return full

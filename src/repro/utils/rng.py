@@ -1,0 +1,34 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library (noise sampling, data generation,
+shot noise, training shuffles) accepts either an integer seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  :func:`as_rng` canonicalizes
+those into a ``Generator`` so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` gives a fresh nondeterministic generator, an ``int`` gives a
+    seeded one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used when one seed must drive several independent stochastic processes
+    (for example per-device calibration drift) without cross-correlation.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

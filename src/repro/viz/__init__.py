@@ -1,0 +1,12 @@
+"""Terminal-friendly visualization: circuit drawings and text plots.
+
+Everything renders to plain strings so results embed in logs, docstrings
+and the benchmark result files without a plotting stack.  The examples
+use :func:`draw_circuit` to show compiled QNN blocks, and the Figure 8
+benchmark renders its accuracy contour with :func:`text_heatmap`.
+"""
+
+from repro.viz.drawer import draw_circuit
+from repro.viz.plots import text_heatmap, text_histogram, text_scatter
+
+__all__ = ["draw_circuit", "text_histogram", "text_heatmap", "text_scatter"]

@@ -1,0 +1,140 @@
+"""ASCII circuit drawer.
+
+Gates are packed into time columns with the DAG's ASAP layering, so the
+drawing width reflects circuit depth, not gate count.  Output uses plain
+ASCII (wires ``-``, controls ``*``, verticals ``|``) for maximum terminal
+compatibility::
+
+    q0: --H--*---------
+             |
+    q1: -----X--RZ(pi)-
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.circuits.dag import CircuitDAG
+from repro.circuits.parameters import ParamExpr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuits.circuit import Circuit, Gate
+
+
+def _angle_text(value: float) -> str:
+    for num in (1, -1, 2, -2):
+        for den in (1, 2, 3, 4):
+            if np.isclose(value, num * np.pi / den, atol=1e-12):
+                head = "pi" if abs(num) == 1 else f"{abs(num)}pi"
+                sign = "-" if num < 0 else ""
+                return f"{sign}{head}" + (f"/{den}" if den > 1 else "")
+    return f"{value:.3g}"
+
+
+def _param_label(expr: ParamExpr) -> str:
+    """Compact label for an angle expression: ``0.5``, ``w3``, ``x2+pi``."""
+    if expr.is_constant:
+        return _angle_text(expr.const)
+    parts = []
+    for kind, index, coeff in expr.terms:
+        ref = f"{kind}{index}"
+        if np.isclose(coeff, 1.0):
+            parts.append(ref)
+        elif np.isclose(coeff, -1.0):
+            parts.append(f"-{ref}")
+        else:
+            parts.append(f"{coeff:.2g}{ref}")
+    text = "+".join(parts).replace("+-", "-")
+    if not np.isclose(expr.const, 0.0):
+        const = _angle_text(expr.const)
+        text += const if const.startswith("-") else f"+{const}"
+    return text
+
+
+def _gate_labels(gate: "Gate") -> "dict[int, str]":
+    """Per-qubit cell text for one gate."""
+    params = ""
+    if gate.params:
+        params = "(" + ",".join(_param_label(p) for p in gate.params) + ")"
+    if len(gate.qubits) == 1:
+        return {gate.qubits[0]: gate.name.upper() + params}
+    if gate.name == "cx":
+        return {gate.qubits[0]: "*", gate.qubits[1]: "X"}
+    if gate.name == "cz":
+        return {gate.qubits[0]: "*", gate.qubits[1]: "*"}
+    if gate.name in ("cy", "crx", "cry", "crz", "cu3"):
+        target = gate.name[1:].upper() + params
+        return {gate.qubits[0]: "*", gate.qubits[1]: target}
+    # Symmetric two-qubit gates: label both ends.
+    label = gate.name.upper() + params
+    return {q: label for q in gate.qubits}
+
+
+def draw_circuit(circuit: "Circuit", max_width: int = 120) -> str:
+    """Render a circuit as multi-line ASCII art.
+
+    ``max_width`` wraps the drawing into stacked panels when the circuit
+    is deeper than one terminal row can show.
+    """
+    n = circuit.n_qubits
+    if len(circuit.gates) == 0:
+        return "\n".join(f"q{q}: " + "-" * 3 for q in range(n))
+
+    dag = CircuitDAG.from_circuit(circuit)
+    layers = dag.layers()
+
+    # Build one column of cells per layer.
+    columns: "list[dict[int, str]]" = []
+    spans: "list[list[tuple[int, int]]]" = []  # vertical connectors per column
+    for layer in layers:
+        cells: "dict[int, str]" = {}
+        connectors: "list[tuple[int, int]]" = []
+        for node in layer:
+            gate = dag.gate(node)
+            cells.update(_gate_labels(gate))
+            if len(gate.qubits) > 1:
+                lo, hi = min(gate.qubits), max(gate.qubits)
+                connectors.append((lo, hi))
+        columns.append(cells)
+        spans.append(connectors)
+
+    widths = [max((len(t) for t in col.values()), default=1) + 2 for col in columns]
+
+    # Wrap columns into panels of at most max_width characters.
+    prefix = max(len(f"q{q}: ") for q in range(n))
+    panels: "list[list[int]]" = [[]]
+    used = prefix
+    for index, width in enumerate(widths):
+        if panels[-1] and used + width > max_width:
+            panels.append([])
+            used = prefix
+        panels[-1].append(index)
+        used += width
+
+    blocks: "list[str]" = []
+    for panel in panels:
+        lines: "list[str]" = []
+        for q in range(n):
+            wire = f"q{q}: ".ljust(prefix)
+            gap = " " * prefix
+            for index in panel:
+                cell = columns[index].get(q)
+                width = widths[index]
+                if cell is None:
+                    wire += "-" * width
+                else:
+                    pad = width - len(cell)
+                    wire += "-" * (pad // 2) + cell + "-" * (pad - pad // 2)
+                # Connector row below this qubit row.
+                has_bar = any(lo <= q < hi for lo, hi in spans[index])
+                mid = width // 2
+                gap += " " * mid + ("|" if has_bar else " ") + " " * (
+                    width - mid - 1
+                )
+            lines.append(wire)
+            if q < n - 1:
+                lines.append(gap.rstrip())
+        blocks.append("\n".join(line.rstrip() for line in lines).rstrip())
+    return "\n\n".join(blocks)

@@ -1,0 +1,126 @@
+"""Text-mode plots: histograms, heatmaps, scatter panels.
+
+Used by the examples and benchmark result files to show measurement
+outcome distributions (paper Figure 4), accuracy contours over the
+(noise factor, quantization level) grid (Figure 8 left) and the
+extracted-feature scatter (Figure 8 right) without any plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DENSITY = " .:-=+*#%@"
+
+
+def text_histogram(
+    values,
+    bins: int = 20,
+    width: int = 50,
+    title: "str | None" = None,
+) -> str:
+    """Horizontal bar histogram of a 1-D sample."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("cannot histogram an empty sample")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:+.3f}, {hi:+.3f}) {bar} {count}")
+    return "\n".join(lines)
+
+
+def text_heatmap(
+    matrix,
+    row_labels: "list[str] | None" = None,
+    col_labels: "list[str] | None" = None,
+    title: "str | None" = None,
+    chars: str = _DENSITY,
+) -> str:
+    """Density-character heatmap of a 2-D array (higher = denser char).
+
+    Cells render as doubled characters so the aspect ratio is roughly
+    square in a terminal.  A legend maps the extremes.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D array, got shape {matrix.shape}")
+    lo, hi = float(np.nanmin(matrix)), float(np.nanmax(matrix))
+    span = hi - lo if hi > lo else 1.0
+    n_rows, n_cols = matrix.shape
+    row_labels = row_labels or [""] * n_rows
+    col_labels = col_labels or [""] * n_cols
+    label_width = max((len(r) for r in row_labels), default=0)
+
+    lines = [title] if title else []
+    for r in range(n_rows):
+        cells = []
+        for c in range(n_cols):
+            value = matrix[r, c]
+            if np.isnan(value):
+                cells.append("??")
+                continue
+            level = int((value - lo) / span * (len(chars) - 1) + 0.5)
+            cells.append(chars[level] * 2)
+        lines.append(f"{row_labels[r]:>{label_width}} |" + "".join(cells) + "|")
+    if any(col_labels):
+        header = " " * (label_width + 2)
+        for label in col_labels:
+            header += f"{label:<2.2}"
+        lines.append(header)
+    lines.append(f"legend: '{chars[0]}'={lo:.3g} .. '{chars[-1]}'={hi:.3g}")
+    return "\n".join(lines)
+
+
+def text_scatter(
+    points,
+    labels,
+    width: int = 48,
+    height: int = 20,
+    markers: str = "ox+sd*",
+    title: "str | None" = None,
+) -> str:
+    """2-D class scatter plot: one marker character per class.
+
+    ``points`` is ``(n, 2)``; ``labels`` are small non-negative class
+    ids.  Collisions show the marker of the last point drawn.
+    """
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must be (n, 2), got {points.shape}")
+    if labels.shape[0] != points.shape[0]:
+        raise ValueError("labels and points disagree on sample count")
+    if labels.size and labels.max() >= len(markers):
+        raise ValueError(
+            f"{labels.max() + 1} classes but only {len(markers)} markers"
+        )
+
+    x, y = points[:, 0], points[:, 1]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (px, py), label in zip(points, labels):
+        col = int((px - x_lo) / x_span * (width - 1))
+        row = int((y_hi - py) / y_span * (height - 1))
+        grid[row][col] = markers[label]
+
+    lines = [title] if title else []
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"x: [{x_lo:.3g}, {x_hi:.3g}]  y: [{y_lo:.3g}, {y_hi:.3g}]  "
+        + "  ".join(
+            f"class {c}='{markers[c]}'" for c in sorted(set(labels.tolist()))
+        )
+    )
+    return "\n".join(lines)

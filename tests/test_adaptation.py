@@ -1,0 +1,180 @@
+"""Noise-drift adaptation: device rebinding and fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DensityEvalExecutor,
+    FinetuneConfig,
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    adapt_model,
+    device_with_updated_calibration,
+    finetune,
+    train,
+)
+from repro.data import load_task
+from repro.noise import get_device
+from repro.qnn import paper_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """A small trained model plus its task data."""
+    task = load_task("mnist-2", n_train=48, n_valid=24, n_test=24, seed=0)
+    qnn = paper_model(4, n_blocks=2, n_layers=1, n_features=16, n_classes=2)
+    device = get_device("santiago")
+    model = QuantumNATModel(qnn, device, QuantumNATConfig.full(0.5, 5), rng=0)
+    result = train(
+        model,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        TrainConfig(epochs=6, batch_size=16, seed=0),
+    )
+    return task, model, result
+
+
+def test_device_with_updated_calibration_swaps_models():
+    device = get_device("santiago")
+    updated = device_with_updated_calibration(
+        device, noise_model=device.hardware_model
+    )
+    assert updated.noise_model is device.hardware_model
+    assert updated.hardware_model is device.hardware_model
+    assert updated.name == device.name
+    # Original device untouched.
+    assert device.noise_model is not device.hardware_model
+
+
+def test_adapt_model_rebinds_device(setup):
+    _task, model, _result = setup
+    updated = device_with_updated_calibration(
+        model.device, noise_model=model.device.hardware_model
+    )
+    adapted = adapt_model(model, updated)
+    assert adapted.device is updated
+    assert adapted.qnn is model.qnn
+    assert adapted.config is model.config
+    # Training executor now injects from the refreshed model.
+    assert adapted._train_executor.noise_model is updated.noise_model
+
+
+def test_finetune_improves_or_matches_on_drifted_noise(setup):
+    task, model, result = setup
+    # Deployment truth: the drifted hardware twin.
+    updated = device_with_updated_calibration(
+        model.device, noise_model=model.device.hardware_model
+    )
+    adapted = adapt_model(model, updated)
+    hardware_exec = DensityEvalExecutor(updated.hardware_model, rng=0)
+
+    before_acc, before_loss = adapted.evaluate(
+        result.weights, task.test_x, task.test_y, hardware_exec
+    )
+    tuned = finetune(
+        adapted,
+        result.weights,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        FinetuneConfig(epochs=3, lr=0.03, seed=1),
+        valid_executor=DensityEvalExecutor(updated.noise_model, rng=1),
+    )
+    after_acc, after_loss = adapted.evaluate(
+        tuned.weights, task.test_x, task.test_y, hardware_exec
+    )
+    # Best-iterate selection includes the starting weights, so validation
+    # loss never regresses; test accuracy should hold up too.
+    assert tuned.best_valid_loss <= before_loss + 0.5
+    assert after_acc >= before_acc - 0.10
+
+
+def test_finetune_cheaper_than_retrain(setup):
+    task, model, _result = setup
+    config = FinetuneConfig(epochs=2, seed=0)
+    assert config.epochs * task.train_x.shape[0] < 6 * task.train_x.shape[0]
+
+
+def test_finetune_freeze_blocks_pins_weights(setup):
+    task, model, result = setup
+    tuned = finetune(
+        model,
+        result.weights,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        FinetuneConfig(epochs=1, freeze_blocks=(0,), seed=2),
+    )
+    frozen_slice = model.qnn.weight_slices[0]
+    if not np.allclose(tuned.weights, result.weights):
+        # Fine-tuning moved something, but never the frozen block.
+        assert np.allclose(
+            tuned.weights[frozen_slice], result.weights[frozen_slice]
+        )
+
+
+def test_finetune_with_pruning_runs(setup):
+    task, model, result = setup
+    tuned = finetune(
+        model,
+        result.weights,
+        task.train_x[:32],
+        task.train_y[:32],
+        task.valid_x,
+        task.valid_y,
+        FinetuneConfig(epochs=1, keep_fraction=0.25, seed=3),
+    )
+    assert len(tuned.history) == 1
+    assert np.isfinite(tuned.best_valid_loss)
+
+
+def test_finetune_validates_config(setup):
+    task, model, result = setup
+    with pytest.raises(ValueError, match="epochs"):
+        FinetuneConfig(epochs=0)
+    with pytest.raises(ValueError, match="keep_fraction"):
+        FinetuneConfig(keep_fraction=0.0)
+    with pytest.raises(ValueError, match="out of range"):
+        finetune(
+            model,
+            result.weights,
+            task.train_x,
+            task.train_y,
+            task.valid_x,
+            task.valid_y,
+            FinetuneConfig(freeze_blocks=(9,)),
+        )
+    with pytest.raises(ValueError, match="nothing to fine-tune"):
+        finetune(
+            model,
+            result.weights,
+            task.train_x,
+            task.train_y,
+            task.valid_x,
+            task.valid_y,
+            FinetuneConfig(freeze_blocks=(0, 1)),
+        )
+
+
+def test_finetune_never_worse_than_start_on_validation(setup):
+    task, model, result = setup
+    valid_exec = DensityEvalExecutor(model.device.noise_model, rng=5)
+    _start_acc, start_loss = model.evaluate(
+        result.weights, task.valid_x, task.valid_y, valid_exec
+    )
+    tuned = finetune(
+        model,
+        result.weights,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        FinetuneConfig(epochs=2, lr=0.01, seed=4),
+        valid_executor=DensityEvalExecutor(model.device.noise_model, rng=5),
+    )
+    assert tuned.best_valid_loss <= start_loss + 1e-9

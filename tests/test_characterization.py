@@ -1,0 +1,310 @@
+"""Randomized benchmarking and readout calibration against the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    CLIFFORD_SEQUENCES,
+    calibrate_readout,
+    characterize_device,
+    clifford_circuit,
+    fit_rb_decay,
+    rb_sequence,
+    run_rb_experiment,
+)
+from repro.characterization.rb import clifford_matrix, _find_inverse
+from repro.noise import get_device
+from repro.sim.unitary import circuit_unitary
+from repro.utils.linalg import global_phase_distance, is_unitary
+
+
+# -- Clifford group ------------------------------------------------------------
+
+
+def test_clifford_group_has_24_elements():
+    assert len(CLIFFORD_SEQUENCES) == 24
+
+
+def test_clifford_matrices_distinct_and_unitary():
+    for i in range(24):
+        assert is_unitary(clifford_matrix(i))
+    for i in range(24):
+        for j in range(i + 1, 24):
+            assert (
+                global_phase_distance(clifford_matrix(i), clifford_matrix(j))
+                > 1e-6
+            )
+
+
+def test_clifford_group_closed_under_composition():
+    rng = np.random.default_rng(3)
+    for _ in range(20):
+        i, j = rng.integers(0, 24, size=2)
+        product = clifford_matrix(i) @ clifford_matrix(j)
+        matches = [
+            k
+            for k in range(24)
+            if global_phase_distance(product, clifford_matrix(k)) < 1e-9
+        ]
+        assert len(matches) == 1
+
+
+def test_every_clifford_has_inverse():
+    for i in range(24):
+        inv = _find_inverse(clifford_matrix(i))
+        product = clifford_matrix(inv) @ clifford_matrix(i)
+        assert global_phase_distance(product, np.eye(2)) < 1e-9
+
+
+def test_clifford_circuit_with_inversion_is_identity():
+    rng = np.random.default_rng(5)
+    for length in (0, 1, 5, 12):
+        indices = rb_sequence(length, rng)
+        circuit = clifford_circuit(indices, invert=True)
+        unitary = circuit_unitary(circuit)
+        assert global_phase_distance(unitary, np.eye(2)) < 1e-8
+
+
+def test_clifford_circuit_without_inversion():
+    circuit = clifford_circuit([1], invert=False)
+    expected = clifford_matrix(1)
+    assert global_phase_distance(circuit_unitary(circuit), expected) < 1e-9
+
+
+def test_rb_sequence_reproducible():
+    assert rb_sequence(10, 42) == rb_sequence(10, 42)
+    assert all(0 <= i < 24 for i in rb_sequence(50, 0))
+
+
+# -- decay fitting ----------------------------------------------------------------
+
+
+def test_fit_recovers_synthetic_decay():
+    lengths = [1, 4, 8, 16, 32, 64]
+    alpha_true, a_true, b_true = 0.97, 0.48, 0.5
+    survival = [a_true * alpha_true**m + b_true for m in lengths]
+    alpha, amplitude, baseline = fit_rb_decay(lengths, survival)
+    assert np.isclose(alpha, alpha_true, atol=1e-4)
+    assert np.isclose(amplitude, a_true, atol=1e-3)
+    assert np.isclose(baseline, b_true, atol=1e-3)
+
+
+def test_fit_needs_three_points():
+    with pytest.raises(ValueError, match="at least 3"):
+        fit_rb_decay([1, 2], [0.9, 0.8])
+
+
+def test_fit_noiseless_survival():
+    lengths = [1, 8, 32, 64]
+    alpha, _a, _b = fit_rb_decay(lengths, [1.0, 1.0, 1.0, 1.0])
+    assert alpha > 0.999
+
+
+# -- RB experiments ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def santiago():
+    return get_device("santiago")
+
+
+@pytest.fixture(scope="module")
+def yorktown():
+    return get_device("yorktown")
+
+
+def test_rb_detects_low_noise(santiago):
+    result = run_rb_experiment(
+        santiago, qubit=0, lengths=(1, 16, 64, 160), n_sequences=4, rng=0
+    )
+    assert result.alpha > 0.99
+    assert 0.0 <= result.error_per_clifford < 0.01
+    # Survival decreases with sequence length overall.
+    assert result.survival[0] >= result.survival[-1] - 1e-6
+
+
+def test_rb_orders_devices_by_noise(santiago, yorktown):
+    lengths = (1, 16, 64, 160)
+    low = run_rb_experiment(santiago, 0, lengths, n_sequences=6, rng=1)
+    high = run_rb_experiment(yorktown, 0, lengths, n_sequences=6, rng=1)
+    # Yorktown's published 1q error is ~5x Santiago's (paper Figure 1).
+    assert high.error_per_clifford > low.error_per_clifford
+
+
+def test_rb_epc_tracks_model_error_rate(santiago):
+    # EPC should be within an order of magnitude of the model's per-gate
+    # Pauli total times the ~2 noisy sx per Clifford.
+    result = run_rb_experiment(
+        santiago, 0, lengths=(1, 32, 128, 256), n_sequences=8, rng=2
+    )
+    model_rate = santiago.noise_model.one_qubit[("sx", 0)].total
+    assert 0.2 * model_rate < result.error_per_clifford < 20 * model_rate
+
+
+def test_rb_hardware_vs_published_gap(yorktown):
+    lengths = (1, 16, 64, 160)
+    pub = run_rb_experiment(yorktown, 1, lengths, 6, use_hardware=False, rng=3)
+    hw = run_rb_experiment(yorktown, 1, lengths, 6, use_hardware=True, rng=3)
+    # The drifted twin differs from the datasheet (either direction).
+    assert not np.isclose(pub.error_per_clifford, hw.error_per_clifford, rtol=0.02)
+
+
+def test_rb_with_shot_noise(santiago):
+    result = run_rb_experiment(
+        santiago, 0, lengths=(1, 16, 64), n_sequences=3, shots=2048, rng=4
+    )
+    assert 0.0 <= result.alpha <= 1.0
+    assert all(0.0 <= s <= 1.0 for s in result.survival)
+
+
+def test_rb_bad_qubit_raises(santiago):
+    with pytest.raises(ValueError, match="out of range"):
+        run_rb_experiment(santiago, qubit=99)
+
+
+def test_error_per_gate_smaller_than_per_clifford(santiago):
+    result = run_rb_experiment(santiago, 0, (1, 16, 64), 3, rng=5)
+    assert result.error_per_gate <= result.error_per_clifford
+
+
+# -- readout calibration ---------------------------------------------------------------
+
+
+def test_readout_calibration_matches_model(santiago):
+    # Exact measurement (no shots is not allowed; use many shots).
+    calib = calibrate_readout(santiago, 0, shots=200_000, use_hardware=False, rng=0)
+    model = santiago.noise_model.readout_for(0)
+    assert np.isclose(calib.p01, model[0, 1], atol=5e-3)
+    # p10 estimate includes the X-gate error; still close for small rates.
+    assert np.isclose(calib.p10, model[1, 0], atol=6e-3)
+
+
+def test_readout_calibration_rows_sum_to_one(santiago):
+    calib = calibrate_readout(santiago, 2, shots=4096, rng=1)
+    assert np.allclose(calib.matrix.sum(axis=1), 1.0)
+    assert 0 <= calib.assignment_error <= 0.5
+
+
+def test_readout_hardware_differs_from_published(yorktown):
+    pub = calibrate_readout(yorktown, 0, shots=400_000, use_hardware=False, rng=2)
+    hw = calibrate_readout(yorktown, 0, shots=400_000, use_hardware=True, rng=2)
+    assert not np.isclose(pub.assignment_error, hw.assignment_error, rtol=0.02)
+
+
+def test_readout_bad_qubit_raises(santiago):
+    with pytest.raises(ValueError, match="out of range"):
+        calibrate_readout(santiago, 99)
+
+
+# -- whole-device report ------------------------------------------------------------------
+
+
+def test_characterize_device_report(santiago):
+    report = characterize_device(
+        santiago,
+        qubits=(0, 1),
+        lengths=(1, 16, 64),
+        n_sequences=3,
+        rng=0,
+    )
+    assert len(report.rb_published) == 2
+    assert len(report.readout_hardware) == 2
+    assert report.gate_error_drift > 0
+    text = report.summary()
+    assert "ibmq-santiago" in text
+    assert "drift" in text
+    assert text.count("\n") >= 4
+
+
+# -- stabilizer-backed RB --------------------------------------------------------------
+
+
+def test_stabilizer_rb_agrees_with_density_rb(santiago):
+    from repro.characterization import run_rb_stabilizer
+
+    fast = run_rb_stabilizer(
+        santiago, 0, lengths=(1, 16, 64, 160), n_sequences=24, rng=0
+    )
+    exact = run_rb_experiment(
+        santiago, 0, lengths=(1, 16, 64, 160), n_sequences=6, rng=0
+    )
+    # Same order of magnitude despite trajectory sampling.
+    assert 0.05 * exact.error_per_clifford < fast.error_per_clifford
+    assert fast.error_per_clifford < 20 * exact.error_per_clifford
+
+
+def test_stabilizer_rb_scales_to_melbourne():
+    from repro.characterization import run_rb_stabilizer
+    from repro.noise import get_device
+
+    melbourne = get_device("melbourne")  # 14 qubits: statevector-hostile
+    result = run_rb_stabilizer(
+        melbourne, melbourne.n_qubits - 1, lengths=(1, 16, 64), n_sequences=12, rng=1
+    )
+    assert 0.0 <= result.error_per_clifford < 0.1
+    assert result.survival[0] > result.survival[-1] - 0.05
+
+
+def test_stabilizer_rb_noiseless_when_errors_zero():
+    from repro.characterization import run_rb_stabilizer
+    from repro.noise import get_device
+
+    device = get_device("santiago")
+    # The published model has tiny rates; survival at short lengths ~1.
+    result = run_rb_stabilizer(device, 0, lengths=(1, 4, 8), n_sequences=8, rng=2)
+    assert result.survival[0] > 0.9
+
+
+def test_stabilizer_rb_bad_qubit_raises(santiago):
+    from repro.characterization import run_rb_stabilizer
+
+    with pytest.raises(ValueError, match="out of range"):
+        run_rb_stabilizer(santiago, qubit=50)
+
+
+# -- interleaved RB ---------------------------------------------------------------------
+
+
+def test_interleaved_circuit_is_identity():
+    from repro.characterization import interleaved_circuit
+
+    rng = np.random.default_rng(11)
+    for gate in ("sx", "x", "h", "s"):
+        circuit = interleaved_circuit(rb_sequence(6, rng), gate)
+        assert global_phase_distance(circuit_unitary(circuit), np.eye(2)) < 1e-8
+
+
+def test_interleaved_circuit_rejects_non_clifford():
+    from repro.characterization import interleaved_circuit
+
+    with pytest.raises(ValueError, match="not a single-qubit Clifford"):
+        interleaved_circuit([0, 1], "t")
+
+
+def test_interleaved_rb_isolates_gate_error(santiago):
+    from repro.characterization import run_interleaved_rb
+
+    result = run_interleaved_rb(
+        santiago, "sx", qubit=0, lengths=(1, 16, 48, 96), n_sequences=5, rng=0
+    )
+    # The interleaved run decays at least as fast as the reference.
+    assert result.interleaved.alpha <= result.reference.alpha + 1e-6
+    # The derived per-gate error lands near the model's SX Pauli total.
+    model_rate = santiago.noise_model.one_qubit[("sx", 0)].total
+    assert 0.05 * model_rate < result.gate_error < 50 * model_rate
+
+
+def test_interleaved_rb_virtual_gate_is_error_free(santiago):
+    from repro.characterization import run_interleaved_rb
+
+    # S lowers to a virtual RZ: interleaving it should add ~no error,
+    # and strictly less than a driven gate like SX adds.
+    lengths = (1, 32, 96, 192)
+    s_result = run_interleaved_rb(
+        santiago, "s", qubit=0, lengths=lengths, n_sequences=8, rng=1
+    )
+    sx_result = run_interleaved_rb(
+        santiago, "sx", qubit=0, lengths=lengths, n_sequences=8, rng=1
+    )
+    assert s_result.gate_error < 1e-3
+    assert s_result.gate_error < sx_result.gate_error + 1e-6

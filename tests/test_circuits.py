@@ -1,0 +1,136 @@
+"""Circuit IR: construction, validation, parameters, inversion."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate, ParamExpr, ParameterTable
+from repro.utils.linalg import global_phase_distance
+
+
+def test_add_and_len():
+    c = Circuit(2)
+    c.add("h", 0).add("cx", (0, 1)).add("ry", 1, 0.3)
+    assert len(c) == 3
+    assert c.count_ops() == {"h": 1, "cx": 1, "ry": 1}
+
+
+def test_qubit_out_of_range():
+    c = Circuit(2)
+    with pytest.raises(ValueError, match="out of range"):
+        c.add("h", 5)
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        Gate("cx", (1, 1))
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(ValueError):
+        Gate("cx", (0,))
+
+
+def test_depth():
+    c = Circuit(3)
+    c.add("h", 0).add("h", 1).add("h", 2)  # parallel layer
+    assert c.depth() == 1
+    c.add("cx", (0, 1))
+    assert c.depth() == 2
+    c.add("h", 2)
+    assert c.depth() == 2
+
+
+def test_extend_width_mismatch():
+    with pytest.raises(ValueError):
+        Circuit(2).extend(Circuit(3))
+
+
+def test_to_matrix_single_gate():
+    c = Circuit(1).add("ry", 0, 0.7)
+    from repro.sim.gates import gate_matrix
+
+    assert np.allclose(c.to_matrix(), gate_matrix("ry", (0.7,)))
+
+
+def test_to_matrix_binds_weights_and_inputs():
+    c = Circuit(1)
+    c.add("ry", 0, ParamExpr.weight(0))
+    c.add("rz", 0, ParamExpr.input(0, coeff=2.0, const=0.5))
+    w = np.array([0.3])
+    x = np.array([0.2])
+    from repro.sim.gates import gate_matrix
+
+    expected = gate_matrix("rz", (0.9,)) @ gate_matrix("ry", (0.3,))
+    assert np.allclose(c.to_matrix(w, x), expected)
+
+
+def test_inverse_undoes_circuit():
+    rng = np.random.default_rng(7)
+    c = Circuit(3)
+    c.add("h", 0).add("sx", 1).add("u3", 2, *rng.uniform(-2, 2, 3))
+    c.add("cu3", (0, 1), *rng.uniform(-2, 2, 3))
+    c.add("rzz", (1, 2), 0.7).add("sqswap", (0, 2)).add("sh", 1)
+    c.add("s", 0).add("t", 1).add("swap", (1, 2))
+    product = c.inverse().to_matrix() @ c.to_matrix()
+    assert global_phase_distance(product, np.eye(8)) < 1e-10
+
+
+def test_remapped_gate():
+    g = Gate("cx", (0, 1))
+    assert g.remapped({0: 3, 1: 1}).qubits == (3, 1)
+
+
+# -- ParamExpr ---------------------------------------------------------------
+
+
+def test_paramexpr_algebra():
+    e = ParamExpr.weight(2, coeff=2.0, const=1.0)
+    shifted = e.shifted(0.5)
+    assert shifted.const == 1.5
+    scaled = e.scaled(-0.5)
+    assert scaled.terms == (("w", 2, -1.0),)
+    assert scaled.const == -0.5
+
+
+def test_paramexpr_addition_merges_terms():
+    a = ParamExpr.weight(0) + ParamExpr.weight(0)
+    assert a.terms == (("w", 0, 2.0),)
+    b = ParamExpr.weight(0) + ParamExpr.weight(0).scaled(-1.0)
+    assert b.terms == ()  # cancels exactly
+
+
+def test_paramexpr_evaluate_batched():
+    e = ParamExpr.input(1, coeff=3.0, const=-1.0)
+    x = np.array([[0.0, 1.0], [0.0, 2.0]])
+    values = e.evaluate(None, x)
+    assert np.allclose(values, [2.0, 5.0])
+
+
+def test_paramexpr_evaluate_missing_weights_raises():
+    with pytest.raises(ValueError, match="weights"):
+        ParamExpr.weight(0).evaluate(None, None)
+
+
+def test_paramexpr_invalid_kind():
+    with pytest.raises(ValueError):
+        ParamExpr((("q", 0, 1.0),))
+
+
+def test_parameter_table_scan():
+    exprs = [ParamExpr.weight(4), ParamExpr.input(2), ParamExpr.constant(1.0)]
+    table = ParameterTable.scan(exprs)
+    assert table.num_weights == 5
+    assert table.num_inputs == 3
+
+
+def test_parameter_table_merge():
+    a = ParameterTable(3, 1)
+    b = ParameterTable(2, 7)
+    merged = a.merge(b)
+    assert (merged.num_weights, merged.num_inputs) == (3, 7)
+
+
+def test_constant_coercion():
+    c = Circuit(1).add("ry", 0, 1.5)
+    expr = c.gates[0].params[0]
+    assert expr.is_constant and expr.const == 1.5

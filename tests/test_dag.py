@@ -1,0 +1,183 @@
+"""Circuit DAG: structure, layering, mutation, commutation oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, ParamExpr
+from repro.circuits.circuit import Gate
+from repro.circuits.dag import CircuitDAG, gates_commute
+from repro.utils.linalg import embed_operator
+
+
+def _sample_circuit() -> Circuit:
+    return (
+        Circuit(3)
+        .add("h", 0)
+        .add("cx", (0, 1))
+        .add("rz", 1, 0.3)
+        .add("cx", (1, 2))
+        .add("x", 0)
+    )
+
+
+# -- construction ------------------------------------------------------------
+
+
+def test_dag_node_count_matches_gates():
+    dag = CircuitDAG.from_circuit(_sample_circuit())
+    assert len(dag) == 5
+
+
+def test_wire_edges_follow_qubits():
+    dag = CircuitDAG.from_circuit(_sample_circuit())
+    # h(0) -> cx(0,1) on qubit 0's wire.
+    assert dag.successors_on(0, 0) == 1
+    # cx(0,1) -> rz(1) on qubit 1, and -> x(0) on qubit 0.
+    assert dag.successors_on(1, 1) == 2
+    assert dag.successors_on(1, 0) == 4
+    assert dag.predecessors_on(3, 1) == 2
+    assert dag.predecessors_on(0, 0) is None
+    assert dag.successors_on(4, 0) is None
+
+
+def test_front_layer():
+    dag = CircuitDAG.from_circuit(_sample_circuit())
+    assert dag.front_layer() == [0]
+    parallel = Circuit(2).add("h", 0).add("h", 1)
+    assert CircuitDAG.from_circuit(parallel).front_layer() == [0, 1]
+
+
+def test_layers_and_depth_match_circuit_depth():
+    circuit = _sample_circuit()
+    dag = CircuitDAG.from_circuit(circuit)
+    assert dag.depth() == circuit.depth()
+    layers = dag.layers()
+    assert sorted(n for layer in layers for n in layer) == sorted(range(5))
+    # First layer only contains the front gates.
+    assert layers[0] == [0]
+    # x(0) only waits on cx(0,1): it lands in layer 2, before cx(1,2).
+    assert 4 in layers[2] and layers[3] == [3]
+
+
+def test_empty_circuit_dag():
+    dag = CircuitDAG.from_circuit(Circuit(2))
+    assert len(dag) == 0
+    assert dag.depth() == 0
+    assert dag.front_layer() == []
+
+
+# -- roundtrip / mutation ------------------------------------------------------
+
+
+def test_to_circuit_preserves_order_and_unitary():
+    circuit = _sample_circuit()
+    rebuilt = CircuitDAG.from_circuit(circuit).to_circuit()
+    assert [g.name for g in rebuilt.gates] == [g.name for g in circuit.gates]
+
+
+def test_remove_gate_reconnects_wire():
+    dag = CircuitDAG.from_circuit(_sample_circuit())
+    dag.remove_gate(2)  # rz on qubit 1 between the two cx
+    assert dag.successors_on(1, 1) == 3
+    rebuilt = dag.to_circuit()
+    assert len(rebuilt) == 4
+    assert "rz" not in [g.name for g in rebuilt.gates]
+
+
+def test_descendants():
+    dag = CircuitDAG.from_circuit(_sample_circuit())
+    assert dag.descendants(0) == {1, 2, 3, 4}
+    assert dag.descendants(4) == set()
+
+
+# -- commutation oracle ----------------------------------------------------------
+
+
+def _dense_check(a: Gate, b: Gate) -> bool:
+    union = sorted(set(a.qubits) | set(b.qubits))
+    local = {q: i for i, q in enumerate(union)}
+    n = len(union)
+
+    def dense(g: Gate) -> np.ndarray:
+        vals = tuple(float(p.const) for p in g.params)
+        return embed_operator(
+            g.definition.matrix(vals), tuple(local[q] for q in g.qubits), n
+        )
+
+    ma, mb = dense(a), dense(b)
+    return bool(np.allclose(ma @ mb, mb @ ma, atol=1e-9))
+
+
+def test_disjoint_gates_commute():
+    a = Gate("h", (0,))
+    b = Gate("cx", (1, 2))
+    assert gates_commute(a, b)
+
+
+@pytest.mark.parametrize(
+    "a,b,expected",
+    [
+        (Gate("rz", (0,), (ParamExpr.constant(0.3),)), Gate("cx", (0, 1)), True),
+        (Gate("rz", (1,), (ParamExpr.constant(0.3),)), Gate("cx", (0, 1)), False),
+        (Gate("x", (1,)), Gate("cx", (0, 1)), True),
+        (Gate("x", (0,)), Gate("cx", (0, 1)), False),
+        (Gate("cx", (0, 1)), Gate("cx", (0, 2)), True),
+        (Gate("cx", (0, 2)), Gate("cx", (1, 2)), True),
+        (Gate("cx", (0, 1)), Gate("cx", (1, 2)), False),
+        (Gate("cz", (0, 1)), Gate("rz", (0,), (ParamExpr.constant(1.0),)), True),
+        (Gate("h", (0,)), Gate("x", (0,)), False),
+        (Gate("sx", (0,)), Gate("rx", (0,), (ParamExpr.constant(0.5),)), True),
+        (Gate("ry", (0,), (ParamExpr.constant(0.4),)), Gate("y", (0,)), True),
+    ],
+)
+def test_structural_commutation_rules(a, b, expected):
+    assert gates_commute(a, b) == expected
+    assert _dense_check(a, b) == expected  # rules agree with matrices
+
+
+def test_symbolic_rotations_same_axis_commute():
+    a = Gate("rz", (0,), (ParamExpr.weight(0),))
+    b = Gate("rz", (0,), (ParamExpr.weight(1),))
+    assert gates_commute(a, b)
+
+
+def test_symbolic_unknown_pairs_report_false():
+    # ry(w0) vs h: no structural rule and no constant fallback.
+    a = Gate("ry", (0,), (ParamExpr.weight(0),))
+    b = Gate("h", (0,))
+    assert not gates_commute(a, b)
+
+
+def test_dense_fallback_catches_unusual_pairs():
+    # Two rotations by 2*pi are both identity: commute despite no rule.
+    a = Gate("u3", (0,), tuple(ParamExpr.constant(v) for v in (0.0, 0.0, 0.0)))
+    b = Gate("h", (0,))
+    assert gates_commute(a, b)
+
+
+names = st.sampled_from(["x", "z", "h", "s", "sx", "rz", "rx", "ry", "cx", "cz"])
+
+
+@given(names, names, st.integers(0, 1), st.integers(0, 2), st.data())
+@settings(max_examples=120, deadline=None)
+def test_oracle_is_sound_against_dense(name_a, name_b, qa, qb, data):
+    """gates_commute must never claim commutation that matrices refute."""
+
+    def build(name, q0):
+        from repro.sim.gates import gate_def
+
+        nq = gate_def(name).num_qubits
+        n_params = gate_def(name).num_params
+        qubits = (q0,) if nq == 1 else (q0, (q0 + 1) % 3)
+        params = tuple(
+            ParamExpr.constant(data.draw(st.floats(-3.0, 3.0)))
+            for _ in range(n_params)
+        )
+        return Gate(name, qubits, params)
+
+    a = build(name_a, qa)
+    b = build(name_b, qb)
+    if gates_commute(a, b):
+        assert _dense_check(a, b)

@@ -1,0 +1,171 @@
+"""Datasets: synthetic generators, preprocessing, task loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AngleScaler,
+    PCA,
+    TASK_NAMES,
+    average_pool,
+    center_crop,
+    flatten_images,
+    load_scalar_pair_task,
+    load_task,
+    synthetic_digits,
+    synthetic_garments,
+    synthetic_scenes,
+    synthetic_vowels,
+    to_grayscale,
+)
+
+
+def test_center_crop():
+    images = np.arange(2 * 28 * 28).reshape(2, 28, 28).astype(float)
+    cropped = center_crop(images, 24)
+    assert cropped.shape == (2, 24, 24)
+    assert cropped[0, 0, 0] == images[0, 2, 2]
+    with pytest.raises(ValueError):
+        center_crop(images, 30)
+
+
+def test_average_pool_exact():
+    image = np.array([[[1.0, 3.0], [5.0, 7.0]]])
+    pooled = average_pool(image, 1)
+    assert pooled[0, 0, 0] == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        average_pool(np.zeros((1, 5, 5)), 2)
+
+
+def test_average_pool_paper_shapes():
+    images = np.random.default_rng(0).random((3, 24, 24))
+    assert average_pool(images, 4).shape == (3, 4, 4)
+    assert average_pool(images, 6).shape == (3, 6, 6)
+
+
+def test_grayscale():
+    rgb = np.random.default_rng(0).random((2, 8, 8, 3))
+    gray = to_grayscale(rgb)
+    assert gray.shape == (2, 8, 8)
+    assert (gray >= 0).all() and (gray <= 1).all()
+    with pytest.raises(ValueError):
+        to_grayscale(np.zeros((2, 8, 8)))
+
+
+def test_pca_reduces_and_orders_variance():
+    rng = np.random.default_rng(1)
+    latent = rng.normal(0, 1, (200, 3)) * np.array([5.0, 2.0, 0.5])
+    mix = rng.normal(0, 1, (3, 12))
+    data = latent @ mix + rng.normal(0, 0.01, (200, 12))
+    pca = PCA(3).fit(data)
+    reduced = pca.transform(data)
+    assert reduced.shape == (200, 3)
+    variances = reduced.var(axis=0)
+    assert variances[0] > variances[1] > variances[2]
+
+
+def test_pca_transform_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        PCA(2).transform(np.zeros((4, 4)))
+
+
+def test_angle_scaler_standardizes():
+    rng = np.random.default_rng(2)
+    data = rng.normal(5.0, 3.0, (500, 4))
+    scaler = AngleScaler()
+    scaled = scaler.fit_transform(data)
+    assert np.abs(scaled.mean(axis=0)).max() < 0.1
+    assert (np.abs(scaled) <= 3 * np.pi / 2 + 1e-9).all()
+
+
+def test_synthetic_digits_shapes_and_range():
+    images, labels = synthetic_digits(20, (0, 1, 2, 3), rng=0)
+    assert images.shape == (20, 28, 28)
+    assert images.min() >= 0 and images.max() <= 1
+    assert set(np.unique(labels)) <= {0, 1, 2, 3}
+
+
+def test_synthetic_digits_deterministic():
+    a, la = synthetic_digits(5, (3, 6), rng=42)
+    b, lb = synthetic_digits(5, (3, 6), rng=42)
+    assert np.allclose(a, b) and np.array_equal(la, lb)
+
+
+def test_synthetic_garments_all_classes():
+    images, labels = synthetic_garments(30, tuple(range(10)), rng=1)
+    assert images.shape == (30, 28, 28)
+    assert labels.max() <= 9
+
+
+def test_synthetic_scenes_rgb():
+    images, labels = synthetic_scenes(10, rng=2)
+    assert images.shape == (10, 32, 32, 3)
+    assert set(np.unique(labels)) <= {0, 1}
+
+
+def test_synthetic_scenes_classes_differ():
+    """Frogs are green-dominant; ships are not."""
+    images, labels = synthetic_scenes(60, rng=3)
+
+    def green_dominance(imgs):
+        return (imgs[..., 1] - 0.5 * (imgs[..., 0] + imgs[..., 2])).mean()
+
+    assert green_dominance(images[labels == 0]) > green_dominance(
+        images[labels == 1]
+    )
+
+
+def test_synthetic_vowels():
+    features, labels = synthetic_vowels(200, rng=4)
+    assert features.shape == (200, 20)
+    assert set(np.unique(labels)) <= {0, 1, 2, 3}
+
+
+@pytest.mark.parametrize("name", TASK_NAMES)
+def test_all_tasks_load(name):
+    task = load_task(name, n_train=40, n_valid=12, n_test=16, seed=0)
+    assert task.train_x.shape == (40, task.n_features)
+    assert task.valid_x.shape == (12, task.n_features)
+    assert task.test_x.shape == (16, task.n_features)
+    assert task.train_y.max() < task.n_classes
+    expected_features = {
+        "mnist-2": 16, "mnist-4": 16, "mnist-10": 36,
+        "fashion-2": 16, "fashion-4": 16, "fashion-10": 36,
+        "cifar-2": 16, "vowel-4": 10,
+    }[name]
+    assert task.n_features == expected_features
+    assert task.n_qubits == (10 if name.endswith("-10") else 4)
+
+
+def test_unknown_task_raises():
+    with pytest.raises(KeyError):
+        load_task("svhn-10")
+
+
+def test_task_loading_deterministic():
+    a = load_task("mnist-4", n_train=20, n_valid=8, n_test=8, seed=5)
+    b = load_task("mnist-4", n_train=20, n_valid=8, n_test=8, seed=5)
+    assert np.allclose(a.train_x, b.train_x)
+    assert np.array_equal(a.test_y, b.test_y)
+
+
+def test_task_splits_differ():
+    task = load_task("fashion-4", n_train=30, n_valid=10, n_test=10, seed=6)
+    assert not np.allclose(task.train_x[:10], task.valid_x)
+
+
+def test_scalar_pair_task_is_separable():
+    task = load_scalar_pair_task(n_train=100, n_valid=20, n_test=50, seed=0)
+    assert task.n_qubits == 2 and task.n_features == 2
+    # Nearest-centroid classification should do well on the train split.
+    centers = [task.train_x[task.train_y == c].mean(axis=0) for c in (0, 1)]
+    distances = np.stack(
+        [np.linalg.norm(task.test_x - c, axis=1) for c in centers], axis=1
+    )
+    acc = (distances.argmin(axis=1) == task.test_y).mean()
+    assert acc > 0.8
+
+
+def test_flatten_images():
+    images = np.zeros((3, 4, 4))
+    assert flatten_images(images).shape == (3, 16)

@@ -1,0 +1,135 @@
+"""Density-matrix engine: agreement with statevector, channel behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.sim.density import (
+    apply_kraus_to_density,
+    apply_unitary_to_density,
+    density_from_state,
+    density_probabilities,
+    density_z_expectations,
+    purity,
+    zero_density,
+)
+from repro.sim.gates import gate_matrix
+from repro.sim.kraus import (
+    amplitude_damping_channel,
+    apply_channel_to_density,
+    depolarizing_channel,
+    is_cptp,
+    pauli_channel,
+    phase_damping_channel,
+)
+from repro.sim.statevector import run_circuit, z_expectations
+from repro.utils.linalg import embed_operator
+
+
+def test_zero_density():
+    rho = zero_density(2, batch=3)
+    assert rho.shape == (3, 4, 4)
+    assert np.allclose(np.einsum("bii->b", rho), 1.0)
+
+
+def test_unitary_evolution_matches_statevector():
+    rng = np.random.default_rng(0)
+    c = Circuit(3)
+    c.add("h", 0).add("cu3", (0, 2), *rng.uniform(-2, 2, 3)).add("rzz", (1, 2), 0.8)
+    state, ops = run_circuit(c, batch=2)
+    rho = zero_density(3, batch=2)
+    for op in ops:
+        rho = apply_unitary_to_density(rho, op.matrix, op.qubits, 3)
+    assert np.allclose(rho, density_from_state(state), atol=1e-12)
+    assert np.allclose(
+        density_z_expectations(rho, 3), z_expectations(state, 3), atol=1e-12
+    )
+
+
+@pytest.mark.parametrize(
+    "channel",
+    [
+        pauli_channel(0.01, 0.02, 0.03),
+        depolarizing_channel(0.05),
+        amplitude_damping_channel(0.1),
+        phase_damping_channel(0.2),
+    ],
+)
+def test_channels_are_cptp(channel):
+    assert is_cptp(channel)
+
+
+def test_invalid_channel_params():
+    with pytest.raises(ValueError):
+        pauli_channel(0.6, 0.5, 0.3)
+    with pytest.raises(ValueError):
+        amplitude_damping_channel(1.5)
+    with pytest.raises(ValueError):
+        pauli_channel(-0.1, 0.0, 0.0)
+
+
+def test_kraus_application_matches_dense_reference():
+    rng = np.random.default_rng(1)
+    c = Circuit(2)
+    c.add("h", 0).add("cx", (0, 1)).add("ry", 1, 0.4)
+    state, _ = run_circuit(c, batch=1)
+    rho = density_from_state(state)
+    channel = depolarizing_channel(0.1)
+    fast = apply_kraus_to_density(rho, channel, (1,), 2)
+    dense_ops = [embed_operator(op, (1,), 2) for op in channel]
+    dense = apply_channel_to_density(rho[0], dense_ops)
+    assert np.allclose(fast[0], dense, atol=1e-12)
+
+
+def test_channel_preserves_trace():
+    c = Circuit(2).add("h", 0).add("cx", (0, 1))
+    state, _ = run_circuit(c, batch=1)
+    rho = density_from_state(state)
+    rho = apply_kraus_to_density(rho, pauli_channel(0.1, 0.05, 0.03), (0,), 2)
+    assert np.allclose(np.einsum("bii->b", rho), 1.0)
+
+
+def test_depolarizing_shrinks_purity():
+    c = Circuit(1).add("h", 0)
+    state, _ = run_circuit(c, batch=1)
+    rho = density_from_state(state)
+    assert np.allclose(purity(rho), 1.0)
+    noisy = apply_kraus_to_density(rho, depolarizing_channel(0.2), (0,), 1)
+    assert purity(noisy)[0] < 1.0
+
+
+def test_full_depolarizing_gives_maximally_mixed():
+    c = Circuit(1).add("ry", 0, 1.1)
+    state, _ = run_circuit(c, batch=1)
+    rho = density_from_state(state)
+    noisy = apply_kraus_to_density(rho, depolarizing_channel(0.75), (0,), 1)
+    assert np.allclose(noisy[0], np.eye(2) / 2, atol=1e-12)
+
+
+def test_theorem_31_gamma_from_depolarizing():
+    """Depolarizing with parameter p scales <Z> by gamma = 1 - 4p/3."""
+    theta = 0.9
+    c = Circuit(1).add("ry", 0, theta)
+    state, _ = run_circuit(c, batch=1)
+    rho = density_from_state(state)
+    clean = density_z_expectations(rho, 1)[0, 0]
+    p = 0.15
+    noisy_rho = apply_kraus_to_density(rho, depolarizing_channel(p), (0,), 1)
+    noisy = density_z_expectations(noisy_rho, 1)[0, 0]
+    assert np.isclose(noisy, (1 - 4 * p / 3) * clean, atol=1e-12)
+
+
+def test_amplitude_damping_shifts_toward_zero_state():
+    # |1> decays toward |0>: <Z> moves from -1 toward +1 (the beta shift).
+    c = Circuit(1).add("x", 0)
+    state, _ = run_circuit(c, batch=1)
+    rho = density_from_state(state)
+    noisy = apply_kraus_to_density(rho, amplitude_damping_channel(0.3), (0,), 1)
+    assert density_z_expectations(noisy, 1)[0, 0] == pytest.approx(-0.4)
+
+
+def test_density_probabilities_match_statevector():
+    c = Circuit(2).add("ry", 0, 0.3).add("cx", (0, 1))
+    state, _ = run_circuit(c, batch=1)
+    rho = density_from_state(state)
+    assert np.allclose(density_probabilities(rho), np.abs(state) ** 2)

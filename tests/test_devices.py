@@ -1,0 +1,95 @@
+"""Device catalog: determinism, paper-reported rates, topology, drift."""
+
+import numpy as np
+import pytest
+
+from repro.noise import get_device, list_devices
+
+
+def test_catalog_contains_all_paper_devices():
+    names = list_devices()
+    for expected in (
+        "yorktown",
+        "lima",
+        "santiago",
+        "athens",
+        "bogota",
+        "belem",
+        "quito",
+        "melbourne",
+    ):
+        assert expected in names
+
+
+def test_lookup_normalization():
+    assert get_device("IBMQ-Yorktown") is get_device("yorktown")
+    with pytest.raises(KeyError):
+        get_device("osaka")
+
+
+def test_figure1_reported_error_rates():
+    """Figure 1's single-qubit gate error rates are the specs' base rates."""
+    assert get_device("yorktown").spec.base_1q_error == pytest.approx(1.01e-3)
+    assert get_device("lima").spec.base_1q_error == pytest.approx(4.84e-4)
+    assert get_device("santiago").spec.base_1q_error == pytest.approx(2.03e-4)
+
+
+def test_device_error_hierarchy():
+    """Yorktown is the noisiest of the three headline devices."""
+    yorktown = get_device("yorktown").noise_model.mean_one_qubit_error()
+    lima = get_device("lima").noise_model.mean_one_qubit_error()
+    santiago = get_device("santiago").noise_model.mean_one_qubit_error()
+    assert yorktown > lima > santiago
+
+
+def test_determinism():
+    a = get_device("belem").noise_model
+    import repro.noise.devices as devices_module
+
+    devices_module._DEVICE_CACHE.pop("belem")
+    b = get_device("belem").noise_model
+    assert a.one_qubit.keys() == b.one_qubit.keys()
+    key = next(iter(a.one_qubit))
+    assert a.one_qubit[key].px == b.one_qubit[key].px
+    assert np.allclose(a.readout, b.readout)
+
+
+def test_athens_is_retired():
+    assert get_device("athens").retired
+    assert not get_device("santiago").retired
+
+
+def test_topologies():
+    assert len(get_device("santiago").coupling.edges) == 4  # line
+    assert len(get_device("yorktown").coupling.edges) == 6  # bowtie
+    assert len(get_device("lima").coupling.edges) == 4  # T
+    melbourne = get_device("melbourne")
+    assert melbourne.n_qubits == 14
+    assert melbourne.coupling.is_connected_subset(list(range(14)))
+
+
+def test_hardware_model_differs_from_published():
+    device = get_device("quito")
+    published = device.noise_model
+    hardware = device.hardware_model
+    key = next(iter(published.one_qubit))
+    assert published.one_qubit[key].px != hardware.one_qubit[key].px
+    # Hardware twin carries coherent miscalibration; published does not.
+    assert not published.coherent
+    assert len(hardware.coherent) == device.n_qubits
+
+
+def test_two_qubit_errors_cover_all_edges():
+    device = get_device("belem")
+    for edge in device.coupling.edges:
+        assert tuple(sorted(edge)) in device.noise_model.two_qubit
+
+
+def test_readout_matrices_are_stochastic():
+    device = get_device("melbourne")
+    assert np.allclose(device.noise_model.readout.sum(axis=2), 1.0)
+    assert (device.noise_model.readout >= 0).all()
+
+
+def test_basis_gates():
+    assert get_device("santiago").basis_gates == ("rz", "sx", "x", "cx", "id")

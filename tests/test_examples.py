@@ -1,0 +1,75 @@
+"""Smoke tests: every lightweight example runs end to end.
+
+The heavier training demos (quickstart, design-space exploration, device
+comparison, mitigation stack, on-QC parameter shift) are exercised at
+benchmark time; here we run the fast examples and the quick modes of the
+adaptive ones, asserting on their printed conclusions rather than just
+their exit codes.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, quick: bool = True, timeout: int = 600) -> str:
+    env = dict(os.environ)
+    if quick:
+        env["REPRO_EXAMPLE_QUICK"] = "1"
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+def test_export_and_visualize_example():
+    out = _run("export_and_visualize.py")
+    assert "opt level" in out
+    assert "roundtrip process fidelity: 1.0000" in out
+    assert "OPENQASM 2.0;" in out
+    assert "RY(x0)" in out  # the drawing rendered
+
+
+def test_characterize_and_mitigate_example():
+    out = _run("characterize_and_mitigate.py")
+    assert "randomized benchmarking" in out
+    assert "santiago" in out and "yorktown" in out
+    assert "mitigated" in out
+    assert "ZNE richardson" in out
+
+
+def test_noise_drift_adaptation_example():
+    out = _run("noise_drift_adaptation.py")
+    assert "characterization report" in out
+    assert "drift:" in out
+    assert "fine-tuned" in out
+    assert "fine-tuning cost" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "design_space_exploration.py",
+        "device_comparison.py",
+        "mitigation_stack.py",
+        "onqc_parameter_shift.py",
+        "noise_drift_adaptation.py",
+        "characterize_and_mitigate.py",
+        "export_and_visualize.py",
+    ],
+)
+def test_example_compiles(name):
+    """Every example at least byte-compiles (cheap regression guard)."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

@@ -1,0 +1,144 @@
+"""Gate library: unitarity, derivatives, broadcasting, conventions."""
+
+import numpy as np
+import pytest
+
+from repro.sim.gates import (
+    GATES,
+    CX_MATRIX,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    SH_MATRIX,
+    HADAMARD,
+    SX_MATRIX,
+    gate_def,
+    gate_matrix,
+)
+from repro.utils.linalg import is_unitary, global_phase_distance
+
+RNG = np.random.default_rng(1234)
+
+
+def _random_params(n: int) -> tuple:
+    return tuple(RNG.uniform(-np.pi, np.pi) for _ in range(n))
+
+
+@pytest.mark.parametrize("name", sorted(GATES))
+def test_every_gate_is_unitary(name):
+    definition = GATES[name]
+    params = _random_params(definition.num_params)
+    assert is_unitary(definition.matrix(params))
+
+
+@pytest.mark.parametrize("name", sorted(GATES))
+def test_matrix_shape_matches_arity(name):
+    definition = GATES[name]
+    params = _random_params(definition.num_params)
+    dim = 2**definition.num_qubits
+    assert definition.matrix(params).shape == (dim, dim)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in sorted(GATES) if GATES[n].num_params > 0]
+)
+def test_derivatives_match_numeric(name):
+    definition = GATES[name]
+    params = np.array(_random_params(definition.num_params))
+    eps = 1e-7
+    for which in range(definition.num_params):
+        plus = params.copy()
+        minus = params.copy()
+        plus[which] += eps
+        minus[which] -= eps
+        numeric = (
+            definition.matrix(tuple(plus)) - definition.matrix(tuple(minus))
+        ) / (2 * eps)
+        analytic = definition.dmatrix(tuple(params), which)
+        assert np.allclose(analytic, numeric, atol=1e-6), f"{name} d/dp{which}"
+
+
+@pytest.mark.parametrize("name", ["rx", "ry", "rz", "u3", "cu3", "rzz", "u1"])
+def test_parameter_broadcasting(name):
+    definition = GATES[name]
+    batch = 5
+    params = tuple(RNG.uniform(-1, 1, batch) for _ in range(definition.num_params))
+    matrices = definition.matrix(params)
+    dim = 2**definition.num_qubits
+    assert matrices.shape == (batch, dim, dim)
+    for b in range(batch):
+        single = definition.matrix(tuple(p[b] for p in params))
+        assert np.allclose(matrices[b], single)
+
+
+def test_rotation_at_zero_is_identity():
+    for name in ("rx", "ry", "rz", "rxx", "ryy", "rzz", "rzx"):
+        definition = GATES[name]
+        dim = 2**definition.num_qubits
+        assert np.allclose(definition.matrix((0.0,)), np.eye(dim))
+
+
+def test_rotation_periodicity():
+    # R(theta + 4pi) == R(theta) exactly (period 4pi at the matrix level).
+    theta = 0.73
+    assert np.allclose(
+        gate_matrix("ry", (theta,)), gate_matrix("ry", (theta + 4 * np.pi,))
+    )
+
+
+def test_sx_squares_to_x():
+    assert np.allclose(SX_MATRIX @ SX_MATRIX, PAULI_X)
+
+
+def test_sh_squares_to_h():
+    assert global_phase_distance(SH_MATRIX @ SH_MATRIX, HADAMARD) < 1e-10
+
+
+def test_cx_convention_control_is_first_qubit():
+    # Index = bit(q0) + 2*bit(q1); control = qubit 0.
+    # |c=1, t=0> = index 1 must map to |c=1, t=1> = index 3.
+    state = np.zeros(4)
+    state[1] = 1.0
+    assert np.allclose(CX_MATRIX @ state, np.eye(4)[3])
+
+
+def test_cu3_reduces_to_controlled_u3_block():
+    params = _random_params(3)
+    cu3 = gate_matrix("cu3", params)
+    u3 = gate_matrix("u3", params)
+    # Control=0 subspace (indices 0, 2) untouched.
+    assert cu3[0, 0] == 1 and cu3[2, 2] == 1
+    # Control=1 subspace (indices 1, 3) is U3.
+    block = np.array([[cu3[1, 1], cu3[1, 3]], [cu3[3, 1], cu3[3, 3]]])
+    assert np.allclose(block, u3)
+
+
+def test_pauli_commutation():
+    assert np.allclose(PAULI_X @ PAULI_Y - PAULI_Y @ PAULI_X, 2j * PAULI_Z)
+
+
+def test_unknown_gate_raises():
+    with pytest.raises(KeyError, match="unknown gate"):
+        gate_def("nope")
+
+
+def test_wrong_param_count_raises():
+    with pytest.raises(ValueError, match="expects"):
+        gate_matrix("ry", (0.1, 0.2))
+
+
+def test_dmatrix_bad_index_raises():
+    with pytest.raises(ValueError):
+        GATES["u3"].dmatrix((0.1, 0.2, 0.3), 3)
+
+
+def test_dmatrix_of_fixed_gate_raises():
+    with pytest.raises(ValueError, match="no parameters"):
+        GATES["h"].dmatrix((), 0)
+
+
+def test_daggers_are_inverses():
+    for name, dag in [("s", "sdg"), ("t", "tdg"), ("sx", "sxdg"), ("sh", "shdg")]:
+        assert np.allclose(
+            gate_matrix(name) @ gate_matrix(dag), np.eye(2), atol=1e-12
+        )

@@ -1,0 +1,155 @@
+"""Gradient engines: adjoint vs finite differences vs parameter shift."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ParamExpr
+from repro.compiler import transpile
+from repro.core.gradients import (
+    ParameterShiftEngine,
+    adjoint_backward,
+    finite_difference_gradients,
+    forward_with_tape,
+)
+from repro.noise import get_device
+from repro.qnn import paper_model
+
+RNG = np.random.default_rng(77)
+
+
+def _check_adjoint(circuit, n_weights, n_inputs, batch=3, atol=1e-6):
+    weights = RNG.uniform(-1, 1, n_weights)
+    inputs = RNG.uniform(-1, 1, (batch, n_inputs))
+    upstream = RNG.normal(0, 1, (batch, circuit.n_qubits))
+    _, tape = forward_with_tape(circuit, weights, inputs,
+                                n_weights=n_weights, n_inputs=n_inputs)
+    w_grad, x_grad = adjoint_backward(tape, upstream)
+
+    def loss_weights(w):
+        exp, _ = forward_with_tape(circuit, w, inputs)
+        return float((upstream * exp).sum())
+
+    def loss_inputs(flat):
+        exp, _ = forward_with_tape(circuit, weights, flat.reshape(batch, n_inputs))
+        return float((upstream * exp).sum())
+
+    fd_w = finite_difference_gradients(loss_weights, weights)
+    fd_x = finite_difference_gradients(loss_inputs, inputs.ravel())
+    assert np.allclose(w_grad, fd_w, atol=atol)
+    assert np.allclose(x_grad.ravel(), fd_x, atol=atol)
+
+
+@pytest.mark.parametrize(
+    "design", ["u3cu3", "zz_ry", "rxyz", "zx_xx", "ry_cnot"]
+)
+def test_adjoint_matches_fd_across_design_spaces(design):
+    qnn = paper_model(4, 1, 1, 16, 4, design=design)
+    _check_adjoint(qnn.blocks[0], qnn.n_weights, 16)
+
+
+def test_adjoint_matches_fd_rxyz_u1_cu3():
+    qnn = paper_model(4, 1, 1, 16, 4, design="rxyz_u1_cu3")
+    _check_adjoint(qnn.blocks[0], qnn.n_weights, 16)
+
+
+def test_adjoint_through_compiled_circuit():
+    qnn = paper_model(4, 1, 1, 16, 4)
+    device = get_device("santiago")
+    compiled = transpile(qnn.blocks[0], device, 2)
+    # Compiled circuit has affine exprs (coeff != 1, shifted consts).
+    _check_adjoint(compiled.circuit, qnn.n_weights, 16)
+
+
+def test_adjoint_with_shared_weight_occurrences():
+    # One weight used by two gates: gradient must accumulate both terms.
+    c = Circuit(1)
+    c.add("ry", 0, ParamExpr.weight(0))
+    c.add("rz", 0, ParamExpr.weight(0, coeff=2.0))
+    c.add("ry", 0, ParamExpr.weight(0, coeff=-0.5, const=0.3))
+    _check_adjoint(c, 1, 0, batch=1)
+
+
+def test_adjoint_constant_params_contribute_nothing():
+    c = Circuit(1).add("ry", 0, 0.5)
+    _, tape = forward_with_tape(c, np.zeros(0), None, batch=2,
+                                n_weights=0, n_inputs=0)
+    w_grad, x_grad = adjoint_backward(tape, np.ones((2, 1)))
+    assert w_grad.size == 0 and x_grad.shape == (2, 0)
+
+
+def test_adjoint_shape_validation():
+    c = Circuit(2).add("ry", 0, ParamExpr.weight(0))
+    _, tape = forward_with_tape(c, np.zeros(1), None, batch=1,
+                                n_weights=1, n_inputs=0)
+    with pytest.raises(ValueError):
+        adjoint_backward(tape, np.ones((1, 5)))
+
+
+# -- parameter shift -------------------------------------------------------------
+
+
+def _expectation_executor(circuit, n_weights):
+    def executor(weights, inputs):
+        exp, _ = forward_with_tape(circuit, weights, inputs,
+                                   n_weights=n_weights,
+                                   n_inputs=inputs.shape[1])
+        return exp
+
+    return executor
+
+
+def test_parameter_shift_matches_adjoint():
+    qnn = paper_model(2, 1, 2, 2, 2, design="ry_cnot")
+    circuit = qnn.blocks[0]
+    weights = RNG.uniform(-1, 1, qnn.n_weights)
+    inputs = RNG.uniform(-1, 1, (3, 2))
+    upstream = RNG.normal(0, 1, (3, 2))
+
+    engine = ParameterShiftEngine(_expectation_executor(circuit, qnn.n_weights))
+    engine.validate_shiftable(circuit, qnn.n_weights)
+    ps_w, ps_x = engine.backward(weights, inputs, upstream)
+
+    _, tape = forward_with_tape(circuit, weights, inputs,
+                                n_weights=qnn.n_weights, n_inputs=2)
+    adj_w, adj_x = adjoint_backward(tape, upstream)
+    assert np.allclose(ps_w, adj_w, atol=1e-9)
+    assert np.allclose(ps_x, adj_x, atol=1e-9)
+
+
+def test_parameter_shift_valid_through_compilation():
+    """RY lowers to RZ(t + pi): coefficient 1, one occurrence -> exact."""
+    qnn = paper_model(2, 1, 2, 2, 2, design="ry_cnot")
+    device = get_device("bogota")
+    compiled = transpile(qnn.blocks[0], device, 2)
+    ParameterShiftEngine.validate_shiftable(compiled.circuit, qnn.n_weights)
+    weights = RNG.uniform(-1, 1, qnn.n_weights)
+    inputs = RNG.uniform(-1, 1, (2, 2))
+    upstream = RNG.normal(0, 1, (2, compiled.circuit.n_qubits))
+    engine = ParameterShiftEngine(
+        _expectation_executor(compiled.circuit, qnn.n_weights)
+    )
+    ps_w, _ = engine.backward(weights, inputs, upstream)
+    _, tape = forward_with_tape(compiled.circuit, weights, inputs,
+                                n_weights=qnn.n_weights, n_inputs=2)
+    adj_w, _ = adjoint_backward(tape, upstream)
+    assert np.allclose(ps_w, adj_w, atol=1e-9)
+
+
+def test_validate_shiftable_rejects_half_coefficients():
+    c = Circuit(1).add("rz", 0, ParamExpr.weight(0, coeff=0.5))
+    with pytest.raises(ValueError, match="coefficient"):
+        ParameterShiftEngine.validate_shiftable(c, 1)
+
+
+def test_validate_shiftable_rejects_repeated_weights():
+    c = Circuit(1)
+    c.add("ry", 0, ParamExpr.weight(0))
+    c.add("rz", 0, ParamExpr.weight(0))
+    with pytest.raises(ValueError, match="multiple"):
+        ParameterShiftEngine.validate_shiftable(c, 1)
+
+
+def test_finite_difference_on_quadratic():
+    grad = finite_difference_gradients(lambda x: float((x**2).sum()),
+                                       np.array([1.0, -2.0]))
+    assert np.allclose(grad, [2.0, -4.0], atol=1e-5)

@@ -1,0 +1,75 @@
+"""Noise-injection strategies and error benchmarking."""
+
+import numpy as np
+import pytest
+
+from repro.core.injection import (
+    ANGLE_PERTURBATION,
+    GATE_INSERTION,
+    OUTCOME_PERTURBATION,
+    InjectionConfig,
+    benchmark_error_statistics,
+    perturb_angles,
+    perturb_outcomes,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        InjectionConfig(strategy="thermal")
+    with pytest.raises(ValueError):
+        InjectionConfig(noise_factor=-0.1)
+    assert not InjectionConfig(strategy=None).enabled
+    assert InjectionConfig(GATE_INSERTION).enabled
+
+
+def test_with_statistics():
+    config = InjectionConfig(OUTCOME_PERTURBATION, 0.5)
+    updated = config.with_statistics(0.01, 0.2)
+    assert updated.outcome_mu == 0.01
+    assert updated.outcome_sigma == 0.2
+    assert updated.strategy == OUTCOME_PERTURBATION
+    assert updated.noise_factor == 0.5
+
+
+def test_benchmark_error_statistics():
+    rng = np.random.default_rng(0)
+    clean = rng.normal(0, 1, (500, 4))
+    noisy = clean + rng.normal(0.05, 0.2, clean.shape)
+    mu, sigma = benchmark_error_statistics(clean, noisy)
+    assert mu == pytest.approx(0.05, abs=0.02)
+    assert sigma == pytest.approx(0.2, abs=0.02)
+
+
+def test_outcome_perturbation_scales_with_noise_factor():
+    outcomes = np.zeros((2000, 2))
+    weak = perturb_outcomes(
+        outcomes, InjectionConfig(OUTCOME_PERTURBATION, 0.5, 0.0, 0.2), rng=1
+    )
+    strong = perturb_outcomes(
+        outcomes, InjectionConfig(OUTCOME_PERTURBATION, 2.0, 0.0, 0.2), rng=1
+    )
+    assert strong.std() == pytest.approx(4 * weak.std(), rel=0.1)
+
+
+def test_outcome_perturbation_mean_shift():
+    outcomes = np.zeros((5000, 2))
+    shifted = perturb_outcomes(
+        outcomes, InjectionConfig(OUTCOME_PERTURBATION, 1.0, 0.3, 0.1), rng=2
+    )
+    assert shifted.mean() == pytest.approx(0.3, abs=0.01)
+
+
+def test_angle_perturbation_zero_mean():
+    angles = np.full((4000,), 1.5)
+    noisy = perturb_angles(angles, InjectionConfig(ANGLE_PERTURBATION, 1.0), rng=3)
+    assert noisy.mean() == pytest.approx(1.5, abs=0.01)
+    assert noisy.std() > 0
+
+
+def test_zero_noise_factor_disables_perturbation():
+    outcomes = np.ones((10, 3))
+    config = InjectionConfig(OUTCOME_PERTURBATION, 0.0, 0.0, 0.5)
+    assert np.allclose(perturb_outcomes(outcomes, config, rng=4), outcomes)
+    config = InjectionConfig(ANGLE_PERTURBATION, 0.0)
+    assert np.allclose(perturb_angles(outcomes, config, rng=4), outcomes)

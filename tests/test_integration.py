@@ -1,0 +1,158 @@
+"""Cross-module integration: the paper's core phenomena, end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DensityEvalExecutor,
+    NoiselessExecutor,
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    get_device,
+    load_scalar_pair_task,
+    load_task,
+    make_noise_model_executor,
+    make_real_qc_executor,
+    paper_model,
+    snr,
+    train,
+)
+from repro.core import grid_search, normalize
+from repro.core.injection import InjectionConfig
+
+
+@pytest.fixture(scope="module")
+def mnist4():
+    return load_task("mnist-4", n_train=128, n_valid=32, n_test=48, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_baseline(mnist4):
+    qnn = paper_model(4, 2, 2, 16, 4)
+    model = QuantumNATModel(
+        qnn, get_device("yorktown"), QuantumNATConfig.baseline(), rng=0
+    )
+    result = train(
+        model,
+        mnist4.train_x,
+        mnist4.train_y,
+        mnist4.valid_x,
+        mnist4.valid_y,
+        TrainConfig(epochs=30, seed=1),
+    )
+    return model, result
+
+
+def test_noise_degrades_accuracy(mnist4, trained_baseline):
+    """The Figure 1 phenomenon: real-device accuracy < noise-free."""
+    model, result = trained_baseline
+    clean, _ = model.evaluate(
+        result.weights, mnist4.test_x, mnist4.test_y, NoiselessExecutor()
+    )
+    noisy, _ = model.evaluate(
+        result.weights, mnist4.test_x, mnist4.test_y,
+        make_real_qc_executor(model, rng=3),
+    )
+    assert clean > 0.4  # learned something
+    assert noisy < clean  # noise hurts
+
+
+def test_noise_model_eval_close_to_real_qc(mnist4, trained_baseline):
+    """Table 11: published-model eval approximates the drifted hardware."""
+    model, result = trained_baseline
+    nm, _ = model.evaluate(
+        result.weights, mnist4.test_x, mnist4.test_y,
+        make_noise_model_executor(model),
+    )
+    real, _ = model.evaluate(
+        result.weights, mnist4.test_x, mnist4.test_y,
+        make_real_qc_executor(model, rng=4),
+    )
+    assert abs(nm - real) < 0.15
+
+
+def test_normalization_improves_snr_on_real_outcomes(mnist4, trained_baseline):
+    """Figure 4 on real circuits: norm raises clean-vs-noisy SNR."""
+    model, result = trained_baseline
+    x = mnist4.test_x[:32]
+    clean = model.measure_block_outcomes(result.weights, x, 0)
+    noisy = model.measure_block_outcomes(
+        result.weights, x, 0, executor=DensityEvalExecutor(model.device.noise_model)
+    )
+    raw_snr = snr(clean, noisy)
+    norm_snr = snr(normalize(clean)[0], normalize(noisy)[0])
+    assert norm_snr > raw_snr
+
+
+def test_quantumnat_beats_baseline_on_noisy_device(mnist4):
+    """The headline Table 1 comparison on one task/device pair."""
+    device = get_device("yorktown")
+    accs = {}
+    for label, config in [
+        ("baseline", QuantumNATConfig.baseline()),
+        ("quantumnat", QuantumNATConfig.full(0.25, 6)),
+    ]:
+        qnn = paper_model(4, 2, 1, 16, 4)
+        model = QuantumNATModel(qnn, device, config, rng=0)
+        result = train(
+            model, mnist4.train_x, mnist4.train_y, mnist4.valid_x, mnist4.valid_y,
+            TrainConfig(epochs=25, seed=1),
+        )
+        acc, _ = model.evaluate(
+            result.weights, mnist4.test_x, mnist4.test_y,
+            make_real_qc_executor(model, rng=5),
+        )
+        accs[label] = acc
+    assert accs["quantumnat"] > accs["baseline"]
+
+
+def test_grid_search_selects_lowest_valid_loss():
+    task = load_scalar_pair_task(n_train=40, n_valid=16, n_test=16, seed=0)
+    device = get_device("santiago")
+    result = grid_search(
+        lambda: paper_model(2, 1, 1, 2, 2, design="ry_cnot"),
+        device,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        noise_factors=(0.1, 0.5),
+        quant_levels=(4, 5),
+        train_config=TrainConfig(epochs=3, seed=0),
+    )
+    assert len(result.records) == 4
+    best = min(result.records, key=lambda r: r["valid_loss"])
+    assert result.best_noise_factor == best["noise_factor"]
+    assert result.best_n_levels == int(best["n_levels"])
+
+
+def test_injection_overhead_is_small(mnist4):
+    """Paper: gate-insertion overhead < 2% of circuit gates."""
+    qnn = paper_model(4, 2, 1, 16, 4)
+    model = QuantumNATModel(
+        qnn,
+        get_device("santiago"),
+        QuantumNATConfig.norm_and_injection(1.0),
+        rng=0,
+    )
+    weights = qnn.init_weights(0)
+    model.forward_train(weights, mnist4.train_x[:8])
+    stats = model._train_executor.last_insertion_stats
+    assert stats is not None
+    assert stats.overhead < 0.05
+
+
+def test_ten_qubit_model_runs_end_to_end():
+    """MNIST-10-style model on Melbourne: trajectory backend path."""
+    task = load_task("mnist-10", n_train=16, n_valid=8, n_test=8, seed=0)
+    qnn = paper_model(10, 1, 1, 36, 10)
+    model = QuantumNATModel(
+        qnn, get_device("melbourne"), QuantumNATConfig.baseline(), rng=0
+    )
+    weights = qnn.init_weights(0)
+    logits = model.predict(weights, task.test_x)
+    assert logits.shape == (8, 10)
+    executor = make_real_qc_executor(model, shots=1024, rng=1, n_trajectories=4)
+    acc, loss = model.evaluate(weights, task.test_x, task.test_y, executor)
+    assert 0 <= acc <= 1 and np.isfinite(loss)

@@ -1,0 +1,115 @@
+"""SNR/RMD/MSE metrics and zero-noise extrapolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import mse, per_qubit_snr, rmd, snr
+from repro.mitigation import (
+    linear_extrapolate_to_zero,
+    rescale_to_extrapolated_std,
+)
+
+
+def test_mse_basics():
+    a = np.zeros((4, 2))
+    b = np.full((4, 2), 0.5)
+    assert mse(a, b) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        mse(np.zeros(3), np.zeros(4))
+
+
+def test_snr_is_inverse_rmd():
+    rng = np.random.default_rng(0)
+    clean = rng.normal(0, 1, (16, 4))
+    noisy = clean + rng.normal(0, 0.3, (16, 4))
+    assert snr(clean, noisy) == pytest.approx(1.0 / rmd(clean, noisy))
+
+
+def test_snr_identical_is_infinite():
+    clean = np.ones((4, 4))
+    assert snr(clean, clean) == float("inf")
+    assert rmd(clean, clean) == 0.0
+
+
+def test_snr_zero_signal():
+    assert rmd(np.zeros((2, 2)), np.ones((2, 2))) == float("inf")
+    assert snr(np.zeros((2, 2)), np.ones((2, 2))) == 0.0
+
+
+def test_less_noise_higher_snr():
+    rng = np.random.default_rng(1)
+    clean = rng.normal(0, 1, (32, 4))
+    mild = clean + rng.normal(0, 0.1, clean.shape)
+    harsh = clean + rng.normal(0, 0.5, clean.shape)
+    assert snr(clean, mild) > snr(clean, harsh)
+
+
+def test_per_qubit_snr():
+    rng = np.random.default_rng(2)
+    clean = rng.normal(0, 1, (64, 3))
+    noisy = clean.copy()
+    noisy[:, 0] += rng.normal(0, 0.05, 64)
+    noisy[:, 2] += rng.normal(0, 0.5, 64)
+    per_q = per_qubit_snr(clean, noisy)
+    assert per_q.shape == (3,)
+    assert per_q[0] > per_q[2]
+    assert per_q[1] == float("inf")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), sigma=st.floats(0.01, 1.0))
+def test_property_snr_positive(seed, sigma):
+    rng = np.random.default_rng(seed)
+    clean = rng.normal(0, 1, (8, 2))
+    noisy = clean + rng.normal(0, sigma, (8, 2))
+    value = snr(clean, noisy)
+    assert value > 0
+
+
+# -- extrapolation ----------------------------------------------------------------
+
+
+def test_linear_extrapolation_recovers_intercept():
+    xs = np.array([1.0, 2.0, 3.0, 4.0])
+    # std grows linearly with noise scale: sigma(k) = 0.5 + 0.1 k
+    ys = 0.5 + 0.1 * xs
+    assert linear_extrapolate_to_zero(xs, ys) == pytest.approx(0.5)
+
+
+def test_linear_extrapolation_multi_column():
+    xs = np.array([1.0, 2.0, 3.0])
+    ys = np.stack([2.0 - 0.3 * xs, 1.0 + 0.2 * xs], axis=1)
+    intercepts = linear_extrapolate_to_zero(xs, ys)
+    assert np.allclose(intercepts, [2.0, 1.0])
+
+
+def test_linear_extrapolation_needs_two_points():
+    with pytest.raises(ValueError):
+        linear_extrapolate_to_zero(np.array([1.0]), np.array([2.0]))
+
+
+def test_rescale_to_extrapolated_std():
+    rng = np.random.default_rng(3)
+    outcomes = rng.normal(0.2, 0.3, (256, 4))
+    target = np.array([0.8, 0.6, 1.0, 0.4])
+    rescaled = rescale_to_extrapolated_std(outcomes, target)
+    assert np.allclose(rescaled.std(axis=0), target, atol=1e-6)
+    # Means preserved.
+    assert np.allclose(rescaled.mean(axis=0), outcomes.mean(axis=0), atol=1e-9)
+
+
+def test_extrapolation_end_to_end_on_depth_scaled_noise():
+    """Simulated std grows with depth; extrapolation recovers sigma_0."""
+    rng = np.random.default_rng(4)
+    sigma_0 = 0.5
+    depths = np.array([1.0, 2.0, 3.0, 4.0])
+    stds = np.stack(
+        [
+            (sigma_0 - 0.08 * k) * np.ones(4) + rng.normal(0, 0.003, 4)
+            for k in depths
+        ]
+    )
+    estimate = linear_extrapolate_to_zero(depths, stds)
+    assert np.allclose(estimate, sigma_0, atol=0.02)

@@ -1,0 +1,125 @@
+"""Post-measurement normalization: Theorem 3.1 and backward pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gradients import finite_difference_gradients
+from repro.core.normalization import (
+    batch_statistics,
+    denormalize,
+    normalize,
+    normalize_backward,
+    normalize_with_stats,
+)
+
+RNG = np.random.default_rng(3)
+
+
+def test_normalize_zero_mean_unit_var():
+    y = RNG.normal(2.0, 3.0, (64, 4))
+    normalized, _cache = normalize(y)
+    assert np.allclose(normalized.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(normalized.std(axis=0), 1.0, atol=1e-3)
+
+
+def test_theorem_31_linear_map_cancellation():
+    """f(y) = gamma*y + beta has the same normalized outcomes as y."""
+    y = RNG.normal(0.0, 0.5, (32, 4))
+    gamma = 0.6
+    beta = RNG.normal(0.1, 0.02, 4)  # per-qubit shift
+    noisy = gamma * y + beta[None, :]
+    clean_norm, _ = normalize(y)
+    noisy_norm, _ = normalize(noisy)
+    assert np.allclose(clean_norm, noisy_norm, atol=1e-9)
+
+
+def test_negative_gamma_flips_sign():
+    """gamma in [-1, 0) flips the normalized sign (|gamma| cancels)."""
+    y = RNG.normal(0.0, 0.5, (32, 2))
+    noisy = -0.5 * y + 0.1
+    clean_norm, _ = normalize(y)
+    noisy_norm, _ = normalize(noisy)
+    assert np.allclose(noisy_norm, -clean_norm, atol=1e-9)
+
+
+def test_backward_matches_finite_differences():
+    y = RNG.normal(0.0, 1.0, (8, 3))
+    upstream = RNG.normal(0.0, 1.0, (8, 3))
+    _, cache = normalize(y)
+    grad = normalize_backward(cache, upstream)
+
+    def loss(flat):
+        normalized, _ = normalize(flat.reshape(8, 3))
+        return float((upstream * normalized).sum())
+
+    fd = finite_difference_gradients(loss, y.ravel()).reshape(8, 3)
+    assert np.allclose(grad, fd, atol=1e-5)
+
+
+def test_backward_of_mean_is_zero():
+    """Sum of normalized outputs is ~0, so d(sum)/dy ~ 0."""
+    y = RNG.normal(0.0, 1.0, (16, 2))
+    _, cache = normalize(y)
+    grad = normalize_backward(cache, np.ones((16, 2)))
+    assert np.allclose(grad, 0.0, atol=1e-9)
+
+
+def test_normalize_with_stats_and_denormalize_roundtrip():
+    y = RNG.normal(1.0, 2.0, (10, 4))
+    mean, std = batch_statistics(y)
+    normalized = normalize_with_stats(y, mean, std)
+    restored = denormalize(normalized, mean, std)
+    assert np.allclose(restored, y, atol=1e-9)
+
+
+def test_valid_stats_close_to_test_stats_when_distributions_match():
+    """Table 13: validation statistics are a good stand-in for test stats."""
+    valid = RNG.normal(0.3, 0.8, (400, 4))
+    test = RNG.normal(0.3, 0.8, (400, 4))
+    v_mean, v_std = batch_statistics(valid)
+    via_valid = normalize_with_stats(test, v_mean, v_std)
+    via_own, _ = normalize(test)
+    assert np.abs(via_valid - via_own).mean() < 0.15
+
+
+def test_constant_column_does_not_blow_up():
+    y = np.ones((16, 2))
+    normalized, _ = normalize(y)
+    assert np.isfinite(normalized).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gamma=st.floats(0.05, 1.0),
+    beta=st.floats(-0.5, 0.5),
+    seed=st.integers(0, 1000),
+)
+def test_property_affine_invariance(gamma, beta, seed):
+    """Normalization removes ANY per-batch affine map (Theorem 3.1)."""
+    y = np.random.default_rng(seed).normal(0, 1, (24, 3))
+    clean_norm, _ = normalize(y)
+    noisy_norm, _ = normalize(gamma * y + beta)
+    assert np.allclose(clean_norm, noisy_norm, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_idempotence(seed):
+    """Normalizing twice equals normalizing once."""
+    y = np.random.default_rng(seed).normal(0, 2, (16, 2))
+    once, _ = normalize(y)
+    twice, _ = normalize(once)
+    assert np.allclose(once, twice, atol=1e-6)
+
+
+def test_snr_improvement_on_affine_noise():
+    """The Figure 4 effect: normalization lifts SNR under gamma/beta noise."""
+    from repro.metrics import snr
+
+    y = RNG.normal(0.0, 0.5, (64, 4))
+    noisy = 0.5 * y + 0.2 + RNG.normal(0, 0.02, y.shape)
+    before = snr(y, noisy)
+    after = snr(*[normalize(a)[0] for a in (y, noisy)])
+    assert after > before

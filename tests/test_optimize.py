@@ -1,0 +1,240 @@
+"""Commutation-aware optimization passes: correctness and effectiveness."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ParamExpr
+from repro.compiler.optimize import (
+    cancel_inverse_pairs,
+    merge_rotations,
+    optimize_circuit,
+    resynthesize_1q_runs,
+)
+from repro.sim.unitary import circuit_unitary, circuits_equivalent
+
+RNG = np.random.default_rng(77)
+
+
+def _assert_equivalent(before: Circuit, after: Circuit, weights=None):
+    assert circuits_equivalent(before, after, weights), (
+        f"rewrite changed the unitary: {before.count_ops()} -> {after.count_ops()}"
+    )
+
+
+# -- cancel_inverse_pairs -------------------------------------------------------
+
+
+def test_adjacent_cx_pair_cancels():
+    circuit = Circuit(2).add("cx", (0, 1)).add("cx", (0, 1))
+    out = cancel_inverse_pairs(circuit)
+    assert len(out) == 0
+
+
+def test_cx_pair_cancels_across_commuting_rz_on_control():
+    circuit = (
+        Circuit(2)
+        .add("cx", (0, 1))
+        .add("rz", 0, ParamExpr.weight(0))
+        .add("cx", (0, 1))
+    )
+    out = cancel_inverse_pairs(circuit)
+    assert [g.name for g in out.gates] == ["rz"]
+    _assert_equivalent(circuit, out, np.array([0.37]))
+
+
+def test_cx_pair_blocked_by_noncommuting_gate():
+    circuit = (
+        Circuit(2)
+        .add("cx", (0, 1))
+        .add("h", 1)
+        .add("cx", (0, 1))
+    )
+    out = cancel_inverse_pairs(circuit)
+    assert len(out) == 3  # nothing cancels
+
+
+def test_s_sdg_pair_cancels():
+    circuit = Circuit(1).add("s", 0).add("sdg", 0)
+    assert len(cancel_inverse_pairs(circuit)) == 0
+
+
+def test_x_pair_cancels_across_commuting_cx_target():
+    # x(1) commutes with cx target, so the two x(1) cancel.
+    circuit = Circuit(2).add("x", 1).add("cx", (0, 1)).add("x", 1)
+    out = cancel_inverse_pairs(circuit)
+    assert [g.name for g in out.gates] == ["cx"]
+    _assert_equivalent(circuit, out)
+
+
+def test_reversed_cx_does_not_cancel():
+    circuit = Circuit(2).add("cx", (0, 1)).add("cx", (1, 0))
+    assert len(cancel_inverse_pairs(circuit)) == 2
+
+
+# -- merge_rotations --------------------------------------------------------------
+
+
+def test_adjacent_rz_merge_symbolic():
+    circuit = (
+        Circuit(1)
+        .add("rz", 0, ParamExpr.weight(0))
+        .add("rz", 0, ParamExpr.weight(1))
+    )
+    out = merge_rotations(circuit)
+    assert len(out) == 1
+    weights = np.array([0.3, -1.2])
+    _assert_equivalent(circuit, out, weights)
+
+
+def test_rz_merges_across_cx_control():
+    circuit = (
+        Circuit(2)
+        .add("rz", 0, 0.4)
+        .add("cx", (0, 1))
+        .add("rz", 0, 0.5)
+    )
+    out = merge_rotations(circuit)
+    assert sum(1 for g in out.gates if g.name == "rz") == 1
+    _assert_equivalent(circuit, out)
+
+
+def test_opposite_rotations_cancel_entirely():
+    circuit = Circuit(1).add("ry", 0, 0.8).add("ry", 0, -0.8)
+    assert len(merge_rotations(circuit)) == 0
+
+
+def test_two_pi_rotation_dropped():
+    circuit = Circuit(1).add("rz", 0, 2 * np.pi)
+    assert len(merge_rotations(circuit)) == 0
+
+
+def test_rzz_merge():
+    circuit = Circuit(2).add("rzz", (0, 1), 0.2).add("rzz", (0, 1), 0.3)
+    out = merge_rotations(circuit)
+    assert len(out) == 1
+    _assert_equivalent(circuit, out)
+
+
+def test_merge_blocked_by_x_between():
+    circuit = Circuit(1).add("rz", 0, 0.2).add("x", 0).add("rz", 0, 0.3)
+    out = merge_rotations(circuit)
+    assert len(out) == 3
+
+
+# -- resynthesize_1q_runs ------------------------------------------------------------
+
+
+def test_long_constant_run_collapses():
+    circuit = Circuit(1)
+    for name in ("h", "s", "t", "sx", "h", "s"):
+        circuit.add(name, 0)
+    out = resynthesize_1q_runs(circuit)
+    assert len(out) <= 5
+    _assert_equivalent(circuit, out)
+
+
+def test_diagonal_run_collapses_to_single_rz():
+    circuit = Circuit(1).add("s", 0).add("t", 0).add("rz", 0, 0.3)
+    out = resynthesize_1q_runs(circuit)
+    assert [g.name for g in out.gates] == ["rz"]
+    _assert_equivalent(circuit, out)
+
+
+def test_identity_run_vanishes():
+    circuit = Circuit(1).add("h", 0).add("h", 0).add("s", 0).add("sdg", 0)
+    out = resynthesize_1q_runs(circuit)
+    assert len(out) == 0
+
+
+def test_symbolic_gates_break_runs():
+    circuit = (
+        Circuit(1)
+        .add("h", 0)
+        .add("s", 0)
+        .add("ry", 0, ParamExpr.weight(0))
+        .add("t", 0)
+        .add("h", 0)
+    )
+    out = resynthesize_1q_runs(circuit)
+    # The symbolic ry survives untouched.
+    assert any(
+        g.name == "ry" and not g.params[0].is_constant for g in out.gates
+    )
+    _assert_equivalent(circuit, out, np.array([0.61]))
+
+
+def test_short_runs_left_alone():
+    circuit = Circuit(1).add("h", 0).add("s", 0)
+    assert len(resynthesize_1q_runs(circuit)) == 2
+
+
+def test_run_not_rewritten_when_not_shorter():
+    # A 3-gate non-diagonal run synthesizes to 5 gates: keep the original.
+    circuit = Circuit(1).add("h", 0).add("t", 0).add("h", 0)
+    assert len(resynthesize_1q_runs(circuit)) == 3
+
+
+# -- optimize_circuit ------------------------------------------------------------------
+
+
+def _random_basis_circuit(n_qubits: int, n_gates: int, seed: int) -> Circuit:
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(n_qubits)
+    for _ in range(n_gates):
+        choice = rng.integers(0, 4)
+        q = int(rng.integers(n_qubits))
+        if choice == 0:
+            circuit.add("rz", q, float(rng.uniform(-np.pi, np.pi)))
+        elif choice == 1:
+            circuit.add("sx", q)
+        elif choice == 2:
+            circuit.add("x", q)
+        elif n_qubits > 1:
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            circuit.add("cx", (int(a), int(b)))
+    return circuit
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_optimize_preserves_unitary_random(seed):
+    circuit = _random_basis_circuit(3, 30, seed)
+    out = optimize_circuit(circuit)
+    assert len(out) <= len(circuit)
+    _assert_equivalent(circuit, out)
+
+
+def test_optimize_preserves_unitary_with_weights():
+    circuit = Circuit(2)
+    circuit.add("ry", 0, ParamExpr.weight(0))
+    circuit.add("cx", (0, 1))
+    circuit.add("rz", 0, 0.2)
+    circuit.add("rz", 0, ParamExpr.weight(1))
+    circuit.add("cx", (0, 1))
+    circuit.add("cx", (0, 1))
+    out = optimize_circuit(circuit)
+    weights = RNG.uniform(-np.pi, np.pi, 2)
+    _assert_equivalent(circuit, out, weights)
+    # The adjacent cx pair is gone and the rz merged.
+    assert out.count_ops().get("cx", 0) == 1
+
+
+def test_optimize_reduces_rzz_sandwich():
+    # rzz lowering produces cx rz cx; two in a row share a cancelable cx.
+    circuit = (
+        Circuit(2)
+        .add("cx", (0, 1))
+        .add("rz", 1, 0.3)
+        .add("cx", (0, 1))
+        .add("cx", (0, 1))
+        .add("rz", 1, 0.4)
+        .add("cx", (0, 1))
+    )
+    out = optimize_circuit(circuit)
+    assert out.count_ops().get("cx", 0) == 2
+    assert sum(1 for g in out.gates if g.name == "rz") == 1
+    _assert_equivalent(circuit, out)
+
+
+def test_optimize_empty_circuit():
+    out = optimize_circuit(Circuit(2))
+    assert len(out) == 0

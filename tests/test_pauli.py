@@ -1,0 +1,321 @@
+"""Pauli strings and observables: algebra, expectations, conventions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.sim.pauli import (
+    PauliObservable,
+    PauliString,
+    all_pauli_strings,
+    random_pauli,
+)
+from repro.sim.statevector import run_circuit, z_expectations
+from repro.utils.linalg import embed_operator, is_hermitian, is_unitary
+
+RNG = np.random.default_rng(7)
+
+pauli_ops = st.tuples(
+    *([st.sampled_from("IXYZ")] * 3)
+)
+
+
+def _random_state(n_qubits: int, batch: int = 3) -> np.ndarray:
+    shape = (batch, 2**n_qubits)
+    state = RNG.normal(size=shape) + 1j * RNG.normal(size=shape)
+    return state / np.linalg.norm(state, axis=1, keepdims=True)
+
+
+# -- construction & labels ----------------------------------------------------
+
+
+def test_label_rightmost_is_qubit_zero():
+    string = PauliString.from_label("XIZ")
+    assert string.ops == ("Z", "I", "X")
+    assert string.label == "XIZ"
+    assert string.support() == (0, 2)
+
+
+def test_single_and_identity_constructors():
+    assert PauliString.single(3, 1, "y").ops == ("I", "Y", "I")
+    assert PauliString.identity(2).is_identity
+    assert PauliString.single(3, 2, "Z").weight == 1
+
+
+def test_bad_op_raises():
+    with pytest.raises(ValueError, match="bad Pauli op"):
+        PauliString(("Q",))
+
+
+def test_bad_qubit_raises():
+    with pytest.raises(ValueError, match="out of range"):
+        PauliString.single(2, 5, "X")
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError, match="at least one"):
+        PauliString(())
+
+
+# -- matrices -----------------------------------------------------------------
+
+
+@given(pauli_ops)
+@settings(max_examples=30, deadline=None)
+def test_matrix_is_hermitian_unitary(ops):
+    matrix = PauliString(ops).matrix()
+    assert is_hermitian(matrix)
+    assert is_unitary(matrix)
+
+
+def test_matrix_matches_embedding():
+    # X on qubit 1 of 3: matrix must equal the embedded single-qubit op.
+    string = PauliString.single(3, 1, "X")
+    expected = embed_operator(np.array([[0, 1], [1, 0]], dtype=complex), (1,), 3)
+    assert np.allclose(string.matrix(), expected)
+
+
+def test_diagonal_matches_matrix_diagonal():
+    string = PauliString.from_label("ZIZ")
+    assert np.allclose(string.diagonal(), np.diag(string.matrix()).real)
+
+
+def test_diagonal_of_nondiagonal_raises():
+    with pytest.raises(ValueError, match="not diagonal"):
+        PauliString.from_label("XZ").diagonal()
+
+
+# -- composition & commutation -------------------------------------------------
+
+
+@given(pauli_ops, pauli_ops)
+@settings(max_examples=40, deadline=None)
+def test_compose_matches_matrix_product(a_ops, b_ops):
+    a, b = PauliString(a_ops), PauliString(b_ops)
+    phase, product = a.compose(b)
+    assert np.allclose(phase * product.matrix(), a.matrix() @ b.matrix())
+
+
+@given(pauli_ops, pauli_ops)
+@settings(max_examples=40, deadline=None)
+def test_commutation_matches_matrices(a_ops, b_ops):
+    a, b = PauliString(a_ops), PauliString(b_ops)
+    ma, mb = a.matrix(), b.matrix()
+    commutes = np.allclose(ma @ mb, mb @ ma)
+    assert a.commutes_with(b) == commutes
+
+
+def test_self_composition_is_identity():
+    string = PauliString.from_label("XYZY")
+    phase, product = string.compose(string)
+    assert product.is_identity
+    assert phase == 1
+
+
+def test_mismatched_widths_raise():
+    with pytest.raises(ValueError, match="different qubit counts"):
+        PauliString.from_label("XX").compose(PauliString.from_label("X"))
+    with pytest.raises(ValueError, match="different qubit counts"):
+        PauliString.from_label("XX").commutes_with(PauliString.from_label("X"))
+
+
+# -- expectations ---------------------------------------------------------------
+
+
+@given(pauli_ops)
+@settings(max_examples=25, deadline=None)
+def test_expectation_matches_dense(ops):
+    string = PauliString(ops)
+    state = _random_state(3)
+    dense = np.real(
+        np.einsum("bi,ij,bj->b", state.conj(), string.matrix(), state)
+    )
+    assert np.allclose(string.expectation(state), dense, atol=1e-10)
+
+
+def test_z_expectation_matches_simulator_helper():
+    circuit = Circuit(2).add("h", 0).add("ry", 1, 0.7).add("cx", (0, 1))
+    state, _ = run_circuit(circuit, batch=1)
+    per_qubit = z_expectations(state, 2)
+    for q in range(2):
+        string = PauliString.single(2, q, "Z")
+        assert np.allclose(string.expectation(state), per_qubit[:, q])
+
+
+def test_expectation_density_consistent_with_state():
+    state = _random_state(2, batch=4)
+    rho = np.einsum("bi,bj->bij", state, state.conj())
+    string = PauliString.from_label("XY")
+    assert np.allclose(
+        string.expectation(state), string.expectation_density(rho), atol=1e-10
+    )
+
+
+def test_expectation_of_eigenstate():
+    # |0> is a +1 eigenstate of Z and a 0-expectation state of X.
+    state = np.array([[1.0, 0.0]], dtype=complex)
+    assert np.isclose(PauliString.from_label("Z").expectation(state)[0], 1.0)
+    assert np.isclose(PauliString.from_label("X").expectation(state)[0], 0.0)
+
+
+# -- enumeration / sampling ------------------------------------------------------
+
+
+def test_all_pauli_strings_count_and_uniqueness():
+    strings = all_pauli_strings(2)
+    assert len(strings) == 16
+    assert len({s.ops for s in strings}) == 16
+
+
+def test_all_pauli_strings_width_guard():
+    with pytest.raises(ValueError, match="impractical"):
+        all_pauli_strings(7)
+
+
+def test_random_pauli_respects_identity_flag():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        assert not random_pauli(2, rng, allow_identity=False).is_identity
+
+
+def test_random_pauli_reproducible():
+    assert random_pauli(4, 123).ops == random_pauli(4, 123).ops
+
+
+# -- observables -------------------------------------------------------------------
+
+
+def test_observable_merges_duplicate_terms():
+    z0 = PauliString.single(2, 0, "Z")
+    obs = PauliObservable([(0.5, z0), (0.25, z0)])
+    assert len(obs.terms) == 1
+    assert np.isclose(obs.terms[0][0], 0.75)
+
+
+def test_observable_cancellation_keeps_zero_term():
+    z0 = PauliString.single(2, 0, "Z")
+    obs = PauliObservable([(1.0, z0), (-1.0, z0)])
+    state = _random_state(2)
+    assert np.allclose(obs.expectation(state), 0.0)
+
+
+def test_observable_expectation_matches_matrix():
+    obs = PauliObservable(
+        [(0.3, PauliString.from_label("XZ")), (-1.2, PauliString.from_label("ZI"))]
+    )
+    state = _random_state(2, batch=5)
+    dense = np.real(np.einsum("bi,ij,bj->b", state.conj(), obs.matrix(), state))
+    assert np.allclose(obs.expectation(state), dense, atol=1e-10)
+
+
+def test_observable_z_on_matches_z_expectations():
+    state = _random_state(3, batch=4)
+    per_qubit = z_expectations(state, 3)
+    for q in range(3):
+        obs = PauliObservable.z_on(q, 3, coeff=2.0)
+        assert np.allclose(obs.expectation(state), 2.0 * per_qubit[:, q])
+
+
+def test_observable_add_and_scale():
+    a = PauliObservable.z_on(0, 2)
+    b = PauliObservable.z_on(1, 2)
+    combined = (a + b).scaled(0.5)
+    state = _random_state(2)
+    expected = 0.5 * (a.expectation(state) + b.expectation(state))
+    assert np.allclose(combined.expectation(state), expected)
+
+
+def test_observable_is_diagonal_flag():
+    assert PauliObservable.z_on(0, 2).is_diagonal
+    assert not PauliObservable([(1.0, PauliString.from_label("XI"))]).is_diagonal
+
+
+def test_observable_mixed_widths_raise():
+    with pytest.raises(ValueError, match="mixed qubit counts"):
+        PauliObservable(
+            [(1.0, PauliString.identity(2)), (1.0, PauliString.identity(3))]
+        )
+
+
+def test_observable_empty_raises():
+    with pytest.raises(ValueError, match="at least one term"):
+        PauliObservable([])
+
+
+# -- Clifford conjugation (Pauli frame propagation) ----------------------------------
+
+
+def test_evolve_h_swaps_x_and_z():
+    x0 = PauliString.from_label("IX")
+    sign, out = x0.evolve("h", (0,))
+    assert sign == 1 and out.label == "IZ"
+    y0 = PauliString.from_label("IY")
+    sign, out = y0.evolve("h", (0,))
+    assert sign == -1 and out.label == "IY"
+
+
+def test_evolve_s_rotates_x_to_y():
+    sign, out = PauliString.from_label("X").evolve("s", (0,))
+    assert (sign, out.label) == (1, "Y")
+    sign, out = PauliString.from_label("Y").evolve("s", (0,))
+    assert (sign, out.label) == (-1, "X")
+
+
+def test_evolve_cx_propagates_errors():
+    # X on control spreads to the target; Z on target spreads back.
+    sign, out = PauliString.from_label("IX").evolve("cx", (0, 1))
+    assert (sign, out.label) == (1, "XX")
+    sign, out = PauliString.from_label("ZI").evolve("cx", (0, 1))
+    assert (sign, out.label) == (1, "ZZ")
+    # Z on control and X on target are invariant.
+    sign, out = PauliString.from_label("IZ").evolve("cx", (0, 1))
+    assert (sign, out.label) == (1, "IZ")
+    sign, out = PauliString.from_label("XI").evolve("cx", (0, 1))
+    assert (sign, out.label) == (1, "XI")
+
+
+def test_evolve_identity_gate_is_noop():
+    p = PauliString.from_label("XZ")
+    sign, out = p.evolve("id", (1,))
+    assert sign == 1 and out.ops == p.ops
+
+
+def test_evolve_matches_dense_conjugation():
+    rng = np.random.default_rng(9)
+    gates = [("h", (0,)), ("s", (1,)), ("sx", (2,)), ("cx", (0, 2)),
+             ("cz", (1, 2)), ("swap", (0, 1)), ("x", (1,)), ("y", (2,))]
+    for _ in range(20):
+        string = random_pauli(3, rng)
+        name, qubits = gates[rng.integers(len(gates))]
+        sign, evolved = string.evolve(name, qubits)
+        unitary = embed_operator(
+            __import__("repro.sim.gates", fromlist=["gate_matrix"]).gate_matrix(name),
+            qubits,
+            3,
+        )
+        dense = unitary @ string.matrix() @ unitary.conj().T
+        assert np.allclose(dense, sign * evolved.matrix(), atol=1e-9)
+
+
+def test_evolve_rejects_non_clifford():
+    with pytest.raises(ValueError, match="not a supported Clifford"):
+        PauliString.from_label("X").evolve("t", (0,))
+    with pytest.raises(ValueError, match="not a supported Clifford"):
+        PauliString.from_label("X").evolve("ry", (0,))
+
+
+def test_evolve_through_circuit():
+    circuit = Circuit(2).add("h", 0).add("cx", (0, 1))
+    # Z0 -> (via H) X0 -> (via CX) X0 X1.
+    sign, out = PauliString.from_label("IZ").evolve_through(circuit)
+    assert sign == 1
+    assert out.label == "XX"
+
+
+def test_evolve_through_preserves_weight_statistics():
+    # Conjugation is a bijection on the Pauli group: identity stays identity.
+    circuit = Circuit(2).add("h", 0).add("cx", (0, 1)).add("s", 1)
+    sign, out = PauliString.identity(2).evolve_through(circuit)
+    assert sign == 1 and out.is_identity

@@ -1,0 +1,273 @@
+"""OpenQASM 2.0 export/import: syntax, semantics, roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ParamExpr
+from repro.qasm import QasmError, from_qasm, to_qasm
+from repro.sim.unitary import circuit_unitary, process_fidelity
+
+RNG = np.random.default_rng(11)
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def _same_unitary(a: Circuit, b: Circuit, weights=None, inputs_row=None):
+    ua = circuit_unitary(a, weights, inputs_row)
+    ub = circuit_unitary(b)
+    assert process_fidelity(ua, ub) > 1 - 1e-9
+
+
+# -- exporter --------------------------------------------------------------------
+
+
+def test_export_header_and_registers():
+    text = to_qasm(Circuit(3).add("h", 0))
+    assert text.startswith("OPENQASM 2.0;")
+    assert 'include "qelib1.inc";' in text
+    assert "qreg q[3];" in text
+    assert "creg c[3];" in text
+    assert "measure q[2] -> c[2];" in text
+
+
+def test_export_without_creg():
+    text = to_qasm(Circuit(1).add("x", 0), creg=False)
+    assert "creg" not in text
+    assert "measure" not in text
+
+
+def test_export_formats_pi_fractions():
+    text = to_qasm(Circuit(1).add("rz", 0, np.pi / 2), creg=False)
+    assert "rz(pi/2) q[0];" in text
+    text = to_qasm(Circuit(1).add("rz", 0, -3 * np.pi / 4), creg=False)
+    assert "rz(-3*pi/4) q[0];" in text
+
+
+def test_export_binds_weights():
+    circuit = Circuit(1).add("ry", 0, ParamExpr.weight(0))
+    text = to_qasm(circuit, weights=np.array([0.5]), creg=False)
+    assert "ry(0.5) q[0];" in text
+
+
+def test_export_unbound_raises():
+    circuit = Circuit(1).add("ry", 0, ParamExpr.weight(0))
+    with pytest.raises(ValueError, match="unbound"):
+        to_qasm(circuit)
+
+
+def test_export_lowers_sx_to_u3():
+    text = to_qasm(Circuit(1).add("sx", 0), creg=False)
+    assert "sx" not in text
+    assert "u3(" in text
+
+
+def test_export_lowers_sqswap():
+    circuit = Circuit(2).add("sqswap", (0, 1))
+    text = to_qasm(circuit, creg=False)
+    # Everything must be qelib-native.
+    for line in text.splitlines()[3:]:
+        name = line.split("(")[0].split()[0]
+        assert name in {"rxx", "ryy", "rzz", "cx", "rz", "u3", "rx", "h", "u1"}, line
+
+
+# -- importer ---------------------------------------------------------------------
+
+
+def test_import_simple_program():
+    circuit = from_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0], q[1];\n")
+    assert circuit.n_qubits == 2
+    assert [g.name for g in circuit.gates] == ["h", "cx"]
+    assert circuit.gates[1].qubits == (0, 1)
+
+
+def test_import_angle_expressions():
+    circuit = from_qasm(HEADER + "qreg q[1]; rz(3*pi/4) q[0]; rx(-pi) q[0];")
+    assert np.isclose(circuit.gates[0].params[0].const, 3 * np.pi / 4)
+    assert np.isclose(circuit.gates[1].params[0].const, -np.pi)
+
+
+def test_import_scientific_and_power():
+    circuit = from_qasm(HEADER + "qreg q[1]; rz(1e-3) q[0]; rz(2^3) q[0];")
+    assert np.isclose(circuit.gates[0].params[0].const, 1e-3)
+    assert np.isclose(circuit.gates[1].params[0].const, 8.0)
+
+
+def test_import_register_broadcast():
+    circuit = from_qasm(HEADER + "qreg q[3]; h q;")
+    assert [g.qubits for g in circuit.gates] == [(0,), (1,), (2,)]
+
+
+def test_import_two_register_broadcast():
+    circuit = from_qasm(HEADER + "qreg a[2]; qreg b[2]; cx a, b;")
+    assert [g.qubits for g in circuit.gates] == [(0, 2), (1, 3)]
+
+
+def test_import_mixed_broadcast():
+    circuit = from_qasm(HEADER + "qreg a[1]; qreg b[3]; cx a[0], b;")
+    assert [g.qubits for g in circuit.gates] == [(0, 1), (0, 2), (0, 3)]
+
+
+def test_import_multiple_qregs_flatten():
+    circuit = from_qasm(HEADER + "qreg a[2]; qreg b[1]; x b[0];")
+    assert circuit.n_qubits == 3
+    assert circuit.gates[0].qubits == (2,)
+
+
+def test_import_measure_and_barrier_ignored():
+    text = HEADER + (
+        "qreg q[2]; creg c[2]; h q[0]; barrier q; measure q[0] -> c[0];"
+    )
+    circuit = from_qasm(text)
+    assert [g.name for g in circuit.gates] == ["h"]
+
+
+def test_import_comments_stripped():
+    circuit = from_qasm(HEADER + "qreg q[1]; // a comment\nx q[0]; // more\n")
+    assert [g.name for g in circuit.gates] == ["x"]
+
+
+def test_import_legacy_uppercase_cx():
+    circuit = from_qasm("OPENQASM 2.0; qreg q[2]; CX q[0], q[1];")
+    assert circuit.gates[0].name == "cx"
+
+
+# -- builtin macros ------------------------------------------------------------------
+
+
+def test_import_u2_macro():
+    circuit = from_qasm(HEADER + "qreg q[1]; u2(0, pi) q[0];")
+    # u2(0, pi) == H up to global phase.
+    h = Circuit(1).add("h", 0)
+    _same_unitary(circuit, h)
+
+
+def test_import_cu1_macro():
+    circuit = from_qasm(HEADER + "qreg q[2]; cu1(pi) q[0], q[1];")
+    cz = Circuit(2).add("cz", (0, 1))
+    _same_unitary(circuit, cz)
+
+
+def test_import_ccx_macro():
+    circuit = from_qasm(HEADER + "qreg q[3]; ccx q[0], q[1], q[2];")
+    unitary = circuit_unitary(circuit)
+    # Toffoli truth table: |110> (index 3) <-> |111> (index 7).
+    expected = np.eye(8)
+    expected[[3, 7]] = expected[[7, 3]]
+    assert process_fidelity(unitary, expected) > 1 - 1e-9
+
+
+def test_import_user_macro():
+    text = HEADER + (
+        "qreg q[2];\n"
+        "gate bell a, b { h a; cx a, b; }\n"
+        "bell q[0], q[1];\n"
+    )
+    circuit = from_qasm(text)
+    assert [g.name for g in circuit.gates] == ["h", "cx"]
+
+
+def test_import_parameterized_user_macro():
+    text = HEADER + (
+        "qreg q[1];\n"
+        "gate wiggle(a, b) x0 { rz(a) x0; ry(b/2) x0; }\n"
+        "wiggle(pi, pi/3) q[0];\n"
+    )
+    circuit = from_qasm(text)
+    assert np.isclose(circuit.gates[0].params[0].const, np.pi)
+    assert np.isclose(circuit.gates[1].params[0].const, np.pi / 6)
+
+
+def test_import_nested_macro():
+    text = HEADER + (
+        "qreg q[3];\n"
+        "gate bell a, b { h a; cx a, b; }\n"
+        "gate ghz a, b, c { bell a, b; cx b, c; }\n"
+        "ghz q[0], q[1], q[2];\n"
+    )
+    circuit = from_qasm(text)
+    assert [g.name for g in circuit.gates] == ["h", "cx", "cx"]
+
+
+# -- error handling --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,match",
+    [
+        ("qreg q[1]; x q[0];", "header"),
+        ("OPENQASM 3.0; qreg q[1];", "version"),
+        (HEADER + "x q[0];", "unknown quantum register"),
+        (HEADER + "qreg q[1]; frob q[0];", "unknown gate"),
+        (HEADER + "qreg q[1]; x q[4];", "out of range"),
+        (HEADER + "qreg q[1]; qreg q[2];", "duplicate"),
+        (HEADER + "qreg q[0];", "positive size"),
+        (HEADER + "qreg q[2]; if (c) x q[0];", "unsupported"),
+        (HEADER + "qreg q[1]; rz(pi/0) q[0];", "division by zero"),
+        (HEADER + "qreg q[1]; rz(frob) q[0];", "unknown identifier"),
+        (HEADER + "qreg q[1]; x q[0]", "missing ';'"),
+        (HEADER + "qreg q[2]; qreg r[3]; cx q, r;", "mismatched register"),
+    ],
+)
+def test_malformed_programs_raise(text, match):
+    with pytest.raises(QasmError, match=match):
+        from_qasm(text)
+
+
+# -- roundtrip ---------------------------------------------------------------------------
+
+
+def _random_circuit(n_qubits: int, n_gates: int, seed: int) -> Circuit:
+    rng = np.random.default_rng(seed)
+    names_1q = ["h", "x", "s", "t", "sx", "sdg"]
+    circuit = Circuit(n_qubits)
+    for _ in range(n_gates):
+        kind = rng.integers(0, 4)
+        q = int(rng.integers(n_qubits))
+        if kind == 0:
+            circuit.add(names_1q[rng.integers(len(names_1q))], q)
+        elif kind == 1:
+            circuit.add(
+                ["rx", "ry", "rz"][rng.integers(3)], q, float(rng.uniform(-3, 3))
+            )
+        elif kind == 2:
+            circuit.add(
+                "u3",
+                q,
+                *(float(v) for v in rng.uniform(-3, 3, size=3)),
+            )
+        elif n_qubits > 1:
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            name = ["cx", "cz", "swap", "rzz"][rng.integers(4)]
+            params = (float(rng.uniform(-3, 3)),) if name == "rzz" else ()
+            circuit.add(name, (int(a), int(b)), *params)
+    return circuit
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_roundtrip_preserves_unitary(seed):
+    source = _random_circuit(3, 12, seed)
+    parsed = from_qasm(to_qasm(source))
+    _same_unitary(source, parsed)
+
+
+def test_roundtrip_with_weights():
+    circuit = (
+        Circuit(2)
+        .add("ry", 0, ParamExpr.weight(0))
+        .add("cu3", (0, 1), ParamExpr.weight(1), 0.2, -0.3)
+    )
+    weights = np.array([0.9, -1.4])
+    parsed = from_qasm(to_qasm(circuit, weights=weights))
+    _same_unitary(circuit, parsed, weights=weights)
+
+
+def test_roundtrip_qnn_block():
+    from repro.qnn import paper_model
+
+    qnn = paper_model(4, n_blocks=1, n_layers=2, n_features=16, n_classes=4)
+    circuit = qnn.blocks[0]
+    table = circuit.parameter_table
+    weights = RNG.uniform(-np.pi, np.pi, table.num_weights)
+    row = RNG.uniform(-1, 1, table.num_inputs)
+    parsed = from_qasm(to_qasm(circuit, weights=weights, inputs_row=row))
+    _same_unitary(circuit, parsed, weights=weights, inputs_row=row)

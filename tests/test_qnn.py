@@ -1,0 +1,154 @@
+"""QNN model zoo: encoders, design spaces, architectures, heads."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.qnn import (
+    DESIGN_SPACES,
+    QNN,
+    QNNArchitecture,
+    design_space,
+    encoder_for_features,
+    head_matrix,
+    image_4x4_encoder,
+    image_6x6_encoder,
+    paper_model,
+    reupload_encoder,
+    vowel_encoder,
+)
+from repro.utils.linalg import global_phase_distance
+
+
+def test_image_4x4_encoder_structure():
+    enc = image_4x4_encoder()
+    assert enc.n_inputs == 16 and enc.n_qubits == 4
+    gates = [g for g, _q in enc.slots]
+    assert gates == ["ry"] * 4 + ["rx"] * 4 + ["rz"] * 4 + ["ry"] * 4
+
+
+def test_image_6x6_encoder_structure():
+    enc = image_6x6_encoder()
+    assert enc.n_inputs == 36 and enc.n_qubits == 10
+    gates = [g for g, _q in enc.slots]
+    assert gates == ["ry"] * 10 + ["rx"] * 10 + ["rz"] * 10 + ["ry"] * 6
+
+
+def test_vowel_encoder_structure():
+    enc = vowel_encoder()
+    assert enc.n_inputs == 10
+    gates = [g for g, _q in enc.slots]
+    assert gates == ["ry"] * 4 + ["rx"] * 4 + ["rz"] * 2
+
+
+def test_encoder_dispatch():
+    assert encoder_for_features(16, 4).n_inputs == 16
+    assert encoder_for_features(36, 10).n_inputs == 36
+    assert encoder_for_features(10, 4).n_inputs == 10
+    assert encoder_for_features(4, 4).slots == reupload_encoder(4).slots
+    generic = encoder_for_features(7, 3)
+    assert generic.n_inputs == 7
+
+
+def test_encoder_width_mismatch():
+    enc = image_4x4_encoder()
+    with pytest.raises(ValueError):
+        enc.append_to(Circuit(3))
+
+
+@pytest.mark.parametrize("name", sorted(DESIGN_SPACES))
+def test_design_spaces_allocate_weights_contiguously(name):
+    circuit = Circuit(4)
+    n = design_space(name)(circuit, 0)
+    assert n > 0
+    used = set()
+    for gate in circuit.gates:
+        for expr in gate.params:
+            used |= expr.weight_indices()
+    assert used == set(range(n))
+
+
+def test_unknown_design_space():
+    with pytest.raises(KeyError):
+        design_space("magic")
+
+
+def test_architecture_validation():
+    with pytest.raises(ValueError):
+        QNNArchitecture(4, 0, 2, 16, 4)
+    with pytest.raises(ValueError):
+        QNNArchitecture(4, 1, 1, 16, 10)  # 10 classes on 4 qubits
+    with pytest.raises(ValueError):
+        QNNArchitecture(4, 1, 1, 16, 1)
+
+
+def test_paper_model_weight_slices_partition():
+    qnn = paper_model(4, 3, 2, 16, 4)
+    assert qnn.n_blocks == 3
+    total = 0
+    for s in qnn.weight_slices:
+        assert s.start == total
+        total = s.stop
+    assert total == qnn.n_weights
+
+
+def test_block_weight_counts_u3cu3():
+    # One u3cu3 layer on 4 qubits: 4 U3 (12) + 4 CU3 ring (12) = 24 weights.
+    qnn = paper_model(4, 1, 1, 16, 4)
+    assert qnn.n_weights == 24
+    qnn2 = paper_model(4, 2, 2, 16, 4)
+    assert qnn2.n_weights == 2 * 2 * 24
+
+
+def test_reupload_blocks_consume_qubit_outcomes():
+    qnn = paper_model(4, 2, 1, 16, 4)
+    assert qnn.encoders[0].n_inputs == 16
+    assert qnn.encoders[1].n_inputs == 4
+
+
+def test_init_weights_deterministic():
+    qnn = paper_model(4, 1, 1, 16, 4)
+    assert np.allclose(qnn.init_weights(0), qnn.init_weights(0))
+    assert not np.allclose(qnn.init_weights(0), qnn.init_weights(1))
+
+
+def test_folded_block_preserves_function():
+    qnn = paper_model(4, 1, 1, 16, 4)
+    rng = np.random.default_rng(0)
+    w = qnn.init_weights(rng)
+    x = rng.uniform(-1, 1, 16)
+    base = qnn.blocks[0].to_matrix(w, x)
+    folded = qnn.folded_block(0, 2).to_matrix(w, x)  # U (U^dag U)^2
+    assert global_phase_distance(base, folded) < 1e-8
+    assert len(qnn.folded_block(0, 2)) > len(qnn.blocks[0])
+
+
+def test_repeated_block_gate_count():
+    qnn = paper_model(4, 1, 3, 16, 4)
+    base_trainable = len(qnn.blocks[0]) - 16
+    repeated = qnn.repeated_block(0, 4)
+    assert len(repeated) == 16 + 4 * base_trainable
+    with pytest.raises(ValueError):
+        qnn.repeated_block(0, 0)
+
+
+def test_head_matrix_two_class_sums_pairs():
+    head = head_matrix(2, 4)
+    # "sum the qubit 0 and 1, 2 and 3 measurement outcomes"
+    assert np.allclose(head, [[1, 1, 0, 0], [0, 0, 1, 1]])
+    head2 = head_matrix(2, 2)
+    assert np.allclose(head2, [[1, 0], [0, 1]])
+
+
+def test_head_matrix_multiclass_selects():
+    head = head_matrix(4, 4)
+    assert np.allclose(head, np.eye(4))
+    head10 = head_matrix(10, 10)
+    assert np.allclose(head10, np.eye(10))
+    with pytest.raises(ValueError):
+        head_matrix(10, 4)
+
+
+def test_arch_label():
+    arch = QNNArchitecture(4, 2, 12, 16, 4)
+    assert arch.label == "2B x 12L (u3cu3)"

@@ -1,0 +1,116 @@
+"""Post-measurement quantization: centroids, STE, denoising."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantization import Quantizer
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Quantizer(1)
+    with pytest.raises(ValueError):
+        Quantizer(3, p_min=1.0, p_max=-1.0)
+
+
+def test_paper_figure6_configuration():
+    """5 levels over [-2, 2]: centroids -2, -1, 0, 1, 2."""
+    q = Quantizer(5, -2.0, 2.0)
+    assert np.allclose(q.centroids, [-2, -1, 0, 1, 2])
+    assert q.step == 1.0
+
+
+def test_quantize_snaps_to_nearest_centroid():
+    q = Quantizer(5, -2.0, 2.0)
+    values = np.array([-2.4, -1.2, -0.4, 0.49, 0.51, 1.9, 3.0])
+    assert np.allclose(q.quantize(values), [-2, -1, 0, 0, 1, 2, 2])
+
+
+def test_quantize_idempotent():
+    q = Quantizer(4, -2.0, 2.0)
+    values = np.random.default_rng(0).normal(0, 2, 100)
+    once = q.quantize(values)
+    assert np.allclose(q.quantize(once), once)
+
+
+def test_centroids_are_fixed_points():
+    q = Quantizer(6, -2.0, 2.0)
+    assert np.allclose(q.quantize(q.centroids), q.centroids)
+
+
+def test_ste_mask():
+    q = Quantizer(5, -2.0, 2.0)
+    values = np.array([[-3.0, 0.5, 2.5, 1.0]])
+    _, mask = q.forward(values)
+    assert np.allclose(mask, [[0, 1, 0, 1]])
+    grad = q.backward(mask, np.full((1, 4), 2.0))
+    assert np.allclose(grad, [[0, 2, 0, 2]])
+
+
+def test_quant_loss_zero_at_centroids():
+    q = Quantizer(5)
+    assert q.quantization_loss(q.centroids) == 0.0
+
+
+def test_quant_loss_maximal_at_boundaries():
+    q = Quantizer(5, -2.0, 2.0)
+    # Decision boundary at -1.5: distance 0.5 to both neighbors.
+    boundary = np.array([-1.5 + 1e-9])
+    assert q.quantization_loss(boundary) == pytest.approx(0.25, rel=1e-3)
+
+
+def test_quant_loss_grad_direction():
+    q = Quantizer(5)
+    values = np.array([0.3])  # nearest centroid 0 -> grad positive
+    grad = q.quantization_loss_grad(values)
+    assert grad[0] > 0
+    values = np.array([-0.3])
+    assert q.quantization_loss_grad(values)[0] < 0
+
+
+def test_denoising_corrects_small_errors():
+    """Figure 6: small noise is snapped back to the clean centroid."""
+    rng = np.random.default_rng(1)
+    q = Quantizer(5, -2.0, 2.0)
+    clean = q.centroids[rng.integers(0, 5, size=(200,))]
+    noisy = clean + rng.normal(0, 0.2, 200)
+    report = q.denoising_report(clean, noisy)
+    assert report["mse_after"] < report["mse_before"]
+    assert report["snr_after"] > report["snr_before"]
+
+
+def test_denoising_report_keys():
+    q = Quantizer(5)
+    report = q.denoising_report(np.zeros(4), np.full(4, 0.1))
+    assert set(report) == {"mse_before", "mse_after", "snr_before", "snr_after"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_levels=st.integers(2, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_property_output_bounded_and_on_grid(n_levels, seed):
+    q = Quantizer(n_levels, -2.0, 2.0)
+    values = np.random.default_rng(seed).normal(0, 3, 50)
+    out = q.quantize(values)
+    assert (out >= q.p_min - 1e-12).all() and (out <= q.p_max + 1e-12).all()
+    # every output is a centroid
+    distances = np.abs(out[:, None] - q.centroids[None, :]).min(axis=1)
+    assert np.allclose(distances, 0.0, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_error_bounded_by_half_step(seed):
+    q = Quantizer(5, -2.0, 2.0)
+    values = np.random.default_rng(seed).uniform(-2, 2, 50)
+    assert np.abs(values - q.quantize(values)).max() <= q.step / 2 + 1e-12
+
+
+def test_more_levels_lower_distortion():
+    values = np.random.default_rng(2).uniform(-2, 2, 500)
+    losses = [Quantizer(k).quantization_loss(values) for k in (3, 4, 5, 6)]
+    assert losses == sorted(losses, reverse=True)

@@ -1,0 +1,103 @@
+"""T1/T2-derived noise models."""
+
+import numpy as np
+import pytest
+
+from repro.noise.relaxation import (
+    QubitRelaxation,
+    noise_model_from_relaxation,
+    relaxation_pauli_error,
+)
+
+
+def test_relaxation_validates_times():
+    with pytest.raises(ValueError, match="positive"):
+        QubitRelaxation(t1=-1.0, t2=1.0)
+    with pytest.raises(ValueError, match="unphysical"):
+        QubitRelaxation(t1=10.0, t2=30.0)
+
+
+def test_zero_duration_is_noise_free():
+    error = relaxation_pauli_error(QubitRelaxation(100.0, 120.0), 0.0)
+    assert error.total < 1e-12
+
+
+def test_error_grows_with_duration():
+    relax = QubitRelaxation(100.0, 120.0)
+    short = relaxation_pauli_error(relax, 0.01)
+    long = relaxation_pauli_error(relax, 0.1)
+    assert long.total > short.total > 0
+
+
+def test_error_shrinks_with_better_qubit():
+    duration = 0.05
+    good = relaxation_pauli_error(QubitRelaxation(500.0, 600.0), duration)
+    bad = relaxation_pauli_error(QubitRelaxation(20.0, 25.0), duration)
+    assert bad.total > good.total
+
+
+def test_pure_dephasing_gives_z_only():
+    # T2 << 2*T1: dephasing dominates -> Z errors dominate X/Y.
+    error = relaxation_pauli_error(QubitRelaxation(1e6, 10.0), 0.5)
+    assert error.pz > 10 * max(error.px, error.py)
+
+
+def test_amplitude_damping_twirls_asymmetrically():
+    # T2 = 2*T1 exactly (damping-limited): px = py and pz = damping tail.
+    error = relaxation_pauli_error(QubitRelaxation(50.0, 100.0), 1.0)
+    assert np.isclose(error.px, error.py, rtol=1e-6)
+    assert error.px > 0 and error.pz > 0
+
+
+def test_noise_model_construction():
+    relaxations = [QubitRelaxation(80.0, 100.0), QubitRelaxation(40.0, 60.0)]
+    model = noise_model_from_relaxation(
+        relaxations,
+        coupling_edges=[(0, 1)],
+        gate_duration_1q=0.035,
+        gate_duration_2q=0.3,
+        readout_error=0.02,
+    )
+    assert model.n_qubits == 2
+    # Worse qubit 1 -> its 1q error exceeds qubit 0's.
+    assert (
+        model.one_qubit[("sx", 1)].total > model.one_qubit[("sx", 0)].total
+    )
+    # 2q gates are longer, hence noisier than either 1q gate.
+    assert model.mean_two_qubit_error() > model.mean_one_qubit_error()
+    # Readout matrices are valid confusion matrices.
+    assert np.allclose(model.readout.sum(axis=2), 1.0)
+
+
+def test_noise_model_per_qubit_readout():
+    relaxations = [QubitRelaxation(80.0, 100.0)] * 2
+    model = noise_model_from_relaxation(
+        relaxations, [(0, 1)], 0.035, 0.3, readout_error=[0.01, 0.05]
+    )
+    assert model.readout[1, 0, 1] > model.readout[0, 0, 1]
+
+
+def test_noise_model_validation():
+    relax = [QubitRelaxation(80.0, 100.0)]
+    with pytest.raises(ValueError, match="at least one"):
+        noise_model_from_relaxation([], [], 0.1, 0.2)
+    with pytest.raises(ValueError, match="durations"):
+        noise_model_from_relaxation(relax, [], 0.0, 0.2)
+    with pytest.raises(ValueError, match="out of range"):
+        noise_model_from_relaxation(relax, [(0, 5)], 0.1, 0.2)
+    with pytest.raises(ValueError, match="one entry per qubit"):
+        noise_model_from_relaxation(relax, [], 0.1, 0.2, readout_error=[0.1, 0.2])
+
+
+def test_derived_model_usable_by_sampler():
+    from repro.circuits import Circuit
+    from repro.noise.sampler import ErrorGateSampler
+
+    relaxations = [QubitRelaxation(50.0, 70.0)] * 2
+    model = noise_model_from_relaxation(relaxations, [(0, 1)], 0.035, 0.3)
+    circuit = Circuit(2).add("sx", 0).add("cx", (0, 1))
+    sampler = ErrorGateSampler(model.scaled(100.0), noise_factor=1.0)
+    noisy, stats = sampler.sample(circuit, (0, 1), np.random.default_rng(0))
+    assert len(noisy) >= len(circuit)
+    assert stats.n_original == len(circuit)
+    assert stats.overhead >= 0.0

@@ -1,0 +1,151 @@
+"""Error-gate sampling and trajectory execution."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.compiler import transpile
+from repro.noise import (
+    ErrorGateSampler,
+    NoiseModel,
+    PauliError,
+    get_device,
+    readout_matrix,
+    run_noisy_density,
+    run_noisy_trajectories,
+)
+from repro.qnn import paper_model
+
+
+def _toy_model(rate=0.2):
+    return NoiseModel(
+        2,
+        {("sx", q): PauliError(rate / 3, rate / 3, rate / 3) for q in range(2)},
+        {(0, 1): PauliError(0.1, 0.1, 0.05)},
+        np.stack([readout_matrix(0.0, 0.0)] * 2),
+    )
+
+
+def test_sampler_inserts_with_expected_frequency():
+    model = _toy_model(rate=0.3)
+    sampler = ErrorGateSampler(model, noise_factor=1.0)
+    circuit = Circuit(2)
+    for _ in range(50):
+        circuit.add("sx", 0)
+    rng = np.random.default_rng(0)
+    inserted = []
+    for _ in range(40):
+        _noisy, stats = sampler.sample(circuit, (0, 1), rng)
+        inserted.append(stats.n_inserted)
+    mean_rate = np.mean(inserted) / 50
+    assert abs(mean_rate - 0.3) < 0.05
+
+
+def test_noise_factor_scales_insertion_rate():
+    model = _toy_model(rate=0.3)
+    circuit = Circuit(2)
+    for _ in range(60):
+        circuit.add("sx", 0)
+    low = ErrorGateSampler(model, 0.1).expected_overhead(circuit, (0, 1))
+    high = ErrorGateSampler(model, 1.0).expected_overhead(circuit, (0, 1))
+    assert high == pytest.approx(10 * low)
+
+
+def test_sampler_skips_virtual_gates():
+    model = _toy_model(rate=1.0)
+    circuit = Circuit(2).add("rz", 0, 0.4)
+    sampler = ErrorGateSampler(model, 1.0)
+    noisy, stats = sampler.sample(circuit, (0, 1), rng=1)
+    assert stats.n_inserted == 0
+    assert len(noisy) == 1
+
+
+def test_gate_insertion_overhead_below_two_percent_on_real_devices():
+    """Paper: 'The gate insertion overhead is typically less than 2%.'"""
+    device = get_device("santiago")
+    qnn = paper_model(4, 1, 2, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    sampler = ErrorGateSampler(device.noise_model, noise_factor=1.0)
+    overhead = sampler.expected_overhead(
+        compiled.circuit, compiled.physical_qubits
+    )
+    assert overhead < 0.02
+
+
+def test_coherent_gates_inserted_for_hardware_models():
+    model = _toy_model(rate=0.0).with_coherent({0: (0.1, 0.2)})
+    circuit = Circuit(2).add("sx", 0).add("sx", 1)
+    sampler = ErrorGateSampler(model, 1.0)
+    noisy, _stats = sampler.sample(circuit, (0, 1), rng=0)
+    names = [g.name for g in noisy.gates]
+    # qubit 0 has coherent rotations appended; qubit 1 does not.
+    assert names == ["sx", "ry", "rz", "sx"]
+
+
+def test_trajectories_converge_to_density():
+    device = get_device("santiago")
+    qnn = paper_model(4, 1, 1, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    rng = np.random.default_rng(3)
+    weights = qnn.init_weights(rng)
+    inputs = rng.normal(0, 1, (3, 16))
+    exact = run_noisy_density(compiled, device.noise_model, weights, inputs)
+    approx = run_noisy_trajectories(
+        compiled,
+        device.noise_model,
+        weights,
+        inputs,
+        n_trajectories=300,
+        shots=None,
+        rng=7,
+    )
+    assert np.abs(exact - approx).max() < 0.05
+
+
+def test_shot_noise_scale():
+    device = get_device("santiago")
+    qnn = paper_model(4, 1, 1, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    rng = np.random.default_rng(4)
+    weights = qnn.init_weights(rng)
+    inputs = rng.normal(0, 1, (2, 16))
+    exact = run_noisy_density(
+        compiled, device.noise_model, weights, inputs, shots=None
+    )
+    sampled = run_noisy_density(
+        compiled,
+        device.noise_model,
+        weights,
+        inputs,
+        shots=8192,
+        rng=np.random.default_rng(0),
+    )
+    # 8192 shots -> std <= 1/sqrt(8192) ~ 0.011 per qubit.
+    assert np.abs(exact - sampled).max() < 0.06
+
+
+def test_density_rejects_wide_circuits():
+    device = get_device("melbourne")
+    qnn = paper_model(10, 1, 1, 36, 10)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    with pytest.raises(ValueError, match="too large"):
+        run_noisy_density(compiled, device.noise_model, qnn.init_weights(0),
+                          np.zeros((1, 36)))
+
+
+def test_noisier_device_degrades_expectations_more():
+    rng = np.random.default_rng(5)
+    qnn = paper_model(4, 1, 2, 16, 4)
+    weights = qnn.init_weights(rng)
+    inputs = rng.normal(0, 1, (4, 16))
+    from repro.sim.statevector import run_circuit, z_expectations
+
+    clean_state, _ = run_circuit(qnn.blocks[0], weights, inputs)
+    clean = z_expectations(clean_state, 4)
+    distances = {}
+    for name in ("santiago", "yorktown"):
+        device = get_device(name)
+        compiled = transpile(qnn.blocks[0], device, 2)
+        noisy = run_noisy_density(compiled, device.noise_model, weights, inputs)
+        distances[name] = np.abs(noisy - clean).mean()
+    assert distances["yorktown"] > distances["santiago"]

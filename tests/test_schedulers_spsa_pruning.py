@@ -1,0 +1,189 @@
+"""LR schedules, SPSA optimizer and gradient pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantLR,
+    CosineLR,
+    SPSA,
+    SPSAConfig,
+    StepLR,
+    WarmupCosineLR,
+    measurements_saved,
+    minimize_spsa,
+    prune_gradients,
+)
+
+
+# -- schedulers ---------------------------------------------------------------
+
+
+def test_constant_lr():
+    schedule = ConstantLR(0.1)
+    assert schedule(0) == schedule(100) == 0.1
+
+
+def test_constant_lr_rejects_nonpositive():
+    with pytest.raises(ValueError, match="positive"):
+        ConstantLR(0.0)
+
+
+def test_step_lr_halves_each_period():
+    schedule = StepLR(0.2, period=10, gamma=0.5)
+    assert schedule(0) == 0.2
+    assert schedule(9) == 0.2
+    assert np.isclose(schedule(10), 0.1)
+    assert np.isclose(schedule(25), 0.05)
+
+
+def test_step_lr_validates():
+    with pytest.raises(ValueError, match="period"):
+        StepLR(0.1, period=0)
+    with pytest.raises(ValueError, match="gamma"):
+        StepLR(0.1, period=5, gamma=1.5)
+
+
+def test_cosine_lr_endpoints_and_monotonicity():
+    schedule = CosineLR(1.0, total_steps=100, min_fraction=0.1)
+    assert np.isclose(schedule(0), 1.0)
+    assert np.isclose(schedule(100), 0.1)
+    assert np.isclose(schedule(500), 0.1)  # clamps past the horizon
+    values = [schedule(s) for s in range(101)]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_warmup_cosine():
+    schedule = WarmupCosineLR(1.0, total_steps=100, warmup_steps=10)
+    assert schedule(0) < schedule(5) < schedule(9)
+    assert np.isclose(schedule(10), 1.0)  # peak right after warmup
+    assert schedule(99) < 0.2
+
+
+def test_warmup_validates():
+    with pytest.raises(ValueError, match="warmup"):
+        WarmupCosineLR(1.0, total_steps=10, warmup_steps=10)
+
+
+# -- SPSA --------------------------------------------------------------------------
+
+
+def _quadratic(target):
+    def loss(w):
+        return float(np.sum((w - target) ** 2))
+
+    return loss
+
+
+def test_spsa_minimizes_quadratic():
+    target = np.array([0.5, -0.3, 1.2])
+    result = minimize_spsa(
+        _quadratic(target),
+        x0=np.zeros(3),
+        n_iterations=300,
+        config=SPSAConfig(a=0.5, c=0.1),
+        rng=0,
+    )
+    assert result.best_loss < 0.02
+    assert np.allclose(result.best_weights, target, atol=0.2)
+
+
+def test_spsa_two_evaluations_per_step():
+    calls = {"n": 0}
+
+    def counting_loss(w):
+        calls["n"] += 1
+        return float(np.sum(w**2))
+
+    optimizer = SPSA(rng=1)
+    w = np.ones(4)
+    optimizer.step(w, counting_loss)
+    assert calls["n"] == 2  # independent of dimension
+
+
+def test_spsa_tolerates_noisy_loss():
+    rng = np.random.default_rng(2)
+    target = np.array([1.0, -1.0])
+
+    def noisy_loss(w):
+        return float(np.sum((w - target) ** 2) + rng.normal(0, 0.02))
+
+    result = minimize_spsa(
+        noisy_loss, np.zeros(2), n_iterations=400,
+        config=SPSAConfig(a=0.4, c=0.2), rng=3,
+    )
+    assert np.allclose(result.best_weights, target, atol=0.35)
+
+
+def test_spsa_best_tracking_monotone():
+    result = minimize_spsa(
+        _quadratic(np.array([2.0])), np.zeros(1), n_iterations=50, rng=4
+    )
+    assert result.best_loss <= min(result.losses) + 1e-12
+    assert result.n_evaluations == 3 * len(result.losses)
+
+
+def test_spsa_config_validation():
+    with pytest.raises(ValueError, match="positive"):
+        SPSAConfig(a=-0.1)
+    with pytest.raises(ValueError, match="iteration"):
+        minimize_spsa(_quadratic(np.zeros(1)), np.zeros(1), n_iterations=0)
+
+
+def test_spsa_reproducible():
+    a = minimize_spsa(_quadratic(np.ones(2)), np.zeros(2), 20, rng=7)
+    b = minimize_spsa(_quadratic(np.ones(2)), np.zeros(2), 20, rng=7)
+    assert np.allclose(a.weights, b.weights)
+
+
+# -- gradient pruning -------------------------------------------------------------------
+
+
+def test_topk_keeps_largest_components():
+    grad = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+    pruned, mask = prune_gradients(grad, keep_fraction=0.4, mode="topk")
+    assert mask.tolist() == [False, True, False, True, False]
+    assert np.allclose(pruned, [0.0, -5.0, 0.0, 3.0, 0.0])
+
+
+def test_keep_fraction_one_is_identity():
+    grad = np.arange(5, dtype=float)
+    pruned, mask = prune_gradients(grad, 1.0)
+    assert np.allclose(pruned, grad)
+    assert mask.all()
+
+
+def test_at_least_one_component_kept():
+    grad = np.array([1.0, 2.0, 3.0, 4.0])
+    pruned, mask = prune_gradients(grad, 0.01, mode="topk")
+    assert mask.sum() == 1
+    assert pruned[3] == 4.0
+
+
+def test_random_mode_respects_fraction_and_seed():
+    grad = np.ones(100)
+    _p1, m1 = prune_gradients(grad, 0.3, mode="random", rng=5)
+    _p2, m2 = prune_gradients(grad, 0.3, mode="random", rng=5)
+    assert m1.sum() == 30
+    assert np.array_equal(m1, m2)
+
+
+def test_pruning_preserves_shape():
+    grad = np.arange(12, dtype=float).reshape(3, 4)
+    pruned, mask = prune_gradients(grad, 0.5)
+    assert pruned.shape == (3, 4)
+    assert mask.shape == (3, 4)
+
+
+def test_pruning_validation():
+    with pytest.raises(ValueError, match="keep_fraction"):
+        prune_gradients(np.ones(3), 0.0)
+    with pytest.raises(ValueError, match="unknown mode"):
+        prune_gradients(np.ones(3), 0.5, mode="magic")
+
+
+def test_measurements_saved():
+    grad = np.ones(10)
+    _pruned, mask = prune_gradients(grad, 0.3, mode="random", rng=0)
+    assert measurements_saved(mask) == 14  # 7 dropped * 2 circuits
+    assert measurements_saved(mask, shots_per_component=4) == 28

@@ -1,0 +1,136 @@
+"""Batched statevector engine vs the dense reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ParamExpr
+from repro.sim.gates import gate_matrix
+from repro.sim.statevector import (
+    apply_matrix,
+    bind_circuit,
+    expectations_from_counts,
+    joint_probabilities,
+    run_circuit,
+    sample_counts,
+    z_expectations,
+    z_signs,
+    zero_state,
+)
+from repro.utils.linalg import embed_operator
+
+
+def test_zero_state():
+    state = zero_state(3, batch=2)
+    assert state.shape == (2, 8)
+    assert np.allclose(state[:, 0], 1.0)
+    assert np.allclose(np.abs(state) ** 2 @ np.ones(8), 1.0)
+
+
+@pytest.mark.parametrize("qubits", [(0,), (1,), (2,)])
+def test_single_qubit_gate_matches_embedding(qubits):
+    rng = np.random.default_rng(0)
+    n = 3
+    state = rng.normal(size=(2, 8)) + 1j * rng.normal(size=(2, 8))
+    state /= np.linalg.norm(state, axis=1, keepdims=True)
+    matrix = gate_matrix("u3", tuple(rng.uniform(-2, 2, 3)))
+    fast = apply_matrix(state, matrix, qubits, n)
+    dense = embed_operator(matrix, qubits, n)
+    assert np.allclose(fast, state @ dense.T)
+
+
+@pytest.mark.parametrize("qubits", [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2)])
+def test_two_qubit_gate_matches_embedding(qubits):
+    rng = np.random.default_rng(1)
+    n = 3
+    state = rng.normal(size=(2, 8)) + 1j * rng.normal(size=(2, 8))
+    state /= np.linalg.norm(state, axis=1, keepdims=True)
+    matrix = gate_matrix("cu3", tuple(rng.uniform(-2, 2, 3)))
+    fast = apply_matrix(state, matrix, qubits, n)
+    dense = embed_operator(matrix, qubits, n)
+    assert np.allclose(fast, state @ dense.T)
+
+
+def test_batched_matrices_differ_per_sample():
+    thetas = np.array([0.1, 0.9, -1.3])
+    mats = gate_matrix("ry", (thetas,))
+    state = zero_state(1, batch=3)
+    out = apply_matrix(state, mats, (0,), 1)
+    for b, theta in enumerate(thetas):
+        expected = gate_matrix("ry", (theta,)) @ np.array([1, 0])
+        assert np.allclose(out[b], expected)
+
+
+def test_norm_preserved_through_random_circuit():
+    rng = np.random.default_rng(2)
+    c = Circuit(4)
+    for _ in range(30):
+        kind = rng.choice(["ry", "rz", "cx", "h", "cu3"])
+        if kind == "cx":
+            a, b = rng.choice(4, 2, replace=False)
+            c.add("cx", (int(a), int(b)))
+        elif kind == "cu3":
+            a, b = rng.choice(4, 2, replace=False)
+            c.add("cu3", (int(a), int(b)), *rng.uniform(-2, 2, 3))
+        elif kind == "h":
+            c.add("h", int(rng.integers(4)))
+        else:
+            c.add(kind, int(rng.integers(4)), float(rng.uniform(-2, 2)))
+    state, _ = run_circuit(c, batch=3)
+    assert np.allclose(np.linalg.norm(state, axis=1), 1.0)
+
+
+def test_z_signs_structure():
+    signs = z_signs(2)
+    # qubit 0 = least significant bit: indices 0,2 have bit0=0 -> +1
+    assert np.allclose(signs[0], [1, -1, 1, -1])
+    assert np.allclose(signs[1], [1, 1, -1, -1])
+
+
+def test_z_expectations_known_states():
+    # |0> -> +1 ; apply X -> |1> -> -1
+    state = zero_state(1, 1)
+    assert np.allclose(z_expectations(state, 1), [[1.0]])
+    state = apply_matrix(state, gate_matrix("x"), (0,), 1)
+    assert np.allclose(z_expectations(state, 1), [[-1.0]])
+    # |+> -> 0
+    state = zero_state(1, 1)
+    state = apply_matrix(state, gate_matrix("h"), (0,), 1)
+    assert np.allclose(z_expectations(state, 1), [[0.0]], atol=1e-12)
+
+
+def test_sampling_statistics():
+    c = Circuit(1).add("ry", 0, 2 * np.arccos(np.sqrt(0.75)))  # P(0)=0.75
+    state, _ = run_circuit(c, batch=1)
+    counts = sample_counts(state, shots=20000, rng=3)
+    assert counts.sum() == 20000
+    p0 = counts[0, 0] / 20000
+    assert abs(p0 - 0.75) < 0.02
+
+
+def test_expectations_from_counts():
+    counts = np.array([[7500, 2500]])
+    exp = expectations_from_counts(counts, 1)
+    assert np.allclose(exp, [[0.5]])
+
+
+def test_bind_circuit_input_dependence():
+    c = Circuit(1)
+    c.add("ry", 0, ParamExpr.input(0))
+    c.add("rz", 0, ParamExpr.constant(0.3))
+    ops = bind_circuit(c, None, np.array([[0.1], [0.2]]))
+    assert ops[0].batched and not ops[1].batched
+
+
+def test_bind_requires_inputs_for_input_exprs():
+    c = Circuit(1).add("ry", 0, ParamExpr.input(0))
+    with pytest.raises(ValueError):
+        bind_circuit(c, None, None, batch=None)
+
+
+def test_joint_probabilities_sum_to_one():
+    c = Circuit(2).add("h", 0).add("cx", (0, 1))
+    state, _ = run_circuit(c, batch=2)
+    probs = joint_probabilities(state)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    # Bell state: only |00> and |11>
+    assert np.allclose(probs[0], [0.5, 0, 0, 0.5], atol=1e-12)

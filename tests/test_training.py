@@ -1,0 +1,159 @@
+"""Training loop, optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Adam,
+    SGD,
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    accuracy,
+    cross_entropy,
+    iterate_minibatches,
+    softmax,
+    train,
+)
+from repro.core.gradients import finite_difference_gradients
+from repro.data import load_scalar_pair_task
+from repro.noise import get_device
+from repro.qnn import paper_model
+
+
+def test_softmax_rows_sum_to_one():
+    logits = np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]])
+    probs = softmax(logits)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert (probs > 0).all()
+
+
+def test_softmax_shift_invariance():
+    logits = np.array([[1.0, 2.0, 3.0]])
+    assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+
+def test_cross_entropy_gradient_matches_fd():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(0, 1, (5, 3))
+    labels = np.array([0, 1, 2, 0, 1])
+    _, grad, _ = cross_entropy(logits, labels)
+    fd = finite_difference_gradients(
+        lambda flat: cross_entropy(flat.reshape(5, 3), labels)[0], logits.ravel()
+    )
+    assert np.allclose(grad.ravel(), fd, atol=1e-6)
+
+
+def test_cross_entropy_perfect_prediction():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    loss, _, _ = cross_entropy(logits, np.array([0, 1]))
+    assert loss == pytest.approx(0.0, abs=1e-6)
+
+
+def test_accuracy():
+    logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+    assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+def test_adam_converges_on_quadratic():
+    opt = Adam(2, lr=0.1)
+    x = np.array([3.0, -4.0])
+    for _ in range(300):
+        x = opt.step(x, 2 * x)
+    assert np.abs(x).max() < 1e-2
+
+
+def test_sgd_converges_on_quadratic():
+    opt = SGD(2, lr=0.05, momentum=0.8)
+    x = np.array([3.0, -4.0])
+    for _ in range(300):
+        x = opt.step(x, 2 * x)
+    assert np.abs(x).max() < 1e-2
+
+
+def test_adam_cosine_schedule_decays():
+    opt = Adam(1, lr=0.1, total_steps=100)
+    lrs = []
+    x = np.zeros(1)
+    for _ in range(100):
+        x = opt.step(x, np.ones(1))
+        lrs.append(opt.current_lr())
+    assert lrs[0] > lrs[50] > lrs[-1]
+    assert lrs[-1] >= 0.1 * 0.1 - 1e-9  # floor at min_lr_fraction
+
+
+def test_invalid_lr():
+    with pytest.raises(ValueError):
+        Adam(1, lr=0.0)
+    with pytest.raises(ValueError):
+        SGD(1, lr=-1.0)
+
+
+def test_minibatch_iterator_covers_all_samples():
+    x = np.arange(10)[:, None].astype(float)
+    y = np.arange(10)
+    rng = np.random.default_rng(0)
+    seen = []
+    for bx, _by in iterate_minibatches(x, y, 3, rng):
+        assert len(bx) <= 3
+        seen.extend(bx[:, 0].astype(int).tolist())
+    assert sorted(seen) == list(range(10))
+
+
+def test_minibatch_labels_stay_aligned():
+    x = np.arange(20)[:, None].astype(float)
+    y = np.arange(20)
+    rng = np.random.default_rng(1)
+    for bx, by in iterate_minibatches(x, y, 7, rng):
+        assert np.allclose(bx[:, 0], by)
+
+
+def test_training_improves_on_scalar_task():
+    """A tiny 2-qubit model must separate two Gaussian blobs."""
+    task = load_scalar_pair_task(n_train=80, n_valid=30, n_test=40, seed=0)
+    qnn = paper_model(2, 1, 2, 2, 2, design="ry_cnot")
+    model = QuantumNATModel(
+        qnn, get_device("santiago"), QuantumNATConfig.baseline(), rng=0
+    )
+    result = train(
+        model,
+        task.train_x,
+        task.train_y,
+        task.valid_x,
+        task.valid_y,
+        TrainConfig(epochs=15, batch_size=16, lr=0.2, seed=2),
+    )
+    first = result.history[0]["train_loss"]
+    last = result.history[-1]["train_loss"]
+    assert last < first
+    acc, _ = model.evaluate(result.weights, task.test_x, task.test_y)
+    assert acc >= 0.8
+
+
+def test_best_weights_selected_by_valid_loss():
+    task = load_scalar_pair_task(n_train=40, n_valid=20, n_test=20, seed=1)
+    qnn = paper_model(2, 1, 1, 2, 2, design="ry_cnot")
+    model = QuantumNATModel(
+        qnn, get_device("santiago"), QuantumNATConfig.baseline(), rng=0
+    )
+    result = train(
+        model, task.train_x, task.train_y, task.valid_x, task.valid_y,
+        TrainConfig(epochs=5, seed=3),
+    )
+    best_from_history = min(h["valid_loss"] for h in result.history)
+    assert result.best_valid_loss == pytest.approx(best_from_history)
+
+
+def test_initial_weights_override():
+    task = load_scalar_pair_task(n_train=20, n_valid=10, n_test=10, seed=2)
+    qnn = paper_model(2, 1, 1, 2, 2, design="ry_cnot")
+    model = QuantumNATModel(
+        qnn, get_device("santiago"), QuantumNATConfig.baseline(), rng=0
+    )
+    w0 = np.zeros(qnn.n_weights)
+    result = train(
+        model, task.train_x, task.train_y, task.valid_x, task.valid_y,
+        TrainConfig(epochs=1, seed=0), initial_weights=w0,
+    )
+    assert result.weights.shape == w0.shape
+    assert np.allclose(w0, 0.0)  # caller's array untouched

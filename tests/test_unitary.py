@@ -1,0 +1,135 @@
+"""Fast unitary accumulation and fidelity measures."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ParamExpr
+from repro.sim.unitary import (
+    average_gate_fidelity,
+    circuit_unitary,
+    circuits_equivalent,
+    process_fidelity,
+)
+from repro.utils.linalg import global_phase_distance, is_unitary
+
+RNG = np.random.default_rng(21)
+
+
+def _random_circuit(n_qubits: int, n_gates: int, seed: int = 0) -> Circuit:
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(n_qubits)
+    one_q = ["h", "s", "t", "sx", "x"]
+    for _ in range(n_gates):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            circuit.add(one_q[rng.integers(0, len(one_q))], int(rng.integers(n_qubits)))
+        elif kind == 1:
+            circuit.add(
+                ["rx", "ry", "rz"][rng.integers(0, 3)],
+                int(rng.integers(n_qubits)),
+                float(rng.uniform(-np.pi, np.pi)),
+            )
+        elif n_qubits > 1:
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            circuit.add("cx", (int(a), int(b)))
+    return circuit
+
+
+@pytest.mark.parametrize("n_qubits", [1, 2, 3])
+def test_fast_unitary_matches_reference(n_qubits):
+    circuit = _random_circuit(n_qubits, 12, seed=n_qubits)
+    fast = circuit_unitary(circuit)
+    slow = circuit.to_matrix()
+    assert np.allclose(fast, slow, atol=1e-10)
+
+
+def test_unitary_is_unitary():
+    circuit = _random_circuit(3, 20, seed=5)
+    assert is_unitary(circuit_unitary(circuit))
+
+
+def test_unitary_with_weights():
+    circuit = Circuit(2)
+    circuit.add("ry", 0, ParamExpr.weight(0))
+    circuit.add("cx", (0, 1))
+    circuit.add("rz", 1, ParamExpr.weight(1))
+    weights = np.array([0.4, -1.1])
+    assert np.allclose(
+        circuit_unitary(circuit, weights), circuit.to_matrix(weights), atol=1e-10
+    )
+
+
+def test_unitary_with_inputs_row():
+    circuit = Circuit(1).add("ry", 0, ParamExpr.input(0))
+    row = np.array([0.9])
+    expected = circuit.to_matrix(None, row)
+    assert np.allclose(circuit_unitary(circuit, None, row), expected, atol=1e-10)
+
+
+def test_empty_circuit_is_identity():
+    assert np.allclose(circuit_unitary(Circuit(2)), np.eye(4))
+
+
+# -- fidelities ---------------------------------------------------------------
+
+
+def test_process_fidelity_of_identical_unitaries():
+    u = circuit_unitary(_random_circuit(2, 10, seed=3))
+    assert np.isclose(process_fidelity(u, u), 1.0)
+
+
+def test_process_fidelity_global_phase_invariant():
+    u = circuit_unitary(_random_circuit(2, 10, seed=4))
+    assert np.isclose(process_fidelity(u, np.exp(1j * 0.7) * u), 1.0)
+
+
+def test_process_fidelity_orthogonal_paulis():
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    assert np.isclose(process_fidelity(x, z), 0.0)
+
+
+def test_average_gate_fidelity_range():
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    eye = np.eye(2, dtype=complex)
+    # F_avg = (d*F_pro + 1)/(d+1) = 1/3 for orthogonal 1q unitaries.
+    assert np.isclose(average_gate_fidelity(x, eye), 1.0 / 3.0)
+    assert np.isclose(average_gate_fidelity(eye, eye), 1.0)
+
+
+def test_process_fidelity_shape_mismatch_raises():
+    with pytest.raises(ValueError, match="incompatible"):
+        process_fidelity(np.eye(2), np.eye(4))
+
+
+# -- equivalence --------------------------------------------------------------
+
+
+def test_equivalent_circuits_detected():
+    a = Circuit(1).add("h", 0).add("h", 0)
+    b = Circuit(1)
+    assert circuits_equivalent(a, b)
+
+
+def test_equivalence_up_to_global_phase():
+    # Z = e^{i pi/2} RZ(pi): same operation, different global phase.
+    a = Circuit(1).add("z", 0)
+    b = Circuit(1).add("rz", 0, np.pi)
+    assert global_phase_distance(circuit_unitary(a), circuit_unitary(b)) < 1e-10
+    assert circuits_equivalent(a, b)
+
+
+def test_inequivalent_circuits_detected():
+    a = Circuit(1).add("x", 0)
+    b = Circuit(1).add("z", 0)
+    assert not circuits_equivalent(a, b)
+
+
+def test_different_widths_not_equivalent():
+    assert not circuits_equivalent(Circuit(1), Circuit(2))
+
+
+def test_circuit_inverse_roundtrip_unitary():
+    circuit = _random_circuit(2, 15, seed=9)
+    composed = circuit.copy().extend(circuit.inverse())
+    assert global_phase_distance(circuit_unitary(composed), np.eye(4)) < 1e-9

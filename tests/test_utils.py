@@ -1,0 +1,139 @@
+"""RNG plumbing and the linear-algebra helpers' edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.linalg import (
+    embed_operator,
+    global_phase_distance,
+    is_hermitian,
+    is_unitary,
+    kron_all,
+)
+from repro.utils.rng import as_rng, spawn_rng
+
+
+# -- as_rng ---------------------------------------------------------------------
+
+
+def test_as_rng_from_int_is_deterministic():
+    assert as_rng(7).integers(0, 100) == as_rng(7).integers(0, 100)
+
+
+def test_as_rng_passes_generator_through():
+    gen = np.random.default_rng(0)
+    assert as_rng(gen) is gen
+
+
+def test_as_rng_none_gives_generator():
+    assert isinstance(as_rng(None), np.random.Generator)
+
+
+def test_spawn_rng_children_independent():
+    children = spawn_rng(as_rng(0), 3)
+    assert len(children) == 3
+    draws = [c.integers(0, 2**31) for c in children]
+    assert len(set(draws)) == 3  # overwhelmingly likely when independent
+
+
+def test_spawn_rng_deterministic_from_parent_seed():
+    a = [c.integers(0, 100) for c in spawn_rng(as_rng(1), 2)]
+    b = [c.integers(0, 100) for c in spawn_rng(as_rng(1), 2)]
+    assert a == b
+
+
+# -- predicates --------------------------------------------------------------------
+
+
+def test_is_unitary_edge_cases():
+    assert is_unitary(np.eye(3))
+    assert not is_unitary(2 * np.eye(2))
+    assert not is_unitary(np.ones((2, 3)))  # non-square
+    assert not is_unitary(np.ones(4))  # wrong rank
+
+
+def test_is_hermitian():
+    assert is_hermitian(np.array([[1, 1j], [-1j, 2]]))
+    assert not is_hermitian(np.array([[0, 1], [0, 0]]))
+
+
+def test_kron_all_order():
+    a = np.diag([1.0, 2.0])
+    b = np.diag([1.0, 3.0])
+    assert np.allclose(np.diag(kron_all([a, b])), [1, 3, 2, 6])
+
+
+# -- global phase distance -------------------------------------------------------------
+
+
+def test_global_phase_distance_zero_for_phased_copies():
+    rng = np.random.default_rng(4)
+    matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    q, _ = np.linalg.qr(matrix)
+    assert global_phase_distance(q, np.exp(1j * 1.234) * q) < 1e-12
+
+
+def test_global_phase_distance_positive_for_distinct():
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    assert global_phase_distance(x, z) > 0.5
+
+
+def test_global_phase_distance_shape_mismatch():
+    with pytest.raises(ValueError, match="shape mismatch"):
+        global_phase_distance(np.eye(2), np.eye(4))
+
+
+def test_global_phase_distance_zero_matrix():
+    zero = np.zeros((2, 2))
+    assert global_phase_distance(zero, zero) == 0.0
+
+
+# -- embed_operator ----------------------------------------------------------------------
+
+
+def test_embed_identity_is_identity():
+    assert np.allclose(embed_operator(np.eye(2), (1,), 3), np.eye(8))
+
+
+def test_embed_x_on_each_qubit():
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    for q in range(3):
+        full = embed_operator(x, (q,), 3)
+        state = np.zeros(8)
+        state[0] = 1.0
+        flipped = full @ state
+        assert flipped[1 << q] == 1.0
+
+
+def test_embed_rejects_bad_input():
+    x = np.eye(2, dtype=complex)
+    with pytest.raises(ValueError, match="does not match"):
+        embed_operator(x, (0, 1), 2)
+    with pytest.raises(ValueError, match="duplicate"):
+        embed_operator(np.eye(4), (0, 0), 2)
+    with pytest.raises(ValueError, match="out of range"):
+        embed_operator(x, (3,), 2)
+
+
+@given(st.integers(0, 2), st.integers(0, 2))
+@settings(max_examples=20, deadline=None)
+def test_embed_disjoint_operators_commute(qa, qb):
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    a = embed_operator(x, (qa,), 3)
+    b = embed_operator(z, (qb,), 3)
+    if qa != qb:
+        assert np.allclose(a @ b, b @ a)
+    else:
+        assert not np.allclose(a @ b, b @ a)
+
+
+def test_embed_two_qubit_ordering_matches_kron():
+    cx = np.array(
+        [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+    )
+    # Embedding CX on (0, 1) of a 2-qubit space is the matrix itself.
+    assert np.allclose(embed_operator(cx, (0, 1), 2), cx)

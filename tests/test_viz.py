@@ -1,0 +1,177 @@
+"""Text visualization: drawer layout and plot rendering."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ParamExpr
+from repro.viz import draw_circuit, text_heatmap, text_histogram, text_scatter
+
+
+# -- draw_circuit -----------------------------------------------------------------
+
+
+def test_draw_single_qubit_gates():
+    art = draw_circuit(Circuit(1).add("h", 0).add("x", 0))
+    assert "q0:" in art
+    assert "H" in art and "X" in art
+    # H comes before X on the wire.
+    assert art.index("H") < art.index("X")
+
+
+def test_draw_cx_control_and_target():
+    art = draw_circuit(Circuit(2).add("cx", (0, 1)))
+    lines = art.splitlines()
+    assert "*" in lines[0]  # control on q0
+    assert "X" in lines[2]  # target on q1
+    assert "|" in lines[1]  # vertical connector between
+
+
+def test_draw_connector_spans_intermediate_wires():
+    art = draw_circuit(Circuit(3).add("cx", (0, 2)))
+    lines = art.splitlines()
+    # Connector must cross q1's wire row and both gap rows.
+    assert "|" in lines[1] and "|" in lines[3]
+    assert "-" in lines[2]
+
+
+def test_draw_parameter_labels():
+    circuit = Circuit(1).add("ry", 0, ParamExpr.weight(3)).add("rz", 0, np.pi)
+    art = draw_circuit(circuit)
+    assert "RY(w3)" in art
+    assert "RZ(pi)" in art
+
+
+def test_draw_constant_angle():
+    art = draw_circuit(Circuit(1).add("rz", 0, 0.25))
+    assert "RZ(0.25)" in art
+
+
+def test_draw_affine_label():
+    expr = ParamExpr.weight(1, coeff=0.5, const=np.pi)
+    art = draw_circuit(Circuit(1).add("rz", 0, expr))
+    assert "0.5w1+pi" in art
+
+
+def test_draw_empty_circuit():
+    art = draw_circuit(Circuit(2))
+    assert art.splitlines() == ["q0: ---", "q1: ---"]
+
+
+def test_draw_parallel_gates_share_column():
+    # Two independent gates pack into one layer: same drawing depth.
+    art_parallel = draw_circuit(Circuit(2).add("h", 0).add("h", 1))
+    art_serial = draw_circuit(Circuit(1).add("h", 0).add("h", 0))
+    assert len(art_parallel.splitlines()[0]) < len(art_serial.splitlines()[0])
+
+
+def test_draw_wraps_wide_circuits():
+    circuit = Circuit(1)
+    for _ in range(60):
+        circuit.add("h", 0)
+    art = draw_circuit(circuit, max_width=40)
+    panels = art.split("\n\n")
+    assert len(panels) > 1
+    assert all(len(line) <= 40 for panel in panels for line in panel.splitlines())
+
+
+def test_draw_symmetric_two_qubit_gate():
+    art = draw_circuit(Circuit(2).add("rzz", (0, 1), 0.5))
+    assert art.count("RZZ(0.5)") == 2
+
+
+def test_draw_cu3_labels():
+    art = draw_circuit(Circuit(2).add("cu3", (1, 0), 0.1, 0.2, 0.3))
+    lines = art.splitlines()
+    assert "U3(0.1,0.2,0.3)" in lines[0]  # target on q0
+    assert "*" in lines[2]  # control on q1
+
+
+# -- text_histogram ------------------------------------------------------------------
+
+
+def test_histogram_basic():
+    out = text_histogram([0, 0, 0, 1], bins=2, width=10, title="demo")
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 3
+    assert lines[1].endswith(" 3")
+    assert lines[2].endswith(" 1")
+    assert lines[1].count("#") == 10  # peak bin fills the width
+
+
+def test_histogram_empty_raises():
+    with pytest.raises(ValueError, match="empty"):
+        text_histogram([])
+
+
+def test_histogram_bad_bins_raises():
+    with pytest.raises(ValueError, match="positive"):
+        text_histogram([1.0], bins=0)
+
+
+# -- text_heatmap ---------------------------------------------------------------------
+
+
+def test_heatmap_extremes_use_end_chars():
+    out = text_heatmap([[0.0, 1.0]], chars=" @")
+    assert "  " in out and "@@" in out
+    assert "legend" in out
+
+
+def test_heatmap_labels():
+    out = text_heatmap(
+        [[1, 2], [3, 4]], row_labels=["lo", "hi"], col_labels=["a", "b"]
+    )
+    assert "lo |" in out and "hi |" in out
+    assert "a" in out.splitlines()[-2]
+
+
+def test_heatmap_constant_matrix():
+    out = text_heatmap(np.ones((2, 2)))
+    assert "legend" in out  # no division-by-zero on flat input
+
+
+def test_heatmap_nan_cells():
+    out = text_heatmap([[0.0, np.nan], [1.0, 0.5]])
+    assert "??" in out
+
+
+def test_heatmap_requires_2d():
+    with pytest.raises(ValueError, match="2-D"):
+        text_heatmap([1.0, 2.0])
+
+
+# -- text_scatter -----------------------------------------------------------------------
+
+
+def test_scatter_markers_by_class():
+    points = np.array([[0.0, 0.0], [1.0, 1.0]])
+    out = text_scatter(points, [0, 1], width=10, height=5)
+    assert "o" in out and "x" in out
+    assert "class 0='o'" in out
+
+
+def test_scatter_extent_line():
+    points = np.array([[-1.0, 2.0], [3.0, 5.0]])
+    out = text_scatter(points, [0, 0])
+    assert "x: [-1, 3]" in out
+    assert "y: [2, 5]" in out
+
+
+def test_scatter_shape_validation():
+    with pytest.raises(ValueError, match="\\(n, 2\\)"):
+        text_scatter(np.zeros((3, 3)), [0, 0, 0])
+    with pytest.raises(ValueError, match="disagree"):
+        text_scatter(np.zeros((3, 2)), [0, 0])
+
+
+def test_scatter_too_many_classes():
+    points = np.zeros((7, 2))
+    with pytest.raises(ValueError, match="markers"):
+        text_scatter(points, list(range(7)))
+
+
+def test_scatter_degenerate_extent():
+    # All points identical: no division by zero.
+    out = text_scatter(np.zeros((3, 2)), [0, 0, 0], width=5, height=3)
+    assert "o" in out

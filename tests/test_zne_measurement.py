@@ -1,0 +1,224 @@
+"""General ZNE (folding + extrapolators) and readout mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.compiler.passes import CompiledCircuit
+from repro.compiler.decompositions import lower_to_basis
+from repro.mitigation import (
+    achieved_scale,
+    exponential_zero,
+    fold_circuit,
+    full_confusion_matrix,
+    linear_zero,
+    mitigate_expectations,
+    mitigate_probabilities,
+    richardson_zero,
+    zne_expectations,
+)
+from repro.noise import get_device
+from repro.noise.density_backend import run_noisy_density
+from repro.noise.model import readout_matrix
+from repro.noise.readout import (
+    apply_readout_to_expectations,
+    apply_readout_to_joint_probabilities,
+)
+from repro.sim.unitary import circuit_unitary, process_fidelity
+
+RNG = np.random.default_rng(17)
+
+
+# -- folding ---------------------------------------------------------------------
+
+
+def _bell() -> Circuit:
+    return Circuit(2).add("h", 0).add("cx", (0, 1)).add("ry", 1, 0.3)
+
+
+@pytest.mark.parametrize("scale", [1.0, 3.0, 5.0])
+def test_global_fold_preserves_unitary(scale):
+    circuit = _bell()
+    folded = fold_circuit(circuit, scale)
+    assert len(folded) == int(scale) * len(circuit)
+    fid = process_fidelity(circuit_unitary(circuit), circuit_unitary(folded))
+    assert fid > 1 - 1e-9
+
+
+@pytest.mark.parametrize("scale", [1.5, 2.0, 2.7])
+def test_partial_fold_preserves_unitary(scale):
+    circuit = _bell()
+    folded = fold_circuit(circuit, scale)
+    fid = process_fidelity(circuit_unitary(circuit), circuit_unitary(folded))
+    assert fid > 1 - 1e-9
+    assert np.isclose(achieved_scale(circuit, folded), scale, atol=0.5)
+
+
+def test_fold_scale_below_one_raises():
+    with pytest.raises(ValueError, match=">= 1"):
+        fold_circuit(_bell(), 0.5)
+
+
+def test_fold_empty_circuit():
+    folded = fold_circuit(Circuit(2), 3.0)
+    assert len(folded) == 0
+    assert achieved_scale(Circuit(2), folded) == 1.0
+
+
+# -- extrapolators ------------------------------------------------------------------
+
+
+def test_linear_zero_exact_on_line():
+    scales = np.array([1.0, 2.0, 3.0])
+    values = 0.9 - 0.1 * scales
+    assert np.isclose(linear_zero(scales, values), 0.9)
+
+
+def test_richardson_exact_on_quadratic():
+    scales = np.array([1.0, 2.0, 3.0])
+    values = 0.8 - 0.05 * scales - 0.02 * scales**2
+    assert np.isclose(richardson_zero(scales, values), 0.8)
+    # Linear extrapolation is biased on the same data.
+    assert not np.isclose(linear_zero(scales, values), 0.8, atol=1e-3)
+
+
+def test_richardson_duplicate_scales_raise():
+    with pytest.raises(ValueError, match="distinct"):
+        richardson_zero(np.array([1.0, 1.0]), np.array([0.5, 0.4]))
+
+
+def test_exponential_recovers_saturating_decay():
+    scales = np.array([1.0, 2.0, 3.0, 5.0, 8.0])
+    values = 0.1 + 0.7 * np.exp(-0.4 * scales)
+    assert np.isclose(exponential_zero(scales, values), 0.8, atol=1e-6)
+
+
+def test_extrapolators_handle_columns():
+    scales = np.array([1.0, 2.0, 3.0])
+    values = np.stack([0.9 - 0.1 * scales, 0.5 - 0.2 * scales], axis=1)
+    out = linear_zero(scales, values)
+    assert np.allclose(out, [0.9, 0.5])
+    out_r = richardson_zero(scales, values)
+    assert np.allclose(out_r, [0.9, 0.5])
+
+
+# -- end-to-end ZNE -----------------------------------------------------------------
+
+
+def _noisy_runner(device, noise_factor=1.0):
+    """Run a logical circuit on a device's published noise model."""
+
+    def run(circuit: Circuit) -> np.ndarray:
+        lowered = lower_to_basis(circuit)
+        compiled = CompiledCircuit(
+            circuit=lowered,
+            physical_qubits=tuple(range(circuit.n_qubits)),
+            layout={q: q for q in range(circuit.n_qubits)},
+            measure_qubits=tuple(range(circuit.n_qubits)),
+            device_name=device.name,
+        )
+        return run_noisy_density(
+            compiled,
+            device.noise_model,
+            np.zeros(0),
+            np.zeros((1, 0)),
+            noise_factor=noise_factor,
+        )[0]
+
+    return run
+
+
+@pytest.mark.parametrize("method", ["linear", "richardson", "exponential"])
+def test_zne_beats_unmitigated(method):
+    device = get_device("yorktown")
+    circuit = Circuit(2)
+    for _ in range(6):
+        circuit.add("ry", 0, 0.35).add("cx", (0, 1)).add("rx", 1, -0.2)
+    run = _noisy_runner(device, noise_factor=8.0)
+
+    from repro.core import NoiselessExecutor  # noqa: F401  (docs the contrast)
+    from repro.sim.statevector import run_circuit, z_expectations
+
+    state, _ = run_circuit(lower_to_basis(circuit), batch=1)
+    ideal = z_expectations(state, 2)[0]
+    raw = run(circuit)
+    mitigated = zne_expectations(run, circuit, scales=(1.0, 2.0, 3.0), method=method)
+    assert np.linalg.norm(mitigated - ideal) < np.linalg.norm(raw - ideal)
+
+
+def test_zne_validates_arguments():
+    run = lambda c: np.zeros(2)  # noqa: E731
+    with pytest.raises(ValueError, match="unknown method"):
+        zne_expectations(run, _bell(), method="cubic")
+    with pytest.raises(ValueError, match="at least two"):
+        zne_expectations(run, _bell(), scales=(1.0,))
+
+
+# -- readout mitigation ------------------------------------------------------------------
+
+
+def _random_readout(n_qubits: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [
+            readout_matrix(rng.uniform(0.01, 0.08), rng.uniform(0.01, 0.08))
+            for _ in range(n_qubits)
+        ]
+    )
+
+
+def test_mitigate_expectations_inverts_forward_map():
+    readout = _random_readout(3)
+    clean = RNG.uniform(-1, 1, size=(5, 3))
+    noisy, _ = apply_readout_to_expectations(clean, readout)
+    recovered = mitigate_expectations(noisy, readout)
+    assert np.allclose(recovered, clean, atol=1e-10)
+
+
+def test_mitigate_expectations_rejects_degenerate_readout():
+    readout = np.stack([readout_matrix(0.5, 0.5)])
+    with pytest.raises(ValueError, match="non-invertible"):
+        mitigate_expectations(np.zeros((1, 1)), readout)
+
+
+def test_mitigate_probabilities_inverse_roundtrip():
+    readout = _random_readout(2, seed=1)
+    clean = RNG.dirichlet(np.ones(4), size=3)
+    noisy = apply_readout_to_joint_probabilities(clean, readout)
+    recovered = mitigate_probabilities(noisy, readout, method="inverse")
+    assert np.allclose(recovered, clean, atol=1e-10)
+
+
+def test_mitigate_probabilities_least_squares_valid_distribution():
+    readout = _random_readout(2, seed=2)
+    clean = RNG.dirichlet(np.ones(4), size=2)
+    noisy = apply_readout_to_joint_probabilities(clean, readout)
+    # Inject sampling jitter so the exact inverse goes slightly negative.
+    jitter = noisy + RNG.normal(0, 0.01, size=noisy.shape)
+    jitter = np.clip(jitter, 0, None)
+    jitter /= jitter.sum(axis=1, keepdims=True)
+    recovered = mitigate_probabilities(jitter, readout, method="least_squares")
+    assert np.all(recovered >= -1e-12)
+    assert np.allclose(recovered.sum(axis=1), 1.0)
+    # Still closer to the truth than doing nothing.
+    assert np.linalg.norm(recovered - clean) < np.linalg.norm(jitter - clean) + 0.02
+
+
+def test_full_confusion_matrix_structure():
+    readout = _random_readout(2, seed=3)
+    joint = full_confusion_matrix(readout)
+    assert joint.shape == (4, 4)
+    assert np.allclose(joint.sum(axis=1), 1.0)
+    # Entry [true=01, measured=00]: qubit0 flips 1->0, qubit1 stays 0.
+    expected = readout[0][1, 0] * readout[1][0, 0]
+    assert np.isclose(joint[1, 0], expected)
+
+
+def test_mitigate_probabilities_validates_shapes():
+    readout = _random_readout(2)
+    with pytest.raises(ValueError, match="batch"):
+        mitigate_probabilities(np.zeros(4), readout)
+    with pytest.raises(ValueError, match="does not match"):
+        mitigate_probabilities(np.zeros((1, 8)), readout)
+    with pytest.raises(ValueError, match="unknown method"):
+        mitigate_probabilities(np.zeros((1, 4)), readout, method="magic")
