@@ -1,0 +1,13 @@
+"""Performance benchmarks for the fast execution engine.
+
+Unlike the paper-reproduction benches (``benchmarks/bench_*.py``), this
+subpackage measures *wall-clock* of the simulator hot paths -- gate
+apply kernels, bind caching, adjoint backward, fused trajectory batching
+-- against the retained reference implementations, and verifies the fast
+paths are numerically identical where exact equality is expected.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/engine.py [--scale quick|full] \
+        [--out BENCH_engine.json]
+"""

@@ -1,0 +1,321 @@
+"""Fast-execution-engine benchmark harness.
+
+Times the four hot paths of the simulator stack -- statevector forward,
+forward + adjoint backward, fused trajectory inference, and a short
+end-to-end noise-injected training run -- against the retained reference
+implementations, asserts fast-vs-reference numerical equivalence, and
+writes everything to ``BENCH_engine.json``.
+
+The reference paths (``apply_matrix_reference``, ``bind_circuit_reference``,
+``run_ops_reference``, ``adjoint_backward_reference``,
+``trajectory_probabilities_reference``) are the pre-fast-engine
+implementations kept in-tree precisely so every benchmark run re-records
+its own baseline on the machine it runs on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/engine.py --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    get_device,
+    paper_model,
+    train,
+)
+from repro.compiler import transpile
+from repro.core.gradients import (
+    QuantumTape,
+    adjoint_backward,
+    adjoint_backward_reference,
+    forward_with_tape,
+)
+from repro.noise import NoiseModel, readout_matrix
+from repro.noise.trajectory import (
+    trajectory_probabilities,
+    trajectory_probabilities_reference,
+)
+from repro.sim.statevector import (
+    apply_matrix,
+    apply_matrix_reference,
+    bind_circuit,
+    bind_circuit_reference,
+    run_ops,
+    run_ops_reference,
+    zero_state,
+)
+from repro.sim.gates import gate_matrix
+
+#: Default output location: the repository root.
+DEFAULT_OUT = Path(__file__).resolve().parents[2] / "BENCH_engine.json"
+
+#: Exact-path equivalence tolerance (fast vs reference, same math).
+EXACT_TOL = 1e-10
+
+SCALES = {
+    # tier-2 smoke: seconds, runs inside pytest
+    "smoke": dict(batch=8, traj_batch=4, n_trajectories=8, repeats=2,
+                  epochs=1, n_train=16, stat_trajectories=64),
+    "quick": dict(batch=64, traj_batch=16, n_trajectories=64, repeats=5,
+                  epochs=2, n_train=64, stat_trajectories=256),
+    "full": dict(batch=128, traj_batch=32, n_trajectories=128, repeats=10,
+                 epochs=4, n_train=128, stat_trajectories=1024),
+}
+
+
+def _best_of(f, repeats: int) -> float:
+    """Best (minimum) wall-clock over ``repeats`` runs, after one warmup."""
+    f()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _coherent_only_model(n_qubits: int) -> NoiseModel:
+    """Deterministic noise (no stochastic Paulis): fused == reference exactly."""
+    from repro.noise.model import PauliError
+
+    return NoiseModel(
+        n_qubits,
+        {("sx", q): PauliError(0.0, 0.0, 0.0) for q in range(n_qubits)},
+        {},
+        np.stack([readout_matrix(0.0, 0.0)] * n_qubits),
+        coherent={q: (0.01 * (q + 1), -0.02 * (q + 1)) for q in range(n_qubits)},
+    )
+
+
+def _bench_kernels(repeats: int) -> dict:
+    """Micro-timings of single gate applications, fast vs reference."""
+    rng = np.random.default_rng(0)
+    n, batch = 4, 256
+    state = rng.normal(size=(batch, 2**n)) + 1j * rng.normal(size=(batch, 2**n))
+    cases = {
+        "1q_diagonal_rz": (gate_matrix("rz", (0.3,)), (1,)),
+        "1q_general_sx": (gate_matrix("sx"), (2,)),
+        "2q_cx": (gate_matrix("cx"), (0, 2)),
+        "2q_general_cu3": (gate_matrix("cu3", (0.4, 0.1, -0.2)), (1, 3)),
+    }
+    out = {}
+    for name, (matrix, qubits) in cases.items():
+        fast = _best_of(lambda: apply_matrix(state, matrix, qubits, n),
+                        repeats * 20)
+        ref = _best_of(lambda: apply_matrix_reference(state, matrix, qubits, n),
+                       repeats * 20)
+        err = float(np.abs(
+            apply_matrix(state, matrix, qubits, n)
+            - apply_matrix_reference(state, matrix, qubits, n)
+        ).max())
+        if err > EXACT_TOL:
+            raise AssertionError(f"kernel {name}: fast/reference diverge ({err:.2e})")
+        out[name] = {
+            "reference_us": ref * 1e6,
+            "fast_us": fast * 1e6,
+            "speedup": ref / fast,
+            "max_err": err,
+        }
+    return out
+
+
+def run_benchmarks(
+    scale: str = "quick",
+    out_path: "str | Path | None" = DEFAULT_OUT,
+    seed: int = 0,
+) -> dict:
+    """Run all engine benchmarks; returns (and optionally writes) the report."""
+    cfg = SCALES[scale]
+    rng = np.random.default_rng(seed)
+    device = get_device("santiago")
+    qnn = paper_model(4, 2, 2, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    circuit = compiled.circuit
+    weights = qnn.init_weights(rng)
+    batch = cfg["batch"]
+    inputs = rng.normal(0, 1, (batch, 16))
+    n_weights = circuit.parameter_table.num_weights
+    n_qubits = circuit.n_qubits
+    grad = np.ones((batch, n_qubits))
+
+    report: dict = {
+        "meta": {
+            "scale": scale,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "circuit_gates": len(circuit.gates),
+            "circuit_qubits": n_qubits,
+            "batch": batch,
+        },
+        "kernels": _bench_kernels(cfg["repeats"]),
+        "benchmarks": {},
+        "equivalence": {},
+    }
+    bench = report["benchmarks"]
+    equiv = report["equivalence"]
+
+    # -- forward ------------------------------------------------------------
+    def forward_fast():
+        return run_ops(bind_circuit(circuit, weights, inputs), n_qubits, batch)
+
+    def forward_ref():
+        return run_ops_reference(
+            bind_circuit_reference(circuit, weights, inputs), n_qubits, batch
+        )
+
+    t_fast = _best_of(forward_fast, cfg["repeats"])
+    t_ref = _best_of(forward_ref, cfg["repeats"])
+    err = float(np.abs(forward_fast() - forward_ref()).max())
+    bench["forward"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+    }
+    equiv["forward_max_err"] = err
+
+    # -- forward + adjoint backward ----------------------------------------
+    def fb_fast():
+        _, tape = forward_with_tape(circuit, weights, inputs)
+        return adjoint_backward(tape, grad)
+
+    def fb_ref():
+        ops = bind_circuit_reference(circuit, weights, inputs)
+        state = run_ops_reference(ops, n_qubits, batch)
+        tape = QuantumTape(circuit, ops, state, n_weights, inputs.shape[1])
+        return adjoint_backward_reference(tape, grad)
+
+    t_fast = _best_of(fb_fast, cfg["repeats"])
+    t_ref = _best_of(fb_ref, cfg["repeats"])
+    wf, xf = fb_fast()
+    wr, xr = fb_ref()
+    bench["forward_backward"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+    }
+    equiv["adjoint_weight_grad_max_err"] = float(np.abs(wf - wr).max())
+    equiv["adjoint_input_grad_max_err"] = float(np.abs(xf - xr).max())
+
+    # -- trajectory inference ----------------------------------------------
+    hardware = device.hardware_model
+    traj_inputs = inputs[: cfg["traj_batch"]]
+    traj_batch = traj_inputs.shape[0]
+    n_traj = cfg["n_trajectories"]
+
+    t_fast = _best_of(
+        lambda: trajectory_probabilities(
+            compiled, hardware, weights, traj_inputs, traj_batch, n_traj, rng=1
+        ),
+        cfg["repeats"],
+    )
+    t_ref = _best_of(
+        lambda: trajectory_probabilities_reference(
+            compiled, hardware, weights, traj_inputs, traj_batch, n_traj, rng=1
+        ),
+        cfg["repeats"],
+    )
+    bench["trajectory_inference"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "n_trajectories": n_traj, "batch": traj_batch,
+    }
+
+    # Deterministic channel (coherent-only noise): fused == reference exactly.
+    det_model = _coherent_only_model(device.n_qubits)
+    p_fused = trajectory_probabilities(
+        compiled, det_model, weights, traj_inputs, traj_batch, 2, rng=3
+    )
+    p_ref = trajectory_probabilities_reference(
+        compiled, det_model, weights, traj_inputs, traj_batch, 2, rng=3
+    )
+    equiv["trajectory_deterministic_max_err"] = float(np.abs(p_fused - p_ref).max())
+
+    # Stochastic channel: independent samplings agree statistically.
+    n_stat = cfg["stat_trajectories"]
+    p_fused = trajectory_probabilities(
+        compiled, hardware, weights, traj_inputs, traj_batch, n_stat, rng=4
+    )
+    p_ref = trajectory_probabilities_reference(
+        compiled, hardware, weights, traj_inputs, traj_batch, n_stat, rng=5
+    )
+    equiv["trajectory_statistical_dev"] = float(np.abs(p_fused - p_ref).max())
+    equiv["trajectory_statistical_tol"] = 6.0 / np.sqrt(n_stat)
+
+    # -- short end-to-end noise-injected training --------------------------
+    n_train = cfg["n_train"]
+    train_x = rng.normal(0, 1, (n_train, 16))
+    train_y = rng.integers(0, 4, n_train)
+    valid_x = rng.normal(0, 1, (max(8, n_train // 4), 16))
+    valid_y = rng.integers(0, 4, valid_x.shape[0])
+    model = QuantumNATModel(
+        paper_model(4, 2, 2, 16, 4),
+        device,
+        QuantumNATConfig.norm_and_injection(0.25),
+        rng=seed,
+    )
+    t0 = time.perf_counter()
+    train(
+        model, train_x, train_y, valid_x, valid_y,
+        TrainConfig(epochs=cfg["epochs"], seed=seed),
+    )
+    elapsed = time.perf_counter() - t0
+    bench["end_to_end_training"] = {
+        "seconds": elapsed,
+        "epochs": cfg["epochs"],
+        "n_train": n_train,
+        "seconds_per_epoch": elapsed / cfg["epochs"],
+    }
+
+    # -- hard equivalence gates --------------------------------------------
+    for key in (
+        "forward_max_err",
+        "adjoint_weight_grad_max_err",
+        "adjoint_input_grad_max_err",
+        "trajectory_deterministic_max_err",
+    ):
+        if equiv[key] > EXACT_TOL:
+            raise AssertionError(
+                f"equivalence violated: {key}={equiv[key]:.3e} > {EXACT_TOL}"
+            )
+    if equiv["trajectory_statistical_dev"] > equiv["trajectory_statistical_tol"]:
+        raise AssertionError(
+            "fused trajectory distribution deviates from reference: "
+            f"{equiv['trajectory_statistical_dev']:.3e}"
+        )
+
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    report = run_benchmarks(args.scale, args.out, args.seed)
+    for name, row in report["benchmarks"].items():
+        if "speedup" in row:
+            print(
+                f"{name:22s} reference {row['reference_s']*1e3:8.2f} ms   "
+                f"fast {row['fast_s']*1e3:8.2f} ms   {row['speedup']:5.2f}x"
+            )
+        else:
+            print(f"{name:22s} {row['seconds']:.2f} s")
+    print("equivalence:", json.dumps(report["equivalence"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

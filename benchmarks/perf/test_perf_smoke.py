@@ -1,0 +1,51 @@
+"""Tier-2 smoke run of the fast-engine perf harness (tiny sizes).
+
+Marked ``perf`` so the performance tier can be selected with
+``-m perf``; the smoke scale keeps it fast enough for the default run.
+A speedup collapsing below 1x on the two paths the engine exists for
+(forward+backward and trajectory inference) fails loudly here.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+
+def _load_engine():
+    path = Path(__file__).parent / "engine.py"
+    spec = importlib.util.spec_from_file_location("perf_engine", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_engine_smoke(tmp_path):
+    engine = _load_engine()
+    out = tmp_path / "BENCH_engine.json"
+    report = engine.run_benchmarks(scale="smoke", out_path=out)
+
+    written = json.loads(out.read_text())
+    assert written["meta"]["scale"] == "smoke"
+
+    bench = report["benchmarks"]
+    for key in ("forward", "forward_backward", "trajectory_inference",
+                "end_to_end_training"):
+        assert key in bench
+    for key in ("1q_diagonal_rz", "2q_cx"):
+        assert key in report["kernels"]
+
+    # run_benchmarks raises on equivalence violations; re-check the record.
+    equiv = report["equivalence"]
+    assert equiv["forward_max_err"] < 1e-10
+    assert equiv["adjoint_weight_grad_max_err"] < 1e-10
+    assert equiv["trajectory_deterministic_max_err"] < 1e-10
+
+    # Perf regression tripwire: the fast paths must not fall behind the
+    # reference implementations (real speedups are far higher; 1.0 keeps
+    # the smoke robust to noisy CI machines).
+    assert bench["forward_backward"]["speedup"] > 1.0
+    assert bench["trajectory_inference"]["speedup"] > 1.0

@@ -67,6 +67,20 @@ class CompiledCircuit:
     def n_logical(self) -> int:
         return len(self.layout)
 
+    @property
+    def bind_plan(self):
+        """The circuit's bind cache (constant gates bound exactly once).
+
+        Delegates to :func:`~repro.sim.statevector.bind_plan_for`, which
+        memoizes the plan on the circuit itself with a staleness check --
+        so every bind path over this circuit shares one invalidation
+        policy.  Executors re-evaluate only weight/input-dependent gates
+        per training step.
+        """
+        from repro.sim.statevector import bind_plan_for
+
+        return bind_plan_for(self.circuit)
+
     def readout_matrices(self, noise_model) -> np.ndarray:
         """Readout confusion matrices in *logical* qubit order."""
         return np.stack(

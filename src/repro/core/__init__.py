@@ -22,6 +22,7 @@ from repro.core.injection import (
 from repro.core.gradients import (
     forward_with_tape,
     adjoint_backward,
+    adjoint_backward_reference,
     finite_difference_gradients,
     ParameterShiftEngine,
     QuantumTape,
@@ -73,6 +74,7 @@ __all__ = [
     "perturb_angles",
     "forward_with_tape",
     "adjoint_backward",
+    "adjoint_backward_reference",
     "finite_difference_gradients",
     "ParameterShiftEngine",
     "QuantumTape",

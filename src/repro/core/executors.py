@@ -102,7 +102,12 @@ def make_noise_model_executor(
 
 
 class NoiselessExecutor:
-    """Exact statevector execution with adjoint gradients."""
+    """Exact statevector execution with adjoint gradients.
+
+    Repeated forwards over the same compiled block hit the circuit's
+    :class:`~repro.sim.statevector.BindPlan`, so constant gate matrices
+    are evaluated once per block, not once per training step.
+    """
 
     differentiable = True
 
@@ -156,6 +161,18 @@ class GateInsertionExecutor:
         self.rng = as_rng(rng)
         self.sampler = ErrorGateSampler(noise_model, noise_factor)
         self.last_insertion_stats = None
+        # Readout confusion matrices per compiled block, built once instead
+        # of restacked on every training step (list of (compiled, matrices)
+        # pairs -- executors only ever see a handful of blocks).
+        self._readout_cache: "list[tuple[CompiledCircuit, np.ndarray]]" = []
+
+    def _readout_matrices(self, compiled: "CompiledCircuit") -> np.ndarray:
+        for cached, matrices in self._readout_cache:
+            if cached is compiled:
+                return matrices
+        matrices = compiled.readout_matrices(self.noise_model)
+        self._readout_cache.append((compiled, matrices))
+        return matrices
 
     def forward(
         self,
@@ -177,7 +194,7 @@ class GateInsertionExecutor:
         logical = _gather_logical(expectations, compiled.measure_qubits)
         scales = None
         if self.readout:
-            readout = compiled.readout_matrices(self.noise_model)
+            readout = self._readout_matrices(compiled)
             logical, scales = apply_readout_to_expectations(logical, readout)
         return logical, BlockCache(tape, compiled.measure_qubits, scales)
 

@@ -34,6 +34,7 @@ from repro.circuits.parameters import INPUT, WEIGHT
 from repro.sim.statevector import (
     BoundOp,
     apply_matrix,
+    apply_matrix_reference,
     bind_circuit,
     run_ops,
     z_signs,
@@ -116,23 +117,89 @@ def adjoint_backward(
 
     # Effective per-sample diagonal observable O_eff = sum_q g_q * Z_q.
     diag = grad_expectations @ z_signs(n)  # (batch, dim)
-    psi = tape.state
-    bra = diag * psi  # O_eff |psi>, still (batch, dim)
+    dim = tape.state.shape[1]
+
+    # |psi> and O_eff|psi> live stacked in one (2*batch, dim) buffer: ops
+    # with no differentiable parameters (the vast majority after error
+    # insertion) advance both with a single fused gate application.  Two
+    # ping-pong work buffers remove all per-gate allocation; the cached
+    # BoundOp.adjoint_matrix is computed once per op, not per sweep.
+    pair = np.empty((2 * batch, dim), dtype=complex)
+    pair[:batch] = tape.state
+    np.multiply(diag, tape.state, out=pair[batch:])
+    scratch = np.empty_like(pair)
 
     weight_grad = np.zeros(tape.n_weights)
     input_grad = np.zeros((batch, tape.n_inputs))
 
     for op in reversed(tape.ops):
         adj = op.adjoint_matrix()
-        psi = apply_matrix(psi, adj, op.qubits, n)  # |psi_{k-1}>
+        if not op.grad_params:
+            if op.batched:
+                apply_matrix(pair[:batch], adj, op.qubits, n, out=scratch[:batch])
+                apply_matrix(pair[batch:], adj, op.qubits, n, out=scratch[batch:])
+            else:
+                apply_matrix(pair, adj, op.qubits, n, out=scratch)
+            pair, scratch = scratch, pair
+            continue
+        # |psi_{k-1}>; the bra (old value) is still needed for the inner
+        # products, so it advances only after the parameter gradients.
+        psi = apply_matrix(pair[:batch], adj, op.qubits, n, out=scratch[:batch])
+        bra = pair[batch:]
+        for which, expr in op.grad_params:
+            dmat = op.dmatrix(which)
+            dpsi = apply_matrix(psi, dmat, op.qubits, n)
+            # dL/d(param) per sample: 2 Re <bra | dU | psi_{k-1}>
+            inner = np.einsum("bi,bi->b", bra.conj(), dpsi)
+            g = 2.0 * np.real(inner)
+            for kind, index, coeff in expr.terms:
+                if kind == WEIGHT:
+                    weight_grad[index] += coeff * g.sum()
+                elif kind == INPUT:
+                    input_grad[:, index] += coeff * g
+        apply_matrix(bra, adj, op.qubits, n, out=scratch[batch:])
+        pair, scratch = scratch, pair
+
+    return weight_grad, input_grad
+
+
+def adjoint_backward_reference(
+    tape: QuantumTape, grad_expectations: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The original adjoint sweep over the reference apply kernel.
+
+    Re-derives every permutation and allocates fresh states per gate;
+    kept as the numerical baseline for :func:`adjoint_backward` in the
+    equivalence tests and the ``benchmarks/perf`` harness.
+    """
+    n = tape.circuit.n_qubits
+    batch = tape.batch
+    grad_expectations = np.asarray(grad_expectations, dtype=float)
+    if grad_expectations.shape != (batch, n):
+        raise ValueError(
+            f"grad shape {grad_expectations.shape} != ({batch}, {n})"
+        )
+
+    diag = grad_expectations @ z_signs(n)
+    psi = tape.state
+    bra = diag * psi
+
+    weight_grad = np.zeros(tape.n_weights)
+    input_grad = np.zeros((batch, tape.n_inputs))
+
+    for op in reversed(tape.ops):
+        if op.batched:
+            adj = op.matrix.conj().transpose(0, 2, 1)
+        else:
+            adj = op.matrix.conj().T
+        psi = apply_matrix_reference(psi, adj, op.qubits, n)
         gate = op.gate
         if gate.params:
             for which, expr in enumerate(gate.params):
                 if expr.is_constant:
                     continue
                 dmat = op.dmatrix(which)
-                dpsi = apply_matrix(psi, dmat, op.qubits, n)
-                # dL/d(param) per sample: 2 Re <bra | dU | psi_{k-1}>
+                dpsi = apply_matrix_reference(psi, dmat, op.qubits, n)
                 inner = np.einsum("bi,bi->b", bra.conj(), dpsi)
                 g = 2.0 * np.real(inner)
                 for kind, index, coeff in expr.terms:
@@ -140,7 +207,7 @@ def adjoint_backward(
                         weight_grad[index] += coeff * g.sum()
                     elif kind == INPUT:
                         input_grad[:, index] += coeff * g
-        bra = apply_matrix(bra, adj, op.qubits, n)
+        bra = apply_matrix_reference(bra, adj, op.qubits, n)
 
     return weight_grad, input_grad
 

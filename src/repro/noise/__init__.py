@@ -21,7 +21,11 @@ from repro.noise.twirling import (
     twirl_to_pauli_error,
     pauli_error_from_gate_fidelity,
 )
-from repro.noise.trajectory import run_noisy_trajectories, trajectory_probabilities
+from repro.noise.trajectory import (
+    run_noisy_trajectories,
+    trajectory_probabilities,
+    trajectory_probabilities_reference,
+)
 from repro.noise.density_backend import run_noisy_density, MAX_DENSITY_QUBITS
 from repro.noise.relaxation import (
     QubitRelaxation,
@@ -51,6 +55,7 @@ __all__ = [
     "pauli_error_from_gate_fidelity",
     "run_noisy_trajectories",
     "trajectory_probabilities",
+    "trajectory_probabilities_reference",
     "run_noisy_density",
     "MAX_DENSITY_QUBITS",
     "QubitRelaxation",

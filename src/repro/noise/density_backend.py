@@ -24,7 +24,7 @@ from repro.sim.density import (
     zero_density,
 )
 from repro.sim.kraus import pauli_channel
-from repro.sim.statevector import bind_circuit, z_signs
+from repro.sim.statevector import batched_multinomial, z_signs
 
 #: Above this compact width, refuse and let the caller use trajectories.
 MAX_DENSITY_QUBITS = 8
@@ -56,7 +56,7 @@ def run_noisy_density(
     scaled = noise_model.scaled(noise_factor) if noise_factor != 1.0 else noise_model
     if inputs is not None:
         batch = np.asarray(inputs).shape[0]
-    ops = bind_circuit(compiled.circuit, weights, inputs, batch)
+    ops = compiled.bind_plan.bind(weights, inputs, batch)
     rho = zero_density(n, batch)
     for op in ops:
         rho = apply_unitary_to_density(rho, op.matrix, op.qubits, n)
@@ -88,8 +88,6 @@ def run_noisy_density(
             rng = np.random.default_rng()
         probs = np.clip(probs, 0.0, None)
         probs = probs / probs.sum(axis=1, keepdims=True)
-        counts = np.empty_like(probs, dtype=np.int64)
-        for b in range(batch):
-            counts[b] = rng.multinomial(shots, probs[b])
+        counts = batched_multinomial(rng, shots, probs)
         expectations = (counts / shots) @ z_signs(n).T
     return expectations[:, list(compiled.measure_qubits)]

@@ -98,6 +98,51 @@ class ErrorGateSampler:
         stats = InsertionStats(len(circuit.gates), inserted)
         return Circuit(circuit.n_qubits, gates), stats
 
+    def sample_batched(
+        self,
+        circuit: Circuit,
+        physical_qubits: "tuple[int, ...]",
+        n_trajectories: int,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> "list[list[tuple]]":
+        """Per-gate error events for ``n_trajectories`` trajectories at once.
+
+        Instead of materializing ``n_trajectories`` separate circuits, this
+        draws every trajectory's Pauli choice for a given (gate, qubit)
+        site in a single vectorized call.  Returns one event list per gate
+        of ``circuit``, each event being either
+
+        * ``("pauli", local_qubit, choices)`` with ``choices`` a
+          ``(n_trajectories,)`` int array indexing (I, X, Y, Z) -- emitted
+          only when at least one trajectory drew a non-identity error; or
+        * ``("coherent", local_qubit, (ey, ez))`` for the deterministic
+          miscalibration rotations (identical across trajectories).
+
+        Event order matches :meth:`sample`'s gate-insertion order, so the
+        fused trajectory sweep applies exactly the same channel.
+        """
+        rng = as_rng(rng)
+        events: "list[list[tuple]]" = []
+        for gate in circuit.gates:
+            post: "list[tuple]" = []
+            phys_qubits = tuple(physical_qubits[q] for q in gate.qubits)
+            for local_q, (_phys_q, error) in zip(
+                gate.qubits,
+                self._scaled.gate_errors(gate.name, phys_qubits),
+            ):
+                choices = rng.choice(
+                    4, size=n_trajectories, p=error.probabilities()
+                )
+                if choices.any():
+                    post.append(("pauli", local_q, choices))
+            if gate.name not in ("rz", "id"):
+                for local_q, phys_q in zip(gate.qubits, phys_qubits):
+                    coherent = self._scaled.coherent_for(phys_q)
+                    if coherent is not None:
+                        post.append(("coherent", local_q, coherent))
+            events.append(post)
+        return events
+
     def expected_overhead(
         self, circuit: Circuit, physical_qubits: "tuple[int, ...]"
     ) -> float:

@@ -11,9 +11,34 @@ For wide circuits where density-matrix simulation is infeasible (the
 10-qubit MNIST-10/Fashion-10 models on Melbourne) this is the only noisy
 backend; for narrow circuits it converges to the density-matrix result
 as trajectories increase (verified in tests).
+
+Fused-trajectory design
+-----------------------
+The naive implementation binds and sweeps one circuit per trajectory --
+``n_trajectories`` full Python passes.  The fused engine instead:
+
+* binds the *base* circuit once (through the statevector bind cache) and
+  stacks all trajectories into a single ``(trajectories * batch, 2**n)``
+  statevector, so each base gate is one vectorized apply;
+* draws each error site's Pauli choice for every trajectory in one
+  vectorized call (:meth:`ErrorGateSampler.sample_batched`) and expresses
+  the sampled errors as batched ``(trajectories * batch, 2, 2)``
+  matrices -- sites where every trajectory drew identity (the common
+  case at hardware error rates) are skipped outright;
+* chunks trajectories so the stacked state stays within a fixed memory
+  budget, and ping-pongs between two work buffers (no per-gate
+  allocation).
+
+Shot sampling uses one batched ``Generator.multinomial`` call over 2-D
+pvals instead of a per-sample Python loop.  The per-trajectory reference
+implementation is kept as :func:`trajectory_probabilities_reference`;
+``tests/test_fast_engine.py`` checks the two agree (exactly for
+deterministic noise, statistically otherwise).
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -24,12 +49,65 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.noise.model import NoiseModel
 from repro.noise.readout import apply_readout_to_joint_probabilities
 from repro.noise.sampler import ErrorGateSampler
+from repro.sim.gates import gate_matrix
 from repro.sim.statevector import (
+    apply_matrix,
+    batched_multinomial,
+    bind_circuit,
     expectations_from_counts,
     run_circuit,
     z_signs,
+    zero_state,
 )
 from repro.utils.rng import as_rng
+
+#: (I, X, Y, Z) stacked for indexed lookup by sampled error choices.
+_PAULI_STACK = np.stack(
+    [gate_matrix("id"), gate_matrix("x"), gate_matrix("y"), gate_matrix("z")]
+)
+
+#: Cap on stacked-state size (complex entries): chunks trajectories so the
+#: fused sweep never holds more than ~64 MiB of statevector per buffer.
+_MAX_STACKED_ENTRIES = 1 << 22
+
+
+@functools.lru_cache(maxsize=512)
+def _coherent_unitary(ey: float, ez: float) -> np.ndarray:
+    """RZ(ez) @ RY(ey): the deterministic post-gate miscalibration."""
+    return gate_matrix("rz", (ez,)) @ gate_matrix("ry", (ey,))
+
+
+def _fused_chunk(
+    sampler: ErrorGateSampler,
+    compiled: "CompiledCircuit",
+    ops,
+    n_qubits: int,
+    batch: int,
+    n_traj: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sum of joint probabilities over ``n_traj`` stacked trajectories."""
+    stacked = zero_state(n_qubits, n_traj * batch)
+    scratch = np.empty_like(stacked)
+    events = sampler.sample_batched(
+        compiled.circuit, compiled.physical_qubits, n_traj, rng
+    )
+    for op, post in zip(ops, events):
+        matrix = op.matrix
+        if op.batched:
+            # Per-sample encoder matrices repeat across trajectories.
+            matrix = np.tile(matrix, (n_traj, 1, 1))
+        apply_matrix(stacked, matrix, op.qubits, n_qubits, out=scratch)
+        stacked, scratch = scratch, stacked
+        for kind, local_q, payload in post:
+            if kind == "pauli":
+                errors = np.repeat(_PAULI_STACK[payload], batch, axis=0)
+            else:
+                errors = _coherent_unitary(*payload)
+            apply_matrix(stacked, errors, (local_q,), n_qubits, out=scratch)
+            stacked, scratch = scratch, stacked
+    probs = np.abs(stacked) ** 2
+    return probs.reshape(n_traj, batch, -1).sum(axis=0)
 
 
 def trajectory_probabilities(
@@ -42,7 +120,46 @@ def trajectory_probabilities(
     noise_factor: float = 1.0,
     rng: "int | np.random.Generator | None" = None,
 ) -> np.ndarray:
-    """Average joint basis probabilities over sampled error trajectories."""
+    """Average joint basis probabilities over sampled error trajectories.
+
+    All trajectories run as one fused ``(trajectories * batch, 2**n)``
+    statevector sweep (chunked to bound memory); see the module docstring.
+    """
+    rng = as_rng(rng)
+    sampler = ErrorGateSampler(noise_model, noise_factor)
+    if inputs is not None:
+        batch = np.asarray(inputs).shape[0]
+    n_qubits = compiled.circuit.n_qubits
+    dim = 2**n_qubits
+    ops = bind_circuit(compiled.circuit, weights, inputs, batch)
+    max_traj = max(1, _MAX_STACKED_ENTRIES // (batch * dim))
+    total = np.zeros((batch, dim))
+    remaining = n_trajectories
+    while remaining > 0:
+        chunk = min(max_traj, remaining)
+        total += _fused_chunk(
+            sampler, compiled, ops, n_qubits, batch, chunk, rng
+        )
+        remaining -= chunk
+    return total / n_trajectories
+
+
+def trajectory_probabilities_reference(
+    compiled: CompiledCircuit,
+    noise_model: NoiseModel,
+    weights: "np.ndarray | None",
+    inputs: "np.ndarray | None",
+    batch: int,
+    n_trajectories: int = 8,
+    noise_factor: float = 1.0,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """One-circuit-per-trajectory reference implementation.
+
+    Samples, binds and sweeps a fresh error-inserted circuit per
+    trajectory -- the baseline the fused engine is checked and
+    benchmarked against.
+    """
     rng = as_rng(rng)
     sampler = ErrorGateSampler(noise_model, noise_factor)
     if inputs is not None:
@@ -88,9 +205,7 @@ def run_noisy_trajectories(
         expectations = probs @ z_signs(n_compact).T
     else:
         probs = np.clip(probs, 0.0, None)
-        probs = probs / probs.sum(axis=1, keepdims=True)
-        counts = np.empty_like(probs, dtype=np.int64)
-        for b in range(probs.shape[0]):
-            counts[b] = rng.multinomial(shots, probs[b])
+        probs /= probs.sum(axis=1, keepdims=True)
+        counts = batched_multinomial(rng, shots, probs)
         expectations = expectations_from_counts(counts, n_compact)
     return expectations[:, list(compiled.measure_qubits)]

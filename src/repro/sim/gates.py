@@ -25,6 +25,7 @@ Conventions
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -98,24 +99,32 @@ def _broadcast_fixed(matrix: np.ndarray) -> Callable[[tuple], np.ndarray]:
 
 def _rotation_builder(generator: np.ndarray) -> Callable[[tuple], np.ndarray]:
     """exp(-i theta/2 G) for an involutory generator (G^2 = I)."""
+    eye = np.eye(generator.shape[0], dtype=complex)
+    neg_i_generator = -1j * generator
 
     def build(params: tuple) -> np.ndarray:
-        theta = np.asarray(params[0], dtype=float)
+        theta = params[0]
+        if not isinstance(theta, np.ndarray):
+            # Scalar fast path: math.cos/sin skip the ufunc machinery.
+            half = float(theta) * 0.5
+            return math.cos(half) * eye + math.sin(half) * neg_i_generator
+        theta = np.asarray(theta, dtype=float)
         cos = np.cos(theta / 2)[..., None, None]
         sin = np.sin(theta / 2)[..., None, None]
-        eye = np.eye(generator.shape[0], dtype=complex)
-        return cos * eye - 1j * sin * generator
+        return cos * eye + sin * neg_i_generator
 
     return build
 
 
 def _rotation_deriv(generator: np.ndarray) -> Callable[[tuple, int], np.ndarray]:
+    eye = np.eye(generator.shape[0], dtype=complex)
+    neg_half_i_generator = -0.5j * generator
+
     def deriv(params: tuple, which: int) -> np.ndarray:
         theta = np.asarray(params[0], dtype=float)
         cos = np.cos(theta / 2)[..., None, None]
         sin = np.sin(theta / 2)[..., None, None]
-        eye = np.eye(generator.shape[0], dtype=complex)
-        return -0.5 * sin * eye - 0.5j * cos * generator
+        return (-0.5 * sin) * eye + cos * neg_half_i_generator
 
     return deriv
 

@@ -1,7 +1,7 @@
-"""Batched statevector simulator.
+"""Batched statevector simulator with a cached fast gate-apply engine.
 
 States are ``(batch, 2**n)`` complex arrays (little-endian indices).  Gate
-application reshapes the state so the target qubits' bit-axes are last,
+application reshapes the state so the target qubits' bit-axes are exposed,
 then contracts with the gate matrix -- either a shared ``(d, d)`` matrix
 or per-sample ``(batch, d, d)`` matrices (needed when a gate angle encodes
 an input feature that differs across the batch).
@@ -10,6 +10,35 @@ Running a whole training batch through numpy in one shot is what makes a
 pure-Python reproduction of QuantumNAT's training loop practical: a
 4-qubit, ~100-gate QNN forward over a 64-sample batch is a handful of
 einsum calls.
+
+Fast-engine design
+------------------
+The per-gate hot path is organized around three caches:
+
+* **Apply-kernel cache** (:func:`_apply_plan`): per ``(n_qubits, qubits)``
+  signature, the reshape factorization / permutation needed to expose the
+  target bit-axes is computed once and memoized.  The dominant 1- and
+  2-qubit cases never transpose the state at all -- they reshape (a view)
+  so the target axes sit between untouched blocks and contract in place
+  with ``matmul``/``einsum`` (contraction paths are memoized per shape).
+  Only 3+-qubit gates fall back to the generic transpose route.
+* **Work buffers**: :func:`apply_matrix` accepts ``out=``; callers such as
+  :func:`run_ops` and the adjoint backward sweep ping-pong between two
+  preallocated ``(batch, 2**n)`` buffers instead of allocating two fresh
+  arrays per gate.
+* **Bind cache** (:class:`BindPlan`): a circuit is classified once into
+  constant / weight-dependent / input-dependent gates.  Constant gates --
+  the vast majority after transpilation and error-gate insertion -- get
+  their :class:`BoundOp` (matrix included) built exactly once and reused
+  across every training step; constant matrices are additionally shared
+  process-wide through :func:`constant_gate_matrix`.  Only parameterized
+  gates are re-evaluated per call, and per-sample values stay broadcast
+  *views*, never materialized copies.
+
+The original straightforward implementations are kept as
+``*_reference`` functions; ``tests/test_fast_engine.py`` and the
+``benchmarks/perf`` harness assert the fast paths agree with them to
+1e-10.
 """
 
 from __future__ import annotations
@@ -19,6 +48,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.sim.gates import CX_MATRIX, gate_def
 from repro.utils.rng import as_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
@@ -32,16 +62,243 @@ def zero_state(n_qubits: int, batch: int = 1) -> np.ndarray:
     return state
 
 
+# ---------------------------------------------------------------------------
+# Apply-kernel cache
+# ---------------------------------------------------------------------------
+
+
+class _ApplyPlan:
+    """Precomputed layout for applying a gate on a fixed qubit signature."""
+
+    __slots__ = (
+        "k", "left", "right", "blocks", "swap", "perm", "inverse"
+    )
+
+
+#: einsum signatures for the in-place 2-qubit contraction.  The state is
+#: viewed as ``(batch, A, 2, C, 2, D)`` with the two target bits exposed;
+#: the gate is viewed as ``(2, 2, 2, 2)`` = (out_hi, out_lo, in_hi, in_lo).
+_SUB2_SHARED = "xyuv,baucvd->baxcyd"
+_SUB2_BATCHED = "bxyuv,baucvd->baxcyd"
+_SUB1_SHARED = "xu,baud->baxd"
+_SUB1_BATCHED = "bxu,baud->baxd"
+
+
+@functools.lru_cache(maxsize=4096)
+def _apply_plan(n_qubits: int, qubits: "tuple[int, ...]") -> _ApplyPlan:
+    """Layout plan for a ``(n_qubits, qubits)`` gate signature (memoized)."""
+    plan = _ApplyPlan()
+    k = len(qubits)
+    plan.k = k
+    if k == 1:
+        q = qubits[0]
+        plan.left = 1 << (n_qubits - 1 - q)
+        plan.right = 1 << q
+    elif k == 2:
+        q0, q1 = qubits
+        qa, qb = (q0, q1) if q0 > q1 else (q1, q0)
+        plan.blocks = (
+            1 << (n_qubits - 1 - qa),  # A: bits above qa
+            1 << (qa - qb - 1),        # C: bits between qa and qb
+            1 << qb,                   # D: bits below qb
+        )
+        # The gate matrix index is bit(q0) + 2*bit(q1); when q0 > q1 the
+        # gate's *low* bit sits on the more-significant state axis, so the
+        # (2,2,2,2) gate view must swap its bit roles.
+        plan.swap = q0 > q1
+    else:
+        # Generic route: move target axes last, contract, move back.
+        axes = [1 + (n_qubits - 1 - q) for q in qubits]
+        kept = [a for a in range(1, n_qubits + 1) if a not in axes]
+        perm = (0, *kept, *(axes[i] for i in reversed(range(k))))
+        plan.perm = perm
+        plan.inverse = tuple(int(i) for i in np.argsort(perm))
+    return plan
+
+
+def _contract(sub: str, gate: np.ndarray, tensor: np.ndarray, out):
+    # optimize=False dispatches straight to C einsum: for these fixed
+    # two-operand contractions the path search (re-run internally on
+    # *every* call, even when a precomputed path is passed) costs an order
+    # of magnitude more than the contraction itself at QNN sizes.
+    return np.einsum(sub, gate, tensor, out=out, optimize=False)
+
+
+#: Above this many state entries the single-pass einsum kernel wins over
+#: slice arithmetic (memory-bound regime); below it, minimizing the number
+#: of numpy calls dominates.
+_SLICE_CUTOFF = 1 << 17
+
+
+def _apply_1q(tensor, matrix, target):
+    """1-qubit apply on a ``(batch, left, 2, right)`` view.
+
+    Writes into ``target`` (same layout) when given, else allocates.
+    At QNN sizes per-call overhead dominates, so the kernel is a handful
+    of explicit scalar-broadcast ufunc calls on the two bit-slices rather
+    than one broadcast ``matmul`` over thousands of 2x2 blocks.  Diagonal
+    and anti-diagonal matrices (rz/z/s/t/u1, x/y, sampled Pauli errors)
+    reduce to two scaled copies; general matrices fall back to a single
+    C-einsum pass once the state is large enough to be memory-bound.
+    """
+    t0 = tensor[:, :, 0, :]
+    t1 = tensor[:, :, 1, :]
+    if matrix.ndim == 2:
+        m00, m01 = matrix[0]
+        m10, m11 = matrix[1]
+        structured = (m01 == 0 and m10 == 0) or (m00 == 0 and m11 == 0)
+    else:
+        m = matrix[:, :, :, None, None]
+        m00, m01 = m[:, 0, 0], m[:, 0, 1]
+        m10, m11 = m[:, 1, 0], m[:, 1, 1]
+        structured = not (
+            matrix[:, 0, 1].any() or matrix[:, 1, 0].any()
+        )
+    if not structured and tensor.size > _SLICE_CUTOFF:
+        sub = _SUB1_BATCHED if matrix.ndim == 3 else _SUB1_SHARED
+        return _contract(sub, matrix, tensor, target)
+    if target is None:
+        target = np.empty_like(tensor)
+    o0 = target[:, :, 0, :]
+    o1 = target[:, :, 1, :]
+    if structured:
+        if matrix.ndim == 2 and m00 == 0 and m11 == 0:
+            # Anti-diagonal (x, y): two swapped scaled copies.
+            np.multiply(t1, m01, out=o0)
+            np.multiply(t0, m10, out=o1)
+        else:
+            # Diagonal (rz, z, s, t, u1...): two scaled copies.
+            np.multiply(t0, m00, out=o0)
+            np.multiply(t1, m11, out=o1)
+        return target
+    np.multiply(t0, m00, out=o0)
+    o0 += m01 * t1
+    np.multiply(t0, m10, out=o1)
+    o1 += m11 * t1
+    return target
+
+
 def apply_matrix(
     state: np.ndarray,
     matrix: np.ndarray,
     qubits: "tuple[int, ...]",
     n_qubits: int,
+    out: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Apply a k-qubit gate matrix to ``state`` on ``qubits``.
 
     ``matrix`` is ``(d, d)`` (shared across the batch) or ``(batch, d, d)``
-    (per-sample).  Returns a new array; the input is not modified.
+    (per-sample).  When ``out`` (same shape as ``state``, distinct memory)
+    is given the result is written there and ``out`` is returned; otherwise
+    a new array is returned.  The input is never modified.
+    """
+    batch = state.shape[0]
+    k = len(qubits)
+    dim_gate = 2**k
+    if matrix.shape[-2:] != (dim_gate, dim_gate):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k}-qubit gate"
+        )
+    if matrix.ndim == 3:
+        if matrix.shape[0] != batch:
+            raise ValueError(
+                f"batched matrix has batch {matrix.shape[0]}, state has {batch}"
+            )
+    elif matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D or 3-D, got {matrix.ndim}-D")
+    if not np.iscomplexobj(state):
+        # Real-dtype states (user-built basis vectors) must upcast before
+        # the slice kernels write complex products into the output buffer.
+        state = state.astype(complex)
+
+    plan = _apply_plan(n_qubits, tuple(qubits))
+
+    if plan.k == 1:
+        tensor = state.reshape(batch, plan.left, 2, plan.right)
+        target = None if out is None else out.reshape(batch, plan.left, 2, plan.right)
+        res = _apply_1q(tensor, matrix, target)
+        if out is not None:
+            return out
+        return res.reshape(batch, -1)
+
+    if plan.k == 2:
+        a, c, d = plan.blocks
+        tensor = state.reshape(batch, a, 2, c, 2, d)
+        target = None if out is None else out.reshape(batch, a, 2, c, 2, d)
+        if matrix.ndim == 2:
+            if matrix is CX_MATRIX:
+                # CX is a permutation: three strided copies, no arithmetic.
+                # plan.swap <=> the control (qubits[0]) sits on the hi axis.
+                if target is None:
+                    target = np.empty_like(tensor)
+                if plan.swap:
+                    target[:, :, 0] = tensor[:, :, 0]
+                    target[:, :, 1, :, 0, :] = tensor[:, :, 1, :, 1, :]
+                    target[:, :, 1, :, 1, :] = tensor[:, :, 1, :, 0, :]
+                else:
+                    target[:, :, :, :, 0, :] = tensor[:, :, :, :, 0, :]
+                    target[:, :, 0, :, 1, :] = tensor[:, :, 1, :, 1, :]
+                    target[:, :, 1, :, 1, :] = tensor[:, :, 0, :, 1, :]
+                if out is not None:
+                    return out
+                return target.reshape(batch, -1)
+            gate = matrix.reshape(2, 2, 2, 2)
+            if plan.swap:
+                gate = gate.transpose(1, 0, 3, 2)
+            flat = matrix.reshape(-1)
+            if (
+                flat[1] == 0 and flat[2] == 0 and flat[3] == 0
+                and flat[4] == 0 and flat[6] == 0 and flat[7] == 0
+                and flat[8] == 0 and flat[9] == 0 and flat[11] == 0
+                and flat[12] == 0 and flat[13] == 0 and flat[14] == 0
+            ):
+                # Diagonal 2q gate (cz, rzz...): four scaled block copies.
+                if target is None:
+                    target = np.empty_like(tensor)
+                for x in (0, 1):
+                    for y in (0, 1):
+                        np.multiply(
+                            tensor[:, :, x, :, y, :],
+                            gate[x, y, x, y],
+                            out=target[:, :, x, :, y, :],
+                        )
+                if out is not None:
+                    return out
+                return target.reshape(batch, -1)
+            res = _contract(_SUB2_SHARED, gate, tensor, target)
+        else:
+            gate = matrix.reshape(batch, 2, 2, 2, 2)
+            if plan.swap:
+                gate = gate.transpose(0, 2, 1, 4, 3)
+            res = _contract(_SUB2_BATCHED, gate, tensor, target)
+        if out is not None:
+            return out
+        return res.reshape(batch, -1)
+
+    # Generic 3+-qubit route (rare): cached permutation, transpose copies.
+    tensor = state.reshape((batch,) + (2,) * n_qubits)
+    tensor = tensor.transpose(plan.perm).reshape(batch, -1, dim_gate)
+    if matrix.ndim == 2:
+        res = np.einsum("ij,brj->bri", matrix, tensor, optimize=True)
+    else:
+        res = np.einsum("bij,brj->bri", matrix, tensor, optimize=True)
+    res = res.reshape((batch,) + (2,) * n_qubits).transpose(plan.inverse)
+    if out is not None:
+        np.copyto(out.reshape((batch,) + (2,) * n_qubits), res)
+        return out
+    return res.reshape(batch, 2**n_qubits)
+
+
+def apply_matrix_reference(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: "tuple[int, ...]",
+    n_qubits: int,
+) -> np.ndarray:
+    """The original (uncached, transpose-based) gate apply.
+
+    Kept as the numerical reference for the fast kernels; used by the
+    equivalence tests and the ``benchmarks/perf`` harness baselines.
     """
     batch = state.shape[0]
     k = len(qubits)
@@ -75,6 +332,11 @@ def apply_matrix(
     return out.transpose(inverse).reshape(batch, 2**n_qubits)
 
 
+# ---------------------------------------------------------------------------
+# Observables and sampling
+# ---------------------------------------------------------------------------
+
+
 @functools.lru_cache(maxsize=32)
 def z_signs(n_qubits: int) -> np.ndarray:
     """Sign table: ``signs[q, i] = +1`` if bit q of index i is 0, else -1.
@@ -100,6 +362,18 @@ def joint_probabilities(state: np.ndarray) -> np.ndarray:
     return np.abs(state) ** 2
 
 
+def batched_multinomial(
+    rng: np.random.Generator, shots: int, probs: np.ndarray
+) -> np.ndarray:
+    """Multinomial shot counts for a whole batch in one generator call.
+
+    ``probs`` is ``(batch, dim)`` with rows summing to 1;
+    ``Generator.multinomial`` broadcasts over the leading axis, replacing
+    the previous per-sample Python loops.
+    """
+    return rng.multinomial(shots, np.ascontiguousarray(probs, dtype=np.float64))
+
+
 def sample_counts(
     state: np.ndarray,
     shots: int,
@@ -108,11 +382,8 @@ def sample_counts(
     """Sample measurement shot counts per basis state: (batch, 2**n) ints."""
     rng = as_rng(rng)
     probs = joint_probabilities(state)
-    probs = probs / probs.sum(axis=1, keepdims=True)
-    counts = np.empty_like(probs, dtype=np.int64)
-    for b in range(probs.shape[0]):
-        counts[b] = rng.multinomial(shots, probs[b])
-    return counts
+    probs /= probs.sum(axis=1, keepdims=True)
+    return batched_multinomial(rng, shots, probs)
 
 
 def expectations_from_counts(counts: np.ndarray, n_qubits: int) -> np.ndarray:
@@ -121,15 +392,25 @@ def expectations_from_counts(counts: np.ndarray, n_qubits: int) -> np.ndarray:
     return (counts / shots) @ z_signs(n_qubits).T
 
 
+# ---------------------------------------------------------------------------
+# Binding circuits to concrete parameters
+# ---------------------------------------------------------------------------
+
+
 class BoundOp:
     """A gate bound to concrete parameter values, ready to apply.
 
     Stores everything the adjoint backward pass needs: the matrix, the
     original parameter expressions and the evaluated parameter values
     (scalars, or ``(batch,)`` arrays for input-dependent angles).
+    ``grad_params`` lists the differentiable parameters up front and the
+    conjugate-transpose matrix is computed lazily exactly once -- constant
+    ops are shared across every bind of a circuit, so their adjoint is
+    computed once per process, not once per training step.
     """
 
-    __slots__ = ("gate", "qubits", "matrix", "values", "batched")
+    __slots__ = ("gate", "qubits", "matrix", "values", "batched",
+                 "grad_params", "_adjoint")
 
     def __init__(self, gate: Gate, matrix: np.ndarray, values: tuple):
         self.gate = gate
@@ -137,16 +418,117 @@ class BoundOp:
         self.matrix = matrix
         self.values = values
         self.batched = matrix.ndim == 3
+        self.grad_params = tuple(
+            (which, expr)
+            for which, expr in enumerate(gate.params)
+            if not expr.is_constant
+        )
+        self._adjoint = None
 
     def adjoint_matrix(self) -> np.ndarray:
-        """Conjugate transpose, batched or not."""
-        if self.batched:
-            return self.matrix.conj().transpose(0, 2, 1)
-        return self.matrix.conj().T
+        """Conjugate transpose, batched or not (computed once, cached)."""
+        if self._adjoint is None:
+            if self.batched:
+                self._adjoint = self.matrix.conj().transpose(0, 2, 1)
+            else:
+                adj = self.matrix.conj().T
+                if np.array_equal(adj, self.matrix):
+                    # Hermitian gate (cx, cz, x, h...): reuse the original
+                    # object so identity-based kernel dispatch still fires.
+                    adj = self.matrix
+                self._adjoint = adj
+        return self._adjoint
 
     def dmatrix(self, which: int) -> np.ndarray:
         """Derivative of the bound matrix w.r.t. bound parameter ``which``."""
         return self.gate.definition.dmatrix(self.values, which)
+
+
+@functools.lru_cache(maxsize=16384)
+def constant_gate_matrix(name: str, values: "tuple[float, ...]") -> np.ndarray:
+    """Process-wide cache of constant gate matrices.
+
+    Error-insertion circuits are resampled every training step but are
+    built almost entirely from constant gates (Paulis, fixed-angle
+    miscalibration rotations, basis-gate constants); sharing their
+    matrices makes rebinding a fresh noisy circuit nearly free.
+    """
+    return gate_def(name).matrix(values)
+
+
+class BindPlan:
+    """One-time classification of a circuit's gates for fast rebinding.
+
+    Constant gates (no free parameters) are bound exactly once at plan
+    construction; each :meth:`bind` call only re-evaluates gates that
+    actually depend on weights or inputs.  Input-dependent values keep
+    whatever shape :meth:`ParamExpr.evaluate` returns -- ``(batch,)``
+    views for input terms, plain scalars otherwise -- instead of being
+    broadcast into materialized per-sample arrays.
+    """
+
+    __slots__ = ("gates_ref", "n_gates", "_entries", "n_constant")
+
+    def __init__(self, circuit: Circuit):
+        self.gates_ref = circuit.gates
+        self.n_gates = len(circuit.gates)
+        entries = []
+        n_constant = 0
+        for gate in circuit.gates:
+            if all(expr.is_constant for expr in gate.params):
+                values = tuple(expr.const for expr in gate.params)
+                matrix = constant_gate_matrix(gate.name, values)
+                entries.append(BoundOp(gate, matrix, values))
+                n_constant += 1
+            else:
+                input_dep = any(
+                    expr.depends_on_input for expr in gate.params
+                )
+                entries.append((gate, input_dep))
+        self._entries = entries
+        self.n_constant = n_constant
+
+    def stale(self, circuit: Circuit) -> bool:
+        """True when ``circuit``'s gate list no longer matches this plan."""
+        return (
+            self.gates_ref is not circuit.gates
+            or self.n_gates != len(circuit.gates)
+        )
+
+    def bind(
+        self,
+        weights: "np.ndarray | None" = None,
+        inputs: "np.ndarray | None" = None,
+        batch: "int | None" = None,
+    ) -> "list[BoundOp]":
+        if inputs is not None:
+            inputs = np.asarray(inputs, dtype=float)
+            if batch is not None and inputs.shape[0] != batch:
+                raise ValueError("batch does not match inputs")
+            batch = inputs.shape[0]
+        ops: "list[BoundOp]" = []
+        for entry in self._entries:
+            if type(entry) is BoundOp:
+                ops.append(entry)
+                continue
+            gate, input_dep = entry
+            if input_dep and inputs is None:
+                raise ValueError("input-dependent gate but no inputs given")
+            values = tuple(
+                expr.evaluate(weights, inputs) for expr in gate.params
+            )
+            matrix = gate.definition.matrix(values)
+            ops.append(BoundOp(gate, matrix, values))
+        return ops
+
+
+def bind_plan_for(circuit: Circuit) -> BindPlan:
+    """The circuit's cached :class:`BindPlan`, (re)built when stale."""
+    plan = getattr(circuit, "_bind_plan", None)
+    if plan is None or plan.stale(circuit):
+        plan = BindPlan(circuit)
+        circuit._bind_plan = plan
+    return plan
 
 
 def bind_circuit(
@@ -159,7 +541,23 @@ def bind_circuit(
 
     ``inputs`` is ``(batch, n_features)``.  Gates whose angles depend on
     inputs get per-sample ``(batch, d, d)`` matrices; all others get a
-    shared matrix.
+    shared matrix.  Constant gates are served from the circuit's cached
+    :class:`BindPlan`, so repeated binds (one per training step) only pay
+    for the parameterized gates.
+    """
+    return bind_plan_for(circuit).bind(weights, inputs, batch)
+
+
+def bind_circuit_reference(
+    circuit: Circuit,
+    weights: "np.ndarray | None" = None,
+    inputs: "np.ndarray | None" = None,
+    batch: "int | None" = None,
+) -> "list[BoundOp]":
+    """The original uncached bind: every matrix rebuilt on every call.
+
+    Numerical reference for :func:`bind_circuit` (equivalence tests and
+    perf-harness baselines).
     """
     if inputs is not None:
         inputs = np.asarray(inputs, dtype=float)
@@ -182,13 +580,33 @@ def bind_circuit(
     return ops
 
 
+# ---------------------------------------------------------------------------
+# Executing bound circuits
+# ---------------------------------------------------------------------------
+
+
 def run_ops(
     ops: "list[BoundOp]", n_qubits: int, batch: int
 ) -> np.ndarray:
-    """Apply bound ops to |0...0> and return the final state."""
+    """Apply bound ops to |0...0> and return the final state.
+
+    Uses two ping-pong work buffers, so no per-gate allocation happens.
+    """
+    state = zero_state(n_qubits, batch)
+    scratch = np.empty_like(state)
+    for op in ops:
+        apply_matrix(state, op.matrix, op.qubits, n_qubits, out=scratch)
+        state, scratch = scratch, state
+    return state
+
+
+def run_ops_reference(
+    ops: "list[BoundOp]", n_qubits: int, batch: int
+) -> np.ndarray:
+    """Original allocate-per-gate sweep over the reference apply kernel."""
     state = zero_state(n_qubits, batch)
     for op in ops:
-        state = apply_matrix(state, op.matrix, op.qubits, n_qubits)
+        state = apply_matrix_reference(state, op.matrix, op.qubits, n_qubits)
     return state
 
 
