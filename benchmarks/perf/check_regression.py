@@ -1,0 +1,157 @@
+"""CI perf-regression gate for the fast execution engine.
+
+Re-runs the engine benchmark harness at the committed baseline's scale
+and compares every recorded scenario's fast-path timing against the
+committed ``BENCH_engine.json``.  A scenario slower than
+``--threshold`` (default 2x -- wall-clock timings on shared CI runners
+are noisy, so the bar is deliberately loose) fails the gate; ``--soft``
+downgrades failures to warnings so the job can run advisory-only while
+CI timing variance is being characterized.
+
+Numerical equivalence (fast vs reference < 1e-10 on exact paths) is
+asserted unconditionally by the harness itself -- a ``--soft`` run still
+hard-fails on a correctness divergence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py --soft
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[2]
+DEFAULT_BASELINE = _REPO / "BENCH_engine.json"
+
+# Allow running from a plain checkout without PYTHONPATH handling.
+_SRC = _REPO / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def compare_reports(
+    baseline: dict, fresh: dict, threshold: float = 2.0
+) -> "list[dict]":
+    """Per-scenario comparison rows: fresh run vs committed baseline.
+
+    Two signals per scenario, either of which flags ``regressed=True``:
+
+    * absolute: the fresh fast-path wall-clock exceeds ``threshold``
+      times the committed one (meaningful on a comparable machine, noisy
+      across machines);
+    * relative: the fresh *speedup* (fast vs reference, measured on the
+      same host in the same run -- machine-independent) collapses below
+      the committed speedup divided by ``threshold``.
+
+    Scenarios are matched by name; ones present on only one side are
+    skipped -- the gate protects recorded history, it does not freeze
+    the schema.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1 (a ratio of allowed slowdown)")
+    rows = []
+    fresh_bench = fresh.get("benchmarks", {})
+    for name, record in baseline.get("benchmarks", {}).items():
+        new = fresh_bench.get(name)
+        if new is None:
+            continue
+        key = "fast_s" if "fast_s" in record else "seconds"
+        if key not in record or key not in new:
+            continue
+        base_t, new_t = float(record[key]), float(new[key])
+        ratio = new_t / base_t if base_t > 0 else float("inf")
+        row = {
+            "scenario": name,
+            "baseline_s": base_t,
+            "fresh_s": new_t,
+            "ratio": ratio,
+            "regressed": ratio > threshold,
+        }
+        if "speedup" in record and "speedup" in new:
+            base_sp, new_sp = float(record["speedup"]), float(new["speedup"])
+            row["baseline_speedup"] = base_sp
+            row["fresh_speedup"] = new_sp
+            if new_sp < base_sp / threshold:
+                row["regressed"] = True
+        rows.append(row)
+    return rows
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="committed benchmark report to compare against",
+    )
+    parser.add_argument(
+        "--scale", default=None,
+        help="harness scale for the fresh run (default: the baseline's)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="fail when fresh/baseline exceeds this ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--soft", action="store_true",
+        help="report regressions but exit 0 (advisory mode for CI)",
+    )
+    parser.add_argument(
+        "--fresh", default=None,
+        help="use a pre-computed fresh report instead of re-running",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; nothing to gate", file=sys.stderr)
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+
+    if args.fresh is not None:
+        fresh = json.loads(Path(args.fresh).read_text())
+    else:
+        sys.path.insert(0, str(Path(__file__).parent))
+        from engine import run_benchmarks
+
+        scale = args.scale or baseline.get("meta", {}).get("scale", "quick")
+        # out_path=None: the gate never overwrites the committed baseline.
+        fresh = run_benchmarks(scale=scale, out_path=None)
+
+    rows = compare_reports(baseline, fresh, args.threshold)
+    regressions = [r for r in rows if r["regressed"]]
+    for r in rows:
+        flag = "REGRESSED" if r["regressed"] else "ok"
+        speedups = ""
+        if "baseline_speedup" in r:
+            speedups = (
+                f"   speedup {r['baseline_speedup']:6.2f}x"
+                f" -> {r['fresh_speedup']:6.2f}x"
+            )
+        print(
+            f"{r['scenario']:24s} baseline {r['baseline_s']*1e3:9.2f} ms   "
+            f"fresh {r['fresh_s']*1e3:9.2f} ms   {r['ratio']:5.2f}x{speedups}  {flag}"
+        )
+    if not rows:
+        # A baseline that matches nothing means the gate is effectively
+        # off (schema drift, truncated file); that is a config breakage,
+        # not a timing flake, so even --soft refuses to pass it.
+        print(
+            "no comparable scenarios between baseline and fresh run; "
+            "refresh BENCH_engine.json", file=sys.stderr,
+        )
+        return 1
+    if regressions:
+        names = ", ".join(r["scenario"] for r in regressions)
+        verdict = "warning (soft mode)" if args.soft else "FAIL"
+        print(f"{verdict}: >{args.threshold}x slowdown in: {names}")
+        return 0 if args.soft else 1
+    print(f"perf gate passed ({len(rows)} scenarios within {args.threshold}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

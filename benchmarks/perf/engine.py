@@ -1,20 +1,27 @@
 """Fast-execution-engine benchmark harness.
 
-Times the four hot paths of the simulator stack -- statevector forward,
-forward + adjoint backward, fused trajectory inference, and a short
-end-to-end noise-injected training run -- against the retained reference
+Times the hot paths of the simulator stack -- statevector forward,
+forward + adjoint backward, fused trajectory inference, the batched
+noise-injected *training step* (vs the per-sample reference loop), the
+stacked multi-realization training sweep, gate-fused inference, and a
+short end-to-end training run -- against the retained reference
 implementations, asserts fast-vs-reference numerical equivalence, and
 writes everything to ``BENCH_engine.json``.
 
 The reference paths (``apply_matrix_reference``, ``bind_circuit_reference``,
 ``run_ops_reference``, ``adjoint_backward_reference``,
-``trajectory_probabilities_reference``) are the pre-fast-engine
-implementations kept in-tree precisely so every benchmark run re-records
-its own baseline on the machine it runs on.
+``trajectory_probabilities_reference``,
+``QuantumNATModel.loss_and_gradients_reference``) are the
+pre-fast-engine implementations kept in-tree precisely so every
+benchmark run re-records its own baseline on the machine it runs on.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/engine.py --scale quick
+
+``benchmarks/perf/check_regression.py`` compares a fresh run against the
+committed ``BENCH_engine.json`` and fails on large slowdowns (the CI
+perf-regression gate).
 """
 
 from __future__ import annotations
@@ -22,10 +29,17 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+# Allow `python benchmarks/perf/engine.py` from a plain checkout: put the
+# src layout on the path when `repro` is not installed.
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 from repro import (
     QuantumNATConfig,
@@ -54,7 +68,6 @@ from repro.sim.statevector import (
     bind_circuit_reference,
     run_ops,
     run_ops_reference,
-    zero_state,
 )
 from repro.sim.gates import gate_matrix
 
@@ -67,11 +80,14 @@ EXACT_TOL = 1e-10
 SCALES = {
     # tier-2 smoke: seconds, runs inside pytest
     "smoke": dict(batch=8, traj_batch=4, n_trajectories=8, repeats=2,
-                  epochs=1, n_train=16, stat_trajectories=64),
+                  epochs=1, n_train=16, stat_trajectories=64,
+                  train_batch=8, ref_repeats=1, n_realizations=4),
     "quick": dict(batch=64, traj_batch=16, n_trajectories=64, repeats=5,
-                  epochs=2, n_train=64, stat_trajectories=256),
+                  epochs=2, n_train=64, stat_trajectories=256,
+                  train_batch=32, ref_repeats=2, n_realizations=8),
     "full": dict(batch=128, traj_batch=32, n_trajectories=128, repeats=10,
-                 epochs=4, n_train=128, stat_trajectories=1024),
+                 epochs=4, n_train=128, stat_trajectories=1024,
+                 train_batch=64, ref_repeats=3, n_realizations=16),
 }
 
 
@@ -250,6 +266,108 @@ def run_benchmarks(
     equiv["trajectory_statistical_dev"] = float(np.abs(p_fused - p_ref).max())
     equiv["trajectory_statistical_tol"] = 6.0 / np.sqrt(n_stat)
 
+    # -- batched training step vs per-sample reference ---------------------
+    # Two identically seeded models: the gate-insertion rng streams align,
+    # so fast and reference compute the *same* noisy step to float
+    # precision while the timings compare one stacked sweep against the
+    # nested per-sample loops.
+    train_batch = cfg["train_batch"]
+    step_x = rng.normal(0, 1, (train_batch, 16))
+    step_y = rng.integers(0, 4, train_batch)
+    weights_model = paper_model(4, 2, 2, 16, 4).init_weights(rng)
+
+    def make_model(n_realizations=1):
+        from repro.core.injection import GATE_INSERTION, InjectionConfig
+
+        cfg_model = QuantumNATConfig.full(0.25).with_injection(
+            InjectionConfig(GATE_INSERTION, 0.25, n_realizations=n_realizations)
+        )
+        return QuantumNATModel(
+            paper_model(4, 2, 2, 16, 4), device, cfg_model, rng=seed
+        )
+
+    fast_model = make_model()
+    ref_model = make_model()
+    t_fast = _best_of(
+        lambda: fast_model.loss_and_gradients(weights_model, step_x, step_y),
+        cfg["repeats"],
+    )
+    t_ref = _best_of(
+        lambda: ref_model.loss_and_gradients_reference(weights_model, step_x, step_y),
+        cfg["ref_repeats"],
+    )
+    bench["training_step"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "batch": train_batch,
+    }
+    eq_fast = make_model()
+    eq_ref = make_model()
+    l_fast, _, g_fast = eq_fast.loss_and_gradients(weights_model, step_x, step_y)
+    l_ref, _, g_ref = eq_ref.loss_and_gradients_reference(
+        weights_model, step_x, step_y
+    )
+    equiv["training_step_loss_err"] = abs(l_fast - l_ref)
+    equiv["training_step_grad_max_err"] = float(np.abs(g_fast - g_ref).max())
+
+    # -- stacked multi-realization training step ---------------------------
+    # Fused (n_realizations * batch) sweep vs averaging that many
+    # single-realization steps -- the batch axis composed with the
+    # stacked-trajectory axis.
+    n_real = cfg["n_realizations"]
+    stacked_model = make_model(n_real)
+    loop_model = make_model()
+
+    def stacked_step():
+        return stacked_model.loss_and_gradients(weights_model, step_x, step_y)
+
+    def looped_step():
+        grads = 0.0
+        for _ in range(n_real):
+            _, _, g = loop_model.loss_and_gradients(weights_model, step_x, step_y)
+            grads = grads + g
+        return grads / n_real
+
+    t_fast = _best_of(stacked_step, cfg["repeats"])
+    t_ref = _best_of(looped_step, cfg["ref_repeats"])
+    bench["stacked_noise_training"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "n_realizations": n_real, "batch": train_batch,
+    }
+
+    # -- gate-fused inference ----------------------------------------------
+    from repro.core.executors import NoiselessExecutor
+
+    class _PlainExecutor:
+        """NoiselessExecutor without the fused-inference fast path."""
+
+        differentiable = True
+
+        def __init__(self):
+            self._inner = NoiselessExecutor()
+
+        def forward(self, compiled_block, w_local, inp):
+            return self._inner.forward(compiled_block, w_local, inp)
+
+    infer_model = make_model()
+    plain_executor = _PlainExecutor()
+    t_fast = _best_of(
+        lambda: infer_model.predict(weights_model, inputs), cfg["repeats"]
+    )
+    t_ref = _best_of(
+        lambda: infer_model.predict(weights_model, inputs, executor=plain_executor),
+        cfg["repeats"],
+    )
+    bench["fused_inference"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "batch": batch,
+    }
+    equiv["fused_inference_max_err"] = float(
+        np.abs(
+            infer_model.predict(weights_model, inputs)
+            - infer_model.predict(weights_model, inputs, executor=plain_executor)
+        ).max()
+    )
+
     # -- short end-to-end noise-injected training --------------------------
     n_train = cfg["n_train"]
     train_x = rng.normal(0, 1, (n_train, 16))
@@ -281,6 +399,9 @@ def run_benchmarks(
         "adjoint_weight_grad_max_err",
         "adjoint_input_grad_max_err",
         "trajectory_deterministic_max_err",
+        "training_step_loss_err",
+        "training_step_grad_max_err",
+        "fused_inference_max_err",
     ):
         if equiv[key] > EXACT_TOL:
             raise AssertionError(

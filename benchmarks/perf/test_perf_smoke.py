@@ -33,7 +33,8 @@ def test_engine_smoke(tmp_path):
 
     bench = report["benchmarks"]
     for key in ("forward", "forward_backward", "trajectory_inference",
-                "end_to_end_training"):
+                "training_step", "stacked_noise_training",
+                "fused_inference", "end_to_end_training"):
         assert key in bench
     for key in ("1q_diagonal_rz", "2q_cx"):
         assert key in report["kernels"]
@@ -43,9 +44,34 @@ def test_engine_smoke(tmp_path):
     assert equiv["forward_max_err"] < 1e-10
     assert equiv["adjoint_weight_grad_max_err"] < 1e-10
     assert equiv["trajectory_deterministic_max_err"] < 1e-10
+    assert equiv["training_step_loss_err"] < 1e-10
+    assert equiv["training_step_grad_max_err"] < 1e-10
+    assert equiv["fused_inference_max_err"] < 1e-10
 
     # Perf regression tripwire: the fast paths must not fall behind the
     # reference implementations (real speedups are far higher; 1.0 keeps
     # the smoke robust to noisy CI machines).
     assert bench["forward_backward"]["speedup"] > 1.0
     assert bench["trajectory_inference"]["speedup"] > 1.0
+    # The acceptance bar for the batched training engine: >= 2x over the
+    # per-sample reference loop (really ~20x; 2.0 absorbs CI noise).
+    assert bench["training_step"]["speedup"] > 2.0
+    assert bench["stacked_noise_training"]["speedup"] > 1.0
+
+
+def test_regression_gate_against_fresh_self(tmp_path):
+    """The gate passes trivially when fresh == baseline (same report)."""
+    engine = _load_engine()
+    out = tmp_path / "BENCH_engine.json"
+    engine.run_benchmarks(scale="smoke", out_path=out)
+
+    import importlib.util
+
+    gate_path = Path(__file__).parent / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("check_regression", gate_path)
+    gate = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(gate)
+    code = gate.main(
+        ["--baseline", str(out), "--fresh", str(out)]
+    )
+    assert code == 0

@@ -1,0 +1,23 @@
+"""Repo-root pytest bootstrap: plain ``pytest`` works from a checkout.
+
+Puts ``./src`` on ``sys.path`` for in-process imports and exports it via
+``PYTHONPATH`` so subprocess-based tests (the examples smoke suite) and
+any tooling the tests shell out to inherit the same import path.  This
+mirrors what CI runs; ``PYTHONPATH=src`` remains equivalent but is no
+longer required.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_existing = os.environ.get("PYTHONPATH", "")
+if _SRC not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _SRC + os.pathsep + _existing if _existing else _SRC
+    )

@@ -1,5 +1,20 @@
 """Setup shim: enables legacy `pip install -e .` where the environment's
-setuptools lacks the `wheel` package needed for PEP 660 editable installs."""
-from setuptools import setup
+setuptools lacks the `wheel` package needed for PEP 660 editable installs.
 
-setup()
+Carries the src-layout package metadata so an (editable) install exposes
+`repro` without PYTHONPATH handling; the test suite additionally
+bootstraps `src` onto sys.path via the repo-root conftest.py, so plain
+`pytest` works from a checkout with no install at all.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="quantumnat-repro",
+    version="0.2.0",
+    description="QuantumNAT (DAC 2022) reproduction: noise-aware QNN "
+    "training with a batched fast-execution engine",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -8,12 +8,12 @@ inputs) and -- once bound with concrete arrays -- an executable program.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.circuits.parameters import ParamExpr, ParameterTable
-from repro.sim.gates import GATES, gate_def
+from repro.sim.gates import gate_def
 from repro.utils.linalg import embed_operator
 
 

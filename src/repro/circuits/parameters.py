@@ -16,7 +16,7 @@ gradients stay exact no matter how the compiler rewrites the circuit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,6 +20,12 @@ from repro.compiler.layout import (
 )
 from repro.compiler.routing import route, routing_overhead
 from repro.compiler.cleanup import cleanup
+from repro.compiler.fusion import (
+    FusedOp,
+    FusionPlan,
+    fuse_bound_ops,
+    fusion_plan_for,
+)
 from repro.compiler.optimize import (
     cancel_inverse_pairs,
     merge_rotations,
@@ -44,6 +50,10 @@ __all__ = [
     "route",
     "routing_overhead",
     "cleanup",
+    "FusedOp",
+    "FusionPlan",
+    "fuse_bound_ops",
+    "fusion_plan_for",
     "cancel_inverse_pairs",
     "merge_rotations",
     "optimize_circuit",

@@ -1,0 +1,203 @@
+"""Inference-only gate fusion: merge adjacent gate runs into one matrix.
+
+A transpiled QNN block is dominated by long single-qubit basis-gate runs
+(``rz sx rz sx rz`` from every U3) punctuated by CXs.  For *inference*
+sweeps -- no gradient tape, no per-gate error insertion sites -- adjacent
+gates whose combined qubit support fits in ``max_qubits`` can be merged
+into a single matrix before the statevector sweep, cutting the number of
+gate applications by 3-5x.  The merged matrices are exact matrix
+products, so fused and unfused sweeps agree to machine precision.
+
+Fusion must NOT be used for:
+
+* differentiable forwards -- the adjoint backward pass needs the
+  per-gate tape (and per-parameter derivative matrices);
+* noisy gate-insertion / trajectory sweeps -- error gates are sampled
+  *per original gate site*, and merging sites would change the channel.
+
+:class:`FusionPlan` adds a per-circuit cache layer for repeated
+inference over the same weights (evaluation loops, SPSA/parameter-shift
+objective calls): gate runs that depend only on weights and constants
+are fused once per weight vector (small LRU keyed on the weight bytes),
+while input-dependent encoder gates -- whose matrices change with every
+batch -- pass through unfused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.statevector import SmallLRU, bind_plan_for, weights_key
+
+_EYE2 = np.eye(2, dtype=complex)
+
+
+class FusedOp:
+    """A merged gate run, ready for ``apply_matrix``/``run_ops``.
+
+    Quacks like :class:`~repro.sim.statevector.BoundOp` for execution
+    (``matrix``, ``qubits``, ``batched``) but is inference-only: it has
+    no parameter bookkeeping and no adjoint support.
+    """
+
+    __slots__ = ("qubits", "matrix", "batched", "n_merged")
+
+    def __init__(self, qubits, matrix, n_merged):
+        self.qubits = qubits
+        self.matrix = matrix
+        self.batched = matrix.ndim == 3
+        self.n_merged = n_merged
+
+
+def _embed(matrix: np.ndarray, qubits, support) -> np.ndarray:
+    """Expand a gate matrix onto ``support`` (ascending qubit tuple).
+
+    Follows the engine's index convention: ``qubits[0]`` is the least
+    significant bit of the gate matrix index.  Handles shared ``(d, d)``
+    and per-sample ``(batch, d, d)`` matrices.
+    """
+    if tuple(qubits) == tuple(support):
+        return matrix
+    batched = matrix.ndim == 3
+    if len(qubits) == 2:
+        # Same pair, reversed order: swap the bit roles of both indices.
+        if batched:
+            m = matrix.reshape(-1, 2, 2, 2, 2).transpose(0, 2, 1, 4, 3)
+            return np.ascontiguousarray(m.reshape(-1, 4, 4))
+        return matrix.reshape(2, 2, 2, 2).transpose(1, 0, 3, 2).reshape(4, 4)
+    (q,) = qubits
+    if batched:
+        if q == support[0]:  # gate on the low bit of the pair
+            full = np.einsum("kl,bij->bkilj", _EYE2, matrix)
+        else:  # gate on the high bit
+            full = np.einsum("bij,kl->bikjl", matrix, _EYE2)
+        return np.ascontiguousarray(full.reshape(-1, 4, 4))
+    if q == support[0]:
+        return np.kron(_EYE2, matrix)
+    return np.kron(matrix, _EYE2)
+
+
+def _materialize(run: list, support: "tuple[int, ...]"):
+    """Collapse a gate run into one op on its combined support."""
+    if len(run) == 1:
+        # Preserve the original op: structured kernels (CX permutation,
+        # diagonal slicing) key on the untouched matrix object.
+        return run[0]
+    matrix = _embed(run[0].matrix, run[0].qubits, support)
+    for op in run[1:]:
+        # The later gate acts after, i.e. multiplies from the left.
+        matrix = _embed(op.matrix, op.qubits, support) @ matrix
+    return FusedOp(support, matrix, len(run))
+
+
+def fuse_bound_ops(ops: list, max_qubits: int = 2) -> list:
+    """Greedy left-to-right fusion of adjacent gate runs.
+
+    Consecutive ops whose combined qubit support has at most
+    ``max_qubits`` qubits are merged into a single :class:`FusedOp`
+    (single-op runs keep their original :class:`BoundOp`).  The output
+    list applies the exact same unitary as ``ops``.
+
+    ``max_qubits`` is capped at 2: :func:`_embed` only knows how to
+    expand onto 1- and 2-qubit supports (and wider fused matrices lose
+    to the engine's structured kernels anyway).
+    """
+    if not 1 <= max_qubits <= 2:
+        raise ValueError("max_qubits must be 1 or 2")
+    fused: list = []
+    run: list = []
+    support: "set[int]" = set()
+    for op in ops:
+        qubits = set(op.qubits)
+        if run and len(support | qubits) <= max_qubits:
+            run.append(op)
+            support |= qubits
+            continue
+        if run:
+            fused.append(_materialize(run, tuple(sorted(support))))
+        if len(qubits) > max_qubits:
+            fused.append(op)  # too wide to ever merge; pass through
+            run, support = [], set()
+        else:
+            run, support = [op], qubits
+    if run:
+        fused.append(_materialize(run, tuple(sorted(support))))
+    return fused
+
+
+#: Fused static segments retained per circuit, keyed on the weight bytes.
+_FUSION_CACHE_SIZE = 4
+
+
+class FusionPlan:
+    """Per-circuit fusion with caching of the weight-static structure.
+
+    The circuit's gates are partitioned once into *static* spans
+    (constant or weight-only parameters) and *dynamic* gates
+    (input-dependent encoder rotations).  :meth:`fused_ops` fuses each
+    static span and caches the result per weight vector; dynamic gates
+    are re-bound per call and emitted unfused, so the per-call work is
+    one bind (itself mostly cache hits) plus the encoder gates.
+    """
+
+    __slots__ = ("bind_plan", "_layout", "_cache")
+
+    def __init__(self, circuit):
+        self.bind_plan = bind_plan_for(circuit)
+        # Layout: ("static", start, end) spans and ("dynamic", index)
+        # singletons, in circuit order.
+        layout: "list[tuple]" = []
+        start = None
+        for i, gate in enumerate(circuit.gates):
+            input_dep = any(expr.depends_on_input for expr in gate.params)
+            if input_dep:
+                if start is not None:
+                    layout.append(("static", start, i))
+                    start = None
+                layout.append(("dynamic", i, i + 1))
+            elif start is None:
+                start = i
+        if start is not None:
+            layout.append(("static", start, len(circuit.gates)))
+        self._layout = layout
+        # weight bytes -> fused ops per static span, in layout order.
+        self._cache = SmallLRU(_FUSION_CACHE_SIZE)
+
+    def _static_segments(self, ops: list, weights) -> "list[list]":
+        key = weights_key(weights)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        segments = [
+            fuse_bound_ops(ops[start:end])
+            for kind, start, end in self._layout
+            if kind == "static"
+        ]
+        self._cache.put(key, segments)
+        return segments
+
+    def fused_ops(
+        self,
+        weights: "np.ndarray | None" = None,
+        inputs: "np.ndarray | None" = None,
+        batch: "int | None" = None,
+    ) -> list:
+        """Bind and fuse the circuit for one inference call."""
+        ops = self.bind_plan.bind(weights, inputs, batch)
+        segments = iter(self._static_segments(ops, weights))
+        out: list = []
+        for kind, start, end in self._layout:
+            if kind == "static":
+                out.extend(next(segments))
+            else:
+                out.extend(ops[start:end])
+        return out
+
+
+def fusion_plan_for(circuit) -> FusionPlan:
+    """The circuit's cached :class:`FusionPlan`, (re)built when stale."""
+    plan = getattr(circuit, "_fusion_plan", None)
+    if plan is None or plan.bind_plan.stale(circuit):
+        plan = FusionPlan(circuit)
+        circuit._fusion_plan = plan
+    return plan

@@ -17,11 +17,11 @@ the mapping back to physical ids (for noise lookup) and to logical qubits
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.circuit import Circuit
 from repro.compiler.cleanup import cleanup
 from repro.compiler.decompositions import BASIS_GATES, lower_to_basis
 from repro.compiler.optimize import optimize_circuit

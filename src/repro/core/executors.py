@@ -29,7 +29,11 @@ from repro.core.gradients import QuantumTape, adjoint_backward, forward_with_tap
 from repro.noise.density_backend import run_noisy_density
 from repro.noise.readout import apply_readout_to_expectations
 from repro.noise.sampler import ErrorGateSampler
-from repro.noise.trajectory import run_noisy_trajectories
+from repro.noise.trajectory import (
+    run_noisy_trajectories,
+    stacked_noisy_backward,
+    stacked_noisy_forward_with_tape,
+)
 from repro.utils.rng import as_rng
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +48,8 @@ class BlockCache:
     tape: QuantumTape
     measure_qubits: "tuple[int, ...]"
     readout_scales: "np.ndarray | None" = None
+    #: >1 when the tape's state stacks multiple noise realizations.
+    n_realizations: int = 1
 
 
 def _gather_logical(expectations: np.ndarray, measure: "tuple[int, ...]") -> np.ndarray:
@@ -127,6 +133,28 @@ class NoiselessExecutor:
         logical = _gather_logical(expectations, compiled.measure_qubits)
         return logical, BlockCache(tape, compiled.measure_qubits)
 
+    def forward_inference(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> np.ndarray:
+        """Tape-free forward through the gate-fusion pass.
+
+        Inference sweeps need no per-gate tape, so adjacent gate runs are
+        merged into single matrices (cached per weight vector) before the
+        statevector sweep -- see :mod:`repro.compiler.fusion`.
+        """
+        from repro.compiler.fusion import fusion_plan_for
+        from repro.sim.statevector import run_ops, z_expectations
+
+        circuit = compiled.circuit
+        inputs = np.asarray(inputs, dtype=float)
+        ops = fusion_plan_for(circuit).fused_ops(weights, inputs)
+        state = run_ops(ops, circuit.n_qubits, inputs.shape[0])
+        expectations = z_expectations(state, circuit.n_qubits)
+        return _gather_logical(expectations, compiled.measure_qubits)
+
     def backward(
         self, cache: BlockCache, grad_logical: np.ndarray
     ) -> "tuple[np.ndarray, np.ndarray]":
@@ -144,6 +172,12 @@ class GateInsertionExecutor:
     confusion to the measured expectations.  The inserted Paulis are
     constant unitaries and the readout map is affine, so the adjoint
     backward pass stays exact.
+
+    With ``n_realizations > 1`` each step averages that many independent
+    error realizations, executed as one fused
+    ``(n_realizations * batch, 2**n)`` statevector sweep -- the training
+    batch axis composed with the stacked-trajectory axis (see
+    :func:`~repro.noise.trajectory.stacked_noisy_forward_with_tape`).
     """
 
     differentiable = True
@@ -154,11 +188,15 @@ class GateInsertionExecutor:
         noise_factor: float = 1.0,
         readout: bool = True,
         rng: "int | np.random.Generator | None" = None,
+        n_realizations: int = 1,
     ):
+        if n_realizations < 1:
+            raise ValueError("need at least one noise realization")
         self.noise_model = noise_model
         self.noise_factor = noise_factor
         self.readout = readout
         self.rng = as_rng(rng)
+        self.n_realizations = n_realizations
         self.sampler = ErrorGateSampler(noise_model, noise_factor)
         self.last_insertion_stats = None
         # Readout confusion matrices per compiled block, built once instead
@@ -180,23 +218,38 @@ class GateInsertionExecutor:
         weights: np.ndarray,
         inputs: np.ndarray,
     ) -> "tuple[np.ndarray, BlockCache]":
-        noisy_circuit, stats = self.sampler.sample(
-            compiled.circuit, compiled.physical_qubits, self.rng
-        )
-        self.last_insertion_stats = stats
-        expectations, tape = forward_with_tape(
-            noisy_circuit,
-            weights,
-            inputs,
-            n_weights=weights.size,
-            n_inputs=np.asarray(inputs).shape[1],
-        )
+        if self.n_realizations > 1:
+            expectations, tape, n_inserted = stacked_noisy_forward_with_tape(
+                compiled, self.sampler, weights, inputs,
+                self.n_realizations, self.rng,
+                n_weights=weights.size,
+                n_inputs=np.asarray(inputs).shape[1],
+            )
+            from repro.noise.sampler import InsertionStats
+
+            self.last_insertion_stats = InsertionStats(
+                len(compiled.circuit.gates) * self.n_realizations, n_inserted
+            )
+        else:
+            noisy_circuit, stats = self.sampler.sample(
+                compiled.circuit, compiled.physical_qubits, self.rng
+            )
+            self.last_insertion_stats = stats
+            expectations, tape = forward_with_tape(
+                noisy_circuit,
+                weights,
+                inputs,
+                n_weights=weights.size,
+                n_inputs=np.asarray(inputs).shape[1],
+            )
         logical = _gather_logical(expectations, compiled.measure_qubits)
         scales = None
         if self.readout:
             readout = self._readout_matrices(compiled)
             logical, scales = apply_readout_to_expectations(logical, readout)
-        return logical, BlockCache(tape, compiled.measure_qubits, scales)
+        return logical, BlockCache(
+            tape, compiled.measure_qubits, scales, self.n_realizations
+        )
 
     def backward(
         self, cache: BlockCache, grad_logical: np.ndarray
@@ -206,6 +259,8 @@ class GateInsertionExecutor:
         grad = _scatter_logical(
             grad_logical, cache.measure_qubits, cache.tape.circuit.n_qubits
         )
+        if cache.n_realizations > 1:
+            return stacked_noisy_backward(cache.tape, grad, cache.n_realizations)
         return adjoint_backward(cache.tape, grad)
 
 

@@ -38,6 +38,13 @@ class InjectionConfig:
     for gate insertion, and the Gaussian sigma for the perturbation
     strategies (so the Figure 7 noise-factor sweep is meaningful for all
     three).
+
+    ``n_realizations`` applies to gate insertion only: the number of
+    independent error realizations averaged per training step.  The
+    paper uses 1 (one fresh error sample per step); larger values smooth
+    the gradient estimate toward the exact noisy channel, and the
+    batched engine runs all realizations as a single fused
+    ``(n_realizations * batch)`` statevector sweep.
     """
 
     strategy: "str | None" = GATE_INSERTION
@@ -45,6 +52,7 @@ class InjectionConfig:
     outcome_mu: float = 0.0
     outcome_sigma: float = 0.1
     angle_sigma: float = 0.05
+    n_realizations: int = 1
 
     def __post_init__(self) -> None:
         if self.strategy is not None and self.strategy not in STRATEGIES:
@@ -54,6 +62,8 @@ class InjectionConfig:
             )
         if self.noise_factor < 0:
             raise ValueError("noise factor must be non-negative")
+        if self.n_realizations < 1:
+            raise ValueError("need at least one noise realization")
 
     @property
     def enabled(self) -> bool:
@@ -62,7 +72,8 @@ class InjectionConfig:
     def with_statistics(self, mu: float, sigma: float) -> "InjectionConfig":
         """Return a copy carrying benchmarked error statistics."""
         return InjectionConfig(
-            self.strategy, self.noise_factor, mu, sigma, self.angle_sigma
+            self.strategy, self.noise_factor, mu, sigma,
+            self.angle_sigma, self.n_realizations,
         )
 
 

@@ -49,6 +49,7 @@ from repro.core.normalization import (
 )
 from repro.core.quantization import Quantizer
 from repro.noise.devices import Device
+from repro.noise.readout import apply_readout_to_expectations
 from repro.qnn.model import QNN, head_matrix
 from repro.utils.rng import as_rng
 
@@ -169,6 +170,7 @@ class QuantumNATModel:
                 self.device.noise_model,
                 noise_factor=injection.noise_factor,
                 rng=self.rng,
+                n_realizations=injection.n_realizations,
             )
         return NoiselessExecutor()
 
@@ -244,7 +246,13 @@ class QuantumNATModel:
     def loss_and_gradients(
         self, weights: np.ndarray, inputs: np.ndarray, labels: np.ndarray
     ) -> "tuple[float, float, np.ndarray]":
-        """One training step's loss, accuracy and weight gradient."""
+        """One training step's loss, accuracy and weight gradient.
+
+        The whole minibatch (and, with ``injection.n_realizations > 1``,
+        every noise realization) runs as one stacked statevector sweep
+        per block; :meth:`loss_and_gradients_reference` is the retained
+        per-sample baseline.
+        """
         config = self.config
         cache = self.forward_train(weights, inputs)
         ce_loss, grad_logits, _probs = cross_entropy(cache.logits, labels)
@@ -279,6 +287,173 @@ class QuantumNATModel:
 
         return loss, acc, grad_weights
 
+    # -- per-sample reference engine ---------------------------------------
+
+    def _reference_block_forward(
+        self, circuit, w_local: np.ndarray, inputs: np.ndarray
+    ) -> "tuple[np.ndarray, list]":
+        """One block's expectations via per-sample reference sweeps.
+
+        Runs every sample as its own ``(1, 2**n)`` statevector through
+        the pre-fast-engine kernels; returns the assembled
+        ``(batch, n_qubits)`` expectations and one tape per sample.
+        """
+        from repro.core.gradients import QuantumTape
+        from repro.sim.statevector import (
+            bind_circuit_reference,
+            run_ops_reference,
+            z_signs,
+        )
+
+        rows = []
+        tapes = []
+        for i in range(inputs.shape[0]):
+            ops = bind_circuit_reference(circuit, w_local, inputs[i : i + 1])
+            state = run_ops_reference(ops, circuit.n_qubits, 1)
+            tapes.append(
+                QuantumTape(circuit, ops, state, w_local.size, inputs.shape[1])
+            )
+            rows.append((np.abs(state) ** 2) @ z_signs(circuit.n_qubits).T)
+        return np.vstack(rows), tapes
+
+    def loss_and_gradients_reference(
+        self, weights: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+    ) -> "tuple[float, float, np.ndarray]":
+        """Per-sample reference implementation of one training step.
+
+        The numerical baseline for :meth:`loss_and_gradients`: every
+        sample (and every noise realization) is bound and swept
+        individually through the reference kernels, and backward runs one
+        per-sample adjoint sweep per tape -- the nested loops the batched
+        engine replaces.  Classical stages (normalization statistics,
+        quantization, head, loss) are batch-level math and identical.
+
+        With single-realization gate insertion the error circuits are
+        sampled from this model's own rng in the same order as the fast
+        path, so two identically seeded models agree to float precision.
+        With ``n_realizations > 1`` the fast path draws each error site's
+        choices for all realizations in one vectorized call while this
+        path loops realizations, so the streams diverge and stochastic
+        noise matches only in distribution (deterministic coherent-only
+        models still agree exactly).
+        """
+        from repro.core.gradients import adjoint_backward_reference
+
+        config = self.config
+        injection = config.injection
+        executor = self._train_executor
+        weights = np.asarray(weights, dtype=float)
+        inputs = np.asarray(inputs, dtype=float)
+        if injection.strategy == ANGLE_PERTURBATION:
+            weights = perturb_angles(weights, injection, self.rng)
+            inputs = perturb_angles(inputs, injection, self.rng)
+        insertion = injection.strategy == GATE_INSERTION
+        n_real = injection.n_realizations if insertion else 1
+
+        # -- forward: nested realization x sample loops per block ---------
+        block_tapes: "list[list[list]]" = []  # [block][realization][sample]
+        block_scales: "list[np.ndarray | None]" = []
+        norm_caches: "list[NormCache | None]" = []
+        ste_masks: "list[np.ndarray | None]" = []
+        normalized_acts: "list[np.ndarray | None]" = []
+        quant_loss = 0.0
+        current = inputs
+        for b in range(self.n_blocks):
+            compiled = self.compiled[b]
+            w_local = self.qnn.block_weights(weights, b)
+            realizations = []
+            tapes_per_real = []
+            for _ in range(n_real):
+                if insertion:
+                    circuit, _stats = executor.sampler.sample(
+                        compiled.circuit, compiled.physical_qubits, executor.rng
+                    )
+                else:
+                    circuit = compiled.circuit
+                expectations, tapes = self._reference_block_forward(
+                    circuit, w_local, current
+                )
+                realizations.append(expectations)
+                tapes_per_real.append(tapes)
+            block_tapes.append(tapes_per_real)
+            expectations = sum(realizations) / n_real
+            logical = expectations[:, list(compiled.measure_qubits)]
+            scales = None
+            if insertion and executor.readout:
+                readout = compiled.readout_matrices(executor.noise_model)
+                logical, scales = apply_readout_to_expectations(logical, readout)
+            block_scales.append(scales)
+
+            if not self._transform_after(b):
+                norm_caches.append(None)
+                ste_masks.append(None)
+                normalized_acts.append(None)
+                current = logical
+                continue
+            values = logical
+            if config.normalize:
+                values, norm_cache = normalize(values)
+                norm_caches.append(norm_cache)
+            else:
+                norm_caches.append(None)
+            if injection.strategy == OUTCOME_PERTURBATION:
+                values = perturb_outcomes(values, injection, self.rng)
+            if config.quantize:
+                normalized_acts.append(values)
+                quant_loss += self.quantizer.quantization_loss(values)
+                values, mask = self.quantizer.forward(values)
+                ste_masks.append(mask)
+            else:
+                normalized_acts.append(None)
+                ste_masks.append(None)
+            current = values
+
+        logits = current @ self.head.T
+        ce_loss, grad_logits, _probs = cross_entropy(logits, labels)
+        loss = ce_loss + config.quant_loss_weight * quant_loss
+        acc = accuracy(logits, labels)
+
+        # -- backward: chain transforms, then per-sample adjoint sweeps ----
+        grad_weights = np.zeros_like(weights)
+        grad_current = grad_logits @ self.head
+        for b in reversed(range(self.n_blocks)):
+            compiled = self.compiled[b]
+            if self._transform_after(b):
+                if config.quantize:
+                    grad_current = self.quantizer.backward(
+                        ste_masks[b], grad_current
+                    )
+                    grad_current = grad_current + (
+                        config.quant_loss_weight
+                        * self.quantizer.quantization_loss_grad(normalized_acts[b])
+                    )
+                if config.normalize:
+                    grad_current = normalize_backward(norm_caches[b], grad_current)
+            grad_logical = grad_current
+            if block_scales[b] is not None:
+                grad_logical = grad_logical * block_scales[b][None, :]
+            n_compact = compiled.circuit.n_qubits
+            batch = grad_logical.shape[0]
+            grad_full = np.zeros((batch, n_compact))
+            grad_full[:, list(compiled.measure_qubits)] = grad_logical
+            w_grad = None
+            x_rows = []
+            for tapes in block_tapes[b]:
+                for i, tape in enumerate(tapes):
+                    wg, xg = adjoint_backward_reference(
+                        tape, grad_full[i : i + 1] / n_real
+                    )
+                    w_grad = wg if w_grad is None else w_grad + wg
+                    if len(x_rows) <= i:
+                        x_rows.append(xg[0])
+                    else:
+                        x_rows[i] = x_rows[i] + xg[0]
+            grad_weights[self.qnn.weight_slices[b]] += w_grad
+            x_grad = np.vstack(x_rows)
+            grad_current = x_grad
+
+        return loss, acc, grad_weights
+
     # -- inference ---------------------------------------------------------
 
     def predict(
@@ -294,13 +469,24 @@ class QuantumNATModel:
         :class:`TrajectoryEvalExecutor` ("real QC") for noisy inference.
         Normalization uses the batch's own statistics unless
         :attr:`fixed_stats` is set (validation-statistics mode).
+
+        Executors exposing ``forward_inference`` (noise-free simulation)
+        run tape-free through the gate-fusion pass: adjacent gate runs
+        collapse into single matrices, cached per weight vector across
+        repeated predict/evaluate calls.
         """
         config = self.config
         executor = executor or NoiselessExecutor()
+        infer = getattr(executor, "forward_inference", None)
         current = np.asarray(inputs, dtype=float)
         for b in range(self.n_blocks):
             w_local = self.qnn.block_weights(weights, b)
-            expectations, _cache = executor.forward(self.compiled[b], w_local, current)
+            if infer is not None:
+                expectations = infer(self.compiled[b], w_local, current)
+            else:
+                expectations, _cache = executor.forward(
+                    self.compiled[b], w_local, current
+                )
             if not self._transform_after(b):
                 current = expectations
                 continue

@@ -26,6 +26,16 @@ class TrainConfig:
     weight_init_scale: float = 0.3
     use_lr_schedule: bool = True
     verbose: bool = False
+    #: "fast" runs each minibatch as one stacked statevector sweep;
+    #: "reference" loops per-sample through the retained baseline
+    #: kernels (equivalence checks and perf baselines only).
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -90,6 +100,11 @@ def train(
     best_loss = float("inf")
     best_acc = 0.0
     history: "list[dict[str, float]]" = []
+    step = (
+        model.loss_and_gradients
+        if config.engine == "fast"
+        else model.loss_and_gradients_reference
+    )
 
     for epoch in range(config.epochs):
         epoch_loss = 0.0
@@ -98,7 +113,7 @@ def train(
         for batch_x, batch_y in iterate_minibatches(
             train_x, train_y, config.batch_size, rng
         ):
-            loss, acc, grad = model.loss_and_gradients(weights, batch_x, batch_y)
+            loss, acc, grad = step(weights, batch_x, batch_y)
             weights = optimizer.step(weights, grad)
             epoch_loss += loss
             epoch_acc += acc

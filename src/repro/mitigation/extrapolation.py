@@ -77,7 +77,24 @@ def extrapolate_noise_free_std(
         else:
             circuit = model.qnn.folded_block(block, k - 1)
             depth_scale = 2 * (k - 1) + 1
-        compiled = transpile(circuit, model.device, model.optimization_level)
+        # The QNN memoizes derived circuits, so repeated extrapolation
+        # sweeps (drift-adaptation loops re-estimate every step) see the
+        # same circuit objects and can reuse their compilations.  The
+        # cache lives on the *model*: a model's device (and thus layout,
+        # coupling and calibration) is fixed for its lifetime, and
+        # calibration refreshes build a new model via adapt_model, so
+        # entries can never go stale -- at any optimization level.
+        cache = getattr(model, "_zne_transpile_cache", None)
+        if cache is None:
+            cache = model._zne_transpile_cache = {}
+        key = (id(circuit), model.optimization_level)
+        entry = cache.get(key)
+        # The entry pins the source circuit, so an id() can never be
+        # recycled by a new object while its cache row is alive.
+        if entry is None or entry[0] is not circuit:
+            entry = (circuit, transpile(circuit, model.device, model.optimization_level))
+            cache[key] = entry
+        compiled = entry[1]
         expectations = executor_factory(compiled, w_local, inputs)
         stds.append(expectations.std(axis=0))
         scaled_depths.append(depth_scale)

@@ -77,6 +77,39 @@ def _coherent_unitary(ey: float, ez: float) -> np.ndarray:
     return gate_matrix("rz", (ez,)) @ gate_matrix("ry", (ey,))
 
 
+def _expand_events(post: "list[tuple]", batch: int) -> list:
+    """Materialize one gate site's sampled error events as matrices.
+
+    Returns ``[(local_qubit, matrix), ...]``: Pauli events become
+    batched ``(n_traj * batch, 2, 2)`` stacks (trajectory-major,
+    matching the stacked-state layout), coherent miscalibrations stay
+    shared 2x2 constants.  Single source of truth for the event-to-matrix
+    expansion, shared by the inference sweep (:func:`_fused_chunk`) and
+    the training tape (:func:`stacked_noisy_ops`) so the two paths can
+    never apply different channels.
+    """
+    expanded = []
+    for kind, local_q, payload in post:
+        if kind == "pauli":
+            expanded.append((local_q, np.repeat(_PAULI_STACK[payload], batch, axis=0)))
+        else:
+            expanded.append((local_q, _coherent_unitary(*payload)))
+    return expanded
+
+
+def _count_inserted(post: "list[tuple]") -> int:
+    """Non-identity Pauli insertions in one gate site's events.
+
+    Training-path bookkeeping (insertion stats) only -- the inference
+    sweep never pays for it.
+    """
+    return sum(
+        int(np.count_nonzero(payload))
+        for kind, _q, payload in post
+        if kind == "pauli"
+    )
+
+
 def _fused_chunk(
     sampler: ErrorGateSampler,
     compiled: "CompiledCircuit",
@@ -99,15 +132,141 @@ def _fused_chunk(
             matrix = np.tile(matrix, (n_traj, 1, 1))
         apply_matrix(stacked, matrix, op.qubits, n_qubits, out=scratch)
         stacked, scratch = scratch, stacked
-        for kind, local_q, payload in post:
-            if kind == "pauli":
-                errors = np.repeat(_PAULI_STACK[payload], batch, axis=0)
-            else:
-                errors = _coherent_unitary(*payload)
+        for local_q, errors in _expand_events(post, batch):
             apply_matrix(stacked, errors, (local_q,), n_qubits, out=scratch)
             stacked, scratch = scratch, stacked
     probs = np.abs(stacked) ** 2
     return probs.reshape(n_traj, batch, -1).sum(axis=0)
+
+
+def _tiled_op(op, n_traj: int, batch: int):
+    """Replicate a bound op across ``n_traj`` stacked realizations.
+
+    Shared matrices broadcast as-is; per-sample (batched) matrices and
+    their bound parameter values are tiled to ``(n_traj * batch, ...)``
+    so the adjoint backward pass sees consistent per-row derivatives.
+    """
+    if not op.batched:
+        return op
+    from repro.sim.statevector import BoundOp
+
+    matrix = np.tile(op.matrix, (n_traj, 1, 1))
+    values = tuple(
+        np.tile(v, n_traj) if isinstance(v, np.ndarray) and v.ndim else v
+        for v in op.values
+    )
+    return BoundOp(op.gate, matrix, values)
+
+
+def _error_op(local_q: int, matrix: np.ndarray):
+    """A sampled error insertion as a tape-compatible constant op."""
+    from repro.circuits.circuit import Gate
+    from repro.sim.statevector import BoundOp
+
+    return BoundOp(Gate("id", (local_q,)), matrix, ())
+
+
+def stacked_noisy_ops(
+    compiled: "CompiledCircuit",
+    sampler: ErrorGateSampler,
+    weights: "np.ndarray | None",
+    inputs: "np.ndarray | None",
+    batch: int,
+    n_realizations: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> "tuple[list, int]":
+    """Bound op list for ``n_realizations`` error realizations x ``batch``.
+
+    This composes the *training batch* axis with the *noise trajectory*
+    axis: the base circuit is bound once (through the bind cache), every
+    error site's Pauli choice is drawn for all realizations in one
+    vectorized call, and the sampled errors become batched
+    ``(n_realizations * batch, 2, 2)`` constant ops.  The returned list
+    runs -- and, because every op is a regular :class:`BoundOp` with no
+    differentiable parameters on the error sites, *backpropagates* -- as
+    one fused ``(n_realizations * batch, 2**n)`` statevector sweep.
+
+    Returns ``(ops, n_inserted)`` with ``n_inserted`` the total number of
+    non-identity Pauli insertions across all realizations.
+    """
+    rng = as_rng(rng)
+    if inputs is not None:
+        batch = np.asarray(inputs).shape[0]
+    ops = bind_circuit(compiled.circuit, weights, inputs, batch)
+    events = sampler.sample_batched(
+        compiled.circuit, compiled.physical_qubits, n_realizations, rng
+    )
+    stacked: list = []
+    n_inserted = 0
+    for op, post in zip(ops, events):
+        stacked.append(_tiled_op(op, n_realizations, batch))
+        n_inserted += _count_inserted(post)
+        for local_q, errors in _expand_events(post, batch):
+            stacked.append(_error_op(local_q, errors))
+    return stacked, n_inserted
+
+
+def stacked_noisy_forward_with_tape(
+    compiled: "CompiledCircuit",
+    sampler: ErrorGateSampler,
+    weights: "np.ndarray | None",
+    inputs: "np.ndarray | None",
+    n_realizations: int,
+    rng: "int | np.random.Generator | None" = None,
+    n_weights: "int | None" = None,
+    n_inputs: "int | None" = None,
+):
+    """Noise-injected forward over stacked realizations, keeping the tape.
+
+    Returns ``(expectations, tape, n_inserted)``: expectations are the
+    per-sample mean over realizations, shape ``(batch, n_qubits)``; the
+    tape's state is the full ``(n_realizations * batch, 2**n)`` stack and
+    is consumed by :func:`stacked_noisy_backward`.
+    """
+    from repro.core.gradients import QuantumTape
+    from repro.sim.statevector import run_ops
+
+    inputs = np.asarray(inputs, dtype=float)
+    batch = inputs.shape[0]
+    circuit = compiled.circuit
+    ops, n_inserted = stacked_noisy_ops(
+        compiled, sampler, weights, inputs, batch, n_realizations, rng
+    )
+    state = run_ops(ops, circuit.n_qubits, n_realizations * batch)
+    table = circuit.parameter_table
+    tape = QuantumTape(
+        circuit,
+        ops,
+        state,
+        n_weights if n_weights is not None else table.num_weights,
+        n_inputs if n_inputs is not None else table.num_inputs,
+    )
+    probs = np.abs(state) ** 2
+    stacked_exp = probs @ z_signs(circuit.n_qubits).T
+    expectations = stacked_exp.reshape(n_realizations, batch, -1).mean(axis=0)
+    return expectations, tape, n_inserted
+
+
+def stacked_noisy_backward(
+    tape,
+    grad_expectations: np.ndarray,
+    n_realizations: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Adjoint backward through a stacked-realization tape.
+
+    ``grad_expectations`` is the per-sample ``(batch, n_qubits)`` upstream
+    gradient of the realization-*averaged* expectations; it is replicated
+    (scaled by ``1 / n_realizations``) onto the stack, swept once, and the
+    per-sample input gradients are summed back over realizations.
+    """
+    from repro.core.gradients import adjoint_backward
+
+    grad_expectations = np.asarray(grad_expectations, dtype=float)
+    batch = grad_expectations.shape[0]
+    stacked_grad = np.tile(grad_expectations / n_realizations, (n_realizations, 1))
+    weight_grad, input_grad = adjoint_backward(tape, stacked_grad)
+    input_grad = input_grad.reshape(n_realizations, batch, -1).sum(axis=0)
+    return weight_grad, input_grad
 
 
 def trajectory_probabilities(

@@ -12,7 +12,7 @@ Naming follows the paper: "2B x 12L on Santiago" is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -67,6 +67,12 @@ class QNN:
         self.blocks: "list[Circuit]" = []
         self.encoders: "list[EncoderSpec]" = []
         self.weight_slices: "list[slice]" = []
+        #: Derived circuits (folded / repeated blocks) memoized per
+        #: (kind, block, count).  Returning the *same* Circuit object on
+        #: repeat lets downstream caches -- the statevector BindPlan, the
+        #: transpile cache ZNE sweeps attach -- survive across calls
+        #: instead of being rebuilt every extrapolation step.
+        self._derived: "dict[tuple[str, int, int], Circuit]" = {}
         offset = 0
         builder = design_space(arch.design)
         for b in range(arch.n_blocks):
@@ -113,6 +119,9 @@ class QNN:
         """
         if n_folds < 0:
             raise ValueError("n_folds must be >= 0")
+        cached = self._derived.get(("fold", block, n_folds))
+        if cached is not None:
+            return cached
         circuit = self.blocks[block]
         n_encoder_gates = self.encoders[block].n_inputs
         encoder_part = Circuit(circuit.n_qubits, circuit.gates[:n_encoder_gates])
@@ -123,6 +132,7 @@ class QNN:
         for _ in range(n_folds):
             folded.extend(inverse)
             folded.extend(trainable_part)
+        self._derived[("fold", block, n_folds)] = folded
         return folded
 
     def repeated_block(self, block: int, n_repeats: int) -> Circuit:
@@ -134,6 +144,9 @@ class QNN:
         """
         if n_repeats < 1:
             raise ValueError("n_repeats must be >= 1")
+        cached = self._derived.get(("repeat", block, n_repeats))
+        if cached is not None:
+            return cached
         circuit = self.blocks[block]
         n_encoder_gates = self.encoders[block].n_inputs
         encoder_part = Circuit(circuit.n_qubits, circuit.gates[:n_encoder_gates])
@@ -141,6 +154,7 @@ class QNN:
         repeated = encoder_part.copy()
         for _ in range(n_repeats):
             repeated.extend(trainable_part)
+        self._derived[("repeat", block, n_repeats)] = repeated
         return repeated
 
 

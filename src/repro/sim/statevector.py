@@ -17,11 +17,12 @@ The per-gate hot path is organized around three caches:
 
 * **Apply-kernel cache** (:func:`_apply_plan`): per ``(n_qubits, qubits)``
   signature, the reshape factorization / permutation needed to expose the
-  target bit-axes is computed once and memoized.  The dominant 1- and
-  2-qubit cases never transpose the state at all -- they reshape (a view)
-  so the target axes sit between untouched blocks and contract in place
-  with ``matmul``/``einsum`` (contraction paths are memoized per shape).
-  Only 3+-qubit gates fall back to the generic transpose route.
+  target bit-axes is computed once and memoized.  1-qubit gates and
+  *structured* 2-qubit gates (CX permutation, diagonals) never transpose
+  the state at all -- they reshape (a view) so the target axes sit
+  between untouched blocks and apply slice kernels in place.  Dense 2q
+  matrices and 3+-qubit gates use the cached transpose route (move target
+  axes last, one small matmul, move back).
 * **Work buffers**: :func:`apply_matrix` accepts ``out=``; callers such as
   :func:`run_ops` and the adjoint backward sweep ping-pong between two
   preallocated ``(batch, 2**n)`` buffers instead of allocating two fresh
@@ -31,9 +32,11 @@ The per-gate hot path is organized around three caches:
   the vast majority after transpilation and error-gate insertion -- get
   their :class:`BoundOp` (matrix included) built exactly once and reused
   across every training step; constant matrices are additionally shared
-  process-wide through :func:`constant_gate_matrix`.  Only parameterized
-  gates are re-evaluated per call, and per-sample values stay broadcast
-  *views*, never materialized copies.
+  process-wide through :func:`constant_gate_matrix`.  Weight-only gates
+  are memoized per weight vector (small LRU), so optimizer sub-steps that
+  revisit a weight vector skip rebinding.  Only the remaining
+  parameterized gates are re-evaluated per call, and per-sample values
+  stay broadcast *views*, never materialized copies.
 
 The original straightforward implementations are kept as
 ``*_reference`` functions; ``tests/test_fast_engine.py`` and the
@@ -75,11 +78,8 @@ class _ApplyPlan:
     )
 
 
-#: einsum signatures for the in-place 2-qubit contraction.  The state is
-#: viewed as ``(batch, A, 2, C, 2, D)`` with the two target bits exposed;
-#: the gate is viewed as ``(2, 2, 2, 2)`` = (out_hi, out_lo, in_hi, in_lo).
-_SUB2_SHARED = "xyuv,baucvd->baxcyd"
-_SUB2_BATCHED = "bxyuv,baucvd->baxcyd"
+#: einsum signatures for the in-place 1-qubit contraction on the
+#: ``(batch, left, 2, right)`` view of the state.
 _SUB1_SHARED = "xu,baud->baxd"
 _SUB1_BATCHED = "bxu,baud->baxd"
 
@@ -106,8 +106,11 @@ def _apply_plan(n_qubits: int, qubits: "tuple[int, ...]") -> _ApplyPlan:
         # gate's *low* bit sits on the more-significant state axis, so the
         # (2,2,2,2) gate view must swap its bit roles.
         plan.swap = q0 > q1
-    else:
-        # Generic route: move target axes last, contract, move back.
+    if k >= 2:
+        # Transpose route: move target axes last, contract, move back.
+        # For k == 2 this doubles as the *general-matrix* path -- the
+        # in-place 6-axis einsum only wins for structured (diagonal / CX)
+        # matrices, so dense 2q gates (fused runs, cu3) go through here.
         axes = [1 + (n_qubits - 1 - q) for q in qubits]
         kept = [a for a in range(1, n_qubits + 1) if a not in axes]
         perm = (0, *kept, *(axes[i] for i in reversed(range(k))))
@@ -265,23 +268,21 @@ def apply_matrix(
                 if out is not None:
                     return out
                 return target.reshape(batch, -1)
-            res = _contract(_SUB2_SHARED, gate, tensor, target)
-        else:
-            gate = matrix.reshape(batch, 2, 2, 2, 2)
-            if plan.swap:
-                gate = gate.transpose(0, 2, 1, 4, 3)
-            res = _contract(_SUB2_BATCHED, gate, tensor, target)
-        if out is not None:
-            return out
-        return res.reshape(batch, -1)
+        # Dense 2q matrices (cu3, fused gate runs) fall through to the
+        # cached transpose route below: the in-place 6-axis einsum kernel
+        # loses to transpose + one small matmul once batch exceeds ~16.
 
-    # Generic 3+-qubit route (rare): cached permutation, transpose copies.
+    # Generic transpose route (dense 2q and all 3+-qubit gates): cached
+    # permutation, transpose copies.  Shared matrices contract as one
+    # flat 2-D GEMM over all (batch * row) vectors -- several times
+    # faster than both broadcast matmul and einsum (whose per-call path
+    # search this route, now the fused-inference hot path, must avoid).
     tensor = state.reshape((batch,) + (2,) * n_qubits)
     tensor = tensor.transpose(plan.perm).reshape(batch, -1, dim_gate)
     if matrix.ndim == 2:
-        res = np.einsum("ij,brj->bri", matrix, tensor, optimize=True)
+        res = (tensor.reshape(-1, dim_gate) @ matrix.T).reshape(tensor.shape)
     else:
-        res = np.einsum("bij,brj->bri", matrix, tensor, optimize=True)
+        res = np.matmul(tensor, matrix.transpose(0, 2, 1))
     res = res.reshape((batch,) + (2,) * n_qubits).transpose(plan.inverse)
     if out is not None:
         np.copyto(out.reshape((batch,) + (2,) * n_qubits), res)
@@ -456,24 +457,73 @@ def constant_gate_matrix(name: str, values: "tuple[float, ...]") -> np.ndarray:
     return gate_def(name).matrix(values)
 
 
+#: Bound weight-only op lists retained per circuit, keyed on the weight
+#: vector's bytes.  Optimizer sub-steps that revisit a weight vector --
+#: SPSA's +-c evaluations, parameter-shift's unshifted baseline, repeated
+#: inference over a trained model -- then skip rebinding entirely.
+_WEIGHT_CACHE_SIZE = 8
+
+
+def weights_key(weights: "np.ndarray | None") -> bytes:
+    """Cache key for a weight vector: its float64 bytes (b"" for None)."""
+    if weights is None:
+        return b""
+    return np.asarray(weights, dtype=float).tobytes()
+
+
+class SmallLRU:
+    """Tiny insertion-ordered LRU for per-weight-vector caches.
+
+    Shared by the :class:`BindPlan` weight cache and the gate-fusion
+    static-segment cache (:mod:`repro.compiler.fusion`): dict insertion
+    order doubles as recency, hits re-insert, inserts evict the oldest.
+    """
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value (marked most recently used), or None."""
+        value = self._data.get(key)
+        if value is not None:
+            self._data[key] = self._data.pop(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if len(self._data) >= self.maxsize:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+
 class BindPlan:
     """One-time classification of a circuit's gates for fast rebinding.
 
     Constant gates (no free parameters) are bound exactly once at plan
     construction; each :meth:`bind` call only re-evaluates gates that
-    actually depend on weights or inputs.  Input-dependent values keep
-    whatever shape :meth:`ParamExpr.evaluate` returns -- ``(batch,)``
-    views for input terms, plain scalars otherwise -- instead of being
-    broadcast into materialized per-sample arrays.
+    actually depend on weights or inputs.  Weight-only gates (no input
+    terms) are additionally memoized per weight vector (a small LRU keyed
+    on the weight bytes), so re-binding with unchanged weights is free.
+    Input-dependent values keep whatever shape :meth:`ParamExpr.evaluate`
+    returns -- ``(batch,)`` views for input terms, plain scalars
+    otherwise -- instead of being broadcast into materialized per-sample
+    arrays.
     """
 
-    __slots__ = ("gates_ref", "n_gates", "_entries", "n_constant")
+    __slots__ = ("gates_ref", "n_gates", "_entries", "n_constant",
+                 "n_weight_only", "_weight_cache")
 
     def __init__(self, circuit: Circuit):
         self.gates_ref = circuit.gates
         self.n_gates = len(circuit.gates)
         entries = []
         n_constant = 0
+        n_weight_only = 0
         for gate in circuit.gates:
             if all(expr.is_constant for expr in gate.params):
                 values = tuple(expr.const for expr in gate.params)
@@ -485,8 +535,14 @@ class BindPlan:
                     expr.depends_on_input for expr in gate.params
                 )
                 entries.append((gate, input_dep))
+                if not input_dep:
+                    n_weight_only += 1
         self._entries = entries
         self.n_constant = n_constant
+        self.n_weight_only = n_weight_only
+        # weight bytes -> list of BoundOps for the weight-only entries,
+        # in entry order.
+        self._weight_cache = SmallLRU(_WEIGHT_CACHE_SIZE)
 
     def stale(self, circuit: Circuit) -> bool:
         """True when ``circuit``'s gate list no longer matches this plan."""
@@ -494,6 +550,22 @@ class BindPlan:
             self.gates_ref is not circuit.gates
             or self.n_gates != len(circuit.gates)
         )
+
+    def _weight_only_ops(self, weights: "np.ndarray | None") -> "list[BoundOp]":
+        """Bound ops for the weight-only entries (cached per weight vector)."""
+        key = weights_key(weights)
+        cached = self._weight_cache.get(key)
+        if cached is not None:
+            return cached
+        ops = []
+        for entry in self._entries:
+            if type(entry) is BoundOp or entry[1]:
+                continue
+            gate = entry[0]
+            values = tuple(expr.evaluate(weights, None) for expr in gate.params)
+            ops.append(BoundOp(gate, gate.definition.matrix(values), values))
+        self._weight_cache.put(key, ops)
+        return ops
 
     def bind(
         self,
@@ -506,13 +578,17 @@ class BindPlan:
             if batch is not None and inputs.shape[0] != batch:
                 raise ValueError("batch does not match inputs")
             batch = inputs.shape[0]
+        weight_ops = iter(self._weight_only_ops(weights) if self.n_weight_only else ())
         ops: "list[BoundOp]" = []
         for entry in self._entries:
             if type(entry) is BoundOp:
                 ops.append(entry)
                 continue
             gate, input_dep = entry
-            if input_dep and inputs is None:
+            if not input_dep:
+                ops.append(next(weight_ops))
+                continue
+            if inputs is None:
                 raise ValueError("input-dependent gate but no inputs given")
             values = tuple(
                 expr.evaluate(weights, inputs) for expr in gate.params

@@ -184,9 +184,43 @@ def test_bind_plan_constant_ops_shared_across_binds():
     # h, cx and the constant rz are bound exactly once and shared.
     for i in (0, 3, 5):
         assert ops_a[i] is ops_b[i]
-    # Parameterized gates are rebound per call.
-    for i in (1, 2, 4):
+    # The weight-only rz hits the per-weight-vector cache on the rebind.
+    assert ops_a[2] is ops_b[2]
+    # Input-dependent gates are rebound per call.
+    for i in (1, 4):
         assert ops_a[i] is not ops_b[i]
+
+
+def test_bind_plan_weight_cache_invalidates_on_new_weights():
+    c = _mixed_circuit()
+    inputs = np.array([[0.1, 0.4]])
+    w1 = np.array([0.3, -1.1])
+    w2 = np.array([0.7, -1.1])
+    ops_1 = bind_circuit(c, w1, inputs)
+    ops_2 = bind_circuit(c, w2, inputs)
+    ops_1_again = bind_circuit(c, w1, inputs)
+    # Different weights -> fresh weight-only ops with different matrices.
+    assert ops_1[2] is not ops_2[2]
+    assert np.abs(ops_1[2].matrix - ops_2[2].matrix).max() > 1e-3
+    # Revisiting cached weights (SPSA/parameter-shift pattern) is a hit.
+    assert ops_1_again[2] is ops_1[2]
+    ref = bind_circuit_reference(c, w2, inputs)
+    for f, r in zip(ops_2, ref):
+        assert np.abs(f.matrix - r.matrix).max() < EXACT
+
+
+def test_bind_plan_weight_cache_evicts_oldest():
+    from repro.sim import statevector as sv
+
+    c = Circuit(1).add("rz", 0, ParamExpr.weight(0))
+    plan = bind_plan_for(c)
+    first = np.array([0.0])
+    op_first = plan.bind(first)[0]
+    for k in range(1, sv._WEIGHT_CACHE_SIZE + 1):
+        plan.bind(np.array([float(k)]))
+    assert len(plan._weight_cache) == sv._WEIGHT_CACHE_SIZE
+    # The oldest entry was evicted -> rebinding builds a fresh op.
+    assert plan.bind(first)[0] is not op_first
 
 
 def test_bind_plan_input_values_stay_views():

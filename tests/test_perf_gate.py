@@ -1,0 +1,143 @@
+"""Unit tests for the CI perf-regression gate's comparison logic.
+
+Pure report-vs-report checks -- no timing is performed, so these run in
+the default (tier-1) suite.  The timing-sensitive end of the gate runs
+under ``-m perf`` via the benchmark smoke test.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = (
+    Path(__file__).parent.parent / "benchmarks" / "perf" / "check_regression.py"
+)
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location("check_regression", GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _report(**timings):
+    return {
+        "meta": {"scale": "quick"},
+        "benchmarks": {
+            name: {"fast_s": t} if not isinstance(t, dict) else t
+            for name, t in timings.items()
+        },
+    }
+
+
+def test_compare_reports_flags_slowdowns_only():
+    gate = _load_gate()
+    baseline = _report(forward=0.010, training_step=0.020)
+    fresh = _report(forward=0.015, training_step=0.055)
+    rows = {r["scenario"]: r for r in gate.compare_reports(baseline, fresh, 2.0)}
+    assert not rows["forward"]["regressed"]  # 1.5x is within the 2x bar
+    assert rows["training_step"]["regressed"]  # 2.75x trips it
+    assert rows["training_step"]["ratio"] == pytest.approx(2.75)
+
+
+def test_compare_reports_handles_seconds_key_and_schema_drift():
+    gate = _load_gate()
+    baseline = _report(
+        end_to_end={"seconds": 1.0},
+        removed_scenario=0.5,
+    )
+    fresh = _report(
+        end_to_end={"seconds": 1.2},
+        brand_new_scenario=0.1,
+    )
+    rows = gate.compare_reports(baseline, fresh, 2.0)
+    # Scenarios present on only one side are skipped, not errors.
+    assert [r["scenario"] for r in rows] == ["end_to_end"]
+    assert not rows[0]["regressed"]
+
+
+def test_compare_reports_flags_speedup_collapse_across_machines():
+    """The machine-independent signal: same-host speedup collapsing flags
+    a regression even when absolute wall-clock looks fine (fast machine),
+    and a uniformly slower machine does NOT flag when speedups hold."""
+    gate = _load_gate()
+    baseline = _report(forward={"fast_s": 0.010, "speedup": 10.0})
+    # Faster machine masks a real regression in absolute time...
+    fresh = _report(forward={"fast_s": 0.008, "speedup": 2.0})
+    (row,) = gate.compare_reports(baseline, fresh, 2.0)
+    assert row["regressed"]  # ...but the speedup collapse catches it.
+    # 3x slower machine, speedup intact: only the absolute signal trips,
+    # which is exactly what --soft advisory mode is for.
+    fresh_slow = _report(forward={"fast_s": 0.030, "speedup": 9.5})
+    (row_slow,) = gate.compare_reports(baseline, fresh_slow, 2.0)
+    assert row_slow["regressed"] and row_slow["fresh_speedup"] == 9.5
+
+
+def test_compare_reports_rejects_meaningless_threshold():
+    gate = _load_gate()
+    with pytest.raises(ValueError):
+        gate.compare_reports(_report(), _report(), threshold=1.0)
+
+
+def test_gate_cli_soft_mode_exits_zero(tmp_path, capsys):
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_report(forward=0.010)))
+    fresh.write_text(json.dumps(_report(forward=0.100)))  # 10x slower
+    hard = gate.main(
+        ["--baseline", str(baseline), "--fresh", str(fresh)]
+    )
+    soft = gate.main(
+        ["--baseline", str(baseline), "--fresh", str(fresh), "--soft"]
+    )
+    assert hard == 1
+    assert soft == 0
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert "warning (soft mode)" in out
+
+
+def test_gate_cli_passes_within_threshold(tmp_path, capsys):
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_report(forward=0.010, training_step=0.020)))
+    fresh.write_text(json.dumps(_report(forward=0.012, training_step=0.018)))
+    assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "perf gate passed" in capsys.readouterr().out
+
+
+def test_gate_cli_missing_baseline_is_a_noop(tmp_path):
+    gate = _load_gate()
+    missing = tmp_path / "nope.json"
+    assert gate.main(["--baseline", str(missing)]) == 0
+
+
+def test_gate_cli_fails_when_nothing_is_comparable(tmp_path):
+    """Schema drift that matches zero scenarios must not pass silently --
+    even in --soft mode, since that is breakage, not timing noise."""
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_report(old_name=0.010)))
+    fresh.write_text(json.dumps(_report(new_name=0.010)))
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert gate.main(args) == 1
+    assert gate.main(args + ["--soft"]) == 1
+
+
+def test_committed_baseline_has_gateable_scenarios():
+    """The committed BENCH_engine.json must keep feeding the CI gate."""
+    gate = _load_gate()
+    committed = Path(__file__).parent.parent / "BENCH_engine.json"
+    report = json.loads(committed.read_text())
+    rows = gate.compare_reports(report, report, 2.0)
+    names = {r["scenario"] for r in rows}
+    assert {"forward", "forward_backward", "trajectory_inference",
+            "training_step", "stacked_noise_training",
+            "fused_inference"} <= names
+    assert not any(r["regressed"] for r in rows)
