@@ -1,16 +1,18 @@
 """Fast-execution-engine benchmark harness.
 
 Times the hot paths of the simulator stack -- statevector forward,
-forward + adjoint backward, fused trajectory inference, the batched
-noise-injected *training step* (vs the per-sample reference loop), the
-stacked multi-realization training sweep, gate-fused inference, and a
-short end-to-end training run -- against the retained reference
-implementations, asserts fast-vs-reference numerical equivalence, and
-writes everything to ``BENCH_engine.json``.
+forward + adjoint backward, segment-fused trajectory inference, the
+superoperator-compiled exact noisy density backend, sharded trajectory
+execution, the batched noise-injected *training step* (vs the
+per-sample reference loop), the stacked multi-realization training
+sweep, gate-fused inference, and a short end-to-end training run --
+against the retained reference implementations, asserts
+fast-vs-reference numerical equivalence (bit-identity for sharded vs
+serial trajectories), and writes everything to ``BENCH_engine.json``.
 
 The reference paths (``apply_matrix_reference``, ``bind_circuit_reference``,
 ``run_ops_reference``, ``adjoint_backward_reference``,
-``trajectory_probabilities_reference``,
+``trajectory_probabilities_reference``, ``run_noisy_density_reference``,
 ``QuantumNATModel.loss_and_gradients_reference``) are the
 pre-fast-engine implementations kept in-tree precisely so every
 benchmark run re-records its own baseline on the machine it runs on.
@@ -57,6 +59,10 @@ from repro.core.gradients import (
     forward_with_tape,
 )
 from repro.noise import NoiseModel, readout_matrix
+from repro.noise.density_backend import (
+    run_noisy_density,
+    run_noisy_density_reference,
+)
 from repro.noise.trajectory import (
     trajectory_probabilities,
     trajectory_probabilities_reference,
@@ -81,13 +87,16 @@ SCALES = {
     # tier-2 smoke: seconds, runs inside pytest
     "smoke": dict(batch=8, traj_batch=4, n_trajectories=8, repeats=2,
                   epochs=1, n_train=16, stat_trajectories=64,
-                  train_batch=8, ref_repeats=1, n_realizations=4),
+                  train_batch=8, ref_repeats=1, n_realizations=4,
+                  shard_size=2, shard_workers=2),
     "quick": dict(batch=64, traj_batch=16, n_trajectories=64, repeats=5,
                   epochs=2, n_train=64, stat_trajectories=256,
-                  train_batch=32, ref_repeats=2, n_realizations=8),
+                  train_batch=32, ref_repeats=2, n_realizations=8,
+                  shard_size=16, shard_workers=4),
     "full": dict(batch=128, traj_batch=32, n_trajectories=128, repeats=10,
                  epochs=4, n_train=128, stat_trajectories=1024,
-                 train_batch=64, ref_repeats=3, n_realizations=16),
+                 train_batch=64, ref_repeats=3, n_realizations=16,
+                 shard_size=32, shard_workers=4),
 }
 
 
@@ -255,6 +264,72 @@ def run_benchmarks(
     )
     equiv["trajectory_deterministic_max_err"] = float(np.abs(p_fused - p_ref).max())
 
+    # -- exact noisy density inference (superop engine vs per-Kraus) -------
+    # Hardware model: Pauli channels on every driven gate plus coherent
+    # miscalibration -- the densest channel the engine compiles.
+    t_fast = _best_of(
+        lambda: run_noisy_density(compiled, hardware, weights, traj_inputs),
+        cfg["repeats"],
+    )
+    t_ref = _best_of(
+        lambda: run_noisy_density_reference(
+            compiled, hardware, weights, traj_inputs
+        ),
+        cfg["ref_repeats"],
+    )
+    bench["density_inference"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "batch": traj_batch,
+    }
+    equiv["density_inference_max_err"] = float(
+        np.abs(
+            run_noisy_density(compiled, hardware, weights, traj_inputs)
+            - run_noisy_density_reference(compiled, hardware, weights, traj_inputs)
+        ).max()
+    )
+
+    # -- sharded trajectory execution --------------------------------------
+    # Same chunk layout and per-chunk RNG streams serial vs pooled, so
+    # the outputs must be *bit-identical*; the timing ratio records what
+    # the worker pool buys on this host (thread workers overlap in the
+    # numpy C kernels).
+    shard_kwargs = dict(
+        n_trajectories=cfg["n_trajectories"], shard_size=cfg["shard_size"],
+    )
+    n_chunks = -(-cfg["n_trajectories"] // cfg["shard_size"])
+    t_serial = _best_of(
+        lambda: trajectory_probabilities(
+            compiled, hardware, weights, traj_inputs, traj_batch,
+            rng=2, **shard_kwargs,
+        ),
+        cfg["repeats"],
+    )
+    t_sharded = _best_of(
+        lambda: trajectory_probabilities(
+            compiled, hardware, weights, traj_inputs, traj_batch,
+            rng=2, n_workers=cfg["shard_workers"], **shard_kwargs,
+        ),
+        cfg["repeats"],
+    )
+    bench["sharded_trajectory"] = {
+        "serial_s": t_serial, "fast_s": t_sharded,
+        "shard_speedup": t_serial / t_sharded,
+        "workers": cfg["shard_workers"], "chunks": n_chunks,
+    }
+    p_serial = trajectory_probabilities(
+        compiled, hardware, weights, traj_inputs, traj_batch,
+        rng=2, **shard_kwargs,
+    )
+    p_sharded = trajectory_probabilities(
+        compiled, hardware, weights, traj_inputs, traj_batch,
+        rng=2, n_workers=cfg["shard_workers"], **shard_kwargs,
+    )
+    equiv["sharded_trajectory_max_err"] = float(np.abs(p_serial - p_sharded).max())
+    if not np.array_equal(p_serial, p_sharded):
+        raise AssertionError(
+            "sharded trajectory output is not bit-identical to serial"
+        )
+
     # Stochastic channel: independent samplings agree statistically.
     n_stat = cfg["stat_trajectories"]
     p_fused = trajectory_probabilities(
@@ -399,6 +474,8 @@ def run_benchmarks(
         "adjoint_weight_grad_max_err",
         "adjoint_input_grad_max_err",
         "trajectory_deterministic_max_err",
+        "density_inference_max_err",
+        "sharded_trajectory_max_err",
         "training_step_loss_err",
         "training_step_grad_max_err",
         "fused_inference_max_err",
@@ -432,6 +509,12 @@ def main() -> None:
             print(
                 f"{name:22s} reference {row['reference_s']*1e3:8.2f} ms   "
                 f"fast {row['fast_s']*1e3:8.2f} ms   {row['speedup']:5.2f}x"
+            )
+        elif "shard_speedup" in row:
+            print(
+                f"{name:22s} serial    {row['serial_s']*1e3:8.2f} ms   "
+                f"fast {row['fast_s']*1e3:8.2f} ms   "
+                f"{row['shard_speedup']:5.2f}x ({row['workers']} workers)"
             )
         else:
             print(f"{name:22s} {row['seconds']:.2f} s")

@@ -33,6 +33,7 @@ def test_engine_smoke(tmp_path):
 
     bench = report["benchmarks"]
     for key in ("forward", "forward_backward", "trajectory_inference",
+                "density_inference", "sharded_trajectory",
                 "training_step", "stacked_noise_training",
                 "fused_inference", "end_to_end_training"):
         assert key in bench
@@ -44,15 +45,21 @@ def test_engine_smoke(tmp_path):
     assert equiv["forward_max_err"] < 1e-10
     assert equiv["adjoint_weight_grad_max_err"] < 1e-10
     assert equiv["trajectory_deterministic_max_err"] < 1e-10
+    assert equiv["density_inference_max_err"] < 1e-10
     assert equiv["training_step_loss_err"] < 1e-10
     assert equiv["training_step_grad_max_err"] < 1e-10
     assert equiv["fused_inference_max_err"] < 1e-10
+    # Sharded trajectories are bit-identical to serial, not just close.
+    assert equiv["sharded_trajectory_max_err"] == 0.0
 
     # Perf regression tripwire: the fast paths must not fall behind the
     # reference implementations (real speedups are far higher; 1.0 keeps
     # the smoke robust to noisy CI machines).
     assert bench["forward_backward"]["speedup"] > 1.0
     assert bench["trajectory_inference"]["speedup"] > 1.0
+    # The compiled superoperator density engine's acceptance bar is
+    # >= 10x (really ~40x; 3.0 absorbs CI noise on tiny smoke sizes).
+    assert bench["density_inference"]["speedup"] > 3.0
     # The acceptance bar for the batched training engine: >= 2x over the
     # per-sample reference loop (really ~20x; 2.0 absorbs CI noise).
     assert bench["training_step"]["speedup"] > 2.0

@@ -1,4 +1,22 @@
-"""Quantum circuit compiler: lowering, layout, routing, cleanup, transpile."""
+"""Quantum circuit compiler: lowering, layout, routing, cleanup, transpile.
+
+Beyond the transpile pipeline, the package hosts two execution-oriented
+compilation passes:
+
+* **gate fusion** (:mod:`repro.compiler.fusion`): merges adjacent bound
+  gate runs into single matrices for tape-free statevector inference,
+  with per-weight-vector caching of the static segments;
+* **superoperator compilation** (:mod:`repro.compiler.superop`): for the
+  exact noisy density backend, precompiles each bound gate *together
+  with* its Pauli error channel and coherent miscalibration into one
+  cached ``(4**k, 4**k)`` superoperator per site, then fuses adjacent
+  sites on overlapping supports into segment operators -- channel
+  composition is plain matrix multiplication in superoperator form, so
+  noise fuses as freely as unitaries.  ``run_noisy_density`` executes
+  the compiled stream in one transpose + GEMM pass per operator
+  (:func:`repro.sim.density.apply_superop_to_density`), ~10x+ over the
+  retained per-Kraus reference.
+"""
 
 from repro.compiler.decompositions import (
     BASIS_GATES,
@@ -23,8 +41,16 @@ from repro.compiler.cleanup import cleanup
 from repro.compiler.fusion import (
     FusedOp,
     FusionPlan,
+    constant_op,
     fuse_bound_ops,
     fusion_plan_for,
+)
+from repro.compiler.superop import (
+    SuperOp,
+    SuperopPlan,
+    embed_superop,
+    fuse_superops,
+    superop_plan_for,
 )
 from repro.compiler.optimize import (
     cancel_inverse_pairs,
@@ -52,8 +78,14 @@ __all__ = [
     "cleanup",
     "FusedOp",
     "FusionPlan",
+    "constant_op",
     "fuse_bound_ops",
     "fusion_plan_for",
+    "SuperOp",
+    "SuperopPlan",
+    "embed_superop",
+    "fuse_superops",
+    "superop_plan_for",
     "cancel_inverse_pairs",
     "merge_rotations",
     "optimize_circuit",

@@ -12,8 +12,14 @@ Fusion must NOT be used for:
 
 * differentiable forwards -- the adjoint backward pass needs the
   per-gate tape (and per-parameter derivative matrices);
-* noisy gate-insertion / trajectory sweeps -- error gates are sampled
-  *per original gate site*, and merging sites would change the channel.
+* noisy sweeps *across error-insertion points* -- error gates are
+  sampled per original gate site, so a fused run may never swallow a
+  stochastic insertion point.  Runs that stop exactly at each site are
+  fine: the trajectory engine's segment plan
+  (:class:`repro.noise.trajectory._SegmentPlan`) partitions the gate
+  stream at Pauli sites and feeds each constant segment -- including
+  the deterministic coherent-miscalibration rotations, wrapped via
+  :func:`constant_op` -- through :func:`fuse_bound_ops`.
 
 :class:`FusionPlan` adds a per-circuit cache layer for repeated
 inference over the same weights (evaluation loops, SPSA/parameter-shift
@@ -47,6 +53,16 @@ class FusedOp:
         self.matrix = matrix
         self.batched = matrix.ndim == 3
         self.n_merged = n_merged
+
+
+def constant_op(qubits: "tuple[int, ...]", matrix: np.ndarray) -> FusedOp:
+    """Wrap a constant matrix as a fusable op with no gate bookkeeping.
+
+    Lets callers splice fixed unitaries that are not circuit gates --
+    e.g. the noise model's deterministic coherent-miscalibration
+    rotations -- into a run handed to :func:`fuse_bound_ops`.
+    """
+    return FusedOp(tuple(qubits), matrix, 1)
 
 
 def _embed(matrix: np.ndarray, qubits, support) -> np.ndarray:
@@ -129,6 +145,32 @@ def fuse_bound_ops(ops: list, max_qubits: int = 2) -> list:
 _FUSION_CACHE_SIZE = 4
 
 
+def static_dynamic_layout(circuit) -> "list[tuple]":
+    """Partition a circuit into fusable spans and per-call singletons.
+
+    Returns ``("static", start, end)`` spans (constant or weight-only
+    gates -- cacheable per weight vector) and ``("dynamic", i, i + 1)``
+    singletons (input-dependent encoder gates -- re-bound per call), in
+    circuit order.  Shared by :class:`FusionPlan` and the superoperator
+    plan (:class:`repro.compiler.superop.SuperopPlan`) so the two passes
+    can never disagree on what is cacheable.
+    """
+    layout: "list[tuple]" = []
+    start = None
+    for i, gate in enumerate(circuit.gates):
+        input_dep = any(expr.depends_on_input for expr in gate.params)
+        if input_dep:
+            if start is not None:
+                layout.append(("static", start, i))
+                start = None
+            layout.append(("dynamic", i, i + 1))
+        elif start is None:
+            start = i
+    if start is not None:
+        layout.append(("static", start, len(circuit.gates)))
+    return layout
+
+
 class FusionPlan:
     """Per-circuit fusion with caching of the weight-static structure.
 
@@ -144,22 +186,7 @@ class FusionPlan:
 
     def __init__(self, circuit):
         self.bind_plan = bind_plan_for(circuit)
-        # Layout: ("static", start, end) spans and ("dynamic", index)
-        # singletons, in circuit order.
-        layout: "list[tuple]" = []
-        start = None
-        for i, gate in enumerate(circuit.gates):
-            input_dep = any(expr.depends_on_input for expr in gate.params)
-            if input_dep:
-                if start is not None:
-                    layout.append(("static", start, i))
-                    start = None
-                layout.append(("dynamic", i, i + 1))
-            elif start is None:
-                start = i
-        if start is not None:
-            layout.append(("static", start, len(circuit.gates)))
-        self._layout = layout
+        self._layout = static_dynamic_layout(circuit)
         # weight bytes -> fused ops per static span, in layout order.
         self._cache = SmallLRU(_FUSION_CACHE_SIZE)
 

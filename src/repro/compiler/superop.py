@@ -1,0 +1,302 @@
+"""Superoperator compilation: bound gates + noise channels as one matrix.
+
+The exact noisy density backend ("evaluation with noise model", paper
+Table 11) historically walked every gate through a per-Kraus Python
+loop: one ``U rho U^dag`` for the gate, then -- per operand qubit -- four
+more round trips for the Pauli channel and another for the coherent
+miscalibration rotation, each paying two transpose+contract passes over
+the density.  This pass precompiles all of that away:
+
+* **Per-site superoperators**: every bound gate is combined with its
+  Pauli channel(s) and coherent miscalibration into a single
+  ``(4**k, 4**k)`` superoperator on the gate's support (k <= 2), in the
+  :func:`~repro.sim.density.unitary_superop` index convention.  Channel
+  factors depend only on the noise model, so they are built once per
+  plan; gate factors follow the bind-plan classification (constant /
+  weight-only / input-dependent).
+* **Segment fusion**: runs of per-site superoperators whose combined
+  support stays within two qubits are merged into fused segment
+  operators, mirroring :mod:`repro.compiler.fusion` -- a ~200-gate
+  transpiled QNN block collapses to a few dozen matrices.
+* **Caching**: fused static segments (constant or weight-only gates) are
+  retained per weight vector in a small LRU; only input-dependent
+  encoder sites are rebuilt per call, as batched superoperators.
+
+The compiled stream applies through
+:func:`repro.sim.density.apply_superop_to_density` (one transpose + one
+GEMM per fused operator); ``run_noisy_density_reference`` retains the
+per-Kraus loop and the equivalence suite holds the two to < 1e-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.passes import CompiledCircuit
+    from repro.noise.model import NoiseModel
+from repro.sim.density import kraus_superop, superop_is_diagonal, unitary_superop
+from repro.sim.kraus import pauli_channel
+from repro.sim.statevector import SmallLRU, bind_plan_for, weights_key
+
+_EYE2 = np.eye(2, dtype=complex)
+
+#: Fused static superop segments retained per plan, keyed on weight bytes.
+_SUPEROP_CACHE_SIZE = 4
+
+#: Compiled plans retained per circuit (distinct noise model / factor pairs).
+_PLAN_CACHE_SIZE = 8
+
+
+def cached_noise_plan(circuit, attr: str, noise_model, noise_factor, build):
+    """Per-circuit cache of noise-model-keyed execution plans.
+
+    The shared memoization policy of the compiled noisy backends
+    (:func:`superop_plan_for` here, the trajectory segment plan in
+    :mod:`repro.noise.trajectory`): rows live in the ``attr`` list on
+    the circuit, match by noise-model identity plus factor, invalidate
+    through the plan's ``bind_plan.stale`` check when the circuit's gate
+    list changes, and trim FIFO at :data:`_PLAN_CACHE_SIZE`.
+    """
+    rows = getattr(circuit, attr, None)
+    if rows is None:
+        rows = []
+        setattr(circuit, attr, rows)
+    stale = [row for row in rows if row[2].bind_plan.stale(circuit)]
+    for row in stale:
+        rows.remove(row)
+    for model_ref, factor, plan in rows:
+        if model_ref is noise_model and factor == noise_factor:
+            return plan
+    plan = build()
+    rows.append((noise_model, noise_factor, plan))
+    if len(rows) > _PLAN_CACHE_SIZE:
+        del rows[0]
+    return plan
+
+
+class SuperOp:
+    """A compiled channel ready for ``apply_superop_to_density``.
+
+    ``matrix`` is ``(4**k, 4**k)`` shared or ``(batch, 4**k, 4**k)``
+    per-sample; ``diagonal`` is precomputed so the density kernel's
+    structured fast path never re-scans the matrix per call.
+    """
+
+    __slots__ = ("qubits", "matrix", "batched", "diagonal", "n_merged")
+
+    def __init__(self, qubits, matrix, n_merged: int = 1):
+        self.qubits = tuple(qubits)
+        self.matrix = matrix
+        self.batched = matrix.ndim == 3
+        self.diagonal = superop_is_diagonal(matrix)
+        self.n_merged = n_merged
+
+
+def embed_superop(superop: np.ndarray, qubits, support) -> np.ndarray:
+    """Expand a superoperator from ``qubits`` onto ``support``.
+
+    Both are qubit tuples in the engine convention (first entry is the
+    least significant bit of the operator index).  Handles the same-pair
+    reversal and 1q-into-2q cases -- exactly the supports segment fusion
+    can produce -- for shared and per-sample (batched) matrices.
+    """
+    if tuple(qubits) == tuple(support):
+        return superop
+    batched = superop.ndim == 3
+    if len(qubits) == 2:
+        # Same pair, reversed order: swap the bit roles of the row and
+        # column indices on both sides of the superoperator.
+        if batched:
+            t = superop.reshape((-1,) + (2,) * 8)
+            t = t.transpose(0, 2, 1, 4, 3, 6, 5, 8, 7)
+            return np.ascontiguousarray(t.reshape(-1, 16, 16))
+        t = superop.reshape((2,) * 8)
+        return np.ascontiguousarray(
+            t.transpose(1, 0, 3, 2, 5, 4, 7, 6).reshape(16, 16)
+        )
+    (q,) = qubits
+    # The (16, 16) tensor axes are [r1, r0, c1, c0] on each side; a 1q
+    # superoperator touches (r0, c0) on the low bit or (r1, c1) on the
+    # high bit, with deltas on the untouched pair.
+    if batched:
+        t = superop.reshape((-1,) + (2,) * 4)
+        if q == support[0]:
+            full = np.einsum("ae,cg,zbdfh->zabcdefgh", _EYE2, _EYE2, t)
+        else:
+            full = np.einsum("bf,dh,zaceg->zabcdefgh", _EYE2, _EYE2, t)
+        return np.ascontiguousarray(full.reshape(-1, 16, 16))
+    t = superop.reshape((2,) * 4)
+    if q == support[0]:
+        full = np.einsum("ae,cg,bdfh->abcdefgh", _EYE2, _EYE2, t)
+    else:
+        full = np.einsum("bf,dh,aceg->abcdefgh", _EYE2, _EYE2, t)
+    return np.ascontiguousarray(full.reshape(16, 16))
+
+
+def _materialize(run: "list[SuperOp]", support: "tuple[int, ...]") -> SuperOp:
+    """Collapse a superoperator run into one channel on its support."""
+    if len(run) == 1:
+        return run[0]
+    matrix = embed_superop(run[0].matrix, run[0].qubits, support)
+    for op in run[1:]:
+        # The later channel acts after, i.e. multiplies from the left.
+        matrix = np.matmul(embed_superop(op.matrix, op.qubits, support), matrix)
+    return SuperOp(support, matrix, sum(op.n_merged for op in run))
+
+
+def fuse_superops(ops: "list[SuperOp]", max_qubits: int = 2) -> "list[SuperOp]":
+    """Greedy left-to-right fusion of adjacent superoperator runs.
+
+    The superoperator analogue of
+    :func:`repro.compiler.fusion.fuse_bound_ops`: consecutive channels
+    whose combined support stays within ``max_qubits`` merge into one
+    matrix.  Channel composition is plain matrix multiplication in
+    superoperator form, so noise channels fuse as freely as unitaries --
+    no Kraus-product explosion.
+    """
+    if not 1 <= max_qubits <= 2:
+        raise ValueError("max_qubits must be 1 or 2")
+    fused: "list[SuperOp]" = []
+    run: "list[SuperOp]" = []
+    support: "set[int]" = set()
+    for op in ops:
+        qubits = set(op.qubits)
+        if run and len(support | qubits) <= max_qubits:
+            run.append(op)
+            support |= qubits
+            continue
+        if run:
+            fused.append(_materialize(run, tuple(sorted(support))))
+        run, support = [op], qubits
+    if run:
+        fused.append(_materialize(run, tuple(sorted(support))))
+    return fused
+
+
+def _site_channel(gate, phys: "tuple[int, ...]", noise_model) -> "np.ndarray | None":
+    """The constant noise superoperator following one gate site, or None.
+
+    Composes -- in the reference backend's application order -- the Pauli
+    channel on each operand qubit, then the coherent miscalibration
+    rotation on each driven operand, all embedded onto the gate's own
+    support.  Depends only on the (scaled) noise model, never on bound
+    parameters, so it is computed once per plan.
+    """
+    from repro.noise.trajectory import _coherent_unitary
+
+    channel: "np.ndarray | None" = None
+    for local_q, (_phys_q, error) in zip(
+        gate.qubits, noise_model.gate_errors(gate.name, phys)
+    ):
+        if error.total <= 0:
+            continue
+        one = kraus_superop(pauli_channel(error.px, error.py, error.pz))
+        one = embed_superop(one, (local_q,), gate.qubits)
+        channel = one if channel is None else np.matmul(one, channel)
+    if gate.name not in ("rz", "id"):
+        for local_q, phys_q in zip(gate.qubits, phys):
+            coherent = noise_model.coherent_for(phys_q)
+            if coherent is None:
+                continue
+            one = unitary_superop(_coherent_unitary(*coherent))
+            one = embed_superop(one, (local_q,), gate.qubits)
+            channel = one if channel is None else np.matmul(one, channel)
+    return channel
+
+
+class SuperopPlan:
+    """Compiled per-site superoperators for one (circuit, noise model).
+
+    Construction precomputes every gate site's noise channel and the
+    static/dynamic layout; :meth:`superops` binds the circuit (through
+    the shared bind cache), attaches the channels, and fuses static
+    spans -- cached per weight vector -- while input-dependent encoder
+    sites pass through as per-sample batched superoperators.
+    """
+
+    __slots__ = ("bind_plan", "_channels", "_layout", "_cache")
+
+    def __init__(
+        self,
+        compiled: "CompiledCircuit",
+        noise_model: "NoiseModel",
+        noise_factor: float = 1.0,
+    ):
+        circuit = compiled.circuit
+        self.bind_plan = bind_plan_for(circuit)
+        scaled = (
+            noise_model.scaled(noise_factor)
+            if noise_factor != 1.0
+            else noise_model
+        )
+        self._channels = [
+            _site_channel(
+                gate,
+                tuple(compiled.physical_qubits[q] for q in gate.qubits),
+                scaled,
+            )
+            for gate in circuit.gates
+        ]
+        from repro.compiler.fusion import static_dynamic_layout
+
+        self._layout = static_dynamic_layout(circuit)
+        self._cache = SmallLRU(_SUPEROP_CACHE_SIZE)
+
+    def _site(self, op, index: int) -> SuperOp:
+        """One bound gate's superoperator with its noise channel attached."""
+        matrix = unitary_superop(op.matrix)
+        channel = self._channels[index]
+        if channel is not None:
+            matrix = np.matmul(channel, matrix)
+        return SuperOp(op.qubits, matrix)
+
+    def _static_segments(self, ops: list, weights) -> "list[list[SuperOp]]":
+        key = weights_key(weights)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        segments = [
+            fuse_superops([self._site(ops[i], i) for i in range(start, end)])
+            for kind, start, end in self._layout
+            if kind == "static"
+        ]
+        self._cache.put(key, segments)
+        return segments
+
+    def superops(
+        self,
+        weights: "np.ndarray | None" = None,
+        inputs: "np.ndarray | None" = None,
+        batch: "int | None" = None,
+    ) -> "list[SuperOp]":
+        """The compiled channel stream for one noisy-inference call."""
+        ops = self.bind_plan.bind(weights, inputs, batch)
+        segments = iter(self._static_segments(ops, weights))
+        out: "list[SuperOp]" = []
+        for kind, start, _end in self._layout:
+            if kind == "static":
+                out.extend(next(segments))
+            else:
+                out.append(self._site(ops[start], start))
+        return out
+
+
+def superop_plan_for(
+    compiled: "CompiledCircuit",
+    noise_model: "NoiseModel",
+    noise_factor: float = 1.0,
+) -> SuperopPlan:
+    """The cached :class:`SuperopPlan` for a compiled circuit + model.
+
+    Plans are memoized on the circuit (one row per distinct
+    ``(noise model, factor)`` pair, matched by identity, bounded FIFO)
+    and rebuilt when the circuit's gate list goes stale -- the same
+    invalidation policy as the bind and fusion plans.
+    """
+    return cached_noise_plan(
+        compiled.circuit, "_superop_plans", noise_model, noise_factor,
+        lambda: SuperopPlan(compiled, noise_model, noise_factor),
+    )

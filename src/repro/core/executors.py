@@ -69,6 +69,7 @@ def make_real_qc_executor(
     shots: "int | None" = 8192,
     rng: "int | np.random.Generator | None" = None,
     n_trajectories: int = 32,
+    n_workers: int = 0,
 ):
     """The 'real QC' surrogate for a model's device.
 
@@ -76,7 +77,8 @@ def make_real_qc_executor(
     the faithful emulation is the *exact* noisy channel (density matrix,
     drifted hardware noise model) plus multinomial shot noise.  For wide
     circuits where density simulation is infeasible (10-qubit models),
-    falls back to Monte-Carlo Pauli trajectories.
+    falls back to Monte-Carlo Pauli trajectories; ``n_workers`` shards
+    their chunks across a worker pool (bit-identical to serial).
     """
     from repro.noise.density_backend import MAX_DENSITY_QUBITS
 
@@ -85,7 +87,8 @@ def make_real_qc_executor(
     if widest <= MAX_DENSITY_QUBITS:
         return DensityEvalExecutor(device.hardware_model, shots=shots, rng=rng)
     return TrajectoryEvalExecutor(
-        device.hardware_model, n_trajectories=n_trajectories, shots=shots, rng=rng
+        device.hardware_model, n_trajectories=n_trajectories, shots=shots,
+        rng=rng, n_workers=n_workers,
     )
 
 
@@ -94,6 +97,7 @@ def make_noise_model_executor(
     shots: "int | None" = None,
     rng: "int | np.random.Generator | None" = None,
     n_trajectories: int = 32,
+    n_workers: int = 0,
 ):
     """Evaluation under the *published* noise model (paper Table 11)."""
     from repro.noise.density_backend import MAX_DENSITY_QUBITS
@@ -103,7 +107,8 @@ def make_noise_model_executor(
     if widest <= MAX_DENSITY_QUBITS:
         return DensityEvalExecutor(device.noise_model, shots=shots, rng=rng)
     return TrajectoryEvalExecutor(
-        device.noise_model, n_trajectories=n_trajectories, shots=shots, rng=rng
+        device.noise_model, n_trajectories=n_trajectories, shots=shots,
+        rng=rng, n_workers=n_workers,
     )
 
 
@@ -265,7 +270,13 @@ class GateInsertionExecutor:
 
 
 class DensityEvalExecutor:
-    """Exact noisy-channel inference via density matrices (no gradients)."""
+    """Exact noisy-channel inference via density matrices (no gradients).
+
+    ``engine`` selects the density backend: ``"superop"`` (default) runs
+    the compiled superoperator stream of :mod:`repro.compiler.superop`;
+    ``"reference"`` the retained per-Kraus baseline.  The two agree to
+    < 1e-10 (enforced by the equivalence suite and the perf harness).
+    """
 
     differentiable = False
 
@@ -275,11 +286,17 @@ class DensityEvalExecutor:
         noise_factor: float = 1.0,
         shots: "int | None" = None,
         rng: "int | np.random.Generator | None" = None,
+        engine: str = "superop",
     ):
+        if engine not in ("superop", "reference"):
+            raise ValueError(
+                f"engine must be 'superop' or 'reference', got {engine!r}"
+            )
         self.noise_model = noise_model
         self.noise_factor = noise_factor
         self.shots = shots
         self.rng = as_rng(rng)
+        self.engine = engine
 
     def forward(
         self,
@@ -295,6 +312,7 @@ class DensityEvalExecutor:
             noise_factor=self.noise_factor,
             shots=self.shots,
             rng=self.rng,
+            engine=self.engine,
         )
         return expectations, None
 
@@ -303,7 +321,16 @@ class DensityEvalExecutor:
 
 
 class TrajectoryEvalExecutor:
-    """'Real QC' surrogate: drifted noise + trajectories + shot sampling."""
+    """'Real QC' surrogate: drifted noise + trajectories + shot sampling.
+
+    ``n_workers > 0`` shards trajectory chunks across a
+    ``shard_backend`` pool ("thread" or "process"); chunk layout and
+    per-chunk RNG streams never depend on the worker count, so sharded
+    output is bit-identical to the serial run for a fixed seed.
+    ``shard_size`` overrides the default trajectories-per-chunk
+    granularity (16) -- runs with ``n_trajectories`` above it have
+    work to distribute out of the box.
+    """
 
     differentiable = False
 
@@ -314,12 +341,24 @@ class TrajectoryEvalExecutor:
         shots: "int | None" = 8192,
         noise_factor: float = 1.0,
         rng: "int | np.random.Generator | None" = None,
+        n_workers: int = 0,
+        shard_size: "int | None" = None,
+        shard_backend: str = "thread",
     ):
+        if shard_backend not in ("thread", "process"):
+            raise ValueError(
+                f"shard_backend must be 'thread' or 'process', got {shard_backend!r}"
+            )
+        if shard_size is not None and int(shard_size) < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         self.noise_model = noise_model
         self.n_trajectories = n_trajectories
         self.shots = shots
         self.noise_factor = noise_factor
         self.rng = as_rng(rng)
+        self.n_workers = n_workers
+        self.shard_size = shard_size
+        self.shard_backend = shard_backend
 
     def forward(
         self,
@@ -336,6 +375,9 @@ class TrajectoryEvalExecutor:
             shots=self.shots,
             noise_factor=self.noise_factor,
             rng=self.rng,
+            n_workers=self.n_workers,
+            shard_size=self.shard_size,
+            shard_backend=self.shard_backend,
         )
         return expectations, None
 

@@ -13,7 +13,13 @@ owns a QNN compiled for a device and runs the three-stage pipeline:
 * inference: the same classical pipeline over any evaluation backend
   (noise-free / density "noise model" / trajectory "real QC"), using the
   *test batch's own statistics* for normalization (or fixed validation
-  statistics, Table 13).
+  statistics, Table 13).  Both noisy backends run compiled: the density
+  executor executes the superoperator stream of
+  :mod:`repro.compiler.superop` (gate + channel as one cached matrix per
+  fused segment) and the trajectory executor the segment-fused sweep of
+  :mod:`repro.noise.trajectory`, optionally sharded across a worker pool
+  (``TrajectoryEvalExecutor.n_workers`` /
+  ``TrainConfig.trajectory_workers`` -- bit-identical to serial).
 
 Per the paper, normalization/quantization are applied between blocks but
 *not* after the last block of multi-block models; single-block ("fully
@@ -465,9 +471,10 @@ class QuantumNATModel:
         """Run the inference pipeline; returns logits.
 
         ``executor`` defaults to noise-free simulation; pass a
-        :class:`DensityEvalExecutor` ("noise model") or
-        :class:`TrajectoryEvalExecutor` ("real QC") for noisy inference.
-        Normalization uses the batch's own statistics unless
+        :class:`DensityEvalExecutor` ("noise model", superoperator-
+        compiled exact channel) or :class:`TrajectoryEvalExecutor`
+        ("real QC", segment-fused and optionally sharded) for noisy
+        inference.  Normalization uses the batch's own statistics unless
         :attr:`fixed_stats` is set (validation-statistics mode).
 
         Executors exposing ``forward_inference`` (noise-free simulation)

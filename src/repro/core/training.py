@@ -30,12 +30,18 @@ class TrainConfig:
     #: "reference" loops per-sample through the retained baseline
     #: kernels (equivalence checks and perf baselines only).
     engine: str = "fast"
+    #: > 0 shards trajectory-backed validation executors across that many
+    #: workers (`TrajectoryEvalExecutor.n_workers`); sharded evaluation
+    #: is bit-identical to serial, so this is purely a throughput knob.
+    trajectory_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.engine not in ("fast", "reference"):
             raise ValueError(
                 f"engine must be 'fast' or 'reference', got {self.engine!r}"
             )
+        if self.trajectory_workers < 0:
+            raise ValueError("trajectory_workers must be >= 0")
 
 
 @dataclass
@@ -83,6 +89,38 @@ def train(
     selection as the paper does for its (T, levels) grid search).
     """
     config = config or TrainConfig()
+    shard_restore = None
+    if (
+        config.trajectory_workers > 0
+        and valid_executor is not None
+        and hasattr(valid_executor, "n_workers")
+    ):
+        # Engine switch: shard the validation executor's trajectory
+        # chunks for the duration of this run.  Bit-identical to serial,
+        # so model selection is unaffected -- epochs just validate
+        # faster; the caller's executor is restored on exit.
+        shard_restore = valid_executor.n_workers
+        valid_executor.n_workers = config.trajectory_workers
+    try:
+        return _train_loop(
+            model, train_x, train_y, valid_x, valid_y, config,
+            valid_executor, initial_weights,
+        )
+    finally:
+        if shard_restore is not None:
+            valid_executor.n_workers = shard_restore
+
+
+def _train_loop(
+    model: QuantumNATModel,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    valid_x: np.ndarray,
+    valid_y: np.ndarray,
+    config: TrainConfig,
+    valid_executor: "object | None",
+    initial_weights: "np.ndarray | None",
+) -> TrainResult:
     rng = as_rng(config.seed)
     if initial_weights is None:
         weights = model.qnn.init_weights(rng, config.weight_init_scale)

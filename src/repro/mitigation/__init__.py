@@ -17,6 +17,7 @@ from repro.mitigation.measurement import (
 )
 from repro.mitigation.zne import (
     achieved_scale,
+    cached_fold,
     exponential_zero,
     fold_circuit,
     linear_zero,
@@ -30,6 +31,7 @@ __all__ = [
     "rescale_to_extrapolated_std",
     "ExtrapolationResult",
     "fold_circuit",
+    "cached_fold",
     "achieved_scale",
     "linear_zero",
     "richardson_zero",

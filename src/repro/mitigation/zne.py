@@ -62,6 +62,31 @@ def achieved_scale(circuit: Circuit, folded: Circuit) -> float:
     return len(folded) / len(circuit)
 
 
+def cached_fold(circuit: Circuit, scale: float) -> Circuit:
+    """:func:`fold_circuit` memoized on the circuit, per scale.
+
+    Repeated ZNE sweeps over the same circuit then reuse the *same*
+    folded circuit objects -- which is what lets the execution-side
+    caches attached to them (statevector bind plans, trajectory segment
+    plans, density superoperator plans) survive across calls instead of
+    being rebuilt per sweep.  Staleness follows the bind-plan
+    convention: entries are invalidated when the circuit's gate *list*
+    (identity or length) changes, not just its length.
+    """
+    cache = getattr(circuit, "_fold_cache", None)
+    if cache is None:
+        cache = circuit._fold_cache = {}
+    key = float(scale)
+    entry = cache.get(key)
+    if entry is not None:
+        gates_ref, n_gates, folded = entry
+        if gates_ref is circuit.gates and n_gates == len(circuit.gates):
+            return folded
+    folded = fold_circuit(circuit, scale)
+    cache[key] = (circuit.gates, len(circuit.gates), folded)
+    return folded
+
+
 # -- extrapolators -----------------------------------------------------------------
 
 
@@ -164,7 +189,11 @@ def zne_expectations(
     realized = []
     results = []
     for scale in scales:
-        folded = fold_circuit(circuit, scale)
+        # Folded circuits are memoized per (scale, length): repeated ZNE
+        # sweeps hand the runner identical circuit objects, so the noisy
+        # backends' per-circuit plans (segment fusion, superoperators)
+        # are reused across every fold of every call.
+        folded = cached_fold(circuit, scale)
         realized.append(achieved_scale(circuit, folded))
         results.append(np.asarray(run(folded), dtype=float))
     values = np.stack(results)

@@ -26,7 +26,11 @@ from repro.noise.trajectory import (
     trajectory_probabilities,
     trajectory_probabilities_reference,
 )
-from repro.noise.density_backend import run_noisy_density, MAX_DENSITY_QUBITS
+from repro.noise.density_backend import (
+    run_noisy_density,
+    run_noisy_density_reference,
+    MAX_DENSITY_QUBITS,
+)
 from repro.noise.relaxation import (
     QubitRelaxation,
     noise_model_from_relaxation,
@@ -57,6 +61,7 @@ __all__ = [
     "trajectory_probabilities",
     "trajectory_probabilities_reference",
     "run_noisy_density",
+    "run_noisy_density_reference",
     "MAX_DENSITY_QUBITS",
     "QubitRelaxation",
     "relaxation_pauli_error",

@@ -5,6 +5,19 @@ every compiled gate applies as a unitary followed by the noise model's
 Pauli channel on its operand qubits; readout confusion mixes the final
 joint probabilities.  Exact (no sampling), but cost grows as 4**n_qubits,
 so it is reserved for the <= ~8-qubit compact circuits.
+
+Two engines share the measurement tail:
+
+* the default ``"superop"`` engine runs the stream compiled by
+  :mod:`repro.compiler.superop` -- each gate site's unitary, Pauli
+  channel(s) and coherent miscalibration collapse into one cached
+  superoperator, adjacent sites fuse into segment operators, and every
+  fused operator applies in a single transpose + GEMM pass
+  (:func:`repro.sim.density.apply_superop_to_density`);
+* :func:`run_noisy_density_reference` retains the original per-Kraus
+  loop (two passes per Kraus operator, eight per Pauli channel site) as
+  the numerical baseline -- the equivalence suite and the perf harness
+  hold the two to < 1e-10.
 """
 
 from __future__ import annotations
@@ -17,42 +30,121 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.passes import CompiledCircuit
 from repro.noise.model import NoiseModel
 from repro.noise.readout import apply_readout_to_joint_probabilities
+# Shared cached miscalibration rotation: one lru_cache entry per (ey, ez)
+# pair process-wide, instead of rebuilding RZ @ RY per gate per call.
+from repro.noise.trajectory import _coherent_unitary
 from repro.sim.density import (
     apply_kraus_to_density,
+    apply_superop_to_density,
     apply_unitary_to_density,
     density_probabilities,
     zero_density,
 )
 from repro.sim.kraus import pauli_channel
 from repro.sim.statevector import batched_multinomial, z_signs
+from repro.utils.rng import as_rng
 
 #: Above this compact width, refuse and let the caller use trajectories.
 MAX_DENSITY_QUBITS = 8
 
 
-def _coherent_unitary(ey: float, ez: float) -> "np.ndarray":
-    """RZ(ez) @ RY(ey): the systematic post-gate miscalibration rotation."""
-    from repro.sim.gates import gate_matrix
+def _measured_expectations(
+    probs: np.ndarray,
+    compiled: "CompiledCircuit",
+    noise_model: NoiseModel,
+    shots: "int | None",
+    rng: "int | np.random.Generator | None",
+) -> np.ndarray:
+    """Readout confusion + (optional) shot sampling, in logical order.
 
-    return gate_matrix("rz", (ez,)) @ gate_matrix("ry", (ey,))
+    Shared tail of both density engines.  The shots path threads the
+    caller's RNG through :func:`~repro.utils.rng.as_rng` -- matching the
+    trajectory backend -- so seeded callers get reproducible counts.
+    """
+    n = compiled.circuit.n_qubits
+    readout = np.stack(
+        [noise_model.readout_for(p) for p in compiled.physical_qubits]
+    )
+    probs = apply_readout_to_joint_probabilities(probs, readout)
+    if shots is None:
+        expectations = probs @ z_signs(n).T
+    else:
+        rng = as_rng(rng)
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        counts = batched_multinomial(rng, shots, probs)
+        expectations = (counts / shots) @ z_signs(n).T
+    return expectations[:, list(compiled.measure_qubits)]
+
+
+def _check_width(compiled: "CompiledCircuit") -> int:
+    n = compiled.circuit.n_qubits
+    if n > MAX_DENSITY_QUBITS:
+        raise ValueError(
+            f"{n}-qubit density simulation too large; use trajectories"
+        )
+    return n
 
 
 def run_noisy_density(
-    compiled: CompiledCircuit,
+    compiled: "CompiledCircuit",
     noise_model: NoiseModel,
     weights: "np.ndarray | None" = None,
     inputs: "np.ndarray | None" = None,
     batch: int = 1,
     noise_factor: float = 1.0,
     shots: "int | None" = None,
-    rng: "np.random.Generator | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    engine: str = "superop",
 ) -> np.ndarray:
-    """Exact noisy per-qubit <Z> in logical order (optionally shot-sampled)."""
-    n = compiled.circuit.n_qubits
-    if n > MAX_DENSITY_QUBITS:
-        raise ValueError(
-            f"{n}-qubit density simulation too large; use trajectories"
+    """Exact noisy per-qubit <Z> in logical order (optionally shot-sampled).
+
+    ``engine="superop"`` (default) executes the compiled superoperator
+    stream; ``engine="reference"`` dispatches to the retained per-Kraus
+    baseline :func:`run_noisy_density_reference`.
+    """
+    if engine == "reference":
+        return run_noisy_density_reference(
+            compiled, noise_model, weights, inputs, batch,
+            noise_factor, shots, rng,
         )
+    if engine != "superop":
+        raise ValueError(
+            f"engine must be 'superop' or 'reference', got {engine!r}"
+        )
+    from repro.compiler.superop import superop_plan_for
+
+    n = _check_width(compiled)
+    if inputs is not None:
+        batch = np.asarray(inputs).shape[0]
+    plan = superop_plan_for(compiled, noise_model, noise_factor)
+    rho = zero_density(n, batch)
+    for op in plan.superops(weights, inputs, batch):
+        rho = apply_superop_to_density(
+            rho, op.matrix, op.qubits, n, diagonal=op.diagonal
+        )
+    probs = density_probabilities(rho)
+    return _measured_expectations(probs, compiled, noise_model, shots, rng)
+
+
+def run_noisy_density_reference(
+    compiled: "CompiledCircuit",
+    noise_model: NoiseModel,
+    weights: "np.ndarray | None" = None,
+    inputs: "np.ndarray | None" = None,
+    batch: int = 1,
+    noise_factor: float = 1.0,
+    shots: "int | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """The original per-Kraus density sweep (numerical baseline).
+
+    Applies every gate as ``U rho U^dag``, then each operand qubit's
+    Pauli channel Kraus-by-Kraus and the coherent miscalibration as a
+    separate unitary -- the pre-compiled-engine implementation, retained
+    for the equivalence suite and perf-harness baselines.
+    """
+    n = _check_width(compiled)
     scaled = noise_model.scaled(noise_factor) if noise_factor != 1.0 else noise_model
     if inputs is not None:
         batch = np.asarray(inputs).shape[0]
@@ -75,19 +167,5 @@ def run_noisy_density(
                     rho = apply_unitary_to_density(
                         rho, _coherent_unitary(*coherent), (local_q,), n
                     )
-
     probs = density_probabilities(rho)
-    readout = np.stack(
-        [noise_model.readout_for(p) for p in compiled.physical_qubits]
-    )
-    probs = apply_readout_to_joint_probabilities(probs, readout)
-    if shots is None:
-        expectations = probs @ z_signs(n).T
-    else:
-        if rng is None:
-            rng = np.random.default_rng()
-        probs = np.clip(probs, 0.0, None)
-        probs = probs / probs.sum(axis=1, keepdims=True)
-        counts = batched_multinomial(rng, shots, probs)
-        expectations = (counts / shots) @ z_signs(n).T
-    return expectations[:, list(compiled.measure_qubits)]
+    return _measured_expectations(probs, compiled, noise_model, shots, rng)

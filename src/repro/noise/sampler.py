@@ -143,6 +143,46 @@ class ErrorGateSampler:
             events.append(post)
         return events
 
+    def site_table(
+        self, circuit: Circuit, physical_qubits: "tuple[int, ...]"
+    ) -> "tuple[list[tuple[int, int, np.ndarray]], dict[int, list[tuple[int, tuple[float, float]]]]]":
+        """Static description of every possible error-insertion site.
+
+        Returns ``(pauli_sites, coherent_by_gate)``:
+
+        * ``pauli_sites`` lists ``(gate_index, local_qubit, cum)`` for
+          every (gate, operand) pair whose scaled Pauli total is
+          positive, with ``cum`` the cumulative (None, X, Y) probability
+          boundaries -- a uniform draw ``u`` maps to the Pauli choice
+          ``sum(u >= cum)``, the vectorized inverse-CDF equivalent of
+          :meth:`sample`'s per-site ``rng.choice``;
+        * ``coherent_by_gate`` maps a gate index to its deterministic
+          ``(local_qubit, (ey, ez))`` miscalibration rotations.
+
+        Site order matches :meth:`sample`'s insertion order, so sweeps
+        driven by this table apply exactly the same channel.  Zero-
+        probability entries are omitted: they can never produce an event.
+        """
+        pauli_sites: "list[tuple[int, int, np.ndarray]]" = []
+        coherent_by_gate: "dict[int, list[tuple[int, tuple[float, float]]]]" = {}
+        for index, gate in enumerate(circuit.gates):
+            phys_qubits = tuple(physical_qubits[q] for q in gate.qubits)
+            for local_q, (_phys_q, error) in zip(
+                gate.qubits, self._scaled.gate_errors(gate.name, phys_qubits)
+            ):
+                if error.total <= 0:
+                    continue
+                cum = np.cumsum(error.probabilities())[:3]
+                pauli_sites.append((index, local_q, cum))
+            if gate.name not in ("rz", "id"):
+                for local_q, phys_q in zip(gate.qubits, phys_qubits):
+                    coherent = self._scaled.coherent_for(phys_q)
+                    if coherent is not None:
+                        coherent_by_gate.setdefault(index, []).append(
+                            (local_q, coherent)
+                        )
+        return pauli_sites, coherent_by_gate
+
     def expected_overhead(
         self, circuit: Circuit, physical_qubits: "tuple[int, ...]"
     ) -> float:

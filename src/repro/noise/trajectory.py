@@ -20,20 +20,35 @@ The naive implementation binds and sweeps one circuit per trajectory --
 * binds the *base* circuit once (through the statevector bind cache) and
   stacks all trajectories into a single ``(trajectories * batch, 2**n)``
   statevector, so each base gate is one vectorized apply;
-* draws each error site's Pauli choice for every trajectory in one
-  vectorized call (:meth:`ErrorGateSampler.sample_batched`) and expresses
-  the sampled errors as batched ``(trajectories * batch, 2, 2)``
-  matrices -- sites where every trajectory drew identity (the common
-  case at hardware error rates) are skipped outright;
+* **pre-merges the constant segments between error sites**: gates where
+  the noise model can never insert an event (zero Pauli total, no
+  coherent miscalibration -- e.g. the virtual ``rz`` runs dominating a
+  transpiled block) fuse into single matrices via the gate-fusion pass
+  (:class:`repro.compiler.fusion.FusionPlan` with the error sites pinned
+  unfused), computed once per (weights, inputs) and reused across every
+  trajectory chunk, realization and ZNE fold;
+* draws every error site's Pauli choice for all trajectories in a
+  *single* uniform draw per chunk (vectorized inverse-CDF over the
+  plan's precomputed cumulative-probability table, replacing one
+  ``rng.choice`` call per site) and expresses sampled errors as batched
+  ``(trajectories * batch, 2, 2)`` matrices -- sites where every
+  trajectory drew identity (the common case at hardware error rates)
+  are skipped outright;
 * chunks trajectories so the stacked state stays within a fixed memory
-  budget, and ping-pongs between two work buffers (no per-gate
-  allocation).
+  budget, gives each chunk its own ``SeedSequence.spawn``-derived RNG
+  stream, and ping-pongs between two work buffers (no per-gate
+  allocation);
+* optionally **shards chunks across a worker pool**
+  (``n_workers``/``shard_backend``): because the chunk decomposition and
+  per-chunk streams never depend on the worker count, sharded output is
+  bit-identical to serial execution for a fixed seed.
 
 Shot sampling uses one batched ``Generator.multinomial`` call over 2-D
 pvals instead of a per-sample Python loop.  The per-trajectory reference
 implementation is kept as :func:`trajectory_probabilities_reference`;
-``tests/test_fast_engine.py`` checks the two agree (exactly for
-deterministic noise, statistically otherwise).
+``tests/test_fast_engine.py`` and ``tests/test_density_engine.py`` check
+the paths agree (exactly for deterministic noise, statistically
+otherwise).
 """
 
 from __future__ import annotations
@@ -54,6 +69,7 @@ from repro.sim.statevector import (
     apply_matrix,
     batched_multinomial,
     bind_circuit,
+    bind_plan_for,
     expectations_from_counts,
     run_circuit,
     z_signs,
@@ -70,6 +86,16 @@ _PAULI_STACK = np.stack(
 #: fused sweep never holds more than ~64 MiB of statevector per buffer.
 _MAX_STACKED_ENTRIES = 1 << 22
 
+#: Default trajectories per chunk.  Applied to serial and sharded runs
+#: alike, so the chunk layout -- and with it the per-chunk RNG streams --
+#: never depends on the worker count: any ``n_workers`` setting stays
+#: bit-identical to serial out of the box, and a pool actually has
+#: chunks to distribute whenever ``n_trajectories`` exceeds this.
+#: Measured neutral for the serial sweep at engine scales (the per-chunk
+#: overhead is one vectorized draw; stacks of 16 x batch rows keep the
+#: apply kernels saturated).
+_DEFAULT_SHARD_SIZE = 16
+
 
 @functools.lru_cache(maxsize=512)
 def _coherent_unitary(ey: float, ez: float) -> np.ndarray:
@@ -81,12 +107,12 @@ def _expand_events(post: "list[tuple]", batch: int) -> list:
     """Materialize one gate site's sampled error events as matrices.
 
     Returns ``[(local_qubit, matrix), ...]``: Pauli events become
-    batched ``(n_traj * batch, 2, 2)`` stacks (trajectory-major,
-    matching the stacked-state layout), coherent miscalibrations stay
-    shared 2x2 constants.  Single source of truth for the event-to-matrix
-    expansion, shared by the inference sweep (:func:`_fused_chunk`) and
-    the training tape (:func:`stacked_noisy_ops`) so the two paths can
-    never apply different channels.
+    batched ``(n_realizations * batch, 2, 2)`` stacks
+    (realization-major, matching the stacked-state layout), coherent
+    miscalibrations stay shared 2x2 constants.  Training-tape path only
+    (:func:`stacked_noisy_ops`): the inference sweep moved to the
+    segment plan, which draws all sites at once and fuses coherent
+    rotations into its constant segments (:func:`_segment_chunk`).
     """
     expanded = []
     for kind, local_q, payload in post:
@@ -110,33 +136,225 @@ def _count_inserted(post: "list[tuple]") -> int:
     )
 
 
-def _fused_chunk(
-    sampler: ErrorGateSampler,
-    compiled: "CompiledCircuit",
-    ops,
+#: Fused static trajectory segments retained per plan, keyed on weights.
+_SEGMENT_FUSION_CACHE_SIZE = 4
+
+
+class _SegmentPlan:
+    """Per-(circuit, noise model, factor) trajectory execution plan.
+
+    The gate stream is partitioned *at the stochastic error sites*: a
+    Pauli insertion point must interrupt any fused run (the sampled
+    error lands between the gate and whatever follows), but everything
+    else is constant within a (weights, inputs) binding and fuses
+    through the compiler's gate-fusion pass:
+
+    * a site gate itself merges into the run *preceding* its insertion
+      point (the break falls after the gate, not around it);
+    * the deterministic coherent-miscalibration rotations that follow a
+      site's Pauli insertion open the *next* run as constant ops
+      (:func:`repro.compiler.fusion.constant_op`);
+    * input-dependent encoder gates stay unfused singletons, re-bound
+      per call.
+
+    Fused static segments are cached per weight vector, so repeated
+    calls -- every chunk, realization and ZNE fold of an evaluation
+    sweep -- reuse the merged matrices.  The plan also precomputes the
+    stacked cumulative-probability table driving the one-draw
+    vectorized Pauli sampling (:meth:`sample`).
+    """
+
+    __slots__ = ("bind_plan", "site_cum", "site_rows", "_layout", "_cache")
+
+    def __init__(self, compiled: "CompiledCircuit", sampler: ErrorGateSampler):
+        from repro.sim.statevector import SmallLRU
+
+        circuit = compiled.circuit
+        self.bind_plan = bind_plan_for(circuit)
+        pauli_sites, coherent_by_gate = sampler.site_table(
+            circuit, compiled.physical_qubits
+        )
+        if pauli_sites:
+            self.site_cum = np.stack([cum for _gi, _q, cum in pauli_sites])
+        else:
+            self.site_cum = np.zeros((0, 3))
+        site_rows: "dict[int, list[tuple[int, int]]]" = {}
+        for row, (gate_index, local_q, _cum) in enumerate(pauli_sites):
+            site_rows.setdefault(gate_index, []).append((row, local_q))
+        self.site_rows = site_rows
+        # Layout entries, in sweep order:
+        #   ("static", tokens)  -- fusable run; tokens are ("g", index) or
+        #                          ("c", local_q, (ey, ez)) constants
+        #   ("dynamic", index)  -- input-dependent gate, re-bound per call
+        #   ("site", index)     -- Pauli insertion point after gate `index`
+        layout: "list[tuple]" = []
+        run: "list[tuple]" = []
+
+        def flush():
+            nonlocal run
+            if run:
+                layout.append(("static", run))
+                run = []
+
+        for i, gate in enumerate(circuit.gates):
+            if any(expr.depends_on_input for expr in gate.params):
+                flush()
+                layout.append(("dynamic", i))
+            else:
+                run.append(("g", i))
+            if i in site_rows:
+                flush()
+                layout.append(("site", i))
+            for local_q, angles in coherent_by_gate.get(i, ()):
+                run.append(("c", local_q, angles))
+        flush()
+        self._layout = layout
+        # weight bytes -> fused ops per static run, in layout order.
+        self._cache = SmallLRU(_SEGMENT_FUSION_CACHE_SIZE)
+
+    def _static_segments(self, ops: list, weights) -> "list[list]":
+        from repro.compiler.fusion import constant_op, fuse_bound_ops
+        from repro.sim.statevector import weights_key
+
+        key = weights_key(weights)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        segments = []
+        for kind, payload in self._layout:
+            if kind != "static":
+                continue
+            raw = [
+                ops[token[1]]
+                if token[0] == "g"
+                else constant_op((token[1],), _coherent_unitary(*token[2]))
+                for token in payload
+            ]
+            segments.append(fuse_bound_ops(raw))
+        self._cache.put(key, segments)
+        return segments
+
+    def fused_stream(
+        self,
+        weights: "np.ndarray | None",
+        inputs: "np.ndarray | None",
+        batch: "int | None",
+    ) -> "list[tuple]":
+        """The sweep program: ("op", bound op) and ("site", gate) steps."""
+        ops = self.bind_plan.bind(weights, inputs, batch)
+        segments = iter(self._static_segments(ops, weights))
+        stream: "list[tuple]" = []
+        for kind, payload in self._layout:
+            if kind == "static":
+                stream.extend(("op", op) for op in next(segments))
+            elif kind == "dynamic":
+                stream.append(("op", ops[payload]))
+            else:
+                stream.append(("site", payload))
+        return stream
+
+    def sample(
+        self, rng: np.random.Generator, n_traj: int
+    ) -> "np.ndarray | None":
+        """Pauli choices for all sites x trajectories in one draw.
+
+        Returns ``(n_sites, n_traj)`` ints indexing (I, X, Y, Z) via the
+        inverse CDF of each site's distribution, or None when the model
+        has no stochastic sites at all.
+        """
+        n_sites = self.site_cum.shape[0]
+        if n_sites == 0:
+            return None
+        u = rng.random((n_sites, n_traj))
+        return (u[:, :, None] >= self.site_cum[:, None, :]).sum(axis=2)
+
+
+def _segment_plan_for(
+    compiled: "CompiledCircuit", sampler: ErrorGateSampler
+) -> _SegmentPlan:
+    """The cached :class:`_SegmentPlan` for a compiled circuit + sampler.
+
+    Shares the superop plan's memoization policy
+    (:func:`repro.compiler.superop.cached_noise_plan`): rows keyed by
+    noise model identity and factor, invalidated when the circuit's
+    gate list goes stale, bounded FIFO.
+    """
+    from repro.compiler.superop import cached_noise_plan
+
+    return cached_noise_plan(
+        compiled.circuit, "_trajectory_plans",
+        sampler.noise_model, sampler.noise_factor,
+        lambda: _SegmentPlan(compiled, sampler),
+    )
+
+
+def _segment_chunk(
+    plan: _SegmentPlan,
+    stream: "list[tuple]",
     n_qubits: int,
     batch: int,
     n_traj: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Sum of joint probabilities over ``n_traj`` stacked trajectories."""
+    """Sum of joint probabilities over ``n_traj`` stacked trajectories.
+
+    Executes the plan's fused stream: ``("op", ...)`` steps apply merged
+    segment matrices (or per-call encoder gates); at each
+    ``("site", gate)`` step the chunk's pre-drawn Pauli choices become
+    batched error matrices, applied operand-by-operand in
+    :meth:`ErrorGateSampler.sample`'s insertion order.  Sites where
+    every trajectory drew identity are skipped outright.
+    """
     stacked = zero_state(n_qubits, n_traj * batch)
     scratch = np.empty_like(stacked)
-    events = sampler.sample_batched(
-        compiled.circuit, compiled.physical_qubits, n_traj, rng
-    )
-    for op, post in zip(ops, events):
-        matrix = op.matrix
-        if op.batched:
-            # Per-sample encoder matrices repeat across trajectories.
-            matrix = np.tile(matrix, (n_traj, 1, 1))
-        apply_matrix(stacked, matrix, op.qubits, n_qubits, out=scratch)
-        stacked, scratch = scratch, stacked
-        for local_q, errors in _expand_events(post, batch):
-            apply_matrix(stacked, errors, (local_q,), n_qubits, out=scratch)
+    choices = plan.sample(rng, n_traj)
+    for kind, payload in stream:
+        if kind == "op":
+            matrix = payload.matrix
+            if payload.batched:
+                # Per-sample encoder matrices repeat across trajectories.
+                matrix = np.tile(matrix, (n_traj, 1, 1))
+            apply_matrix(stacked, matrix, payload.qubits, n_qubits, out=scratch)
             stacked, scratch = scratch, stacked
+            continue
+        for row, local_q in plan.site_rows[payload]:
+            drawn = choices[row]
+            if drawn.any():
+                errors = np.repeat(_PAULI_STACK[drawn], batch, axis=0)
+                apply_matrix(stacked, errors, (local_q,), n_qubits, out=scratch)
+                stacked, scratch = scratch, stacked
     probs = np.abs(stacked) ** 2
     return probs.reshape(n_traj, batch, -1).sum(axis=0)
+
+
+def _process_chunk_worker(
+    compiled: "CompiledCircuit",
+    noise_model: NoiseModel,
+    noise_factor: float,
+    weights: "np.ndarray | None",
+    inputs: "np.ndarray | None",
+    batch: int,
+    group: "list[tuple[int, np.random.SeedSequence]]",
+) -> "list[np.ndarray]":
+    """Rebuild the plan in a worker process and run a group of chunks.
+
+    Each worker task receives a *contiguous group* of chunks so the
+    circuit is unpickled and the segment plan built once per task, not
+    once per chunk.  Plan construction and segment fusion are
+    deterministic, and each chunk still consumes only its own spawned
+    stream, so the results are bit-identical to the same chunks computed
+    serially in the parent (verified by the sharding equivalence tests).
+    """
+    sampler = ErrorGateSampler(noise_model, noise_factor)
+    plan = _segment_plan_for(compiled, sampler)
+    stream = plan.fused_stream(weights, inputs, batch)
+    return [
+        _segment_chunk(
+            plan, stream, compiled.circuit.n_qubits, batch, n_traj,
+            np.random.default_rng(seed),
+        )
+        for n_traj, seed in group
+    ]
 
 
 def _tiled_op(op, n_traj: int, batch: int):
@@ -278,29 +496,151 @@ def trajectory_probabilities(
     n_trajectories: int = 8,
     noise_factor: float = 1.0,
     rng: "int | np.random.Generator | None" = None,
+    n_workers: int = 0,
+    shard_size: "int | None" = None,
+    shard_backend: str = "thread",
 ) -> np.ndarray:
     """Average joint basis probabilities over sampled error trajectories.
 
-    All trajectories run as one fused ``(trajectories * batch, 2**n)``
-    statevector sweep (chunked to bound memory); see the module docstring.
+    All trajectories run as segment-fused ``(trajectories * batch, 2**n)``
+    statevector sweeps, chunked to bound memory; see the module
+    docstring.  Each chunk draws from its own ``SeedSequence.spawn``
+    child stream, so results do not depend on how chunks are executed:
+
+    * ``n_workers > 0`` dispatches chunks to a ``shard_backend`` pool
+      (``"thread"`` or ``"process"``) and is bit-identical to the serial
+      ``n_workers = 0`` run for a fixed seed;
+    * ``shard_size`` (default :data:`_DEFAULT_SHARD_SIZE`) caps
+      trajectories per chunk.  The cap applies to serial runs too, so
+      the chunk layout never depends on the worker count -- that is
+      what makes sharded output reproduce serial output bit-for-bit;
+      both runs must use the same value to compare.
     """
+    if shard_backend not in ("thread", "process"):
+        # Validate eagerly: a typo must raise even on runs that happen
+        # to form a single chunk and never reach the pool dispatch.
+        raise ValueError(
+            f"shard_backend must be 'thread' or 'process', got {shard_backend!r}"
+        )
+    if shard_size is not None and int(shard_size) < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
     rng = as_rng(rng)
     sampler = ErrorGateSampler(noise_model, noise_factor)
     if inputs is not None:
         batch = np.asarray(inputs).shape[0]
     n_qubits = compiled.circuit.n_qubits
     dim = 2**n_qubits
-    ops = bind_circuit(compiled.circuit, weights, inputs, batch)
+    plan = _segment_plan_for(compiled, sampler)
+    stream = plan.fused_stream(weights, inputs, batch)
     max_traj = max(1, _MAX_STACKED_ENTRIES // (batch * dim))
-    total = np.zeros((batch, dim))
+    if shard_size is None:
+        shard_size = _DEFAULT_SHARD_SIZE
+    max_traj = min(max_traj, int(shard_size))
+    chunks: "list[int]" = []
     remaining = n_trajectories
     while remaining > 0:
-        chunk = min(max_traj, remaining)
-        total += _fused_chunk(
-            sampler, compiled, ops, n_qubits, batch, chunk, rng
+        take = min(max_traj, remaining)
+        chunks.append(take)
+        remaining -= take
+    # One deterministic child RNG stream per chunk, derived from a single
+    # draw off the caller's generator: the stream layout depends only on
+    # the chunk decomposition, never on the worker count.
+    root = np.random.SeedSequence(int(rng.integers(0, 2**63)))
+    seeds = root.spawn(len(chunks))
+    if n_workers > 0 and len(chunks) > 1:
+        results = _run_sharded(
+            plan, stream, n_qubits, batch, chunks, seeds,
+            n_workers, shard_backend,
+            compiled, noise_model, noise_factor, weights, inputs,
         )
-        remaining -= chunk
+    else:
+        results = [
+            _segment_chunk(
+                plan, stream, n_qubits, batch, chunk,
+                np.random.default_rng(seed),
+            )
+            for chunk, seed in zip(chunks, seeds)
+        ]
+    # Fixed (chunk-order) summation keeps serial and sharded float
+    # accumulation identical.
+    total = np.zeros((batch, dim))
+    for result in results:
+        total += result
     return total / n_trajectories
+
+
+def _run_sharded(
+    plan: _SegmentPlan,
+    stream: "list[tuple]",
+    n_qubits: int,
+    batch: int,
+    chunks: "list[int]",
+    seeds: list,
+    n_workers: int,
+    shard_backend: str,
+    compiled: CompiledCircuit,
+    noise_model: NoiseModel,
+    noise_factor: float,
+    weights: "np.ndarray | None",
+    inputs: "np.ndarray | None",
+) -> "list[np.ndarray]":
+    """Run trajectory chunks on a worker pool, results in chunk order.
+
+    Threads share the already-built plan and op stream (the sweep is
+    numpy-dominated, so worker threads overlap in the C kernels);
+    processes re-derive both deterministically from the pickled circuit
+    and noise model.
+    """
+    if shard_backend == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(
+                    _segment_chunk, plan, stream, n_qubits, batch,
+                    chunk, np.random.default_rng(seed),
+                )
+                for chunk, seed in zip(chunks, seeds)
+            ]
+            return [future.result() for future in futures]
+    # shard_backend == "process" (validated by the caller).
+    from concurrent.futures import ProcessPoolExecutor
+    from dataclasses import replace
+
+    from repro.circuits.circuit import Circuit
+
+    # Ship a bare copy of the compiled circuit: the original carries the
+    # parent's plan caches (_bind_plan, _trajectory_plans, fused segment
+    # matrices) as instance attributes, which would bloat every task's
+    # pickle only for the worker to rebuild its plan from the gates
+    # anyway.  Plan construction is deterministic, so results are
+    # unaffected.
+    bare = replace(
+        compiled,
+        circuit=Circuit(compiled.circuit.n_qubits, list(compiled.circuit.gates)),
+    )
+    # Contiguous chunk groups, one task per worker: the pickled circuit
+    # and the segment plan are rebuilt once per task instead of once per
+    # chunk.  Group boundaries do not affect results -- every chunk
+    # keeps its own spawned stream and the flattening below restores
+    # global chunk order.
+    pairs = list(zip(chunks, seeds))
+    n_groups = min(n_workers, len(pairs))
+    bounds = np.linspace(0, len(pairs), n_groups + 1).astype(int)
+    groups = [
+        pairs[bounds[i]:bounds[i + 1]]
+        for i in range(n_groups)
+        if bounds[i] < bounds[i + 1]
+    ]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = [
+            pool.submit(
+                _process_chunk_worker, bare, noise_model,
+                noise_factor, weights, inputs, batch, group,
+            )
+            for group in groups
+        ]
+        return [result for future in futures for result in future.result()]
 
 
 def trajectory_probabilities_reference(
@@ -343,17 +683,26 @@ def run_noisy_trajectories(
     shots: "int | None" = 8192,
     noise_factor: float = 1.0,
     rng: "int | np.random.Generator | None" = None,
+    n_workers: int = 0,
+    shard_size: "int | None" = None,
+    shard_backend: str = "thread",
 ) -> np.ndarray:
     """Noisy per-qubit <Z> expectations in *logical* qubit order.
 
     Pipeline: trajectory-averaged probabilities -> per-qubit readout
     confusion -> multinomial shot sampling (``shots=None`` returns exact
     expectations of the sampled-trajectory channel, no shot noise).
+    ``n_workers``/``shard_size``/``shard_backend`` shard the trajectory
+    chunks (see :func:`trajectory_probabilities`); the shot-sampling tail
+    always runs on the caller's stream, so a sharded run's expectations
+    stay bit-identical to the serial ones.
     """
     rng = as_rng(rng)
     probs = trajectory_probabilities(
         compiled, noise_model, weights, inputs, batch,
         n_trajectories, noise_factor, rng,
+        n_workers=n_workers, shard_size=shard_size,
+        shard_backend=shard_backend,
     )
     readout = np.stack(
         [noise_model.readout_for(p) for p in compiled.physical_qubits]

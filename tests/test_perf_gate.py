@@ -33,6 +33,17 @@ def _report(**timings):
     }
 
 
+def _full_report(**overrides):
+    """A report carrying every required scenario (all healthy) by default."""
+    gate = _load_gate()
+    rows = {
+        name: {"fast_s": 0.010, "speedup": 10.0}
+        for name in gate.REQUIRED_SCENARIOS
+    }
+    rows.update(overrides)
+    return {"meta": {"scale": "quick"}, "benchmarks": rows}
+
+
 def test_compare_reports_flags_slowdowns_only():
     gate = _load_gate()
     baseline = _report(forward=0.010, training_step=0.020)
@@ -60,20 +71,23 @@ def test_compare_reports_handles_seconds_key_and_schema_drift():
 
 
 def test_compare_reports_flags_speedup_collapse_across_machines():
-    """The machine-independent signal: same-host speedup collapsing flags
-    a regression even when absolute wall-clock looks fine (fast machine),
-    and a uniformly slower machine does NOT flag when speedups hold."""
+    """The machine-independent signal: same-host speedup collapsing is
+    the hard criterion even when absolute wall-clock looks fine (fast
+    machine); a uniformly slower machine trips only the advisory
+    absolute signal when speedups hold."""
     gate = _load_gate()
     baseline = _report(forward={"fast_s": 0.010, "speedup": 10.0})
     # Faster machine masks a real regression in absolute time...
     fresh = _report(forward={"fast_s": 0.008, "speedup": 2.0})
     (row,) = gate.compare_reports(baseline, fresh, 2.0)
-    assert row["regressed"]  # ...but the speedup collapse catches it.
-    # 3x slower machine, speedup intact: only the absolute signal trips,
-    # which is exactly what --soft advisory mode is for.
+    assert row["regressed"] and row["regressed_speedup"]
+    assert not row["regressed_absolute"]
+    # 3x slower machine, speedup intact: only the advisory absolute
+    # signal trips -- the hard criterion stays green.
     fresh_slow = _report(forward={"fast_s": 0.030, "speedup": 9.5})
     (row_slow,) = gate.compare_reports(baseline, fresh_slow, 2.0)
-    assert row_slow["regressed"] and row_slow["fresh_speedup"] == 9.5
+    assert row_slow["regressed_absolute"] and not row_slow["regressed_speedup"]
+    assert row_slow["fresh_speedup"] == 9.5
 
 
 def test_compare_reports_rejects_meaningless_threshold():
@@ -82,12 +96,14 @@ def test_compare_reports_rejects_meaningless_threshold():
         gate.compare_reports(_report(), _report(), threshold=1.0)
 
 
-def test_gate_cli_soft_mode_exits_zero(tmp_path, capsys):
+def test_gate_cli_speedup_collapse_fails_hard_soft_warns(tmp_path, capsys):
     gate = _load_gate()
     baseline = tmp_path / "baseline.json"
     fresh = tmp_path / "fresh.json"
-    baseline.write_text(json.dumps(_report(forward=0.010)))
-    fresh.write_text(json.dumps(_report(forward=0.100)))  # 10x slower
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        forward={"fast_s": 0.010, "speedup": 2.0}  # 10x -> 2x collapse
+    )))
     hard = gate.main(
         ["--baseline", str(baseline), "--fresh", str(fresh)]
     )
@@ -101,12 +117,61 @@ def test_gate_cli_soft_mode_exits_zero(tmp_path, capsys):
     assert "warning (soft mode)" in out
 
 
+def test_gate_cli_absolute_slowdown_is_advisory_only(tmp_path, capsys):
+    """Wall-clock regressions warn but never fail: raw timings are
+    machine-dependent, the speedup column is the hard criterion."""
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        forward={"fast_s": 0.100, "speedup": 9.8}  # 10x slower host
+    )))
+    assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "slow (advisory)" in out
+    assert "warning" in out
+
+
+def test_gate_cli_dropped_speedup_key_fails(tmp_path, capsys):
+    """Losing the speedup column removes the hard criterion entirely --
+    the gate must treat that as schema breakage, not a pass."""
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        density_inference={"fast_s": 0.010}  # speedup key gone
+    )))
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert gate.main(args) == 1
+    assert gate.main(args + ["--soft"]) == 1
+    assert "density_inference" in capsys.readouterr().err
+
+
+def test_gate_cli_missing_required_scenario_fails(tmp_path, capsys):
+    """Dropping a recorded scenario is schema breakage, not noise."""
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    incomplete = _full_report()
+    del incomplete["benchmarks"]["density_inference"]
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(incomplete))
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert gate.main(args) == 1
+    assert gate.main(args + ["--soft"]) == 1
+    assert "density_inference" in capsys.readouterr().err
+
+
 def test_gate_cli_passes_within_threshold(tmp_path, capsys):
     gate = _load_gate()
     baseline = tmp_path / "baseline.json"
     fresh = tmp_path / "fresh.json"
-    baseline.write_text(json.dumps(_report(forward=0.010, training_step=0.020)))
-    fresh.write_text(json.dumps(_report(forward=0.012, training_step=0.018)))
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        forward={"fast_s": 0.012, "speedup": 8.5}
+    )))
     assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
     assert "perf gate passed" in capsys.readouterr().out
 
@@ -137,7 +202,6 @@ def test_committed_baseline_has_gateable_scenarios():
     report = json.loads(committed.read_text())
     rows = gate.compare_reports(report, report, 2.0)
     names = {r["scenario"] for r in rows}
-    assert {"forward", "forward_backward", "trajectory_inference",
-            "training_step", "stacked_noise_training",
-            "fused_inference"} <= names
+    assert gate.REQUIRED_SCENARIOS <= names
+    assert not gate.missing_required(report, report)
     assert not any(r["regressed"] for r in rows)
