@@ -51,6 +51,7 @@ SPEEDUP_SCENARIOS = frozenset({
     "forward_backward",
     "trajectory_inference",
     "density_inference",
+    "density_relaxation",
     "training_step",
     "stacked_noise_training",
     "fused_inference",

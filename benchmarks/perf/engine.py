@@ -2,7 +2,8 @@
 
 Times the hot paths of the simulator stack -- statevector forward,
 forward + adjoint backward, segment-fused trajectory inference, the
-superoperator-compiled exact noisy density backend, sharded trajectory
+superoperator-compiled exact noisy density backend (with and without
+the full relaxation + readout channel set), sharded trajectory
 execution, the batched noise-injected *training step* (vs the
 per-sample reference loop), the stacked multi-realization training
 sweep, gate-fused inference, and a short end-to-end training run --
@@ -288,6 +289,39 @@ def run_benchmarks(
         ).max()
     )
 
+    # -- full-noise density inference (relaxation + readout superops) ------
+    # The complete realistic model: Pauli channels + coherent errors +
+    # exact T1/T2 relaxation after every driven gate + readout compiled
+    # as a terminal measurement superop.  The reference walks the same
+    # channel Kraus-by-Kraus (relaxation adds 2 more operators per
+    # operand site) and mixes readout in probability space.
+    relax_model = hardware.with_relaxation(
+        {q: (50.0 + 10.0 * q, 60.0 + 8.0 * q) for q in range(device.n_qubits)},
+        (0.035, 0.30),
+    )
+    t_fast = _best_of(
+        lambda: run_noisy_density(compiled, relax_model, weights, traj_inputs),
+        cfg["repeats"],
+    )
+    t_ref = _best_of(
+        lambda: run_noisy_density_reference(
+            compiled, relax_model, weights, traj_inputs
+        ),
+        cfg["ref_repeats"],
+    )
+    bench["density_relaxation"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "batch": traj_batch,
+    }
+    equiv["density_relaxation_max_err"] = float(
+        np.abs(
+            run_noisy_density(compiled, relax_model, weights, traj_inputs)
+            - run_noisy_density_reference(
+                compiled, relax_model, weights, traj_inputs
+            )
+        ).max()
+    )
+
     # -- sharded trajectory execution --------------------------------------
     # Same chunk layout and per-chunk RNG streams serial vs pooled, so
     # the outputs must be *bit-identical*; the timing ratio records what
@@ -475,6 +509,7 @@ def run_benchmarks(
         "adjoint_input_grad_max_err",
         "trajectory_deterministic_max_err",
         "density_inference_max_err",
+        "density_relaxation_max_err",
         "sharded_trajectory_max_err",
         "training_step_loss_err",
         "training_step_grad_max_err",

@@ -33,7 +33,8 @@ def test_engine_smoke(tmp_path):
 
     bench = report["benchmarks"]
     for key in ("forward", "forward_backward", "trajectory_inference",
-                "density_inference", "sharded_trajectory",
+                "density_inference", "density_relaxation",
+                "sharded_trajectory",
                 "training_step", "stacked_noise_training",
                 "fused_inference", "end_to_end_training"):
         assert key in bench
@@ -46,6 +47,7 @@ def test_engine_smoke(tmp_path):
     assert equiv["adjoint_weight_grad_max_err"] < 1e-10
     assert equiv["trajectory_deterministic_max_err"] < 1e-10
     assert equiv["density_inference_max_err"] < 1e-10
+    assert equiv["density_relaxation_max_err"] < 1e-10
     assert equiv["training_step_loss_err"] < 1e-10
     assert equiv["training_step_grad_max_err"] < 1e-10
     assert equiv["fused_inference_max_err"] < 1e-10
@@ -60,6 +62,9 @@ def test_engine_smoke(tmp_path):
     # The compiled superoperator density engine's acceptance bar is
     # >= 10x (really ~40x; 3.0 absorbs CI noise on tiny smoke sizes).
     assert bench["density_inference"]["speedup"] > 3.0
+    # Full relaxation + readout channel set: the reference pays even
+    # more per-Kraus passes, so the compiled stream must stay ahead.
+    assert bench["density_relaxation"]["speedup"] > 3.0
     # The acceptance bar for the batched training engine: >= 2x over the
     # per-sample reference loop (really ~20x; 2.0 absorbs CI noise).
     assert bench["training_step"]["speedup"] > 2.0

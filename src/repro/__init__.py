@@ -48,6 +48,7 @@ from repro.core import (
     NoiselessExecutor,
     GateInsertionExecutor,
     DensityEvalExecutor,
+    DensityTrainExecutor,
     TrajectoryEvalExecutor,
     make_real_qc_executor,
     make_noise_model_executor,
@@ -87,6 +88,7 @@ __all__ = [
     "NoiselessExecutor",
     "GateInsertionExecutor",
     "DensityEvalExecutor",
+    "DensityTrainExecutor",
     "TrajectoryEvalExecutor",
     "make_real_qc_executor",
     "make_noise_model_executor",

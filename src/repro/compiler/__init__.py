@@ -8,14 +8,21 @@ compilation passes:
   with per-weight-vector caching of the static segments;
 * **superoperator compilation** (:mod:`repro.compiler.superop`): for the
   exact noisy density backend, precompiles each bound gate *together
-  with* its Pauli error channel and coherent miscalibration into one
-  cached ``(4**k, 4**k)`` superoperator per site, then fuses adjacent
-  sites on overlapping supports into segment operators -- channel
-  composition is plain matrix multiplication in superoperator form, so
-  noise fuses as freely as unitaries.  ``run_noisy_density`` executes
-  the compiled stream in one transpose + GEMM pass per operator
-  (:func:`repro.sim.density.apply_superop_to_density`), ~10x+ over the
-  retained per-Kraus reference.
+  with* its Pauli error channel, its exact T1/T2 thermal-relaxation
+  channel (general amplitude/phase-damping Kraus sets, when the noise
+  model carries them) and its coherent miscalibration into one cached
+  ``(4**k, 4**k)`` superoperator per site, then fuses adjacent sites on
+  overlapping supports into segment operators -- channel composition is
+  plain matrix multiplication in superoperator form, so noise fuses as
+  freely as unitaries.  Readout confusion compiles into the same stream
+  as a terminal measurement (POVM) superop.  ``run_noisy_density``
+  executes the compiled stream in one transpose + GEMM pass per
+  operator (:func:`repro.sim.density.apply_superop_to_density`), ~10x+
+  over the retained per-Kraus reference; the same per-site
+  superoperators drive the exact-channel training backend's
+  adjoint-on-superops sweep (:mod:`repro.core.density_training`).  The
+  cross-backend harness (``tests/test_cross_backend.py``) holds every
+  engine to the per-Kraus reference across randomized channel mixes.
 """
 
 from repro.compiler.decompositions import (

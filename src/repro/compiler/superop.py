@@ -8,12 +8,21 @@ miscalibration rotation, each paying two transpose+contract passes over
 the density.  This pass precompiles all of that away:
 
 * **Per-site superoperators**: every bound gate is combined with its
-  Pauli channel(s) and coherent miscalibration into a single
-  ``(4**k, 4**k)`` superoperator on the gate's support (k <= 2), in the
+  Pauli channel(s), its exact thermal-relaxation (amplitude + phase
+  damping) channel(s) when the model carries T1/T2
+  (:meth:`repro.noise.model.NoiseModel.relaxation_kraus_for`), and its
+  coherent miscalibration into a single ``(4**k, 4**k)`` superoperator
+  on the gate's support (k <= 2), in the
   :func:`~repro.sim.density.unitary_superop` index convention.  Channel
   factors depend only on the noise model, so they are built once per
   plan; gate factors follow the bind-plan classification (constant /
   weight-only / input-dependent).
+* **Readout as a terminal measurement superop**: each qubit's confusion
+  matrix compiles into the POVM-style channel of
+  :func:`repro.noise.readout.readout_povm_kraus`, fused pairwise and
+  appended to the stream, so the full realistic noise model -- gates,
+  Pauli + relaxation channels, coherent errors *and* readout -- runs as
+  one compiled operator stream.
 * **Segment fusion**: runs of per-site superoperators whose combined
   support stays within two qubits are merged into fused segment
   operators, mirroring :mod:`repro.compiler.fusion` -- a ~200-gate
@@ -25,7 +34,8 @@ the density.  This pass precompiles all of that away:
 The compiled stream applies through
 :func:`repro.sim.density.apply_superop_to_density` (one transpose + one
 GEMM per fused operator); ``run_noisy_density_reference`` retains the
-per-Kraus loop and the equivalence suite holds the two to < 1e-10.
+per-Kraus loop and the equivalence suite (plus the cross-backend
+harness in ``tests/test_cross_backend.py``) holds the two to < 1e-10.
 """
 
 from __future__ import annotations
@@ -180,11 +190,13 @@ def _site_channel(gate, phys: "tuple[int, ...]", noise_model) -> "np.ndarray | N
     """The constant noise superoperator following one gate site, or None.
 
     Composes -- in the reference backend's application order -- the Pauli
-    channel on each operand qubit, then the coherent miscalibration
-    rotation on each driven operand, all embedded onto the gate's own
-    support.  Depends only on the (scaled) noise model, never on bound
-    parameters, so it is computed once per plan.
+    channel on each operand qubit, the exact thermal-relaxation channel
+    on each operand (when the model carries T1/T2), then the coherent
+    miscalibration rotation on each driven operand, all embedded onto
+    the gate's own support.  Depends only on the (scaled) noise model,
+    never on bound parameters, so it is computed once per plan.
     """
+    from repro.noise.model import VIRTUAL_GATES
     from repro.noise.trajectory import _coherent_unitary
 
     channel: "np.ndarray | None" = None
@@ -196,6 +208,13 @@ def _site_channel(gate, phys: "tuple[int, ...]", noise_model) -> "np.ndarray | N
         one = kraus_superop(pauli_channel(error.px, error.py, error.pz))
         one = embed_superop(one, (local_q,), gate.qubits)
         channel = one if channel is None else np.matmul(one, channel)
+    if gate.name not in VIRTUAL_GATES:
+        for local_q, phys_q in zip(gate.qubits, phys):
+            kraus = noise_model.relaxation_kraus_for(phys_q, len(gate.qubits))
+            if kraus is None:
+                continue
+            one = embed_superop(kraus_superop(kraus), (local_q,), gate.qubits)
+            channel = one if channel is None else np.matmul(one, channel)
     if gate.name not in ("rz", "id"):
         for local_q, phys_q in zip(gate.qubits, phys):
             coherent = noise_model.coherent_for(phys_q)
@@ -207,17 +226,41 @@ def _site_channel(gate, phys: "tuple[int, ...]", noise_model) -> "np.ndarray | N
     return channel
 
 
+def _readout_superops(compiled: "CompiledCircuit", noise_model) -> "list[SuperOp]":
+    """Per-qubit readout confusion as a fused terminal superop stage.
+
+    Each qubit's confusion matrix becomes the measure-and-reprepare POVM
+    channel (:func:`repro.noise.readout.readout_povm_kraus`); identity
+    matrices compile to nothing and adjacent qubits fuse pairwise.  The
+    stage is terminal, so erasing coherences is harmless and the
+    diagonal action matches the probability-space reference exactly.
+    """
+    from repro.noise.readout import readout_povm_kraus
+
+    ops: "list[SuperOp]" = []
+    for local_q in range(compiled.circuit.n_qubits):
+        matrix = noise_model.readout_for(compiled.physical_qubits[local_q])
+        if np.allclose(matrix, _EYE2.real, atol=0.0):
+            continue
+        ops.append(SuperOp((local_q,), kraus_superop(readout_povm_kraus(matrix))))
+    return fuse_superops(ops)
+
+
 class SuperopPlan:
     """Compiled per-site superoperators for one (circuit, noise model).
 
-    Construction precomputes every gate site's noise channel and the
-    static/dynamic layout; :meth:`superops` binds the circuit (through
-    the shared bind cache), attaches the channels, and fuses static
-    spans -- cached per weight vector -- while input-dependent encoder
-    sites pass through as per-sample batched superoperators.
+    Construction precomputes every gate site's noise channel, the
+    static/dynamic layout and the terminal readout stage;
+    :meth:`superops` binds the circuit (through the shared bind cache),
+    attaches the channels, and fuses static spans -- cached per weight
+    vector -- while input-dependent encoder sites pass through as
+    per-sample batched superoperators.
     """
 
-    __slots__ = ("bind_plan", "_channels", "_layout", "_cache")
+    __slots__ = (
+        "bind_plan", "_channels", "_layout", "_cache", "_site_cache",
+        "_readout",
+    )
 
     def __init__(
         self,
@@ -244,8 +287,21 @@ class SuperopPlan:
 
         self._layout = static_dynamic_layout(circuit)
         self._cache = SmallLRU(_SUPEROP_CACHE_SIZE)
+        self._site_cache = SmallLRU(_SUPEROP_CACHE_SIZE)
+        # Readout is unscaled by the noise factor (paper convention), so
+        # the stage is built from the original model.
+        self._readout = _readout_superops(compiled, noise_model)
 
-    def _site(self, op, index: int) -> SuperOp:
+    def channel(self, index: int) -> "np.ndarray | None":
+        """Gate site ``index``'s constant noise superoperator (or None).
+
+        Exposed for the density training backend, whose adjoint sweep
+        needs the channel factor separated from the (differentiable)
+        gate factor.
+        """
+        return self._channels[index]
+
+    def site_superop(self, op, index: int) -> SuperOp:
         """One bound gate's superoperator with its noise channel attached."""
         matrix = unitary_superop(op.matrix)
         channel = self._channels[index]
@@ -253,13 +309,49 @@ class SuperopPlan:
             matrix = np.matmul(channel, matrix)
         return SuperOp(op.qubits, matrix)
 
+    def site_superops(
+        self,
+        weights: "np.ndarray | None" = None,
+        inputs: "np.ndarray | None" = None,
+        batch: "int | None" = None,
+    ) -> "list[tuple]":
+        """The *unfused* per-site stream: ``[(bound op, SuperOp), ...]``.
+
+        The training backend needs one superoperator per gate site (its
+        adjoint sweep stores pre-site densities and differentiates the
+        gate factor), so segment fusion does not apply -- but the static
+        sites' superops depend only on the weight vector and are cached
+        per weights here, mirroring :meth:`_static_segments`; only
+        input-dependent encoder sites rebuild per call.
+        """
+        ops = self.bind_plan.bind(weights, inputs, batch)
+        key = weights_key(weights)
+        static = self._site_cache.get(key)
+        if static is None:
+            static = {
+                i: self.site_superop(ops[i], i)
+                for kind, start, end in self._layout
+                if kind == "static"
+                for i in range(start, end)
+            }
+            self._site_cache.put(key, static)
+        out: "list[tuple]" = []
+        for kind, start, end in self._layout:
+            if kind == "static":
+                out.extend((ops[i], static[i]) for i in range(start, end))
+            else:
+                out.append((ops[start], self.site_superop(ops[start], start)))
+        return out
+
     def _static_segments(self, ops: list, weights) -> "list[list[SuperOp]]":
         key = weights_key(weights)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         segments = [
-            fuse_superops([self._site(ops[i], i) for i in range(start, end)])
+            fuse_superops(
+                [self.site_superop(ops[i], i) for i in range(start, end)]
+            )
             for kind, start, end in self._layout
             if kind == "static"
         ]
@@ -271,8 +363,14 @@ class SuperopPlan:
         weights: "np.ndarray | None" = None,
         inputs: "np.ndarray | None" = None,
         batch: "int | None" = None,
+        include_readout: bool = False,
     ) -> "list[SuperOp]":
-        """The compiled channel stream for one noisy-inference call."""
+        """The compiled channel stream for one noisy-inference call.
+
+        ``include_readout`` appends the terminal readout-confusion
+        superops, making the stream the *complete* noise model -- the
+        caller must then skip the probability-space readout application.
+        """
         ops = self.bind_plan.bind(weights, inputs, batch)
         segments = iter(self._static_segments(ops, weights))
         out: "list[SuperOp]" = []
@@ -280,7 +378,9 @@ class SuperopPlan:
             if kind == "static":
                 out.extend(next(segments))
             else:
-                out.append(self._site(ops[start], start))
+                out.append(self.site_superop(ops[start], start))
+        if include_readout:
+            out.extend(self._readout)
         return out
 
 

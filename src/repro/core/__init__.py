@@ -33,6 +33,7 @@ from repro.core.executors import (
     NoiselessExecutor,
     GateInsertionExecutor,
     DensityEvalExecutor,
+    DensityTrainExecutor,
     TrajectoryEvalExecutor,
     BlockCache,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "NoiselessExecutor",
     "GateInsertionExecutor",
     "DensityEvalExecutor",
+    "DensityTrainExecutor",
     "TrajectoryEvalExecutor",
     "BlockCache",
     "softmax",

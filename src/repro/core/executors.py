@@ -11,6 +11,11 @@ The same compiled block can execute on four backends:
   backend (a new error sample every training step, Figure 5).
 * :class:`DensityEvalExecutor` -- exact noisy channel evaluation
   (inference only), the "evaluation with noise model" of Table 11.
+* :class:`DensityTrainExecutor` -- exact noisy channel *training*:
+  forward through the compiled superoperator stream, backward via the
+  adjoint-on-superops sweep (:mod:`repro.core.density_training`), so
+  noise-injection training runs against the exact channel instead of
+  sampled realizations (``TrainConfig(engine="density")``).
 * :class:`TrajectoryEvalExecutor` -- Monte-Carlo trajectories + shot
   sampling against the *drifted hardware* model: the "real QC" surrogate
   (inference only).
@@ -169,7 +174,34 @@ class NoiselessExecutor:
         return adjoint_backward(cache.tape, grad)
 
 
-class GateInsertionExecutor:
+class _ReadoutEmulationMixin:
+    """Analytic readout-error emulation shared by the training backends.
+
+    Readout confusion acts on per-qubit <Z> as an affine map (scale
+    cached for the backward pass); the confusion matrices are stacked
+    once per compiled block -- executors only ever see a handful of
+    blocks -- instead of on every training step.  Consumers must set
+    ``self.noise_model`` and ``self._readout_cache = []``.
+    """
+
+    def _readout_matrices(self, compiled: "CompiledCircuit") -> np.ndarray:
+        for cached, matrices in self._readout_cache:
+            if cached is compiled:
+                return matrices
+        matrices = compiled.readout_matrices(self.noise_model)
+        self._readout_cache.append((compiled, matrices))
+        return matrices
+
+    def _emulate_readout(
+        self, compiled: "CompiledCircuit", logical: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Apply the block's readout confusion; returns (noisy, scales)."""
+        return apply_readout_to_expectations(
+            logical, self._readout_matrices(compiled)
+        )
+
+
+class GateInsertionExecutor(_ReadoutEmulationMixin):
     """QuantumNAT's training backend: sampled error gates + readout noise.
 
     Every ``forward`` call samples a fresh set of Pauli error gates
@@ -204,18 +236,7 @@ class GateInsertionExecutor:
         self.n_realizations = n_realizations
         self.sampler = ErrorGateSampler(noise_model, noise_factor)
         self.last_insertion_stats = None
-        # Readout confusion matrices per compiled block, built once instead
-        # of restacked on every training step (list of (compiled, matrices)
-        # pairs -- executors only ever see a handful of blocks).
         self._readout_cache: "list[tuple[CompiledCircuit, np.ndarray]]" = []
-
-    def _readout_matrices(self, compiled: "CompiledCircuit") -> np.ndarray:
-        for cached, matrices in self._readout_cache:
-            if cached is compiled:
-                return matrices
-        matrices = compiled.readout_matrices(self.noise_model)
-        self._readout_cache.append((compiled, matrices))
-        return matrices
 
     def forward(
         self,
@@ -250,8 +271,7 @@ class GateInsertionExecutor:
         logical = _gather_logical(expectations, compiled.measure_qubits)
         scales = None
         if self.readout:
-            readout = self._readout_matrices(compiled)
-            logical, scales = apply_readout_to_expectations(logical, readout)
+            logical, scales = self._emulate_readout(compiled, logical)
         return logical, BlockCache(
             tape, compiled.measure_qubits, scales, self.n_realizations
         )
@@ -267,6 +287,77 @@ class GateInsertionExecutor:
         if cache.n_realizations > 1:
             return stacked_noisy_backward(cache.tape, grad, cache.n_realizations)
         return adjoint_backward(cache.tape, grad)
+
+
+class DensityTrainExecutor(_ReadoutEmulationMixin):
+    """Exact-channel noisy training backend (adjoint on superoperators).
+
+    The deterministic counterpart of :class:`GateInsertionExecutor`:
+    instead of sampling one Pauli error realization per step, every
+    forward evolves the density matrix through the compiled
+    superoperator stream -- Pauli + relaxation + coherent channels exact
+    -- and backward runs the adjoint sweep in superoperator space
+    (:func:`repro.core.density_training.density_adjoint_backward`),
+    which is exact for noise channels and arbitrary affine parameter
+    expressions alike.  Readout confusion applies as the same affine
+    per-qubit map the insertion backend uses, keeping it differentiable.
+
+    Deterministic (no sampling noise in the gradient), at density-matrix
+    cost: reserved for compact (<= 8 qubit) blocks, selected via
+    ``TrainConfig(engine="density")``.
+    """
+
+    differentiable = True
+
+    def __init__(
+        self,
+        noise_model: "NoiseModel",
+        noise_factor: float = 1.0,
+        readout: bool = True,
+    ):
+        if noise_factor < 0:
+            raise ValueError("noise factor must be non-negative")
+        self.noise_model = noise_model
+        self.noise_factor = noise_factor
+        self.readout = readout
+        self._readout_cache: "list[tuple[CompiledCircuit, np.ndarray]]" = []
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, BlockCache]":
+        from repro.core.density_training import density_forward_with_tape
+
+        expectations, tape = density_forward_with_tape(
+            compiled,
+            self.noise_model,
+            weights,
+            inputs,
+            noise_factor=self.noise_factor,
+            n_weights=weights.size,
+            n_inputs=np.asarray(inputs).shape[1],
+        )
+        logical = _gather_logical(expectations, compiled.measure_qubits)
+        scales = None
+        if self.readout:
+            logical, scales = self._emulate_readout(compiled, logical)
+        # BlockCache is duck-typed over the tape: backward only needs
+        # the DensityTape's n_qubits and the shared readout-scale fields.
+        return logical, BlockCache(tape, compiled.measure_qubits, scales)
+
+    def backward(
+        self, cache: BlockCache, grad_logical: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        from repro.core.density_training import density_adjoint_backward
+
+        if cache.readout_scales is not None:
+            grad_logical = grad_logical * cache.readout_scales[None, :]
+        grad = _scatter_logical(
+            grad_logical, cache.measure_qubits, cache.tape.n_qubits
+        )
+        return density_adjoint_backward(cache.tape, grad)
 
 
 class DensityEvalExecutor:

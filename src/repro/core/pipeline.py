@@ -172,6 +172,30 @@ class QuantumNATModel:
     def _build_train_executor(self):
         injection = self.config.injection
         if injection.strategy == GATE_INSERTION:
+            if self.device.noise_model.has_exact_channels:
+                # Exact (non-Pauli) relaxation channels cannot be sampled
+                # as inserted error gates; the faithful noise-injection
+                # counterpart is the exact-channel density trainer.  That
+                # backend is density-matrix-bound, so reject wide blocks
+                # eagerly with actionable advice rather than letting the
+                # first training step raise.
+                from repro.core.executors import DensityTrainExecutor
+                from repro.noise.density_backend import MAX_DENSITY_QUBITS
+
+                widest = max(c.circuit.n_qubits for c in self.compiled)
+                if widest > MAX_DENSITY_QUBITS:
+                    raise ValueError(
+                        f"{widest}-qubit blocks are too wide for exact-"
+                        "channel density training, and gate insertion "
+                        "cannot sample the model's exact relaxation "
+                        "channels; build the device with the Pauli-"
+                        "twirled model (noise_model_from_relaxation(..., "
+                        "exact_channels=False)) instead"
+                    )
+                return DensityTrainExecutor(
+                    self.device.noise_model,
+                    noise_factor=injection.noise_factor,
+                )
             return GateInsertionExecutor(
                 self.device.noise_model,
                 noise_factor=injection.noise_factor,

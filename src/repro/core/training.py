@@ -28,7 +28,11 @@ class TrainConfig:
     verbose: bool = False
     #: "fast" runs each minibatch as one stacked statevector sweep;
     #: "reference" loops per-sample through the retained baseline
-    #: kernels (equivalence checks and perf baselines only).
+    #: kernels (equivalence checks and perf baselines only); "density"
+    #: swaps the training executor for the exact-channel density backend
+    #: (adjoint-on-superops gradients, deterministic -- noise-injection
+    #: training against the exact channel instead of sampled
+    #: realizations; compact <= 8-qubit blocks only).
     engine: str = "fast"
     #: > 0 shards trajectory-backed validation executors across that many
     #: workers (`TrajectoryEvalExecutor.n_workers`); sharded evaluation
@@ -36,9 +40,10 @@ class TrainConfig:
     trajectory_workers: int = 0
 
     def __post_init__(self) -> None:
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in ("fast", "reference", "density"):
             raise ValueError(
-                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+                "engine must be 'fast', 'reference' or 'density', "
+                f"got {self.engine!r}"
             )
         if self.trajectory_workers < 0:
             raise ValueError("trajectory_workers must be >= 0")
@@ -87,9 +92,45 @@ def train(
     ``valid_executor`` controls which backend validation runs on
     (noise-free by default; pass a noisy executor for noise-aware model
     selection as the paper does for its (T, levels) grid search).
+
+    ``config.engine="density"`` swaps the model's training executor for
+    a :class:`~repro.core.executors.DensityTrainExecutor` built from the
+    model's device noise model and the configured injection noise factor
+    -- exact-channel noise-aware training.  The model's own executor is
+    restored on exit.
     """
     config = config or TrainConfig()
     shard_restore = None
+    executor_restore = None
+    if config.engine == "density":
+        from repro.core.executors import DensityTrainExecutor
+        from repro.core.injection import GATE_INSERTION
+        from repro.noise.density_backend import MAX_DENSITY_QUBITS
+
+        injection = model.config.injection
+        if injection.strategy != GATE_INSERTION:
+            # The density engine is the exact-channel form of
+            # gate-insertion noise injection; silently noise-training a
+            # baseline (or stacking on a perturbation strategy) would
+            # change training semantics, not just the backend.
+            raise ValueError(
+                "engine='density' computes exact-channel gradients for "
+                "gate-insertion noise injection, but the model's "
+                f"injection strategy is {injection.strategy!r}; configure "
+                "InjectionConfig(GATE_INSERTION, ...) or use the default "
+                "engine"
+            )
+        widest = max(c.circuit.n_qubits for c in model.compiled)
+        if widest > MAX_DENSITY_QUBITS:
+            raise ValueError(
+                f"engine='density' is density-matrix-bound and the model "
+                f"has {widest}-qubit blocks (max {MAX_DENSITY_QUBITS}); "
+                "use the default engine's sampled gate insertion"
+            )
+        executor_restore = model._train_executor
+        model._train_executor = DensityTrainExecutor(
+            model.device.noise_model, noise_factor=injection.noise_factor
+        )
     if (
         config.trajectory_workers > 0
         and valid_executor is not None
@@ -109,6 +150,8 @@ def train(
     finally:
         if shard_restore is not None:
             valid_executor.n_workers = shard_restore
+        if executor_restore is not None:
+            model._train_executor = executor_restore
 
 
 def _train_loop(
@@ -138,10 +181,13 @@ def _train_loop(
     best_loss = float("inf")
     best_acc = 0.0
     history: "list[dict[str, float]]" = []
+    # "density" reuses the batched pipeline loop -- the swapped executor
+    # is what changes the backend; only "reference" takes the per-sample
+    # baseline path.
     step = (
-        model.loss_and_gradients
-        if config.engine == "fast"
-        else model.loss_and_gradients_reference
+        model.loss_and_gradients_reference
+        if config.engine == "reference"
+        else model.loss_and_gradients
     )
 
     for epoch in range(config.epochs):

@@ -6,6 +6,7 @@ from repro.noise.model import (
     NO_ERROR,
     uniform_pauli_error,
     readout_matrix,
+    validate_relaxation_times,
     VIRTUAL_GATES,
 )
 from repro.noise.devices import Device, DeviceSpec, get_device, list_devices
@@ -15,6 +16,7 @@ from repro.noise.readout import (
     apply_readout_to_expectations,
     apply_readout_to_joint_probabilities,
     noisy_probability_pair,
+    readout_povm_kraus,
 )
 from repro.noise.twirling import (
     twirl_to_pauli_probs,
@@ -43,6 +45,7 @@ __all__ = [
     "NO_ERROR",
     "uniform_pauli_error",
     "readout_matrix",
+    "validate_relaxation_times",
     "VIRTUAL_GATES",
     "Device",
     "DeviceSpec",
@@ -54,6 +57,7 @@ __all__ = [
     "apply_readout_to_expectations",
     "apply_readout_to_joint_probabilities",
     "noisy_probability_pair",
+    "readout_povm_kraus",
     "twirl_to_pauli_probs",
     "twirl_to_pauli_error",
     "pauli_error_from_gate_fidelity",

@@ -2,22 +2,25 @@
 
 This is the "evaluation with noise model" backend of paper Table 11:
 every compiled gate applies as a unitary followed by the noise model's
-Pauli channel on its operand qubits; readout confusion mixes the final
-joint probabilities.  Exact (no sampling), but cost grows as 4**n_qubits,
-so it is reserved for the <= ~8-qubit compact circuits.
+Pauli channel, its exact thermal-relaxation (amplitude/phase-damping)
+channel when the model carries T1/T2, and the coherent miscalibration
+on its operand qubits; readout confusion mixes the final joint
+probabilities.  Exact (no sampling), but cost grows as 4**n_qubits, so
+it is reserved for the <= ~8-qubit compact circuits.
 
 Two engines share the measurement tail:
 
 * the default ``"superop"`` engine runs the stream compiled by
-  :mod:`repro.compiler.superop` -- each gate site's unitary, Pauli
-  channel(s) and coherent miscalibration collapse into one cached
-  superoperator, adjacent sites fuse into segment operators, and every
-  fused operator applies in a single transpose + GEMM pass
+  :mod:`repro.compiler.superop` -- each gate site's unitary, Pauli and
+  relaxation channel(s) and coherent miscalibration collapse into one
+  cached superoperator, adjacent sites fuse into segment operators,
+  readout confusion rides along as a terminal measurement superop, and
+  every fused operator applies in a single transpose + GEMM pass
   (:func:`repro.sim.density.apply_superop_to_density`);
 * :func:`run_noisy_density_reference` retains the original per-Kraus
-  loop (two passes per Kraus operator, eight per Pauli channel site) as
-  the numerical baseline -- the equivalence suite and the perf harness
-  hold the two to < 1e-10.
+  loop (two passes per Kraus operator, eight per Pauli channel site,
+  readout mixed in probability space) as the numerical baseline -- the
+  equivalence suite and the perf harness hold the two to < 1e-10.
 """
 
 from __future__ import annotations
@@ -54,18 +57,23 @@ def _measured_expectations(
     noise_model: NoiseModel,
     shots: "int | None",
     rng: "int | np.random.Generator | None",
+    apply_readout: bool = True,
 ) -> np.ndarray:
     """Readout confusion + (optional) shot sampling, in logical order.
 
-    Shared tail of both density engines.  The shots path threads the
-    caller's RNG through :func:`~repro.utils.rng.as_rng` -- matching the
-    trajectory backend -- so seeded callers get reproducible counts.
+    Shared tail of both density engines.  ``apply_readout=False`` skips
+    the probability-space confusion for callers whose operator stream
+    already compiled readout in as a terminal superop (the superop
+    engine).  The shots path threads the caller's RNG through
+    :func:`~repro.utils.rng.as_rng` -- matching the trajectory backend
+    -- so seeded callers get reproducible counts.
     """
     n = compiled.circuit.n_qubits
-    readout = np.stack(
-        [noise_model.readout_for(p) for p in compiled.physical_qubits]
-    )
-    probs = apply_readout_to_joint_probabilities(probs, readout)
+    if apply_readout:
+        readout = np.stack(
+            [noise_model.readout_for(p) for p in compiled.physical_qubits]
+        )
+        probs = apply_readout_to_joint_probabilities(probs, readout)
     if shots is None:
         expectations = probs @ z_signs(n).T
     else:
@@ -119,12 +127,15 @@ def run_noisy_density(
         batch = np.asarray(inputs).shape[0]
     plan = superop_plan_for(compiled, noise_model, noise_factor)
     rho = zero_density(n, batch)
-    for op in plan.superops(weights, inputs, batch):
+    for op in plan.superops(weights, inputs, batch, include_readout=True):
         rho = apply_superop_to_density(
             rho, op.matrix, op.qubits, n, diagonal=op.diagonal
         )
     probs = density_probabilities(rho)
-    return _measured_expectations(probs, compiled, noise_model, shots, rng)
+    # Readout already ran as the stream's terminal measurement superop.
+    return _measured_expectations(
+        probs, compiled, noise_model, shots, rng, apply_readout=False
+    )
 
 
 def run_noisy_density_reference(
@@ -140,10 +151,13 @@ def run_noisy_density_reference(
     """The original per-Kraus density sweep (numerical baseline).
 
     Applies every gate as ``U rho U^dag``, then each operand qubit's
-    Pauli channel Kraus-by-Kraus and the coherent miscalibration as a
+    Pauli channel Kraus-by-Kraus, the exact thermal-relaxation channel
+    (models carrying T1/T2) and the coherent miscalibration as a
     separate unitary -- the pre-compiled-engine implementation, retained
     for the equivalence suite and perf-harness baselines.
     """
+    from repro.noise.model import VIRTUAL_GATES
+
     n = _check_width(compiled)
     scaled = noise_model.scaled(noise_factor) if noise_factor != 1.0 else noise_model
     if inputs is not None:
@@ -160,6 +174,11 @@ def run_noisy_density_reference(
                 continue
             kraus = pauli_channel(error.px, error.py, error.pz)
             rho = apply_kraus_to_density(rho, kraus, (local_q,), n)
+        if op.gate.name not in VIRTUAL_GATES:
+            for local_q, phys_q in zip(op.qubits, phys):
+                kraus = scaled.relaxation_kraus_for(phys_q, len(op.qubits))
+                if kraus is not None:
+                    rho = apply_kraus_to_density(rho, kraus, (local_q,), n)
         if op.gate.name not in ("rz", "id"):
             for local_q, phys_q in zip(op.qubits, phys):
                 coherent = scaled.coherent_for(phys_q)

@@ -65,6 +65,25 @@ class PauliError:
 NO_ERROR = PauliError(0.0, 0.0, 0.0)
 
 
+def validate_relaxation_times(t1: float, t2: float) -> None:
+    """Reject unphysical T1/T2 combinations with a clear error.
+
+    Every surface that accepts relaxation times -- the
+    :class:`~repro.noise.relaxation.QubitRelaxation` dataclass, the
+    duck-typed arguments of ``relaxation_pauli_error`` /
+    ``noise_model_from_relaxation``, and :class:`NoiseModel`'s exact
+    relaxation channels -- funnels through this check, so a bad pair can
+    never silently propagate into negative channel probabilities.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError(f"T1 and T2 must be positive, got T1={t1}, T2={t2}")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError(
+            f"unphysical relaxation times: T2={t2} > 2*T1={2 * t1} "
+            "(physics requires T2 <= 2*T1)"
+        )
+
+
 def uniform_pauli_error(rate: float) -> PauliError:
     """Equal X/Y/Z probabilities, each ``rate`` -- the paper's convention.
 
@@ -100,6 +119,17 @@ class NoiseModel:
         (stored with sorted qubit order; symmetric).
     readout:
         ``(n_qubits, 2, 2)`` array of confusion matrices.
+    relaxation:
+        Optional ``{qubit: (T1, T2)}`` *exact* thermal-relaxation
+        channels (amplitude + phase damping over each gate's duration,
+        see :meth:`relaxation_kraus_for`).  These are general Kraus
+        sets, consumed only by the density backends; the sampling
+        backends (trajectories, gate insertion) require the
+        Pauli-twirled approximation instead and refuse models that
+        carry exact channels.
+    relaxation_durations:
+        ``(duration_1q, duration_2q)`` gate durations, in the same time
+        unit as T1/T2, over which the relaxation channels act.
     """
 
     def __init__(
@@ -109,6 +139,8 @@ class NoiseModel:
         two_qubit: "dict[tuple[int, int], PauliError]",
         readout: np.ndarray,
         coherent: "dict[int, tuple[float, float]] | None" = None,
+        relaxation: "dict[int, tuple[float, float]] | None" = None,
+        relaxation_durations: "tuple[float, float]" = (0.0, 0.0),
     ):
         self.n_qubits = n_qubits
         self.one_qubit = dict(one_qubit)
@@ -126,6 +158,17 @@ class NoiseModel:
         #: it is the input-dependent error component that normalization
         #: cannot cancel and that noise-injected training must tolerate.
         self.coherent: "dict[int, tuple[float, float]]" = dict(coherent or {})
+        #: Exact per-qubit (T1, T2) relaxation channels; density-only.
+        self.relaxation: "dict[int, tuple[float, float]]" = {}
+        for q, (t1, t2) in (relaxation or {}).items():
+            validate_relaxation_times(t1, t2)
+            self.relaxation[q] = (float(t1), float(t2))
+        d1, d2 = relaxation_durations
+        if d1 < 0 or d2 < 0:
+            raise ValueError("relaxation durations must be non-negative")
+        self.relaxation_durations: "tuple[float, float]" = (float(d1), float(d2))
+        # (qubit, n_operands) -> Kraus stack, built lazily once per model.
+        self._relaxation_kraus: "dict[tuple[int, int], list[np.ndarray]]" = {}
 
     # -- lookups -------------------------------------------------------------
 
@@ -157,6 +200,43 @@ class NoiseModel:
         """Systematic (RY, RZ) over-rotation after driven gates, if any."""
         return self.coherent.get(qubit)
 
+    @property
+    def has_exact_channels(self) -> bool:
+        """True when the model carries general (non-Pauli) Kraus channels.
+
+        Such models can only run on the density backends; the sampling
+        backends check this flag and raise with a pointer to the
+        Pauli-twirled construction path.
+        """
+        return bool(self.relaxation)
+
+    def relaxation_kraus_for(
+        self, qubit: int, n_operands: int
+    ) -> "list[np.ndarray] | None":
+        """Exact thermal-relaxation Kraus set after one gate, or None.
+
+        ``n_operands`` selects the gate duration (1q vs 2q) the channel
+        acts over.  Virtual gates never relax (the caller skips them);
+        ``id`` idles for the 1q window.  The Kraus stacks depend only on
+        (T1, T2, duration), so they are built once per model and cached.
+        """
+        times = self.relaxation.get(qubit)
+        if times is None:
+            return None
+        duration = self.relaxation_durations[0 if n_operands == 1 else 1]
+        if duration <= 0:
+            return None
+        key = (qubit, n_operands)
+        kraus = self._relaxation_kraus.get(key)
+        if kraus is None:
+            from repro.sim.channels import QuantumChannel
+
+            kraus = QuantumChannel.thermal_relaxation(
+                times[0], times[1], duration
+            ).kraus_ops
+            self._relaxation_kraus[key] = kraus
+        return kraus
+
     def with_coherent(
         self, coherent: "dict[int, tuple[float, float]]"
     ) -> "NoiseModel":
@@ -167,6 +247,29 @@ class NoiseModel:
             dict(self.two_qubit),
             self.readout.copy(),
             coherent,
+            dict(self.relaxation),
+            self.relaxation_durations,
+        )
+
+    def with_relaxation(
+        self,
+        relaxation: "dict[int, tuple[float, float]]",
+        durations: "tuple[float, float]",
+    ) -> "NoiseModel":
+        """Copy of this model carrying exact per-qubit (T1, T2) channels.
+
+        ``durations`` is ``(duration_1q, duration_2q)`` in the T1/T2
+        time unit.  The result is density-backend-only (see
+        :attr:`has_exact_channels`).
+        """
+        return NoiseModel(
+            self.n_qubits,
+            dict(self.one_qubit),
+            dict(self.two_qubit),
+            self.readout.copy(),
+            dict(self.coherent),
+            relaxation,
+            durations,
         )
 
     # -- derived quantities ---------------------------------------------------
@@ -207,14 +310,23 @@ class NoiseModel:
         """Noise model with all Pauli probabilities scaled by ``T``.
 
         Readout errors are left unscaled: the paper's noise factor applies
-        to the sampled X/Y/Z gate probabilities only.
+        to the sampled X/Y/Z gate probabilities only.  Exact relaxation
+        channels scale through their *exposure time*: the gate durations
+        are multiplied by ``T``, so ``T = 0`` turns relaxation off and
+        large ``T`` saturates toward the fully-decayed channel -- the
+        Kraus-set analogue of scaling the twirled Pauli rates.
         """
+        if factor < 0:
+            raise ValueError(f"noise factor must be non-negative, got {factor}")
+        d1, d2 = self.relaxation_durations
         return NoiseModel(
             self.n_qubits,
             {k: v.scaled(factor) for k, v in self.one_qubit.items()},
             {k: v.scaled(factor) for k, v in self.two_qubit.items()},
             self.readout.copy(),
             dict(self.coherent),
+            dict(self.relaxation),
+            (d1 * factor, d2 * factor),
         )
 
     def drifted(
@@ -239,12 +351,20 @@ class NoiseModel:
             p01 = min(readout[q, 0, 1] * rng.lognormal(0.0, sigma), 0.45)
             p10 = min(readout[q, 1, 0] * rng.lognormal(0.0, sigma), 0.45)
             readout[q] = readout_matrix(p01, p10)
+        relaxation: "dict[int, tuple[float, float]]" = {}
+        for q, (t1, t2) in self.relaxation.items():
+            # Coherence times drift too; keep the drifted pair physical.
+            t1_d = t1 * rng.lognormal(0.0, sigma)
+            t2_d = min(t2 * rng.lognormal(0.0, sigma), 2 * t1_d)
+            relaxation[q] = (t1_d, t2_d)
         return NoiseModel(
             self.n_qubits,
             {k: drift(v) for k, v in self.one_qubit.items()},
             {k: drift(v) for k, v in self.two_qubit.items()},
             readout,
             dict(self.coherent),
+            relaxation,
+            self.relaxation_durations,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -86,6 +86,33 @@ def apply_readout_to_joint_probabilities(
     return out
 
 
+def readout_povm_kraus(matrix: np.ndarray) -> "list[np.ndarray]":
+    """Kraus operators of the measure-and-reprepare confusion channel.
+
+    The CPTP map ``rho -> sum_{t,m} M[t,m] |m><t| rho |t><m|`` has Kraus
+    operators ``K_{t,m} = sqrt(M[t,m]) |m><t|`` (completeness follows
+    from the confusion rows summing to 1).  Its diagonal action is
+    exactly the classical readout mixing ``P'(m) = sum_t P(t) M[t,m]``
+    while coherences are erased -- irrelevant for a *terminal* stage, so
+    the compiled density engine can fold readout error into the
+    superoperator stream as a measurement (POVM) superop and stay
+    equivalent to the probability-space reference
+    (:func:`apply_readout_to_joint_probabilities`).
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.shape != (2, 2):
+        raise ValueError(f"readout matrix must be 2x2, got {m.shape}")
+    if np.any(m < -1e-12) or not np.allclose(m.sum(axis=1), 1.0, atol=1e-9):
+        raise ValueError(f"invalid confusion matrix {m!r}")
+    kraus = []
+    for true in (0, 1):
+        for measured in (0, 1):
+            op = np.zeros((2, 2), dtype=complex)
+            op[measured, true] = np.sqrt(max(m[true, measured], 0.0))
+            kraus.append(op)
+    return kraus
+
+
 def noisy_probability_pair(p0: float, matrix: np.ndarray) -> "tuple[float, float]":
     """The paper's worked example, for a single qubit.
 

@@ -9,6 +9,23 @@ distribution QuantumNAT samples error gates from (Section 3.2).  This
 module implements that derivation, connecting the channel toolbox
 (:mod:`repro.sim.channels`) to the noise-model format the rest of the
 library consumes.
+
+Two output modes:
+
+* the default *twirled* mode produces the Pauli approximation every
+  backend (sampling and exact alike) can consume;
+* ``exact_channels=True`` instead attaches the general amplitude/
+  phase-damping Kraus sets to the model
+  (:attr:`~repro.noise.model.NoiseModel.relaxation`), which the
+  superoperator-compiled density backend evaluates exactly -- the full
+  realistic noise model of the paper, beyond its Pauli projection.
+  Exact-channel models are density-only: the trajectory/insertion
+  samplers refuse them and point back at the twirled mode.
+
+All entry points validate ``T1 > 0``, ``T2 > 0`` and the physical bound
+``T2 <= 2*T1`` (via :func:`~repro.noise.model.validate_relaxation_times`)
+and raise a clear ``ValueError`` instead of ever producing negative
+channel probabilities.
 """
 
 from __future__ import annotations
@@ -17,7 +34,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.noise.model import NoiseModel, PauliError, readout_matrix
+from repro.noise.model import (
+    NoiseModel,
+    PauliError,
+    readout_matrix,
+    validate_relaxation_times,
+)
 from repro.noise.twirling import twirl_to_pauli_error
 from repro.sim.channels import QuantumChannel
 
@@ -30,10 +52,7 @@ class QubitRelaxation:
     t2: float
 
     def __post_init__(self) -> None:
-        if self.t1 <= 0 or self.t2 <= 0:
-            raise ValueError("T1 and T2 must be positive")
-        if self.t2 > 2 * self.t1 + 1e-12:
-            raise ValueError(f"unphysical: T2={self.t2} > 2*T1={2 * self.t1}")
+        validate_relaxation_times(self.t1, self.t2)
 
 
 def relaxation_pauli_error(
@@ -44,7 +63,13 @@ def relaxation_pauli_error(
     Amplitude damping twirls onto an asymmetric Pauli channel (X and Y
     from the decay, Z from both decay and pure dephasing), so unlike the
     catalog's uniform rates the result carries the T1-vs-T2 signature.
+
+    ``relaxation`` may be any object with ``t1``/``t2`` attributes; the
+    times are re-validated here so duck-typed callers that bypass
+    :class:`QubitRelaxation` still get the clear unphysical-times error
+    instead of negative probabilities downstream.
     """
+    validate_relaxation_times(relaxation.t1, relaxation.t2)
     channel = QuantumChannel.thermal_relaxation(
         relaxation.t1, relaxation.t2, duration
     )
@@ -57,20 +82,53 @@ def noise_model_from_relaxation(
     gate_duration_1q: float,
     gate_duration_2q: float,
     readout_error: "float | list[float]" = 0.02,
+    exact_channels: bool = False,
 ) -> NoiseModel:
     """A full :class:`NoiseModel` derived from per-qubit T1/T2.
 
-    1q gates (``sx``/``x``) get each qubit's twirled relaxation over
-    ``gate_duration_1q``; ``id`` idles for the same window.  CX errors
-    use the *worse* qubit of each coupled pair over the (longer) 2q
-    duration -- the standard pessimistic approximation when no direct
-    2q calibration exists.
+    Default (twirled) mode: 1q gates (``sx``/``x``) get each qubit's
+    twirled relaxation over ``gate_duration_1q``; ``id`` idles for the
+    same window.  CX errors use the *worse* qubit of each coupled pair
+    over the (longer) 2q duration -- the standard pessimistic
+    approximation when no direct 2q calibration exists.
+
+    ``exact_channels=True`` skips the twirl entirely: the model carries
+    the per-qubit (T1, T2) pairs plus both gate durations, and the
+    density backends apply the exact amplitude/phase-damping Kraus set
+    after every non-virtual gate on each operand qubit (2q gates expose
+    *both* operands for the longer window -- more faithful than the
+    worse-qubit Pauli projection).  Such models are density-only.
     """
     n_qubits = len(relaxations)
     if n_qubits == 0:
         raise ValueError("need at least one qubit")
     if gate_duration_1q <= 0 or gate_duration_2q <= 0:
         raise ValueError("gate durations must be positive")
+    for relax in relaxations:
+        validate_relaxation_times(relax.t1, relax.t2)
+    for a, b in coupling_edges:
+        if not (0 <= a < n_qubits and 0 <= b < n_qubits):
+            raise ValueError(f"coupling edge ({a}, {b}) out of range")
+
+    if isinstance(readout_error, (int, float)):
+        readout_error = [float(readout_error)] * n_qubits
+    if len(readout_error) != n_qubits:
+        raise ValueError("readout_error list must have one entry per qubit")
+    readout = np.stack(
+        [readout_matrix(p, 1.2 * p) for p in readout_error]
+    )
+
+    if exact_channels:
+        return NoiseModel(
+            n_qubits,
+            {},
+            {},
+            readout,
+            relaxation={
+                q: (relax.t1, relax.t2) for q, relax in enumerate(relaxations)
+            },
+            relaxation_durations=(gate_duration_1q, gate_duration_2q),
+        )
 
     one_qubit: "dict[tuple[str, int], PauliError]" = {}
     for q, relax in enumerate(relaxations):
@@ -80,18 +138,9 @@ def noise_model_from_relaxation(
 
     two_qubit: "dict[tuple[int, int], PauliError]" = {}
     for a, b in coupling_edges:
-        if not (0 <= a < n_qubits and 0 <= b < n_qubits):
-            raise ValueError(f"coupling edge ({a}, {b}) out of range")
         worse = min(
             (relaxations[a], relaxations[b]), key=lambda r: min(r.t1, r.t2)
         )
         two_qubit[(a, b)] = relaxation_pauli_error(worse, gate_duration_2q)
 
-    if isinstance(readout_error, float):
-        readout_error = [readout_error] * n_qubits
-    if len(readout_error) != n_qubits:
-        raise ValueError("readout_error list must have one entry per qubit")
-    readout = np.stack(
-        [readout_matrix(p, 1.2 * p) for p in readout_error]
-    )
     return NoiseModel(n_qubits, one_qubit, two_qubit, readout)

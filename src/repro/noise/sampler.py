@@ -50,6 +50,13 @@ class ErrorGateSampler:
     def __init__(self, noise_model: NoiseModel, noise_factor: float = 1.0):
         if noise_factor < 0:
             raise ValueError("noise factor must be non-negative")
+        if noise_model.has_exact_channels:
+            raise ValueError(
+                "noise model carries exact (non-Pauli) relaxation channels, "
+                "which gate-insertion/trajectory sampling cannot represent; "
+                "use the density backends, or build the Pauli-twirled model "
+                "(noise_model_from_relaxation(..., exact_channels=False))"
+            )
         self.noise_model = noise_model
         self.noise_factor = noise_factor
         self._scaled = noise_model.scaled(noise_factor) if noise_factor != 1.0 else noise_model

@@ -1,0 +1,331 @@
+"""Cross-backend equivalence harness: every engine against the reference.
+
+Three noisy-execution engines now coexist (statevector trajectories,
+compiled superop density, per-Kraus reference density) plus the exact
+density *training* backend.  This harness keeps them honest as noise
+coverage grows: seeded randomized circuits are swept over
+(qubits x depth x channel mix -- Pauli, coherent, readout, exact
+relaxation and their combinations) and every enrolled engine is held to
+the per-Kraus reference.
+
+Enrollment is capability-driven: each :class:`EngineSpec` declares which
+channel features it supports, and the parametrization below generates
+exactly the supported (engine, mix) pairs -- a future engine auto-enrolls
+by appending one spec with its feature set (exact engines join the
+< ``TOL_EXACT`` comparisons; sampled engines the large-N convergence
+checks).  All tolerances live in one place at the top of this file.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.compiler import transpile
+from repro.noise import (
+    NoiseModel,
+    PauliError,
+    get_device,
+    readout_matrix,
+    run_noisy_density,
+    run_noisy_density_reference,
+    run_noisy_trajectories,
+)
+from repro.qnn import paper_model
+
+# ---------------------------------------------------------------------------
+# shared tolerances -- the single place engine agreement bars are set
+# ---------------------------------------------------------------------------
+
+#: Exact engines (same channel, different compilation) vs the reference.
+TOL_EXACT = 1e-9
+#: Monte-Carlo engines: allowed deviation is SIGMA / sqrt(n_trajectories).
+TOL_STATISTICAL_SIGMA = 6.0
+#: Trajectories per convergence check (keeps the harness in tier-1 time).
+N_CONVERGENCE_TRAJECTORIES = 600
+
+# ---------------------------------------------------------------------------
+# channel mixes
+# ---------------------------------------------------------------------------
+
+PAULI = "pauli"
+COHERENT = "coherent"
+READOUT = "readout"
+RELAXATION = "relaxation"
+
+
+def _build_model(n_qubits: int, features: "frozenset[str]") -> NoiseModel:
+    """A noise model exercising exactly the requested channel features."""
+    one_qubit = {}
+    two_qubit = {}
+    coherent = None
+    relaxation = None
+    durations = (0.0, 0.0)
+    readout = np.stack([readout_matrix(0.0, 0.0)] * n_qubits)
+    if PAULI in features:
+        one_qubit = {
+            (gate, q): PauliError(
+                4e-3 * (q + 1), 3e-3 * (q + 1), 2e-3 * (q + 1)
+            )
+            for q in range(n_qubits)
+            for gate in ("sx", "x", "id")
+        }
+        two_qubit = {
+            (q, q + 1): PauliError(8e-3, 6e-3, 4e-3)
+            for q in range(n_qubits - 1)
+        }
+    if COHERENT in features:
+        coherent = {
+            q: (0.03 * (q + 1), -0.02 * (q + 1)) for q in range(n_qubits)
+        }
+    if READOUT in features:
+        readout = np.stack(
+            [
+                readout_matrix(0.01 + 0.005 * q, 0.02 + 0.004 * q)
+                for q in range(n_qubits)
+            ]
+        )
+    if RELAXATION in features:
+        relaxation = {q: (40.0 + 15.0 * q, 50.0 + 12.0 * q) for q in range(n_qubits)}
+        durations = (0.05, 0.4)
+    return NoiseModel(
+        n_qubits, one_qubit, two_qubit, readout, coherent,
+        relaxation, durations,
+    )
+
+
+MIXES: "dict[str, frozenset[str]]" = {
+    "none": frozenset(),
+    "pauli": frozenset({PAULI}),
+    "coherent": frozenset({COHERENT}),
+    "readout": frozenset({READOUT}),
+    "relaxation": frozenset({RELAXATION}),
+    "pauli+readout": frozenset({PAULI, READOUT}),
+    "relaxation+readout": frozenset({RELAXATION, READOUT}),
+    "full": frozenset({PAULI, COHERENT, READOUT, RELAXATION}),
+}
+
+# ---------------------------------------------------------------------------
+# engines
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One noisy-execution engine enrolled in the harness.
+
+    ``run(compiled, model, weights, inputs, rng)`` must return logical
+    measured expectations with no shot sampling.  ``features`` is the
+    set of channel kinds the engine can represent -- the parametrization
+    only generates supported (engine, mix) pairs, so adding a spec here
+    automatically enrolls a new engine everywhere it can run.
+    """
+
+    name: str
+    run: "object"
+    exact: bool
+    features: "frozenset[str]" = field(
+        default_factory=lambda: frozenset(
+            {PAULI, COHERENT, READOUT, RELAXATION}
+        )
+    )
+
+
+def _run_reference(compiled, model, weights, inputs, rng):
+    return run_noisy_density_reference(compiled, model, weights, inputs)
+
+
+def _run_superop(compiled, model, weights, inputs, rng):
+    return run_noisy_density(compiled, model, weights, inputs, engine="superop")
+
+
+def _run_density_training(compiled, model, weights, inputs, rng):
+    # The exact-channel *training* backend's forward pass: per-site
+    # superops (no segment fusion) + the executor's affine readout tail.
+    from repro.core.density_training import density_forward_with_tape
+    from repro.noise import apply_readout_to_expectations
+
+    expectations, _tape = density_forward_with_tape(
+        compiled, model, weights, inputs
+    )
+    logical = expectations[:, list(compiled.measure_qubits)]
+    logical, _scales = apply_readout_to_expectations(
+        logical, compiled.readout_matrices(model)
+    )
+    return logical
+
+
+def _run_trajectory_fused(compiled, model, weights, inputs, rng):
+    return run_noisy_trajectories(
+        compiled, model, weights, inputs,
+        n_trajectories=N_CONVERGENCE_TRAJECTORIES, shots=None, rng=rng,
+    )
+
+
+def _run_trajectory_reference(compiled, model, weights, inputs, rng):
+    from repro.noise import (
+        apply_readout_to_joint_probabilities,
+        trajectory_probabilities_reference,
+    )
+    from repro.sim.statevector import z_signs
+
+    batch = np.asarray(inputs).shape[0] if inputs is not None else 1
+    probs = trajectory_probabilities_reference(
+        compiled, model, weights, inputs, batch,
+        n_trajectories=N_CONVERGENCE_TRAJECTORIES, rng=rng,
+    )
+    readout = np.stack(
+        [model.readout_for(p) for p in compiled.physical_qubits]
+    )
+    probs = apply_readout_to_joint_probabilities(probs, readout)
+    expectations = probs @ z_signs(compiled.circuit.n_qubits).T
+    return expectations[:, list(compiled.measure_qubits)]
+
+
+SAMPLED_FEATURES = frozenset({PAULI, COHERENT, READOUT})
+
+ENGINES = [
+    EngineSpec("density_superop", _run_superop, exact=True),
+    EngineSpec("density_training", _run_density_training, exact=True),
+    EngineSpec(
+        "trajectory_fused", _run_trajectory_fused,
+        exact=False, features=SAMPLED_FEATURES,
+    ),
+    EngineSpec(
+        "trajectory_reference", _run_trajectory_reference,
+        exact=False, features=SAMPLED_FEATURES,
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# randomized circuit sweep
+# ---------------------------------------------------------------------------
+
+#: (n_qubits, n_gates, seed) sweep points.  Depths bracket the regime
+#: where channel composition order matters (short) and where fused
+#: segments dominate (long).
+CASES = [(2, 6, 0), (3, 10, 1), (3, 18, 2)]
+
+_FIXED_1Q = ["h", "s", "x", "z", "sx"]
+_ROTATIONS = ["rx", "ry", "rz"]
+_FIXED_2Q = ["cx", "cz"]
+
+
+def _random_circuit(n_qubits: int, n_gates: int, seed: int):
+    from repro.circuits import Circuit
+
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(n_qubits)
+    for _ in range(n_gates):
+        roll = rng.random()
+        q = int(rng.integers(n_qubits))
+        if roll < 0.4:
+            circuit.add(_FIXED_1Q[rng.integers(len(_FIXED_1Q))], q)
+        elif roll < 0.75 or n_qubits == 1:
+            circuit.add(
+                _ROTATIONS[rng.integers(len(_ROTATIONS))],
+                q,
+                float(rng.uniform(-np.pi, np.pi)),
+            )
+        else:
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            circuit.add(_FIXED_2Q[rng.integers(len(_FIXED_2Q))], (int(a), int(b)))
+    return circuit
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_device("santiago")
+
+
+def _compiled_case(device, case):
+    n_qubits, n_gates, seed = case
+    circuit = _random_circuit(n_qubits, n_gates, seed)
+    return transpile(circuit, device, optimization_level=1)
+
+
+def _case_id(case):
+    return f"{case[0]}q-{case[1]}g-s{case[2]}"
+
+
+EXACT_PARAMS = [
+    pytest.param(engine, mix_name, case, id=f"{engine.name}-{mix_name}-{_case_id(case)}")
+    for engine in ENGINES
+    if engine.exact
+    for mix_name, mix in MIXES.items()
+    if mix <= engine.features
+    for case in CASES
+]
+
+
+@pytest.mark.parametrize("engine,mix_name,case", EXACT_PARAMS)
+def test_exact_engines_match_reference(engine, mix_name, case, device):
+    """Every exact engine reproduces the per-Kraus reference channel."""
+    compiled = _compiled_case(device, case)
+    model = _build_model(device.n_qubits, MIXES[mix_name])
+    got = engine.run(compiled, model, None, None, 0)
+    want = _run_reference(compiled, model, None, None, 0)
+    assert np.abs(got - want).max() < TOL_EXACT
+
+
+# Sampled engines are slow per run: sweep every supported mix on the
+# smallest case, and add one deeper case on each engine's *richest*
+# supported mix (capability-driven, so a future engine declaring more
+# features automatically gets convergence coverage on them).
+SAMPLED_PARAMS = [
+    pytest.param(engine, mix_name, case, id=f"{engine.name}-{mix_name}-{_case_id(case)}")
+    for engine in ENGINES
+    if not engine.exact
+    for mix_name, mix in MIXES.items()
+    if mix <= engine.features
+    for case in (
+        [CASES[0], CASES[1]]
+        if mix == max(
+            (m for m in MIXES.values() if m <= engine.features), key=len
+        )
+        else [CASES[0]]
+    )
+]
+
+
+@pytest.mark.parametrize("engine,mix_name,case", SAMPLED_PARAMS)
+def test_sampled_engines_converge_to_reference(engine, mix_name, case, device):
+    """Monte-Carlo engines converge to the exact channel at large N."""
+    compiled = _compiled_case(device, case)
+    model = _build_model(device.n_qubits, MIXES[mix_name])
+    got = engine.run(compiled, model, None, None, 7)
+    want = _run_reference(compiled, model, None, None, 7)
+    tol = TOL_STATISTICAL_SIGMA / np.sqrt(N_CONVERGENCE_TRAJECTORIES)
+    assert np.abs(got - want).max() < tol
+
+
+def test_exact_engines_batched_qnn_block(device):
+    """Encoder (input-dependent, batched) path: exact engines still agree."""
+    qnn = paper_model(4, 1, 1, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    rng = np.random.default_rng(3)
+    weights = qnn.init_weights(rng)
+    inputs = rng.normal(0, 1, (4, 16))
+    model = _build_model(device.n_qubits, MIXES["full"])
+    want = _run_reference(compiled, model, weights, inputs, 0)
+    for engine in ENGINES:
+        if not engine.exact:
+            continue
+        got = engine.run(compiled, model, weights, inputs, 0)
+        assert np.abs(got - want).max() < TOL_EXACT, engine.name
+
+
+def test_sampled_engines_reject_unsupported_mixes(device):
+    """Exact relaxation channels fail loudly on sampling backends."""
+    compiled = _compiled_case(device, CASES[0])
+    model = _build_model(device.n_qubits, MIXES["relaxation"])
+    with pytest.raises(ValueError, match="exact"):
+        _run_trajectory_fused(compiled, model, None, None, 0)
+
+
+def test_registry_covers_all_channel_features():
+    """Every feature is exercised by at least one mix and one engine."""
+    all_features = {PAULI, COHERENT, READOUT, RELAXATION}
+    assert set().union(*MIXES.values()) == all_features
+    for feature in all_features:
+        assert any(feature in engine.features for engine in ENGINES)

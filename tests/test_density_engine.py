@@ -341,6 +341,264 @@ def test_superop_plan_segment_count_is_compact():
 
 
 # ---------------------------------------------------------------------------
+# relaxation + readout superops and the exact-channel training backend
+# ---------------------------------------------------------------------------
+
+
+def _relaxation_model(device):
+    return device.hardware_model.with_relaxation(
+        {q: (50.0 + 10 * q, 60.0 + 8 * q) for q in range(device.n_qubits)},
+        (0.035, 0.30),
+    )
+
+
+def test_density_engine_matches_reference_with_relaxation():
+    device, compiled, weights, inputs = _compiled_block(20)
+    model = _relaxation_model(device)
+    fast = run_noisy_density(compiled, model, weights, inputs)
+    ref = run_noisy_density_reference(compiled, model, weights, inputs)
+    assert np.abs(fast - ref).max() < EXACT
+    # Relaxation genuinely changes the channel vs the Pauli-only model.
+    plain = run_noisy_density(compiled, device.hardware_model, weights, inputs)
+    assert np.abs(fast - plain).max() > 1e-3
+
+
+def test_density_engine_relaxation_scaled_noise_factor():
+    device, compiled, weights, inputs = _compiled_block(21, batch=3)
+    model = _relaxation_model(device)
+    for factor in (0.0, 0.5, 2.0):
+        fast = run_noisy_density(
+            compiled, model, weights, inputs, noise_factor=factor
+        )
+        ref = run_noisy_density_reference(
+            compiled, model, weights, inputs, noise_factor=factor
+        )
+        assert np.abs(fast - ref).max() < EXACT
+
+
+def test_compiled_readout_stage_matches_probability_mixing():
+    """The terminal measurement superop stage equals the reference tail."""
+    device, compiled, weights, inputs = _compiled_block(22, batch=3)
+    plan = superop_plan_for(compiled, device.noise_model)
+    without = plan.superops(weights, inputs, inputs.shape[0])
+    with_readout = plan.superops(
+        weights, inputs, inputs.shape[0], include_readout=True
+    )
+    assert len(with_readout) > len(without)
+    # Shots path stays reproducible with the compiled readout stage.
+    a = run_noisy_density(
+        compiled, device.noise_model, weights, inputs, shots=256, rng=3
+    )
+    b = run_noisy_density(
+        compiled, device.noise_model, weights, inputs, shots=256, rng=3
+    )
+    assert np.array_equal(a, b)
+
+
+def test_readout_povm_kraus_is_cptp_and_validates():
+    from repro.noise import readout_povm_kraus
+    from repro.sim.kraus import is_cptp
+
+    assert is_cptp(readout_povm_kraus(readout_matrix(0.016, 0.022)))
+    with pytest.raises(ValueError, match="2x2"):
+        readout_povm_kraus(np.eye(3))
+    with pytest.raises(ValueError, match="confusion"):
+        readout_povm_kraus(np.array([[0.7, 0.7], [0.1, 0.9]]))
+
+
+def test_density_training_gradients_match_finite_differences():
+    from repro.core.density_training import (
+        density_adjoint_backward,
+        density_forward_with_tape,
+    )
+    from repro.core.gradients import finite_difference_gradients
+
+    device = get_device("santiago")
+    qnn = paper_model(4, 1, 1, 16, 4)
+    compiled = transpile(qnn.blocks[0], device, 2)
+    rng = np.random.default_rng(23)
+    weights = qnn.init_weights(rng)
+    inputs = rng.normal(0, 1, (2, 16))
+    model = _relaxation_model(device)
+    upstream = rng.normal(0, 1, (2, 4))
+
+    _, tape = density_forward_with_tape(compiled, model, weights, inputs)
+    weight_grad, input_grad = density_adjoint_backward(tape, upstream)
+
+    def loss_of_weights(w):
+        e, _ = density_forward_with_tape(compiled, model, w, inputs)
+        return float((upstream * e).sum())
+
+    fd = finite_difference_gradients(loss_of_weights, weights)
+    assert np.abs(weight_grad - fd).max() < 1e-6
+
+    def loss_of_inputs(flat):
+        e, _ = density_forward_with_tape(
+            compiled, model, weights, flat.reshape(2, 16)
+        )
+        return float((upstream * e).sum())
+
+    fd_x = finite_difference_gradients(
+        loss_of_inputs, inputs.ravel()
+    ).reshape(2, 16)
+    assert np.abs(input_grad - fd_x).max() < 1e-6
+
+
+def test_density_train_executor_forward_matches_eval_executor():
+    """Training forward (affine readout tail) == inference forward."""
+    from repro.core.executors import DensityTrainExecutor
+
+    device, compiled, weights, inputs = _compiled_block(24, batch=3)
+    model = _relaxation_model(device)
+    trained, cache = DensityTrainExecutor(model).forward(
+        compiled, weights, inputs
+    )
+    evaluated, _ = DensityEvalExecutor(model).forward(compiled, weights, inputs)
+    assert np.abs(trained - evaluated).max() < EXACT
+    assert cache.readout_scales is not None
+
+
+def test_density_train_executor_zero_noise_matches_adjoint():
+    """With a zero-noise model the superop adjoint equals the statevector one."""
+    from repro.core.executors import DensityTrainExecutor, NoiselessExecutor
+
+    device, compiled, weights, inputs = _compiled_block(25, batch=3)
+    model = _zero_noise_model(device.n_qubits)
+    executor = DensityTrainExecutor(model)
+    noiseless = NoiselessExecutor()
+    logical_d, cache_d = executor.forward(compiled, weights, inputs)
+    logical_s, cache_s = noiseless.forward(compiled, weights, inputs)
+    assert np.abs(logical_d - logical_s).max() < EXACT
+    upstream = np.random.default_rng(0).normal(0, 1, logical_d.shape)
+    wg_d, xg_d = executor.backward(cache_d, upstream)
+    wg_s, xg_s = noiseless.backward(cache_s, upstream)
+    assert np.abs(wg_d - wg_s).max() < 1e-8
+    assert np.abs(xg_d - xg_s).max() < 1e-8
+
+
+def test_density_train_executor_validation():
+    from repro.core.executors import DensityTrainExecutor
+
+    device = get_device("santiago")
+    with pytest.raises(ValueError, match="non-negative"):
+        DensityTrainExecutor(device.noise_model, noise_factor=-1.0)
+
+
+def test_train_config_density_engine():
+    from repro.core.training import TrainConfig
+
+    assert TrainConfig(engine="density").engine == "density"
+    with pytest.raises(ValueError, match="engine"):
+        TrainConfig(engine="bogus")
+
+
+def test_density_engine_requires_gate_insertion_strategy():
+    """engine='density' must not silently noise-train a baseline model."""
+    from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+    from repro.core.training import TrainConfig, train
+
+    device = get_device("santiago")
+    model = QuantumNATModel(
+        paper_model(4, 1, 1, 16, 4), device,
+        QuantumNATConfig.baseline(), rng=0,
+    )
+    x = np.zeros((4, 16))
+    y = np.zeros(4, dtype=int)
+    with pytest.raises(ValueError, match="gate-insertion"):
+        train(model, x, y, x, y, TrainConfig(epochs=1, engine="density"))
+
+
+def test_density_engine_rejects_wide_models_eagerly():
+    from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+    from repro.core.training import TrainConfig, train
+
+    model = QuantumNATModel(
+        paper_model(10, 1, 1, 36, 4), get_device("melbourne"),
+        QuantumNATConfig.full(0.5), rng=0,
+    )
+    x = np.zeros((4, 36))
+    y = np.zeros(4, dtype=int)
+    with pytest.raises(ValueError, match="density-matrix-bound"):
+        train(model, x, y, x, y, TrainConfig(epochs=1, engine="density"))
+
+
+def test_exact_channel_device_model_trains_via_density_executor():
+    """A device whose published model carries exact channels is trainable.
+
+    Gate insertion cannot sample general Kraus channels, so the model
+    constructor must fall back to the exact-channel density trainer
+    instead of crashing in the eagerly-built sampler.
+    """
+    from dataclasses import replace
+
+    from repro.core.executors import DensityTrainExecutor
+    from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+
+    device = get_device("santiago")
+    exact_device = replace(
+        device, noise_model=_relaxation_model(device)
+    )
+    model = QuantumNATModel(
+        paper_model(4, 1, 1, 16, 4), exact_device,
+        QuantumNATConfig.full(0.5), rng=0,
+    )
+    assert isinstance(model._train_executor, DensityTrainExecutor)
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, (6, 16))
+    y = rng.integers(0, 4, 6)
+    weights = model.qnn.init_weights(rng)
+    loss, _acc, grad = model.loss_and_gradients(weights, x, y)
+    assert np.isfinite(loss) and np.abs(grad).max() > 0
+
+
+def test_wide_exact_channel_device_rejected_with_actionable_advice():
+    """Wide blocks + exact channels fail eagerly, pointing at the fix."""
+    from dataclasses import replace
+
+    from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+
+    device = get_device("melbourne")
+    exact = device.noise_model.with_relaxation(
+        {q: (60.0, 70.0) for q in range(device.n_qubits)}, (0.035, 0.3)
+    )
+    with pytest.raises(ValueError, match="exact_channels=False"):
+        QuantumNATModel(
+            paper_model(10, 1, 1, 36, 4),
+            replace(device, noise_model=exact),
+            QuantumNATConfig.full(0.5),
+            rng=0,
+        )
+
+
+def test_training_with_density_engine_is_deterministic():
+    """engine='density' trains, improves, restores the executor, repeats."""
+    from repro.core.executors import GateInsertionExecutor
+    from repro.core.training import TrainConfig, train
+    from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+
+    device = get_device("santiago")
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, (16, 16))
+    y = rng.integers(0, 4, 16)
+
+    def run():
+        model = QuantumNATModel(
+            paper_model(4, 1, 1, 16, 4), device,
+            QuantumNATConfig.full(0.5), rng=0,
+        )
+        result = train(
+            model, x, y, x, y,
+            TrainConfig(epochs=2, batch_size=8, engine="density", seed=0),
+        )
+        assert isinstance(model._train_executor, GateInsertionExecutor)
+        return result
+
+    first, second = run(), run()
+    assert np.array_equal(first.weights, second.weights)
+    assert first.history[-1]["train_loss"] < first.history[0]["train_loss"]
+
+
+# ---------------------------------------------------------------------------
 # segment-fused trajectories: convergence and sharding
 # ---------------------------------------------------------------------------
 

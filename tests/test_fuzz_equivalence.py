@@ -5,6 +5,13 @@ commutation-aware optimization, ZNE folding, QASM roundtrips and the
 full device transpile all take a random circuit and must give back the
 same operator (up to global phase).  Hypothesis drives the circuit
 generator so regressions in any pass show up as shrunk counterexamples.
+
+The channel-equivalence section extends the same treatment to the noisy
+engines: random noise models -- Pauli, coherent, readout confusion and
+exact T1/T2 relaxation channels together -- must evaluate identically
+through the superop-compiled density stream and the per-Kraus reference,
+and the compiled readout/relaxation superoperators must match their
+Kraus-by-Kraus application on random densities.
 """
 
 import numpy as np
@@ -118,6 +125,114 @@ def test_transpile_preserves_semantics(level, seed):
     measured = z_expectations(state_c, compiled.circuit.n_qubits)[0]
     reordered = measured[list(compiled.measure_qubits)]
     assert np.allclose(reordered, expected, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# noisy-channel equivalence: compiled density engine vs per-Kraus reference
+# ---------------------------------------------------------------------------
+
+
+def _random_noise_model(seed: int, n_qubits: int):
+    """A random full noise model: Pauli + coherent + readout + relaxation."""
+    from repro.noise import NoiseModel, PauliError, readout_matrix
+
+    rng = np.random.default_rng(seed + 977)
+    one_qubit = {
+        (gate, q): PauliError(*rng.uniform(0, 8e-3, 3))
+        for q in range(n_qubits)
+        for gate in ("sx", "x", "id")
+    }
+    two_qubit = {
+        (q, q + 1): PauliError(*rng.uniform(0, 2e-2, 3))
+        for q in range(n_qubits - 1)
+    }
+    readout = np.stack(
+        [
+            readout_matrix(*rng.uniform(0, 0.05, 2))
+            for _ in range(n_qubits)
+        ]
+    )
+    coherent = {
+        q: tuple(rng.normal(0, 0.05, 2)) for q in range(n_qubits)
+    }
+    t1 = rng.uniform(20.0, 200.0, n_qubits)
+    t2 = t1 * rng.uniform(0.2, 2.0, n_qubits)  # physical: T2 <= 2*T1
+    relaxation = {q: (float(t1[q]), float(t2[q])) for q in range(n_qubits)}
+    return NoiseModel(
+        n_qubits, one_qubit, two_qubit, readout, coherent,
+        relaxation, (float(rng.uniform(0.01, 0.1)), float(rng.uniform(0.1, 0.5))),
+    )
+
+
+@given(seeds)
+@settings(max_examples=10, deadline=None)
+def test_density_engines_agree_on_random_full_noise(seed):
+    """Superop-compiled vs per-Kraus density on random channels/circuits."""
+    from repro.noise import run_noisy_density, run_noisy_density_reference
+
+    circuit = _circuit_from_seed(seed, n_qubits=3, n_gates=10)
+    device = get_device("belem")
+    compiled = transpile(circuit, device, optimization_level=1)
+    model = _random_noise_model(seed, device.n_qubits)
+    fast = run_noisy_density(compiled, model, engine="superop")
+    ref = run_noisy_density_reference(compiled, model)
+    assert np.abs(fast - ref).max() < 1e-9
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_readout_povm_matches_probability_mixing(seed):
+    """The terminal measurement superop equals classical confusion mixing."""
+    from repro.noise import readout_matrix, readout_povm_kraus
+    from repro.noise.readout import apply_readout_to_joint_probabilities
+    from repro.sim.density import (
+        apply_superop_to_density,
+        density_probabilities,
+        kraus_superop,
+    )
+
+    rng = np.random.default_rng(seed)
+    n = 3
+    dim = 2**n
+    probs = rng.dirichlet(np.ones(dim), size=2)
+    rho = np.zeros((2, dim, dim), dtype=complex)
+    rho[:, np.arange(dim), np.arange(dim)] = probs
+    readout = np.stack(
+        [readout_matrix(*rng.uniform(0, 0.3, 2)) for _ in range(n)]
+    )
+    mixed = apply_readout_to_joint_probabilities(probs, readout)
+    for q in range(n):
+        superop = kraus_superop(readout_povm_kraus(readout[q]))
+        rho = apply_superop_to_density(rho, superop, (q,), n)
+    assert np.abs(density_probabilities(rho) - mixed).max() < 1e-12
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_relaxation_superop_matches_per_kraus(seed):
+    """Compiled thermal-relaxation channels equal Kraus-by-Kraus applies."""
+    from repro.sim.channels import QuantumChannel
+    from repro.sim.density import (
+        apply_kraus_to_density,
+        apply_superop_to_density,
+        kraus_superop,
+    )
+
+    rng = np.random.default_rng(seed)
+    n = 2
+    dim = 2**n
+    a = rng.normal(size=(3, dim, dim)) + 1j * rng.normal(size=(3, dim, dim))
+    rho = np.einsum("bij,bkj->bik", a, a.conj())
+    rho /= np.einsum("bii->b", rho).real[:, None, None]
+    t1 = rng.uniform(10.0, 100.0)
+    t2 = t1 * rng.uniform(0.1, 2.0)
+    kraus = QuantumChannel.thermal_relaxation(
+        t1, t2, rng.uniform(0.0, 0.5)
+    ).kraus_ops
+    for q in range(n):
+        fast = apply_superop_to_density(rho, kraus_superop(kraus), (q,), n)
+        ref = apply_kraus_to_density(rho, kraus, (q,), n)
+        assert np.abs(fast - ref).max() < 1e-12
 
 
 @given(seeds)

@@ -1,0 +1,88 @@
+"""Golden end-to-end regression: the paper's headline claim, pinned.
+
+A tiny fixed-seed QuantumNAT pipeline -- noise injection + quantization
++ normalization -- must beat the noise-unaware baseline when evaluated
+under the *full* realistic noise model (Pauli + coherent + readout +
+exact T1/T2 relaxation, via the superop-compiled density backend).
+Everything is seeded and the density evaluation is deterministic, so a
+regression in any pipeline stage (training engines, noise channels,
+compiled superop stream, normalization/quantization backward) shows up
+as a reproducible accuracy flip rather than a flake.
+
+Covers both noise-aware training engines: the paper's sampled gate
+insertion and the exact-channel density engine
+(``TrainConfig(engine="density")``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DensityEvalExecutor,
+    QuantumNATConfig,
+    QuantumNATModel,
+    TrainConfig,
+    get_device,
+    paper_model,
+    train,
+)
+from repro.data import load_task
+
+EPOCHS = 20
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Train the three fixed-seed variants once; share across asserts."""
+    task = load_task("mnist-4", n_train=128, n_valid=32, n_test=96, seed=0)
+    device = get_device("yorktown")
+    # The deployment-time "full noise" twin: drifted hardware Paulis +
+    # coherent miscalibration + readout confusion + exact relaxation.
+    full_noise = device.hardware_model.with_relaxation(
+        {q: (80.0 + 10 * q, 90.0 + 8 * q) for q in range(device.n_qubits)},
+        (0.02, 0.18),
+    )
+    results = {}
+    for label, config, engine in [
+        ("baseline", QuantumNATConfig.baseline(), "fast"),
+        ("quantumnat", QuantumNATConfig.full(0.25, 6), "fast"),
+        ("quantumnat_density", QuantumNATConfig.full(0.25, 6), "density"),
+    ]:
+        model = QuantumNATModel(paper_model(4, 2, 1, 16, 4), device, config, rng=0)
+        result = train(
+            model, task.train_x, task.train_y, task.valid_x, task.valid_y,
+            TrainConfig(epochs=EPOCHS, seed=SEED, engine=engine),
+        )
+        acc, loss = model.evaluate(
+            result.weights, task.test_x, task.test_y,
+            DensityEvalExecutor(full_noise),
+        )
+        results[label] = {"acc": acc, "loss": loss, "result": result}
+    return results
+
+
+def test_noise_aware_beats_baseline_under_full_noise(golden):
+    """Table 1's ordering survives the full (relaxation-bearing) model."""
+    assert golden["quantumnat"]["acc"] > golden["baseline"]["acc"]
+
+
+def test_exact_channel_training_beats_baseline(golden):
+    """The density training engine reproduces the noise-aware win."""
+    assert golden["quantumnat_density"]["acc"] > golden["baseline"]["acc"]
+
+
+def test_noise_aware_accuracy_above_chance(golden):
+    """The trained pipeline stays usable under full noise (chance = 0.25)."""
+    assert golden["quantumnat_density"]["acc"] > 0.25
+
+
+def test_training_histories_are_pinned(golden):
+    """Fixed seeds fully determine the runs (golden determinism guard)."""
+    for label in ("baseline", "quantumnat", "quantumnat_density"):
+        result = golden[label]["result"]
+        assert result.final_epoch == EPOCHS
+        assert np.isfinite(result.best_valid_loss)
+        # Training made progress: best validation loss beats the first
+        # epoch's (both recorded under the same fixed seed).
+        assert result.best_valid_loss <= result.history[0]["valid_loss"]

@@ -89,6 +89,102 @@ def test_noise_model_validation():
         noise_model_from_relaxation(relax, [], 0.1, 0.2, readout_error=[0.1, 0.2])
 
 
+def test_relaxation_pauli_error_validates_duck_typed_times():
+    """Duck-typed (non-QubitRelaxation) inputs still get a clear error."""
+    from types import SimpleNamespace
+
+    with pytest.raises(ValueError, match="T2 <= 2\\*T1"):
+        relaxation_pauli_error(SimpleNamespace(t1=10.0, t2=30.0), 0.1)
+    with pytest.raises(ValueError, match="positive"):
+        relaxation_pauli_error(SimpleNamespace(t1=0.0, t2=1.0), 0.1)
+    # A valid duck-typed pair still works.
+    error = relaxation_pauli_error(SimpleNamespace(t1=100.0, t2=120.0), 0.05)
+    assert error.total > 0
+
+
+def test_noise_model_from_relaxation_validates_every_entry():
+    from types import SimpleNamespace
+
+    good = QubitRelaxation(80.0, 100.0)
+    bad = SimpleNamespace(t1=10.0, t2=30.0)  # bypasses the dataclass check
+    with pytest.raises(ValueError, match="unphysical"):
+        noise_model_from_relaxation([good, bad], [], 0.035, 0.3)
+    with pytest.raises(ValueError, match="unphysical"):
+        noise_model_from_relaxation(
+            [bad], [], 0.035, 0.3, exact_channels=True
+        )
+
+
+def test_integer_readout_error_accepted():
+    model = noise_model_from_relaxation(
+        [QubitRelaxation(80.0, 100.0)], [], 0.035, 0.3, readout_error=0
+    )
+    assert np.allclose(model.readout[0], np.eye(2))
+
+
+def test_exact_channels_mode_attaches_kraus_sets():
+    relaxations = [QubitRelaxation(80.0, 100.0), QubitRelaxation(40.0, 60.0)]
+    model = noise_model_from_relaxation(
+        relaxations, [(0, 1)], 0.035, 0.3, exact_channels=True
+    )
+    assert model.has_exact_channels
+    assert not model.one_qubit and not model.two_qubit
+    assert model.relaxation_durations == (0.035, 0.3)
+    kraus_1q = model.relaxation_kraus_for(1, 1)
+    kraus_2q = model.relaxation_kraus_for(1, 2)
+    from repro.sim.kraus import is_cptp
+
+    assert is_cptp(kraus_1q) and is_cptp(kraus_2q)
+    # Longer 2q exposure decays more: check via the twirled totals.
+    from repro.noise.twirling import twirl_to_pauli_error
+
+    assert twirl_to_pauli_error(kraus_2q).total > twirl_to_pauli_error(kraus_1q).total
+    # The cache returns the same stack on repeat lookups.
+    assert model.relaxation_kraus_for(1, 1) is kraus_1q
+
+
+def test_exact_channel_model_scaling_and_copies():
+    model = noise_model_from_relaxation(
+        [QubitRelaxation(80.0, 100.0)], [], 0.035, 0.3, exact_channels=True
+    )
+    # Noise factor scales the exposure time; T = 0 turns relaxation off.
+    assert model.scaled(0.0).relaxation_kraus_for(0, 1) is None
+    doubled = model.scaled(2.0)
+    assert doubled.relaxation_durations == (0.07, 0.6)
+    # Copy constructors carry the channels through.
+    assert model.with_coherent({0: (0.01, 0.02)}).has_exact_channels
+    drifted = model.drifted(np.random.default_rng(0))
+    assert drifted.has_exact_channels
+    t1, t2 = drifted.relaxation[0]
+    assert t2 <= 2 * t1 + 1e-12
+
+
+def test_exact_channel_model_rejected_by_sampler():
+    from repro.noise.sampler import ErrorGateSampler
+
+    model = noise_model_from_relaxation(
+        [QubitRelaxation(80.0, 100.0)] * 2, [(0, 1)], 0.035, 0.3,
+        exact_channels=True,
+    )
+    with pytest.raises(ValueError, match="exact"):
+        ErrorGateSampler(model)
+
+
+def test_noise_model_validates_relaxation_times_directly():
+    from repro.noise import NoiseModel, readout_matrix
+
+    with pytest.raises(ValueError, match="unphysical"):
+        NoiseModel(
+            1, {}, {}, np.stack([readout_matrix(0.0, 0.0)]),
+            relaxation={0: (10.0, 30.0)}, relaxation_durations=(0.1, 0.2),
+        )
+    with pytest.raises(ValueError, match="non-negative"):
+        NoiseModel(
+            1, {}, {}, np.stack([readout_matrix(0.0, 0.0)]),
+            relaxation={0: (10.0, 15.0)}, relaxation_durations=(-0.1, 0.2),
+        )
+
+
 def test_derived_model_usable_by_sampler():
     from repro.circuits import Circuit
     from repro.noise.sampler import ErrorGateSampler
