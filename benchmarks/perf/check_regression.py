@@ -50,6 +50,7 @@ SPEEDUP_SCENARIOS = frozenset({
     "forward",
     "forward_backward",
     "trajectory_inference",
+    "mcwf_trajectory",
     "density_inference",
     "density_relaxation",
     "training_step",

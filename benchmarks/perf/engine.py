@@ -65,6 +65,8 @@ from repro.noise.density_backend import (
     run_noisy_density_reference,
 )
 from repro.noise.trajectory import (
+    mcwf_probabilities_reference,
+    run_noisy_trajectories,
     trajectory_probabilities,
     trajectory_probabilities_reference,
 )
@@ -322,6 +324,54 @@ def run_benchmarks(
         ).max()
     )
 
+    # -- quantum-jump (MCWF) trajectory inference ---------------------------
+    # The sampled backend for the *exact* relaxation channel set: jump
+    # sites sampled from the Kraus effects with per-row renormalization,
+    # fused across (trajectories x batch) like the Pauli sweep.  The
+    # reference loops one trajectory at a time with per-site Python
+    # candidate application and per-row choice draws.
+    t_fast = _best_of(
+        lambda: trajectory_probabilities(
+            compiled, relax_model, weights, traj_inputs, traj_batch,
+            n_traj, rng=6, unravel="jump",
+        ),
+        cfg["repeats"],
+    )
+    t_ref = _best_of(
+        lambda: mcwf_probabilities_reference(
+            compiled, relax_model, weights, traj_inputs, traj_batch,
+            n_traj, rng=6,
+        ),
+        cfg["ref_repeats"],
+    )
+    bench["mcwf_trajectory"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "n_trajectories": n_traj, "batch": traj_batch,
+    }
+    # Deterministic channel: no stochastic or jump sites, so the jump
+    # unraveling runs the identical fused sweep as the Pauli one and
+    # must match the per-trajectory reference exactly.
+    p_jump_det = trajectory_probabilities(
+        compiled, det_model, weights, traj_inputs, traj_batch, 2, rng=3,
+        unravel="jump",
+    )
+    p_det_ref = trajectory_probabilities_reference(
+        compiled, det_model, weights, traj_inputs, traj_batch, 2, rng=3
+    )
+    equiv["mcwf_deterministic_max_err"] = float(
+        np.abs(p_jump_det - p_det_ref).max()
+    )
+    # Statistical convergence of the jump unraveling to the compiled
+    # exact density channel under the full relaxation + readout model.
+    mcwf_exp = run_noisy_trajectories(
+        compiled, relax_model, weights, traj_inputs,
+        n_trajectories=cfg["stat_trajectories"], shots=None, rng=8,
+        unravel="jump",
+    )
+    dens_exp = run_noisy_density(compiled, relax_model, weights, traj_inputs)
+    equiv["mcwf_statistical_dev"] = float(np.abs(mcwf_exp - dens_exp).max())
+    equiv["mcwf_statistical_tol"] = 6.0 / np.sqrt(cfg["stat_trajectories"])
+
     # -- sharded trajectory execution --------------------------------------
     # Same chunk layout and per-chunk RNG streams serial vs pooled, so
     # the outputs must be *bit-identical*; the timing ratio records what
@@ -508,6 +558,7 @@ def run_benchmarks(
         "adjoint_weight_grad_max_err",
         "adjoint_input_grad_max_err",
         "trajectory_deterministic_max_err",
+        "mcwf_deterministic_max_err",
         "density_inference_max_err",
         "density_relaxation_max_err",
         "sharded_trajectory_max_err",
@@ -523,6 +574,11 @@ def run_benchmarks(
         raise AssertionError(
             "fused trajectory distribution deviates from reference: "
             f"{equiv['trajectory_statistical_dev']:.3e}"
+        )
+    if equiv["mcwf_statistical_dev"] > equiv["mcwf_statistical_tol"]:
+        raise AssertionError(
+            "quantum-jump trajectories deviate from the exact density "
+            f"channel: {equiv['mcwf_statistical_dev']:.3e}"
         )
 
     if out_path is not None:

@@ -33,6 +33,7 @@ def test_engine_smoke(tmp_path):
 
     bench = report["benchmarks"]
     for key in ("forward", "forward_backward", "trajectory_inference",
+                "mcwf_trajectory",
                 "density_inference", "density_relaxation",
                 "sharded_trajectory",
                 "training_step", "stacked_noise_training",
@@ -46,6 +47,8 @@ def test_engine_smoke(tmp_path):
     assert equiv["forward_max_err"] < 1e-10
     assert equiv["adjoint_weight_grad_max_err"] < 1e-10
     assert equiv["trajectory_deterministic_max_err"] < 1e-10
+    assert equiv["mcwf_deterministic_max_err"] < 1e-10
+    assert equiv["mcwf_statistical_dev"] < equiv["mcwf_statistical_tol"]
     assert equiv["density_inference_max_err"] < 1e-10
     assert equiv["density_relaxation_max_err"] < 1e-10
     assert equiv["training_step_loss_err"] < 1e-10
@@ -59,6 +62,9 @@ def test_engine_smoke(tmp_path):
     # the smoke robust to noisy CI machines).
     assert bench["forward_backward"]["speedup"] > 1.0
     assert bench["trajectory_inference"]["speedup"] > 1.0
+    # The fused quantum-jump sweep must stay ahead of the one-trajectory-
+    # at-a-time MCWF reference loop.
+    assert bench["mcwf_trajectory"]["speedup"] > 1.0
     # The compiled superoperator density engine's acceptance bar is
     # >= 10x (really ~40x; 3.0 absorbs CI noise on tiny smoke sizes).
     assert bench["density_inference"]["speedup"] > 3.0

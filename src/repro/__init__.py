@@ -49,9 +49,17 @@ from repro.core import (
     GateInsertionExecutor,
     DensityEvalExecutor,
     DensityTrainExecutor,
+    MCWFTrainExecutor,
     TrajectoryEvalExecutor,
     make_real_qc_executor,
     make_noise_model_executor,
+    EngineSpec,
+    EngineCapabilities,
+    capability_matrix,
+    create_engine,
+    engine_names,
+    engine_spec,
+    register_engine,
     ParameterShiftEngine,
     accuracy,
 )
@@ -89,9 +97,17 @@ __all__ = [
     "GateInsertionExecutor",
     "DensityEvalExecutor",
     "DensityTrainExecutor",
+    "MCWFTrainExecutor",
     "TrajectoryEvalExecutor",
     "make_real_qc_executor",
     "make_noise_model_executor",
+    "EngineSpec",
+    "EngineCapabilities",
+    "capability_matrix",
+    "create_engine",
+    "engine_names",
+    "engine_spec",
+    "register_engine",
     "ParameterShiftEngine",
     "accuracy",
     "transpile",

@@ -259,7 +259,8 @@ class SuperopPlan:
 
     __slots__ = (
         "bind_plan", "_channels", "_layout", "_cache", "_site_cache",
-        "_readout",
+        "_readout", "_train_layout", "_train_static_sites",
+        "_train_segments", "_train_site_cache",
     )
 
     def __init__(
@@ -291,6 +292,30 @@ class SuperopPlan:
         # Readout is unscaled by the noise factor (paper convention), so
         # the stage is built from the original model.
         self._readout = _readout_superops(compiled, noise_model)
+        # Training-path layout: runs of *constant-parameter* sites (no
+        # gradient flows through them, their superops never change)
+        # interleaved with the differentiable sites the adjoint sweep
+        # stores pre-densities for.  Constant runs fuse into segment
+        # operators exactly once per plan -- see :meth:`training_stream`.
+        train_layout: "list[tuple]" = []
+        run: "list[int]" = []
+        static_sites: "set[int]" = set()
+        for i, gate in enumerate(circuit.gates):
+            if any(not expr.is_constant for expr in gate.params):
+                if run:
+                    train_layout.append(("const", run))
+                    run = []
+                train_layout.append(("site", i))
+                if not any(expr.depends_on_input for expr in gate.params):
+                    static_sites.add(i)
+            else:
+                run.append(i)
+        if run:
+            train_layout.append(("const", run))
+        self._train_layout = train_layout
+        self._train_static_sites = static_sites
+        self._train_segments: "list[list[SuperOp]] | None" = None
+        self._train_site_cache = SmallLRU(_SUPEROP_CACHE_SIZE)
 
     def channel(self, index: int) -> "np.ndarray | None":
         """Gate site ``index``'s constant noise superoperator (or None).
@@ -309,6 +334,23 @@ class SuperopPlan:
             matrix = np.matmul(channel, matrix)
         return SuperOp(op.qubits, matrix)
 
+    def _cached_static_superops(
+        self, ops: list, weights, cache: SmallLRU, indices
+    ) -> "dict[int, SuperOp]":
+        """Weight-keyed cache of per-site superops for ``indices``.
+
+        The shared caching policy of :meth:`site_superops` and
+        :meth:`training_stream`: static sites' superops depend only on
+        the weight vector, so each consumer keeps one small LRU over
+        its own site-index set and rebuilds only on a fresh vector.
+        """
+        key = weights_key(weights)
+        static = cache.get(key)
+        if static is None:
+            static = {i: self.site_superop(ops[i], i) for i in indices}
+            cache.put(key, static)
+        return static
+
     def site_superops(
         self,
         weights: "np.ndarray | None" = None,
@@ -325,22 +367,65 @@ class SuperopPlan:
         input-dependent encoder sites rebuild per call.
         """
         ops = self.bind_plan.bind(weights, inputs, batch)
-        key = weights_key(weights)
-        static = self._site_cache.get(key)
-        if static is None:
-            static = {
-                i: self.site_superop(ops[i], i)
+        static = self._cached_static_superops(
+            ops, weights, self._site_cache,
+            (
+                i
                 for kind, start, end in self._layout
                 if kind == "static"
                 for i in range(start, end)
-            }
-            self._site_cache.put(key, static)
+            ),
+        )
         out: "list[tuple]" = []
         for kind, start, end in self._layout:
             if kind == "static":
                 out.extend((ops[i], static[i]) for i in range(start, end))
             else:
                 out.append((ops[start], self.site_superop(ops[start], start)))
+        return out
+
+    def training_stream(
+        self,
+        weights: "np.ndarray | None" = None,
+        inputs: "np.ndarray | None" = None,
+        batch: "int | None" = None,
+    ) -> "list[tuple]":
+        """The adjoint-training stream with constant runs pre-fused.
+
+        Yields ``("segment", SuperOp)`` for fused runs of
+        constant-parameter sites (no gradient flows through them, so the
+        backward sweep only transposes the merged matrix) and
+        ``("site", bound op, SuperOp, index)`` for differentiable sites
+        (which keep their per-site superop so the sweep can store
+        pre-site densities and separate the channel factor).  Constant
+        segments depend on neither weights nor inputs and are fused
+        exactly once per plan -- every minibatch, epoch and weight
+        vector reuses them; weight-only differentiable sites are cached
+        per weight vector, and only input-dependent encoder sites
+        rebuild per call.
+        """
+        ops = self.bind_plan.bind(weights, inputs, batch)
+        if self._train_segments is None:
+            self._train_segments = [
+                fuse_superops(
+                    [self.site_superop(ops[i], i) for i in indices]
+                )
+                for kind, indices in self._train_layout
+                if kind == "const"
+            ]
+        static = self._cached_static_superops(
+            ops, weights, self._train_site_cache, self._train_static_sites
+        )
+        segments = iter(self._train_segments)
+        out: "list[tuple]" = []
+        for kind, payload in self._train_layout:
+            if kind == "const":
+                out.extend(("segment", op) for op in next(segments))
+            else:
+                superop = static.get(payload)
+                if superop is None:
+                    superop = self.site_superop(ops[payload], payload)
+                out.append(("site", ops[payload], superop, payload))
         return out
 
     def _static_segments(self, ops: list, weights) -> "list[list[SuperOp]]":

@@ -53,9 +53,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class _Site:
-    """One gate site of a density tape."""
+    """One step of a density tape.
 
-    op: object  # BoundOp
+    ``op`` is None for fused constant segments (runs of
+    constant-parameter sites merged into one superoperator by
+    :meth:`repro.compiler.superop.SuperopPlan.training_stream`): no
+    gradient flows through them, so forward and backward each apply a
+    single merged matrix.
+    """
+
+    op: object  # BoundOp, or None for a fused constant segment
     superop: object  # SuperOp (gate x channel, ready to apply)
     channel: "np.ndarray | None"  # the constant channel factor alone
     rho_pre: "np.ndarray | None"  # pre-site density (differentiable sites)
@@ -122,19 +129,24 @@ def density_forward_with_tape(
     plan = superop_plan_for(compiled, noise_model, noise_factor)
     rho = zero_density(n, batch)
     sites: "list[_Site]" = []
-    # Static sites' superops are cached per weight vector on the plan;
-    # only input-dependent encoder sites rebuild per step.
-    for index, (op, superop) in enumerate(
-        plan.site_superops(weights, inputs, batch)
-    ):
-        sites.append(
-            _Site(
-                op,
-                superop,
-                plan.channel(index) if op.grad_params else None,
-                rho if op.grad_params else None,
+    # Constant-parameter runs arrive pre-fused into segment superops
+    # (built once per plan, reused across every minibatch and weight
+    # vector); weight-only differentiable sites are cached per weight
+    # vector, and only input-dependent encoder sites rebuild per step.
+    for entry in plan.training_stream(weights, inputs, batch):
+        if entry[0] == "segment":
+            superop = entry[1]
+            sites.append(_Site(None, superop, None, None))
+        else:
+            _, op, superop, index = entry
+            sites.append(
+                _Site(
+                    op,
+                    superop,
+                    plan.channel(index) if op.grad_params else None,
+                    rho if op.grad_params else None,
+                )
             )
-        )
         rho = apply_superop_to_density(
             rho, superop.matrix, superop.qubits, n, diagonal=superop.diagonal
         )
@@ -180,7 +192,7 @@ def density_adjoint_backward(
 
     for site in reversed(tape.sites):
         op, superop = site.op, site.superop
-        if op.grad_params:
+        if op is not None and op.grad_params:
             for which, expr in op.grad_params:
                 dv = _unitary_superop_derivative(op.matrix, op.dmatrix(which))
                 if site.channel is not None:

@@ -1,0 +1,475 @@
+"""The engine registry: one place every execution backend enrolls.
+
+Four PRs of engine growth (fast statevector, batched training, compiled
+superop density, full-noise channels) left backend selection scattered
+across string-valued ``TrainConfig.engine`` switches, ``isinstance``
+checks and per-test capability tables.  This module replaces all of
+that with a first-class registry:
+
+* an :class:`EngineSpec` describes one backend -- its *capabilities*
+  (which channel kinds it can represent, whether it is differentiable,
+  exact or Monte-Carlo, shot-sampling, shardable, and any qubit-width
+  bound), an evaluation ``factory`` with a uniform construction
+  signature, and optional :class:`TrainSupport` describing how a
+  training run uses it;
+* :func:`register_engine` / :func:`engine_spec` / :func:`engine_specs`
+  provide registration and lookup by name;
+* :func:`engines_supporting`, :func:`resolve_eval_engine` and
+  :func:`resolve_train_engine` are the capability queries the pipeline,
+  ``TrainConfig`` and error messages resolve backends through;
+* :func:`capability_matrix` renders the registry as a text table for
+  docs and diagnostics.
+
+The cross-backend equivalence harness (``tests/test_cross_backend.py``)
+enrolls every registered engine from its declared capabilities, so a
+new backend registered here is automatically held to the per-Kraus
+reference channel on every channel mix it claims to support -- no test
+edits required.
+
+Channel-kind names are shared with
+:meth:`repro.noise.model.NoiseModel.channel_kinds`, which reports the
+kinds a concrete model actually exercises; capability matching is plain
+``frozenset`` containment between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.executors import (
+    DensityEvalExecutor,
+    DensityTrainExecutor,
+    GateInsertionExecutor,
+    MCWFTrainExecutor,
+    NoiselessExecutor,
+    TrajectoryEvalExecutor,
+)
+from repro.noise.model import (
+    ALL_CHANNEL_KINDS,
+    CHANNEL_COHERENT,
+    CHANNEL_PAULI,
+    CHANNEL_READOUT,
+    CHANNEL_RELAXATION,
+)
+
+__all__ = [
+    "ALL_CHANNEL_KINDS",
+    "CHANNEL_COHERENT",
+    "CHANNEL_PAULI",
+    "CHANNEL_READOUT",
+    "CHANNEL_RELAXATION",
+    "EngineCapabilities",
+    "EngineSpec",
+    "TrainSupport",
+    "capability_matrix",
+    "create_engine",
+    "engine_names",
+    "engine_spec",
+    "engine_specs",
+    "engines_supporting",
+    "register_engine",
+    "resolve_eval_engine",
+    "resolve_train_engine",
+    "train_engine_names",
+    "unregister_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What one execution backend can faithfully represent.
+
+    ``channels`` uses the shared channel-kind vocabulary of
+    :mod:`repro.noise.model`; an engine can run a noise model iff the
+    model's :meth:`~repro.noise.model.NoiseModel.channel_kinds` is a
+    subset of it.  ``exact`` distinguishes deterministic channel
+    evaluation from Monte-Carlo sampling (the cross-backend harness
+    holds exact engines to ``TOL_EXACT`` and sampled ones to the
+    large-N statistical bound).  ``max_qubits`` is the width above
+    which the engine refuses (density-matrix backends); None means
+    unbounded.
+    """
+
+    channels: "frozenset[str]" = frozenset()
+    differentiable: bool = False
+    exact: bool = False
+    shots: bool = False
+    shardable: bool = False
+    max_qubits: "int | None" = None
+
+
+@dataclass(frozen=True)
+class TrainSupport:
+    """How a training run (``TrainConfig.engine``) uses an engine.
+
+    ``step_attr`` names the :class:`~repro.core.pipeline.QuantumNATModel`
+    method computing one training step (the batched default or the
+    retained per-sample reference).  ``executor_factory`` -- signature
+    ``(noise_model, injection, rng=None) -> executor`` -- builds the
+    training executor the run swaps in; None means the engine only
+    selects a step implementation and keeps the model's own executor.
+    """
+
+    step_attr: str = "loss_and_gradients"
+    executor_factory: "Callable | None" = None
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered execution backend.
+
+    ``factory`` builds an *evaluation* executor with the uniform
+    signature ``(noise_model=None, *, rng=None, samples=1, shots=None,
+    noise_factor=1.0, n_workers=0)`` (``samples`` meaning trajectories
+    or stacked noise realizations for Monte-Carlo engines; exact
+    engines ignore it); None marks training-loop-only pseudo engines
+    (``fast`` / ``reference``).  ``train`` is the engine's
+    :class:`TrainSupport`, or None when it cannot back a training run.
+    """
+
+    name: str
+    description: str
+    capabilities: EngineCapabilities = field(default_factory=EngineCapabilities)
+    factory: "Callable | None" = None
+    train: "TrainSupport | None" = None
+
+
+_REGISTRY: "dict[str, EngineSpec]" = {}
+
+
+def register_engine(spec: EngineSpec, replace: bool = False) -> EngineSpec:
+    """Enroll an engine; duplicate names raise unless ``replace``."""
+    if not spec.name:
+        raise ValueError("engine name must be non-empty")
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"engine {spec.name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine (testing hook for round-trip checks)."""
+    _REGISTRY.pop(name, None)
+
+
+def engine_names() -> "tuple[str, ...]":
+    """All registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def engine_specs() -> "tuple[EngineSpec, ...]":
+    """All registered specs, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def engine_spec(name: str) -> EngineSpec:
+    """Lookup by name; unknown names raise listing what exists."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: "
+            + ", ".join(_REGISTRY)
+        )
+    return spec
+
+
+def train_engine_names() -> "tuple[str, ...]":
+    """Engines usable as ``TrainConfig.engine``, in registration order."""
+    return tuple(s.name for s in _REGISTRY.values() if s.train is not None)
+
+
+def engines_supporting(
+    *channels: str,
+    trainable: bool = False,
+    max_width: "int | None" = None,
+) -> "tuple[EngineSpec, ...]":
+    """Engines whose capabilities cover the given channel kinds.
+
+    ``trainable`` restricts to engines that can back a training run
+    with their own executor; ``max_width`` to engines accepting blocks
+    of that many qubits.  Pseudo engines (no factory, no training
+    executor) never match.
+    """
+    required = frozenset(channels)
+    unknown = required - ALL_CHANNEL_KINDS
+    if unknown:
+        raise ValueError(
+            f"unknown channel kinds {sorted(unknown)}; "
+            f"valid kinds: {sorted(ALL_CHANNEL_KINDS)}"
+        )
+    out = []
+    for spec in _REGISTRY.values():
+        caps = spec.capabilities
+        if not required <= caps.channels:
+            continue
+        if trainable:
+            if spec.train is None or spec.train.executor_factory is None:
+                continue
+        elif spec.factory is None:
+            continue
+        if (
+            max_width is not None
+            and caps.max_qubits is not None
+            and max_width > caps.max_qubits
+        ):
+            continue
+        out.append(spec)
+    return tuple(out)
+
+
+def create_engine(name: str, noise_model=None, **kwargs):
+    """Build an evaluation executor by registry name."""
+    spec = engine_spec(name)
+    if spec.factory is None:
+        raise ValueError(
+            f"engine {name!r} is a training-loop engine with no "
+            "evaluation executor"
+        )
+    return spec.factory(noise_model, **kwargs)
+
+
+def resolve_eval_engine(
+    required_channels: "frozenset[str]", widest: int
+) -> EngineSpec:
+    """The preferred evaluation engine for a channel set and width.
+
+    Preference is registration order among *noisy* engines (exact
+    density first, then sampled trajectories) -- the same policy the
+    ``make_*_executor`` helpers historically hard-coded, now derived
+    from declared capabilities: a model carrying exact relaxation
+    channels on wide blocks resolves to the quantum-jump trajectory
+    engine instead of failing.  Only shot-capable noisy engines
+    qualify -- a deployment surrogate must be able to model shot noise
+    (which also keeps differentiable training backends like gate
+    insertion out of evaluation duty).
+    """
+    for spec in _REGISTRY.values():
+        caps = spec.capabilities
+        if spec.factory is None or not caps.channels or not caps.shots:
+            continue  # pseudo engines, noiseless, training-only samplers
+        if not required_channels <= caps.channels:
+            continue
+        if caps.max_qubits is not None and widest > caps.max_qubits:
+            continue
+        return spec
+    raise ValueError(
+        "no registered evaluation engine supports channel kinds "
+        f"{sorted(required_channels)} at {widest} qubits;\n"
+        + capability_matrix()
+    )
+
+
+def resolve_train_engine(
+    required_channels: "frozenset[str]", widest: int
+) -> EngineSpec:
+    """The preferred training executor engine for a channel set + width.
+
+    Registration order encodes preference: sampled gate insertion (the
+    paper's scheme) when the model is Pauli-representable, else the
+    exact-channel density trainer for compact blocks, else the
+    quantum-jump trainer (statevector-bound, any width).
+    """
+    for spec in _REGISTRY.values():
+        if spec.train is None or spec.train.executor_factory is None:
+            continue
+        caps = spec.capabilities
+        if not required_channels <= caps.channels:
+            continue
+        if caps.max_qubits is not None and widest > caps.max_qubits:
+            continue
+        return spec
+    raise ValueError(
+        "no registered training engine supports channel kinds "
+        f"{sorted(required_channels)} at {widest} qubits;\n"
+        + capability_matrix()
+    )
+
+
+def capability_matrix() -> str:
+    """The registry as a text table (docs, diagnostics, error messages)."""
+    kinds = sorted(ALL_CHANNEL_KINDS)
+    header = (
+        ["engine"] + kinds
+        + ["grad", "exact", "shots", "shardable", "max qubits", "trains"]
+    )
+    rows = [header]
+    for spec in _REGISTRY.values():
+        caps = spec.capabilities
+        rows.append(
+            [spec.name]
+            + [("x" if kind in caps.channels else "-") for kind in kinds]
+            + [
+                "x" if caps.differentiable else "-",
+                "x" if caps.exact else "-",
+                "x" if caps.shots else "-",
+                "x" if caps.shardable else "-",
+                "-" if caps.max_qubits is None else str(caps.max_qubits),
+                "x" if spec.train is not None else "-",
+            ]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# default registrations: the built-in executor fleet
+# ---------------------------------------------------------------------------
+
+_SAMPLED_CHANNELS = frozenset(
+    {CHANNEL_PAULI, CHANNEL_COHERENT, CHANNEL_READOUT}
+)
+
+
+def _noiseless_factory(
+    noise_model=None, *, rng=None, samples=1, shots=None, noise_factor=1.0,
+    n_workers=0,
+):
+    return NoiselessExecutor()
+
+
+def _gate_insertion_factory(
+    noise_model, *, rng=None, samples=1, shots=None, noise_factor=1.0,
+    n_workers=0,
+):
+    return GateInsertionExecutor(
+        noise_model, noise_factor=noise_factor, rng=rng,
+        n_realizations=samples,
+    )
+
+
+def _density_factory(
+    noise_model, *, rng=None, samples=1, shots=None, noise_factor=1.0,
+    n_workers=0,
+):
+    return DensityEvalExecutor(
+        noise_model, noise_factor=noise_factor, shots=shots, rng=rng
+    )
+
+
+def _trajectory_factory(
+    noise_model, *, rng=None, samples=8, shots=None, noise_factor=1.0,
+    n_workers=0,
+):
+    return TrajectoryEvalExecutor(
+        noise_model, n_trajectories=samples, shots=shots,
+        noise_factor=noise_factor, rng=rng, n_workers=n_workers,
+    )
+
+
+def _mcwf_factory(
+    noise_model, *, rng=None, samples=8, shots=None, noise_factor=1.0,
+    n_workers=0,
+):
+    return TrajectoryEvalExecutor(
+        noise_model, n_trajectories=samples, shots=shots,
+        noise_factor=noise_factor, rng=rng, n_workers=n_workers,
+        unravel="jump",
+    )
+
+
+def _gate_insertion_train(noise_model, injection, rng=None):
+    return GateInsertionExecutor(
+        noise_model,
+        noise_factor=injection.noise_factor,
+        rng=rng,
+        n_realizations=injection.n_realizations,
+    )
+
+
+def _density_train(noise_model, injection, rng=None):
+    return DensityTrainExecutor(
+        noise_model, noise_factor=injection.noise_factor
+    )
+
+
+def _mcwf_train(noise_model, injection, rng=None):
+    return MCWFTrainExecutor(
+        noise_model,
+        noise_factor=injection.noise_factor,
+        rng=rng,
+        n_realizations=injection.n_realizations,
+    )
+
+
+def _register_defaults() -> None:
+    from repro.noise.density_backend import MAX_DENSITY_QUBITS
+
+    register_engine(EngineSpec(
+        "fast",
+        "batched training loop: whole minibatch as one stacked sweep per "
+        "block, using the model's own training executor",
+        EngineCapabilities(
+            channels=_SAMPLED_CHANNELS, differentiable=True,
+        ),
+        train=TrainSupport(),
+    ))
+    register_engine(EngineSpec(
+        "reference",
+        "retained per-sample training baseline "
+        "(loss_and_gradients_reference); equivalence and perf baselines",
+        EngineCapabilities(
+            channels=_SAMPLED_CHANNELS, differentiable=True,
+        ),
+        train=TrainSupport(step_attr="loss_and_gradients_reference"),
+    ))
+    register_engine(EngineSpec(
+        "gate_insertion",
+        "sampled Pauli error-gate insertion + affine readout emulation: "
+        "the paper's noise-injection training backend",
+        EngineCapabilities(
+            channels=_SAMPLED_CHANNELS, differentiable=True,
+        ),
+        factory=_gate_insertion_factory,
+        train=TrainSupport(executor_factory=_gate_insertion_train),
+    ))
+    register_engine(EngineSpec(
+        "density",
+        "superoperator-compiled exact noisy channel: density evaluation "
+        "(Table 11) and adjoint-on-superops exact-channel training",
+        EngineCapabilities(
+            channels=ALL_CHANNEL_KINDS, differentiable=True, exact=True,
+            shots=True, max_qubits=MAX_DENSITY_QUBITS,
+        ),
+        factory=_density_factory,
+        train=TrainSupport(executor_factory=_density_train),
+    ))
+    register_engine(EngineSpec(
+        "trajectory",
+        "segment-fused Monte-Carlo Pauli trajectories + shot sampling: "
+        "the 'real QC' surrogate",
+        EngineCapabilities(
+            channels=_SAMPLED_CHANNELS, shots=True, shardable=True,
+        ),
+        factory=_trajectory_factory,
+    ))
+    register_engine(EngineSpec(
+        "mcwf",
+        "quantum-jump (MCWF) stochastic wavefunction: sampled exact "
+        "relaxation Kraus jumps with non-unitary no-jump evolution; "
+        "evaluation and noise-injection training at any width",
+        EngineCapabilities(
+            channels=ALL_CHANNEL_KINDS, differentiable=True, shots=True,
+            shardable=True,
+        ),
+        factory=_mcwf_factory,
+        train=TrainSupport(executor_factory=_mcwf_train),
+    ))
+    register_engine(EngineSpec(
+        "noiseless",
+        "exact statevector with adjoint gradients: the noise-free "
+        "baseline",
+        EngineCapabilities(differentiable=True, exact=True),
+        factory=_noiseless_factory,
+    ))
+
+
+_register_defaults()

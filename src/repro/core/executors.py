@@ -1,6 +1,6 @@
 """Block executors: how one QNN block's circuit actually runs.
 
-The same compiled block can execute on four backends:
+The same compiled block can execute on several backends:
 
 * :class:`NoiselessExecutor` -- exact statevector, differentiable
   (adjoint).  The paper's "noise-free simulation" baseline and the
@@ -18,9 +18,22 @@ The same compiled block can execute on four backends:
   sampled realizations (``TrainConfig(engine="density")``).
 * :class:`TrajectoryEvalExecutor` -- Monte-Carlo trajectories + shot
   sampling against the *drifted hardware* model: the "real QC" surrogate
-  (inference only).
+  (inference only).  ``unravel="jump"`` switches it to the quantum-jump
+  (MCWF) unraveling, the sampled backend that evaluates exact
+  relaxation channels.
+* :class:`MCWFTrainExecutor` -- noise-injection *training* on the
+  quantum-jump unraveling: sampled relaxation jumps with non-unitary
+  no-jump evolution, differentiable via the checkpointed adjoint
+  (``TrainConfig(engine="mcwf")``) -- the stochastic-wavefunction
+  counterpart of :class:`DensityTrainExecutor` with no density-matrix
+  width bound.
 
-All executors consume/produce expectations in logical qubit order.
+Every executor is enrolled in the engine registry
+(:mod:`repro.core.engine`) under a name with declared capabilities;
+``TrainConfig``, the pipeline and the cross-backend test harness
+resolve backends through that registry rather than through these
+classes directly.  All executors consume/produce expectations in
+logical qubit order.
 """
 
 from __future__ import annotations
@@ -35,6 +48,8 @@ from repro.noise.density_backend import run_noisy_density
 from repro.noise.readout import apply_readout_to_expectations
 from repro.noise.sampler import ErrorGateSampler
 from repro.noise.trajectory import (
+    mcwf_adjoint_backward,
+    mcwf_forward_with_tape,
     run_noisy_trajectories,
     stacked_noisy_backward,
     stacked_noisy_forward_with_tape,
@@ -44,6 +59,16 @@ from repro.utils.rng import as_rng
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.passes import CompiledCircuit
     from repro.noise.model import NoiseModel
+
+
+def _param_counts(
+    weights: "np.ndarray | None", inputs: "np.ndarray | None"
+) -> "tuple[int | None, int | None]":
+    """(n_weights, n_inputs) hints for tape builders; None defers to
+    the circuit's parameter table (weight-/input-free harness runs)."""
+    n_weights = None if weights is None else np.asarray(weights).size
+    n_inputs = None if inputs is None else np.asarray(inputs).shape[1]
+    return n_weights, n_inputs
 
 
 @dataclass
@@ -80,20 +105,17 @@ def make_real_qc_executor(
 
     A physical device run samples errors independently on every shot, so
     the faithful emulation is the *exact* noisy channel (density matrix,
-    drifted hardware noise model) plus multinomial shot noise.  For wide
-    circuits where density simulation is infeasible (10-qubit models),
-    falls back to Monte-Carlo Pauli trajectories; ``n_workers`` shards
-    their chunks across a worker pool (bit-identical to serial).
+    drifted hardware noise model) plus multinomial shot noise.  The
+    backend is resolved through the engine registry from the model's
+    channel kinds and widest block: exact (density) engines are
+    preferred, and wide circuits fall back to Monte-Carlo trajectories
+    (quantum-jump unraveling when the model carries exact relaxation
+    channels); ``n_workers`` shards their chunks across a worker pool
+    (bit-identical to serial).
     """
-    from repro.noise.density_backend import MAX_DENSITY_QUBITS
-
-    device = model.device
-    widest = max(c.circuit.n_qubits for c in model.compiled)
-    if widest <= MAX_DENSITY_QUBITS:
-        return DensityEvalExecutor(device.hardware_model, shots=shots, rng=rng)
-    return TrajectoryEvalExecutor(
-        device.hardware_model, n_trajectories=n_trajectories, shots=shots,
-        rng=rng, n_workers=n_workers,
+    return _resolve_eval_executor(
+        model, model.device.hardware_model, shots, rng, n_trajectories,
+        n_workers,
     )
 
 
@@ -104,16 +126,27 @@ def make_noise_model_executor(
     n_trajectories: int = 32,
     n_workers: int = 0,
 ):
-    """Evaluation under the *published* noise model (paper Table 11)."""
-    from repro.noise.density_backend import MAX_DENSITY_QUBITS
+    """Evaluation under the *published* noise model (paper Table 11).
 
-    device = model.device
+    Resolved through the engine registry exactly like
+    :func:`make_real_qc_executor`, just against the published model.
+    """
+    return _resolve_eval_executor(
+        model, model.device.noise_model, shots, rng, n_trajectories,
+        n_workers,
+    )
+
+
+def _resolve_eval_executor(
+    model, noise_model, shots, rng, n_trajectories, n_workers
+):
+    from repro.core.engine import resolve_eval_engine
+
     widest = max(c.circuit.n_qubits for c in model.compiled)
-    if widest <= MAX_DENSITY_QUBITS:
-        return DensityEvalExecutor(device.noise_model, shots=shots, rng=rng)
-    return TrajectoryEvalExecutor(
-        device.noise_model, n_trajectories=n_trajectories, shots=shots,
-        rng=rng, n_workers=n_workers,
+    spec = resolve_eval_engine(noise_model.channel_kinds, widest)
+    return spec.factory(
+        noise_model, rng=rng, samples=n_trajectories, shots=shots,
+        n_workers=n_workers,
     )
 
 
@@ -133,12 +166,13 @@ class NoiselessExecutor:
         weights: np.ndarray,
         inputs: np.ndarray,
     ) -> "tuple[np.ndarray, BlockCache]":
+        n_weights, n_inputs = _param_counts(weights, inputs)
         expectations, tape = forward_with_tape(
             compiled.circuit,
             weights,
             inputs,
-            n_weights=weights.size,
-            n_inputs=np.asarray(inputs).shape[1],
+            n_weights=n_weights,
+            n_inputs=n_inputs,
         )
         logical = _gather_logical(expectations, compiled.measure_qubits)
         return logical, BlockCache(tape, compiled.measure_qubits)
@@ -244,12 +278,13 @@ class GateInsertionExecutor(_ReadoutEmulationMixin):
         weights: np.ndarray,
         inputs: np.ndarray,
     ) -> "tuple[np.ndarray, BlockCache]":
+        n_weights, n_inputs = _param_counts(weights, inputs)
         if self.n_realizations > 1:
             expectations, tape, n_inserted = stacked_noisy_forward_with_tape(
                 compiled, self.sampler, weights, inputs,
                 self.n_realizations, self.rng,
-                n_weights=weights.size,
-                n_inputs=np.asarray(inputs).shape[1],
+                n_weights=n_weights,
+                n_inputs=n_inputs,
             )
             from repro.noise.sampler import InsertionStats
 
@@ -265,8 +300,8 @@ class GateInsertionExecutor(_ReadoutEmulationMixin):
                 noisy_circuit,
                 weights,
                 inputs,
-                n_weights=weights.size,
-                n_inputs=np.asarray(inputs).shape[1],
+                n_weights=n_weights,
+                n_inputs=n_inputs,
             )
         logical = _gather_logical(expectations, compiled.measure_qubits)
         scales = None
@@ -330,14 +365,15 @@ class DensityTrainExecutor(_ReadoutEmulationMixin):
     ) -> "tuple[np.ndarray, BlockCache]":
         from repro.core.density_training import density_forward_with_tape
 
+        n_weights, n_inputs = _param_counts(weights, inputs)
         expectations, tape = density_forward_with_tape(
             compiled,
             self.noise_model,
             weights,
             inputs,
             noise_factor=self.noise_factor,
-            n_weights=weights.size,
-            n_inputs=np.asarray(inputs).shape[1],
+            n_weights=n_weights,
+            n_inputs=n_inputs,
         )
         logical = _gather_logical(expectations, compiled.measure_qubits)
         scales = None
@@ -411,6 +447,96 @@ class DensityEvalExecutor:
         raise NotImplementedError("density evaluation is inference-only")
 
 
+class MCWFTrainExecutor(_ReadoutEmulationMixin):
+    """Quantum-jump (MCWF) noise-injection training backend.
+
+    The stochastic-wavefunction counterpart of
+    :class:`DensityTrainExecutor`: every forward samples one (or
+    ``n_realizations``) concrete quantum-jump trajectories of the *full*
+    noise model -- Pauli insertions, exact relaxation Kraus jumps with
+    non-unitary no-jump evolution and per-row renormalization, coherent
+    miscalibration -- and backward runs the checkpointed adjoint sweep
+    (:func:`repro.noise.trajectory.mcwf_adjoint_backward`), exact for
+    the realized trajectory's frozen linear map.  Because it is
+    statevector-bound rather than density-bound, it is the training
+    backend for *wide* blocks whose noise model carries exact channels.
+    Readout applies as the shared affine emulation.
+    """
+
+    differentiable = True
+
+    def __init__(
+        self,
+        noise_model: "NoiseModel",
+        noise_factor: float = 1.0,
+        readout: bool = True,
+        rng: "int | np.random.Generator | None" = None,
+        n_realizations: int = 1,
+    ):
+        if n_realizations < 1:
+            raise ValueError("need at least one noise realization")
+        self.noise_model = noise_model
+        self.noise_factor = noise_factor
+        self.readout = readout
+        self.rng = as_rng(rng)
+        self.n_realizations = n_realizations
+        self.sampler = ErrorGateSampler(
+            noise_model, noise_factor, allow_exact=True
+        )
+        self.last_insertion_stats = None
+        self._readout_cache: "list[tuple[CompiledCircuit, np.ndarray]]" = []
+        # Per-block jump-site table (Kraus + effect stacks): depends only
+        # on the compiled circuit and the scaled model, so it is built
+        # once per block rather than once per training step.
+        self._jump_cache: "list[tuple[CompiledCircuit, list]]" = []
+
+    def _jump_sites(self, compiled: "CompiledCircuit") -> list:
+        for cached, sites in self._jump_cache:
+            if cached is compiled:
+                return sites
+        sites = self.sampler.jump_table(
+            compiled.circuit, compiled.physical_qubits
+        )
+        self._jump_cache.append((compiled, sites))
+        return sites
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, BlockCache]":
+        from repro.noise.sampler import InsertionStats
+
+        n_weights, n_inputs = _param_counts(weights, inputs)
+        expectations, tape, n_inserted = mcwf_forward_with_tape(
+            compiled, self.sampler, weights, inputs,
+            self.n_realizations, self.rng,
+            n_weights=n_weights, n_inputs=n_inputs,
+            jump_sites=self._jump_sites(compiled),
+        )
+        self.last_insertion_stats = InsertionStats(
+            len(compiled.circuit.gates) * self.n_realizations, n_inserted
+        )
+        logical = _gather_logical(expectations, compiled.measure_qubits)
+        scales = None
+        if self.readout:
+            logical, scales = self._emulate_readout(compiled, logical)
+        return logical, BlockCache(
+            tape, compiled.measure_qubits, scales, self.n_realizations
+        )
+
+    def backward(
+        self, cache: BlockCache, grad_logical: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        if cache.readout_scales is not None:
+            grad_logical = grad_logical * cache.readout_scales[None, :]
+        grad = _scatter_logical(
+            grad_logical, cache.measure_qubits, cache.tape.circuit.n_qubits
+        )
+        return mcwf_adjoint_backward(cache.tape, grad, cache.n_realizations)
+
+
 class TrajectoryEvalExecutor:
     """'Real QC' surrogate: drifted noise + trajectories + shot sampling.
 
@@ -421,6 +547,17 @@ class TrajectoryEvalExecutor:
     ``shard_size`` overrides the default trajectories-per-chunk
     granularity (16) -- runs with ``n_trajectories`` above it have
     work to distribute out of the box.
+
+    The executor holds its worker pool *open across calls* (training
+    validates every epoch; respawning processes per call dominated the
+    sharding win).  The pool is created lazily on the first sharded
+    forward, recreated if ``n_workers``/``shard_backend`` change, and
+    released by :meth:`close` (or the context-manager protocol; an
+    unclosed pool is reaped at interpreter exit).
+
+    ``unravel="jump"`` runs the quantum-jump (MCWF) unraveling instead
+    of Pauli insertion -- the only sampled evaluation mode that
+    represents exact relaxation channels.
     """
 
     differentiable = False
@@ -435,6 +572,7 @@ class TrajectoryEvalExecutor:
         n_workers: int = 0,
         shard_size: "int | None" = None,
         shard_backend: str = "thread",
+        unravel: str = "pauli",
     ):
         if shard_backend not in ("thread", "process"):
             raise ValueError(
@@ -442,6 +580,10 @@ class TrajectoryEvalExecutor:
             )
         if shard_size is not None and int(shard_size) < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if unravel not in ("pauli", "jump"):
+            raise ValueError(
+                f"unravel must be 'pauli' or 'jump', got {unravel!r}"
+            )
         self.noise_model = noise_model
         self.n_trajectories = n_trajectories
         self.shots = shots
@@ -450,6 +592,45 @@ class TrajectoryEvalExecutor:
         self.n_workers = n_workers
         self.shard_size = shard_size
         self.shard_backend = shard_backend
+        self.unravel = unravel
+        self._pool = None
+        self._pool_key = None
+
+    def _ensure_pool(self):
+        """The persistent worker pool, (re)built to match the settings."""
+        if self.n_workers <= 0:
+            self.close()
+            return None
+        key = (self.shard_backend, self.n_workers)
+        if self._pool is not None and self._pool_key != key:
+            self.close()
+        if self._pool is None:
+            from concurrent.futures import (
+                ProcessPoolExecutor,
+                ThreadPoolExecutor,
+            )
+
+            cls = (
+                ThreadPoolExecutor
+                if self.shard_backend == "thread"
+                else ProcessPoolExecutor
+            )
+            self._pool = cls(max_workers=self.n_workers)
+            self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self) -> "TrajectoryEvalExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def forward(
         self,
@@ -469,6 +650,10 @@ class TrajectoryEvalExecutor:
             n_workers=self.n_workers,
             shard_size=self.shard_size,
             shard_backend=self.shard_backend,
+            unravel=self.unravel,
+            # Supplier, not instance: workers only spawn on runs that
+            # actually shard (single-chunk forwards stay pool-free).
+            pool=self._ensure_pool,
         )
         return expectations, None
 

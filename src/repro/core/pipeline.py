@@ -34,10 +34,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.compiler.passes import CompiledCircuit, transpile
-from repro.core.executors import (
-    GateInsertionExecutor,
-    NoiselessExecutor,
-)
+from repro.core.executors import NoiselessExecutor
 from repro.core.injection import (
     ANGLE_PERTURBATION,
     GATE_INSERTION,
@@ -171,38 +168,24 @@ class QuantumNATModel:
 
     def _build_train_executor(self):
         injection = self.config.injection
-        if injection.strategy == GATE_INSERTION:
-            if self.device.noise_model.has_exact_channels:
-                # Exact (non-Pauli) relaxation channels cannot be sampled
-                # as inserted error gates; the faithful noise-injection
-                # counterpart is the exact-channel density trainer.  That
-                # backend is density-matrix-bound, so reject wide blocks
-                # eagerly with actionable advice rather than letting the
-                # first training step raise.
-                from repro.core.executors import DensityTrainExecutor
-                from repro.noise.density_backend import MAX_DENSITY_QUBITS
+        if injection.strategy != GATE_INSERTION:
+            return NoiselessExecutor()
+        # Resolve through the engine registry: the model's channel kinds
+        # and widest block select the preferred trainable engine.  A
+        # Pauli-representable model gets the paper's sampled gate
+        # insertion; exact (non-Pauli) relaxation channels cannot be
+        # sampled as inserted error gates, so such models fall to the
+        # exact-channel density trainer for compact blocks and to the
+        # quantum-jump (MCWF) trainer for wide ones.
+        from repro.core.engine import resolve_train_engine
 
-                widest = max(c.circuit.n_qubits for c in self.compiled)
-                if widest > MAX_DENSITY_QUBITS:
-                    raise ValueError(
-                        f"{widest}-qubit blocks are too wide for exact-"
-                        "channel density training, and gate insertion "
-                        "cannot sample the model's exact relaxation "
-                        "channels; build the device with the Pauli-"
-                        "twirled model (noise_model_from_relaxation(..., "
-                        "exact_channels=False)) instead"
-                    )
-                return DensityTrainExecutor(
-                    self.device.noise_model,
-                    noise_factor=injection.noise_factor,
-                )
-            return GateInsertionExecutor(
-                self.device.noise_model,
-                noise_factor=injection.noise_factor,
-                rng=self.rng,
-                n_realizations=injection.n_realizations,
-            )
-        return NoiselessExecutor()
+        widest = max(c.circuit.n_qubits for c in self.compiled)
+        spec = resolve_train_engine(
+            self.device.noise_model.channel_kinds, widest
+        )
+        return spec.train.executor_factory(
+            self.device.noise_model, injection, rng=self.rng
+        )
 
     @property
     def n_weights(self) -> int:

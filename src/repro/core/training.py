@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import engine_spec, train_engine_names
 from repro.core.optim import Adam
 from repro.core.pipeline import QuantumNATModel
 from repro.utils.rng import as_rng
@@ -26,13 +27,16 @@ class TrainConfig:
     weight_init_scale: float = 0.3
     use_lr_schedule: bool = True
     verbose: bool = False
-    #: "fast" runs each minibatch as one stacked statevector sweep;
-    #: "reference" loops per-sample through the retained baseline
-    #: kernels (equivalence checks and perf baselines only); "density"
-    #: swaps the training executor for the exact-channel density backend
-    #: (adjoint-on-superops gradients, deterministic -- noise-injection
-    #: training against the exact channel instead of sampled
-    #: realizations; compact <= 8-qubit blocks only).
+    #: Training engine, resolved through the engine registry
+    #: (:func:`repro.core.engine.train_engine_names`).  "fast" runs each
+    #: minibatch as one stacked statevector sweep; "reference" loops
+    #: per-sample through the retained baseline kernels (equivalence
+    #: checks and perf baselines only); engines carrying a training
+    #: executor factory ("gate_insertion", "density", "mcwf") swap the
+    #: model's training executor for the run -- e.g. "density" trains
+    #: against the exact channel (adjoint on superoperators, compact
+    #: blocks only) and "mcwf" against sampled quantum-jump
+    #: trajectories of the exact channel (any width).
     engine: str = "fast"
     #: > 0 shards trajectory-backed validation executors across that many
     #: workers (`TrajectoryEvalExecutor.n_workers`); sharded evaluation
@@ -40,9 +44,10 @@ class TrainConfig:
     trajectory_workers: int = 0
 
     def __post_init__(self) -> None:
-        if self.engine not in ("fast", "reference", "density"):
+        names = train_engine_names()
+        if self.engine not in names:
             raise ValueError(
-                "engine must be 'fast', 'reference' or 'density', "
+                f"engine must be one of {', '.join(repr(n) for n in names)}, "
                 f"got {self.engine!r}"
             )
         if self.trajectory_workers < 0:
@@ -93,43 +98,51 @@ def train(
     (noise-free by default; pass a noisy executor for noise-aware model
     selection as the paper does for its (T, levels) grid search).
 
-    ``config.engine="density"`` swaps the model's training executor for
-    a :class:`~repro.core.executors.DensityTrainExecutor` built from the
-    model's device noise model and the configured injection noise factor
-    -- exact-channel noise-aware training.  The model's own executor is
-    restored on exit.
+    ``config.engine`` resolves through the engine registry.  Engines
+    whose spec carries a training executor factory (``"density"``,
+    ``"mcwf"``, ``"gate_insertion"``) swap the model's training
+    executor for the run -- noise-aware training against the engine's
+    channel representation; the model's own executor is restored on
+    exit.
     """
     config = config or TrainConfig()
+    spec = engine_spec(config.engine)
     shard_restore = None
     executor_restore = None
-    if config.engine == "density":
-        from repro.core.executors import DensityTrainExecutor
+    if spec.train.executor_factory is not None:
         from repro.core.injection import GATE_INSERTION
-        from repro.noise.density_backend import MAX_DENSITY_QUBITS
 
         injection = model.config.injection
         if injection.strategy != GATE_INSERTION:
-            # The density engine is the exact-channel form of
-            # gate-insertion noise injection; silently noise-training a
-            # baseline (or stacking on a perturbation strategy) would
-            # change training semantics, not just the backend.
+            # These engines are alternative backends for *gate-insertion*
+            # noise injection; silently noise-training a baseline (or
+            # stacking on a perturbation strategy) would change training
+            # semantics, not just the backend.
             raise ValueError(
-                "engine='density' computes exact-channel gradients for "
-                "gate-insertion noise injection, but the model's "
-                f"injection strategy is {injection.strategy!r}; configure "
-                "InjectionConfig(GATE_INSERTION, ...) or use the default "
-                "engine"
+                f"engine={config.engine!r} computes noisy-channel "
+                "gradients for gate-insertion noise injection, but the "
+                f"model's injection strategy is {injection.strategy!r}; "
+                "configure InjectionConfig(GATE_INSERTION, ...) or use "
+                "the default engine"
             )
         widest = max(c.circuit.n_qubits for c in model.compiled)
-        if widest > MAX_DENSITY_QUBITS:
+        max_qubits = spec.capabilities.max_qubits
+        if max_qubits is not None and widest > max_qubits:
+            alternatives = ", ".join(
+                s.name
+                for s in _trainable_alternatives(
+                    model.device.noise_model.channel_kinds, widest
+                )
+                if s.name != spec.name
+            )
             raise ValueError(
-                f"engine='density' is density-matrix-bound and the model "
-                f"has {widest}-qubit blocks (max {MAX_DENSITY_QUBITS}); "
-                "use the default engine's sampled gate insertion"
+                f"engine={config.engine!r} is density-matrix-bound and "
+                f"the model has {widest}-qubit blocks (max {max_qubits}); "
+                f"engines supporting this width: {alternatives or 'none'}"
             )
         executor_restore = model._train_executor
-        model._train_executor = DensityTrainExecutor(
-            model.device.noise_model, noise_factor=injection.noise_factor
+        model._train_executor = spec.train.executor_factory(
+            model.device.noise_model, injection, rng=model.rng
         )
     if (
         config.trajectory_workers > 0
@@ -150,8 +163,22 @@ def train(
     finally:
         if shard_restore is not None:
             valid_executor.n_workers = shard_restore
+            # Release any persistent worker pool the sharded validation
+            # spawned: the caller configured the executor with its own
+            # worker count and may never trigger another sharded run to
+            # reconcile the pool (it is lazily rebuilt on next use).
+            close = getattr(valid_executor, "close", None)
+            if close is not None:
+                close()
         if executor_restore is not None:
             model._train_executor = executor_restore
+
+
+def _trainable_alternatives(channels: "frozenset[str]", widest: int):
+    """Registry-derived engines that could back this training run."""
+    from repro.core.engine import engines_supporting
+
+    return engines_supporting(*channels, trainable=True, max_width=widest)
 
 
 def _train_loop(
@@ -181,14 +208,10 @@ def _train_loop(
     best_loss = float("inf")
     best_acc = 0.0
     history: "list[dict[str, float]]" = []
-    # "density" reuses the batched pipeline loop -- the swapped executor
-    # is what changes the backend; only "reference" takes the per-sample
-    # baseline path.
-    step = (
-        model.loss_and_gradients_reference
-        if config.engine == "reference"
-        else model.loss_and_gradients
-    )
+    # Executor-swapping engines reuse the batched pipeline loop -- the
+    # swapped executor is what changes the backend; the registry's
+    # step_attr selects the per-sample baseline only for "reference".
+    step = getattr(model, engine_spec(config.engine).train.step_attr)
 
     for epoch in range(config.epochs):
         epoch_loss = 0.0

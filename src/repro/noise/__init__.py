@@ -24,6 +24,7 @@ from repro.noise.twirling import (
     pauli_error_from_gate_fidelity,
 )
 from repro.noise.trajectory import (
+    mcwf_probabilities_reference,
     run_noisy_trajectories,
     trajectory_probabilities,
     trajectory_probabilities_reference,
@@ -61,6 +62,7 @@ __all__ = [
     "twirl_to_pauli_probs",
     "twirl_to_pauli_error",
     "pauli_error_from_gate_fidelity",
+    "mcwf_probabilities_reference",
     "run_noisy_trajectories",
     "trajectory_probabilities",
     "trajectory_probabilities_reference",

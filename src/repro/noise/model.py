@@ -21,6 +21,18 @@ import numpy as np
 #: RZ is implemented virtually (frame change) on IBMQ hardware: error-free.
 VIRTUAL_GATES = frozenset({"rz"})
 
+#: Channel-kind names shared by :meth:`NoiseModel.channel_kinds` and the
+#: engine registry's capability declarations
+#: (:mod:`repro.core.engine`) -- the vocabulary in which an execution
+#: backend states what it can represent.
+CHANNEL_PAULI = "pauli"
+CHANNEL_COHERENT = "coherent"
+CHANNEL_READOUT = "readout"
+CHANNEL_RELAXATION = "relaxation"
+ALL_CHANNEL_KINDS = frozenset(
+    {CHANNEL_PAULI, CHANNEL_COHERENT, CHANNEL_READOUT, CHANNEL_RELAXATION}
+)
+
 
 @dataclass(frozen=True)
 class PauliError:
@@ -204,11 +216,48 @@ class NoiseModel:
     def has_exact_channels(self) -> bool:
         """True when the model carries general (non-Pauli) Kraus channels.
 
-        Such models can only run on the density backends; the sampling
-        backends check this flag and raise with a pointer to the
-        Pauli-twirled construction path.
+        Such models can only run on engines whose declared capabilities
+        include the ``relaxation`` channel kind (the density backends and
+        the quantum-jump trajectory engine); Pauli gate-insertion
+        sampling checks this flag and raises with the registry-derived
+        list of engines that do support it.
+
+        Zero-duration relaxation entries do not count: the channel acts
+        over the gate durations and :meth:`relaxation_kraus_for` returns
+        None for a non-positive window, so such a model is effectively
+        Pauli-only and must stay consistent with :meth:`channel_kinds`
+        (the registry would otherwise resolve an engine whose sampler
+        refuses the model).
         """
-        return bool(self.relaxation)
+        return bool(self.relaxation) and max(self.relaxation_durations) > 0
+
+    @property
+    def channel_kinds(self) -> "frozenset[str]":
+        """The channel kinds this model actually exercises.
+
+        A subset of :data:`ALL_CHANNEL_KINDS`, matched against each
+        engine's declared capabilities by the registry
+        (:mod:`repro.core.engine`) when resolving which backend can
+        faithfully execute a model.  Zero-probability Pauli entries and
+        identity readout matrices do not count -- they can never produce
+        an event.
+        """
+        kinds: "set[str]" = set()
+        if any(e.total > 0 for e in self.one_qubit.values()) or any(
+            e.total > 0 for e in self.two_qubit.values()
+        ):
+            kinds.add(CHANNEL_PAULI)
+        if self.coherent:
+            kinds.add(CHANNEL_COHERENT)
+        identity = np.eye(2)
+        if any(
+            not np.array_equal(self.readout[q], identity)
+            for q in range(self.n_qubits)
+        ):
+            kinds.add(CHANNEL_READOUT)
+        if self.has_exact_channels:
+            kinds.add(CHANNEL_RELAXATION)
+        return frozenset(kinds)
 
     def relaxation_kraus_for(
         self, qubit: int, n_operands: int

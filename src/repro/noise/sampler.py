@@ -20,6 +20,34 @@ from repro.utils.rng import as_rng
 _PAULI_NAMES = (None, "x", "y", "z")
 
 
+def exact_channel_support_message() -> str:
+    """Why Pauli sampling refuses exact-channel models, with alternatives.
+
+    The list of capable engines is generated from the engine registry's
+    capability declarations (:mod:`repro.core.engine`), so a newly
+    registered relaxation-capable engine shows up here without touching
+    this module.  The registry lives above the noise layer, hence the
+    lazy import; if it is unavailable (partial import during bootstrap)
+    the message falls back to naming the density backends.
+    """
+    try:  # pragma: no branch - import succeeds in any assembled install
+        from repro.core.engine import engines_supporting
+        from repro.noise.model import CHANNEL_RELAXATION
+
+        names = ", ".join(
+            spec.name for spec in engines_supporting(CHANNEL_RELAXATION)
+        )
+    except Exception:  # pragma: no cover - bootstrap fallback
+        names = "density, mcwf"
+    return (
+        "noise model carries exact (non-Pauli) relaxation channels, "
+        "which Pauli gate-insertion/trajectory sampling cannot "
+        f"represent; engines supporting exact channels: {names}. "
+        "Alternatively build the Pauli-twirled model "
+        "(noise_model_from_relaxation(..., exact_channels=False))"
+    )
+
+
 @dataclass
 class InsertionStats:
     """Bookkeeping about one sampled error circuit."""
@@ -45,18 +73,24 @@ class ErrorGateSampler:
     noise_factor:
         The paper's ``T`` scaling on X/Y/Z probabilities (typical range
         [0.5, 1.5]; Figure 8 sweeps [1e-2, 1e1]).
+    allow_exact:
+        Accept models carrying exact (non-Pauli) relaxation Kraus
+        channels.  Only the quantum-jump (MCWF) consumers set this: they
+        sample jumps from the exact Kraus sets via :meth:`jump_table`,
+        while plain Pauli insertion cannot represent such channels and
+        refuses them with the registry-derived capability error.
     """
 
-    def __init__(self, noise_model: NoiseModel, noise_factor: float = 1.0):
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        noise_factor: float = 1.0,
+        allow_exact: bool = False,
+    ):
         if noise_factor < 0:
             raise ValueError("noise factor must be non-negative")
-        if noise_model.has_exact_channels:
-            raise ValueError(
-                "noise model carries exact (non-Pauli) relaxation channels, "
-                "which gate-insertion/trajectory sampling cannot represent; "
-                "use the density backends, or build the Pauli-twirled model "
-                "(noise_model_from_relaxation(..., exact_channels=False))"
-            )
+        if noise_model.has_exact_channels and not allow_exact:
+            raise ValueError(exact_channel_support_message())
         self.noise_model = noise_model
         self.noise_factor = noise_factor
         self._scaled = noise_model.scaled(noise_factor) if noise_factor != 1.0 else noise_model
@@ -189,6 +223,40 @@ class ErrorGateSampler:
                             (local_q, coherent)
                         )
         return pauli_sites, coherent_by_gate
+
+    def jump_table(
+        self, circuit: Circuit, physical_qubits: "tuple[int, ...]"
+    ) -> "list[tuple[int, int, np.ndarray, np.ndarray]]":
+        """Every exact-channel jump site of the circuit, in channel order.
+
+        Returns ``[(gate_index, local_qubit, kraus, effects), ...]`` for
+        each (gate, operand) pair where the scaled model attaches an
+        exact thermal-relaxation Kraus set: ``kraus`` is the stacked
+        ``(m, 2, 2)`` operator set and ``effects`` the matching
+        ``K_i^dag K_i`` stack, whose expectation values are the jump
+        probabilities the MCWF unraveling samples from.  Site order
+        matches the density reference's channel-application order (the
+        Pauli channel of a gate acts first, then relaxation per operand
+        in ``gate.qubits`` order, then coherent miscalibration), so the
+        trajectory ensemble averages to exactly the compiled channel.
+        """
+        from repro.noise.model import VIRTUAL_GATES
+
+        sites: "list[tuple[int, int, np.ndarray, np.ndarray]]" = []
+        for index, gate in enumerate(circuit.gates):
+            if gate.name in VIRTUAL_GATES:
+                continue
+            for local_q in gate.qubits:
+                phys_q = physical_qubits[local_q]
+                kraus = self._scaled.relaxation_kraus_for(
+                    phys_q, len(gate.qubits)
+                )
+                if kraus is None:
+                    continue
+                stack = np.stack([np.asarray(k, dtype=complex) for k in kraus])
+                effects = np.einsum("mij,mik->mjk", stack.conj(), stack)
+                sites.append((index, local_q, stack, effects))
+        return sites
 
     def expected_overhead(
         self, circuit: Circuit, physical_qubits: "tuple[int, ...]"

@@ -55,6 +55,8 @@ from __future__ import annotations
 
 import functools
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from typing import TYPE_CHECKING
@@ -164,9 +166,17 @@ class _SegmentPlan:
     vectorized Pauli sampling (:meth:`sample`).
     """
 
-    __slots__ = ("bind_plan", "site_cum", "site_rows", "_layout", "_cache")
+    __slots__ = (
+        "bind_plan", "site_cum", "site_rows", "jump_sites", "_layout",
+        "_cache",
+    )
 
-    def __init__(self, compiled: "CompiledCircuit", sampler: ErrorGateSampler):
+    def __init__(
+        self,
+        compiled: "CompiledCircuit",
+        sampler: ErrorGateSampler,
+        jump: bool = False,
+    ):
         from repro.sim.statevector import SmallLRU
 
         circuit = compiled.circuit
@@ -182,11 +192,25 @@ class _SegmentPlan:
         for row, (gate_index, local_q, _cum) in enumerate(pauli_sites):
             site_rows.setdefault(gate_index, []).append((row, local_q))
         self.site_rows = site_rows
+        # Quantum-jump (MCWF) mode: the exact relaxation Kraus sets
+        # become per-site jump points whose sampling is state-dependent
+        # (probabilities are the effects' expectation values), so they
+        # interrupt fusion like Pauli sites do but are sampled during
+        # the sweep rather than pre-drawn.
+        self.jump_sites = (
+            sampler.jump_table(circuit, compiled.physical_qubits)
+            if jump
+            else []
+        )
+        jump_rows: "dict[int, list[int]]" = {}
+        for row, (gate_index, _q, _k, _e) in enumerate(self.jump_sites):
+            jump_rows.setdefault(gate_index, []).append(row)
         # Layout entries, in sweep order:
         #   ("static", tokens)  -- fusable run; tokens are ("g", index) or
         #                          ("c", local_q, (ey, ez)) constants
         #   ("dynamic", index)  -- input-dependent gate, re-bound per call
         #   ("site", index)     -- Pauli insertion point after gate `index`
+        #   ("jump", row)       -- MCWF jump point, row into `jump_sites`
         layout: "list[tuple]" = []
         run: "list[tuple]" = []
 
@@ -205,6 +229,9 @@ class _SegmentPlan:
             if i in site_rows:
                 flush()
                 layout.append(("site", i))
+            for row in jump_rows.get(i, ()):
+                flush()
+                layout.append(("jump", row))
             for local_q, angles in coherent_by_gate.get(i, ()):
                 run.append(("c", local_q, angles))
         flush()
@@ -249,8 +276,8 @@ class _SegmentPlan:
                 stream.extend(("op", op) for op in next(segments))
             elif kind == "dynamic":
                 stream.append(("op", ops[payload]))
-            else:
-                stream.append(("site", payload))
+            else:  # "site" / "jump" pass through with their payload
+                stream.append((kind, payload))
         return stream
 
     def sample(
@@ -269,22 +296,60 @@ class _SegmentPlan:
         return (u[:, :, None] >= self.site_cum[:, None, :]).sum(axis=2)
 
 
+def _sample_jump_matrices(
+    state: np.ndarray,
+    kraus: np.ndarray,
+    effects: np.ndarray,
+    local_q: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-row renormalized jump operators sampled from one Kraus site.
+
+    The MCWF step: each stacked row's jump probabilities are the
+    expectation values ``p_i = <psi| K_i^dag K_i |psi>`` (computed from
+    the row's single-qubit reduced density matrix -- one einsum over the
+    qubit view, never a full density), one operator index is drawn per
+    row by inverse CDF, and the returned ``(rows, 2, 2)`` batch carries
+    ``K_i / sqrt(p_i)`` so the evolved rows stay unit-norm.  Averaging
+    ``|psi><psi|`` over trajectories then reproduces the exact channel.
+    """
+    rows = state.shape[0]
+    view = state.reshape(rows, -1, 2, 1 << local_q)
+    reduced = np.einsum("raxd,rayd->rxy", view, view.conj())
+    p = np.einsum("mxy,ryx->rm", effects, reduced).real
+    np.clip(p, 0.0, None, out=p)
+    totals = p.sum(axis=1, keepdims=True)
+    p /= np.where(totals > 0.0, totals, 1.0)
+    u = rng.random((rows, 1))
+    choice = np.minimum(
+        (u >= np.cumsum(p, axis=1)).sum(axis=1), kraus.shape[0] - 1
+    )
+    p_sel = np.take_along_axis(p, choice[:, None], axis=1)[:, 0]
+    scale = 1.0 / np.sqrt(np.maximum(p_sel, 1e-300))
+    return kraus[choice] * scale[:, None, None]
+
+
 def _segment_plan_for(
-    compiled: "CompiledCircuit", sampler: ErrorGateSampler
+    compiled: "CompiledCircuit",
+    sampler: ErrorGateSampler,
+    jump: bool = False,
 ) -> _SegmentPlan:
     """The cached :class:`_SegmentPlan` for a compiled circuit + sampler.
 
     Shares the superop plan's memoization policy
     (:func:`repro.compiler.superop.cached_noise_plan`): rows keyed by
     noise model identity and factor, invalidated when the circuit's
-    gate list goes stale, bounded FIFO.
+    gate list goes stale, bounded FIFO.  Jump-mode (MCWF) plans live in
+    their own cache attribute -- the same (model, factor) pair compiles
+    to a different layout when relaxation sites are unraveled.
     """
     from repro.compiler.superop import cached_noise_plan
 
     return cached_noise_plan(
-        compiled.circuit, "_trajectory_plans",
+        compiled.circuit,
+        "_mcwf_plans" if jump else "_trajectory_plans",
         sampler.noise_model, sampler.noise_factor,
-        lambda: _SegmentPlan(compiled, sampler),
+        lambda: _SegmentPlan(compiled, sampler, jump=jump),
     )
 
 
@@ -317,6 +382,16 @@ def _segment_chunk(
             apply_matrix(stacked, matrix, payload.qubits, n_qubits, out=scratch)
             stacked, scratch = scratch, stacked
             continue
+        if kind == "jump":
+            # MCWF: state-dependent jump sampling from the exact Kraus
+            # set, renormalized per row.  Drawn in stream order off the
+            # chunk's own rng, so chunk results stay independent of how
+            # chunks are distributed (sharded == serial bit-for-bit).
+            _gi, local_q, kraus, effects = plan.jump_sites[payload]
+            mats = _sample_jump_matrices(stacked, kraus, effects, local_q, rng)
+            apply_matrix(stacked, mats, (local_q,), n_qubits, out=scratch)
+            stacked, scratch = scratch, stacked
+            continue
         for row, local_q in plan.site_rows[payload]:
             drawn = choices[row]
             if drawn.any():
@@ -335,6 +410,7 @@ def _process_chunk_worker(
     inputs: "np.ndarray | None",
     batch: int,
     group: "list[tuple[int, np.random.SeedSequence]]",
+    jump: bool = False,
 ) -> "list[np.ndarray]":
     """Rebuild the plan in a worker process and run a group of chunks.
 
@@ -345,8 +421,8 @@ def _process_chunk_worker(
     stream, so the results are bit-identical to the same chunks computed
     serially in the parent (verified by the sharding equivalence tests).
     """
-    sampler = ErrorGateSampler(noise_model, noise_factor)
-    plan = _segment_plan_for(compiled, sampler)
+    sampler = ErrorGateSampler(noise_model, noise_factor, allow_exact=jump)
+    plan = _segment_plan_for(compiled, sampler, jump=jump)
     stream = plan.fused_stream(weights, inputs, batch)
     return [
         _segment_chunk(
@@ -444,8 +520,11 @@ def stacked_noisy_forward_with_tape(
     from repro.core.gradients import QuantumTape
     from repro.sim.statevector import run_ops
 
-    inputs = np.asarray(inputs, dtype=float)
-    batch = inputs.shape[0]
+    if inputs is not None:
+        inputs = np.asarray(inputs, dtype=float)
+        batch = inputs.shape[0]
+    else:
+        batch = 1
     circuit = compiled.circuit
     ops, n_inserted = stacked_noisy_ops(
         compiled, sampler, weights, inputs, batch, n_realizations, rng
@@ -487,6 +566,237 @@ def stacked_noisy_backward(
     return weight_grad, input_grad
 
 
+#: Store a training checkpoint at every Nth jump site.  The backward
+#: sweep recovers the skipped pre-jump states by replaying the recorded
+#: ops of one window from its stored checkpoint (each window replays
+#: once), bounding tape memory at ``n_jumps / stride`` stacked states
+#: instead of one per jump -- the difference between a few hundred KB
+#: and hundreds of MB on wide blocks with relaxation on every gate.
+_JUMP_CHECKPOINT_STRIDE = 8
+
+
+@dataclass
+class MCWFTape:
+    """Everything an MCWF forward saves for the checkpointed adjoint.
+
+    ``ops`` is the realized trajectory's full linear map: base gates,
+    sampled Pauli insertions, coherent rotations and the renormalized
+    jump operators, in application order.  Jump operators are
+    *non-unitary*, so their adjoint is not their inverse and the
+    backward sweep cannot un-apply them; ``jump_ops`` marks their op
+    indices and ``checkpoints`` stores the pre-site state at every
+    :data:`_JUMP_CHECKPOINT_STRIDE`-th jump -- the sweep restores
+    stored states directly and re-derives the ones in between by
+    replaying the recorded window (everything else is unitary and
+    inverts as usual).
+    """
+
+    circuit: object
+    ops: list
+    checkpoints: "dict[int, np.ndarray]"
+    jump_ops: "set[int]"
+    state: np.ndarray
+    n_weights: int
+    n_inputs: int
+
+
+def mcwf_forward_with_tape(
+    compiled: "CompiledCircuit",
+    sampler: ErrorGateSampler,
+    weights: "np.ndarray | None",
+    inputs: "np.ndarray | None",
+    n_realizations: int = 1,
+    rng: "int | np.random.Generator | None" = None,
+    n_weights: "int | None" = None,
+    n_inputs: "int | None" = None,
+    jump_sites: "list | None" = None,
+) -> "tuple[np.ndarray, MCWFTape, int]":
+    """Quantum-jump noisy forward over stacked realizations, with tape.
+
+    The training-side MCWF sweep: Pauli error choices are pre-drawn per
+    site (state-independent, as in :func:`stacked_noisy_ops`), while
+    exact-relaxation jump operators are sampled *during* the sweep from
+    the running state's per-row jump probabilities and recorded as
+    renormalized ``(rows, 2, 2)`` constant ops.  Returns
+    ``(expectations, tape, n_inserted)`` with expectations the
+    per-sample mean over realizations.
+
+    Gradient semantics match the gate-insertion backend: the sampled
+    realization -- including each jump's choice and renormalization
+    scale -- is held constant, and the backward pass
+    (:func:`mcwf_adjoint_backward`) is exact for that frozen linear map
+    (verified against finite differences under a frozen jump sampler).
+
+    ``jump_sites`` lets the caller pass a precomputed
+    :meth:`~repro.noise.sampler.ErrorGateSampler.jump_table` (the table
+    depends only on the circuit, layout and scaled model, so per-step
+    callers like :class:`~repro.core.executors.MCWFTrainExecutor` cache
+    it per compiled block).
+    """
+    rng = as_rng(rng)
+    if inputs is not None:
+        inputs = np.asarray(inputs, dtype=float)
+        batch = inputs.shape[0]
+    else:
+        batch = 1
+    circuit = compiled.circuit
+    n = circuit.n_qubits
+    rows = n_realizations * batch
+    base_ops = bind_circuit(circuit, weights, inputs, batch)
+    events = sampler.sample_batched(
+        circuit, compiled.physical_qubits, n_realizations, rng
+    )
+    if jump_sites is None:
+        jump_sites = sampler.jump_table(circuit, compiled.physical_qubits)
+    jump_by_gate: "dict[int, list[tuple[int, np.ndarray, np.ndarray]]]" = {}
+    for _gi, local_q, kraus, effects in jump_sites:
+        jump_by_gate.setdefault(_gi, []).append((local_q, kraus, effects))
+
+    state = zero_state(n, rows)
+    scratch = np.empty_like(state)
+    ops: list = []
+    checkpoints: "dict[int, np.ndarray]" = {}
+    jump_ops: "set[int]" = set()
+    n_inserted = 0
+    n_jumps = 0
+
+    def apply_op(op):
+        nonlocal state, scratch
+        apply_matrix(state, op.matrix, op.qubits, n, out=scratch)
+        state, scratch = scratch, state
+        ops.append(op)
+
+    for i, (op, post) in enumerate(zip(base_ops, events)):
+        apply_op(_tiled_op(op, n_realizations, batch))
+        # Event order mirrors the density reference's channel order:
+        # Pauli insertions, then relaxation jumps, then coherent
+        # miscalibration (sample_batched lists pauli before coherent).
+        pauli = [e for e in post if e[0] == "pauli"]
+        n_inserted += _count_inserted(pauli)
+        for local_q, errors in _expand_events(pauli, batch):
+            apply_op(_error_op(local_q, errors))
+        for local_q, kraus, effects in jump_by_gate.get(i, ()):
+            if n_jumps % _JUMP_CHECKPOINT_STRIDE == 0:
+                checkpoints[len(ops)] = state.copy()
+            jump_ops.add(len(ops))
+            n_jumps += 1
+            mats = _sample_jump_matrices(state, kraus, effects, local_q, rng)
+            apply_op(_error_op(local_q, mats))
+        coherent = [e for e in post if e[0] == "coherent"]
+        for local_q, matrix in _expand_events(coherent, batch):
+            apply_op(_error_op(local_q, matrix))
+
+    table = circuit.parameter_table
+    tape = MCWFTape(
+        circuit,
+        ops,
+        checkpoints,
+        jump_ops,
+        state,
+        n_weights if n_weights is not None else table.num_weights,
+        n_inputs if n_inputs is not None else table.num_inputs,
+    )
+    probs = np.abs(state) ** 2
+    stacked_exp = probs @ z_signs(n).T
+    expectations = stacked_exp.reshape(n_realizations, batch, -1).mean(axis=0)
+    return expectations, tape, n_inserted
+
+
+def mcwf_adjoint_backward(
+    tape: MCWFTape,
+    grad_expectations: np.ndarray,
+    n_realizations: int = 1,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Adjoint backward through a quantum-jump tape.
+
+    The covector propagates through *any* linear op as ``A^dag`` (no
+    unitarity needed), so the bra sweep is the standard adjoint one.
+    The ket cannot be un-applied through the non-unitary jump operators,
+    so at each jump index the pre-site state is restored instead --
+    directly from the sparse stored checkpoints, or by replaying the
+    recorded ops of the enclosing checkpoint window once (caching every
+    jump state inside it); all remaining ops are unitary and invert as
+    usual.  Upstream gradients are per-sample ``(batch, n_qubits)`` of
+    the realization-averaged expectations, mirroring
+    :func:`stacked_noisy_backward`'s contract.
+    """
+    import bisect
+
+    from repro.circuits.parameters import INPUT, WEIGHT
+
+    n = tape.circuit.n_qubits
+    grad_expectations = np.asarray(grad_expectations, dtype=float)
+    batch = grad_expectations.shape[0]
+    stacked_grad = np.tile(
+        grad_expectations / n_realizations, (n_realizations, 1)
+    )
+    rows, dim = tape.state.shape
+    diag = stacked_grad @ z_signs(n)
+    pair = np.empty((2 * rows, dim), dtype=complex)
+    pair[:rows] = tape.state
+    np.multiply(diag, tape.state, out=pair[rows:])
+    scratch = np.empty_like(pair)
+
+    weight_grad = np.zeros(tape.n_weights)
+    input_grad = np.zeros((rows, tape.n_inputs))
+
+    stored = sorted(tape.checkpoints)
+    window: "dict[int, np.ndarray]" = {}
+
+    def restore(k: int) -> np.ndarray:
+        """The state immediately before jump op ``k``."""
+        state = tape.checkpoints.get(k)
+        if state is None:
+            state = window.pop(k, None)
+        if state is not None:
+            return state
+        # Replay the window from the nearest stored checkpoint at or
+        # below k, caching the pre-op state of every jump in between
+        # (consumed as the reverse sweep descends through them).
+        j = stored[bisect.bisect_right(stored, k) - 1]
+        state = tape.checkpoints[j]
+        for i in range(j, k):
+            if i != j and i in tape.jump_ops:
+                window[i] = state
+            op_i = tape.ops[i]
+            state = apply_matrix(state, op_i.matrix, op_i.qubits, n)
+        return state
+
+    for k in range(len(tape.ops) - 1, -1, -1):
+        op = tape.ops[k]
+        adj = op.adjoint_matrix()
+        if k in tape.jump_ops:
+            # Non-unitary jump: restore the ket, adjoint the bra.
+            apply_matrix(pair[rows:], adj, op.qubits, n, out=scratch[rows:])
+            scratch[:rows] = restore(k)
+            pair, scratch = scratch, pair
+            continue
+        if not op.grad_params:
+            if op.batched:
+                apply_matrix(pair[:rows], adj, op.qubits, n, out=scratch[:rows])
+                apply_matrix(pair[rows:], adj, op.qubits, n, out=scratch[rows:])
+            else:
+                apply_matrix(pair, adj, op.qubits, n, out=scratch)
+            pair, scratch = scratch, pair
+            continue
+        psi = apply_matrix(pair[:rows], adj, op.qubits, n, out=scratch[:rows])
+        bra = pair[rows:]
+        for which, expr in op.grad_params:
+            dpsi = apply_matrix(psi, op.dmatrix(which), op.qubits, n)
+            inner = np.einsum("bi,bi->b", bra.conj(), dpsi)
+            g = 2.0 * np.real(inner)
+            for kind, index, coeff in expr.terms:
+                if kind == WEIGHT:
+                    weight_grad[index] += coeff * g.sum()
+                elif kind == INPUT:
+                    input_grad[:, index] += coeff * g
+        apply_matrix(bra, adj, op.qubits, n, out=scratch[rows:])
+        pair, scratch = scratch, pair
+
+    input_grad = input_grad.reshape(n_realizations, batch, -1).sum(axis=0)
+    return weight_grad, input_grad
+
+
 def trajectory_probabilities(
     compiled: CompiledCircuit,
     noise_model: NoiseModel,
@@ -499,6 +809,8 @@ def trajectory_probabilities(
     n_workers: int = 0,
     shard_size: "int | None" = None,
     shard_backend: str = "thread",
+    unravel: str = "pauli",
+    pool=None,
 ) -> np.ndarray:
     """Average joint basis probabilities over sampled error trajectories.
 
@@ -515,6 +827,20 @@ def trajectory_probabilities(
       the chunk layout never depends on the worker count -- that is
       what makes sharded output reproduce serial output bit-for-bit;
       both runs must use the same value to compare.
+
+    ``unravel`` selects the stochastic unraveling: ``"pauli"`` samples
+    inserted Pauli error gates (and refuses models carrying exact
+    relaxation channels); ``"jump"`` is the quantum-jump (MCWF)
+    unraveling -- exact relaxation Kraus sets become per-site jump
+    points with state-dependent probabilities and per-row
+    renormalization, so the trajectory ensemble converges to the full
+    compiled channel (relaxation included).  ``pool`` accepts an
+    already-running ``concurrent.futures`` executor matching
+    ``shard_backend``, or a zero-argument callable returning one (see
+    ``TrajectoryEvalExecutor``'s persistent pool); when given, workers
+    are reused across calls instead of respawned.  A callable is only
+    invoked when the run actually shards, so single-chunk runs never
+    spawn workers.
     """
     if shard_backend not in ("thread", "process"):
         # Validate eagerly: a typo must raise even on runs that happen
@@ -524,13 +850,18 @@ def trajectory_probabilities(
         )
     if shard_size is not None and int(shard_size) < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if unravel not in ("pauli", "jump"):
+        raise ValueError(
+            f"unravel must be 'pauli' or 'jump', got {unravel!r}"
+        )
+    jump = unravel == "jump"
     rng = as_rng(rng)
-    sampler = ErrorGateSampler(noise_model, noise_factor)
+    sampler = ErrorGateSampler(noise_model, noise_factor, allow_exact=jump)
     if inputs is not None:
         batch = np.asarray(inputs).shape[0]
     n_qubits = compiled.circuit.n_qubits
     dim = 2**n_qubits
-    plan = _segment_plan_for(compiled, sampler)
+    plan = _segment_plan_for(compiled, sampler, jump=jump)
     stream = plan.fused_stream(weights, inputs, batch)
     max_traj = max(1, _MAX_STACKED_ENTRIES // (batch * dim))
     if shard_size is None:
@@ -552,6 +883,7 @@ def trajectory_probabilities(
             plan, stream, n_qubits, batch, chunks, seeds,
             n_workers, shard_backend,
             compiled, noise_model, noise_factor, weights, inputs,
+            jump=jump, pool=pool,
         )
     else:
         results = [
@@ -583,28 +915,41 @@ def _run_sharded(
     noise_factor: float,
     weights: "np.ndarray | None",
     inputs: "np.ndarray | None",
+    jump: bool = False,
+    pool=None,
 ) -> "list[np.ndarray]":
     """Run trajectory chunks on a worker pool, results in chunk order.
 
     Threads share the already-built plan and op stream (the sweep is
     numpy-dominated, so worker threads overlap in the C kernels);
     processes re-derive both deterministically from the pickled circuit
-    and noise model.
+    and noise model.  ``pool`` reuses a caller-held executor of the
+    matching backend (kept alive across calls by
+    ``TrajectoryEvalExecutor``); without one, a fresh pool is spawned
+    and torn down around this call.  Chunk decomposition, per-chunk
+    streams and result order never depend on which pool ran them.
     """
+    if callable(pool):
+        # Lazy supplier: the pool only materializes on runs that shard.
+        pool = pool()
     if shard_backend == "thread":
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        def dispatch(active):
             futures = [
-                pool.submit(
+                active.submit(
                     _segment_chunk, plan, stream, n_qubits, batch,
                     chunk, np.random.default_rng(seed),
                 )
                 for chunk, seed in zip(chunks, seeds)
             ]
             return [future.result() for future in futures]
+
+        if pool is not None:
+            return dispatch(pool)
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=n_workers) as fresh:
+            return dispatch(fresh)
     # shard_backend == "process" (validated by the caller).
-    from concurrent.futures import ProcessPoolExecutor
     from dataclasses import replace
 
     from repro.circuits.circuit import Circuit
@@ -632,15 +977,23 @@ def _run_sharded(
         for i in range(n_groups)
         if bounds[i] < bounds[i + 1]
     ]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+
+    def dispatch(active):
         futures = [
-            pool.submit(
+            active.submit(
                 _process_chunk_worker, bare, noise_model,
-                noise_factor, weights, inputs, batch, group,
+                noise_factor, weights, inputs, batch, group, jump,
             )
             for group in groups
         ]
         return [result for future in futures for result in future.result()]
+
+    if pool is not None:
+        return dispatch(pool)
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=n_workers) as fresh:
+        return dispatch(fresh)
 
 
 def trajectory_probabilities_reference(
@@ -673,6 +1026,78 @@ def trajectory_probabilities_reference(
     return total / n_trajectories
 
 
+def mcwf_probabilities_reference(
+    compiled: CompiledCircuit,
+    noise_model: NoiseModel,
+    weights: "np.ndarray | None",
+    inputs: "np.ndarray | None",
+    batch: int,
+    n_trajectories: int = 8,
+    noise_factor: float = 1.0,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """One-trajectory-at-a-time quantum-jump (MCWF) reference.
+
+    The textbook algorithm with per-site Python loops: after every
+    gate, sample its Pauli channel per operand, then -- for exact
+    relaxation sites -- apply each Kraus candidate, read off the jump
+    probabilities from the candidate norms, draw one per sample row and
+    renormalize, then apply the coherent miscalibration.  The baseline
+    the fused jump-mode sweep is benchmarked and statistically checked
+    against (channel order matches the density reference exactly).
+    """
+    from repro.noise.model import VIRTUAL_GATES
+
+    rng = as_rng(rng)
+    sampler = ErrorGateSampler(noise_model, noise_factor, allow_exact=True)
+    scaled = sampler._scaled
+    if inputs is not None:
+        batch = np.asarray(inputs).shape[0]
+    circuit = compiled.circuit
+    n = circuit.n_qubits
+    total = np.zeros((batch, 2**n))
+    for _ in range(n_trajectories):
+        ops = bind_circuit(circuit, weights, inputs, batch)
+        state = zero_state(n, batch)
+        for op in ops:
+            state = apply_matrix(state, op.matrix, op.qubits, n)
+            phys = tuple(compiled.physical_qubits[q] for q in op.qubits)
+            for local_q, (_phys_q, error) in zip(
+                op.qubits, scaled.gate_errors(op.gate.name, phys)
+            ):
+                choice = rng.choice(4, p=error.probabilities())
+                if choice:
+                    state = apply_matrix(
+                        state, _PAULI_STACK[choice], (local_q,), n
+                    )
+            if op.gate.name not in VIRTUAL_GATES:
+                for local_q, phys_q in zip(op.qubits, phys):
+                    kraus = scaled.relaxation_kraus_for(phys_q, len(op.qubits))
+                    if kraus is None:
+                        continue
+                    candidates = [
+                        apply_matrix(state, k, (local_q,), n) for k in kraus
+                    ]
+                    norms = np.stack(
+                        [np.sum(np.abs(c) ** 2, axis=1) for c in candidates]
+                    )  # (m, batch)
+                    norms /= np.maximum(norms.sum(axis=0, keepdims=True), 1e-300)
+                    for row in range(batch):
+                        pick = rng.choice(len(kraus), p=norms[:, row])
+                        state[row] = candidates[pick][row] / np.sqrt(
+                            max(norms[pick, row], 1e-300)
+                        )
+            if op.gate.name not in ("rz", "id"):
+                for local_q, phys_q in zip(op.qubits, phys):
+                    coherent = scaled.coherent_for(phys_q)
+                    if coherent is not None:
+                        state = apply_matrix(
+                            state, _coherent_unitary(*coherent), (local_q,), n
+                        )
+        total += np.abs(state) ** 2
+    return total / n_trajectories
+
+
 def run_noisy_trajectories(
     compiled: CompiledCircuit,
     noise_model: NoiseModel,
@@ -686,6 +1111,8 @@ def run_noisy_trajectories(
     n_workers: int = 0,
     shard_size: "int | None" = None,
     shard_backend: str = "thread",
+    unravel: str = "pauli",
+    pool=None,
 ) -> np.ndarray:
     """Noisy per-qubit <Z> expectations in *logical* qubit order.
 
@@ -695,14 +1122,17 @@ def run_noisy_trajectories(
     ``n_workers``/``shard_size``/``shard_backend`` shard the trajectory
     chunks (see :func:`trajectory_probabilities`); the shot-sampling tail
     always runs on the caller's stream, so a sharded run's expectations
-    stay bit-identical to the serial ones.
+    stay bit-identical to the serial ones.  ``unravel="jump"`` selects
+    the quantum-jump (MCWF) unraveling, the only sampled backend that
+    evaluates exact relaxation channels; ``pool`` reuses a caller-held
+    worker pool for the sharded chunks.
     """
     rng = as_rng(rng)
     probs = trajectory_probabilities(
         compiled, noise_model, weights, inputs, batch,
         n_trajectories, noise_factor, rng,
         n_workers=n_workers, shard_size=shard_size,
-        shard_backend=shard_backend,
+        shard_backend=shard_backend, unravel=unravel, pool=pool,
     )
     readout = np.stack(
         [noise_model.readout_for(p) for p in compiled.physical_qubits]

@@ -1,37 +1,47 @@
 """Cross-backend equivalence harness: every engine against the reference.
 
-Three noisy-execution engines now coexist (statevector trajectories,
-compiled superop density, per-Kraus reference density) plus the exact
-density *training* backend.  This harness keeps them honest as noise
-coverage grows: seeded randomized circuits are swept over
-(qubits x depth x channel mix -- Pauli, coherent, readout, exact
-relaxation and their combinations) and every enrolled engine is held to
-the per-Kraus reference.
+The execution layer now enrolls every backend in the engine registry
+(:mod:`repro.core.engine`) with declared capabilities.  This harness
+keeps the fleet honest as noise coverage grows: seeded randomized
+circuits are swept over (qubits x depth x channel mix -- Pauli,
+coherent, readout, exact relaxation and their combinations) and every
+registered engine is held to the per-Kraus reference channel.
 
-Enrollment is capability-driven: each :class:`EngineSpec` declares which
-channel features it supports, and the parametrization below generates
-exactly the supported (engine, mix) pairs -- a future engine auto-enrolls
-by appending one spec with its feature set (exact engines join the
+Enrollment is *registry-driven*: the parametrization below is generated
+from :func:`repro.core.engine.engine_specs` -- each spec's evaluation
+factory and (when present) training executor factory become enrolled
+runners, and its declared channel capabilities select exactly the
+supported (engine, mix) pairs.  A future engine auto-enrolls by
+registering itself; no edits here.  Exact engines join the
 < ``TOL_EXACT`` comparisons; sampled engines the large-N convergence
-checks).  All tolerances live in one place at the top of this file.
+checks.  All tolerances live in one place at the top of this file.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
 
 from repro.compiler import transpile
+from repro.core.engine import (
+    ALL_CHANNEL_KINDS,
+    CHANNEL_COHERENT,
+    CHANNEL_PAULI,
+    CHANNEL_READOUT,
+    CHANNEL_RELAXATION,
+    engine_specs,
+    engines_supporting,
+)
+from repro.core.injection import GATE_INSERTION, InjectionConfig
 from repro.noise import (
     NoiseModel,
     PauliError,
     get_device,
     readout_matrix,
-    run_noisy_density,
     run_noisy_density_reference,
-    run_noisy_trajectories,
 )
 from repro.qnn import paper_model
+from repro.utils.rng import as_rng
 
 # ---------------------------------------------------------------------------
 # shared tolerances -- the single place engine agreement bars are set
@@ -45,13 +55,13 @@ TOL_STATISTICAL_SIGMA = 6.0
 N_CONVERGENCE_TRAJECTORIES = 600
 
 # ---------------------------------------------------------------------------
-# channel mixes
+# channel mixes (kind names shared with the registry)
 # ---------------------------------------------------------------------------
 
-PAULI = "pauli"
-COHERENT = "coherent"
-READOUT = "readout"
-RELAXATION = "relaxation"
+PAULI = CHANNEL_PAULI
+COHERENT = CHANNEL_COHERENT
+READOUT = CHANNEL_READOUT
+RELAXATION = CHANNEL_RELAXATION
 
 
 def _build_model(n_qubits: int, features: "frozenset[str]") -> NoiseModel:
@@ -106,96 +116,89 @@ MIXES: "dict[str, frozenset[str]]" = {
 }
 
 # ---------------------------------------------------------------------------
-# engines
+# registry-driven enrollment
 # ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
-class EngineSpec:
-    """One noisy-execution engine enrolled in the harness.
+class Enrolled:
+    """One enrolled runner derived from a registered engine spec.
 
-    ``run(compiled, model, weights, inputs, rng)`` must return logical
-    measured expectations with no shot sampling.  ``features`` is the
-    set of channel kinds the engine can represent -- the parametrization
-    only generates supported (engine, mix) pairs, so adding a spec here
-    automatically enrolls a new engine everywhere it can run.
+    ``run(compiled, model, weights, inputs, rng)`` returns logical
+    measured expectations with no shot sampling.  ``features``/``exact``
+    come straight from the spec's declared capabilities, so the
+    parametrization generates exactly the supported (engine, mix)
+    pairs.
     """
 
     name: str
     run: "object"
     exact: bool
-    features: "frozenset[str]" = field(
-        default_factory=lambda: frozenset(
-            {PAULI, COHERENT, READOUT, RELAXATION}
+    features: "frozenset[str]"
+
+
+def _eval_runner(spec):
+    def run(compiled, model, weights, inputs, rng):
+        executor = spec.factory(
+            model,
+            rng=as_rng(rng),
+            samples=N_CONVERGENCE_TRAJECTORIES,
+            shots=None,
         )
-    )
+        out, _cache = executor.forward(compiled, weights, inputs)
+        return out
+
+    return run
+
+
+def _train_runner(spec):
+    def run(compiled, model, weights, inputs, rng):
+        samples = 1 if spec.capabilities.exact else N_CONVERGENCE_TRAJECTORIES
+        injection = InjectionConfig(
+            GATE_INSERTION, 1.0, n_realizations=samples
+        )
+        executor = spec.train.executor_factory(
+            model, injection, rng=as_rng(rng)
+        )
+        out, _cache = executor.forward(compiled, weights, inputs)
+        return out
+
+    return run
+
+
+def enrolled_engines() -> "list[Enrolled]":
+    """Every registered engine's runners, from declared capabilities.
+
+    Each spec contributes its evaluation executor (when it has a
+    factory) and, separately, its training executor's forward path
+    (when it has one) as ``<name>_train`` -- the training backends'
+    channels are equivalence-checked too, not just their gradients.
+    """
+    rows: "list[Enrolled]" = []
+    for spec in engine_specs():
+        caps = spec.capabilities
+        if spec.factory is not None:
+            rows.append(
+                Enrolled(spec.name, _eval_runner(spec), caps.exact, caps.channels)
+            )
+        if spec.train is not None and spec.train.executor_factory is not None:
+            rows.append(
+                Enrolled(
+                    spec.name + "_train",
+                    _train_runner(spec),
+                    caps.exact,
+                    caps.channels,
+                )
+            )
+    return rows
+
+
+ENGINES = enrolled_engines()
 
 
 def _run_reference(compiled, model, weights, inputs, rng):
     return run_noisy_density_reference(compiled, model, weights, inputs)
 
-
-def _run_superop(compiled, model, weights, inputs, rng):
-    return run_noisy_density(compiled, model, weights, inputs, engine="superop")
-
-
-def _run_density_training(compiled, model, weights, inputs, rng):
-    # The exact-channel *training* backend's forward pass: per-site
-    # superops (no segment fusion) + the executor's affine readout tail.
-    from repro.core.density_training import density_forward_with_tape
-    from repro.noise import apply_readout_to_expectations
-
-    expectations, _tape = density_forward_with_tape(
-        compiled, model, weights, inputs
-    )
-    logical = expectations[:, list(compiled.measure_qubits)]
-    logical, _scales = apply_readout_to_expectations(
-        logical, compiled.readout_matrices(model)
-    )
-    return logical
-
-
-def _run_trajectory_fused(compiled, model, weights, inputs, rng):
-    return run_noisy_trajectories(
-        compiled, model, weights, inputs,
-        n_trajectories=N_CONVERGENCE_TRAJECTORIES, shots=None, rng=rng,
-    )
-
-
-def _run_trajectory_reference(compiled, model, weights, inputs, rng):
-    from repro.noise import (
-        apply_readout_to_joint_probabilities,
-        trajectory_probabilities_reference,
-    )
-    from repro.sim.statevector import z_signs
-
-    batch = np.asarray(inputs).shape[0] if inputs is not None else 1
-    probs = trajectory_probabilities_reference(
-        compiled, model, weights, inputs, batch,
-        n_trajectories=N_CONVERGENCE_TRAJECTORIES, rng=rng,
-    )
-    readout = np.stack(
-        [model.readout_for(p) for p in compiled.physical_qubits]
-    )
-    probs = apply_readout_to_joint_probabilities(probs, readout)
-    expectations = probs @ z_signs(compiled.circuit.n_qubits).T
-    return expectations[:, list(compiled.measure_qubits)]
-
-
-SAMPLED_FEATURES = frozenset({PAULI, COHERENT, READOUT})
-
-ENGINES = [
-    EngineSpec("density_superop", _run_superop, exact=True),
-    EngineSpec("density_training", _run_density_training, exact=True),
-    EngineSpec(
-        "trajectory_fused", _run_trajectory_fused,
-        exact=False, features=SAMPLED_FEATURES,
-    ),
-    EngineSpec(
-        "trajectory_reference", _run_trajectory_reference,
-        exact=False, features=SAMPLED_FEATURES,
-    ),
-]
 
 # ---------------------------------------------------------------------------
 # randomized circuit sweep
@@ -270,8 +273,9 @@ def test_exact_engines_match_reference(engine, mix_name, case, device):
 
 # Sampled engines are slow per run: sweep every supported mix on the
 # smallest case, and add one deeper case on each engine's *richest*
-# supported mix (capability-driven, so a future engine declaring more
-# features automatically gets convergence coverage on them).
+# supported mix (capability-driven, so an engine declaring more
+# features -- like the quantum-jump unraveling's exact relaxation --
+# automatically gets convergence coverage on them).
 SAMPLED_PARAMS = [
     pytest.param(engine, mix_name, case, id=f"{engine.name}-{mix_name}-{_case_id(case)}")
     for engine in ENGINES
@@ -309,23 +313,33 @@ def test_exact_engines_batched_qnn_block(device):
     model = _build_model(device.n_qubits, MIXES["full"])
     want = _run_reference(compiled, model, weights, inputs, 0)
     for engine in ENGINES:
-        if not engine.exact:
+        if not engine.exact or not MIXES["full"] <= engine.features:
             continue
         got = engine.run(compiled, model, weights, inputs, 0)
         assert np.abs(got - want).max() < TOL_EXACT, engine.name
 
 
 def test_sampled_engines_reject_unsupported_mixes(device):
-    """Exact relaxation channels fail loudly on sampling backends."""
+    """Exact relaxation channels fail loudly on Pauli-sampling backends,
+    and the error names the registry engines that do support them."""
     compiled = _compiled_case(device, CASES[0])
     model = _build_model(device.n_qubits, MIXES["relaxation"])
-    with pytest.raises(ValueError, match="exact"):
-        _run_trajectory_fused(compiled, model, None, None, 0)
+    rejecting = [
+        engine
+        for engine in ENGINES
+        if RELAXATION not in engine.features and engine.features
+    ]
+    assert rejecting, "no relaxation-incapable sampled engine registered"
+    capable = {spec.name for spec in engines_supporting(RELAXATION)}
+    assert capable, "no relaxation-capable engine registered"
+    for engine in rejecting:
+        with pytest.raises(ValueError, match="exact") as excinfo:
+            engine.run(compiled, model, None, None, 0)
+        assert any(name in str(excinfo.value) for name in capable), engine.name
 
 
 def test_registry_covers_all_channel_features():
     """Every feature is exercised by at least one mix and one engine."""
-    all_features = {PAULI, COHERENT, READOUT, RELAXATION}
-    assert set().union(*MIXES.values()) == all_features
-    for feature in all_features:
+    assert set().union(*MIXES.values()) == set(ALL_CHANNEL_KINDS)
+    for feature in ALL_CHANNEL_KINDS:
         assert any(feature in engine.features for engine in ENGINES)

@@ -551,23 +551,36 @@ def test_exact_channel_device_model_trains_via_density_executor():
     assert np.isfinite(loss) and np.abs(grad).max() > 0
 
 
-def test_wide_exact_channel_device_rejected_with_actionable_advice():
-    """Wide blocks + exact channels fail eagerly, pointing at the fix."""
+def test_wide_exact_channel_device_falls_back_to_mcwf_trainer():
+    """Wide blocks + exact channels resolve to the quantum-jump trainer.
+
+    Before the MCWF engine, this configuration was rejected outright
+    (gate insertion cannot sample general Kraus channels and density
+    training is width-bound); the registry now resolves it to the
+    statevector-bound quantum-jump backend, and one training step runs.
+    """
     from dataclasses import replace
 
+    from repro.core.executors import MCWFTrainExecutor
     from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
 
     device = get_device("melbourne")
     exact = device.noise_model.with_relaxation(
         {q: (60.0, 70.0) for q in range(device.n_qubits)}, (0.035, 0.3)
     )
-    with pytest.raises(ValueError, match="exact_channels=False"):
-        QuantumNATModel(
-            paper_model(10, 1, 1, 36, 4),
-            replace(device, noise_model=exact),
-            QuantumNATConfig.full(0.5),
-            rng=0,
-        )
+    model = QuantumNATModel(
+        paper_model(10, 1, 1, 36, 4),
+        replace(device, noise_model=exact),
+        QuantumNATConfig.full(0.5),
+        rng=0,
+    )
+    assert isinstance(model._train_executor, MCWFTrainExecutor)
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, (2, 36))
+    y = rng.integers(0, 4, 2)
+    weights = model.qnn.init_weights(rng)
+    loss, _acc, grad = model.loss_and_gradients(weights, x, y)
+    assert np.isfinite(loss) and np.abs(grad).max() > 0
 
 
 def test_training_with_density_engine_is_deterministic():

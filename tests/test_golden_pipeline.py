@@ -86,3 +86,58 @@ def test_training_histories_are_pinned(golden):
         # Training made progress: best validation loss beats the first
         # epoch's (both recorded under the same fixed seed).
         assert result.best_valid_loss <= result.history[0]["valid_loss"]
+
+
+MCWF_EPOCHS = 10
+
+
+@pytest.fixture(scope="module")
+def golden_mcwf():
+    """The QuantumNAT pipeline trained on the quantum-jump engine.
+
+    The device's *training* noise model itself carries exact relaxation
+    channels here, so noise injection samples quantum-jump trajectories
+    of the full channel (``TrainConfig(engine="mcwf")``) -- the sampled
+    counterpart of the density-training variant above, at a reduced
+    epoch budget to keep the golden tier fast.
+    """
+    from dataclasses import replace
+
+    task = load_task("mnist-4", n_train=128, n_valid=32, n_test=96, seed=0)
+    device = get_device("yorktown")
+    # Training and evaluation must see the same relaxation parameters.
+    relaxation = {
+        q: (80.0 + 10 * q, 90.0 + 8 * q) for q in range(device.n_qubits)
+    }
+    durations = (0.02, 0.18)
+    full_noise = device.hardware_model.with_relaxation(relaxation, durations)
+    exact_device = replace(
+        device,
+        noise_model=device.noise_model.with_relaxation(relaxation, durations),
+    )
+    model = QuantumNATModel(
+        paper_model(4, 2, 1, 16, 4), exact_device,
+        QuantumNATConfig.full(0.25, 6), rng=0,
+    )
+    result = train(
+        model, task.train_x, task.train_y, task.valid_x, task.valid_y,
+        TrainConfig(epochs=MCWF_EPOCHS, seed=SEED, engine="mcwf"),
+    )
+    acc, loss = model.evaluate(
+        result.weights, task.test_x, task.test_y,
+        DensityEvalExecutor(full_noise),
+    )
+    return {"acc": acc, "loss": loss, "result": result}
+
+
+def test_mcwf_training_stays_above_chance_under_full_noise(golden_mcwf):
+    """Quantum-jump noise-injection training yields a usable model when
+    evaluated under the full relaxation-bearing channel (chance 0.25)."""
+    assert golden_mcwf["acc"] > 0.25
+
+
+def test_mcwf_training_is_pinned_and_progresses(golden_mcwf):
+    result = golden_mcwf["result"]
+    assert result.final_epoch == MCWF_EPOCHS
+    assert np.isfinite(result.best_valid_loss)
+    assert result.best_valid_loss <= result.history[0]["valid_loss"]
