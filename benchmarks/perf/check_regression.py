@@ -56,6 +56,11 @@ SPEEDUP_SCENARIOS = frozenset({
     "training_step",
     "stacked_noise_training",
     "fused_inference",
+    # t_unsupervised_sharded / t_supervised: supervision overhead gate.
+    # ~1.0 by construction; collapsing means chunk supervision got
+    # expensive (per-chunk deadline/checksum/bookkeeping is meant to be
+    # noise against the statevector sweeps it wraps).
+    "supervised_trajectory",
 })
 
 #: Scenarios the gate refuses to run without: the speedup pairs above,

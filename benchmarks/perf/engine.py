@@ -414,6 +414,40 @@ def run_benchmarks(
             "sharded trajectory output is not bit-identical to serial"
         )
 
+    # -- supervised sharded trajectory execution ---------------------------
+    # Chunk supervision (per-chunk deadlines, CRC32 payload validation,
+    # retry bookkeeping) rides on the sharded path; because chunks are
+    # re-runnable pure functions of their spawned seeds, supervision
+    # changes nothing about the output (bit-identity asserted below) and
+    # its overhead vs the unsupervised sharded run must stay in the
+    # noise ("speedup" here is t_unsupervised / t_supervised, ~1.0; the
+    # regression gate fails if it ever collapses).
+    from repro.runtime import ChunkSupervisor
+
+    def supervised_run():
+        return trajectory_probabilities(
+            compiled, hardware, weights, traj_inputs, traj_batch,
+            rng=2, n_workers=cfg["shard_workers"],
+            supervisor=ChunkSupervisor(label="trajectory"),
+            **shard_kwargs,
+        )
+
+    t_supervised = _best_of(supervised_run, cfg["repeats"])
+    bench["supervised_trajectory"] = {
+        "reference_s": t_sharded, "fast_s": t_supervised,
+        "speedup": t_sharded / t_supervised,
+        "overhead_pct": (t_supervised / t_sharded - 1.0) * 100.0,
+        "workers": cfg["shard_workers"], "chunks": n_chunks,
+    }
+    p_supervised = supervised_run()
+    equiv["supervised_trajectory_max_err"] = float(
+        np.abs(p_serial - p_supervised).max()
+    )
+    if not np.array_equal(p_serial, p_supervised):
+        raise AssertionError(
+            "supervised trajectory output is not bit-identical to serial"
+        )
+
     # Stochastic channel: independent samplings agree statistically.
     n_stat = cfg["stat_trajectories"]
     p_fused = trajectory_probabilities(
@@ -562,6 +596,7 @@ def run_benchmarks(
         "density_inference_max_err",
         "density_relaxation_max_err",
         "sharded_trajectory_max_err",
+        "supervised_trajectory_max_err",
         "training_step_loss_err",
         "training_step_grad_max_err",
         "fused_inference_max_err",

@@ -35,7 +35,7 @@ def test_engine_smoke(tmp_path):
     for key in ("forward", "forward_backward", "trajectory_inference",
                 "mcwf_trajectory",
                 "density_inference", "density_relaxation",
-                "sharded_trajectory",
+                "sharded_trajectory", "supervised_trajectory",
                 "training_step", "stacked_noise_training",
                 "fused_inference", "end_to_end_training"):
         assert key in bench
@@ -56,6 +56,8 @@ def test_engine_smoke(tmp_path):
     assert equiv["fused_inference_max_err"] < 1e-10
     # Sharded trajectories are bit-identical to serial, not just close.
     assert equiv["sharded_trajectory_max_err"] == 0.0
+    # Chunk supervision changes nothing about the output either.
+    assert equiv["supervised_trajectory_max_err"] == 0.0
 
     # Perf regression tripwire: the fast paths must not fall behind the
     # reference implementations (real speedups are far higher; 1.0 keeps

@@ -21,3 +21,22 @@ if _SRC not in _existing.split(os.pathsep):
     os.environ["PYTHONPATH"] = (
         _SRC + os.pathsep + _existing if _existing else _SRC
     )
+
+
+def pytest_addoption(parser):
+    """Absorb the ``timeout`` ini key when pytest-timeout is absent.
+
+    CI installs pytest-timeout (requirements-dev.txt) so hung workers
+    fail fast; a local environment without the plugin would otherwise
+    warn about the unknown ini option in pytest.ini.  Registering it as
+    a no-op keeps plain ``pytest`` quiet while changing nothing when
+    the real plugin is present (it registers the key itself first).
+    """
+    try:
+        import pytest_timeout  # noqa: F401
+    except ImportError:
+        parser.addini(
+            "timeout",
+            "no-op fallback for the pytest-timeout ini key",
+            default=None,
+        )

@@ -52,6 +52,7 @@ from repro.noise.model import (
     CHANNEL_READOUT,
     CHANNEL_RELAXATION,
 )
+from repro.runtime.errors import DegradedExecution, EngineUnavailable
 
 __all__ = [
     "ALL_CHANNEL_KINDS",
@@ -61,9 +62,12 @@ __all__ = [
     "CHANNEL_RELAXATION",
     "EngineCapabilities",
     "EngineSpec",
+    "EngineUnavailable",
     "TrainSupport",
     "capability_matrix",
     "create_engine",
+    "create_engine_with_fallback",
+    "engine_fallback_chain",
     "engine_names",
     "engine_spec",
     "engine_specs",
@@ -121,7 +125,8 @@ class EngineSpec:
 
     ``factory`` builds an *evaluation* executor with the uniform
     signature ``(noise_model=None, *, rng=None, samples=1, shots=None,
-    noise_factor=1.0, n_workers=0)`` (``samples`` meaning trajectories
+    noise_factor=1.0, n_workers=0, supervisor=None)`` (``samples``
+    meaning trajectories
     or stacked noise realizations for Monte-Carlo engines; exact
     engines ignore it); None marks training-loop-only pseudo engines
     (``fast`` / ``reference``).  ``train`` is the engine's
@@ -232,6 +237,97 @@ def create_engine(name: str, noise_model=None, **kwargs):
     return spec.factory(noise_model, **kwargs)
 
 
+#: Resolution-time fallbacks: when the named engine cannot serve a
+#: request (width cap, channel miss, memory), these engines are tried in
+#: order.  ``density`` falls to the quantum-jump sampler (same channel
+#: coverage, statevector-bound so no width cap); ``trajectory`` falls to
+#: ``mcwf`` when the model carries exact relaxation channels the Pauli
+#: unraveling cannot represent.
+_FALLBACK_CHAINS: "dict[str, tuple[str, ...]]" = {
+    "density": ("mcwf",),
+    "trajectory": ("mcwf",),
+}
+
+
+def engine_fallback_chain(name: str) -> "tuple[str, ...]":
+    """The resolution order for ``name``: itself, then its fallbacks."""
+    return (name,) + _FALLBACK_CHAINS.get(name, ())
+
+
+def create_engine_with_fallback(
+    name: str,
+    noise_model=None,
+    *,
+    widest: "int | None" = None,
+    **kwargs,
+):
+    """Build ``name``'s executor, degrading along its fallback chain.
+
+    Each candidate engine is checked against the request before its
+    factory runs -- the channel kinds of ``noise_model`` must be within
+    the engine's declared capabilities and ``widest`` (the widest block
+    the executor will see) within its width cap -- and a candidate whose
+    factory still fails with ``MemoryError`` (density allocation at the
+    width boundary) is skipped the same way.  Using a fallback instead
+    of the requested engine emits a :class:`DegradedExecution` warning
+    carrying the path actually taken (e.g. ``("density", "mcwf")``);
+    exhausting the chain raises :class:`EngineUnavailable` listing why
+    each candidate was rejected.
+    """
+    import warnings
+
+    required = (
+        noise_model.channel_kinds if noise_model is not None else frozenset()
+    )
+    rejected: "list[str]" = []
+    tried: "list[str]" = []
+    for candidate in engine_fallback_chain(name):
+        spec = _REGISTRY.get(candidate)
+        if spec is None or spec.factory is None:
+            rejected.append(f"{candidate}: not an evaluation engine")
+            continue
+        caps = spec.capabilities
+        tried.append(candidate)
+        if required and not required <= caps.channels:
+            missing = sorted(required - caps.channels)
+            rejected.append(
+                f"{candidate}: cannot represent channel kinds {missing}"
+            )
+            continue
+        if (
+            widest is not None
+            and caps.max_qubits is not None
+            and widest > caps.max_qubits
+        ):
+            rejected.append(
+                f"{candidate}: width cap {caps.max_qubits} < {widest} qubits"
+            )
+            continue
+        try:
+            executor = spec.factory(noise_model, **kwargs)
+        except MemoryError as exc:
+            rejected.append(f"{candidate}: allocation failed ({exc})")
+            continue
+        if candidate != name:
+            path = tuple(tried)
+            warnings.warn(
+                DegradedExecution(
+                    f"engine {name!r} cannot serve this request; "
+                    f"running on {candidate!r} instead",
+                    path,
+                ),
+                stacklevel=2,
+            )
+        return executor
+    raise EngineUnavailable(
+        f"engine {name!r} and its fallback chain "
+        f"{engine_fallback_chain(name)} cannot serve this request:\n  "
+        + "\n  ".join(rejected)
+        + "\n"
+        + capability_matrix()
+    )
+
+
 def resolve_eval_engine(
     required_channels: "frozenset[str]", widest: int
 ) -> EngineSpec:
@@ -256,7 +352,7 @@ def resolve_eval_engine(
         if caps.max_qubits is not None and widest > caps.max_qubits:
             continue
         return spec
-    raise ValueError(
+    raise EngineUnavailable(
         "no registered evaluation engine supports channel kinds "
         f"{sorted(required_channels)} at {widest} qubits;\n"
         + capability_matrix()
@@ -282,7 +378,7 @@ def resolve_train_engine(
         if caps.max_qubits is not None and widest > caps.max_qubits:
             continue
         return spec
-    raise ValueError(
+    raise EngineUnavailable(
         "no registered training engine supports channel kinds "
         f"{sorted(required_channels)} at {widest} qubits;\n"
         + capability_matrix()
@@ -331,14 +427,14 @@ _SAMPLED_CHANNELS = frozenset(
 
 def _noiseless_factory(
     noise_model=None, *, rng=None, samples=1, shots=None, noise_factor=1.0,
-    n_workers=0,
+    n_workers=0, supervisor=None,
 ):
     return NoiselessExecutor()
 
 
 def _gate_insertion_factory(
     noise_model, *, rng=None, samples=1, shots=None, noise_factor=1.0,
-    n_workers=0,
+    n_workers=0, supervisor=None,
 ):
     return GateInsertionExecutor(
         noise_model, noise_factor=noise_factor, rng=rng,
@@ -348,7 +444,7 @@ def _gate_insertion_factory(
 
 def _density_factory(
     noise_model, *, rng=None, samples=1, shots=None, noise_factor=1.0,
-    n_workers=0,
+    n_workers=0, supervisor=None,
 ):
     return DensityEvalExecutor(
         noise_model, noise_factor=noise_factor, shots=shots, rng=rng
@@ -357,22 +453,23 @@ def _density_factory(
 
 def _trajectory_factory(
     noise_model, *, rng=None, samples=8, shots=None, noise_factor=1.0,
-    n_workers=0,
+    n_workers=0, supervisor=None,
 ):
     return TrajectoryEvalExecutor(
         noise_model, n_trajectories=samples, shots=shots,
         noise_factor=noise_factor, rng=rng, n_workers=n_workers,
+        supervisor=supervisor,
     )
 
 
 def _mcwf_factory(
     noise_model, *, rng=None, samples=8, shots=None, noise_factor=1.0,
-    n_workers=0,
+    n_workers=0, supervisor=None,
 ):
     return TrajectoryEvalExecutor(
         noise_model, n_trajectories=samples, shots=shots,
         noise_factor=noise_factor, rng=rng, n_workers=n_workers,
-        unravel="jump",
+        unravel="jump", supervisor=supervisor,
     )
 
 

@@ -38,6 +38,7 @@ logical qubit order.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -100,6 +101,7 @@ def make_real_qc_executor(
     rng: "int | np.random.Generator | None" = None,
     n_trajectories: int = 32,
     n_workers: int = 0,
+    supervisor=None,
 ):
     """The 'real QC' surrogate for a model's device.
 
@@ -115,7 +117,7 @@ def make_real_qc_executor(
     """
     return _resolve_eval_executor(
         model, model.device.hardware_model, shots, rng, n_trajectories,
-        n_workers,
+        n_workers, supervisor,
     )
 
 
@@ -125,6 +127,7 @@ def make_noise_model_executor(
     rng: "int | np.random.Generator | None" = None,
     n_trajectories: int = 32,
     n_workers: int = 0,
+    supervisor=None,
 ):
     """Evaluation under the *published* noise model (paper Table 11).
 
@@ -133,12 +136,13 @@ def make_noise_model_executor(
     """
     return _resolve_eval_executor(
         model, model.device.noise_model, shots, rng, n_trajectories,
-        n_workers,
+        n_workers, supervisor,
     )
 
 
 def _resolve_eval_executor(
-    model, noise_model, shots, rng, n_trajectories, n_workers
+    model, noise_model, shots, rng, n_trajectories, n_workers,
+    supervisor=None,
 ):
     from repro.core.engine import resolve_eval_engine
 
@@ -146,7 +150,7 @@ def _resolve_eval_executor(
     spec = resolve_eval_engine(noise_model.channel_kinds, widest)
     return spec.factory(
         noise_model, rng=rng, samples=n_trajectories, shots=shots,
-        n_workers=n_workers,
+        n_workers=n_workers, supervisor=supervisor,
     )
 
 
@@ -537,6 +541,11 @@ class MCWFTrainExecutor(_ReadoutEmulationMixin):
         return mcwf_adjoint_backward(cache.tape, grad, cache.n_realizations)
 
 
+def _reap_pool(pool) -> None:
+    """Finalizer target: shut a leaked worker pool down without waiting."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class TrajectoryEvalExecutor:
     """'Real QC' surrogate: drifted noise + trajectories + shot sampling.
 
@@ -558,6 +567,15 @@ class TrajectoryEvalExecutor:
     ``unravel="jump"`` runs the quantum-jump (MCWF) unraveling instead
     of Pauli insertion -- the only sampled evaluation mode that
     represents exact relaxation channels.
+
+    ``supervisor`` enables fault-tolerant execution: pass ``True`` for a
+    default :class:`repro.runtime.supervisor.ChunkSupervisor` or an
+    instance to control the retry/deadline policy.  Supervised runs
+    return exactly what unsupervised runs return (chunks are
+    re-runnable from their spawned seeds); a broken worker pool is
+    replaced or degraded to serial under a
+    :class:`~repro.runtime.errors.DegradedExecution` warning, and the
+    executor's persistent pool is lazily recreated afterwards.
     """
 
     differentiable = False
@@ -573,6 +591,7 @@ class TrajectoryEvalExecutor:
         shard_size: "int | None" = None,
         shard_backend: str = "thread",
         unravel: str = "pauli",
+        supervisor=None,
     ):
         if shard_backend not in ("thread", "process"):
             raise ValueError(
@@ -580,6 +599,8 @@ class TrajectoryEvalExecutor:
             )
         if shard_size is not None and int(shard_size) < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
         if unravel not in ("pauli", "jump"):
             raise ValueError(
                 f"unravel must be 'pauli' or 'jump', got {unravel!r}"
@@ -593,8 +614,14 @@ class TrajectoryEvalExecutor:
         self.shard_size = shard_size
         self.shard_backend = shard_backend
         self.unravel = unravel
+        if supervisor is True:
+            from repro.runtime.supervisor import ChunkSupervisor
+
+            supervisor = ChunkSupervisor(label="trajectory")
+        self.supervisor = supervisor
         self._pool = None
         self._pool_key = None
+        self._pool_finalizer = None
 
     def _ensure_pool(self):
         """The persistent worker pool, (re)built to match the settings."""
@@ -617,12 +644,21 @@ class TrajectoryEvalExecutor:
             )
             self._pool = cls(max_workers=self.n_workers)
             self._pool_key = key
+            # Belt-and-braces leak guard: an executor dropped without
+            # close() still reaps its workers when it is collected (the
+            # mid-sweep exception path additionally closes eagerly).
+            self._pool_finalizer = weakref.finalize(
+                self, _reap_pool, self._pool
+            )
         return self._pool
 
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._pool_key = None
 
@@ -638,23 +674,37 @@ class TrajectoryEvalExecutor:
         weights: np.ndarray,
         inputs: np.ndarray,
     ) -> "tuple[np.ndarray, None]":
-        expectations = run_noisy_trajectories(
-            compiled,
-            self.noise_model,
-            weights,
-            inputs,
-            n_trajectories=self.n_trajectories,
-            shots=self.shots,
-            noise_factor=self.noise_factor,
-            rng=self.rng,
-            n_workers=self.n_workers,
-            shard_size=self.shard_size,
-            shard_backend=self.shard_backend,
-            unravel=self.unravel,
-            # Supplier, not instance: workers only spawn on runs that
-            # actually shard (single-chunk forwards stay pool-free).
-            pool=self._ensure_pool,
-        )
+        try:
+            expectations = run_noisy_trajectories(
+                compiled,
+                self.noise_model,
+                weights,
+                inputs,
+                n_trajectories=self.n_trajectories,
+                shots=self.shots,
+                noise_factor=self.noise_factor,
+                rng=self.rng,
+                n_workers=self.n_workers,
+                shard_size=self.shard_size,
+                shard_backend=self.shard_backend,
+                unravel=self.unravel,
+                # Supplier, not instance: workers only spawn on runs that
+                # actually shard (single-chunk forwards stay pool-free).
+                pool=self._ensure_pool,
+                supervisor=self.supervisor,
+            )
+        except BaseException:
+            # An exception escaping mid-sweep may strand queued chunk
+            # tasks in the persistent pool; release it so no orphaned
+            # workers outlive the failed call (lazily rebuilt on the
+            # next sharded forward).
+            self.close()
+            raise
+        if self.supervisor is not None and self.supervisor.last_report.degraded:
+            # The supervisor shut down (and possibly replaced, run-
+            # scoped) our broken pool; drop the stale reference so the
+            # next sharded forward lazily spawns a fresh one.
+            self.close()
         return expectations, None
 
     def backward(self, cache, grad):  # pragma: no cover - defensive

@@ -187,6 +187,23 @@ class QuantumNATModel:
             self.device.noise_model, injection, rng=self.rng
         )
 
+    def rng_generators(self) -> "dict[str, np.random.Generator]":
+        """Named RNG streams a training checkpoint must capture.
+
+        The model's generator drives noise sampling in every forward;
+        the training executor usually *shares* it (factories receive
+        ``rng=self.rng`` and :func:`repro.utils.rng.as_rng` passes
+        generators through), but an executor constructed with its own
+        stream is captured separately -- restoring both is what makes
+        checkpoint resume bit-identical
+        (:mod:`repro.runtime.checkpoint`).
+        """
+        generators = {"model": self.rng}
+        executor_rng = getattr(self._train_executor, "rng", None)
+        if executor_rng is not None:
+            generators["train_executor"] = executor_rng
+        return generators
+
     @property
     def n_weights(self) -> int:
         return self.qnn.n_weights

@@ -42,6 +42,13 @@ class TrainConfig:
     #: workers (`TrajectoryEvalExecutor.n_workers`); sharded evaluation
     #: is bit-identical to serial, so this is purely a throughput knob.
     trajectory_workers: int = 0
+    #: When set, the loop writes an atomic checkpoint (weights,
+    #: optimizer state, RNG states, engine name) to this path at epoch
+    #: boundaries; ``train(resume=path)`` continues a killed run
+    #: bit-identically (see :mod:`repro.runtime.checkpoint`).
+    checkpoint_path: "str | None" = None
+    #: Checkpoint every this many epochs (the final epoch always saves).
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         names = train_engine_names()
@@ -52,6 +59,8 @@ class TrainConfig:
             )
         if self.trajectory_workers < 0:
             raise ValueError("trajectory_workers must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
 
 @dataclass
@@ -91,6 +100,7 @@ def train(
     config: "TrainConfig | None" = None,
     valid_executor: "object | None" = None,
     initial_weights: "np.ndarray | None" = None,
+    resume: "str | None" = None,
 ) -> TrainResult:
     """Train a QuantumNAT model; returns best-validation weights.
 
@@ -104,8 +114,34 @@ def train(
     executor for the run -- noise-aware training against the engine's
     channel representation; the model's own executor is restored on
     exit.
+
+    ``resume`` loads a checkpoint written by a previous run with
+    ``config.checkpoint_path`` set and continues from its epoch
+    boundary.  Every stochastic input (loop/model/executor RNG states)
+    and the optimizer state are restored, so an interrupted-then-resumed
+    run produces the *same final weights* as an uninterrupted one (the
+    runtime suite asserts this).  The checkpoint's engine must match
+    ``config.engine`` -- resuming onto a different backend would
+    silently change training semantics.
     """
     config = config or TrainConfig()
+    checkpoint = None
+    if resume is not None:
+        from repro.runtime.checkpoint import load_checkpoint
+
+        checkpoint = load_checkpoint(resume)
+        if checkpoint.engine != config.engine:
+            raise ValueError(
+                f"checkpoint {resume!r} was written by engine "
+                f"{checkpoint.engine!r} but config.engine is "
+                f"{config.engine!r}; resuming onto a different backend "
+                "would change training semantics"
+            )
+        if checkpoint.epoch > config.epochs:
+            raise ValueError(
+                f"checkpoint {resume!r} has {checkpoint.epoch} completed "
+                f"epochs but config.epochs is {config.epochs}"
+            )
     spec = engine_spec(config.engine)
     shard_restore = None
     executor_restore = None
@@ -158,7 +194,7 @@ def train(
     try:
         return _train_loop(
             model, train_x, train_y, valid_x, valid_y, config,
-            valid_executor, initial_weights,
+            valid_executor, initial_weights, checkpoint,
         )
     finally:
         if shard_restore is not None:
@@ -190,6 +226,7 @@ def _train_loop(
     config: TrainConfig,
     valid_executor: "object | None",
     initial_weights: "np.ndarray | None",
+    checkpoint=None,
 ) -> TrainResult:
     rng = as_rng(config.seed)
     if initial_weights is None:
@@ -208,12 +245,36 @@ def _train_loop(
     best_loss = float("inf")
     best_acc = 0.0
     history: "list[dict[str, float]]" = []
+    start_epoch = 0
+    if checkpoint is not None:
+        from repro.runtime.checkpoint import restore_rng_states
+
+        weights = np.asarray(checkpoint.weights, dtype=float).copy()
+        optimizer.m = np.asarray(checkpoint.optimizer["m"], dtype=float).copy()
+        optimizer.v = np.asarray(checkpoint.optimizer["v"], dtype=float).copy()
+        optimizer.t = int(checkpoint.optimizer["t"])
+        best_weights = np.asarray(checkpoint.best_weights, dtype=float).copy()
+        best_loss = checkpoint.best_loss
+        best_acc = checkpoint.best_acc
+        history = list(checkpoint.history)
+        start_epoch = checkpoint.epoch
+        # Every stream the remaining epochs will consume: the shuffle
+        # rng, the model's (train-executor-shared) rng and the
+        # validation executor's shot-noise rng.  Restoring all of them
+        # is what makes resumed runs bit-identical to uninterrupted
+        # ones.
+        restore_rng_states(
+            checkpoint.rng_states,
+            loop=rng,
+            valid_executor=getattr(valid_executor, "rng", None),
+            **model.rng_generators(),
+        )
     # Executor-swapping engines reuse the batched pipeline loop -- the
     # swapped executor is what changes the backend; the registry's
     # step_attr selects the per-sample baseline only for "reference".
     step = getattr(model, engine_spec(config.engine).train.step_attr)
 
-    for epoch in range(config.epochs):
+    for epoch in range(start_epoch, config.epochs):
         epoch_loss = 0.0
         epoch_acc = 0.0
         n_batches = 0
@@ -247,5 +308,37 @@ def _train_loop(
             best_loss = valid_loss
             best_acc = valid_acc
             best_weights = weights.copy()
+        if config.checkpoint_path is not None and (
+            (epoch + 1) % config.checkpoint_every == 0
+            or epoch == config.epochs - 1
+        ):
+            from repro.runtime.checkpoint import (
+                TrainCheckpoint,
+                capture_rng_states,
+                save_checkpoint,
+            )
+
+            save_checkpoint(
+                config.checkpoint_path,
+                TrainCheckpoint(
+                    epoch=epoch + 1,
+                    engine=config.engine,
+                    weights=weights,
+                    optimizer={
+                        "m": optimizer.m,
+                        "v": optimizer.v,
+                        "t": optimizer.t,
+                    },
+                    rng_states=capture_rng_states(
+                        loop=rng,
+                        valid_executor=getattr(valid_executor, "rng", None),
+                        **model.rng_generators(),
+                    ),
+                    best_weights=best_weights,
+                    best_loss=best_loss,
+                    best_acc=best_acc,
+                    history=history,
+                ),
+            )
 
     return TrainResult(best_weights, best_loss, best_acc, history)

@@ -433,6 +433,27 @@ def _process_chunk_worker(
     ]
 
 
+def _seeded_segment_chunk(
+    plan: _SegmentPlan,
+    stream: "list[tuple]",
+    n_qubits: int,
+    batch: int,
+    n_traj: int,
+    seed: "np.random.SeedSequence",
+) -> np.ndarray:
+    """:func:`_segment_chunk` taking the chunk's *seed*, not a Generator.
+
+    The supervised execution path re-runs a faulted chunk from scratch;
+    passing the ``SeedSequence`` and constructing the generator inside
+    the call means a retry consumes a pristine stream identical to the
+    failed attempt's -- passing a live ``Generator`` would hand the
+    retry a partially consumed stream and break bit-identical recovery.
+    """
+    return _segment_chunk(
+        plan, stream, n_qubits, batch, n_traj, np.random.default_rng(seed)
+    )
+
+
 def _tiled_op(op, n_traj: int, batch: int):
     """Replicate a bound op across ``n_traj`` stacked realizations.
 
@@ -811,6 +832,7 @@ def trajectory_probabilities(
     shard_backend: str = "thread",
     unravel: str = "pauli",
     pool=None,
+    supervisor=None,
 ) -> np.ndarray:
     """Average joint basis probabilities over sampled error trajectories.
 
@@ -841,6 +863,13 @@ def trajectory_probabilities(
     are reused across calls instead of respawned.  A callable is only
     invoked when the run actually shards, so single-chunk runs never
     spawn workers.
+
+    ``supervisor`` wraps chunk execution in a
+    :class:`repro.runtime.supervisor.ChunkSupervisor`: per-chunk
+    deadlines, crash detection, checksum validation and bounded retry.
+    Because every chunk is re-runnable from its spawned seed, a
+    supervised run -- faults and retries included -- returns exactly
+    what an unsupervised run returns.
     """
     if shard_backend not in ("thread", "process"):
         # Validate eagerly: a typo must raise even on runs that happen
@@ -850,6 +879,8 @@ def trajectory_probabilities(
         )
     if shard_size is not None and int(shard_size) < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
     if unravel not in ("pauli", "jump"):
         raise ValueError(
             f"unravel must be 'pauli' or 'jump', got {unravel!r}"
@@ -883,7 +914,20 @@ def trajectory_probabilities(
             plan, stream, n_qubits, batch, chunks, seeds,
             n_workers, shard_backend,
             compiled, noise_model, noise_factor, weights, inputs,
-            jump=jump, pool=pool,
+            jump=jump, pool=pool, supervisor=supervisor,
+        )
+    elif supervisor is not None:
+        from repro.runtime.supervisor import ChunkTask
+
+        results = supervisor.run(
+            [
+                ChunkTask(
+                    i,
+                    _seeded_segment_chunk,
+                    (plan, stream, n_qubits, batch, chunk, seed),
+                )
+                for i, (chunk, seed) in enumerate(zip(chunks, seeds))
+            ]
         )
     else:
         results = [
@@ -917,6 +961,7 @@ def _run_sharded(
     inputs: "np.ndarray | None",
     jump: bool = False,
     pool=None,
+    supervisor=None,
 ) -> "list[np.ndarray]":
     """Run trajectory chunks on a worker pool, results in chunk order.
 
@@ -928,12 +973,38 @@ def _run_sharded(
     ``TrajectoryEvalExecutor``); without one, a fresh pool is spawned
     and torn down around this call.  Chunk decomposition, per-chunk
     streams and result order never depend on which pool ran them.
+    ``supervisor`` routes dispatch through the chunk supervisor
+    (deadlines, retry, checksum validation, broken-pool recovery) --
+    results are unchanged because chunks are re-runnable from their
+    seeds.  Supervised runs additionally degrade to serial in-parent
+    execution when the pool cannot even be spawned, instead of dying on
+    the spawn error.
     """
     if callable(pool):
         # Lazy supplier: the pool only materializes on runs that shard.
-        pool = pool()
+        try:
+            pool = pool()
+        except OSError as exc:
+            if supervisor is None:
+                raise
+            _warn_spawn_degrade(shard_backend, exc)
+            pool = None
     if shard_backend == "thread":
         def dispatch(active):
+            if supervisor is not None:
+                from repro.runtime.supervisor import ChunkTask
+
+                return supervisor.run(
+                    [
+                        ChunkTask(
+                            i,
+                            _seeded_segment_chunk,
+                            (plan, stream, n_qubits, batch, chunk, seed),
+                        )
+                        for i, (chunk, seed) in enumerate(zip(chunks, seeds))
+                    ],
+                    pool=active,
+                )
             futures = [
                 active.submit(
                     _segment_chunk, plan, stream, n_qubits, batch,
@@ -947,7 +1018,12 @@ def _run_sharded(
             return dispatch(pool)
         from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=n_workers) as fresh:
+        fresh = _spawn_or_degrade(
+            ThreadPoolExecutor, n_workers, supervisor, shard_backend
+        )
+        if fresh is None:
+            return dispatch(None)  # supervised serial fallback
+        with fresh:
             return dispatch(fresh)
     # shard_backend == "process" (validated by the caller).
     from dataclasses import replace
@@ -979,6 +1055,31 @@ def _run_sharded(
     ]
 
     def dispatch(active):
+        if supervisor is not None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.runtime.supervisor import ChunkTask
+
+            grouped = supervisor.run(
+                [
+                    ChunkTask(
+                        gi,
+                        _process_chunk_worker,
+                        (
+                            bare, noise_model, noise_factor, weights,
+                            inputs, batch, group, jump,
+                        ),
+                    )
+                    for gi, group in enumerate(groups)
+                ],
+                pool=active,
+                # A broken pool (killed worker) is replaced wholesale;
+                # chunk payloads are worker-independent, so a fresh pool
+                # -- or the serial fallback when spawning fails --
+                # produces the same results.
+                rebuild=lambda: ProcessPoolExecutor(max_workers=n_workers),
+            )
+            return [result for group in grouped for result in group]
         futures = [
             active.submit(
                 _process_chunk_worker, bare, noise_model,
@@ -992,8 +1093,41 @@ def _run_sharded(
         return dispatch(pool)
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=n_workers) as fresh:
+    fresh = _spawn_or_degrade(
+        ProcessPoolExecutor, n_workers, supervisor, shard_backend
+    )
+    if fresh is None:
+        return dispatch(None)  # supervised serial fallback
+    with fresh:
         return dispatch(fresh)
+
+
+def _warn_spawn_degrade(shard_backend: str, exc: BaseException) -> None:
+    """Emit the DegradedExecution warning for a failed pool spawn."""
+    import warnings
+
+    from repro.runtime.errors import DegradedExecution
+
+    warnings.warn(
+        DegradedExecution(
+            f"{shard_backend} pool spawn failed ({exc}); chunks run "
+            "serially in the parent (results are unaffected)",
+            (f"{shard_backend}-pool", "serial"),
+        ),
+        stacklevel=4,
+    )
+
+
+def _spawn_or_degrade(cls, n_workers: int, supervisor, shard_backend: str):
+    """Spawn a fresh pool; under supervision, spawn failure degrades to
+    serial (returns None) instead of killing the run."""
+    try:
+        return cls(max_workers=n_workers)
+    except OSError as exc:
+        if supervisor is None:
+            raise
+        _warn_spawn_degrade(shard_backend, exc)
+        return None
 
 
 def trajectory_probabilities_reference(
@@ -1113,6 +1247,7 @@ def run_noisy_trajectories(
     shard_backend: str = "thread",
     unravel: str = "pauli",
     pool=None,
+    supervisor=None,
 ) -> np.ndarray:
     """Noisy per-qubit <Z> expectations in *logical* qubit order.
 
@@ -1125,7 +1260,9 @@ def run_noisy_trajectories(
     stay bit-identical to the serial ones.  ``unravel="jump"`` selects
     the quantum-jump (MCWF) unraveling, the only sampled backend that
     evaluates exact relaxation channels; ``pool`` reuses a caller-held
-    worker pool for the sharded chunks.
+    worker pool for the sharded chunks; ``supervisor`` routes chunk
+    execution through the fault-tolerant chunk supervisor (results
+    unchanged -- see :func:`trajectory_probabilities`).
     """
     rng = as_rng(rng)
     probs = trajectory_probabilities(
@@ -1133,6 +1270,7 @@ def run_noisy_trajectories(
         n_trajectories, noise_factor, rng,
         n_workers=n_workers, shard_size=shard_size,
         shard_backend=shard_backend, unravel=unravel, pool=pool,
+        supervisor=supervisor,
     )
     readout = np.stack(
         [noise_model.readout_for(p) for p in compiled.physical_qubits]

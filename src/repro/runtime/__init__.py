@@ -1,0 +1,70 @@
+"""Fault-tolerant execution runtime.
+
+The numerics layers (compiled sweeps, sharded trajectory pools, the
+engine registry) assume nothing ever fails; this package makes the
+execution layer survive failure without changing a single result:
+
+* :mod:`repro.runtime.errors` -- the structured failure taxonomy
+  (typed chunk faults, :class:`EngineUnavailable`, the
+  :class:`DegradedExecution` warning);
+* :mod:`repro.runtime.supervisor` -- chunk supervision with per-chunk
+  deadlines, crash detection, checksum validation and bounded
+  deterministic retry (recovered runs are bit-identical to fault-free
+  runs);
+* :mod:`repro.runtime.faults` -- the seed-driven fault-injection
+  harness the chaos suite and CI chaos job drive;
+* :mod:`repro.runtime.checkpoint` -- atomic epoch-boundary training
+  checkpoints with bit-identical resume.
+"""
+
+from repro.runtime.checkpoint import (
+    TrainCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.errors import (
+    ChunkCorruption,
+    ChunkFault,
+    ChunkTimeout,
+    DegradedExecution,
+    EngineUnavailable,
+    RetryExhausted,
+    RuntimeFault,
+    WorkerCrash,
+)
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    chaos_seed,
+    inject_faults,
+)
+from repro.runtime.supervisor import (
+    ChunkSupervisor,
+    ChunkTask,
+    SupervisionReport,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChunkCorruption",
+    "ChunkFault",
+    "ChunkSupervisor",
+    "ChunkTask",
+    "ChunkTimeout",
+    "DegradedExecution",
+    "EngineUnavailable",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryExhausted",
+    "RuntimeFault",
+    "SupervisionReport",
+    "SupervisorConfig",
+    "TrainCheckpoint",
+    "WorkerCrash",
+    "chaos_seed",
+    "inject_faults",
+    "load_checkpoint",
+    "save_checkpoint",
+]

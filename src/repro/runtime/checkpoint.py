@@ -1,0 +1,142 @@
+"""Atomic training checkpoints with bit-identical resume.
+
+A killed training run used to lose everything; with checkpointing, the
+loop persists its complete state at epoch boundaries and
+``train(resume=...)`` continues as if the interruption never happened
+-- *bit-identically*: the resumed run's final weights equal the
+uninterrupted run's, which the runtime test suite asserts.
+
+Bit-identity requires capturing every stochastic and stateful input to
+the remaining epochs:
+
+* the current **weights** (and the best-validation weights/loss/acc
+  tracked for model selection);
+* the **optimizer state** -- Adam's first/second moments and step
+  counter (the cosine schedule is a pure function of ``t``);
+* every live **RNG state**, by name: the training loop's shuffle
+  generator, the model's generator (shared with the swapped training
+  executor via :func:`repro.utils.rng.as_rng` passthrough, but captured
+  separately in case an executor owns a distinct stream), and the
+  validation executor's shot-noise generator;
+* the **engine name** -- resuming under a different engine would
+  silently change training semantics, so ``train()`` rejects it;
+* the **history** so far, so the resumed result's history matches.
+
+The checkpoint file is a pickled, versioned dict written atomically:
+payload goes to ``<path>.tmp`` and is ``os.replace``-d into place, so a
+crash mid-write leaves the previous checkpoint intact and a reader
+never observes a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "TrainCheckpoint",
+    "capture_rng_states",
+    "load_checkpoint",
+    "restore_rng_states",
+    "save_checkpoint",
+]
+
+#: Bump when the on-disk layout changes; loaders reject other versions.
+CHECKPOINT_FORMAT = 1
+
+
+@dataclass
+class TrainCheckpoint:
+    """Complete training-loop state at an epoch boundary.
+
+    ``epoch`` counts *completed* epochs -- resume starts at this epoch
+    index.  ``optimizer`` holds Adam's ``{"m", "v", "t"}``;
+    ``rng_states`` maps stream names (``"loop"``, ``"model"``,
+    ``"train_executor"``, ``"valid_executor"``) to
+    ``Generator.bit_generator.state`` dicts.
+    """
+
+    epoch: int
+    engine: str
+    weights: np.ndarray
+    optimizer: dict
+    rng_states: dict
+    best_weights: np.ndarray
+    best_loss: float
+    best_acc: float
+    history: list = field(default_factory=list)
+
+
+def capture_rng_states(**generators) -> dict:
+    """Snapshot named generators' bit-generator states (None skipped)."""
+    return {
+        name: gen.bit_generator.state
+        for name, gen in generators.items()
+        if gen is not None
+    }
+
+
+def restore_rng_states(states: dict, **generators) -> None:
+    """Restore named generators from :func:`capture_rng_states` output.
+
+    Generators absent from either side are skipped, so callers can pass
+    every stream they *might* have and restore whatever was captured.
+    """
+    for name, gen in generators.items():
+        if gen is None or name not in states:
+            continue
+        gen.bit_generator.state = states[name]
+
+
+def save_checkpoint(path: str, checkpoint: TrainCheckpoint) -> None:
+    """Atomically persist ``checkpoint`` to ``path``.
+
+    Writes to ``<path>.tmp`` then ``os.replace``-s into place: a crash
+    mid-write never corrupts an existing checkpoint, and readers always
+    see either the old complete file or the new complete file.
+    """
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "epoch": int(checkpoint.epoch),
+        "engine": checkpoint.engine,
+        "weights": np.asarray(checkpoint.weights, dtype=float),
+        "optimizer": dict(checkpoint.optimizer),
+        "rng_states": dict(checkpoint.rng_states),
+        "best_weights": np.asarray(checkpoint.best_weights, dtype=float),
+        "best_loss": float(checkpoint.best_loss),
+        "best_acc": float(checkpoint.best_acc),
+        "history": list(checkpoint.history),
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> TrainCheckpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    fmt = payload.get("format")
+    if fmt != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"checkpoint {path!r} has format {fmt!r}; "
+            f"this build reads format {CHECKPOINT_FORMAT}"
+        )
+    return TrainCheckpoint(
+        epoch=payload["epoch"],
+        engine=payload["engine"],
+        weights=payload["weights"],
+        optimizer=payload["optimizer"],
+        rng_states=payload["rng_states"],
+        best_weights=payload["best_weights"],
+        best_loss=payload["best_loss"],
+        best_acc=payload["best_acc"],
+        history=payload["history"],
+    )

@@ -1,0 +1,125 @@
+"""Structured failure taxonomy for the fault-tolerant runtime.
+
+Before this module, execution failures surfaced as whatever the stack
+happened to raise: a worker crash as a bare ``BrokenProcessPool``, a
+capability miss as an ad-hoc ``ValueError`` assembled at the call site,
+a hung chunk as CI stalling until the job timeout.  The runtime layer
+(:mod:`repro.runtime.supervisor`, the engine-registry fallback chain)
+instead raises *typed* faults so callers can distinguish "retry this"
+from "degrade to another backend" from "give up":
+
+* :class:`RuntimeFault` -- common base of every runtime failure.
+* :class:`ChunkFault` -- one chunk attempt failed; carries the chunk
+  index and attempt number.  Concrete kinds: :class:`ChunkTimeout`
+  (deadline exceeded), :class:`WorkerCrash` (the worker raised or the
+  pool broke under it), :class:`ChunkCorruption` (the returned payload
+  failed checksum validation).
+* :class:`RetryExhausted` -- the supervisor's bounded retry budget was
+  spent; chains from (``__cause__``) the last :class:`ChunkFault`.
+* :class:`EngineUnavailable` -- no registered engine can serve a
+  (channel kinds, width) request.  Subclasses ``ValueError`` so
+  pre-runtime callers catching the registry's historical error type
+  keep working.
+* :class:`DegradedExecution` -- a *warning*, not an error: the runtime
+  recovered by falling back (``density`` -> ``mcwf``, worker pool ->
+  serial) and execution continued on the degraded path.  Carries the
+  fallback path so callers and logs can see what actually ran.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeFault(Exception):
+    """Base class for every structured runtime failure."""
+
+
+class ChunkFault(RuntimeFault):
+    """One supervised chunk attempt failed.
+
+    ``index`` is the chunk's position in the task list (its payload is
+    deterministic, so the index fully identifies what was being
+    computed); ``attempt`` is the 0-based attempt number that failed.
+    """
+
+    def __init__(self, message: str, index: int = -1, attempt: int = 0):
+        super().__init__(message)
+        self.index = index
+        self.attempt = attempt
+
+
+class ChunkTimeout(ChunkFault):
+    """A chunk exceeded its per-chunk deadline (queue + run time)."""
+
+    def __init__(self, index: int, attempt: int, deadline_s: float):
+        super().__init__(
+            f"chunk {index} exceeded its {deadline_s:g}s deadline "
+            f"(attempt {attempt})",
+            index,
+            attempt,
+        )
+        self.deadline_s = deadline_s
+
+
+class WorkerCrash(ChunkFault):
+    """The worker executing a chunk raised, died, or broke its pool."""
+
+    def __init__(self, index: int, attempt: int, cause: str):
+        super().__init__(
+            f"worker crashed on chunk {index} (attempt {attempt}): {cause}",
+            index,
+            attempt,
+        )
+        self.cause = cause
+
+
+class ChunkCorruption(ChunkFault):
+    """A chunk's returned payload failed checksum validation."""
+
+    def __init__(self, index: int, attempt: int):
+        super().__init__(
+            f"chunk {index} returned a corrupted payload "
+            f"(checksum mismatch, attempt {attempt})",
+            index,
+            attempt,
+        )
+
+
+class RetryExhausted(RuntimeFault):
+    """A chunk failed every attempt in the supervisor's retry budget.
+
+    Raised ``from`` the last :class:`ChunkFault`, so ``__cause__``
+    carries the terminal failure kind.
+    """
+
+    def __init__(self, index: int, attempts: int):
+        super().__init__(
+            f"chunk {index} failed all {attempts} attempts; giving up"
+        )
+        self.index = index
+        self.attempts = attempts
+
+
+class EngineUnavailable(RuntimeFault, ValueError):
+    """No registered engine can serve the requested execution.
+
+    Subclasses ``ValueError`` for compatibility with pre-runtime
+    callers of the engine registry's resolution helpers.
+    """
+
+
+class DegradedExecution(UserWarning):
+    """The runtime recovered by falling back to a lesser path.
+
+    ``fallback_path`` lists the hops actually taken, e.g.
+    ``("density", "mcwf")`` or ``("process-pool", "serial")``.
+    """
+
+    def __init__(self, message: str, fallback_path: "tuple[str, ...]" = ()):
+        super().__init__(message)
+        self.fallback_path = tuple(fallback_path)
+
+    def __str__(self) -> str:  # pragma: no cover - display plumbing
+        base = super().__str__()
+        if self.fallback_path:
+            return f"{base} [fallback: {' -> '.join(self.fallback_path)}]"
+        return base

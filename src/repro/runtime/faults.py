@@ -1,0 +1,222 @@
+"""Deterministic, seed-driven fault injection for the chunk supervisor.
+
+Chaos testing only earns its keep when a failing run can be replayed:
+every fault this harness injects is a pure function of
+``(seed, label, chunk index, attempt)``, so a chaos seed printed by CI
+reproduces the exact same crashes, delays and corruptions locally.
+
+A :class:`FaultPlan` is a schedule, not a hook registry: the supervisor
+asks it :meth:`~FaultPlan.fault_for` each (chunk, attempt) pair and
+receives either ``None`` or a :class:`FaultSpec` naming one of four
+chaos actions:
+
+* ``"raise"``   -- raise :class:`InjectedKernelError` inside the chunk
+  body (a kernel bug / assertion blowing up in a worker);
+* ``"kill"``    -- hard-kill the worker process via ``os._exit`` (a
+  segfault / OOM-kill; in thread or serial execution, where killing the
+  interpreter would take the suite down with it, it degrades to raising
+  :class:`InjectedWorkerCrash`);
+* ``"delay"``   -- sleep past the supervisor's per-chunk deadline (a
+  hung worker);
+* ``"corrupt"`` -- perturb the chunk's returned payload *after* its
+  checksum was computed (a torn/garbled result in transit), so checksum
+  validation must catch it.
+
+Specs are plain picklable dataclasses: the supervisor resolves the
+schedule in the parent and ships the spec with the task, so process
+workers need no access to the plan object itself.
+
+By default faults fire only on attempt 0 (``max_attempt_faults=1``):
+the first try fails, the retry is clean, and -- because chunk payloads
+are deterministic -- the recovered run is bit-identical to a fault-free
+one.  Raising ``max_attempt_faults`` lets tests exercise the
+retry-exhaustion path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedKernelError",
+    "InjectedWorkerCrash",
+    "active_fault_plan",
+    "apply_fault",
+    "chaos_seed",
+    "inject_faults",
+]
+
+#: The chaos vocabulary, in the order probability mass is assigned.
+FAULT_KINDS = ("raise", "kill", "delay", "corrupt")
+
+#: Environment variable the CI chaos job pins its seed through.
+CHAOS_SEED_ENV = "CHAOS_SEED"
+
+
+class InjectedKernelError(RuntimeError):
+    """An injected exception standing in for a kernel bug in a worker."""
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """An injected crash standing in for a dead worker (thread/serial)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled chaos action, picklable into process workers."""
+
+    kind: str
+    #: Sleep duration for ``"delay"`` faults.
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+
+
+class FaultPlan:
+    """A deterministic chaos schedule over (label, chunk, attempt).
+
+    ``rates`` maps fault kinds to per-attempt probabilities (summing to
+    at most 1); a uniform draw seeded from ``(seed, label, index,
+    attempt)`` picks at most one.  ``max_attempt_faults`` bounds how
+    many *attempts of the same chunk* may fault (default 1: only the
+    first), which guarantees a supervisor with at least that many
+    retries always recovers.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rates: "dict[str, float] | None" = None,
+        delay_s: float = 0.25,
+        max_attempt_faults: int = 1,
+    ):
+        rates = dict(rates or {})
+        unknown = set(rates) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault kinds {sorted(unknown)}; "
+                f"valid kinds: {list(FAULT_KINDS)}"
+            )
+        total = sum(rates.values())
+        if total > 1.0 + 1e-12:
+            raise ValueError(f"fault rates sum to {total} > 1")
+        if any(r < 0 for r in rates.values()):
+            raise ValueError("fault rates must be non-negative")
+        if max_attempt_faults < 0:
+            raise ValueError("max_attempt_faults must be >= 0")
+        self.seed = int(seed)
+        self.rates = rates
+        self.delay_s = float(delay_s)
+        self.max_attempt_faults = int(max_attempt_faults)
+
+    def fault_for(
+        self, label: str, index: int, attempt: int
+    ) -> "FaultSpec | None":
+        """The scheduled fault for one chunk attempt, or None.
+
+        Pure: repeated calls with the same arguments return the same
+        answer, on any host, in any process.
+        """
+        if attempt >= self.max_attempt_faults:
+            return None
+        entropy = [
+            self.seed,
+            zlib.crc32(label.encode()),
+            int(index) & 0xFFFFFFFF,
+            int(attempt),
+        ]
+        u = np.random.default_rng(np.random.SeedSequence(entropy)).random()
+        edge = 0.0
+        for kind in FAULT_KINDS:
+            edge += self.rates.get(kind, 0.0)
+            if u < edge:
+                if kind == "delay":
+                    return FaultSpec(kind, delay_s=self.delay_s)
+                return FaultSpec(kind)
+        return None
+
+
+def chaos_seed(default: int = 0) -> int:
+    """The chaos seed: ``$CHAOS_SEED`` when set (the CI chaos job pins
+    it there so a red run names its replay seed), else ``default``."""
+    raw = os.environ.get(CHAOS_SEED_ENV)
+    return int(raw) if raw else int(default)
+
+
+def apply_fault(spec: "FaultSpec | None") -> None:
+    """Execute a scheduled fault's *raising* side inside a chunk body.
+
+    ``"corrupt"`` is a no-op here -- payload corruption happens after
+    the checksum is computed (see the supervisor's guarded call).
+    ``"kill"`` hard-exits only when running in a genuine worker
+    *process*; in the parent interpreter it raises
+    :class:`InjectedWorkerCrash` instead, standing in for the pool
+    breaking without taking the test suite down.
+    """
+    if spec is None or spec.kind == "corrupt":
+        return
+    if spec.kind == "delay":
+        time.sleep(spec.delay_s)
+        return
+    if spec.kind == "kill":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(17)
+        raise InjectedWorkerCrash("injected worker kill")
+    raise InjectedKernelError("injected kernel fault")
+
+
+def corrupt_payload(payload):
+    """Deterministically perturb a chunk result (post-checksum).
+
+    Arrays get their first element nudged; lists of arrays corrupt the
+    first entry.  Returns the corrupted payload (copies -- the clean
+    result is never mutated in place, mirroring transport corruption).
+    """
+    if isinstance(payload, list):
+        return [corrupt_payload(payload[0])] + payload[1:]
+    corrupted = np.array(payload, copy=True)
+    flat = corrupted.reshape(-1)
+    flat[0] = flat[0] + 1.0 if flat.size else flat[0]
+    return corrupted
+
+
+# -- ambient plan (tests / chaos runs) ----------------------------------------
+
+_ACTIVE: "FaultPlan | None" = None
+
+
+def active_fault_plan() -> "FaultPlan | None":
+    """The ambient fault plan installed by :func:`inject_faults`."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan):
+    """Install ``plan`` as the ambient chaos schedule for the block.
+
+    Supervisors constructed without an explicit ``fault_plan`` pick up
+    the ambient one, so a test can wrap any execution path without
+    threading the plan through every layer.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous

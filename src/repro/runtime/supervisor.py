@@ -1,0 +1,428 @@
+"""Chunk supervision: deadlines, crash detection, deterministic retry.
+
+The sharded execution paths (:func:`repro.noise.trajectory
+.trajectory_probabilities` and the executors built on it) decompose a
+sweep into *chunks* whose payloads are pure functions of their inputs:
+each chunk owns a ``SeedSequence.spawn``-derived stream, the chunk
+layout never depends on the worker count, and results are reduced in
+fixed chunk order.  That determinism is what makes supervision cheap
+and *exact*: a chunk that timed out, crashed its worker, or came back
+corrupted can simply be re-run -- the retry reproduces the identical
+payload, so a recovered run is bit-identical to a fault-free one (the
+cross-backend and chaos suites assert this).
+
+:class:`ChunkSupervisor` wraps chunk execution with:
+
+* **per-chunk deadlines** -- ``future.result(timeout=...)`` on pooled
+  runs (covering queue + run time), post-hoc elapsed checks on serial
+  ones;
+* **crash detection** -- a worker raising, or a process pool breaking
+  under a killed worker, classifies as :class:`WorkerCrash`;
+* **payload validation** -- chunks return a CRC32 alongside their
+  arrays; a mismatch on receipt classifies as
+  :class:`ChunkCorruption`;
+* **bounded retry with backoff** -- every fault re-enqueues the chunk
+  up to ``max_retries`` times with exponential backoff, then raises
+  :class:`RetryExhausted` chained from the terminal fault;
+* **graceful pool degradation** -- a broken process pool is rebuilt
+  through the caller's ``rebuild`` hook when available, otherwise the
+  remaining chunks run serially in the parent under a
+  :class:`DegradedExecution` warning.
+
+:meth:`ChunkSupervisor.call` extends the same guarantees to *unchunked*
+stochastic executors (e.g. gate-insertion training forwards): it
+snapshots the caller's RNG state before each attempt and restores it on
+retry, so a retried call consumes the exact same stream the failed
+attempt did.
+
+Fault injection (:mod:`repro.runtime.faults`) plugs in here: the
+supervisor resolves the ambient/explicit :class:`FaultPlan` into a
+picklable :class:`FaultSpec` per (chunk, attempt) in the parent and
+ships it with the task, so chaos reaches process workers without any
+global state crossing the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.errors import (
+    ChunkCorruption,
+    ChunkFault,
+    ChunkTimeout,
+    DegradedExecution,
+    RetryExhausted,
+    WorkerCrash,
+)
+from repro.runtime.faults import (
+    FaultSpec,
+    active_fault_plan,
+    apply_fault,
+    corrupt_payload,
+)
+
+__all__ = [
+    "ChunkSupervisor",
+    "ChunkTask",
+    "SupervisionReport",
+    "SupervisorConfig",
+    "payload_checksum",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry/deadline policy for supervised chunk execution.
+
+    ``max_retries`` bounds *additional* attempts per chunk (total
+    attempts = 1 + max_retries).  ``deadline_s`` is the per-chunk
+    deadline; ``None`` disables timeout detection.  Backoff before the
+    k-th retry is ``backoff_s * backoff_factor**k`` seconds.
+    ``checksum`` turns CRC32 payload validation on (the cost is a
+    linear pass over each chunk's result array -- noise against the
+    statevector sweep that produced it).  ``degrade_to_serial`` lets a
+    broken, unrebuildable pool fall back to in-parent serial execution
+    instead of failing the run.
+    """
+
+    max_retries: int = 2
+    deadline_s: "float | None" = 60.0
+    backoff_s: float = 0.02
+    backoff_factor: float = 2.0
+    checksum: bool = True
+    degrade_to_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive or None, got {self.deadline_s}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One supervised unit of work: a deterministic, re-runnable call.
+
+    ``fn(*args)`` must be pure given its arguments (chunk functions
+    derive their randomness from shipped seeds, never from ambient
+    state), and picklable for process-pool execution.
+    """
+
+    index: int
+    fn: object
+    args: tuple = ()
+
+
+@dataclass
+class SupervisionReport:
+    """What one supervised run observed and survived."""
+
+    chunks: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    corruptions: int = 0
+    #: Fallback hops taken, e.g. ("process-pool", "serial").
+    degraded: "tuple[str, ...]" = ()
+    faults_injected: int = 0
+
+    def merge_fault(self, fault: ChunkFault) -> None:
+        if isinstance(fault, ChunkTimeout):
+            self.timeouts += 1
+        elif isinstance(fault, ChunkCorruption):
+            self.corruptions += 1
+        else:
+            self.crashes += 1
+
+
+def payload_checksum(payload) -> int:
+    """CRC32 over a chunk payload (an ndarray or a list of ndarrays)."""
+    crc = 0
+    items = payload if isinstance(payload, list) else [payload]
+    for arr in items:
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc
+
+
+def _guarded_call(
+    fn,
+    args: tuple,
+    spec: "FaultSpec | None",
+    want_crc: bool,
+):
+    """Run one chunk attempt (in the worker), returning (payload, crc).
+
+    Raising faults fire before the body; ``"corrupt"`` faults perturb
+    the payload *after* its checksum is computed, so validation on the
+    receiving side must catch them.  Top-level so process pools can
+    pickle it.
+    """
+    apply_fault(spec)
+    payload = fn(*args)
+    crc = payload_checksum(payload) if want_crc else None
+    if spec is not None and spec.kind == "corrupt":
+        payload = corrupt_payload(payload)
+    return payload, crc
+
+
+class ChunkSupervisor:
+    """Supervised execution of deterministic chunk tasks.
+
+    One instance may be reused across calls (executors hold one for
+    their lifetime); :attr:`last_report` describes the most recent run.
+    ``fault_plan`` defaults to the ambient plan installed by
+    :func:`repro.runtime.faults.inject_faults` (``None`` outside chaos
+    tests -- the supervision fast path then never touches the fault
+    machinery).
+    """
+
+    def __init__(
+        self,
+        config: "SupervisorConfig | None" = None,
+        fault_plan=None,
+        label: str = "chunks",
+    ):
+        self.config = config or SupervisorConfig()
+        self._explicit_plan = fault_plan
+        self.label = label
+        self.last_report = SupervisionReport()
+
+    # -- fault schedule -----------------------------------------------------
+
+    def _fault_for(self, index: int, attempt: int) -> "FaultSpec | None":
+        plan = self._explicit_plan or active_fault_plan()
+        if plan is None:
+            return None
+        spec = plan.fault_for(self.label, index, attempt)
+        if spec is not None:
+            self.last_report.faults_injected += 1
+        return spec
+
+    def _backoff(self, attempt: int) -> None:
+        cfg = self.config
+        if cfg.backoff_s > 0:
+            time.sleep(cfg.backoff_s * cfg.backoff_factor**attempt)
+
+    def _register(self, fault: ChunkFault) -> None:
+        """Count a fault and fail hard once the retry budget is spent."""
+        report = self.last_report
+        report.merge_fault(fault)
+        if fault.attempt >= self.config.max_retries:
+            raise RetryExhausted(fault.index, fault.attempt + 1) from fault
+        report.retries += 1
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        tasks: "list[ChunkTask]",
+        pool=None,
+        rebuild=None,
+    ) -> list:
+        """Run all tasks under supervision; results in task order.
+
+        ``pool`` is an already-running ``concurrent.futures`` executor
+        (thread or process) or ``None`` for serial in-parent execution.
+        ``rebuild`` is an optional zero-argument callable returning a
+        replacement pool after the current one breaks (process workers
+        dying); without one, remaining chunks degrade to serial under a
+        :class:`DegradedExecution` warning (``degrade_to_serial``).
+        Rebuilt pools are run-scoped: the supervisor shuts them down
+        before returning, and callers holding a persistent pool should
+        treat a non-empty ``last_report.degraded`` as "my pool is gone,
+        recreate lazily".
+        """
+        self.last_report = SupervisionReport(chunks=len(tasks))
+        results: "dict[int, object]" = {}
+        queue: "list[tuple[ChunkTask, int]]" = [(t, 0) for t in tasks]
+        owned: list = []
+        try:
+            while queue:
+                if pool is None:
+                    self._serial_pass(queue, results)
+                    queue = []
+                else:
+                    queue, pool = self._pooled_pass(
+                        queue, pool, rebuild, results, owned
+                    )
+            return [results[t.index] for t in tasks]
+        finally:
+            for created in owned:
+                created.shutdown(wait=False, cancel_futures=True)
+
+    def call(self, fn, *args, rng=None, index: int = 0):
+        """One supervised call with RNG-snapshot retry determinism.
+
+        For unchunked stochastic executors: ``fn`` may consume ``rng``;
+        the generator's state is snapshotted before every attempt and
+        restored on retry, so the successful attempt always sees the
+        stream the first attempt saw -- a recovered call is
+        bit-identical to a fault-free one.
+        """
+        snapshot = None if rng is None else rng.bit_generator.state
+        self.last_report = SupervisionReport(chunks=1)
+        attempt = 0
+        while True:
+            if rng is not None:
+                rng.bit_generator.state = snapshot
+            try:
+                return self._attempt(
+                    ChunkTask(index, fn, tuple(args)), attempt
+                )
+            except ChunkFault as fault:
+                self._register(fault)
+                self._backoff(attempt)
+                attempt += 1
+
+    # -- serial path --------------------------------------------------------
+
+    def _attempt(self, task: ChunkTask, attempt: int):
+        """One in-parent attempt: guarded call + deadline + validation."""
+        cfg = self.config
+        self.last_report.attempts += 1
+        spec = self._fault_for(task.index, attempt)
+        start = time.perf_counter()
+        try:
+            payload, crc = _guarded_call(task.fn, task.args, spec, cfg.checksum)
+        except ChunkFault:
+            raise
+        except BaseException as exc:
+            raise WorkerCrash(
+                task.index, attempt, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        elapsed = time.perf_counter() - start
+        if cfg.deadline_s is not None and elapsed > cfg.deadline_s:
+            # Serial execution cannot preempt; detect the overrun
+            # post-hoc so a hung-chunk regression still surfaces as a
+            # typed timeout instead of silent slowness.
+            raise ChunkTimeout(task.index, attempt, cfg.deadline_s)
+        self._validate(payload, crc, task.index, attempt)
+        return payload
+
+    def _serial_pass(self, queue, results) -> None:
+        for task, first_attempt in queue:
+            attempt = first_attempt
+            while True:
+                try:
+                    results[task.index] = self._attempt(task, attempt)
+                    break
+                except ChunkFault as fault:
+                    self._register(fault)
+                    self._backoff(attempt)
+                    attempt += 1
+
+    # -- pooled path --------------------------------------------------------
+
+    def _pooled_pass(self, queue, pool, rebuild, results, owned):
+        """Submit one attempt per queued task; classify every failure.
+
+        Returns ``(retry_queue, pool)``: tasks that faulted re-enter the
+        queue with their attempt incremented, and a broken pool comes
+        back rebuilt (or ``None`` -- degraded to serial).
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        cfg = self.config
+        report = self.last_report
+        pool_broken = False
+        retry: "list[tuple[ChunkTask, int]]" = []
+        submitted = []
+        for task, attempt in queue:
+            report.attempts += 1
+            spec = self._fault_for(task.index, attempt)
+            future = pool.submit(
+                _guarded_call, task.fn, task.args, spec, cfg.checksum
+            )
+            submitted.append((task, attempt, future))
+        max_backoff_attempt = -1
+        for task, attempt, future in submitted:
+            if pool_broken:
+                # The pool died under us; everything unharvested gets a
+                # fresh attempt on whatever executes the retry queue.
+                retry.append((task, attempt + 1))
+                continue
+            try:
+                payload, crc = future.result(timeout=cfg.deadline_s)
+                self._validate(payload, crc, task.index, attempt)
+                results[task.index] = payload
+                continue
+            except ChunkFault as fault:
+                observed = fault
+            except FuturesTimeout:
+                future.cancel()
+                observed = ChunkTimeout(task.index, attempt, cfg.deadline_s)
+            except BrokenProcessPool as exc:
+                pool_broken = True
+                observed = WorkerCrash(
+                    task.index, attempt, f"process pool broke: {exc}"
+                )
+            except BaseException as exc:
+                observed = WorkerCrash(
+                    task.index, attempt, f"{type(exc).__name__}: {exc}"
+                )
+            self._register(observed)
+            retry.append((task, attempt + 1))
+            max_backoff_attempt = max(max_backoff_attempt, attempt)
+        if max_backoff_attempt >= 0:
+            self._backoff(max_backoff_attempt)
+        if pool_broken:
+            pool = self._recover_pool(pool, rebuild)
+            if pool is not None:
+                owned.append(pool)
+        return retry, pool
+
+    def _recover_pool(self, broken, rebuild):
+        """Replace a broken pool: rebuild it, or degrade to serial."""
+        import warnings
+
+        try:
+            broken.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive cleanup
+            pass
+        if rebuild is not None:
+            try:
+                fresh = rebuild()
+            except Exception:
+                fresh = None
+            if fresh is not None:
+                self.last_report.degraded += ("pool-rebuilt",)
+                return fresh
+        if not self.config.degrade_to_serial:
+            raise WorkerCrash(
+                -1, 0, "process pool broke and no rebuild hook was provided"
+            )
+        self.last_report.degraded += ("process-pool", "serial")
+        warnings.warn(
+            DegradedExecution(
+                "worker pool broke; remaining chunks run serially "
+                "in the parent (results are unaffected: chunk payloads "
+                "are worker-independent)",
+                ("process-pool", "serial"),
+            ),
+            stacklevel=3,
+        )
+        return None
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self, payload, crc, index: int, attempt: int) -> None:
+        if not self.config.checksum or crc is None:
+            return
+        if payload_checksum(payload) != crc:
+            raise ChunkCorruption(index, attempt)

@@ -399,6 +399,60 @@ def test_train_releases_validation_executor_pool(device):
     assert valid_executor._pool is None  # and no worker pool left behind
 
 
+def test_mid_sweep_exception_releases_worker_pool(device):
+    """A failure escaping forward() must not strand pool workers: the
+    executor eagerly closes its persistent pool on the error path."""
+    import multiprocessing
+
+    from repro.runtime import (
+        ChunkSupervisor,
+        FaultPlan,
+        RetryExhausted,
+        SupervisorConfig,
+    )
+
+    compiled = transpile(_case_circuit(), device, optimization_level=1)
+    supervisor = ChunkSupervisor(
+        # Zero retries + a fault on every attempt: the sweep is
+        # guaranteed to die mid-run with chunks still queued.
+        SupervisorConfig(max_retries=0, backoff_s=0.0, degrade_to_serial=False),
+        fault_plan=FaultPlan(0, rates={"raise": 1.0}, max_attempt_faults=99),
+        label="trajectory",
+    )
+    executor = TrajectoryEvalExecutor(
+        _full_model(device.n_qubits), n_trajectories=32, shots=None,
+        rng=0, n_workers=2, shard_size=8, shard_backend="process",
+        unravel="jump", supervisor=supervisor,
+    )
+    with pytest.raises(RetryExhausted):
+        executor.forward(compiled, None, None)
+    assert executor._pool is None  # closed on the way out, not leaked
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []  # no orphaned workers
+
+
+def test_dropped_executor_reaps_pool_at_collection(device):
+    """Belt-and-braces leak guard: an executor dropped without close()
+    reaps its workers when collected (weakref finalizer)."""
+    import gc
+    import multiprocessing
+
+    compiled = transpile(_case_circuit(), device, optimization_level=1)
+    executor = TrajectoryEvalExecutor(
+        _full_model(device.n_qubits), n_trajectories=32, shots=None,
+        rng=0, n_workers=2, shard_size=8, shard_backend="process",
+        unravel="jump",
+    )
+    executor.forward(compiled, None, None)
+    assert executor._pool is not None
+    del executor
+    gc.collect()
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
 def test_pooled_forward_matches_serial(device):
     compiled = transpile(_case_circuit(), device, optimization_level=1)
     model = _full_model(device.n_qubits)

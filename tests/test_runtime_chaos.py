@@ -1,0 +1,283 @@
+"""Seeded chaos suite: injected faults must never change results.
+
+Every test here injects deterministic faults (crashes, kills, delays,
+corrupted payloads) into supervised execution and asserts the recovered
+run is *bit-identical* to a fault-free one.  The schedule is a pure
+function of the chaos seed -- ``$CHAOS_SEED`` when set (the CI chaos
+job pins it and prints it), else a fixed default -- so any red run
+replays locally with ``CHAOS_SEED=<seed> pytest -m chaos``.
+
+Runs in the tier-1 suite by default (it is fast); the dedicated CI
+chaos job additionally runs it alone under an explicit seed.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.compiler import transpile
+from repro.core.executors import GateInsertionExecutor, TrajectoryEvalExecutor
+from repro.noise import NoiseModel, PauliError, get_device, readout_matrix
+from repro.runtime import (
+    ChunkSupervisor,
+    ChunkTask,
+    DegradedExecution,
+    FaultPlan,
+    SupervisorConfig,
+    chaos_seed,
+    inject_faults,
+)
+
+pytestmark = pytest.mark.chaos
+
+#: Every chunk's first attempt faults, whatever the seed -- the seed
+#: only decides *which* fault fires, so bit-identity assertions hold
+#: under any ``$CHAOS_SEED`` while still exercising the full taxonomy.
+ALWAYS_FAULT = {"raise": 0.5, "corrupt": 0.3, "kill": 0.2}
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_device("santiago")
+
+
+@pytest.fixture(scope="module")
+def compiled(device):
+    circuit = Circuit(3)
+    circuit.add("h", 0)
+    circuit.add("cx", (0, 1))
+    circuit.add("rx", 2, 0.7)
+    circuit.add("cx", (1, 2))
+    circuit.add("ry", 0, -0.4)
+    circuit.add("sx", 1)
+    return transpile(circuit, device, optimization_level=1)
+
+
+def _pauli_model(n_qubits: int) -> NoiseModel:
+    return NoiseModel(
+        n_qubits,
+        {
+            (gate, q): PauliError(3e-3, 2e-3, 1e-3)
+            for q in range(n_qubits)
+            for gate in ("sx", "x", "id")
+        },
+        {(q, q + 1): PauliError(6e-3, 5e-3, 4e-3) for q in range(n_qubits - 1)},
+        np.stack([readout_matrix(0.01, 0.02) for _ in range(n_qubits)]),
+    )
+
+
+def _relaxation_model(n_qubits: int) -> NoiseModel:
+    return NoiseModel(
+        n_qubits,
+        {},
+        {},
+        np.stack([readout_matrix(0.01, 0.02)] * n_qubits),
+        relaxation={q: (40.0 + 10 * q, 50.0 + 8 * q) for q in range(n_qubits)},
+        relaxation_durations=(0.05, 0.4),
+    )
+
+
+def _trajectory_executor(device, *, unravel, supervisor=None, n_workers=0):
+    model = (
+        _relaxation_model(device.n_qubits)
+        if unravel == "jump"
+        else _pauli_model(device.n_qubits)
+    )
+    return TrajectoryEvalExecutor(
+        model,
+        n_trajectories=32,
+        shots=4096,
+        rng=0,
+        n_workers=n_workers,
+        shard_size=8,
+        unravel=unravel,
+        supervisor=supervisor,
+    )
+
+
+def _chaos_supervisor(rates, **plan_kwargs):
+    return ChunkSupervisor(
+        SupervisorConfig(backoff_s=0.0),
+        fault_plan=FaultPlan(chaos_seed(7), rates=rates, **plan_kwargs),
+        label="trajectory",
+    )
+
+
+# ---------------------------------------------------------------------------
+# retry determinism across engines: faulted runs == fault-free runs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["trajectory", "mcwf", "gate_insertion"])
+def test_injected_faults_recover_bit_identically(engine, device, compiled):
+    weights = None  # the case circuit binds all angles at build time
+    inputs = None
+
+    if engine == "gate_insertion":
+        noise_model = _pauli_model(device.n_qubits)
+        base_ex = GateInsertionExecutor(noise_model, rng=11, n_realizations=4)
+        base, _ = base_ex.forward(compiled, weights, inputs)
+
+        chaos_ex = GateInsertionExecutor(noise_model, rng=11, n_realizations=4)
+        supervisor = _chaos_supervisor(ALWAYS_FAULT)
+
+        def step():
+            return chaos_ex.forward(compiled, weights, inputs)[0]
+
+        got = supervisor.call(step, rng=chaos_ex.rng)
+    else:
+        unravel = "jump" if engine == "mcwf" else "pauli"
+        base, _ = _trajectory_executor(device, unravel=unravel).forward(
+            compiled, weights, inputs
+        )
+        supervisor = _chaos_supervisor(ALWAYS_FAULT)
+        chaos_ex = _trajectory_executor(
+            device, unravel=unravel, supervisor=supervisor, n_workers=2
+        )
+        with chaos_ex:
+            got, _ = chaos_ex.forward(compiled, weights, inputs)
+
+    assert supervisor.last_report.faults_injected > 0
+    assert supervisor.last_report.retries == supervisor.last_report.faults_injected
+    assert np.array_equal(base, got)
+
+
+@pytest.mark.parametrize("unravel", ["pauli", "jump"])
+def test_injected_timeouts_recover_bit_identically(unravel, device, compiled):
+    """Supervised serial path: delays past the deadline are detected
+    post-hoc, retried clean, and change nothing."""
+    model = (
+        _relaxation_model(device.n_qubits)
+        if unravel == "jump"
+        else _pauli_model(device.n_qubits)
+    )
+    base, _ = TrajectoryEvalExecutor(
+        model, n_trajectories=32, shots=4096, rng=0,
+        shard_size=16, unravel=unravel,
+    ).forward(compiled, None, None)
+    # Deadline comfortably above a clean chunk's compute time but far
+    # below the injected delay, so only injected delays time out.
+    supervisor = ChunkSupervisor(
+        SupervisorConfig(deadline_s=0.1, backoff_s=0.0),
+        fault_plan=FaultPlan(
+            chaos_seed(7), rates={"delay": 1.0}, delay_s=0.3
+        ),
+        label="trajectory",
+    )
+    chaos_ex = TrajectoryEvalExecutor(
+        model, n_trajectories=32, shots=4096, rng=0,
+        shard_size=16, unravel=unravel, supervisor=supervisor,
+    )
+    got, _ = chaos_ex.forward(compiled, None, None)
+    assert supervisor.last_report.timeouts > 0
+    assert np.array_equal(base, got)
+
+
+def test_ambient_plan_reaches_supervised_executor(device, compiled):
+    """``inject_faults`` installs chaos without threading a plan through
+    the executor layers."""
+    base, _ = _trajectory_executor(device, unravel="pauli").forward(
+        compiled, None, None
+    )
+    supervisor = ChunkSupervisor(
+        SupervisorConfig(backoff_s=0.0), label="trajectory"
+    )
+    chaos_ex = _trajectory_executor(
+        device, unravel="pauli", supervisor=supervisor, n_workers=2
+    )
+    with chaos_ex, inject_faults(FaultPlan(chaos_seed(7), ALWAYS_FAULT)):
+        got, _ = chaos_ex.forward(compiled, None, None)
+    assert supervisor.last_report.faults_injected > 0
+    assert np.array_equal(base, got)
+    # Outside the context the ambient plan is gone: a clean re-run.
+    clean, _ = _trajectory_executor(
+        device, unravel="pauli",
+        supervisor=ChunkSupervisor(label="trajectory"), n_workers=2,
+    ).forward(compiled, None, None)
+    assert np.array_equal(base, clean)
+
+
+# ---------------------------------------------------------------------------
+# process-pool chaos: killed workers, broken pools, serial degradation
+# ---------------------------------------------------------------------------
+
+
+def test_killed_process_workers_recover_bit_identically(device, compiled):
+    """``kill`` faults hard-exit real worker processes; the broken pool
+    is rebuilt (run-scoped) and the recovered run matches serial."""
+    base, _ = _trajectory_executor(device, unravel="pauli").forward(
+        compiled, None, None
+    )
+    supervisor = _chaos_supervisor({"kill": 1.0})
+    chaos_ex = TrajectoryEvalExecutor(
+        _pauli_model(device.n_qubits),
+        n_trajectories=32,
+        shots=4096,
+        rng=0,
+        n_workers=2,
+        shard_size=8,
+        shard_backend="process",
+        supervisor=supervisor,
+    )
+    with chaos_ex:
+        got, _ = chaos_ex.forward(compiled, None, None)
+    assert np.array_equal(base, got)
+    assert supervisor.last_report.crashes > 0
+    assert "pool-rebuilt" in supervisor.last_report.degraded
+    # The executor dropped its broken pool and the supervisor shut down
+    # the run-scoped replacement: no orphaned workers survive.
+    assert chaos_ex._pool is None
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
+def _seeded_payload(seed: int, n: int) -> np.ndarray:
+    """Deterministic picklable chunk body for process-pool tests."""
+    return np.random.default_rng(seed).random(n)
+
+
+def test_broken_pool_without_rebuild_degrades_to_serial():
+    """No rebuild hook: the remaining chunks run serially in the parent
+    under a DegradedExecution warning, results unchanged."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    tasks = [ChunkTask(i, _seeded_payload, (100 + i, 5)) for i in range(4)]
+    expected = [_seeded_payload(100 + i, 5) for i in range(4)]
+
+    supervisor = ChunkSupervisor(
+        SupervisorConfig(backoff_s=0.0),
+        fault_plan=FaultPlan(chaos_seed(7), rates={"kill": 1.0}),
+    )
+    with ProcessPoolExecutor(2) as pool:
+        with pytest.warns(DegradedExecution) as record:
+            out = supervisor.run(tasks, pool=pool)
+    assert any(
+        w.message.fallback_path == ("process-pool", "serial") for w in record
+    )
+    assert supervisor.last_report.degraded[-2:] == ("process-pool", "serial")
+    for got, want in zip(out, expected):
+        assert np.array_equal(got, want)
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------------
+# the seed really is the schedule
+# ---------------------------------------------------------------------------
+
+
+def test_chaos_schedule_is_a_pure_function_of_the_seed(monkeypatch):
+    monkeypatch.setenv("CHAOS_SEED", "2026")
+    plan_a = FaultPlan(chaos_seed(), rates=ALWAYS_FAULT)
+    plan_b = FaultPlan(chaos_seed(), rates=ALWAYS_FAULT)
+    schedule_a = [plan_a.fault_for("trajectory", i, 0) for i in range(32)]
+    schedule_b = [plan_b.fault_for("trajectory", i, 0) for i in range(32)]
+    assert schedule_a == schedule_b
+    other = FaultPlan(1 + chaos_seed(), rates=ALWAYS_FAULT)
+    assert schedule_a != [
+        other.fault_for("trajectory", i, 0) for i in range(32)
+    ]
