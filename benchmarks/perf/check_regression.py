@@ -56,6 +56,10 @@ SPEEDUP_SCENARIOS = frozenset({
     "training_step",
     "stacked_noise_training",
     "fused_inference",
+    # coalesced serving vs naive per-request dispatch (burst pattern,
+    # measured on one host in one run -- machine-independent like the
+    # other pairs).  Collapsing means the front door stopped batching.
+    "serve_throughput",
     # t_unsupervised_sharded / t_supervised: supervision overhead gate.
     # ~1.0 by construction; collapsing means chunk supervision got
     # expensive (per-chunk deadline/checksum/bookkeeping is meant to be

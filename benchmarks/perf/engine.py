@@ -6,8 +6,10 @@ superoperator-compiled exact noisy density backend (with and without
 the full relaxation + readout channel set), sharded trajectory
 execution, the batched noise-injected *training step* (vs the
 per-sample reference loop), the stacked multi-realization training
-sweep, gate-fused inference, and a short end-to-end training run --
-against the retained reference implementations, asserts
+sweep, gate-fused inference, the coalescing serving layer (stacked
+window flushes vs naive per-request dispatch, via
+``benchmarks/perf/serve_load.py``), and a short end-to-end training run
+-- against the retained reference implementations, asserts
 fast-vs-reference numerical equivalence (bit-identity for sharded vs
 serial trajectories), and writes everything to ``BENCH_engine.json``.
 
@@ -561,6 +563,16 @@ def run_benchmarks(
         ).max()
     )
 
+    # -- serving layer: coalesced vs naive per-request dispatch ------------
+    _HERE = str(Path(__file__).resolve().parent)
+    if _HERE not in sys.path:
+        sys.path.insert(0, _HERE)
+    from serve_load import run_serve_load
+
+    serve_record, serve_equiv = run_serve_load(scale, seed=seed)
+    bench["serve_throughput"] = serve_record
+    equiv.update(serve_equiv)
+
     # -- short end-to-end noise-injected training --------------------------
     n_train = cfg["n_train"]
     train_x = rng.normal(0, 1, (n_train, 16))
@@ -600,6 +612,8 @@ def run_benchmarks(
         "training_step_loss_err",
         "training_step_grad_max_err",
         "fused_inference_max_err",
+        "serve_vs_naive_max_err",
+        "serve_poisson_vs_naive_max_err",
     ):
         if equiv[key] > EXACT_TOL:
             raise AssertionError(

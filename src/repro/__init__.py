@@ -16,8 +16,7 @@ Quickstart::
 
     from repro import (
         load_task, paper_model, get_device,
-        QuantumNATModel, QuantumNATConfig, TrainConfig, train,
-        TrajectoryEvalExecutor,
+        QuantumNATModel, QuantumNATConfig, TrainConfig, train, predict,
     )
 
     task = load_task("mnist-4")
@@ -26,8 +25,15 @@ Quickstart::
     model = QuantumNATModel(qnn, device, QuantumNATConfig.full())
     result = train(model, task.train_x, task.train_y,
                    task.valid_x, task.valid_y, TrainConfig(epochs=10))
-    real_qc = TrajectoryEvalExecutor(device.hardware_model)
-    acc, _ = model.evaluate(result.weights, task.test_x, task.test_y, real_qc)
+    logits = predict(model, result.weights, task.test_x, engine="trajectory")
+
+Serving (coalesced asyncio front door, :mod:`repro.serve`)::
+
+    from repro.serve import InferenceServer, ServeConfig
+
+    server = InferenceServer(ServeConfig(window_s=0.002, max_batch=64))
+    session = server.session(model, result.weights, engine="density")
+    logits = await session.predict(x)   # coalesced across callers
 """
 
 from repro.characterization import (
@@ -44,7 +50,10 @@ from repro.core import (
     TrainConfig,
     TrainResult,
     train,
+    predict,
     grid_search,
+    EvalExecutor,
+    InferenceExecutor,
     NoiselessExecutor,
     GateInsertionExecutor,
     DensityEvalExecutor,
@@ -57,6 +66,7 @@ from repro.core import (
     EngineCapabilities,
     capability_matrix,
     create_engine,
+    create_engine_with_fallback,
     engine_names,
     engine_spec,
     register_engine,
@@ -77,9 +87,11 @@ from repro.mitigation import zne_expectations, mitigate_expectations
 from repro.noise import get_device, list_devices, Device, NoiseModel, PauliError
 from repro.qasm import from_qasm, to_qasm
 from repro.qnn import QNN, QNNArchitecture, paper_model, head_matrix
+from repro.serve import InferenceServer, ServeConfig, Session
+from repro import serve
 from repro.viz import draw_circuit
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Circuit",
@@ -92,7 +104,10 @@ __all__ = [
     "TrainConfig",
     "TrainResult",
     "train",
+    "predict",
     "grid_search",
+    "EvalExecutor",
+    "InferenceExecutor",
     "NoiselessExecutor",
     "GateInsertionExecutor",
     "DensityEvalExecutor",
@@ -105,6 +120,7 @@ __all__ = [
     "EngineCapabilities",
     "capability_matrix",
     "create_engine",
+    "create_engine_with_fallback",
     "engine_names",
     "engine_spec",
     "register_engine",
@@ -143,5 +159,9 @@ __all__ = [
     "from_qasm",
     "to_qasm",
     "draw_circuit",
+    "serve",
+    "InferenceServer",
+    "ServeConfig",
+    "Session",
     "__version__",
 ]

@@ -38,9 +38,10 @@ logical qubit order.
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -60,6 +61,49 @@ from repro.utils.rng import as_rng
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.passes import CompiledCircuit
     from repro.noise.model import NoiseModel
+
+
+@runtime_checkable
+class EvalExecutor(Protocol):
+    """The inference contract every evaluation backend implements.
+
+    ``forward(compiled, weights, inputs)`` returns ``(logical
+    expectations, cache)`` for one compiled block; ``differentiable``
+    says whether ``backward`` exists and is exact.  This protocol *is*
+    the inference API: :meth:`repro.core.pipeline.QuantumNATModel
+    .predict` and the serving layer (:mod:`repro.serve`) accept any
+    conforming object and nothing else -- the registry's executor fleet,
+    test stubs and user-supplied backends all type-check the same way
+    (``isinstance(executor, EvalExecutor)``) instead of being probed by
+    duck-typed ``getattr``.
+    """
+
+    differentiable: bool
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, object]": ...
+
+
+@runtime_checkable
+class InferenceExecutor(EvalExecutor, Protocol):
+    """An :class:`EvalExecutor` with a tape-free inference fast path.
+
+    ``forward_inference`` skips gradient bookkeeping entirely (e.g. the
+    gate-fusion sweep of :class:`NoiselessExecutor`); ``predict``
+    dispatches to it when the executor conforms, to ``forward``
+    otherwise.
+    """
+
+    def forward_inference(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> np.ndarray: ...
 
 
 def _param_counts(
@@ -95,14 +139,86 @@ def _scatter_logical(
     return grad
 
 
+#: Sentinel distinguishing "keyword not passed" from an explicit value,
+#: so the deprecation shim can detect genuine positional/keyword clashes.
+_UNSET = object()
+
+#: Legacy positional order of the ``make_*_executor`` helpers before the
+#: keyword-only unification (PR 7); the shim maps stray positionals onto
+#: these names under a DeprecationWarning.
+_LEGACY_EXECUTOR_PARAMS = ("shots", "rng", "n_trajectories", "n_workers", "supervisor")
+
+
+def _apply_legacy_executor_args(
+    name: str, legacy_args: tuple, kwargs: dict, n_trajectories
+) -> dict:
+    """Fold deprecated call forms into the keyword-only signature.
+
+    Two deprecated spellings are accepted with a warning: positional
+    arguments after ``model`` (the pre-PR-7 ``(model, shots, rng,
+    n_trajectories, n_workers, supervisor)`` order) and the
+    ``n_trajectories=`` keyword (now ``samples=``, the registry
+    factories' uniform name).  Mixing a deprecated spelling with its
+    replacement keyword raises ``TypeError`` rather than guessing.
+    """
+    if legacy_args:
+        if len(legacy_args) > len(_LEGACY_EXECUTOR_PARAMS):
+            raise TypeError(
+                f"{name}() takes at most {len(_LEGACY_EXECUTOR_PARAMS) + 1} "
+                f"positional arguments ({len(legacy_args) + 1} given)"
+            )
+        warnings.warn(
+            f"positional arguments to {name}() are deprecated; use the "
+            "keyword-only signature (shots=, rng=, samples=, n_workers=, "
+            "supervisor=, noise_factor=)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        for param, value in zip(_LEGACY_EXECUTOR_PARAMS, legacy_args):
+            target = "samples" if param == "n_trajectories" else param
+            if target in kwargs:
+                raise TypeError(
+                    f"{name}() got both a positional value and keyword "
+                    f"{target!r}"
+                )
+            kwargs[target] = value
+    if n_trajectories is not None:
+        warnings.warn(
+            f"the n_trajectories argument of {name}() is deprecated; "
+            "use samples= (the registry factories' uniform name)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if "samples" in kwargs:
+            raise TypeError(
+                f"{name}() got both n_trajectories and samples"
+            )
+        kwargs["samples"] = n_trajectories
+    return kwargs
+
+
+def _explicit_kwargs(
+    shots, rng, samples, n_workers, supervisor, noise_factor
+) -> dict:
+    """Only the keywords the caller actually passed (sentinel-filtered)."""
+    passed = dict(
+        shots=shots, rng=rng, samples=samples, n_workers=n_workers,
+        supervisor=supervisor, noise_factor=noise_factor,
+    )
+    return {k: v for k, v in passed.items() if v is not _UNSET}
+
+
 def make_real_qc_executor(
     model,
-    shots: "int | None" = 8192,
-    rng: "int | np.random.Generator | None" = None,
-    n_trajectories: int = 32,
-    n_workers: int = 0,
-    supervisor=None,
-):
+    *legacy_args,
+    shots: "int | None" = _UNSET,
+    rng: "int | np.random.Generator | None" = _UNSET,
+    samples: int = _UNSET,
+    n_workers: int = _UNSET,
+    supervisor=_UNSET,
+    noise_factor: float = _UNSET,
+    n_trajectories: "int | None" = None,
+) -> EvalExecutor:
     """The 'real QC' surrogate for a model's device.
 
     A physical device run samples errors independently on every shot, so
@@ -114,43 +230,66 @@ def make_real_qc_executor(
     (quantum-jump unraveling when the model carries exact relaxation
     channels); ``n_workers`` shards their chunks across a worker pool
     (bit-identical to serial).
+
+    The signature is keyword-only and identical to
+    :func:`make_noise_model_executor` and ``EngineSpec.factory``
+    (``shots``, ``rng``, ``samples``, ``n_workers``, ``supervisor``,
+    ``noise_factor``); the pre-unification positional form and the
+    ``n_trajectories`` spelling still work under a
+    ``DeprecationWarning``.
     """
+    kwargs = _apply_legacy_executor_args(
+        "make_real_qc_executor",
+        legacy_args,
+        _explicit_kwargs(shots, rng, samples, n_workers, supervisor, noise_factor),
+        n_trajectories,
+    )
+    kwargs.setdefault("shots", 8192)
     return _resolve_eval_executor(
-        model, model.device.hardware_model, shots, rng, n_trajectories,
-        n_workers, supervisor,
+        model, model.device.hardware_model, **kwargs
     )
 
 
 def make_noise_model_executor(
     model,
-    shots: "int | None" = None,
-    rng: "int | np.random.Generator | None" = None,
-    n_trajectories: int = 32,
-    n_workers: int = 0,
-    supervisor=None,
-):
+    *legacy_args,
+    shots: "int | None" = _UNSET,
+    rng: "int | np.random.Generator | None" = _UNSET,
+    samples: int = _UNSET,
+    n_workers: int = _UNSET,
+    supervisor=_UNSET,
+    noise_factor: float = _UNSET,
+    n_trajectories: "int | None" = None,
+) -> EvalExecutor:
     """Evaluation under the *published* noise model (paper Table 11).
 
     Resolved through the engine registry exactly like
-    :func:`make_real_qc_executor`, just against the published model.
+    :func:`make_real_qc_executor` (same keyword-only signature, same
+    deprecation shims), just against the published model.
     """
+    kwargs = _apply_legacy_executor_args(
+        "make_noise_model_executor",
+        legacy_args,
+        _explicit_kwargs(shots, rng, samples, n_workers, supervisor, noise_factor),
+        n_trajectories,
+    )
     return _resolve_eval_executor(
-        model, model.device.noise_model, shots, rng, n_trajectories,
-        n_workers, supervisor,
+        model, model.device.noise_model, **kwargs
     )
 
 
 def _resolve_eval_executor(
-    model, noise_model, shots, rng, n_trajectories, n_workers,
-    supervisor=None,
+    model, noise_model, *, shots=None, rng=None, samples=32, n_workers=0,
+    supervisor=None, noise_factor=1.0,
 ):
     from repro.core.engine import resolve_eval_engine
 
     widest = max(c.circuit.n_qubits for c in model.compiled)
     spec = resolve_eval_engine(noise_model.channel_kinds, widest)
     return spec.factory(
-        noise_model, rng=rng, samples=n_trajectories, shots=shots,
+        noise_model, rng=rng, samples=samples, shots=shots,
         n_workers=n_workers, supervisor=supervisor,
+        noise_factor=noise_factor,
     )
 
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.compiler.passes import CompiledCircuit, transpile
-from repro.core.executors import NoiselessExecutor
+from repro.core.executors import InferenceExecutor, NoiselessExecutor
 from repro.core.injection import (
     ANGLE_PERTURBATION,
     GATE_INSERTION,
@@ -501,19 +501,22 @@ class QuantumNATModel:
         inference.  Normalization uses the batch's own statistics unless
         :attr:`fixed_stats` is set (validation-statistics mode).
 
-        Executors exposing ``forward_inference`` (noise-free simulation)
-        run tape-free through the gate-fusion pass: adjacent gate runs
-        collapse into single matrices, cached per weight vector across
-        repeated predict/evaluate calls.
+        Executors conforming to the :class:`InferenceExecutor` protocol
+        (noise-free simulation) run tape-free through the gate-fusion
+        pass: adjacent gate runs collapse into single matrices, cached
+        per weight vector across repeated predict/evaluate calls; plain
+        :class:`EvalExecutor` backends run their ``forward`` path.
         """
         config = self.config
         executor = executor or NoiselessExecutor()
-        infer = getattr(executor, "forward_inference", None)
+        tape_free = isinstance(executor, InferenceExecutor)
         current = np.asarray(inputs, dtype=float)
         for b in range(self.n_blocks):
             w_local = self.qnn.block_weights(weights, b)
-            if infer is not None:
-                expectations = infer(self.compiled[b], w_local, current)
+            if tape_free:
+                expectations = executor.forward_inference(
+                    self.compiled[b], w_local, current
+                )
             else:
                 expectations, _cache = executor.forward(
                     self.compiled[b], w_local, current
@@ -610,3 +613,55 @@ class QuantumNATModel:
                 values = self.quantizer.quantize(values)
             current = values
         return stats
+
+
+def predict(
+    model: QuantumNATModel,
+    weights: np.ndarray,
+    inputs: np.ndarray,
+    *,
+    engine: "str | None" = None,
+    executor: "object | None" = None,
+    fallback: bool = True,
+    **engine_kwargs,
+) -> np.ndarray:
+    """Stable top-level inference entry point; returns logits.
+
+    Thin functional wrapper over :meth:`QuantumNATModel.predict` that
+    resolves ``engine`` names through the registry, so callers select a
+    backend by name instead of constructing executors:
+
+    * ``executor`` -- use this evaluation backend directly;
+    * ``engine`` -- build the named engine for the model's device noise
+      model (``engine_kwargs`` forward to the factory: ``rng``,
+      ``samples``, ``shots``, ...).  With ``fallback=True`` (default)
+      resolution degrades along the registry's fallback chain and emits
+      :class:`~repro.runtime.errors.DegradedExecution`; otherwise an
+      unservable request raises immediately;
+    * neither -- noise-free simulation.
+
+    Engines declaring no channel support (``noiseless``) are built
+    without a noise model, so they remain addressable by name.
+    """
+    if engine is not None and executor is not None:
+        raise TypeError("pass either 'engine' or 'executor', not both")
+    if engine is not None:
+        from repro.core.engine import (
+            create_engine,
+            create_engine_with_fallback,
+            engine_spec,
+        )
+
+        noise_model = model.device.noise_model
+        if not engine_spec(engine).capabilities.channels:
+            noise_model = None
+        if fallback:
+            executor = create_engine_with_fallback(
+                engine,
+                noise_model,
+                widest=max(c.circuit.n_qubits for c in model.compiled),
+                **engine_kwargs,
+            )
+        else:
+            executor = create_engine(engine, noise_model, **engine_kwargs)
+    return model.predict(weights, inputs, executor)

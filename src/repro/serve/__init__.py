@@ -1,0 +1,41 @@
+"""Batch-coalescing async serving layer over the engine registry.
+
+Production traffic arrives one request at a time; every engine in this
+repo is fastest on stacked sweeps.  This package is the front door that
+reconciles the two::
+
+    from repro.serve import InferenceServer, ServeConfig
+
+    server = InferenceServer(ServeConfig(window_s=0.002, max_batch=64))
+    session = server.session(model, weights, engine="density", rng=0)
+    logits = await session.predict(x)          # coalesced across users
+
+Concurrent ``predict`` calls landing on the same (model, weights,
+engine) triple within the window execute as *one* stacked sweep on the
+existing compiled-plan caches, bit-equivalent to the serial call each
+user would have made (``InferenceServer.verify_flush_log`` replays the
+proof).  Admission control routes or rejects unservable requests via
+the registry's capability declarations, and deadlines/supervision reuse
+the fault-tolerant runtime.
+"""
+
+from repro.serve.admission import AdmissionError, AdmissionPolicy
+from repro.serve.coalescer import BatchCoalescer
+from repro.serve.metrics import ServeMetrics
+from repro.serve.session import (
+    DeadlineExceeded,
+    InferenceServer,
+    ServeConfig,
+    Session,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
+    "BatchCoalescer",
+    "DeadlineExceeded",
+    "InferenceServer",
+    "ServeConfig",
+    "ServeMetrics",
+    "Session",
+]

@@ -1,0 +1,93 @@
+"""Admission control: capability-checked executor construction.
+
+A serving front door cannot assume every request is servable by the
+engine the operator configured -- the exact density backend caps out at
+8 qubits, the Pauli-unraveled trajectory backend cannot represent exact
+relaxation channels.  Admission control decides, *per session*, what
+happens to a request the named engine cannot serve:
+
+* ``on_unservable="fallback"`` (default) -- route along the registry's
+  fallback chain via :func:`repro.core.engine.create_engine_with_fallback`;
+  the session still opens, a :class:`DegradedExecution` warning records
+  the path actually taken;
+* ``on_unservable="reject"`` -- refuse the session with
+  :class:`AdmissionError` (a typed :class:`EngineUnavailable`), carrying
+  the live capability matrix so the caller can pick a servable engine.
+
+``max_rows_per_request`` bounds single-request width independently of
+engine capabilities (a front-door payload-size limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import (
+    capability_matrix,
+    create_engine,
+    create_engine_with_fallback,
+    engine_spec,
+)
+from repro.runtime.errors import EngineUnavailable
+
+
+class AdmissionError(EngineUnavailable):
+    """The serving layer refused a session or request."""
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """What the front door does with requests the engine cannot serve."""
+
+    on_unservable: str = "fallback"
+    #: refuse sessions whose widest block exceeds this many qubits,
+    #: before any engine capability is even consulted (``None`` = no cap).
+    max_qubits: "int | None" = None
+    #: refuse single predict() calls with more rows than this.
+    max_rows_per_request: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.on_unservable not in ("fallback", "reject"):
+            raise ValueError(
+                "on_unservable must be 'fallback' or 'reject', got "
+                f"{self.on_unservable!r}"
+            )
+
+    def admit(self, engine: str, noise_model, *, widest: int, **kwargs):
+        """Build the session's executor or raise :class:`AdmissionError`."""
+        if self.max_qubits is not None and widest > self.max_qubits:
+            raise AdmissionError(
+                f"request width {widest} qubits exceeds the front door's "
+                f"max_qubits={self.max_qubits} policy"
+            )
+        if self.on_unservable == "fallback":
+            try:
+                return create_engine_with_fallback(
+                    engine, noise_model, widest=widest, **kwargs
+                )
+            except EngineUnavailable as exc:
+                raise AdmissionError(str(exc)) from exc
+        # reject: the named engine serves the request itself or not at all.
+        caps = engine_spec(engine).capabilities
+        required = (
+            noise_model.channel_kinds
+            if noise_model is not None
+            else frozenset()
+        )
+        reasons = []
+        if required and not required <= caps.channels:
+            missing = sorted(required - caps.channels)
+            reasons.append(f"cannot represent channel kinds {missing}")
+        if caps.max_qubits is not None and widest > caps.max_qubits:
+            reasons.append(
+                f"width cap {caps.max_qubits} < {widest} qubits"
+            )
+        if reasons:
+            raise AdmissionError(
+                f"engine {engine!r} rejected by admission policy "
+                "(on_unservable='reject'):\n  "
+                + "\n  ".join(reasons)
+                + "\n"
+                + capability_matrix()
+            )
+        return create_engine(engine, noise_model, **kwargs)

@@ -1,0 +1,186 @@
+"""Cross-request batch coalescing for the asyncio serving layer.
+
+Concurrent ``await session.predict(x)`` calls rarely arrive
+pre-stacked, but every engine in this repo is fastest on stacked
+sweeps.  The :class:`BatchCoalescer` closes that gap: requests landing
+on the same *coalescing key* (same model, weights and engine -- decided
+by the caller) are parked in a per-key pending queue and executed as
+one stacked sweep when either
+
+* the oldest parked request has waited ``window_s`` seconds (a
+  ``loop.call_later`` timer armed when the queue goes non-empty), or
+* the queued rows reach ``max_batch`` (overflow flush, no waiting).
+
+A flush concatenates the queued rows *in submission order*, slices one
+``execute(key, stacked_rows)`` result back onto the per-request
+futures, and packs at request granularity: requests are chunked so no
+sweep exceeds ``max_batch`` rows, and only a single request larger than
+``max_batch`` on its own is split across sweeps.  Cancelled requests
+(deadline hit while parked) are dropped before stacking, so their rows
+never execute.
+
+Determinism contract: because rows are stacked in submission order and
+``execute`` runs synchronously on the event-loop thread, a flush is
+bit-equivalent to one serial ``predict`` call over the identically
+ordered stack with the same executor RNG state -- the property
+``InferenceServer.verify_flush_log`` replays end-to-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _PendingRequest:
+    rows: np.ndarray
+    future: asyncio.Future
+
+
+@dataclass
+class _KeyQueue:
+    pending: "list[_PendingRequest]" = field(default_factory=list)
+    n_rows: int = 0
+    timer: "asyncio.TimerHandle | None" = None
+
+
+class BatchCoalescer:
+    """Window/size-bounded request coalescing on top of an event loop.
+
+    ``execute(key, stacked_rows)`` is a synchronous callable returning
+    one output row per input row; it runs on the event-loop thread, so
+    pure-numpy sweeps need no thread handoff (the GIL is released
+    inside the C kernels anyway).
+    """
+
+    def __init__(
+        self,
+        execute,
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.execute = execute
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._queues: "dict[object, _KeyQueue]" = {}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, key, rows: np.ndarray) -> "asyncio.Future[np.ndarray]":
+        """Park ``rows`` (2-D) under ``key``; resolves with their outputs."""
+        loop = asyncio.get_running_loop()
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2:
+            raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+        future: "asyncio.Future[np.ndarray]" = loop.create_future()
+        queue = self._queues.setdefault(key, _KeyQueue())
+        queue.pending.append(_PendingRequest(rows, future))
+        queue.n_rows += rows.shape[0]
+        if queue.n_rows >= self.max_batch:
+            self._flush(key)
+        elif queue.timer is None:
+            queue.timer = loop.call_later(self.window_s, self._flush, key)
+        return future
+
+    @property
+    def pending_rows(self) -> int:
+        return sum(q.n_rows for q in self._queues.values())
+
+    # -- flushing ----------------------------------------------------------
+
+    def _flush(self, key) -> None:
+        queue = self._queues.get(key)
+        if queue is None:
+            return
+        if queue.timer is not None:
+            queue.timer.cancel()
+            queue.timer = None
+        pending = [p for p in queue.pending if not p.future.cancelled()]
+        queue.pending.clear()
+        queue.n_rows = 0
+        for chunk in self._pack(pending):
+            self._run_chunk(key, chunk)
+
+    def _pack(
+        self, pending: "list[_PendingRequest]"
+    ) -> "list[list[_PendingRequest]]":
+        """Chunk requests so no sweep exceeds ``max_batch`` rows.
+
+        Request granularity: a request only splits across sweeps when it
+        alone exceeds ``max_batch`` (then it splits by rows).
+        """
+        chunks: "list[list[_PendingRequest]]" = []
+        current: "list[_PendingRequest]" = []
+        current_rows = 0
+        for req in pending:
+            n = req.rows.shape[0]
+            if n > self.max_batch and not current:
+                chunks.append([req])
+                continue
+            if current_rows + n > self.max_batch and current:
+                chunks.append(current)
+                current, current_rows = [], 0
+            if n > self.max_batch:
+                chunks.append([req])
+                continue
+            current.append(req)
+            current_rows += n
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _run_chunk(self, key, chunk: "list[_PendingRequest]") -> None:
+        if len(chunk) == 1 and chunk[0].rows.shape[0] > self.max_batch:
+            self._run_oversized(key, chunk[0])
+            return
+        stacked = np.concatenate([req.rows for req in chunk], axis=0)
+        try:
+            outputs = self.execute(key, stacked)
+        except Exception as exc:
+            for req in chunk:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        offset = 0
+        for req in chunk:
+            n = req.rows.shape[0]
+            if not req.future.done():
+                req.future.set_result(outputs[offset : offset + n])
+            offset += n
+
+    def _run_oversized(self, key, req: _PendingRequest) -> None:
+        """One request wider than ``max_batch``: sweep it in row slabs."""
+        parts: "list[np.ndarray]" = []
+        try:
+            for start in range(0, req.rows.shape[0], self.max_batch):
+                parts.append(
+                    self.execute(key, req.rows[start : start + self.max_batch])
+                )
+        except Exception as exc:
+            if not req.future.done():
+                req.future.set_exception(exc)
+            return
+        if not req.future.done():
+            req.future.set_result(np.concatenate(parts, axis=0))
+
+    def flush_all(self) -> None:
+        """Flush every key now (shutdown / test determinism)."""
+        for key in list(self._queues):
+            self._flush(key)
+
+    def close(self) -> None:
+        """Flush pending work and cancel any armed timers."""
+        self.flush_all()
+        for queue in self._queues.values():
+            if queue.timer is not None:
+                queue.timer.cancel()
+                queue.timer = None
+        self._queues.clear()

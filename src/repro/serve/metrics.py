@@ -1,0 +1,71 @@
+"""Serving-side metrics: request latency and coalescing efficiency.
+
+The serving layer's whole value proposition is a ratio -- requests
+arriving one at a time, sweeps executing many at a time -- so the
+metrics object tracks both sides: per-request wall-clock latency
+(recorded by the session when its awaited future resolves) and
+per-flush batch sizes (recorded by the server when a coalesced sweep
+executes).  ``snapshot()`` reduces them to the numbers the load-test
+harness publishes into ``BENCH_engine.json``: p50/p99 latency,
+requests/sec and mean coalesced batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ServeMetrics:
+    """Mutable counters for one :class:`~repro.serve.InferenceServer`."""
+
+    #: wall-clock seconds from submit to result, one entry per request.
+    latencies_s: "list[float]" = field(default_factory=list)
+    #: rows executed per coalesced flush, one entry per sweep.
+    flush_sizes: "list[int]" = field(default_factory=list)
+    #: requests rejected by admission control.
+    rejected: int = 0
+    #: requests that missed their deadline.
+    deadline_misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies_s)
+
+    @property
+    def flushes(self) -> int:
+        return len(self.flush_sizes)
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies_s.append(seconds)
+
+    def record_flush(self, n_rows: int) -> None:
+        self.flush_sizes.append(n_rows)
+
+    def snapshot(self, elapsed_s: "float | None" = None) -> "dict[str, float]":
+        """Summary statistics; ``elapsed_s`` enables the throughput rate."""
+        out: "dict[str, float]" = {
+            "requests": float(self.requests),
+            "flushes": float(self.flushes),
+            "rejected": float(self.rejected),
+            "deadline_misses": float(self.deadline_misses),
+        }
+        if self.latencies_s:
+            lat = np.asarray(self.latencies_s)
+            out["p50_ms"] = float(np.percentile(lat, 50) * 1e3)
+            out["p99_ms"] = float(np.percentile(lat, 99) * 1e3)
+            out["mean_ms"] = float(lat.mean() * 1e3)
+        if self.flush_sizes:
+            out["mean_batch"] = float(np.mean(self.flush_sizes))
+            out["max_batch"] = float(np.max(self.flush_sizes))
+        if elapsed_s and self.requests:
+            out["requests_per_s"] = self.requests / elapsed_s
+        return out
+
+    def reset(self) -> None:
+        self.latencies_s.clear()
+        self.flush_sizes.clear()
+        self.rejected = 0
+        self.deadline_misses = 0

@@ -1,0 +1,272 @@
+"""The serving front door: :class:`InferenceServer` and :class:`Session`.
+
+An :class:`InferenceServer` owns one :class:`BatchCoalescer` plus the
+executors it dispatches onto.  Callers open a :class:`Session` per
+(model, weights, engine) triple; sessions sharing that triple share a
+*coalescing key*, so concurrent ``await session.predict(x)`` calls from
+unrelated users stack into one sweep per window.  Compiled-plan LRUs
+live on the executors/model, which live for the server's lifetime --
+warm plans survive across requests by construction.
+
+Determinism: a flush is executed as one ordinary
+:meth:`QuantumNATModel.predict` call over the submission-ordered stack,
+so it is bit-equivalent to the serial call a single user would have
+made with the same executor RNG state.  With
+``ServeConfig.record_flushes`` the server keeps a flush log (inputs,
+outputs, pre-flush RNG state) and :meth:`InferenceServer.verify_flush_log`
+replays every entry through the same executor, asserting bitwise
+equality end-to-end.
+
+Deadlines come in two layers, both reusing PR-6 machinery where it
+applies: per-request ``deadline_s`` is an ``asyncio.wait_for`` on the
+parked future (missing it cancels the request *before* its rows
+execute, surfacing :class:`DeadlineExceeded`), and -- when
+``ServeConfig.supervised`` is set -- each flush sweep runs under a
+:class:`~repro.runtime.supervisor.ChunkSupervisor` ``call`` with
+RNG-snapshot retry determinism and the supervisor's own per-attempt
+deadline/checksum policy.
+
+Sessions on a model with batch-statistics normalization must pin
+``model.fixed_stats`` (validation-statistics mode, paper Table 13):
+otherwise normalization would depend on which requests happened to
+coalesce, breaking both determinism and user isolation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import engine_spec
+from repro.runtime.supervisor import ChunkSupervisor, SupervisorConfig
+from repro.serve.admission import AdmissionError, AdmissionPolicy
+from repro.serve.coalescer import BatchCoalescer
+from repro.serve.metrics import ServeMetrics
+
+
+class DeadlineExceeded(asyncio.TimeoutError):
+    """A request's deadline elapsed before its window flushed."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for one server: coalescing window, admission, supervision."""
+
+    #: seconds the oldest parked request waits before a window flush.
+    window_s: float = 0.002
+    #: rows per coalesced sweep before an overflow flush.
+    max_batch: int = 64
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    #: run every flush sweep under a ChunkSupervisor ``call``.
+    supervised: bool = False
+    supervisor_config: "SupervisorConfig | None" = None
+    #: keep a replayable flush log for bit-equivalence verification.
+    record_flushes: bool = False
+
+
+@dataclass
+class _Endpoint:
+    """Everything one coalescing key needs to execute a flush."""
+
+    model: object
+    weights: np.ndarray
+    executor: object
+    supervisor: "ChunkSupervisor | None"
+    flush_index: int = 0
+
+
+@dataclass
+class _FlushRecord:
+    key: object
+    inputs: np.ndarray
+    outputs: np.ndarray
+    rng_state: "dict | None"
+
+
+class InferenceServer:
+    """Coalescing dispatch onto registry engines, one key per triple."""
+
+    def __init__(self, config: "ServeConfig | None" = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics()
+        self.coalescer = BatchCoalescer(
+            self._execute,
+            window_s=self.config.window_s,
+            max_batch=self.config.max_batch,
+        )
+        self._endpoints: "dict[object, _Endpoint]" = {}
+        self.flush_log: "list[_FlushRecord]" = []
+
+    # -- session management ------------------------------------------------
+
+    def session(
+        self,
+        model,
+        weights: np.ndarray,
+        *,
+        engine: str = "noiseless",
+        **engine_kwargs,
+    ) -> "Session":
+        """Open a session; same (model, weights, engine) triples coalesce.
+
+        ``engine_kwargs`` (``rng``, ``samples``, ``shots``, ...) forward
+        to the engine factory and only apply when this call creates the
+        key -- a second session on an existing key shares the first
+        session's executor (that is what makes coalescing across users
+        possible at all).
+        """
+        weights = np.asarray(weights, dtype=float)
+        key = (
+            id(model),
+            hashlib.sha1(np.ascontiguousarray(weights).tobytes()).hexdigest(),
+            engine,
+        )
+        if key in self._endpoints:
+            return Session(self, key)
+        if model.config.normalize and model.fixed_stats is None:
+            raise ValueError(
+                "serving a model with batch-statistics normalization would "
+                "make results depend on request coalescing; pin "
+                "model.fixed_stats (profile_statistics on the validation "
+                "set, paper Table 13) before opening a session"
+            )
+        widest = max(c.circuit.n_qubits for c in model.compiled)
+        noise_model = model.device.noise_model
+        if not engine_spec(engine).capabilities.channels:
+            noise_model = None
+        try:
+            executor = self.config.admission.admit(
+                engine, noise_model, widest=widest, **engine_kwargs
+            )
+        except AdmissionError:
+            self.metrics.rejected += 1
+            raise
+        supervisor = None
+        if self.config.supervised:
+            supervisor = ChunkSupervisor(
+                self.config.supervisor_config or SupervisorConfig()
+            )
+        self._endpoints[key] = _Endpoint(model, weights, executor, supervisor)
+        return Session(self, key)
+
+    def endpoint_executor(self, key):
+        """The executor actually serving ``key`` (fallbacks included)."""
+        return self._endpoints[key].executor
+
+    # -- flush execution ---------------------------------------------------
+
+    def _execute(self, key, inputs: np.ndarray) -> np.ndarray:
+        ep = self._endpoints[key]
+        rng = getattr(ep.executor, "rng", None)
+        state = None
+        if self.config.record_flushes and rng is not None:
+            state = rng.bit_generator.state
+        if ep.supervisor is not None:
+            outputs = ep.supervisor.call(
+                ep.model.predict,
+                ep.weights,
+                inputs,
+                ep.executor,
+                rng=rng,
+                index=ep.flush_index,
+            )
+        else:
+            outputs = ep.model.predict(ep.weights, inputs, ep.executor)
+        ep.flush_index += 1
+        self.metrics.record_flush(inputs.shape[0])
+        if self.config.record_flushes:
+            self.flush_log.append(
+                _FlushRecord(key, inputs.copy(), outputs.copy(), state)
+            )
+        return outputs
+
+    def verify_flush_log(self) -> int:
+        """Replay every recorded flush; assert bitwise-equal outputs.
+
+        Each entry re-runs the *same* ``model.predict`` over the same
+        stacked inputs with the executor's RNG restored to its pre-flush
+        state -- the per-request serial call a lone user would have made
+        -- and the replay must reproduce the served logits bit for bit.
+        Returns the number of flushes verified; the executor's live RNG
+        state is preserved around the replays.
+        """
+        verified = 0
+        for rec in self.flush_log:
+            ep = self._endpoints[rec.key]
+            rng = getattr(ep.executor, "rng", None)
+            live_state = None
+            if rng is not None and rec.rng_state is not None:
+                live_state = rng.bit_generator.state
+                rng.bit_generator.state = rec.rng_state
+            try:
+                replay = ep.model.predict(ep.weights, rec.inputs, ep.executor)
+            finally:
+                if live_state is not None:
+                    rng.bit_generator.state = live_state
+            if not np.array_equal(replay, rec.outputs):
+                raise AssertionError(
+                    "coalesced flush is not bit-equivalent to the serial "
+                    f"predict over the same stack (key={rec.key!r}, "
+                    f"rows={rec.inputs.shape[0]})"
+                )
+            verified += 1
+        return verified
+
+    def close(self) -> None:
+        """Flush pending requests and drop endpoints."""
+        self.coalescer.close()
+        self._endpoints.clear()
+
+
+class Session:
+    """One caller's handle: ``await session.predict(x)``."""
+
+    def __init__(self, server: InferenceServer, key) -> None:
+        self.server = server
+        self.key = key
+
+    @property
+    def executor(self):
+        return self.server.endpoint_executor(self.key)
+
+    async def predict(
+        self,
+        x: np.ndarray,
+        *,
+        deadline_s: "float | None" = None,
+    ) -> np.ndarray:
+        """Logits for ``x`` (1-D: one sample in/out; 2-D: a batch).
+
+        The call parks in the coalescing window and resolves when its
+        sweep executes.  ``deadline_s`` bounds the wait end to end;
+        missing it cancels the parked request (its rows never execute)
+        and raises :class:`DeadlineExceeded`.
+        """
+        t0 = time.perf_counter()
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        rows = x[None, :] if single else x
+        limit = self.server.config.admission.max_rows_per_request
+        if limit is not None and rows.shape[0] > limit:
+            self.server.metrics.rejected += 1
+            raise AdmissionError(
+                f"request of {rows.shape[0]} rows exceeds the front door's "
+                f"max_rows_per_request={limit} policy"
+            )
+        future = self.server.coalescer.submit(self.key, rows)
+        try:
+            if deadline_s is not None:
+                outputs = await asyncio.wait_for(future, deadline_s)
+            else:
+                outputs = await future
+        except asyncio.TimeoutError:
+            self.server.metrics.deadline_misses += 1
+            raise DeadlineExceeded(
+                f"request missed its {deadline_s}s deadline while parked"
+            ) from None
+        self.server.metrics.record_latency(time.perf_counter() - t0)
+        return outputs[0] if single else outputs

@@ -343,3 +343,30 @@ def test_registry_covers_all_channel_features():
     assert set().union(*MIXES.values()) == set(ALL_CHANNEL_KINDS)
     for feature in ALL_CHANNEL_KINDS:
         assert any(feature in engine.features for engine in ENGINES)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [s for s in engine_specs() if s.factory is not None],
+    ids=lambda s: s.name,
+)
+def test_every_engine_executor_conforms_to_protocol(spec, device):
+    """Every registered evaluation factory yields an EvalExecutor.
+
+    ``pipeline.predict`` dispatches on the :class:`EvalExecutor` /
+    :class:`InferenceExecutor` protocols instead of duck-typed getattr
+    probes, so protocol conformance is part of an engine's enrollment
+    contract: a registered backend whose executor stops conforming
+    would silently fall off the serving and inference paths.
+    """
+    from repro.core.executors import EvalExecutor, InferenceExecutor
+
+    model = _build_model(device.n_qubits, MIXES["pauli"])
+    executor = spec.factory(model, rng=as_rng(0), samples=4, shots=None)
+    assert isinstance(executor, EvalExecutor), spec.name
+    assert isinstance(executor.differentiable, bool), spec.name
+    # Tape-free executors additionally satisfy the inference protocol;
+    # conformance must match whether the method actually exists.
+    assert isinstance(executor, InferenceExecutor) == hasattr(
+        executor, "forward_inference"
+    ), spec.name

@@ -153,6 +153,6 @@ def test_ten_qubit_model_runs_end_to_end():
     weights = qnn.init_weights(0)
     logits = model.predict(weights, task.test_x)
     assert logits.shape == (8, 10)
-    executor = make_real_qc_executor(model, shots=1024, rng=1, n_trajectories=4)
+    executor = make_real_qc_executor(model, shots=1024, rng=1, samples=4)
     acc, loss = model.evaluate(weights, task.test_x, task.test_y, executor)
     assert 0 <= acc <= 1 and np.isfinite(loss)

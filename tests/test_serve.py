@@ -1,0 +1,400 @@
+"""Serving-layer semantics: coalescer, admission, deadlines, equivalence.
+
+The coalescer tests drive :class:`repro.serve.BatchCoalescer` directly
+with a recording execute stub (window flush ordering, max-batch
+splitting, per-key isolation, cancellation mid-window); the end-to-end
+tests stand up an :class:`InferenceServer` over real registry engines
+and assert the serving layer's core contract -- a coalesced flush is
+*bit-identical* to the serial ``predict`` a lone caller would have run
+over the same stack with the same executor RNG state.
+
+No pytest-asyncio in the environment: each test owns its loop via
+``asyncio.run``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.engine import create_engine
+from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+from repro.noise import get_device
+from repro.qnn import paper_model
+from repro.runtime.errors import DegradedExecution
+from repro.serve import (
+    AdmissionError,
+    AdmissionPolicy,
+    BatchCoalescer,
+    DeadlineExceeded,
+    InferenceServer,
+    ServeConfig,
+)
+
+
+# ---------------------------------------------------------------------------
+# coalescer semantics (no engines: recording execute stub)
+# ---------------------------------------------------------------------------
+
+
+class RecordingExecute:
+    """Execute stub: logs every (key, stacked rows) sweep it receives.
+
+    Outputs echo the input rows so slicing bugs surface as value bugs.
+    """
+
+    def __init__(self):
+        self.sweeps = []
+
+    def __call__(self, key, rows):
+        self.sweeps.append((key, rows.copy()))
+        return rows * 2.0
+
+
+def test_window_flush_preserves_submission_order():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(execute, window_s=0.005, max_batch=64)
+        rows = [np.full((1, 3), float(i)) for i in range(5)]
+        futures = [coalescer.submit("k", r) for r in rows]
+        return await asyncio.gather(*futures)
+
+    outs = asyncio.run(main())
+    assert len(execute.sweeps) == 1
+    key, stacked = execute.sweeps[0]
+    assert key == "k"
+    # Stacked in submission order...
+    np.testing.assert_array_equal(stacked[:, 0], [0, 1, 2, 3, 4])
+    # ...and each caller got exactly its own slice back.
+    for i, out in enumerate(outs):
+        np.testing.assert_array_equal(out, np.full((1, 3), 2.0 * i))
+
+
+def test_overflow_flush_at_max_batch_splits_at_request_granularity():
+    execute = RecordingExecute()
+
+    async def main():
+        # window far longer than the test: only the size trigger fires.
+        coalescer = BatchCoalescer(execute, window_s=10.0, max_batch=4)
+        futures = [
+            coalescer.submit("k", np.full((3, 2), float(i))) for i in range(2)
+        ]
+        return await asyncio.gather(*futures)
+
+    outs = asyncio.run(main())
+    # 3 + 3 rows crossed max_batch=4 -> immediate flush, split into two
+    # sweeps because 6 rows exceed max_batch but neither request does.
+    assert [s[1].shape[0] for s in execute.sweeps] == [3, 3]
+    assert all(out.shape == (3, 2) for out in outs)
+
+
+def test_oversized_single_request_splits_by_rows():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(execute, window_s=10.0, max_batch=4)
+        return await coalescer.submit("k", np.arange(20.0).reshape(10, 2))
+
+    out = asyncio.run(main())
+    assert [s[1].shape[0] for s in execute.sweeps] == [4, 4, 2]
+    np.testing.assert_array_equal(out, np.arange(20.0).reshape(10, 2) * 2)
+
+
+def test_per_key_isolation():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(execute, window_s=0.005, max_batch=64)
+        fa = coalescer.submit("a", np.zeros((2, 2)))
+        fb = coalescer.submit("b", np.ones((3, 2)))
+        return await asyncio.gather(fa, fb)
+
+    asyncio.run(main())
+    # One sweep per key; rows from different keys never stack together.
+    assert sorted((key, rows.shape[0]) for key, rows in execute.sweeps) == [
+        ("a", 2),
+        ("b", 3),
+    ]
+
+
+def test_cancellation_mid_window_drops_rows_before_execution():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(execute, window_s=0.01, max_batch=64)
+        doomed = coalescer.submit("k", np.full((2, 2), -1.0))
+        kept = coalescer.submit("k", np.zeros((1, 2)))
+        doomed.cancel()
+        out = await kept
+        with pytest.raises(asyncio.CancelledError):
+            await doomed
+        return out
+
+    out = asyncio.run(main())
+    # The cancelled request's rows never reached the engine.
+    assert len(execute.sweeps) == 1
+    assert execute.sweeps[0][1].shape[0] == 1
+    np.testing.assert_array_equal(out, np.zeros((1, 2)))
+
+
+def test_execution_error_propagates_to_every_request_in_the_sweep():
+    def explode(key, rows):
+        raise RuntimeError("engine on fire")
+
+    async def main():
+        coalescer = BatchCoalescer(explode, window_s=0.005, max_batch=64)
+        futures = [coalescer.submit("k", np.zeros((1, 2))) for _ in range(3)]
+        return await asyncio.gather(*futures, return_exceptions=True)
+
+    results = asyncio.run(main())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_close_flushes_pending_requests():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(execute, window_s=10.0, max_batch=64)
+        future = coalescer.submit("k", np.ones((2, 2)))
+        coalescer.close()
+        return await future
+
+    out = asyncio.run(main())
+    np.testing.assert_array_equal(out, np.full((2, 2), 2.0))
+
+
+# ---------------------------------------------------------------------------
+# end-to-end serving over real engines
+# ---------------------------------------------------------------------------
+
+
+def _endpoint(n_qubits=4, device="santiago", config=None, seed=0):
+    qnn = paper_model(n_qubits, 1, 1 if n_qubits > 4 else 2, 36 if n_qubits > 4 else 16, 4)
+    model = QuantumNATModel(
+        qnn, get_device(device), config or QuantumNATConfig.baseline(),
+        rng=seed,
+    )
+    return model, qnn.init_weights(seed)
+
+
+def test_coalesced_density_bit_equivalent_to_serial_predict():
+    """The tentpole contract, exact engine: every flush replays bitwise."""
+    model, weights = _endpoint()
+    rng = np.random.default_rng(0)
+    requests = rng.normal(size=(12, 16))
+
+    async def main():
+        server = InferenceServer(
+            ServeConfig(window_s=0.005, max_batch=8, record_flushes=True)
+        )
+        session = server.session(model, weights, engine="density", rng=0)
+        outs = await asyncio.gather(*[session.predict(x) for x in requests])
+        return server, np.stack(outs)
+
+    server, coalesced = asyncio.run(main())
+    assert server.verify_flush_log() == server.metrics.flushes >= 2
+    # Serial replay of the flush stream on a *fresh* identically seeded
+    # executor reproduces exactly what the server returned.
+    serial_ex = create_engine("density", model.device.noise_model, rng=0)
+    for rec in server.flush_log:
+        serial = model.predict(weights, rec.inputs, serial_ex)
+        np.testing.assert_array_equal(serial, rec.outputs)
+    server.close()
+
+
+def test_coalesced_trajectory_bit_equivalent_to_serial_stream():
+    """Stochastic engine: the coalesced run consumes the same RNG stream
+    a serial caller would, so a fresh executor seeded identically
+    reproduces every flush bit for bit in order."""
+    model, weights = _endpoint()
+    rng = np.random.default_rng(1)
+    requests = rng.normal(size=(10, 16))
+
+    async def main():
+        server = InferenceServer(
+            ServeConfig(window_s=0.005, max_batch=4, record_flushes=True)
+        )
+        session = server.session(
+            model, weights, engine="trajectory", rng=7, samples=4, shots=None
+        )
+        outs = await asyncio.gather(*[session.predict(x) for x in requests])
+        return server, np.stack(outs)
+
+    server, coalesced = asyncio.run(main())
+    assert server.verify_flush_log() == server.metrics.flushes
+    serial_ex = create_engine(
+        "trajectory", model.device.noise_model, rng=7, samples=4, shots=None
+    )
+    served = []
+    for rec in server.flush_log:
+        serial = model.predict(weights, rec.inputs, serial_ex)
+        np.testing.assert_array_equal(serial, rec.outputs)
+        served.append(rec.outputs)
+    # And the flush stream covers exactly the submitted rows in order.
+    np.testing.assert_array_equal(np.concatenate(served), coalesced)
+    server.close()
+
+
+def test_sessions_sharing_a_key_coalesce_across_users():
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(ServeConfig(window_s=0.005, max_batch=64))
+        alice = server.session(model, weights, engine="density", rng=0)
+        bob = server.session(model, weights, engine="density")
+        assert alice.key == bob.key
+        assert alice.executor is bob.executor
+        await asyncio.gather(
+            alice.predict(np.zeros(16)), bob.predict(np.ones(16))
+        )
+        return server
+
+    server = asyncio.run(main())
+    # Both users' rows executed as one stacked sweep.
+    assert server.metrics.flush_sizes == [2]
+    server.close()
+
+
+def test_single_row_and_batch_shapes():
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(ServeConfig(window_s=0.002))
+        session = server.session(model, weights)
+        one = await session.predict(np.zeros(16))
+        many = await session.predict(np.zeros((3, 16)))
+        server.close()
+        return one, many
+
+    one, many = asyncio.run(main())
+    assert one.shape == (4,)
+    assert many.shape == (3, 4)
+
+
+def test_admission_fallback_routes_wide_request():
+    """10 qubits exceed density's width cap: the session degrades to the
+    registry's fallback chain instead of failing."""
+    model, weights = _endpoint(n_qubits=10, device="melbourne")
+
+    async def main():
+        server = InferenceServer(ServeConfig(window_s=0.002))
+        with pytest.warns(DegradedExecution):
+            session = server.session(
+                model, weights, engine="density", rng=0, samples=2
+            )
+        out = await session.predict(np.zeros(36))
+        server.close()
+        return out
+
+    out = asyncio.run(main())
+    assert out.shape == (4,)
+
+
+def test_admission_reject_policy_refuses_unservable_sessions():
+    model, weights = _endpoint(n_qubits=10, device="melbourne")
+    server = InferenceServer(
+        ServeConfig(admission=AdmissionPolicy(on_unservable="reject"))
+    )
+    with pytest.raises(AdmissionError, match="width cap"):
+        server.session(model, weights, engine="density")
+    assert server.metrics.rejected == 1
+    # The refusal carries the capability matrix so callers can re-route.
+    with pytest.raises(AdmissionError, match="max qubits"):
+        server.session(model, weights, engine="density")
+
+
+def test_admission_max_rows_per_request():
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(
+            ServeConfig(admission=AdmissionPolicy(max_rows_per_request=4))
+        )
+        session = server.session(model, weights)
+        with pytest.raises(AdmissionError, match="max_rows_per_request"):
+            await session.predict(np.zeros((5, 16)))
+        out = await session.predict(np.zeros((4, 16)))
+        server.close()
+        return server, out
+
+    server, out = asyncio.run(main())
+    assert out.shape == (4, 4)
+    assert server.metrics.rejected == 1
+
+
+def test_deadline_exceeded_cancels_parked_request():
+    model, weights = _endpoint()
+
+    async def main():
+        # Window much longer than the deadline: the request must die
+        # parked, and its rows must never execute.
+        server = InferenceServer(ServeConfig(window_s=0.5, max_batch=64))
+        session = server.session(model, weights)
+        with pytest.raises(DeadlineExceeded):
+            await session.predict(np.zeros(16), deadline_s=0.01)
+        # A later request on the same key is unaffected.
+        out = await session.predict(np.ones(16), deadline_s=5.0)
+        server.close()
+        return server, out
+
+    server, out = asyncio.run(main())
+    assert out.shape == (4,)
+    assert server.metrics.deadline_misses == 1
+    # Only the surviving request's row ever reached the engine.
+    assert server.metrics.flush_sizes == [1]
+
+
+def test_supervised_flushes_run_under_chunk_supervisor():
+    from repro.runtime.supervisor import SupervisorConfig
+
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(
+            ServeConfig(
+                window_s=0.002,
+                supervised=True,
+                supervisor_config=SupervisorConfig(deadline_s=30.0),
+                record_flushes=True,
+            )
+        )
+        session = server.session(
+            model, weights, engine="trajectory", rng=3, samples=2, shots=None
+        )
+        outs = await asyncio.gather(
+            *[session.predict(np.full(16, float(i))) for i in range(3)]
+        )
+        return server, outs
+
+    server, outs = asyncio.run(main())
+    assert len(outs) == 3
+    assert server.verify_flush_log() >= 1
+    endpoint = server._endpoints[next(iter(server._endpoints))]
+    assert endpoint.supervisor is not None
+    assert endpoint.supervisor.last_report.chunks == 1
+    server.close()
+
+
+def test_batch_stats_normalization_requires_fixed_stats():
+    """Batch-statistics normalization depends on who coalesces with whom
+    -- the server refuses it until fixed validation statistics are
+    pinned (paper Table 13)."""
+    model, weights = _endpoint(
+        config=QuantumNATConfig(normalize=True, quantize=False)
+    )
+    server = InferenceServer(ServeConfig())
+    with pytest.raises(ValueError, match="fixed_stats"):
+        server.session(model, weights)
+
+    model.fixed_stats = model.profile_statistics(
+        weights, np.random.default_rng(0).normal(size=(32, 16))
+    )
+
+    async def main():
+        session = server.session(model, weights)
+        return await session.predict(np.zeros(16))
+
+    out = asyncio.run(main())
+    assert out.shape == (4,)
+    server.close()
