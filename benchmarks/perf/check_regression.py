@@ -67,10 +67,20 @@ SPEEDUP_SCENARIOS = frozenset({
     "supervised_trajectory",
 })
 
+#: Scenarios gated on ``goodput`` instead of a timing ratio: the chaos
+#: harness pins its seed and runs every outcome-deciding clock on
+#: deterministic ticks, so goodput is machine-independent and a fresh
+#: run completing *fewer* requests than the committed baseline is a
+#: hard failure (the resilience stack broke), not noise.
+GOODPUT_SCENARIOS = frozenset({"serve_chaos_goodput"})
+
 #: Scenarios the gate refuses to run without: the speedup pairs above,
-#: plus the sharded-trajectory scenario whose bit-identity check rides
-#: along in the harness (its timing ratio is deliberately not gated).
-REQUIRED_SCENARIOS = SPEEDUP_SCENARIOS | {"sharded_trajectory"}
+#: the chaos goodput scenario, plus the sharded-trajectory scenario
+#: whose bit-identity check rides along in the harness (its timing
+#: ratio is deliberately not gated).
+REQUIRED_SCENARIOS = (
+    SPEEDUP_SCENARIOS | GOODPUT_SCENARIOS | {"sharded_trajectory"}
+)
 
 
 def compare_reports(
@@ -112,7 +122,20 @@ def compare_reports(
             row["fresh_speedup"] = new_sp
             if new_sp < base_sp / threshold:
                 row["regressed_speedup"] = True
-        row["regressed"] = row["regressed_absolute"] or row["regressed_speedup"]
+        row["regressed_goodput"] = False
+        if "goodput" in record and "goodput" in new:
+            base_gp, new_gp = float(record["goodput"]), float(new["goodput"])
+            row["baseline_goodput"] = base_gp
+            row["fresh_goodput"] = new_gp
+            # Goodput is deterministic under the harness's pinned seed:
+            # any drop below the committed baseline is a hard failure.
+            if new_gp < base_gp - 1e-12:
+                row["regressed_goodput"] = True
+        row["regressed"] = (
+            row["regressed_absolute"]
+            or row["regressed_speedup"]
+            or row["regressed_goodput"]
+        )
         rows.append(row)
     return rows
 
@@ -121,8 +144,9 @@ def missing_required(baseline: dict, fresh: dict) -> "list[str]":
     """Required scenarios absent or de-fanged in either report, sorted.
 
     A :data:`SPEEDUP_SCENARIOS` entry counts as missing when either
-    report drops its ``speedup`` field -- the hard criterion compares
-    that column, so losing the key must read as schema breakage, not as
+    report drops its ``speedup`` field, and a :data:`GOODPUT_SCENARIOS`
+    entry when either drops ``goodput`` -- the hard criteria compare
+    those columns, so losing a key must read as schema breakage, not as
     a scenario that quietly passes.
     """
     missing = set(REQUIRED_SCENARIOS)
@@ -133,6 +157,10 @@ def missing_required(baseline: dict, fresh: dict) -> "list[str]":
             continue
         if name in SPEEDUP_SCENARIOS and not (
             "speedup" in base_row and "speedup" in fresh_row
+        ):
+            continue
+        if name in GOODPUT_SCENARIOS and not (
+            "goodput" in base_row and "goodput" in fresh_row
         ):
             continue
         missing.discard(name)
@@ -181,10 +209,17 @@ def main(argv: "list[str] | None" = None) -> int:
         fresh = run_benchmarks(scale=scale, out_path=None)
 
     rows = compare_reports(baseline, fresh, args.threshold)
-    hard = [r for r in rows if r["regressed_speedup"]]
-    advisory = [r for r in rows if r["regressed_absolute"] and not r["regressed_speedup"]]
+    hard = [
+        r for r in rows if r["regressed_speedup"] or r["regressed_goodput"]
+    ]
+    advisory = [
+        r
+        for r in rows
+        if r["regressed_absolute"]
+        and not (r["regressed_speedup"] or r["regressed_goodput"])
+    ]
     for r in rows:
-        if r["regressed_speedup"]:
+        if r["regressed_speedup"] or r["regressed_goodput"]:
             flag = "REGRESSED"
         elif r["regressed_absolute"]:
             flag = "slow (advisory)"
@@ -195,6 +230,11 @@ def main(argv: "list[str] | None" = None) -> int:
             speedups = (
                 f"   speedup {r['baseline_speedup']:6.2f}x"
                 f" -> {r['fresh_speedup']:6.2f}x"
+            )
+        if "baseline_goodput" in r:
+            speedups += (
+                f"   goodput {r['baseline_goodput']:.3f}"
+                f" -> {r['fresh_goodput']:.3f}"
             )
         print(
             f"{r['scenario']:24s} baseline {r['baseline_s']*1e3:9.2f} ms   "
@@ -225,11 +265,14 @@ def main(argv: "list[str] | None" = None) -> int:
     if hard:
         names = ", ".join(r["scenario"] for r in hard)
         verdict = "warning (soft mode)" if args.soft else "FAIL"
-        print(f"{verdict}: speedup collapsed >{args.threshold}x in: {names}")
+        print(
+            f"{verdict}: speedup collapsed >{args.threshold}x "
+            f"or goodput dropped in: {names}"
+        )
         return 0 if args.soft else 1
     print(
         f"perf gate passed ({len(rows)} scenarios, speedups within "
-        f"{args.threshold}x of baseline)"
+        f"{args.threshold}x of baseline, goodput at baseline)"
     )
     return 0
 

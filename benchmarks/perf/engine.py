@@ -573,6 +573,18 @@ def run_benchmarks(
     bench["serve_throughput"] = serve_record
     equiv.update(serve_equiv)
 
+    # -- serving layer under chaos: resilience goodput ----------------------
+    # Deterministic fault injection against the hardened front door
+    # (backpressure shed, supervised retry, breaker trip/probe, drain).
+    # ``goodput`` is a pure function of the harness parameters (pinned
+    # internal seed, TickClock cooldowns, explicit wave flushes), so the
+    # regression gate compares it hard across machines.
+    from serve_chaos import run_serve_chaos
+
+    chaos_record, chaos_equiv = run_serve_chaos(scale)
+    bench["serve_chaos_goodput"] = chaos_record
+    equiv.update(chaos_equiv)
+
     # -- short end-to-end noise-injected training --------------------------
     n_train = cfg["n_train"]
     train_x = rng.normal(0, 1, (n_train, 16))
@@ -614,6 +626,7 @@ def run_benchmarks(
         "fused_inference_max_err",
         "serve_vs_naive_max_err",
         "serve_poisson_vs_naive_max_err",
+        "serve_chaos_value_max_err",
     ):
         if equiv[key] > EXACT_TOL:
             raise AssertionError(

@@ -38,10 +38,14 @@ def test_engine_smoke(tmp_path):
                 "sharded_trajectory", "supervised_trajectory",
                 "training_step", "stacked_noise_training",
                 "fused_inference", "serve_throughput",
+                "serve_chaos_goodput",
                 "end_to_end_training"):
         assert key in bench
     for key in ("speedup", "requests_per_s", "p50_ms", "p99_ms"):
         assert key in bench["serve_throughput"]
+    for key in ("goodput", "completed", "n_requests", "failures",
+                "breaker_trips", "breaker_probes"):
+        assert key in bench["serve_chaos_goodput"]
     for key in ("1q_diagonal_rz", "2q_cx"):
         assert key in report["kernels"]
 
@@ -87,6 +91,18 @@ def test_engine_smoke(tmp_path):
     assert bench["serve_throughput"]["speedup"] > 1.5
     assert equiv["serve_vs_naive_max_err"] < 1e-10
     assert equiv["serve_flushes_verified"] > 0
+    # Chaos goodput is deterministic (pinned seed, tick clock, explicit
+    # flush waves), so it is exact here, not a noisy bound.  Every
+    # non-completed request failed with exactly one typed error and
+    # every executed flush replayed bit-identically.
+    chaos = bench["serve_chaos_goodput"]
+    assert chaos["completed"] + sum(chaos["failures"].values()) \
+        == chaos["n_requests"]
+    assert chaos["goodput"] > 0.0
+    assert chaos["breaker_trips"] > 0  # the breaker path was exercised
+    assert equiv["serve_chaos_untyped_failures"] == 0
+    assert equiv["serve_chaos_value_max_err"] < 1e-10
+    assert equiv["serve_chaos_flushes_verified"] > 0
 
 
 def test_regression_gate_against_fresh_self(tmp_path):

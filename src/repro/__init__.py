@@ -87,11 +87,18 @@ from repro.mitigation import zne_expectations, mitigate_expectations
 from repro.noise import get_device, list_devices, Device, NoiseModel, PauliError
 from repro.qasm import from_qasm, to_qasm
 from repro.qnn import QNN, QNNArchitecture, paper_model, head_matrix
-from repro.serve import InferenceServer, ServeConfig, Session
+from repro.serve import (
+    CircuitOpen,
+    InferenceServer,
+    Overloaded,
+    ServeConfig,
+    ServerClosed,
+    Session,
+)
 from repro import serve
 from repro.viz import draw_circuit
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Circuit",
@@ -163,5 +170,8 @@ __all__ = [
     "InferenceServer",
     "ServeConfig",
     "Session",
+    "Overloaded",
+    "CircuitOpen",
+    "ServerClosed",
     "__version__",
 ]

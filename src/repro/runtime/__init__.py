@@ -33,9 +33,12 @@ from repro.runtime.errors import (
     WorkerCrash,
 )
 from repro.runtime.faults import (
+    ALL_FAULT_KINDS,
     FAULT_KINDS,
+    SERVE_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
+    InjectedFlushError,
     chaos_seed,
     inject_faults,
 )
@@ -47,7 +50,9 @@ from repro.runtime.supervisor import (
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "ChunkCorruption",
     "ChunkFault",
     "ChunkSupervisor",
@@ -57,6 +62,7 @@ __all__ = [
     "EngineUnavailable",
     "FaultPlan",
     "FaultSpec",
+    "InjectedFlushError",
     "RetryExhausted",
     "RuntimeFault",
     "SupervisionReport",

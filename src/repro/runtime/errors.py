@@ -24,6 +24,12 @@ from "degrade to another backend" from "give up":
   recovered by falling back (``density`` -> ``mcwf``, worker pool ->
   serial) and execution continued on the degraded path.  Carries the
   fallback path so callers and logs can see what actually ran.
+
+The serving layer extends the taxonomy from :mod:`repro.serve.errors`:
+``Overloaded`` (backpressure shed), ``CircuitOpen`` (endpoint breaker
+open) and ``ServerClosed`` (drained/closed server) all subclass
+:class:`RuntimeFault`, so ``except RuntimeFault`` covers front-door
+refusals and execution faults alike.
 """
 
 from __future__ import annotations

@@ -22,6 +22,19 @@ chaos actions:
   checksum was computed (a torn/garbled result in transit), so checksum
   validation must catch it.
 
+The serving layer (PR 8) extends the vocabulary with three
+*serve-scoped* kinds, keyed by ``(seed, endpoint label, flush index,
+attempt)`` instead of chunk coordinates:
+
+* ``"flush-raise"``   -- raise :class:`InjectedFlushError` before a
+  coalesced flush sweep executes (the engine blowing up under a whole
+  batch of requests at once);
+* ``"flush-delay"``   -- sleep before the sweep runs (a stalled flush:
+  parked requests blow their deadlines while the loop is blocked);
+* ``"slow-executor"`` -- sleep *as if inside* the executor's forward
+  (a degraded engine; under a supervised flush the supervisor's
+  per-attempt deadline classifies it as a :class:`ChunkTimeout`).
+
 Specs are plain picklable dataclasses: the supervisor resolves the
 schedule in the parent and ships the spec with the task, so process
 workers need no access to the plan object itself.
@@ -44,9 +57,12 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
+    "InjectedFlushError",
     "InjectedKernelError",
     "InjectedWorkerCrash",
     "active_fault_plan",
@@ -55,8 +71,19 @@ __all__ = [
     "inject_faults",
 ]
 
-#: The chaos vocabulary, in the order probability mass is assigned.
+#: The chunk-level chaos vocabulary, in the order probability mass is
+#: assigned.
 FAULT_KINDS = ("raise", "kill", "delay", "corrupt")
+
+#: Serve-scoped kinds (coalesced-flush chaos), appended after the chunk
+#: kinds in the probability-mass order.
+SERVE_FAULT_KINDS = ("flush-raise", "flush-delay", "slow-executor")
+
+#: Every valid fault kind, chunk and serve scoped, in mass order.
+ALL_FAULT_KINDS = FAULT_KINDS + SERVE_FAULT_KINDS
+
+#: Kinds whose action is a sleep (they carry ``delay_s``).
+_DELAY_KINDS = frozenset({"delay", "flush-delay", "slow-executor"})
 
 #: Environment variable the CI chaos job pins its seed through.
 CHAOS_SEED_ENV = "CHAOS_SEED"
@@ -70,6 +97,10 @@ class InjectedWorkerCrash(RuntimeError):
     """An injected crash standing in for a dead worker (thread/serial)."""
 
 
+class InjectedFlushError(RuntimeError):
+    """An injected exception standing in for an engine failing a flush."""
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One scheduled chaos action, picklable into process workers."""
@@ -79,9 +110,10 @@ class FaultSpec:
     delay_s: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
-                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+                f"fault kind must be one of {ALL_FAULT_KINDS}, "
+                f"got {self.kind!r}"
             )
 
 
@@ -104,11 +136,11 @@ class FaultPlan:
         max_attempt_faults: int = 1,
     ):
         rates = dict(rates or {})
-        unknown = set(rates) - set(FAULT_KINDS)
+        unknown = set(rates) - set(ALL_FAULT_KINDS)
         if unknown:
             raise ValueError(
                 f"unknown fault kinds {sorted(unknown)}; "
-                f"valid kinds: {list(FAULT_KINDS)}"
+                f"valid kinds: {list(ALL_FAULT_KINDS)}"
             )
         total = sum(rates.values())
         if total > 1.0 + 1e-12:
@@ -140,10 +172,10 @@ class FaultPlan:
         ]
         u = np.random.default_rng(np.random.SeedSequence(entropy)).random()
         edge = 0.0
-        for kind in FAULT_KINDS:
+        for kind in ALL_FAULT_KINDS:
             edge += self.rates.get(kind, 0.0)
             if u < edge:
-                if kind == "delay":
+                if kind in _DELAY_KINDS:
                     return FaultSpec(kind, delay_s=self.delay_s)
                 return FaultSpec(kind)
         return None
@@ -164,13 +196,19 @@ def apply_fault(spec: "FaultSpec | None") -> None:
     ``"kill"`` hard-exits only when running in a genuine worker
     *process*; in the parent interpreter it raises
     :class:`InjectedWorkerCrash` instead, standing in for the pool
-    breaking without taking the test suite down.
+    breaking without taking the test suite down.  The serve-scoped
+    kinds act here too: ``"flush-raise"`` raises
+    :class:`InjectedFlushError`, ``"flush-delay"``/``"slow-executor"``
+    sleep (under a supervised flush the supervisor's per-attempt
+    deadline turns the sleep into a typed timeout).
     """
     if spec is None or spec.kind == "corrupt":
         return
-    if spec.kind == "delay":
+    if spec.kind in _DELAY_KINDS:
         time.sleep(spec.delay_s)
         return
+    if spec.kind == "flush-raise":
+        raise InjectedFlushError("injected flush failure")
     if spec.kind == "kill":
         import multiprocessing
 

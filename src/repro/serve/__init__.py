@@ -17,11 +17,24 @@ user would have made (``InferenceServer.verify_flush_log`` replays the
 proof).  Admission control routes or rejects unservable requests via
 the registry's capability declarations, and deadlines/supervision reuse
 the fault-tolerant runtime.
+
+The front door is also hardened (PR 8): bounded backpressure with a
+deterministic load-shedding policy (typed :class:`Overloaded`),
+per-endpoint circuit breakers over the runtime failure taxonomy
+(:class:`CircuitBreaker`, typed :class:`CircuitOpen`, optional reroute
+through the engine fallback chain), graceful drain with typed
+:class:`ServerClosed` for stragglers, and readiness/health snapshots
+(:class:`HealthSnapshot`).  Every refusal subclasses
+:class:`~repro.runtime.errors.RuntimeFault`, so one ``except`` covers
+front-door refusals and execution faults alike.
 """
 
 from repro.serve.admission import AdmissionError, AdmissionPolicy
-from repro.serve.coalescer import BatchCoalescer
-from repro.serve.metrics import ServeMetrics
+from repro.serve.breaker import BreakerConfig, CircuitBreaker, TickClock
+from repro.serve.coalescer import SHED_POLICIES, BatchCoalescer
+from repro.serve.errors import CircuitOpen, Overloaded, ServerClosed
+from repro.serve.health import EndpointHealth, HealthSnapshot, health_snapshot
+from repro.serve.metrics import LatencyReservoir, ServeMetrics
 from repro.serve.session import (
     DeadlineExceeded,
     InferenceServer,
@@ -30,12 +43,23 @@ from repro.serve.session import (
 )
 
 __all__ = [
+    "SHED_POLICIES",
     "AdmissionError",
     "AdmissionPolicy",
     "BatchCoalescer",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpen",
     "DeadlineExceeded",
+    "EndpointHealth",
+    "HealthSnapshot",
     "InferenceServer",
+    "LatencyReservoir",
+    "Overloaded",
     "ServeConfig",
     "ServeMetrics",
+    "ServerClosed",
     "Session",
+    "TickClock",
+    "health_snapshot",
 ]

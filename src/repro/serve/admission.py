@@ -15,7 +15,10 @@ happens to a request the named engine cannot serve:
   the live capability matrix so the caller can pick a servable engine.
 
 ``max_rows_per_request`` bounds single-request width independently of
-engine capabilities (a front-door payload-size limit).
+engine capabilities (a front-door payload-size limit).  ``describe()``
+renders the policy as a plain dict; the server's health snapshot
+(:mod:`repro.serve.health`) embeds it so a readiness probe shows the
+live admission posture alongside breaker and queue state.
 """
 
 from __future__ import annotations
@@ -52,6 +55,14 @@ class AdmissionPolicy:
                 "on_unservable must be 'fallback' or 'reject', got "
                 f"{self.on_unservable!r}"
             )
+
+    def describe(self) -> "dict[str, object]":
+        """The policy as a plain dict (health snapshots, logs)."""
+        return {
+            "on_unservable": self.on_unservable,
+            "max_qubits": self.max_qubits,
+            "max_rows_per_request": self.max_rows_per_request,
+        }
 
     def admit(self, engine: str, noise_model, *, widest: int, **kwargs):
         """Build the session's executor or raise :class:`AdmissionError`."""

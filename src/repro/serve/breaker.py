@@ -1,0 +1,188 @@
+"""Per-endpoint circuit breakers for the serving layer.
+
+An endpoint whose engine keeps failing (supervised flushes exhausting
+their retry budget, workers crashing, the engine raising outright) must
+stop receiving traffic: every flush routed to it burns a whole window of
+coalesced requests, and PR-6's retry machinery only helps with
+*transient* faults.  :class:`CircuitBreaker` is the classic three-state
+machine, driven by the PR-6 failure taxonomy:
+
+* **closed** -- flushes flow normally.  Each failure whose type matches
+  ``BreakerConfig.trip_on`` (default: any
+  :class:`~repro.runtime.errors.RuntimeFault`, which covers
+  ``RetryExhausted``, ``WorkerCrash`` and every other typed engine
+  fault) increments a consecutive-failure counter; reaching
+  ``failure_threshold`` trips the breaker open.  Any success resets the
+  counter.
+* **open** -- flushes are not routed to the endpoint's engine.  What
+  happens instead is policy (``on_open``): ``"reject"`` fails the
+  flush's requests with a typed :class:`~repro.serve.errors.CircuitOpen`
+  carrying the breaker snapshot; ``"fallback"`` reroutes the flush
+  through the registry's engine fallback chain
+  (:func:`~repro.core.engine.create_engine_with_fallback`) under a
+  :class:`~repro.runtime.errors.DegradedExecution` warning.
+* **half-open** -- after ``cooldown_s`` on the breaker's clock, the next
+  flush is readmitted to the primary engine as a *probe* -- exactly one
+  at a time.  A successful probe closes the breaker; a failed one
+  re-opens it with a fresh cooldown.
+
+Determinism: the breaker never consults wall-clock time directly -- it
+calls ``BreakerConfig.clock``, which defaults to ``time.monotonic`` but
+can be any monotone callable.  :class:`TickClock` advances one tick per
+call, making cooldowns count *breaker decisions* instead of seconds:
+``cooldown_s=3`` with a :class:`TickClock` means "probe after 3 rejected
+flushes", a pure function of the flush sequence, replayable in tests and
+the ``serve_chaos_goodput`` benchmark on any machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime.errors import RuntimeFault
+from repro.serve.errors import CircuitOpen
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CircuitOpen", "TickClock"]
+
+
+class TickClock:
+    """A deterministic clock: each call advances exactly one tick.
+
+    With this as ``BreakerConfig.clock``, cooldowns are measured in
+    breaker decisions rather than seconds -- the open->half-open
+    transition becomes a pure function of the flush sequence, so chaos
+    tests and the goodput benchmark replay identically on any host.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery policy for one endpoint's circuit breaker."""
+
+    #: consecutive counted failures that trip the breaker open.
+    failure_threshold: int = 3
+    #: clock units the breaker stays open before a half-open probe.
+    cooldown_s: float = 1.0
+    #: what an open breaker does with a flush: fail it with
+    #: :class:`CircuitOpen` (``"reject"``) or reroute it through the
+    #: engine fallback chain (``"fallback"``).
+    on_open: str = "reject"
+    #: exception types counted toward tripping; anything else is
+    #: reported but leaves the state machine untouched.
+    trip_on: "tuple[type, ...]" = (RuntimeFault,)
+    #: time source; swap in :class:`TickClock` for deterministic tests.
+    clock: object = field(default=time.monotonic)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}"
+            )
+        if self.on_open not in ("reject", "fallback"):
+            raise ValueError(
+                "on_open must be 'reject' or 'fallback', got "
+                f"{self.on_open!r}"
+            )
+
+
+class CircuitBreaker:
+    """The three-state (closed / open / half-open) breaker machine.
+
+    One instance guards one endpoint.  The serving layer calls
+    :meth:`before_flush` ahead of every flush and feeds the outcome back
+    through :meth:`record_success` / :meth:`record_failure`; flush
+    execution is synchronous on the event-loop thread, so a half-open
+    probe always resolves before the next flush asks -- "one flush at a
+    time" holds by construction.
+    """
+
+    def __init__(self, config: "BreakerConfig | None" = None) -> None:
+        self.config = config or BreakerConfig()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.last_failure: "str | None" = None
+        self.opened_at: "float | None" = None
+        #: lifetime counters (health/metrics).
+        self.trips = 0
+        self.probes = 0
+        self.successes = 0
+        self.failures = 0
+
+    # -- routing decision ---------------------------------------------------
+
+    def before_flush(self) -> str:
+        """Route the next flush: ``"closed"``, ``"probe"`` or ``"open"``.
+
+        ``"closed"`` and ``"probe"`` both mean "run on the primary
+        engine" (a probe is the half-open readmission); ``"open"`` means
+        the caller must apply ``config.on_open`` instead.
+        """
+        if self.state == "closed":
+            return "closed"
+        if self.state == "open":
+            elapsed = self.config.clock() - self.opened_at
+            if elapsed >= self.config.cooldown_s:
+                self.state = "half_open"
+                self.probes += 1
+                return "probe"
+            return "open"
+        # half_open: the prior probe's outcome was never recorded (the
+        # flush was skipped); re-admit one probe rather than wedging.
+        self.probes += 1
+        return "probe"
+
+    def reject(self, endpoint: str = "") -> CircuitOpen:
+        """The typed refusal an open breaker fails a flush with."""
+        return CircuitOpen(
+            f"endpoint {endpoint or '<unnamed>'} breaker is open after "
+            f"{self.consecutive_failures} consecutive engine faults "
+            f"(last: {self.last_failure}); next probe in "
+            f"{self.config.cooldown_s:g} clock units",
+            endpoint=endpoint,
+            consecutive_failures=self.consecutive_failures,
+            last_failure=self.last_failure,
+            cooldown_s=self.config.cooldown_s,
+        )
+
+    # -- outcome feedback ---------------------------------------------------
+
+    def record_success(self) -> None:
+        """A primary-engine flush (or probe) completed: close."""
+        self.successes += 1
+        self.consecutive_failures = 0
+        self.state = "closed"
+        self.opened_at = None
+
+    def record_failure(self, exc: BaseException) -> None:
+        """A primary-engine flush (or probe) failed.
+
+        Only exceptions matching ``config.trip_on`` advance the state
+        machine; others are tallied but change nothing (a caller's bad
+        input is not an endpoint health signal).
+        """
+        self.failures += 1
+        if not isinstance(exc, self.config.trip_on):
+            return
+        self.consecutive_failures += 1
+        self.last_failure = f"{type(exc).__name__}: {exc}"
+        tripping = (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.config.failure_threshold
+        )
+        if tripping:
+            if self.state != "open":
+                self.trips += 1
+            self.state = "open"
+            self.opened_at = self.config.clock()

@@ -19,11 +19,38 @@ sweep exceeds ``max_batch`` rows, and only a single request larger than
 (deadline hit while parked) are dropped before stacking, so their rows
 never execute.
 
+Bounded backpressure: pending rows are capped per key
+(``max_pending_rows_per_key``) and server-wide (``max_pending_rows``).
+An arrival that would exceed a cap triggers the *load-shedding policy*
+(``shed``):
+
+* ``"reject"`` -- refuse the arriving request with a typed
+  :class:`~repro.serve.errors.Overloaded` carrying a queue-depth
+  snapshot (classic tail-drop);
+* ``"oldest"`` -- evict the oldest parked request (head-drop: the
+  arrival that has waited longest is the one most likely already
+  abandoned) and admit the newcomer;
+* ``"newest"`` -- evict the most recently parked request and admit the
+  newcomer.
+
+Every request carries a global arrival sequence number and eviction
+picks strictly by it (scoped to the violated cap's queue), so shedding
+is a **pure function of arrival order** -- the same submission sequence
+sheds the same requests on any host, replayable in tests and the chaos
+benchmark.  A request wider than a cap on its own is always refused
+(no amount of eviction could admit it).
+
 Determinism contract: because rows are stacked in submission order and
 ``execute`` runs synchronously on the event-loop thread, a flush is
 bit-equivalent to one serial ``predict`` call over the identically
 ordered stack with the same executor RNG state -- the property
 ``InferenceServer.verify_flush_log`` replays end-to-end.
+
+Shutdown: :meth:`drain` flushes every parked request then closes;
+:meth:`close` cancels the armed window timers and *fails* parked
+requests with the provided exception (the server passes
+:class:`~repro.serve.errors.ServerClosed`) instead of leaving their
+futures unresolved.
 """
 
 from __future__ import annotations
@@ -33,11 +60,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serve.errors import Overloaded, ServerClosed
 
-@dataclass
+#: The valid load-shedding policies, in documentation order.
+SHED_POLICIES = ("reject", "oldest", "newest")
+
+
+@dataclass(eq=False)
 class _PendingRequest:
     rows: np.ndarray
     future: asyncio.Future
+    #: global arrival sequence number; shedding picks strictly by it.
+    seq: int = 0
 
 
 @dataclass
@@ -62,28 +96,64 @@ class BatchCoalescer:
         *,
         window_s: float = 0.002,
         max_batch: int = 64,
+        max_pending_rows_per_key: "int | None" = None,
+        max_pending_rows: "int | None" = None,
+        shed: str = "reject",
     ) -> None:
         if window_s < 0:
             raise ValueError("window_s must be >= 0")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if shed not in SHED_POLICIES:
+            raise ValueError(
+                f"shed must be one of {SHED_POLICIES}, got {shed!r}"
+            )
+        for name, cap in (
+            ("max_pending_rows_per_key", max_pending_rows_per_key),
+            ("max_pending_rows", max_pending_rows),
+        ):
+            if cap is not None and cap < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {cap}")
         self.execute = execute
         self.window_s = window_s
         self.max_batch = max_batch
+        self.max_pending_rows_per_key = max_pending_rows_per_key
+        self.max_pending_rows = max_pending_rows
+        self.shed = shed
         self._queues: "dict[object, _KeyQueue]" = {}
+        self._pending_rows = 0
+        self._seq = 0
+        self._closed = False
+        #: requests shed by backpressure (rejected or evicted).
+        self.shed_count = 0
 
     # -- submission --------------------------------------------------------
 
     def submit(self, key, rows: np.ndarray) -> "asyncio.Future[np.ndarray]":
-        """Park ``rows`` (2-D) under ``key``; resolves with their outputs."""
+        """Park ``rows`` (2-D) under ``key``; resolves with their outputs.
+
+        Raises :class:`ServerClosed` after :meth:`close`/:meth:`drain`,
+        and :class:`Overloaded` when backpressure refuses the request
+        (``shed="reject"``, or a request wider than a cap on its own).
+        Under ``shed="oldest"``/``"newest"`` the *evicted* requests'
+        futures fail with :class:`Overloaded` instead.
+        """
+        if self._closed:
+            raise ServerClosed(
+                "coalescer is closed; no new requests are admitted",
+                state="closed",
+            )
         loop = asyncio.get_running_loop()
         rows = np.asarray(rows, dtype=float)
         if rows.ndim != 2:
             raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+        self._admit(key, rows.shape[0])
         future: "asyncio.Future[np.ndarray]" = loop.create_future()
         queue = self._queues.setdefault(key, _KeyQueue())
-        queue.pending.append(_PendingRequest(rows, future))
+        queue.pending.append(_PendingRequest(rows, future, self._seq))
+        self._seq += 1
         queue.n_rows += rows.shape[0]
+        self._pending_rows += rows.shape[0]
         if queue.n_rows >= self.max_batch:
             self._flush(key)
         elif queue.timer is None:
@@ -92,7 +162,119 @@ class BatchCoalescer:
 
     @property
     def pending_rows(self) -> int:
-        return sum(q.n_rows for q in self._queues.values())
+        return self._pending_rows
+
+    def pending_rows_for(self, key) -> int:
+        """Parked rows under one coalescing key (health snapshots)."""
+        queue = self._queues.get(key)
+        return 0 if queue is None else queue.n_rows
+
+    # -- backpressure ------------------------------------------------------
+
+    def _overloaded(self, key, n: int, shed: str, what: str) -> Overloaded:
+        queue = self._queues.get(key)
+        return Overloaded(
+            f"{what} ({n} rows; key has "
+            f"{0 if queue is None else queue.n_rows} pending rows of "
+            f"{self.max_pending_rows_per_key}, server has "
+            f"{self._pending_rows} of {self.max_pending_rows}; "
+            f"shed policy {shed!r})",
+            key=key,
+            shed=shed,
+            n_rows=n,
+            pending_rows_key=0 if queue is None else queue.n_rows,
+            pending_rows_total=self._pending_rows,
+            max_pending_rows_per_key=self.max_pending_rows_per_key,
+            max_pending_rows=self.max_pending_rows,
+        )
+
+    def _admit(self, key, n: int) -> None:
+        """Enforce the pending-row caps for an ``n``-row arrival.
+
+        Either returns (capacity exists, possibly after deterministic
+        eviction) or raises :class:`Overloaded` for the arrival itself.
+        """
+        cap_key = self.max_pending_rows_per_key
+        cap_total = self.max_pending_rows
+        if cap_key is None and cap_total is None:
+            return
+        # A request wider than a cap can never be admitted: no eviction
+        # sequence frees enough room, so every policy refuses it.
+        if (cap_key is not None and n > cap_key) or (
+            cap_total is not None and n > cap_total
+        ):
+            self.shed_count += 1
+            raise self._overloaded(
+                key, n, self.shed, "request wider than a pending-row cap"
+            )
+        while True:
+            key_rows = self.pending_rows_for(key)
+            key_over = cap_key is not None and key_rows + n > cap_key
+            total_over = (
+                cap_total is not None and self._pending_rows + n > cap_total
+            )
+            if not key_over and not total_over:
+                return
+            if self.shed == "reject":
+                self.shed_count += 1
+                raise self._overloaded(
+                    key, n, "reject", "server overloaded; request rejected"
+                )
+            # Evict from the violated scope: the arrival's own queue for
+            # a per-key violation, any queue for a server-wide one.
+            scope = key if key_over else None
+            victim_key, victim = self._pick_victim(scope)
+            if victim is None:  # pragma: no cover - caps checked above
+                self.shed_count += 1
+                raise self._overloaded(
+                    key, n, self.shed, "server overloaded; nothing to evict"
+                )
+            self._evict(victim_key, victim)
+
+    def _pick_victim(self, scope) -> "tuple[object, _PendingRequest | None]":
+        """The parked request the shed policy sacrifices.
+
+        ``scope=None`` searches every queue (server-wide cap); a key
+        scopes the search to that queue.  ``"oldest"`` picks the lowest
+        arrival sequence number, ``"newest"`` the highest -- both are
+        pure functions of arrival order, independent of dict ordering.
+        """
+        keys = [scope] if scope is not None else list(self._queues)
+        best_key, best = None, None
+        for k in keys:
+            queue = self._queues.get(k)
+            if queue is None or not queue.pending:
+                continue
+            candidate = (
+                queue.pending[0] if self.shed == "oldest"
+                else queue.pending[-1]
+            )
+            if best is None or (
+                candidate.seq < best.seq
+                if self.shed == "oldest"
+                else candidate.seq > best.seq
+            ):
+                best_key, best = k, candidate
+        return best_key, best
+
+    def _evict(self, key, victim: _PendingRequest) -> None:
+        queue = self._queues[key]
+        queue.pending.remove(victim)
+        queue.n_rows -= victim.rows.shape[0]
+        self._pending_rows -= victim.rows.shape[0]
+        if not queue.pending and queue.timer is not None:
+            queue.timer.cancel()
+            queue.timer = None
+        if not victim.future.done():
+            self.shed_count += 1
+            victim.future.set_exception(
+                self._overloaded(
+                    key,
+                    victim.rows.shape[0],
+                    self.shed,
+                    "shed while parked to admit newer traffic",
+                )
+            )
 
     # -- flushing ----------------------------------------------------------
 
@@ -104,6 +286,7 @@ class BatchCoalescer:
             queue.timer.cancel()
             queue.timer = None
         pending = [p for p in queue.pending if not p.future.cancelled()]
+        self._pending_rows -= queue.n_rows
         queue.pending.clear()
         queue.n_rows = 0
         for chunk in self._pack(pending):
@@ -172,15 +355,43 @@ class BatchCoalescer:
             req.future.set_result(np.concatenate(parts, axis=0))
 
     def flush_all(self) -> None:
-        """Flush every key now (shutdown / test determinism)."""
+        """Flush every key now (drain / test determinism)."""
         for key in list(self._queues):
             self._flush(key)
 
-    def close(self) -> None:
-        """Flush pending work and cancel any armed timers."""
+    # -- shutdown ----------------------------------------------------------
+
+    def drain(self, exc: "Exception | None" = None) -> None:
+        """Graceful shutdown: flush parked work, then :meth:`close`.
+
+        Every parked request executes (one last sweep per key) before
+        the coalescer stops admitting; ``exc`` fails any straggler a
+        flush somehow left unresolved (defensive -- flushes resolve
+        every non-cancelled future).
+        """
         self.flush_all()
+        self.close(exc)
+
+    def close(self, exc: "Exception | None" = None) -> None:
+        """Abrupt shutdown: cancel armed window timers and fail parked
+        requests.
+
+        Parked futures get ``exc`` (the server passes a typed
+        :class:`ServerClosed`) or are cancelled when ``exc`` is None --
+        either way nothing is left unresolved and no ``call_later``
+        timer stays armed on the loop.  Idempotent.
+        """
+        self._closed = True
         for queue in self._queues.values():
             if queue.timer is not None:
                 queue.timer.cancel()
                 queue.timer = None
+            for req in queue.pending:
+                if req.future.done():
+                    continue
+                if exc is not None:
+                    req.future.set_exception(exc)
+                else:
+                    req.future.cancel()
         self._queues.clear()
+        self._pending_rows = 0

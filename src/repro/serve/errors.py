@@ -1,0 +1,110 @@
+"""Typed serving-layer failures: the front door's refusal vocabulary.
+
+The execution layer's failure taxonomy (:mod:`repro.runtime.errors`)
+types what goes wrong *inside* a sweep; this module types what the
+serving layer itself does to a request before or instead of executing
+it.  All three subclass :class:`~repro.runtime.errors.RuntimeFault`, so
+a caller catching the runtime taxonomy's base class sees serving-layer
+refusals too, and each carries enough structured state to act on:
+
+* :class:`Overloaded` -- bounded backpressure shed this request (or
+  refused it at the door).  Carries a queue-depth snapshot taken at the
+  shed decision, so the caller can see exactly how full the server was
+  and which cap was hit.  Shedding is a pure function of arrival order
+  (see :class:`~repro.serve.coalescer.BatchCoalescer`), so the same
+  arrival sequence always sheds the same requests.
+* :class:`CircuitOpen` -- the request's endpoint breaker is open: the
+  endpoint's engine kept failing and the breaker stopped routing flushes
+  to it.  Carries the breaker's state snapshot (consecutive failures,
+  the terminal failure, cooldown) so callers can back off intelligently.
+* :class:`ServerClosed` -- the server is draining or closed; no new work
+  is admitted, and parked requests failed by an abrupt ``close()`` carry
+  this instead of hanging forever (``Session.predict`` on a closed
+  server was previously undefined).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import RuntimeFault
+
+__all__ = ["CircuitOpen", "Overloaded", "ServerClosed"]
+
+
+class Overloaded(RuntimeFault):
+    """Backpressure shed this request (or refused it on arrival).
+
+    ``shed`` is the policy that made the decision (``"reject"``,
+    ``"oldest"``, ``"newest"``); the remaining fields snapshot the queue
+    depths *at the moment of the decision*: ``n_rows`` is the shed
+    request's own width, ``pending_rows_key``/``pending_rows_total`` the
+    parked rows under the request's key and server-wide, and the two
+    ``max_*`` fields the configured caps (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key=None,
+        shed: str = "reject",
+        n_rows: int = 0,
+        pending_rows_key: int = 0,
+        pending_rows_total: int = 0,
+        max_pending_rows_per_key: "int | None" = None,
+        max_pending_rows: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.shed = shed
+        self.n_rows = int(n_rows)
+        self.pending_rows_key = int(pending_rows_key)
+        self.pending_rows_total = int(pending_rows_total)
+        self.max_pending_rows_per_key = max_pending_rows_per_key
+        self.max_pending_rows = max_pending_rows
+
+    def snapshot(self) -> "dict[str, object]":
+        """The queue-depth snapshot as a plain dict (logging/metrics)."""
+        return {
+            "shed": self.shed,
+            "n_rows": self.n_rows,
+            "pending_rows_key": self.pending_rows_key,
+            "pending_rows_total": self.pending_rows_total,
+            "max_pending_rows_per_key": self.max_pending_rows_per_key,
+            "max_pending_rows": self.max_pending_rows,
+        }
+
+
+class CircuitOpen(RuntimeFault):
+    """The endpoint's circuit breaker is open; the flush was not routed.
+
+    ``endpoint`` is the endpoint's stable label, ``consecutive_failures``
+    and ``last_failure`` describe what tripped it, and ``cooldown_s`` is
+    the configured open-state dwell before the next half-open probe.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        endpoint: str = "",
+        consecutive_failures: int = 0,
+        last_failure: "str | None" = None,
+        cooldown_s: float = 0.0,
+    ):
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.consecutive_failures = int(consecutive_failures)
+        self.last_failure = last_failure
+        self.cooldown_s = float(cooldown_s)
+
+
+class ServerClosed(RuntimeFault):
+    """The server is draining or closed; the request was not admitted.
+
+    ``state`` is the server state at refusal time (``"draining"`` or
+    ``"closed"``).
+    """
+
+    def __init__(self, message: str, *, state: str = "closed"):
+        super().__init__(message)
+        self.state = state

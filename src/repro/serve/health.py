@@ -1,0 +1,141 @@
+"""Readiness and health snapshots for the serving layer.
+
+Operating a front door needs one cheap, side-effect-free question
+answered constantly: *should this server receive traffic, and if not,
+why not?*  :func:`health_snapshot` folds the server's lifecycle state,
+the coalescer's live queue depths, the resilience counters and every
+endpoint's circuit-breaker status into one frozen
+:class:`HealthSnapshot`:
+
+* ``status="ready"``     -- serving, all breakers closed, no endpoint
+  degraded: route traffic here.
+* ``status="degraded"``  -- still serving, but at least one endpoint's
+  breaker is open/half-open or rerouting through a fallback engine:
+  traffic is accepted but some of it will be refused or served by a
+  lesser backend.
+* ``status="draining"``  -- :meth:`~repro.serve.InferenceServer.drain`
+  in progress: stop sending new traffic, parked work is completing.
+* ``status="closed"``    -- drained or closed: nothing is admitted.
+
+Everything is a plain value snapshot (no live references), so health
+payloads are safe to serialize into logs or a readiness probe; and
+because every input is deterministic under the chaos harness, the same
+seeded run produces the same health trajectory on any host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["EndpointHealth", "HealthSnapshot", "health_snapshot"]
+
+
+@dataclass(frozen=True)
+class EndpointHealth:
+    """One endpoint's health: breaker state and flush history."""
+
+    #: stable label (``serve:<engine>:<weights-digest>``).
+    endpoint: str
+    #: registry engine name the endpoint was opened with.
+    engine: str
+    #: parked rows currently queued under this endpoint's key.
+    pending_rows: int
+    #: flushes executed so far (primary and fallback).
+    flushes: int
+    #: ``"closed"`` / ``"open"`` / ``"half_open"``, or ``"none"`` when
+    #: the server runs without breakers.
+    breaker_state: str
+    consecutive_failures: int
+    #: lifetime open transitions of this endpoint's breaker.
+    trips: int
+    #: the failure that last advanced the breaker, if any.
+    last_failure: "str | None"
+    #: True when an open breaker has rerouted flushes to a fallback
+    #: engine (the endpoint serves, on a lesser backend).
+    degraded: bool
+
+    @property
+    def healthy(self) -> bool:
+        return self.breaker_state in ("closed", "none") and not self.degraded
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """Whole-server readiness: lifecycle, queues, endpoints, counters."""
+
+    #: ``"ready"`` / ``"degraded"`` / ``"draining"`` / ``"closed"``.
+    status: str
+    #: raw lifecycle state (``"serving"``/``"draining"``/``"closed"``).
+    state: str
+    #: parked rows across every coalescing key.
+    pending_rows: int
+    #: configured caps (``None`` = unbounded) and shed policy.
+    max_pending_rows_per_key: "int | None"
+    max_pending_rows: "int | None"
+    shed_policy: str
+    #: resilience counters (cumulative).
+    shed: int
+    breaker_rejections: int
+    breaker_fallback_flushes: int
+    flush_failures: int
+    deadline_misses: int
+    rejected: int
+    #: the admission policy, rendered by ``AdmissionPolicy.describe()``.
+    admission: "dict[str, object]"
+    #: per-endpoint health, in endpoint-creation order.
+    endpoints: "tuple[EndpointHealth, ...]"
+
+    @property
+    def ready(self) -> bool:
+        """Route new traffic here?  (Degraded still accepts traffic.)"""
+        return self.status in ("ready", "degraded")
+
+    def to_dict(self) -> "dict[str, object]":
+        """Plain-value payload for logs / readiness probes."""
+        return asdict(self)
+
+
+def health_snapshot(server) -> HealthSnapshot:
+    """Snapshot an :class:`~repro.serve.InferenceServer`'s health now."""
+    endpoints = []
+    for key, ep in server._endpoints.items():
+        br = ep.breaker
+        endpoints.append(
+            EndpointHealth(
+                endpoint=ep.chaos_label,
+                engine=ep.engine,
+                pending_rows=server.coalescer.pending_rows_for(key),
+                flushes=ep.flush_index,
+                breaker_state="none" if br is None else br.state,
+                consecutive_failures=0 if br is None else br.consecutive_failures,
+                trips=0 if br is None else br.trips,
+                last_failure=None if br is None else br.last_failure,
+                degraded=ep.fallback_executor is not None,
+            )
+        )
+    state = server.state
+    if state == "closed":
+        status = "closed"
+    elif state == "draining":
+        status = "draining"
+    elif any(not ep.healthy for ep in endpoints):
+        status = "degraded"
+    else:
+        status = "ready"
+    metrics = server.metrics
+    return HealthSnapshot(
+        status=status,
+        state=state,
+        pending_rows=server.coalescer.pending_rows,
+        max_pending_rows_per_key=server.coalescer.max_pending_rows_per_key,
+        max_pending_rows=server.coalescer.max_pending_rows,
+        shed_policy=server.coalescer.shed,
+        shed=metrics.shed,
+        breaker_rejections=metrics.breaker_rejections,
+        breaker_fallback_flushes=metrics.breaker_fallback_flushes,
+        flush_failures=metrics.flush_failures,
+        deadline_misses=metrics.deadline_misses,
+        rejected=metrics.rejected,
+        admission=server.config.admission.describe(),
+        endpoints=tuple(endpoints),
+    )

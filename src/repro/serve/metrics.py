@@ -8,64 +8,182 @@ per-flush batch sizes (recorded by the server when a coalesced sweep
 executes).  ``snapshot()`` reduces them to the numbers the load-test
 harness publishes into ``BENCH_engine.json``: p50/p99 latency,
 requests/sec and mean coalesced batch size.
+
+Storage is **bounded**: a long-lived server must not grow a Python
+list by one float per request forever.  Latencies and flush sizes go
+through a :class:`LatencyReservoir` -- a deterministic, seed-free
+stride-doubling reservoir.  It keeps every sample until ``capacity``,
+then decimates to every 2nd, 4th, 8th, ... arrival, so memory is
+``O(capacity)`` while the kept samples remain an evenly spaced (hence
+quantile-faithful) subsample of the stream.  Unlike the classic
+random-replacement reservoir there is no RNG: the kept set is a pure
+function of arrival order, so two identical runs snapshot identical
+percentiles.  Exact aggregates (count, sum/mean, max) are tracked as
+running counters and never lose precision.
+
+Resilience counters added with the PR-8 front-door hardening:
+``shed`` (requests refused or evicted by backpressure),
+``breaker_rejections`` (flushes refused by an open circuit breaker),
+``breaker_fallback_flushes`` (flushes rerouted through the engine
+fallback chain by an open breaker) and ``flush_failures`` (flush
+sweeps that raised, after any supervision/retry).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 
-@dataclass
-class ServeMetrics:
-    """Mutable counters for one :class:`~repro.serve.InferenceServer`."""
+class LatencyReservoir:
+    """Bounded, deterministic, seed-free sample store.
 
-    #: wall-clock seconds from submit to result, one entry per request.
-    latencies_s: "list[float]" = field(default_factory=list)
-    #: rows executed per coalesced flush, one entry per sweep.
-    flush_sizes: "list[int]" = field(default_factory=list)
-    #: requests rejected by admission control.
-    rejected: int = 0
-    #: requests that missed their deadline.
-    deadline_misses: int = 0
+    Keeps arrivals whose index satisfies ``index % stride == 0``.  The
+    stride starts at 1 (keep everything); whenever the kept set reaches
+    ``capacity`` it is decimated to every second sample and the stride
+    doubles.  The kept set is therefore always an evenly spaced
+    subsample of the full stream -- order statistics (p50/p99) computed
+    from it converge to the stream's, with no randomness anywhere.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = int(capacity)
+        self._samples: "list[float]" = []
+        self._stride = 1
+        self._count = 0
+
+    def record(self, value: float) -> None:
+        if self._count % self._stride == 0:
+            self._samples.append(float(value))
+            if len(self._samples) >= self.capacity:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self._count += 1
+
+    @property
+    def samples(self) -> "list[float]":
+        """The kept (evenly spaced) samples, in arrival order."""
+        return list(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Total values ever recorded (not just kept)."""
+        return self._count
+
+    @property
+    def stride(self) -> int:
+        """Current keep-every-Nth stride (1 until first decimation)."""
+        return self._stride
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._stride = 1
+        self._count = 0
+
+
+class ServeMetrics:
+    """Mutable counters for one :class:`~repro.serve.InferenceServer`.
+
+    Exact counts/sums/maxima are running scalars; the per-sample
+    streams behind ``latencies_s`` / ``flush_sizes`` are bounded
+    reservoirs (see :class:`LatencyReservoir`), so a server can run
+    indefinitely without metrics growth.
+    """
+
+    def __init__(self, reservoir_capacity: int = 2048) -> None:
+        self._latencies = LatencyReservoir(reservoir_capacity)
+        self._flush_rows = LatencyReservoir(reservoir_capacity)
+        self._latency_sum = 0.0
+        self._flush_rows_sum = 0
+        self._flush_rows_max = 0
+        #: requests rejected by admission control.
+        self.rejected = 0
+        #: requests that missed their deadline.
+        self.deadline_misses = 0
+        #: requests shed by backpressure (rejected or evicted).
+        self.shed = 0
+        #: flushes refused by an open circuit breaker.
+        self.breaker_rejections = 0
+        #: flushes rerouted through the engine fallback chain by an
+        #: open breaker.
+        self.breaker_fallback_flushes = 0
+        #: flush sweeps that raised (after supervision/retry, if any).
+        self.flush_failures = 0
+
+    # -- bounded sample views ----------------------------------------------
+
+    @property
+    def latencies_s(self) -> "list[float]":
+        """Kept latency samples, seconds (evenly spaced subsample)."""
+        return self._latencies.samples
+
+    @property
+    def flush_sizes(self) -> "list[int]":
+        """Kept rows-per-flush samples (evenly spaced subsample)."""
+        return [int(v) for v in self._flush_rows.samples]
 
     @property
     def requests(self) -> int:
-        return len(self.latencies_s)
+        return self._latencies.count
 
     @property
     def flushes(self) -> int:
-        return len(self.flush_sizes)
+        return self._flush_rows.count
+
+    # -- recording ---------------------------------------------------------
 
     def record_latency(self, seconds: float) -> None:
-        self.latencies_s.append(seconds)
+        self._latencies.record(seconds)
+        self._latency_sum += seconds
 
     def record_flush(self, n_rows: int) -> None:
-        self.flush_sizes.append(n_rows)
+        self._flush_rows.record(n_rows)
+        self._flush_rows_sum += n_rows
+        self._flush_rows_max = max(self._flush_rows_max, n_rows)
 
     def snapshot(self, elapsed_s: "float | None" = None) -> "dict[str, float]":
-        """Summary statistics; ``elapsed_s`` enables the throughput rate."""
+        """Summary statistics; ``elapsed_s`` enables the throughput rate.
+
+        Counts, means and maxima are exact (running scalars); p50/p99
+        come from the bounded reservoir, hence are exact until the
+        first decimation and quantile-faithful after it.
+        """
         out: "dict[str, float]" = {
             "requests": float(self.requests),
             "flushes": float(self.flushes),
             "rejected": float(self.rejected),
             "deadline_misses": float(self.deadline_misses),
+            "shed": float(self.shed),
+            "breaker_rejections": float(self.breaker_rejections),
+            "breaker_fallback_flushes": float(self.breaker_fallback_flushes),
+            "flush_failures": float(self.flush_failures),
         }
-        if self.latencies_s:
-            lat = np.asarray(self.latencies_s)
-            out["p50_ms"] = float(np.percentile(lat, 50) * 1e3)
-            out["p99_ms"] = float(np.percentile(lat, 99) * 1e3)
-            out["mean_ms"] = float(lat.mean() * 1e3)
-        if self.flush_sizes:
-            out["mean_batch"] = float(np.mean(self.flush_sizes))
-            out["max_batch"] = float(np.max(self.flush_sizes))
+        lat = self._latencies.samples
+        if lat:
+            arr = np.asarray(lat)
+            out["p50_ms"] = float(np.percentile(arr, 50) * 1e3)
+            out["p99_ms"] = float(np.percentile(arr, 99) * 1e3)
+            out["mean_ms"] = float(self._latency_sum / self.requests * 1e3)
+        if self.flushes:
+            out["mean_batch"] = float(self._flush_rows_sum / self.flushes)
+            out["max_batch"] = float(self._flush_rows_max)
         if elapsed_s and self.requests:
             out["requests_per_s"] = self.requests / elapsed_s
         return out
 
     def reset(self) -> None:
-        self.latencies_s.clear()
-        self.flush_sizes.clear()
+        self._latencies.clear()
+        self._flush_rows.clear()
+        self._latency_sum = 0.0
+        self._flush_rows_sum = 0
+        self._flush_rows_max = 0
         self.rejected = 0
         self.deadline_misses = 0
+        self.shed = 0
+        self.breaker_rejections = 0
+        self.breaker_fallback_flushes = 0
+        self.flush_failures = 0

@@ -13,9 +13,33 @@ Determinism: a flush is executed as one ordinary
 so it is bit-equivalent to the serial call a single user would have
 made with the same executor RNG state.  With
 ``ServeConfig.record_flushes`` the server keeps a flush log (inputs,
-outputs, pre-flush RNG state) and :meth:`InferenceServer.verify_flush_log`
-replays every entry through the same executor, asserting bitwise
-equality end-to-end.
+outputs, pre-flush RNG state, the executor that ran the sweep) and
+:meth:`InferenceServer.verify_flush_log` replays every entry through
+that same executor, asserting bitwise equality end-to-end -- including
+flushes a supervised retry recovered and flushes an open breaker
+rerouted to a fallback engine.
+
+Resilience (PR 8), layered front to back:
+
+* **Backpressure** -- ``max_pending_rows_per_key`` / ``max_pending_rows``
+  caps with a deterministic shed policy (``shed``); refused or evicted
+  requests fail with a typed :class:`Overloaded` (see
+  :mod:`repro.serve.coalescer`).
+* **Circuit breakers** -- with ``ServeConfig.breaker`` set, each
+  endpoint gets its own :class:`~repro.serve.breaker.CircuitBreaker`.
+  Consecutive typed engine faults (``RetryExhausted``, ``WorkerCrash``,
+  any :class:`RuntimeFault`) trip it open; open flushes are either
+  refused with :class:`CircuitOpen` or rerouted through the registry's
+  engine fallback chain under a :class:`DegradedExecution` warning;
+  half-open probes readmit one flush at a time.
+* **Graceful drain** -- :meth:`InferenceServer.drain` stops admitting,
+  flushes every parked request, cancels window timers and fails any
+  straggler with :class:`ServerClosed`; :meth:`InferenceServer.close`
+  is the abrupt variant (parked requests fail instead of executing).
+  Either way no future is left unresolved and no timer stays armed.
+* **Health** -- :meth:`InferenceServer.health` snapshots server state,
+  queue depths and per-endpoint breaker status
+  (:mod:`repro.serve.health`).
 
 Deadlines come in two layers, both reusing PR-6 machinery where it
 applies: per-request ``deadline_s`` is an ``asyncio.wait_for`` on the
@@ -24,7 +48,10 @@ execute, surfacing :class:`DeadlineExceeded`), and -- when
 ``ServeConfig.supervised`` is set -- each flush sweep runs under a
 :class:`~repro.runtime.supervisor.ChunkSupervisor` ``call`` with
 RNG-snapshot retry determinism and the supervisor's own per-attempt
-deadline/checksum policy.
+deadline/checksum policy.  Supervised endpoints label their supervisor
+with a stable chaos label (``serve:<engine>:<weights-digest>``), so a
+seed-driven :class:`~repro.runtime.faults.FaultPlan` injects the same
+faults at the same flush indices on any host.
 
 Sessions on a model with batch-statistics normalization must pin
 ``model.fixed_stats`` (validation-statistics mode, paper Table 13):
@@ -37,14 +64,24 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.engine import engine_spec
+from repro.core.engine import (
+    create_engine,
+    engine_fallback_chain,
+    engine_spec,
+)
+from repro.runtime.errors import DegradedExecution
+from repro.runtime.faults import active_fault_plan, apply_fault
 from repro.runtime.supervisor import ChunkSupervisor, SupervisorConfig
 from repro.serve.admission import AdmissionError, AdmissionPolicy
-from repro.serve.coalescer import BatchCoalescer
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
+from repro.serve.coalescer import SHED_POLICIES, BatchCoalescer
+from repro.serve.errors import CircuitOpen, Overloaded, ServerClosed
+from repro.serve.health import HealthSnapshot, health_snapshot
 from repro.serve.metrics import ServeMetrics
 
 
@@ -54,7 +91,8 @@ class DeadlineExceeded(asyncio.TimeoutError):
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Knobs for one server: coalescing window, admission, supervision."""
+    """Knobs for one server: coalescing window, admission, supervision,
+    backpressure and breaker policy."""
 
     #: seconds the oldest parked request waits before a window flush.
     window_s: float = 0.002
@@ -66,6 +104,21 @@ class ServeConfig:
     supervisor_config: "SupervisorConfig | None" = None
     #: keep a replayable flush log for bit-equivalence verification.
     record_flushes: bool = False
+    #: parked-row cap per coalescing key (``None`` = unbounded).
+    max_pending_rows_per_key: "int | None" = None
+    #: parked-row cap across every key (``None`` = unbounded).
+    max_pending_rows: "int | None" = None
+    #: load-shedding policy when a cap is hit: ``"reject"`` the arrival,
+    #: or evict the ``"oldest"``/``"newest"`` parked request.
+    shed: str = "reject"
+    #: per-endpoint circuit-breaker policy (``None`` = no breakers).
+    breaker: "BreakerConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.shed not in SHED_POLICIES:
+            raise ValueError(
+                f"shed must be one of {SHED_POLICIES}, got {self.shed!r}"
+            )
 
 
 @dataclass
@@ -76,6 +129,21 @@ class _Endpoint:
     weights: np.ndarray
     executor: object
     supervisor: "ChunkSupervisor | None"
+    #: registry name of the engine admission actually built.
+    engine: str = "noiseless"
+    #: kwargs the executor was built with (reused for fallbacks).
+    engine_kwargs: "dict" = field(default_factory=dict)
+    #: the device noise model, before capability gating.
+    noise_model: object = None
+    widest: int = 0
+    #: stable label for chaos keying and breaker snapshots; unlike the
+    #: coalescing key it contains no ``id()``, so it is identical across
+    #: runs of the same (engine, weights).
+    chaos_label: str = ""
+    breaker: "CircuitBreaker | None" = None
+    #: lazily built executor an open ``on_open="fallback"`` breaker
+    #: reroutes flushes to.
+    fallback_executor: object = None
     flush_index: int = 0
 
 
@@ -85,6 +153,9 @@ class _FlushRecord:
     inputs: np.ndarray
     outputs: np.ndarray
     rng_state: "dict | None"
+    #: the executor that ran this sweep (primary or breaker fallback);
+    #: replay must use the same one to be bit-identical.
+    executor: object = None
 
 
 class InferenceServer:
@@ -97,9 +168,18 @@ class InferenceServer:
             self._execute,
             window_s=self.config.window_s,
             max_batch=self.config.max_batch,
+            max_pending_rows_per_key=self.config.max_pending_rows_per_key,
+            max_pending_rows=self.config.max_pending_rows,
+            shed=self.config.shed,
         )
         self._endpoints: "dict[object, _Endpoint]" = {}
         self.flush_log: "list[_FlushRecord]" = []
+        #: lifecycle: ``"serving"`` -> ``"draining"`` -> ``"closed"``.
+        self._state = "serving"
+
+    @property
+    def state(self) -> str:
+        return self._state
 
     # -- session management ------------------------------------------------
 
@@ -119,12 +199,16 @@ class InferenceServer:
         session's executor (that is what makes coalescing across users
         possible at all).
         """
+        if self._state != "serving":
+            raise ServerClosed(
+                f"cannot open a session on a {self._state} server",
+                state=self._state,
+            )
         weights = np.asarray(weights, dtype=float)
-        key = (
-            id(model),
-            hashlib.sha1(np.ascontiguousarray(weights).tobytes()).hexdigest(),
-            engine,
-        )
+        digest = hashlib.sha1(
+            np.ascontiguousarray(weights).tobytes()
+        ).hexdigest()
+        key = (id(model), digest, engine)
         if key in self._endpoints:
             return Session(self, key)
         if model.config.normalize and model.fixed_stats is None:
@@ -135,7 +219,8 @@ class InferenceServer:
                 "set, paper Table 13) before opening a session"
             )
         widest = max(c.circuit.n_qubits for c in model.compiled)
-        noise_model = model.device.noise_model
+        device_noise = model.device.noise_model
+        noise_model = device_noise
         if not engine_spec(engine).capabilities.channels:
             noise_model = None
         try:
@@ -145,65 +230,168 @@ class InferenceServer:
         except AdmissionError:
             self.metrics.rejected += 1
             raise
+        chaos_label = f"serve:{engine}:{digest[:12]}"
         supervisor = None
         if self.config.supervised:
             supervisor = ChunkSupervisor(
-                self.config.supervisor_config or SupervisorConfig()
+                self.config.supervisor_config or SupervisorConfig(),
+                label=chaos_label,
             )
-        self._endpoints[key] = _Endpoint(model, weights, executor, supervisor)
+        breaker = None
+        if self.config.breaker is not None:
+            breaker = CircuitBreaker(self.config.breaker)
+        self._endpoints[key] = _Endpoint(
+            model,
+            weights,
+            executor,
+            supervisor,
+            engine=engine,
+            engine_kwargs=dict(engine_kwargs),
+            noise_model=device_noise,
+            widest=widest,
+            chaos_label=chaos_label,
+            breaker=breaker,
+        )
         return Session(self, key)
 
     def endpoint_executor(self, key):
         """The executor actually serving ``key`` (fallbacks included)."""
         return self._endpoints[key].executor
 
+    def endpoint_breaker(self, key) -> "CircuitBreaker | None":
+        """The circuit breaker guarding ``key`` (``None`` = no breaker)."""
+        return self._endpoints[key].breaker
+
     # -- flush execution ---------------------------------------------------
 
     def _execute(self, key, inputs: np.ndarray) -> np.ndarray:
         ep = self._endpoints[key]
-        rng = getattr(ep.executor, "rng", None)
+        breaker = ep.breaker
+        if breaker is not None and breaker.before_flush() == "open":
+            if breaker.config.on_open == "fallback":
+                fallback = self._fallback_executor(ep)
+                if fallback is not None:
+                    return self._run_flush(
+                        ep, key, inputs, fallback, feed_breaker=False
+                    )
+            self.metrics.breaker_rejections += 1
+            raise breaker.reject(ep.chaos_label)
+        return self._run_flush(ep, key, inputs, ep.executor, feed_breaker=True)
+
+    def _run_flush(
+        self, ep: _Endpoint, key, inputs, executor, *, feed_breaker: bool
+    ) -> np.ndarray:
+        """One sweep on ``executor``; breaker/metrics/log bookkeeping.
+
+        ``feed_breaker`` is False on breaker-fallback sweeps: a fallback
+        engine's outcome says nothing about the *primary* engine's
+        health, so it must not close (or re-trip) the breaker.
+        """
+        index = ep.flush_index
+        ep.flush_index += 1
+        rng = getattr(executor, "rng", None)
         state = None
         if self.config.record_flushes and rng is not None:
             state = rng.bit_generator.state
-        if ep.supervisor is not None:
-            outputs = ep.supervisor.call(
-                ep.model.predict,
-                ep.weights,
-                inputs,
-                ep.executor,
-                rng=rng,
-                index=ep.flush_index,
-            )
-        else:
-            outputs = ep.model.predict(ep.weights, inputs, ep.executor)
-        ep.flush_index += 1
+        try:
+            if feed_breaker and ep.supervisor is not None:
+                outputs = ep.supervisor.call(
+                    ep.model.predict,
+                    ep.weights,
+                    inputs,
+                    executor,
+                    rng=rng,
+                    index=index,
+                )
+            else:
+                if feed_breaker and ep.supervisor is None:
+                    plan = active_fault_plan()
+                    if plan is not None:
+                        apply_fault(plan.fault_for(ep.chaos_label, index, 0))
+                outputs = ep.model.predict(ep.weights, inputs, executor)
+        except Exception as exc:
+            self.metrics.flush_failures += 1
+            if feed_breaker and ep.breaker is not None:
+                ep.breaker.record_failure(exc)
+            raise
+        if feed_breaker and ep.breaker is not None:
+            ep.breaker.record_success()
+        if not feed_breaker:
+            self.metrics.breaker_fallback_flushes += 1
         self.metrics.record_flush(inputs.shape[0])
         if self.config.record_flushes:
             self.flush_log.append(
-                _FlushRecord(key, inputs.copy(), outputs.copy(), state)
+                _FlushRecord(key, inputs.copy(), outputs.copy(), state, executor)
             )
         return outputs
+
+    def _fallback_executor(self, ep: _Endpoint):
+        """Lazily build the engine an open breaker reroutes flushes to.
+
+        Walks the registry's fallback chain past the primary, taking the
+        first candidate whose capabilities cover the endpoint (channel
+        kinds, width).  Emits :class:`DegradedExecution` once, when the
+        fallback is first built.  Returns ``None`` when the chain offers
+        nothing -- the caller degrades to rejection.
+        """
+        if ep.fallback_executor is not None:
+            return ep.fallback_executor
+        for candidate in engine_fallback_chain(ep.engine)[1:]:
+            caps = engine_spec(candidate).capabilities
+            noise_model = ep.noise_model if caps.channels else None
+            required = (
+                noise_model.channel_kinds
+                if noise_model is not None
+                else frozenset()
+            )
+            if required and not required <= caps.channels:
+                continue
+            if caps.max_qubits is not None and ep.widest > caps.max_qubits:
+                continue
+            try:
+                executor = create_engine(
+                    candidate, noise_model, **ep.engine_kwargs
+                )
+            except (TypeError, ValueError, MemoryError):
+                continue
+            warnings.warn(
+                DegradedExecution(
+                    f"breaker open on {ep.chaos_label}; rerouting flushes "
+                    f"to engine {candidate!r}",
+                    fallback_path=(ep.engine, candidate),
+                ),
+                stacklevel=2,
+            )
+            ep.fallback_executor = executor
+            return executor
+        return None
 
     def verify_flush_log(self) -> int:
         """Replay every recorded flush; assert bitwise-equal outputs.
 
         Each entry re-runs the *same* ``model.predict`` over the same
-        stacked inputs with the executor's RNG restored to its pre-flush
-        state -- the per-request serial call a lone user would have made
-        -- and the replay must reproduce the served logits bit for bit.
-        Returns the number of flushes verified; the executor's live RNG
-        state is preserved around the replays.
+        stacked inputs on the executor that served it (primary or
+        breaker fallback) with that executor's RNG restored to its
+        pre-flush state -- the per-request serial call a lone user would
+        have made -- and the replay must reproduce the served logits bit
+        for bit.  Flushes a supervised retry recovered replay
+        identically too: the supervisor restores the RNG snapshot before
+        every attempt, so the recorded pre-flush state is the state the
+        *successful* attempt ran from.  Returns the number of flushes
+        verified; each executor's live RNG state is preserved around the
+        replays.
         """
         verified = 0
         for rec in self.flush_log:
             ep = self._endpoints[rec.key]
-            rng = getattr(ep.executor, "rng", None)
+            executor = rec.executor if rec.executor is not None else ep.executor
+            rng = getattr(executor, "rng", None)
             live_state = None
             if rng is not None and rec.rng_state is not None:
                 live_state = rng.bit_generator.state
                 rng.bit_generator.state = rec.rng_state
             try:
-                replay = ep.model.predict(ep.weights, rec.inputs, ep.executor)
+                replay = ep.model.predict(ep.weights, rec.inputs, executor)
             finally:
                 if live_state is not None:
                     rng.bit_generator.state = live_state
@@ -216,9 +404,45 @@ class InferenceServer:
             verified += 1
         return verified
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def health(self) -> HealthSnapshot:
+        """Readiness/health: state, queue depths, per-endpoint breakers."""
+        return health_snapshot(self)
+
+    def drain(self) -> None:
+        """Graceful shutdown: flush parked work, then stop admitting.
+
+        Every parked request executes one final sweep per key; window
+        timers are cancelled; any straggler a flush left unresolved
+        (defensive) fails with a typed :class:`ServerClosed`.  Endpoints
+        are kept so post-drain :meth:`verify_flush_log` and
+        :meth:`health` still work.  Idempotent.
+        """
+        if self._state == "serving":
+            self._state = "draining"
+        self.coalescer.drain(
+            ServerClosed(
+                "server drained while this request was parked",
+                state="draining",
+            )
+        )
+        self._state = "closed"
+
     def close(self) -> None:
-        """Flush pending requests and drop endpoints."""
-        self.coalescer.close()
+        """Abrupt shutdown: parked requests fail with :class:`ServerClosed`.
+
+        Unlike :meth:`drain`, parked rows never execute; their futures
+        fail immediately, window timers are cancelled (nothing stays
+        armed on the loop) and endpoints are dropped.  Idempotent.
+        """
+        self._state = "closed"
+        self.coalescer.close(
+            ServerClosed(
+                "server closed while this request was parked",
+                state="closed",
+            )
+        )
         self._endpoints.clear()
 
 
@@ -244,9 +468,17 @@ class Session:
         The call parks in the coalescing window and resolves when its
         sweep executes.  ``deadline_s`` bounds the wait end to end;
         missing it cancels the parked request (its rows never execute)
-        and raises :class:`DeadlineExceeded`.
+        and raises :class:`DeadlineExceeded`.  Typed refusals surface
+        directly: :class:`Overloaded` (backpressure), :class:`CircuitOpen`
+        (endpoint breaker open, ``on_open="reject"``),
+        :class:`ServerClosed` (draining/closed server).
         """
         t0 = time.perf_counter()
+        if self.server.state != "serving":
+            raise ServerClosed(
+                f"predict on a {self.server.state} server",
+                state=self.server.state,
+            )
         x = np.asarray(x, dtype=float)
         single = x.ndim == 1
         rows = x[None, :] if single else x
@@ -257,12 +489,20 @@ class Session:
                 f"request of {rows.shape[0]} rows exceeds the front door's "
                 f"max_rows_per_request={limit} policy"
             )
-        future = self.server.coalescer.submit(self.key, rows)
+        try:
+            future = self.server.coalescer.submit(self.key, rows)
+        except Overloaded:
+            self.server.metrics.shed += 1
+            raise
         try:
             if deadline_s is not None:
                 outputs = await asyncio.wait_for(future, deadline_s)
             else:
                 outputs = await future
+        except Overloaded:
+            # evicted while parked (shed="oldest"/"newest")
+            self.server.metrics.shed += 1
+            raise
         except asyncio.TimeoutError:
             self.server.metrics.deadline_misses += 1
             raise DeadlineExceeded(

@@ -40,6 +40,9 @@ def _full_report(**overrides):
         name: {"fast_s": 0.010, "speedup": 10.0}
         for name in gate.REQUIRED_SCENARIOS
     }
+    # Goodput-gated scenarios carry goodput, not a speedup ratio.
+    for name in gate.GOODPUT_SCENARIOS:
+        rows[name] = {"seconds": 0.010, "goodput": 0.667}
     rows.update(overrides)
     return {"meta": {"scale": "quick"}, "benchmarks": rows}
 
@@ -162,6 +165,52 @@ def test_gate_cli_missing_required_scenario_fails(tmp_path, capsys):
     assert gate.main(args) == 1
     assert gate.main(args + ["--soft"]) == 1
     assert "density_inference" in capsys.readouterr().err
+
+
+def test_compare_reports_flags_goodput_drop_with_zero_tolerance():
+    """Chaos goodput is deterministic under its pinned seed, so *any*
+    drop below the committed baseline is a hard regression, while a
+    gain is fine."""
+    gate = _load_gate()
+    baseline = _report(serve_chaos_goodput={"seconds": 0.01, "goodput": 0.667})
+    worse = _report(serve_chaos_goodput={"seconds": 0.01, "goodput": 0.666})
+    (row,) = gate.compare_reports(baseline, worse, 2.0)
+    assert row["regressed"] and row["regressed_goodput"]
+    better = _report(serve_chaos_goodput={"seconds": 0.01, "goodput": 0.7})
+    (row_up,) = gate.compare_reports(baseline, better, 2.0)
+    assert not row_up["regressed_goodput"]
+
+
+def test_gate_cli_goodput_drop_fails_hard_soft_warns(tmp_path, capsys):
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        serve_chaos_goodput={"seconds": 0.010, "goodput": 0.5}
+    )))
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert gate.main(args) == 1
+    assert gate.main(args + ["--soft"]) == 0
+    out = capsys.readouterr().out
+    assert "goodput 0.667 -> 0.500" in out
+    assert "REGRESSED" in out
+
+
+def test_gate_cli_dropped_goodput_key_fails(tmp_path, capsys):
+    """Losing the goodput column de-fangs the chaos gate -- schema
+    breakage, exactly like a dropped speedup column."""
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        serve_chaos_goodput={"seconds": 0.010}  # goodput key gone
+    )))
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert gate.main(args) == 1
+    assert gate.main(args + ["--soft"]) == 1
+    assert "serve_chaos_goodput" in capsys.readouterr().err
 
 
 def test_gate_cli_passes_within_threshold(tmp_path, capsys):

@@ -26,9 +26,17 @@ from repro.serve import (
     AdmissionError,
     AdmissionPolicy,
     BatchCoalescer,
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpen,
     DeadlineExceeded,
     InferenceServer,
+    LatencyReservoir,
+    Overloaded,
     ServeConfig,
+    ServeMetrics,
+    ServerClosed,
+    TickClock,
 )
 
 
@@ -151,17 +159,45 @@ def test_execution_error_propagates_to_every_request_in_the_sweep():
     assert all(isinstance(r, RuntimeError) for r in results)
 
 
-def test_close_flushes_pending_requests():
+def test_drain_flushes_pending_requests():
     execute = RecordingExecute()
 
     async def main():
         coalescer = BatchCoalescer(execute, window_s=10.0, max_batch=64)
         future = coalescer.submit("k", np.ones((2, 2)))
-        coalescer.close()
-        return await future
+        coalescer.drain()
+        out = await future
+        # Draining stops admission: later submits are refused, typed.
+        with pytest.raises(ServerClosed):
+            coalescer.submit("k", np.zeros((1, 2)))
+        return out
 
     out = asyncio.run(main())
     np.testing.assert_array_equal(out, np.full((2, 2), 2.0))
+    assert len(execute.sweeps) == 1
+
+
+def test_close_fails_parked_requests_with_typed_error():
+    """S1 regression: an abrupt close must not leave parked futures
+    unresolved or window timers armed -- parked requests fail with the
+    passed exception, and their rows never execute."""
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(execute, window_s=10.0, max_batch=64)
+        future = coalescer.submit("k", np.ones((2, 2)))
+        coalescer.close(ServerClosed("bye", state="closed"))
+        with pytest.raises(ServerClosed):
+            await future
+        with pytest.raises(ServerClosed):
+            coalescer.submit("k", np.zeros((1, 2)))
+        # Idempotent; nothing pending afterwards.
+        coalescer.close()
+        return coalescer
+
+    coalescer = asyncio.run(main())
+    assert execute.sweeps == []
+    assert coalescer.pending_rows == 0
 
 
 # ---------------------------------------------------------------------------
@@ -398,3 +434,402 @@ def test_batch_stats_normalization_requires_fixed_stats():
     out = asyncio.run(main())
     assert out.shape == (4,)
     server.close()
+
+
+# ---------------------------------------------------------------------------
+# bounded backpressure: deterministic load shedding
+# ---------------------------------------------------------------------------
+
+
+def test_shed_reject_refuses_arrival_with_queue_snapshot():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(
+            execute, window_s=10.0, max_batch=64,
+            max_pending_rows_per_key=4, shed="reject",
+        )
+        kept = coalescer.submit("k", np.zeros((3, 2)))
+        with pytest.raises(Overloaded) as exc_info:
+            coalescer.submit("k", np.zeros((2, 2)))
+        coalescer.drain()
+        await kept
+        return coalescer, exc_info.value
+
+    coalescer, err = asyncio.run(main())
+    # The parked request survived; only the arrival was refused.
+    assert [s[1].shape[0] for s in execute.sweeps] == [3]
+    assert coalescer.shed_count == 1
+    snap = err.snapshot()
+    assert snap["shed"] == "reject"
+    assert snap["n_rows"] == 2
+    assert snap["pending_rows_key"] == 3
+    assert snap["max_pending_rows_per_key"] == 4
+
+
+def test_shed_oldest_evicts_lowest_sequence_parked_request():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(
+            execute, window_s=10.0, max_batch=64,
+            max_pending_rows_per_key=4, shed="oldest",
+        )
+        first = coalescer.submit("k", np.full((2, 2), 1.0))
+        second = coalescer.submit("k", np.full((2, 2), 2.0))
+        third = coalescer.submit("k", np.full((2, 2), 3.0))  # evicts first
+        with pytest.raises(Overloaded):
+            await first
+        coalescer.drain()
+        return await asyncio.gather(second, third)
+
+    outs = asyncio.run(main())
+    # The surviving queue is [second, third], in arrival order.
+    assert len(execute.sweeps) == 1
+    np.testing.assert_array_equal(
+        execute.sweeps[0][1][:, 0], [2.0, 2.0, 3.0, 3.0]
+    )
+    np.testing.assert_array_equal(outs[0], np.full((2, 2), 4.0))
+
+
+def test_shed_newest_evicts_highest_sequence_parked_request():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(
+            execute, window_s=10.0, max_batch=64,
+            max_pending_rows_per_key=4, shed="newest",
+        )
+        first = coalescer.submit("k", np.full((2, 2), 1.0))
+        second = coalescer.submit("k", np.full((2, 2), 2.0))
+        third = coalescer.submit("k", np.full((2, 2), 3.0))  # evicts second
+        with pytest.raises(Overloaded):
+            await second
+        coalescer.drain()
+        return await asyncio.gather(first, third)
+
+    asyncio.run(main())
+    np.testing.assert_array_equal(
+        execute.sweeps[0][1][:, 0], [1.0, 1.0, 3.0, 3.0]
+    )
+
+
+def test_server_wide_cap_evicts_across_keys():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(
+            execute, window_s=10.0, max_batch=64,
+            max_pending_rows=4, shed="oldest",
+        )
+        a = coalescer.submit("a", np.zeros((2, 2)))
+        b = coalescer.submit("b", np.ones((2, 2)))
+        # Key "c" is fine on its own, but the server-wide cap is full:
+        # the globally oldest parked request ("a") is sacrificed.
+        c = coalescer.submit("c", np.full((2, 2), 2.0))
+        with pytest.raises(Overloaded):
+            await a
+        coalescer.drain()
+        return await asyncio.gather(b, c)
+
+    asyncio.run(main())
+    assert sorted(key for key, _ in execute.sweeps) == ["b", "c"]
+    assert execute.sweeps[0][0] != "a" and execute.sweeps[1][0] != "a"
+
+
+def test_request_wider_than_cap_always_refused():
+    execute = RecordingExecute()
+
+    async def main():
+        coalescer = BatchCoalescer(
+            execute, window_s=10.0, max_batch=64,
+            max_pending_rows_per_key=4, shed="oldest",
+        )
+        parked = coalescer.submit("k", np.zeros((2, 2)))
+        # 5 rows can never fit under a cap of 4: refused even though the
+        # policy is eviction -- and the parked request is NOT evicted.
+        with pytest.raises(Overloaded):
+            coalescer.submit("k", np.zeros((5, 2)))
+        coalescer.drain()
+        return await parked
+
+    asyncio.run(main())
+    assert [s[1].shape[0] for s in execute.sweeps] == [2]
+
+
+def test_shedding_is_a_pure_function_of_arrival_order():
+    """Same arrival sequence -> same shed victims, run after run."""
+
+    def run_once():
+        execute = RecordingExecute()
+        survivors = []
+
+        async def main():
+            coalescer = BatchCoalescer(
+                execute, window_s=10.0, max_batch=64,
+                max_pending_rows=6, shed="oldest",
+            )
+            futures = [
+                coalescer.submit(f"k{i % 2}", np.full((2, 2), float(i)))
+                for i in range(6)
+            ]
+            coalescer.drain()
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            for i, res in enumerate(results):
+                if not isinstance(res, Exception):
+                    survivors.append(i)
+            return survivors
+
+        return asyncio.run(main())
+
+    assert run_once() == run_once() == [3, 4, 5]
+
+
+def test_server_shed_metrics_and_overloaded_from_predict():
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(
+            ServeConfig(window_s=10.0, max_pending_rows=2, shed="reject")
+        )
+        session = server.session(model, weights)
+        parked = asyncio.ensure_future(session.predict(np.zeros((2, 16))))
+        await asyncio.sleep(0)  # let the first predict park its rows
+        with pytest.raises(Overloaded):
+            await session.predict(np.ones(16))
+        server.drain()
+        await parked
+        return server
+
+    server = asyncio.run(main())
+    assert server.metrics.shed == 1
+    assert server.health().shed == 1
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker state machine (unit, deterministic TickClock)
+# ---------------------------------------------------------------------------
+
+
+def _tripped_breaker(threshold=2, cooldown=2.0, **kwargs):
+    from repro.runtime.errors import RetryExhausted
+
+    breaker = CircuitBreaker(BreakerConfig(
+        failure_threshold=threshold, cooldown_s=cooldown,
+        clock=TickClock(), **kwargs,
+    ))
+    for _ in range(threshold):
+        assert breaker.before_flush() == "closed"
+        breaker.record_failure(RetryExhausted(0, 3))
+    return breaker
+
+
+def test_breaker_trips_after_consecutive_taxonomy_failures():
+    breaker = _tripped_breaker(threshold=3)
+    assert breaker.state == "open"
+    assert breaker.trips == 1
+    err = breaker.reject("serve:density:abc")
+    assert isinstance(err, CircuitOpen)
+    assert err.endpoint == "serve:density:abc"
+    assert err.consecutive_failures == 3
+    assert "RetryExhausted" in err.last_failure
+
+
+def test_breaker_success_resets_consecutive_failures():
+    from repro.runtime.errors import RetryExhausted
+
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=2, clock=TickClock())
+    )
+    breaker.record_failure(RetryExhausted(0, 3))
+    breaker.record_success()
+    breaker.record_failure(RetryExhausted(0, 3))
+    # Never two *consecutive* failures: still closed.
+    assert breaker.state == "closed"
+    assert breaker.failures == 2 and breaker.successes == 1
+
+
+def test_breaker_ignores_non_taxonomy_exceptions():
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=1, clock=TickClock())
+    )
+    breaker.record_failure(ValueError("caller bug, not endpoint health"))
+    assert breaker.state == "closed"
+    assert breaker.failures == 1
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    breaker = _tripped_breaker(threshold=1, cooldown=2.0)
+    # Tick 1 of cooldown: still open.
+    assert breaker.before_flush() == "open"
+    # Tick 2 reaches the cooldown: half-open, one probe readmitted.
+    assert breaker.before_flush() == "probe"
+    assert breaker.state == "half_open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.before_flush() == "closed"
+    assert breaker.probes == 1
+
+
+def test_breaker_failed_probe_reopens_with_fresh_cooldown():
+    from repro.runtime.errors import WorkerCrash
+
+    breaker = _tripped_breaker(threshold=1, cooldown=1.0)
+    assert breaker.before_flush() == "probe"
+    breaker.record_failure(WorkerCrash(0, 0, "boom"))
+    assert breaker.state == "open"
+    assert breaker.trips == 2
+    # The next decision starts a fresh cooldown before the next probe.
+    assert breaker.before_flush() == "probe"  # cooldown_s=1: one tick
+
+
+# ---------------------------------------------------------------------------
+# graceful drain, abrupt close, health (server level)
+# ---------------------------------------------------------------------------
+
+
+def test_server_drain_flushes_parked_work_then_refuses():
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(
+            ServeConfig(window_s=10.0, record_flushes=True)
+        )
+        session = server.session(model, weights)
+        parked = asyncio.ensure_future(session.predict(np.zeros(16)))
+        await asyncio.sleep(0)
+        server.drain()
+        out = await parked  # parked work completed, not failed
+        with pytest.raises(ServerClosed) as exc_info:
+            await session.predict(np.ones(16))
+        return server, out, exc_info.value
+
+    server, out, err = asyncio.run(main())
+    assert out.shape == (4,)
+    assert err.state == "closed"
+    assert server.state == "closed"
+    assert server.health().status == "closed"
+    # Endpoints survive a drain: the flush log still verifies.
+    assert server.verify_flush_log() == 1
+
+
+def test_server_close_mid_window_leaves_nothing_armed():
+    """S1 regression at the server level: close() with requests parked
+    mid-window must fail them typed, not flush them and not hang."""
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(ServeConfig(window_s=10.0))
+        session = server.session(model, weights)
+        parked = asyncio.ensure_future(session.predict(np.zeros(16)))
+        await asyncio.sleep(0)
+        server.close()
+        with pytest.raises(ServerClosed):
+            await parked
+        with pytest.raises(ServerClosed):
+            await session.predict(np.ones(16))
+        return server
+
+    server = asyncio.run(main())
+    assert server.metrics.flushes == 0
+    assert server.coalescer.pending_rows == 0
+
+
+def test_session_after_drain_is_refused():
+    model, weights = _endpoint()
+    server = InferenceServer(ServeConfig())
+    server.drain()
+    with pytest.raises(ServerClosed):
+        server.session(model, weights)
+
+
+def test_health_snapshot_ready_and_shape():
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(
+            ServeConfig(breaker=BreakerConfig(clock=TickClock()))
+        )
+        session = server.session(model, weights, engine="density", rng=0)
+        await session.predict(np.zeros(16))
+        return server
+
+    server = asyncio.run(main())
+    health = server.health()
+    assert health.status == "ready" and health.ready
+    assert health.state == "serving"
+    assert health.pending_rows == 0
+    assert health.admission["on_unservable"] == "fallback"
+    assert len(health.endpoints) == 1
+    ep = health.endpoints[0]
+    assert ep.engine == "density"
+    assert ep.endpoint.startswith("serve:density:")
+    assert ep.breaker_state == "closed"
+    assert ep.flushes == 1 and ep.healthy
+    payload = health.to_dict()
+    assert payload["status"] == "ready"
+    server.close()
+    assert server.health().status == "closed"
+
+
+# ---------------------------------------------------------------------------
+# bounded metrics reservoir (S2)
+# ---------------------------------------------------------------------------
+
+
+def test_latency_reservoir_is_bounded_and_deterministic():
+    res = LatencyReservoir(capacity=64)
+    for i in range(10_000):
+        res.record(float(i))
+    assert len(res) < 64
+    assert res.count == 10_000
+    # Stride doubling keeps an evenly spaced subsample: indices are
+    # exact multiples of the final stride, a pure function of count.
+    assert all(s % res.stride == 0 for s in res.samples)
+    twin = LatencyReservoir(capacity=64)
+    for i in range(10_000):
+        twin.record(float(i))
+    assert res.samples == twin.samples
+
+
+def test_reservoir_quantiles_track_the_stream():
+    rng = np.random.default_rng(42)
+    stream = rng.exponential(scale=0.01, size=20_000)
+    metrics = ServeMetrics(reservoir_capacity=512)
+    for v in stream:
+        metrics.record_latency(float(v))
+    snap = metrics.snapshot()
+    true_p50 = float(np.percentile(stream, 50) * 1e3)
+    true_p99 = float(np.percentile(stream, 99) * 1e3)
+    assert abs(snap["p50_ms"] - true_p50) / true_p50 < 0.15
+    assert abs(snap["p99_ms"] - true_p99) / true_p99 < 0.25
+    # Exact aggregates never decimate.
+    assert snap["requests"] == 20_000
+    np.testing.assert_allclose(snap["mean_ms"], stream.mean() * 1e3)
+
+
+def test_metrics_reset_clears_resilience_counters():
+    metrics = ServeMetrics()
+    metrics.record_latency(0.001)
+    metrics.record_flush(8)
+    metrics.shed = 2
+    metrics.breaker_rejections = 1
+    metrics.reset()
+    snap = metrics.snapshot()
+    assert snap["requests"] == 0 and snap["shed"] == 0
+    assert snap["breaker_rejections"] == 0
+
+
+# ---------------------------------------------------------------------------
+# exports / version (S6)
+# ---------------------------------------------------------------------------
+
+
+def test_typed_errors_are_runtime_faults_and_exported_at_top_level():
+    import repro
+    from repro.runtime.errors import RuntimeFault
+
+    assert repro.__version__ == "1.3.0"
+    for err in (repro.Overloaded, repro.CircuitOpen, repro.ServerClosed):
+        assert issubclass(err, RuntimeFault)
+        assert err.__name__ in repro.__all__

@@ -1,0 +1,357 @@
+"""Seeded chaos suite for the serving front door.
+
+Drives the full serving stack -- coalescer -> circuit breaker ->
+chunk supervisor -> engine fallback -- under a deterministic
+:class:`FaultPlan` and asserts the resilience contract: every request
+either completes **bit-identically** to the serial call a lone user
+would have made, or fails with **exactly one typed error** from the
+runtime taxonomy (``RetryExhausted``, ``Overloaded``, ``CircuitOpen``,
+``ServerClosed``).  No future is ever left unresolved, no window timer
+armed.
+
+Serve-scoped faults are keyed by ``(seed, endpoint label, flush index,
+attempt)`` -- the endpoint label (``serve:<engine>:<weights-digest>``)
+is stable across runs, and flushes are driven by explicit
+``flush_all()`` wave boundaries under a huge coalescing window, so the
+whole failure trajectory is a pure function of the chaos seed: any red
+run replays locally with ``CHAOS_SEED=<seed> pytest -m chaos``.
+
+Breaker cooldowns use :class:`TickClock` (one tick per breaker
+decision), never wall-clock, so open -> half-open transitions are also
+machine-independent.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.engine import create_engine
+from repro.core.pipeline import QuantumNATConfig, QuantumNATModel
+from repro.noise import get_device
+from repro.qnn import paper_model
+from repro.runtime import (
+    DegradedExecution,
+    FaultPlan,
+    RetryExhausted,
+    SupervisorConfig,
+    chaos_seed,
+    inject_faults,
+)
+from repro.serve import (
+    BreakerConfig,
+    CircuitOpen,
+    InferenceServer,
+    Overloaded,
+    ServeConfig,
+    TickClock,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def _endpoint(seed=0):
+    qnn = paper_model(4, 1, 2, 16, 4)
+    model = QuantumNATModel(
+        qnn, get_device("santiago"), QuantumNATConfig.baseline(), rng=seed
+    )
+    return model, qnn.init_weights(seed)
+
+
+async def _wave(server, session, xs):
+    """Submit ``xs`` concurrently, flush once, collect every outcome.
+
+    Returns one entry per request: the output array or the exception.
+    All submissions park before the explicit flush (one asyncio ready
+    batch), so flush composition -- and therefore the fault schedule --
+    is a pure function of submission order.
+    """
+    tasks = [asyncio.ensure_future(session.predict(x)) for x in xs]
+    await asyncio.sleep(0)
+    server.coalescer.flush_all()
+    return await asyncio.gather(*tasks, return_exceptions=True)
+
+
+# ---------------------------------------------------------------------------
+# S3: supervised retry keeps the flush log bit-replayable
+# ---------------------------------------------------------------------------
+
+
+def test_supervised_retry_flush_log_replays_bit_identically():
+    """Every flush faults on attempt 0 and recovers on attempt 1; the
+    recovered run is bit-identical to a fault-free one (the supervisor
+    restores the RNG snapshot before every attempt), and
+    ``verify_flush_log`` replays every recovered flush bitwise."""
+    plan = FaultPlan(
+        chaos_seed(11), rates={"flush-raise": 1.0}, max_attempt_faults=1
+    )
+    config = ServeConfig(
+        window_s=10.0,
+        supervised=True,
+        supervisor_config=SupervisorConfig(max_retries=2, backoff_s=0.0),
+        record_flushes=True,
+    )
+    rng = np.random.default_rng(3)
+    requests = rng.normal(size=(6, 16))
+
+    def run(chaos: bool):
+        model, weights = _endpoint()
+
+        async def main():
+            server = InferenceServer(config)
+            session = server.session(
+                model, weights, engine="trajectory", rng=7, samples=3,
+                shots=None,
+            )
+            if chaos:
+                with inject_faults(plan):
+                    outs = []
+                    for wave in (requests[:3], requests[3:]):
+                        outs.extend(await _wave(server, session, wave))
+            else:
+                outs = []
+                for wave in (requests[:3], requests[3:]):
+                    outs.extend(await _wave(server, session, wave))
+            return server, outs
+
+        return asyncio.run(main())
+
+    server, faulted = run(chaos=True)
+    _, clean = run(chaos=False)
+    for got, want in zip(faulted, clean):
+        np.testing.assert_array_equal(got, want)
+    # Both waves recovered through a retry...
+    supervisor = next(iter(server._endpoints.values())).supervisor
+    assert supervisor.last_report.retries >= 1
+    # ...and the log replays bit-for-bit from the recorded RNG states.
+    assert server.verify_flush_log() == 2
+
+
+def test_slow_executor_times_out_and_recovers_bit_identically():
+    """``slow-executor`` blows the supervisor's per-attempt deadline:
+    attempt 0 is classified as a typed timeout, attempt 1 runs clean,
+    and the recovered outputs match a fault-free run bitwise."""
+    plan = FaultPlan(
+        chaos_seed(11),
+        rates={"slow-executor": 1.0},
+        delay_s=0.2,
+        max_attempt_faults=1,
+    )
+    config = ServeConfig(
+        window_s=10.0,
+        supervised=True,
+        supervisor_config=SupervisorConfig(
+            max_retries=2, deadline_s=0.05, backoff_s=0.0
+        ),
+        record_flushes=True,
+    )
+
+    def run(chaos: bool):
+        model, weights = _endpoint()
+
+        async def main():
+            server = InferenceServer(config)
+            session = server.session(
+                model, weights, engine="trajectory", rng=5, samples=2,
+                shots=None,
+            )
+            if chaos:
+                with inject_faults(plan):
+                    outs = await _wave(server, session, np.eye(3, 16))
+            else:
+                outs = await _wave(server, session, np.eye(3, 16))
+            return server, outs
+
+        return asyncio.run(main())
+
+    server, faulted = run(chaos=True)
+    _, clean = run(chaos=False)
+    for got, want in zip(faulted, clean):
+        np.testing.assert_array_equal(got, want)
+    supervisor = next(iter(server._endpoints.values())).supervisor
+    assert supervisor.last_report.retries >= 1
+    assert server.verify_flush_log() == 1
+
+
+# ---------------------------------------------------------------------------
+# breaker over the taxonomy: trip, typed rejection, half-open probe
+# ---------------------------------------------------------------------------
+
+
+def test_retry_exhaustion_trips_breaker_and_probe_readmits():
+    plan = FaultPlan(
+        chaos_seed(11), rates={"flush-raise": 1.0}, max_attempt_faults=10
+    )
+    config = ServeConfig(
+        window_s=10.0,
+        supervised=True,
+        supervisor_config=SupervisorConfig(max_retries=1, backoff_s=0.0),
+        breaker=BreakerConfig(
+            failure_threshold=1, cooldown_s=2.0, clock=TickClock()
+        ),
+    )
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(config)
+        session = server.session(model, weights, engine="density", rng=0)
+        breaker = server.endpoint_breaker(session.key)
+        with inject_faults(plan):
+            # Wave 1: both attempts fault -> RetryExhausted -> trip.
+            (r1,) = await _wave(server, session, [np.zeros(16)])
+            assert isinstance(r1, RetryExhausted)
+            assert breaker.state == "open" and breaker.trips == 1
+            # Wave 2: cooldown (2 ticks) not elapsed -> typed rejection.
+            (r2,) = await _wave(server, session, [np.zeros(16)])
+            assert isinstance(r2, CircuitOpen)
+            assert r2.endpoint.startswith("serve:density:")
+            assert server.metrics.breaker_rejections == 1
+            assert server.health().status == "degraded"
+        # Wave 3 (faults gone): cooldown elapsed -> half-open probe
+        # readmits exactly one flush; it succeeds and closes the breaker.
+        (r3,) = await _wave(server, session, [np.zeros(16)])
+        assert isinstance(r3, np.ndarray)
+        assert breaker.state == "closed" and breaker.probes == 1
+        assert server.health().status == "ready"
+        return server
+
+    asyncio.run(main())
+
+
+def test_open_breaker_reroutes_through_engine_fallback_chain():
+    plan = FaultPlan(
+        chaos_seed(11), rates={"flush-raise": 1.0}, max_attempt_faults=10
+    )
+    config = ServeConfig(
+        window_s=10.0,
+        supervised=True,
+        supervisor_config=SupervisorConfig(max_retries=1, backoff_s=0.0),
+        record_flushes=True,
+        breaker=BreakerConfig(
+            failure_threshold=1,
+            cooldown_s=100.0,
+            on_open="fallback",
+            clock=TickClock(),
+        ),
+    )
+    model, weights = _endpoint()
+
+    async def main():
+        server = InferenceServer(config)
+        session = server.session(
+            model, weights, engine="density", rng=0, samples=3
+        )
+        with inject_faults(plan):
+            (r1,) = await _wave(server, session, [np.zeros(16)])
+            assert isinstance(r1, RetryExhausted)
+        # Breaker open, cooldown far away: flushes reroute density->mcwf
+        # under a DegradedExecution warning instead of failing.
+        with pytest.warns(DegradedExecution):
+            (r2,) = await _wave(server, session, [np.ones(16)])
+        assert isinstance(r2, np.ndarray)
+        (r3,) = await _wave(server, session, [np.full(16, 2.0)])
+        assert isinstance(r3, np.ndarray)
+        return server
+
+    server = asyncio.run(main())
+    assert server.metrics.breaker_fallback_flushes == 2
+    health = server.health()
+    assert health.status == "degraded"
+    assert health.endpoints[0].degraded
+    # Fallback flushes are in the log with the executor that served
+    # them; the replay is bit-identical on that executor.
+    assert server.verify_flush_log() == 2
+
+
+# ---------------------------------------------------------------------------
+# full stack: typed-or-bit-identical, deterministic, clean shutdown
+# ---------------------------------------------------------------------------
+
+
+def _run_full_stack(seed: int):
+    """Overload + faults + breaker + drain; returns per-request outcomes."""
+    plan = FaultPlan(seed, rates={"flush-raise": 0.4}, max_attempt_faults=2)
+    config = ServeConfig(
+        window_s=10.0,
+        max_batch=64,
+        supervised=True,
+        supervisor_config=SupervisorConfig(max_retries=1, backoff_s=0.0),
+        max_pending_rows=16,
+        shed="oldest",
+        breaker=BreakerConfig(
+            failure_threshold=2, cooldown_s=2.0, clock=TickClock()
+        ),
+        record_flushes=True,
+    )
+    model, weights = _endpoint()
+    rng = np.random.default_rng(17)
+    burst = rng.normal(size=(20, 16))
+    trickle = rng.normal(size=(5, 4, 16))
+
+    async def main():
+        server = InferenceServer(config)
+        session = server.session(model, weights, engine="density", rng=0)
+        outcomes = []
+        with inject_faults(plan):
+            # Wave 0: a 20-request burst against a 16-row cap -- the 4
+            # oldest arrivals are shed, deterministically.
+            outcomes.extend(await _wave(server, session, burst))
+            for wave in trickle:
+                outcomes.extend(await _wave(server, session, wave))
+        server.drain()
+        # Post-drain: nothing parked, new work refused typed.
+        assert server.coalescer.pending_rows == 0
+        from repro.serve import ServerClosed
+
+        with pytest.raises(ServerClosed):
+            await session.predict(np.zeros(16))
+        return server, outcomes
+
+    return asyncio.run(main())
+
+
+def test_full_stack_every_request_typed_or_bit_identical():
+    server, outcomes = _run_full_stack(chaos_seed(11))
+    assert len(outcomes) == 40
+    shed = [o for o in outcomes if isinstance(o, Overloaded)]
+    typed_failures = [
+        o
+        for o in outcomes
+        if isinstance(o, (RetryExhausted, CircuitOpen))
+    ]
+    completed = [o for o in outcomes if isinstance(o, np.ndarray)]
+    # Exactly one outcome per request, each either a result or typed.
+    assert len(shed) == 4
+    assert len(completed) + len(shed) + len(typed_failures) == 40
+    # Every flush that served a completed request replays bitwise.
+    assert server.verify_flush_log() == server.metrics.flushes
+    # Completed outputs match the serial per-row baseline (exact
+    # engine: batching must not change values).
+    model, weights = _endpoint()
+    serial = create_engine("density", model.device.noise_model, rng=0)
+    served_rows = 0
+    for rec in server.flush_log:
+        want = model.predict(weights, rec.inputs, serial)
+        np.testing.assert_allclose(rec.outputs, want, atol=1e-10)
+        served_rows += rec.inputs.shape[0]
+    # The log covers at least every completed request's rows (wave 0
+    # parks several requests per flush; failed flushes are not logged).
+    assert served_rows >= len(completed)
+
+
+def test_full_stack_chaos_is_deterministic_under_a_pinned_seed():
+    """Same seed -> identical outcome sequence (types and bits)."""
+    first_server, first = _run_full_stack(chaos_seed(11))
+    second_server, second = _run_full_stack(chaos_seed(11))
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        if isinstance(a, np.ndarray):
+            np.testing.assert_array_equal(a, b)
+        else:
+            assert type(a) is type(b)
+    assert first_server.metrics.flushes == second_server.metrics.flushes
+    assert (
+        first_server.metrics.flush_failures
+        == second_server.metrics.flush_failures
+    )
+    assert first_server.metrics.shed == second_server.metrics.shed
