@@ -11,7 +11,17 @@ committed ``BENCH_engine.json`` on two signals:
 * **absolute slowdown** (advisory): fresh fast-path wall-clock exceeding
   ``threshold`` times the committed one prints a warning only -- raw
   timings are systematically biased across machines of different speed,
-  so they never fail CI.
+  so they never fail CI;
+* **floor** (hard): scenarios that record a ``floor`` (the sharded
+  speedup-vs-serial and the worker-scaling slope) fail when the fresh
+  gated metric drops below it.  The harness computes the floor from the
+  host's core count, so the number is comparable across machines: a
+  4-core runner must show >= 2.0x at the 4-worker scaling point, a
+  1-core runner is held to near-parity.
+
+The sharded scenarios gate on ``shard_speedup``/``speedup`` vs *serial*
+(not vs a reference implementation); both the collapse check and the
+floor apply to them.
 
 Scenarios listed in ``REQUIRED_SCENARIOS`` must be present in both the
 baseline and the fresh run -- a report that silently drops one fails the
@@ -65,7 +75,15 @@ SPEEDUP_SCENARIOS = frozenset({
     # expensive (per-chunk deadline/checksum/bookkeeping is meant to be
     # noise against the statevector sweeps it wraps).
     "supervised_trajectory",
+    # worker-scaling slope at the host's gated worker point, vs serial
+    # (same run, same host -- machine-independent, plus a hard floor).
+    "sharded_scaling",
 })
+
+#: Scenarios whose gated ratio lives in the ``shard_speedup`` column
+#: (sharded-vs-serial, measured within one run): same collapse check as
+#: :data:`SPEEDUP_SCENARIOS`, different column name.
+SHARD_SPEEDUP_SCENARIOS = frozenset({"sharded_trajectory"})
 
 #: Scenarios gated on ``goodput`` instead of a timing ratio: the chaos
 #: harness pins its seed and runs every outcome-deciding clock on
@@ -74,12 +92,12 @@ SPEEDUP_SCENARIOS = frozenset({
 #: hard failure (the resilience stack broke), not noise.
 GOODPUT_SCENARIOS = frozenset({"serve_chaos_goodput"})
 
-#: Scenarios the gate refuses to run without: the speedup pairs above,
-#: the chaos goodput scenario, plus the sharded-trajectory scenario
-#: whose bit-identity check rides along in the harness (its timing
-#: ratio is deliberately not gated).
+#: Scenarios the gate refuses to run without: the speedup pairs, the
+#: chaos goodput scenario, and the sharded scenarios (collapse-gated on
+#: ``shard_speedup`` and floor-gated; their bit-identity checks ride
+#: along in the harness).
 REQUIRED_SCENARIOS = (
-    SPEEDUP_SCENARIOS | GOODPUT_SCENARIOS | {"sharded_trajectory"}
+    SPEEDUP_SCENARIOS | GOODPUT_SCENARIOS | SHARD_SPEEDUP_SCENARIOS
 )
 
 
@@ -89,11 +107,14 @@ def compare_reports(
     """Per-scenario comparison rows: fresh run vs committed baseline.
 
     Each row carries ``regressed_absolute`` (wall-clock ratio over the
-    threshold -- advisory) and ``regressed_speedup`` (the
-    machine-independent fast-vs-reference speedup collapsing -- the hard
-    criterion); ``regressed`` is their union for display.  Scenarios are
-    matched by name; ones present on only one side are skipped here and
-    policed separately via :data:`REQUIRED_SCENARIOS`.
+    threshold -- advisory), ``regressed_speedup`` (the
+    machine-independent speedup ratio collapsing -- hard; sharded
+    scenarios compare their ``shard_speedup`` column), and
+    ``regressed_floor`` (the fresh gated metric below the core-aware
+    floor the fresh harness recorded -- hard); ``regressed`` is their
+    union for display.  Scenarios are matched by name; ones present on
+    only one side are skipped here and policed separately via
+    :data:`REQUIRED_SCENARIOS`.
     """
     if threshold <= 1.0:
         raise ValueError("threshold must be > 1 (a ratio of allowed slowdown)")
@@ -116,12 +137,20 @@ def compare_reports(
             "regressed_absolute": ratio > threshold,
             "regressed_speedup": False,
         }
-        if "speedup" in record and "speedup" in new:
-            base_sp, new_sp = float(record["speedup"]), float(new["speedup"])
+        sp_key = "shard_speedup" if name in SHARD_SPEEDUP_SCENARIOS else "speedup"
+        row["regressed_floor"] = False
+        if sp_key in record and sp_key in new:
+            base_sp, new_sp = float(record[sp_key]), float(new[sp_key])
             row["baseline_speedup"] = base_sp
             row["fresh_speedup"] = new_sp
             if new_sp < base_sp / threshold:
                 row["regressed_speedup"] = True
+            # Hard floor: the fresh harness records the minimum gated
+            # ratio it expects for *this* host's core count; dropping
+            # below it is a regression regardless of the baseline.
+            if "floor" in new and new_sp < float(new["floor"]):
+                row["regressed_floor"] = True
+                row["floor"] = float(new["floor"])
         row["regressed_goodput"] = False
         if "goodput" in record and "goodput" in new:
             base_gp, new_gp = float(record["goodput"]), float(new["goodput"])
@@ -135,6 +164,7 @@ def compare_reports(
             row["regressed_absolute"]
             or row["regressed_speedup"]
             or row["regressed_goodput"]
+            or row["regressed_floor"]
         )
         rows.append(row)
     return rows
@@ -144,10 +174,12 @@ def missing_required(baseline: dict, fresh: dict) -> "list[str]":
     """Required scenarios absent or de-fanged in either report, sorted.
 
     A :data:`SPEEDUP_SCENARIOS` entry counts as missing when either
-    report drops its ``speedup`` field, and a :data:`GOODPUT_SCENARIOS`
-    entry when either drops ``goodput`` -- the hard criteria compare
-    those columns, so losing a key must read as schema breakage, not as
-    a scenario that quietly passes.
+    report drops its ``speedup`` field, a
+    :data:`SHARD_SPEEDUP_SCENARIOS` entry when either drops
+    ``shard_speedup``, and a :data:`GOODPUT_SCENARIOS` entry when either
+    drops ``goodput`` -- the hard criteria compare those columns, so
+    losing a key must read as schema breakage, not as a scenario that
+    quietly passes.
     """
     missing = set(REQUIRED_SCENARIOS)
     for name in REQUIRED_SCENARIOS:
@@ -157,6 +189,10 @@ def missing_required(baseline: dict, fresh: dict) -> "list[str]":
             continue
         if name in SPEEDUP_SCENARIOS and not (
             "speedup" in base_row and "speedup" in fresh_row
+        ):
+            continue
+        if name in SHARD_SPEEDUP_SCENARIOS and not (
+            "shard_speedup" in base_row and "shard_speedup" in fresh_row
         ):
             continue
         if name in GOODPUT_SCENARIOS and not (
@@ -209,17 +245,18 @@ def main(argv: "list[str] | None" = None) -> int:
         fresh = run_benchmarks(scale=scale, out_path=None)
 
     rows = compare_reports(baseline, fresh, args.threshold)
-    hard = [
-        r for r in rows if r["regressed_speedup"] or r["regressed_goodput"]
-    ]
-    advisory = [
-        r
-        for r in rows
-        if r["regressed_absolute"]
-        and not (r["regressed_speedup"] or r["regressed_goodput"])
-    ]
+
+    def is_hard(r):
+        return (
+            r["regressed_speedup"]
+            or r["regressed_goodput"]
+            or r["regressed_floor"]
+        )
+
+    hard = [r for r in rows if is_hard(r)]
+    advisory = [r for r in rows if r["regressed_absolute"] and not is_hard(r)]
     for r in rows:
-        if r["regressed_speedup"] or r["regressed_goodput"]:
+        if is_hard(r):
             flag = "REGRESSED"
         elif r["regressed_absolute"]:
             flag = "slow (advisory)"
@@ -231,6 +268,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 f"   speedup {r['baseline_speedup']:6.2f}x"
                 f" -> {r['fresh_speedup']:6.2f}x"
             )
+        if r["regressed_floor"]:
+            speedups += f"   below floor {r['floor']:.2f}x"
         if "baseline_goodput" in r:
             speedups += (
                 f"   goodput {r['baseline_goodput']:.3f}"
@@ -266,13 +305,14 @@ def main(argv: "list[str] | None" = None) -> int:
         names = ", ".join(r["scenario"] for r in hard)
         verdict = "warning (soft mode)" if args.soft else "FAIL"
         print(
-            f"{verdict}: speedup collapsed >{args.threshold}x "
-            f"or goodput dropped in: {names}"
+            f"{verdict}: speedup collapsed >{args.threshold}x, "
+            f"goodput dropped, or floor missed in: {names}"
         )
         return 0 if args.soft else 1
     print(
         f"perf gate passed ({len(rows)} scenarios, speedups within "
-        f"{args.threshold}x of baseline, goodput at baseline)"
+        f"{args.threshold}x of baseline, goodput at baseline, "
+        "floors held)"
     )
     return 0
 

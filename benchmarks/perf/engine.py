@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -87,6 +88,13 @@ DEFAULT_OUT = Path(__file__).resolve().parents[2] / "BENCH_engine.json"
 
 #: Exact-path equivalence tolerance (fast vs reference, same math).
 EXACT_TOL = 1e-10
+
+#: Minimum ``sharded_trajectory`` speedup-vs-serial, keyed by the
+#: effective parallel width ``min(shard_workers, os.cpu_count())`` --
+#: the ISSUE target (>= 1.5x at 4 workers, quick scale) where the host
+#: can deliver it, near-parity where it cannot.  Recorded into the
+#: report row as ``floor``; ``check_regression.py`` enforces it hard.
+SHARD_FLOORS = {1: 0.7, 2: 1.1, 4: 1.5}
 
 SCALES = {
     # tier-2 smoke: seconds, runs inside pytest
@@ -187,6 +195,7 @@ def run_benchmarks(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
             "circuit_gates": len(circuit.gates),
             "circuit_qubits": n_qubits,
             "batch": batch,
@@ -377,44 +386,61 @@ def run_benchmarks(
     # -- sharded trajectory execution --------------------------------------
     # Same chunk layout and per-chunk RNG streams serial vs pooled, so
     # the outputs must be *bit-identical*; the timing ratio records what
-    # the worker pool buys on this host (thread workers overlap in the
-    # numpy C kernels).
+    # the worker pool buys on this host.  Both backends run through the
+    # process-global shared pools (``pool=None``), so the timed region
+    # is the steady state a training loop sees: the pool is spawned and
+    # the worker-side plan caches are warm after the warmup call.  The
+    # recorded ``shard_speedup`` is the best backend's; the floor
+    # (scale != smoke) is keyed by the worker count the host can
+    # actually exercise, so a 1-core CI runner gates near-parity while a
+    # 4-core box must show the real win.
     shard_kwargs = dict(
         n_trajectories=cfg["n_trajectories"], shard_size=cfg["shard_size"],
     )
     n_chunks = -(-cfg["n_trajectories"] // cfg["shard_size"])
-    t_serial = _best_of(
-        lambda: trajectory_probabilities(
+
+    def sharded_run(backend="thread", n_workers=0):
+        return trajectory_probabilities(
             compiled, hardware, weights, traj_inputs, traj_batch,
-            rng=2, **shard_kwargs,
-        ),
-        cfg["repeats"],
-    )
-    t_sharded = _best_of(
-        lambda: trajectory_probabilities(
-            compiled, hardware, weights, traj_inputs, traj_batch,
-            rng=2, n_workers=cfg["shard_workers"], **shard_kwargs,
-        ),
-        cfg["repeats"],
-    )
+            rng=2, n_workers=n_workers, shard_backend=backend,
+            **shard_kwargs,
+        )
+
+    t_serial = _best_of(sharded_run, cfg["repeats"])
+    p_serial = sharded_run()
+    shard_times = {}
+    shard_err = 0.0
+    for backend in ("thread", "process"):
+        p_sharded = sharded_run(backend, cfg["shard_workers"])  # warms pool
+        if not np.array_equal(p_serial, p_sharded):
+            raise AssertionError(
+                f"{backend}-sharded trajectory output is not "
+                "bit-identical to serial"
+            )
+        shard_err = max(shard_err, float(np.abs(p_serial - p_sharded).max()))
+        shard_times[backend] = _best_of(
+            lambda: sharded_run(backend, cfg["shard_workers"]),
+            cfg["repeats"],
+        )
+    shard_backend = min(shard_times, key=shard_times.get)
+    t_sharded = shard_times[shard_backend]
+    t_thread = shard_times["thread"]
+    cpu_count = os.cpu_count() or 1
     bench["sharded_trajectory"] = {
         "serial_s": t_serial, "fast_s": t_sharded,
         "shard_speedup": t_serial / t_sharded,
+        "thread_s": shard_times["thread"],
+        "process_s": shard_times["process"],
+        "backend": shard_backend, "cpu_count": cpu_count,
         "workers": cfg["shard_workers"], "chunks": n_chunks,
     }
-    p_serial = trajectory_probabilities(
-        compiled, hardware, weights, traj_inputs, traj_batch,
-        rng=2, **shard_kwargs,
-    )
-    p_sharded = trajectory_probabilities(
-        compiled, hardware, weights, traj_inputs, traj_batch,
-        rng=2, n_workers=cfg["shard_workers"], **shard_kwargs,
-    )
-    equiv["sharded_trajectory_max_err"] = float(np.abs(p_serial - p_sharded).max())
-    if not np.array_equal(p_serial, p_sharded):
-        raise AssertionError(
-            "sharded trajectory output is not bit-identical to serial"
+    if scale != "smoke":
+        # Floor keyed by the effective parallel width of this host.
+        effective = max(
+            w for w in SHARD_FLOORS if w <= min(cfg["shard_workers"], cpu_count)
         )
+        bench["sharded_trajectory"]["floor"] = SHARD_FLOORS[effective]
+    equiv["sharded_trajectory_max_err"] = shard_err
 
     # -- supervised sharded trajectory execution ---------------------------
     # Chunk supervision (per-chunk deadlines, CRC32 payload validation,
@@ -436,9 +462,11 @@ def run_benchmarks(
 
     t_supervised = _best_of(supervised_run, cfg["repeats"])
     bench["supervised_trajectory"] = {
-        "reference_s": t_sharded, "fast_s": t_supervised,
-        "speedup": t_sharded / t_supervised,
-        "overhead_pct": (t_supervised / t_sharded - 1.0) * 100.0,
+        # vs the *thread* sharded time: supervision dispatches on the
+        # thread backend, so that is the apples-to-apples denominator.
+        "reference_s": t_thread, "fast_s": t_supervised,
+        "speedup": t_thread / t_supervised,
+        "overhead_pct": (t_supervised / t_thread - 1.0) * 100.0,
         "workers": cfg["shard_workers"], "chunks": n_chunks,
     }
     p_supervised = supervised_run()
@@ -449,6 +477,20 @@ def run_benchmarks(
         raise AssertionError(
             "supervised trajectory output is not bit-identical to serial"
         )
+
+    # -- worker-scaling curve ----------------------------------------------
+    # 1/2/4/8 workers on both backends vs one serial baseline, every
+    # point bit-identical (the sweep raises otherwise); the gated number
+    # is the slope at the largest worker count this host can exercise
+    # (see benchmarks/perf/scaling.py for the floor table).
+    _HERE = str(Path(__file__).resolve().parent)
+    if _HERE not in sys.path:
+        sys.path.insert(0, _HERE)
+    from scaling import run_scaling
+
+    scaling_record, scaling_equiv = run_scaling(scale, seed=seed)
+    bench["sharded_scaling"] = scaling_record
+    equiv.update(scaling_equiv)
 
     # Stochastic channel: independent samplings agree statistically.
     n_stat = cfg["stat_trajectories"]
@@ -620,6 +662,7 @@ def run_benchmarks(
         "density_inference_max_err",
         "density_relaxation_max_err",
         "sharded_trajectory_max_err",
+        "sharded_scaling_max_err",
         "supervised_trajectory_max_err",
         "training_step_loss_err",
         "training_step_grad_max_err",
@@ -658,10 +701,17 @@ def main() -> None:
     args = parser.parse_args()
     report = run_benchmarks(args.scale, args.out, args.seed)
     for name, row in report["benchmarks"].items():
-        if "speedup" in row:
+        if "speedup" in row and "reference_s" in row:
             print(
                 f"{name:22s} reference {row['reference_s']*1e3:8.2f} ms   "
                 f"fast {row['fast_s']*1e3:8.2f} ms   {row['speedup']:5.2f}x"
+            )
+        elif "speedup" in row:
+            print(
+                f"{name:22s} serial    {row['serial_s']*1e3:8.2f} ms   "
+                f"fast {row['fast_s']*1e3:8.2f} ms   "
+                f"{row['speedup']:5.2f}x ({row['workers']} workers, "
+                f"{row['backend']})"
             )
         elif "shard_speedup" in row:
             print(

@@ -110,9 +110,12 @@ class TrainSupport:
     ``step_attr`` names the :class:`~repro.core.pipeline.QuantumNATModel`
     method computing one training step (the batched default or the
     retained per-sample reference).  ``executor_factory`` -- signature
-    ``(noise_model, injection, rng=None) -> executor`` -- builds the
-    training executor the run swaps in; None means the engine only
-    selects a step implementation and keeps the model's own executor.
+    ``(noise_model, injection, rng=None, n_workers=0) -> executor`` --
+    builds the training executor the run swaps in (``n_workers`` comes
+    from ``TrainConfig.trajectory_workers`` and backends without a
+    sharded training sweep accept and ignore it); None means the engine
+    only selects a step implementation and keeps the model's own
+    executor.
     """
 
     step_attr: str = "loss_and_gradients"
@@ -438,7 +441,7 @@ def _gate_insertion_factory(
 ):
     return GateInsertionExecutor(
         noise_model, noise_factor=noise_factor, rng=rng,
-        n_realizations=samples,
+        n_realizations=samples, n_workers=n_workers,
     )
 
 
@@ -473,27 +476,31 @@ def _mcwf_factory(
     )
 
 
-def _gate_insertion_train(noise_model, injection, rng=None):
+def _gate_insertion_train(noise_model, injection, rng=None, n_workers=0):
     return GateInsertionExecutor(
         noise_model,
         noise_factor=injection.noise_factor,
         rng=rng,
         n_realizations=injection.n_realizations,
+        n_workers=n_workers,
     )
 
 
-def _density_train(noise_model, injection, rng=None):
+def _density_train(noise_model, injection, rng=None, n_workers=0):
+    # Exact density sweeps are one fused pass; n_workers is accepted for
+    # the uniform factory signature and ignored.
     return DensityTrainExecutor(
         noise_model, noise_factor=injection.noise_factor
     )
 
 
-def _mcwf_train(noise_model, injection, rng=None):
+def _mcwf_train(noise_model, injection, rng=None, n_workers=0):
     return MCWFTrainExecutor(
         noise_model,
         noise_factor=injection.noise_factor,
         rng=rng,
         n_realizations=injection.n_realizations,
+        n_workers=n_workers,
     )
 
 

@@ -378,7 +378,75 @@ class _ReadoutEmulationMixin:
         )
 
 
-class GateInsertionExecutor(_ReadoutEmulationMixin):
+class _WorkerPoolMixin:
+    """Persistent executor-held worker pool: lazy, keyed, reaped.
+
+    Shared by the executors that shard work across calls --
+    :class:`GateInsertionExecutor` / :class:`MCWFTrainExecutor` band
+    their stacked training sweeps over a thread pool, and
+    :class:`TrajectoryEvalExecutor` shards trajectory chunks over a
+    thread or process pool.  The pool stays open *across calls* (the
+    whole point: spawn cost is paid once per executor, not once per
+    training step), is recreated when ``(shard_backend, n_workers)``
+    change, and is released by :meth:`close`, the context-manager
+    protocol, or -- leak guard -- a finalizer at collection time.
+    """
+
+    n_workers: int = 0
+    shard_backend: str = "thread"
+
+    def _init_pool_state(self) -> None:
+        self._pool = None
+        self._pool_key = None
+        self._pool_finalizer = None
+
+    def _ensure_pool(self):
+        """The persistent worker pool, (re)built to match the settings."""
+        if self.n_workers <= 0:
+            self.close()
+            return None
+        key = (self.shard_backend, self.n_workers)
+        if self._pool is not None and self._pool_key != key:
+            self.close()
+        if self._pool is None:
+            from concurrent.futures import (
+                ProcessPoolExecutor,
+                ThreadPoolExecutor,
+            )
+
+            cls = (
+                ThreadPoolExecutor
+                if self.shard_backend == "thread"
+                else ProcessPoolExecutor
+            )
+            self._pool = cls(max_workers=self.n_workers)
+            self._pool_key = key
+            # Belt-and-braces leak guard: an executor dropped without
+            # close() still reaps its workers when it is collected (the
+            # mid-sweep exception path additionally closes eagerly).
+            self._pool_finalizer = weakref.finalize(
+                self, _reap_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class GateInsertionExecutor(_ReadoutEmulationMixin, _WorkerPoolMixin):
     """QuantumNAT's training backend: sampled error gates + readout noise.
 
     Every ``forward`` call samples a fresh set of Pauli error gates
@@ -392,6 +460,14 @@ class GateInsertionExecutor(_ReadoutEmulationMixin):
     ``(n_realizations * batch, 2**n)`` statevector sweep -- the training
     batch axis composed with the stacked-trajectory axis (see
     :func:`~repro.noise.trajectory.stacked_noisy_forward_with_tape`).
+
+    ``n_workers > 0`` bands that stacked sweep (one fixed row band per
+    realization) over an executor-held persistent *thread* pool, so a
+    training loop pays pool spawn once instead of once per step.  The
+    band layout never depends on the worker count: results are bitwise
+    identical across worker counts, and match the ``n_workers = 0``
+    serial sweep to float tolerance (the sampled error events are
+    identical -- the rng is consumed before any banding decision).
     """
 
     differentiable = True
@@ -403,17 +479,22 @@ class GateInsertionExecutor(_ReadoutEmulationMixin):
         readout: bool = True,
         rng: "int | np.random.Generator | None" = None,
         n_realizations: int = 1,
+        n_workers: int = 0,
     ):
         if n_realizations < 1:
             raise ValueError("need at least one noise realization")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
         self.noise_model = noise_model
         self.noise_factor = noise_factor
         self.readout = readout
         self.rng = as_rng(rng)
         self.n_realizations = n_realizations
+        self.n_workers = n_workers
         self.sampler = ErrorGateSampler(noise_model, noise_factor)
         self.last_insertion_stats = None
         self._readout_cache: "list[tuple[CompiledCircuit, np.ndarray]]" = []
+        self._init_pool_state()
 
     def forward(
         self,
@@ -428,6 +509,9 @@ class GateInsertionExecutor(_ReadoutEmulationMixin):
                 self.n_realizations, self.rng,
                 n_weights=n_weights,
                 n_inputs=n_inputs,
+                # Supplier, not instance: the pool only spawns on sweeps
+                # that actually band (n_workers = 0 stays pool-free).
+                pool=self._ensure_pool if self.n_workers > 0 else None,
             )
             from repro.noise.sampler import InsertionStats
 
@@ -590,7 +674,7 @@ class DensityEvalExecutor:
         raise NotImplementedError("density evaluation is inference-only")
 
 
-class MCWFTrainExecutor(_ReadoutEmulationMixin):
+class MCWFTrainExecutor(_ReadoutEmulationMixin, _WorkerPoolMixin):
     """Quantum-jump (MCWF) noise-injection training backend.
 
     The stochastic-wavefunction counterpart of
@@ -604,6 +688,12 @@ class MCWFTrainExecutor(_ReadoutEmulationMixin):
     statevector-bound rather than density-bound, it is the training
     backend for *wide* blocks whose noise model carries exact channels.
     Readout applies as the shared affine emulation.
+
+    ``n_workers > 0`` holds a persistent thread pool and row-bands the
+    stacked sweep over it -- but only on models *without* jump sites
+    (each jump's probabilities depend on the evolved state mid-sweep,
+    so a jump-carrying sweep stays a single serial pass and the pool is
+    not consulted; results are unchanged either way).
     """
 
     differentiable = True
@@ -615,14 +705,18 @@ class MCWFTrainExecutor(_ReadoutEmulationMixin):
         readout: bool = True,
         rng: "int | np.random.Generator | None" = None,
         n_realizations: int = 1,
+        n_workers: int = 0,
     ):
         if n_realizations < 1:
             raise ValueError("need at least one noise realization")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
         self.noise_model = noise_model
         self.noise_factor = noise_factor
         self.readout = readout
         self.rng = as_rng(rng)
         self.n_realizations = n_realizations
+        self.n_workers = n_workers
         self.sampler = ErrorGateSampler(
             noise_model, noise_factor, allow_exact=True
         )
@@ -632,6 +726,7 @@ class MCWFTrainExecutor(_ReadoutEmulationMixin):
         # on the compiled circuit and the scaled model, so it is built
         # once per block rather than once per training step.
         self._jump_cache: "list[tuple[CompiledCircuit, list]]" = []
+        self._init_pool_state()
 
     def _jump_sites(self, compiled: "CompiledCircuit") -> list:
         for cached, sites in self._jump_cache:
@@ -657,6 +752,7 @@ class MCWFTrainExecutor(_ReadoutEmulationMixin):
             self.n_realizations, self.rng,
             n_weights=n_weights, n_inputs=n_inputs,
             jump_sites=self._jump_sites(compiled),
+            pool=self._ensure_pool if self.n_workers > 0 else None,
         )
         self.last_insertion_stats = InsertionStats(
             len(compiled.circuit.gates) * self.n_realizations, n_inserted
@@ -685,7 +781,7 @@ def _reap_pool(pool) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
-class TrajectoryEvalExecutor:
+class TrajectoryEvalExecutor(_WorkerPoolMixin):
     """'Real QC' surrogate: drifted noise + trajectories + shot sampling.
 
     ``n_workers > 0`` shards trajectory chunks across a
@@ -758,54 +854,7 @@ class TrajectoryEvalExecutor:
 
             supervisor = ChunkSupervisor(label="trajectory")
         self.supervisor = supervisor
-        self._pool = None
-        self._pool_key = None
-        self._pool_finalizer = None
-
-    def _ensure_pool(self):
-        """The persistent worker pool, (re)built to match the settings."""
-        if self.n_workers <= 0:
-            self.close()
-            return None
-        key = (self.shard_backend, self.n_workers)
-        if self._pool is not None and self._pool_key != key:
-            self.close()
-        if self._pool is None:
-            from concurrent.futures import (
-                ProcessPoolExecutor,
-                ThreadPoolExecutor,
-            )
-
-            cls = (
-                ThreadPoolExecutor
-                if self.shard_backend == "thread"
-                else ProcessPoolExecutor
-            )
-            self._pool = cls(max_workers=self.n_workers)
-            self._pool_key = key
-            # Belt-and-braces leak guard: an executor dropped without
-            # close() still reaps its workers when it is collected (the
-            # mid-sweep exception path additionally closes eagerly).
-            self._pool_finalizer = weakref.finalize(
-                self, _reap_pool, self._pool
-            )
-        return self._pool
-
-    def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent)."""
-        if self._pool_finalizer is not None:
-            self._pool_finalizer.detach()
-            self._pool_finalizer = None
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-            self._pool_key = None
-
-    def __enter__(self) -> "TrajectoryEvalExecutor":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+        self._init_pool_state()
 
     def forward(
         self,

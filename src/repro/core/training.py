@@ -39,8 +39,10 @@ class TrainConfig:
     #: trajectories of the exact channel (any width).
     engine: str = "fast"
     #: > 0 shards trajectory-backed validation executors across that many
-    #: workers (`TrajectoryEvalExecutor.n_workers`); sharded evaluation
-    #: is bit-identical to serial, so this is purely a throughput knob.
+    #: workers (`TrajectoryEvalExecutor.n_workers`) and hands the same
+    #: count to the training-engine factory, whose executors row-band
+    #: their stacked sweeps over a persistent thread pool; results are
+    #: unchanged, so this is purely a throughput knob.
     trajectory_workers: int = 0
     #: When set, the loop writes an atomic checkpoint (weights,
     #: optimizer state, RNG states, engine name) to this path at epoch
@@ -178,7 +180,10 @@ def train(
             )
         executor_restore = model._train_executor
         model._train_executor = spec.train.executor_factory(
-            model.device.noise_model, injection, rng=model.rng
+            model.device.noise_model,
+            injection,
+            rng=model.rng,
+            n_workers=config.trajectory_workers,
         )
     if (
         config.trajectory_workers > 0
@@ -207,6 +212,12 @@ def train(
             if close is not None:
                 close()
         if executor_restore is not None:
+            # The swapped-in training executor may hold a persistent
+            # worker pool (row-banded sweeps); release it before the
+            # caller's executor comes back, as nothing else will.
+            close = getattr(model._train_executor, "close", None)
+            if close is not None:
+                close()
             model._train_executor = executor_restore
 
 

@@ -54,6 +54,8 @@ otherwise).
 from __future__ import annotations
 
 import functools
+import hashlib
+import pickle
 
 from dataclasses import dataclass
 
@@ -68,6 +70,8 @@ from repro.noise.readout import apply_readout_to_joint_probabilities
 from repro.noise.sampler import ErrorGateSampler
 from repro.sim.gates import gate_matrix
 from repro.sim.statevector import (
+    SmallLRU,
+    apply_grouped_1q,
     apply_matrix,
     batched_multinomial,
     bind_circuit,
@@ -366,18 +370,37 @@ def _segment_chunk(
     Executes the plan's fused stream: ``("op", ...)`` steps apply merged
     segment matrices (or per-call encoder gates); at each
     ``("site", gate)`` step the chunk's pre-drawn Pauli choices become
-    batched error matrices, applied operand-by-operand in
+    per-trajectory error coefficients, applied operand-by-operand in
     :meth:`ErrorGateSampler.sample`'s insertion order.  Sites where
     every trajectory drew identity are skipped outright.
+
+    The hot inner work never materializes per-row ``(rows, 2, 2)``
+    matrix stacks: sampled Pauli errors broadcast one 2x2 per trajectory
+    over its ``batch`` stacked rows, and 1-qubit batched encoder gates
+    broadcast one 2x2 per sample across the stacked trajectories
+    (:func:`repro.sim.statevector.apply_grouped_1q`) -- each step is a
+    handful of whole-stack ufunc passes (GIL-released C loops), so the
+    thread backend's workers overlap instead of serializing on Python
+    row bookkeeping.  Dense fused segments already contract as single
+    flat GEMMs over the whole trajectory x batch stack.
     """
-    stacked = zero_state(n_qubits, n_traj * batch)
+    rows = n_traj * batch
+    stacked = zero_state(n_qubits, rows)
     scratch = np.empty_like(stacked)
     choices = plan.sample(rng, n_traj)
     for kind, payload in stream:
         if kind == "op":
             matrix = payload.matrix
-            if payload.batched:
-                # Per-sample encoder matrices repeat across trajectories.
+            if payload.batched and n_traj > 1:
+                if len(payload.qubits) == 1:
+                    # Per-sample encoder matrices repeat across stacked
+                    # trajectories: broadcast, never tile.
+                    apply_grouped_1q(
+                        stacked, matrix, payload.qubits[0], n_qubits,
+                        out=scratch, layout="cycle",
+                    )
+                    stacked, scratch = scratch, stacked
+                    continue
                 matrix = np.tile(matrix, (n_traj, 1, 1))
             apply_matrix(stacked, matrix, payload.qubits, n_qubits, out=scratch)
             stacked, scratch = scratch, stacked
@@ -395,38 +418,177 @@ def _segment_chunk(
         for row, local_q in plan.site_rows[payload]:
             drawn = choices[row]
             if drawn.any():
-                errors = np.repeat(_PAULI_STACK[drawn], batch, axis=0)
-                apply_matrix(stacked, errors, (local_q,), n_qubits, out=scratch)
+                # One 2x2 per trajectory, broadcast over its batch rows.
+                apply_grouped_1q(
+                    stacked, _PAULI_STACK[drawn], local_q, n_qubits,
+                    out=scratch, layout="block",
+                )
                 stacked, scratch = scratch, stacked
     probs = np.abs(stacked) ** 2
     return probs.reshape(n_traj, batch, -1).sum(axis=0)
 
 
-def _process_chunk_worker(
+#: Worker-side (process-global) cache of rebuilt segment plans, keyed by
+#: the task payload's plan digest.  A persistent process pool unpickles
+#: the circuit + noise model and compiles the segment plan *once per
+#: worker* instead of once per task; the plan's internal weight-keyed
+#: fusion cache then makes repeat calls with the same weight vector
+#: (training sweeps, serve flushes) hit fully warm plans.
+_WORKER_PLAN_CACHE = SmallLRU(8)
+
+#: Hit/miss counters for :data:`_WORKER_PLAN_CACHE`, per worker process.
+_WORKER_PLAN_STATS = {"hits": 0, "misses": 0}
+
+
+def worker_plan_cache_stats() -> dict:
+    """Debug hook: this process's worker plan-cache counters.
+
+    Submit to a pool worker (``pool.submit(worker_plan_cache_stats)``)
+    to observe cache behaviour across tasks; used by the plan-cache
+    tests and harmless in the parent (where the cache stays empty --
+    the serial path uses the circuit-attached cache instead).
+    """
+    import os
+
+    return {
+        "pid": os.getpid(),
+        "entries": len(_WORKER_PLAN_CACHE),
+        **_WORKER_PLAN_STATS,
+    }
+
+
+def reset_worker_plan_cache() -> None:
+    """Debug hook: clear this process's worker plan cache and counters."""
+    _WORKER_PLAN_CACHE._data.clear()
+    _WORKER_PLAN_STATS["hits"] = 0
+    _WORKER_PLAN_STATS["misses"] = 0
+
+
+@dataclass(frozen=True)
+class _ShardPayload:
+    """Per-call constants a process-backend chunk task ships once.
+
+    ``plan_blob`` is the pre-pickled ``(bare circuit, noise model,
+    noise factor, jump)`` tuple -- serialized *once per call* in the
+    parent (re-pickling the payload per task then only memcpys the
+    bytes) -- and ``plan_digest`` is its hash, the worker plan-cache
+    key: it covers the circuit gates, the noise model and the factor,
+    so any change to what the plan is compiled from changes the key.
+    Weights and inputs ride alongside, outside the digested blob: they
+    vary per call and feed the plan's own weight-keyed caches.
+    """
+
+    plan_blob: bytes
+    plan_digest: str
+    weights: "np.ndarray | None"
+    inputs: "np.ndarray | None"
+    batch: int
+
+
+class _PayloadBlob:
+    """A cached (blob, digest) row for :func:`_shard_payload`.
+
+    ``cached_noise_plan`` rows are ``(model, factor, plan)`` with
+    staleness checked via ``plan.bind_plan.stale(circuit)``; carrying
+    the parent circuit's bind plan makes the cached blob invalidate
+    with the gate list exactly like the execution plans do.
+    """
+
+    __slots__ = ("bind_plan", "blob", "digest")
+
+
+def _shard_payload(
     compiled: "CompiledCircuit",
     noise_model: NoiseModel,
     noise_factor: float,
     weights: "np.ndarray | None",
     inputs: "np.ndarray | None",
     batch: int,
-    group: "list[tuple[int, np.random.SeedSequence]]",
-    jump: bool = False,
-) -> "list[np.ndarray]":
-    """Rebuild the plan in a worker process and run a group of chunks.
+    jump: bool,
+) -> _ShardPayload:
+    """Build (and memoize on the parent circuit) a call's task payload.
 
-    Each worker task receives a *contiguous group* of chunks so the
-    circuit is unpickled and the segment plan built once per task, not
-    once per chunk.  Plan construction and segment fusion are
-    deterministic, and each chunk still consumes only its own spawned
-    stream, so the results are bit-identical to the same chunks computed
-    serially in the parent (verified by the sharding equivalence tests).
+    Ships a *bare* copy of the compiled circuit: the original carries
+    the parent's plan caches (``_bind_plan``, ``_trajectory_plans``,
+    fused segment matrices) as instance attributes, which would bloat
+    the pickle only for the worker to rebuild its plan from the gates
+    anyway.  The blob + digest depend only on (gates, noise model,
+    factor, jump), so they share the circuit-attached memoization
+    policy of the plans themselves
+    (:func:`repro.compiler.superop.cached_noise_plan`) and a training
+    loop's repeat calls skip re-pickling the circuit entirely.
     """
+    from dataclasses import replace
+
+    from repro.circuits.circuit import Circuit
+    from repro.compiler.superop import cached_noise_plan
+
+    def build():
+        bare = replace(
+            compiled,
+            circuit=Circuit(
+                compiled.circuit.n_qubits, list(compiled.circuit.gates)
+            ),
+        )
+        entry = _PayloadBlob()
+        entry.bind_plan = bind_plan_for(compiled.circuit)
+        entry.blob = pickle.dumps(
+            (bare, noise_model, noise_factor, jump),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        entry.digest = hashlib.sha1(entry.blob).hexdigest()
+        return entry
+
+    entry = cached_noise_plan(
+        compiled.circuit,
+        "_mcwf_payloads" if jump else "_shard_payloads",
+        noise_model, noise_factor, build,
+    )
+    return _ShardPayload(entry.blob, entry.digest, weights, inputs, batch)
+
+
+def _worker_plan(payload: _ShardPayload) -> "tuple[_SegmentPlan, int]":
+    """The (plan, n_qubits) for a task payload, from this worker's cache.
+
+    A cache hit skips unpickling the circuit blob entirely; a miss
+    deserializes and compiles deterministically, so a cold cache is
+    bit-identical to a warm one (verified by the plan-cache tests).
+    """
+    cached = _WORKER_PLAN_CACHE.get(payload.plan_digest)
+    if cached is not None:
+        _WORKER_PLAN_STATS["hits"] += 1
+        return cached
+    _WORKER_PLAN_STATS["misses"] += 1
+    compiled, noise_model, noise_factor, jump = pickle.loads(payload.plan_blob)
     sampler = ErrorGateSampler(noise_model, noise_factor, allow_exact=jump)
-    plan = _segment_plan_for(compiled, sampler, jump=jump)
-    stream = plan.fused_stream(weights, inputs, batch)
+    entry = (
+        _SegmentPlan(compiled, sampler, jump=jump),
+        compiled.circuit.n_qubits,
+    )
+    _WORKER_PLAN_CACHE.put(payload.plan_digest, entry)
+    return entry
+
+
+def _process_chunk_worker(
+    payload: _ShardPayload,
+    group: "list[tuple[int, np.random.SeedSequence]]",
+) -> "list[np.ndarray]":
+    """Run a group of chunks in a worker process off the cached plan.
+
+    Each worker task receives a *contiguous group* of chunks so even a
+    cold plan is built once per task, not once per chunk; on a
+    persistent pool the digest-keyed :data:`_WORKER_PLAN_CACHE` carries
+    the plan across tasks and calls.  Plan construction and segment
+    fusion are deterministic, and each chunk still consumes only its
+    own spawned stream, so the results are bit-identical to the same
+    chunks computed serially in the parent (verified by the sharding
+    equivalence tests).
+    """
+    plan, n_qubits = _worker_plan(payload)
+    stream = plan.fused_stream(payload.weights, payload.inputs, payload.batch)
     return [
         _segment_chunk(
-            plan, stream, compiled.circuit.n_qubits, batch, n_traj,
+            plan, stream, n_qubits, payload.batch, n_traj,
             np.random.default_rng(seed),
         )
         for n_traj, seed in group
@@ -521,6 +683,47 @@ def stacked_noisy_ops(
     return stacked, n_inserted
 
 
+def _sweep_band(ops, n_qubits: int, lo: int, hi: int, state, scratch) -> None:
+    """Apply bound ops to one contiguous row band of a shared stack.
+
+    Batched (per-row) matrices are sliced to the band; bands write
+    disjoint row slices of the two shared ping-pong buffers, so
+    concurrent bands never alias.  Every band performs ``len(ops)``
+    buffer swaps, so all bands end on the same parity and the caller
+    resolves the final buffer once.
+    """
+    s = state[lo:hi]
+    c = scratch[lo:hi]
+    for op in ops:
+        matrix = op.matrix
+        if op.batched:
+            matrix = matrix[lo:hi]
+        apply_matrix(s, matrix, op.qubits, n_qubits, out=c)
+        s, c = c, s
+
+
+def run_ops_banded(ops, n_qubits: int, rows: int, band_rows: int, pool):
+    """Sweep bound ops over a zero-initialized ``(rows, 2**n)`` stack in
+    fixed row bands distributed over a thread pool.
+
+    The band layout is a function of ``band_rows`` alone -- never the
+    worker count -- so the result is bitwise independent of how many
+    threads execute the bands (asserted by the executor sharding
+    tests); it may differ from the unbanded
+    :func:`repro.sim.statevector.run_ops` sweep only where a kernel's
+    BLAS blocking depends on the stack height (within float tolerance).
+    Thread pools only: bands share the two ping-pong buffers.
+    """
+    state = zero_state(n_qubits, rows)
+    scratch = np.empty_like(state)
+    bounds = list(range(0, rows, band_rows)) + [rows]
+    _collect_fail_fast([
+        pool.submit(_sweep_band, ops, n_qubits, lo, hi, state, scratch)
+        for lo, hi in zip(bounds, bounds[1:])
+    ])
+    return scratch if len(ops) % 2 else state
+
+
 def stacked_noisy_forward_with_tape(
     compiled: "CompiledCircuit",
     sampler: ErrorGateSampler,
@@ -530,6 +733,7 @@ def stacked_noisy_forward_with_tape(
     rng: "int | np.random.Generator | None" = None,
     n_weights: "int | None" = None,
     n_inputs: "int | None" = None,
+    pool=None,
 ):
     """Noise-injected forward over stacked realizations, keeping the tape.
 
@@ -537,6 +741,14 @@ def stacked_noisy_forward_with_tape(
     per-sample mean over realizations, shape ``(batch, n_qubits)``; the
     tape's state is the full ``(n_realizations * batch, 2**n)`` stack and
     is consumed by :func:`stacked_noisy_backward`.
+
+    ``pool`` (a thread executor or a zero-argument callable returning
+    one, held persistently by :class:`~repro.core.executors
+    .GateInsertionExecutor`) shards the sweep into one fixed row band
+    per realization via :func:`run_ops_banded`; the band layout never
+    depends on the worker count, so results are bitwise identical
+    across worker counts.  The sampled events are identical to the
+    serial sweep's -- the rng is consumed before any banding decision.
     """
     from repro.core.gradients import QuantumTape
     from repro.sim.statevector import run_ops
@@ -550,7 +762,14 @@ def stacked_noisy_forward_with_tape(
     ops, n_inserted = stacked_noisy_ops(
         compiled, sampler, weights, inputs, batch, n_realizations, rng
     )
-    state = run_ops(ops, circuit.n_qubits, n_realizations * batch)
+    if pool is not None and n_realizations > 1 and callable(pool):
+        pool = pool()  # lazy supplier; may decline (None) -> serial sweep
+    if pool is not None and n_realizations > 1:
+        state = run_ops_banded(
+            ops, circuit.n_qubits, n_realizations * batch, batch, pool
+        )
+    else:
+        state = run_ops(ops, circuit.n_qubits, n_realizations * batch)
     table = circuit.parameter_table
     tape = QuantumTape(
         circuit,
@@ -631,6 +850,7 @@ def mcwf_forward_with_tape(
     n_weights: "int | None" = None,
     n_inputs: "int | None" = None,
     jump_sites: "list | None" = None,
+    pool=None,
 ) -> "tuple[np.ndarray, MCWFTape, int]":
     """Quantum-jump noisy forward over stacked realizations, with tape.
 
@@ -653,6 +873,15 @@ def mcwf_forward_with_tape(
     depends only on the circuit, layout and scaled model, so per-step
     callers like :class:`~repro.core.executors.MCWFTrainExecutor` cache
     it per compiled block).
+
+    ``pool`` (a thread executor or zero-argument callable returning
+    one) row-bands the sweep via :func:`run_ops_banded` -- but only
+    when the model has *no* jump sites: each jump's probabilities
+    depend on the evolved state mid-sweep and its draws consume the rng
+    in stream order, so a jump-carrying sweep must stay a single serial
+    pass to preserve both the stream and the tape checkpoints.  With
+    jumps present the pool is simply not consulted and results are
+    unchanged.
     """
     rng = as_rng(rng)
     if inputs is not None:
@@ -673,8 +902,17 @@ def mcwf_forward_with_tape(
     for _gi, local_q, kraus, effects in jump_sites:
         jump_by_gate.setdefault(_gi, []).append((local_q, kraus, effects))
 
-    state = zero_state(n, rows)
-    scratch = np.empty_like(state)
+    # Jump-free sweeps are state-independent end to end: record the op
+    # list and run it banded on the pool instead of applying inline.
+    deferred = pool is not None and n_realizations > 1 and not jump_by_gate
+    if deferred and callable(pool):
+        pool = pool()  # lazy supplier; may decline (None) -> serial sweep
+        deferred = pool is not None
+    if deferred:
+        state = scratch = None
+    else:
+        state = zero_state(n, rows)
+        scratch = np.empty_like(state)
     ops: list = []
     checkpoints: "dict[int, np.ndarray]" = {}
     jump_ops: "set[int]" = set()
@@ -683,8 +921,9 @@ def mcwf_forward_with_tape(
 
     def apply_op(op):
         nonlocal state, scratch
-        apply_matrix(state, op.matrix, op.qubits, n, out=scratch)
-        state, scratch = scratch, state
+        if not deferred:
+            apply_matrix(state, op.matrix, op.qubits, n, out=scratch)
+            state, scratch = scratch, state
         ops.append(op)
 
     for i, (op, post) in enumerate(zip(base_ops, events)):
@@ -706,6 +945,9 @@ def mcwf_forward_with_tape(
         coherent = [e for e in post if e[0] == "coherent"]
         for local_q, matrix in _expand_events(coherent, batch):
             apply_op(_error_op(local_q, matrix))
+
+    if deferred:
+        state = run_ops_banded(ops, n, rows, batch, pool)
 
     table = circuit.parameter_table
     tape = MCWFTape(
@@ -945,6 +1187,47 @@ def trajectory_probabilities(
     return total / n_trajectories
 
 
+def _balanced_group_bounds(n_items: int, n_groups: int) -> "list[int]":
+    """``array_split``-style group boundaries: balanced, order-preserving.
+
+    Group sizes differ by at most one (the remainder spreads over the
+    leading groups), unlike the former ``linspace(...).astype(int)``
+    truncation, which piled the remainder onto the tail groups at
+    awkward ``n_items / n_groups`` ratios.  Results are unaffected
+    either way -- item order is preserved and the flattening restores
+    global chunk order -- but the slowest task no longer carries up to
+    twice its fair share.
+    """
+    base, extra = divmod(n_items, n_groups)
+    bounds = [0]
+    for i in range(n_groups):
+        bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+    return bounds
+
+
+def _collect_fail_fast(futures: list) -> list:
+    """Harvest pool futures in submission order, failing fast.
+
+    A plain ``[f.result() for f in futures]`` blocks on every earlier
+    future while a raised chunk leaves later siblings running and
+    un-reaped.  Instead: wait until all complete *or* any fails, cancel
+    the outstanding ones, and surface the first (submission-order)
+    failure promptly -- mirroring the chunk supervisor's semantics.
+    """
+    from concurrent.futures import FIRST_EXCEPTION, wait
+
+    done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    failed = next(
+        (f for f in futures if f in done and f.exception() is not None),
+        None,
+    )
+    if failed is None:
+        return [future.result() for future in futures]
+    for future in not_done:
+        future.cancel()
+    raise failed.exception()
+
+
 def _run_sharded(
     plan: _SegmentPlan,
     stream: "list[tuple]",
@@ -968,17 +1251,20 @@ def _run_sharded(
     Threads share the already-built plan and op stream (the sweep is
     numpy-dominated, so worker threads overlap in the C kernels);
     processes re-derive both deterministically from the pickled circuit
-    and noise model.  ``pool`` reuses a caller-held executor of the
-    matching backend (kept alive across calls by
-    ``TrajectoryEvalExecutor``); without one, a fresh pool is spawned
-    and torn down around this call.  Chunk decomposition, per-chunk
-    streams and result order never depend on which pool ran them.
-    ``supervisor`` routes dispatch through the chunk supervisor
-    (deadlines, retry, checksum validation, broken-pool recovery) --
-    results are unchanged because chunks are re-runnable from their
-    seeds.  Supervised runs additionally degrade to serial in-parent
-    execution when the pool cannot even be spawned, instead of dying on
-    the spawn error.
+    and noise model, memoized worker-side by payload digest
+    (:data:`_WORKER_PLAN_CACHE`).  ``pool`` reuses a caller-held
+    executor of the matching backend (kept alive across calls by
+    ``TrajectoryEvalExecutor``); without one, the process-global shared
+    pool for ``(backend, n_workers)`` is used
+    (:func:`repro.runtime.pools.shared_pool`) so repeat pool-less calls
+    -- training loops, serve flushes -- stop paying spawn cost and cold
+    worker caches per call.  Chunk decomposition, per-chunk streams and
+    result order never depend on which pool ran them.  ``supervisor``
+    routes dispatch through the chunk supervisor (deadlines, retry,
+    checksum validation, broken-pool recovery) -- results are unchanged
+    because chunks are re-runnable from their seeds.  Supervised runs
+    additionally degrade to serial in-parent execution when the pool
+    cannot even be spawned, instead of dying on the spawn error.
     """
     if callable(pool):
         # Lazy supplier: the pool only materializes on runs that shard.
@@ -989,6 +1275,21 @@ def _run_sharded(
                 raise
             _warn_spawn_degrade(shard_backend, exc)
             pool = None
+        shared = False
+    else:
+        shared = False
+        if pool is None:
+            from repro.runtime.pools import shared_pool
+
+            try:
+                pool = shared_pool(shard_backend, n_workers)
+                shared = True
+            except OSError as exc:
+                if supervisor is None:
+                    raise
+                _warn_spawn_degrade(shard_backend, exc)
+                pool = None  # supervised serial fallback
+
     if shard_backend == "thread":
         def dispatch(active):
             if supervisor is not None:
@@ -1005,49 +1306,28 @@ def _run_sharded(
                     ],
                     pool=active,
                 )
-            futures = [
+            return _collect_fail_fast([
                 active.submit(
                     _segment_chunk, plan, stream, n_qubits, batch,
                     chunk, np.random.default_rng(seed),
                 )
                 for chunk, seed in zip(chunks, seeds)
-            ]
-            return [future.result() for future in futures]
+            ])
 
-        if pool is not None:
-            return dispatch(pool)
-        from concurrent.futures import ThreadPoolExecutor
+        return _dispatch_guarded(dispatch, pool, shared, supervisor)
 
-        fresh = _spawn_or_degrade(
-            ThreadPoolExecutor, n_workers, supervisor, shard_backend
-        )
-        if fresh is None:
-            return dispatch(None)  # supervised serial fallback
-        with fresh:
-            return dispatch(fresh)
     # shard_backend == "process" (validated by the caller).
-    from dataclasses import replace
-
-    from repro.circuits.circuit import Circuit
-
-    # Ship a bare copy of the compiled circuit: the original carries the
-    # parent's plan caches (_bind_plan, _trajectory_plans, fused segment
-    # matrices) as instance attributes, which would bloat every task's
-    # pickle only for the worker to rebuild its plan from the gates
-    # anyway.  Plan construction is deterministic, so results are
-    # unaffected.
-    bare = replace(
-        compiled,
-        circuit=Circuit(compiled.circuit.n_qubits, list(compiled.circuit.gates)),
+    payload = _shard_payload(
+        compiled, noise_model, noise_factor, weights, inputs, batch, jump
     )
-    # Contiguous chunk groups, one task per worker: the pickled circuit
-    # and the segment plan are rebuilt once per task instead of once per
-    # chunk.  Group boundaries do not affect results -- every chunk
-    # keeps its own spawned stream and the flattening below restores
-    # global chunk order.
+    # Contiguous chunk groups, one task per worker: even a cold worker
+    # builds its plan once per task instead of once per chunk (and a
+    # warm one not at all).  Group boundaries do not affect results --
+    # every chunk keeps its own spawned stream and the flattening below
+    # restores global chunk order.
     pairs = list(zip(chunks, seeds))
     n_groups = min(n_workers, len(pairs))
-    bounds = np.linspace(0, len(pairs), n_groups + 1).astype(int)
+    bounds = _balanced_group_bounds(len(pairs), n_groups)
     groups = [
         pairs[bounds[i]:bounds[i + 1]]
         for i in range(n_groups)
@@ -1062,14 +1342,7 @@ def _run_sharded(
 
             grouped = supervisor.run(
                 [
-                    ChunkTask(
-                        gi,
-                        _process_chunk_worker,
-                        (
-                            bare, noise_model, noise_factor, weights,
-                            inputs, batch, group, jump,
-                        ),
-                    )
+                    ChunkTask(gi, _process_chunk_worker, (payload, group))
                     for gi, group in enumerate(groups)
                 ],
                 pool=active,
@@ -1080,26 +1353,40 @@ def _run_sharded(
                 rebuild=lambda: ProcessPoolExecutor(max_workers=n_workers),
             )
             return [result for group in grouped for result in group]
-        futures = [
-            active.submit(
-                _process_chunk_worker, bare, noise_model,
-                noise_factor, weights, inputs, batch, group, jump,
-            )
+        grouped = _collect_fail_fast([
+            active.submit(_process_chunk_worker, payload, group)
             for group in groups
-        ]
-        return [result for future in futures for result in future.result()]
+        ])
+        return [result for group in grouped for result in group]
 
-    if pool is not None:
+    return _dispatch_guarded(dispatch, pool, shared, supervisor)
+
+
+def _dispatch_guarded(dispatch, pool, shared: bool, supervisor):
+    """Run ``dispatch(pool)``; evict a shared pool that stopped being safe.
+
+    A shared-registry pool whose run escaped with an exception (e.g.
+    ``BrokenProcessPool`` from a killed worker) or whose supervised run
+    came back ``degraded`` (the supervisor replaced or abandoned the
+    pool -- its contract says "my pool is gone, recreate lazily") is
+    discarded so the next pool-less call respawns a clean one.
+    """
+    if not shared:
         return dispatch(pool)
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.runtime.pools import discard_shared_pool
 
-    fresh = _spawn_or_degrade(
-        ProcessPoolExecutor, n_workers, supervisor, shard_backend
-    )
-    if fresh is None:
-        return dispatch(None)  # supervised serial fallback
-    with fresh:
-        return dispatch(fresh)
+    try:
+        results = dispatch(pool)
+    except BaseException:
+        discard_shared_pool(pool)
+        raise
+    if (
+        supervisor is not None
+        and supervisor.last_report is not None
+        and supervisor.last_report.degraded
+    ):
+        discard_shared_pool(pool)
+    return results
 
 
 def _warn_spawn_degrade(shard_backend: str, exc: BaseException) -> None:
@@ -1116,18 +1403,6 @@ def _warn_spawn_degrade(shard_backend: str, exc: BaseException) -> None:
         ),
         stacklevel=4,
     )
-
-
-def _spawn_or_degrade(cls, n_workers: int, supervisor, shard_backend: str):
-    """Spawn a fresh pool; under supervision, spawn failure degrades to
-    serial (returns None) instead of killing the run."""
-    try:
-        return cls(max_workers=n_workers)
-    except OSError as exc:
-        if supervisor is None:
-            raise
-        _warn_spawn_degrade(shard_backend, exc)
-        return None
 
 
 def trajectory_probabilities_reference(

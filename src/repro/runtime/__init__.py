@@ -13,6 +13,9 @@ execution layer survive failure without changing a single result:
   runs);
 * :mod:`repro.runtime.faults` -- the seed-driven fault-injection
   harness the chaos suite and CI chaos job drive;
+* :mod:`repro.runtime.pools` -- process-wide shared worker pools keyed
+  by ``(backend, n_workers)``, so sharded calls without a caller-held
+  executor stop paying pool spawn (and cold worker caches) per call;
 * :mod:`repro.runtime.checkpoint` -- atomic epoch-boundary training
   checkpoints with bit-identical resume.
 """
@@ -42,6 +45,11 @@ from repro.runtime.faults import (
     chaos_seed,
     inject_faults,
 )
+from repro.runtime.pools import (
+    discard_shared_pool,
+    shared_pool,
+    shutdown_shared_pools,
+)
 from repro.runtime.supervisor import (
     ChunkSupervisor,
     ChunkTask,
@@ -70,7 +78,10 @@ __all__ = [
     "TrainCheckpoint",
     "WorkerCrash",
     "chaos_seed",
+    "discard_shared_pool",
     "inject_faults",
     "load_checkpoint",
     "save_checkpoint",
+    "shared_pool",
+    "shutdown_shared_pools",
 ]

@@ -1,0 +1,92 @@
+"""Process-wide shared worker pools for callers without a persistent one.
+
+``_run_sharded`` (and through it every ``n_workers > 0`` evaluation)
+used to spawn a fresh executor and tear it down around a *single* call
+whenever the caller did not hold a pool -- inside a training loop that
+meant paying process spawn plus (for the process backend) a cold
+worker-side plan cache on every step.  This registry keeps one lazily
+spawned executor per ``(backend, n_workers)`` key for the life of the
+process instead:
+
+* :func:`shared_pool` returns the keyed executor, spawning it on first
+  use (an ``OSError`` from the spawn propagates to the caller, which
+  decides whether to degrade to serial);
+* :func:`discard_shared_pool` evicts a pool that stopped being safe --
+  a ``BrokenProcessPool`` escaping a run, or a supervised run whose
+  report came back ``degraded`` (the supervisor shuts replacement pools
+  down itself, so the registry entry would be a corpse) -- and shuts it
+  down, so the next call respawns cleanly;
+* :func:`shutdown_shared_pools` drains the registry (tests; also
+  registered ``atexit`` so interpreter shutdown reaps worker
+  processes).
+
+Sharing is safe because sharded chunk execution is stateless from the
+pool's point of view: tasks carry their whole payload, worker-side
+caches are keyed by content digest, and results never depend on which
+pool (or how many workers) ran them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+
+# Late-bound module reference (not `from ... import`): spawn-failure
+# paths are tested by monkeypatching the classes on this module, and
+# callers degrade on the OSError that surfaces.
+import concurrent.futures as _futures
+
+_POOLS: dict = {}
+_LOCK = threading.Lock()
+
+
+def shared_pool(backend: str, n_workers: int):
+    """The process-global persistent executor for ``(backend, n_workers)``.
+
+    Spawned lazily on first use and kept alive until
+    :func:`discard_shared_pool` / :func:`shutdown_shared_pools` or
+    interpreter exit.  ``backend`` is ``"thread"`` or ``"process"``.
+    """
+    if backend not in ("thread", "process"):
+        raise ValueError(f"unknown pool backend {backend!r}")
+    key = (backend, int(n_workers))
+    with _LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            cls = (
+                _futures.ThreadPoolExecutor
+                if backend == "thread"
+                else _futures.ProcessPoolExecutor
+            )
+            pool = cls(max_workers=int(n_workers))
+            _POOLS[key] = pool
+        return pool
+
+
+def discard_shared_pool(pool) -> None:
+    """Evict ``pool`` from the registry (if present) and shut it down.
+
+    Call when a shared pool stopped being trustworthy -- its workers
+    died or a supervisor replaced it mid-run -- so the next
+    :func:`shared_pool` call spawns a clean one.  Safe on pools that
+    were never shared (plain shutdown) and idempotent.
+    """
+    with _LOCK:
+        for key, held in list(_POOLS.items()):
+            if held is pool:
+                del _POOLS[key]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_shared_pools(wait: bool = True) -> None:
+    """Shut down and forget every registered shared pool."""
+    with _LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+@atexit.register
+def _reap_at_exit() -> None:  # pragma: no cover - interpreter shutdown
+    shutdown_shared_pools(wait=False)

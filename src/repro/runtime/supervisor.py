@@ -351,34 +351,44 @@ class ChunkSupervisor:
             )
             submitted.append((task, attempt, future))
         max_backoff_attempt = -1
-        for task, attempt, future in submitted:
-            if pool_broken:
-                # The pool died under us; everything unharvested gets a
-                # fresh attempt on whatever executes the retry queue.
+        try:
+            for task, attempt, future in submitted:
+                if pool_broken:
+                    # The pool died under us; everything unharvested gets a
+                    # fresh attempt on whatever executes the retry queue.
+                    retry.append((task, attempt + 1))
+                    continue
+                try:
+                    payload, crc = future.result(timeout=cfg.deadline_s)
+                    self._validate(payload, crc, task.index, attempt)
+                    results[task.index] = payload
+                    continue
+                except ChunkFault as fault:
+                    observed = fault
+                except FuturesTimeout:
+                    future.cancel()
+                    observed = ChunkTimeout(task.index, attempt, cfg.deadline_s)
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    observed = WorkerCrash(
+                        task.index, attempt, f"process pool broke: {exc}"
+                    )
+                except BaseException as exc:
+                    observed = WorkerCrash(
+                        task.index, attempt, f"{type(exc).__name__}: {exc}"
+                    )
+                self._register(observed)
                 retry.append((task, attempt + 1))
-                continue
-            try:
-                payload, crc = future.result(timeout=cfg.deadline_s)
-                self._validate(payload, crc, task.index, attempt)
-                results[task.index] = payload
-                continue
-            except ChunkFault as fault:
-                observed = fault
-            except FuturesTimeout:
+                max_backoff_attempt = max(max_backoff_attempt, attempt)
+        except RetryExhausted:
+            # Retries exhausted mid-harvest: cancel the un-harvested
+            # sibling futures instead of abandoning them running on the
+            # pool (queued work would otherwise execute uselessly after
+            # the run has already failed).  Mirrored by the unsupervised
+            # sharded dispatch's fail-fast collection.
+            for _task, _attempt, future in submitted:
                 future.cancel()
-                observed = ChunkTimeout(task.index, attempt, cfg.deadline_s)
-            except BrokenProcessPool as exc:
-                pool_broken = True
-                observed = WorkerCrash(
-                    task.index, attempt, f"process pool broke: {exc}"
-                )
-            except BaseException as exc:
-                observed = WorkerCrash(
-                    task.index, attempt, f"{type(exc).__name__}: {exc}"
-                )
-            self._register(observed)
-            retry.append((task, attempt + 1))
-            max_backoff_attempt = max(max_backoff_attempt, attempt)
+            raise
         if max_backoff_attempt >= 0:
             self._backoff(max_backoff_attempt)
         if pool_broken:

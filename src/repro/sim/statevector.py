@@ -290,6 +290,71 @@ def apply_matrix(
     return res.reshape(batch, 2**n_qubits)
 
 
+def apply_grouped_1q(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubit: int,
+    n_qubits: int,
+    out: np.ndarray,
+    layout: str = "block",
+) -> np.ndarray:
+    """Apply per-group 1-qubit matrices without materializing ``(rows, 2, 2)``.
+
+    ``state`` is ``(rows, 2**n)`` with ``rows`` a multiple of
+    ``g = matrix.shape[0]``; ``matrix`` is ``(g, 2, 2)``.  Two row layouts:
+
+    * ``"block"`` -- row ``r`` uses ``matrix[r // (rows // g)]``: one matrix
+      per trajectory shared by the batch rows stacked inside it (sampled
+      Pauli errors on a ``(n_traj x batch)`` stack);
+    * ``"cycle"`` -- row ``r`` uses ``matrix[r % g]``: per-sample matrices
+      repeating across stacked trajectories (batched encoder gates).
+
+    Numerically identical to expanding with ``np.repeat`` / ``np.tile`` and
+    calling :func:`apply_matrix` -- same per-element multiply/add sequence
+    as the :func:`_apply_1q` slice kernel -- but the ``(rows, 2, 2)``
+    matrix stack is never built and the coefficients broadcast as scalars
+    per group.  Always writes into ``out`` (same shape, distinct memory).
+    """
+    rows = state.shape[0]
+    g = matrix.shape[0]
+    if rows % g:
+        raise ValueError(f"rows {rows} not a multiple of group count {g}")
+    plan = _apply_plan(n_qubits, (qubit,))
+    left, right = plan.left, plan.right
+    if layout == "block":
+        # (g, inner*left, 2, right): group index leads, coeffs are (g, 1, 1).
+        shape = (g, (rows // g) * left, 2, right)
+    elif layout == "cycle":
+        # (outer, g, left, 2, right): coeffs (g, 1, 1) broadcast over outer.
+        shape = (rows // g, g, left, 2, right)
+    else:
+        raise ValueError(f"unknown layout {layout!r}")
+    m00 = matrix[:, 0, 0, None, None]
+    m01 = matrix[:, 0, 1, None, None]
+    m10 = matrix[:, 1, 0, None, None]
+    m11 = matrix[:, 1, 1, None, None]
+    view = state.reshape(shape)
+    target = out.reshape(shape)
+    t0 = view[..., 0, :]
+    t1 = view[..., 1, :]
+    o0 = target[..., 0, :]
+    o1 = target[..., 1, :]
+    if not (m01.any() or m10.any()):
+        # All-diagonal group (I/Z draws, rz encoders): two scaled copies.
+        np.multiply(t0, m00, out=o0)
+        np.multiply(t1, m11, out=o1)
+    elif not (m00.any() or m11.any()):
+        # All-anti-diagonal group (X/Y draws): two swapped scaled copies.
+        np.multiply(t1, m01, out=o0)
+        np.multiply(t0, m10, out=o1)
+    else:
+        np.multiply(t0, m00, out=o0)
+        o0 += m01 * t1
+        np.multiply(t0, m10, out=o1)
+        o1 += m11 * t1
+    return out
+
+
 def apply_matrix_reference(
     state: np.ndarray,
     matrix: np.ndarray,

@@ -427,6 +427,12 @@ def test_mid_sweep_exception_releases_worker_pool(device):
     with pytest.raises(RetryExhausted):
         executor.forward(compiled, None, None)
     assert executor._pool is None  # closed on the way out, not leaked
+    # Process-global shared pools (runtime/pools.py) are deliberately
+    # long-lived; drain them so the orphan check below sees only what
+    # *this* executor would have leaked.
+    from repro.runtime import shutdown_shared_pools
+
+    shutdown_shared_pools()
     for child in multiprocessing.active_children():
         child.join(timeout=10)
     assert multiprocessing.active_children() == []  # no orphaned workers
@@ -448,6 +454,11 @@ def test_dropped_executor_reaps_pool_at_collection(device):
     assert executor._pool is not None
     del executor
     gc.collect()
+    # Drain the deliberately long-lived shared registry pools so the
+    # orphan check sees only what the dropped executor would have leaked.
+    from repro.runtime import shutdown_shared_pools
+
+    shutdown_shared_pools()
     for child in multiprocessing.active_children():
         child.join(timeout=10)
     assert multiprocessing.active_children() == []

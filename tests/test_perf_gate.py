@@ -40,9 +40,12 @@ def _full_report(**overrides):
         name: {"fast_s": 0.010, "speedup": 10.0}
         for name in gate.REQUIRED_SCENARIOS
     }
-    # Goodput-gated scenarios carry goodput, not a speedup ratio.
+    # Goodput-gated scenarios carry goodput, not a speedup ratio; the
+    # sharded scenarios gate on the shard_speedup column instead.
     for name in gate.GOODPUT_SCENARIOS:
         rows[name] = {"seconds": 0.010, "goodput": 0.667}
+    for name in gate.SHARD_SPEEDUP_SCENARIOS:
+        rows[name] = {"fast_s": 0.010, "shard_speedup": 2.0}
     rows.update(overrides)
     return {"meta": {"scale": "quick"}, "benchmarks": rows}
 
@@ -211,6 +214,90 @@ def test_gate_cli_dropped_goodput_key_fails(tmp_path, capsys):
     assert gate.main(args) == 1
     assert gate.main(args + ["--soft"]) == 1
     assert "serve_chaos_goodput" in capsys.readouterr().err
+
+
+def test_compare_reports_gates_shard_speedup_column():
+    """Sharded scenarios carry shard_speedup (vs serial); the collapse
+    check must read that column, not the absent fast-vs-reference one."""
+    gate = _load_gate()
+    baseline = _report(
+        sharded_trajectory={"fast_s": 0.010, "shard_speedup": 2.0}
+    )
+    collapsed = _report(
+        sharded_trajectory={"fast_s": 0.010, "shard_speedup": 0.8}
+    )
+    (row,) = gate.compare_reports(baseline, collapsed, 2.0)
+    assert row["regressed"] and row["regressed_speedup"]
+    held = _report(
+        sharded_trajectory={"fast_s": 0.010, "shard_speedup": 1.9}
+    )
+    (row_ok,) = gate.compare_reports(baseline, held, 2.0)
+    assert not row_ok["regressed"]
+
+
+def test_compare_reports_enforces_recorded_floor():
+    """A fresh row recording a core-aware floor fails hard below it,
+    even when the collapse-vs-baseline check alone would pass."""
+    gate = _load_gate()
+    baseline = _report(
+        sharded_scaling={"fast_s": 0.010, "speedup": 2.2},
+        sharded_trajectory={"fast_s": 0.010, "shard_speedup": 1.6},
+    )
+    fresh = _report(
+        # 1.4x is within 2x of the baseline's 2.2x, but under the 2.0
+        # floor the fresh harness computed for this host.
+        sharded_scaling={"fast_s": 0.010, "speedup": 1.4, "floor": 2.0},
+        sharded_trajectory={
+            "fast_s": 0.010, "shard_speedup": 1.2, "floor": 1.5,
+        },
+    )
+    rows = {r["scenario"]: r for r in gate.compare_reports(baseline, fresh, 2.0)}
+    assert rows["sharded_scaling"]["regressed_floor"]
+    assert rows["sharded_trajectory"]["regressed_floor"]
+    assert not rows["sharded_scaling"]["regressed_speedup"]
+    # At or above the floor: green.
+    fresh_ok = _report(
+        sharded_scaling={"fast_s": 0.010, "speedup": 2.0, "floor": 2.0},
+        sharded_trajectory={
+            "fast_s": 0.010, "shard_speedup": 1.5, "floor": 1.5,
+        },
+    )
+    rows_ok = gate.compare_reports(baseline, fresh_ok, 2.0)
+    assert not any(r["regressed_floor"] for r in rows_ok)
+
+
+def test_gate_cli_floor_miss_fails_hard_soft_warns(tmp_path, capsys):
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        sharded_trajectory={
+            "fast_s": 0.010, "shard_speedup": 1.2, "floor": 1.5,
+        }
+    )))
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert gate.main(args) == 1
+    assert gate.main(args + ["--soft"]) == 0
+    out = capsys.readouterr().out
+    assert "below floor 1.50x" in out
+    assert "REGRESSED" in out
+
+
+def test_gate_cli_dropped_shard_speedup_key_fails(tmp_path, capsys):
+    """Losing shard_speedup de-fangs the sharded gate -- schema
+    breakage, exactly like a dropped speedup column."""
+    gate = _load_gate()
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps(_full_report()))
+    fresh.write_text(json.dumps(_full_report(
+        sharded_trajectory={"fast_s": 0.010}  # shard_speedup key gone
+    )))
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert gate.main(args) == 1
+    assert gate.main(args + ["--soft"]) == 1
+    assert "sharded_trajectory" in capsys.readouterr().err
 
 
 def test_gate_cli_passes_within_threshold(tmp_path, capsys):

@@ -320,6 +320,11 @@ def test_pool_spawn_failure_degrades_to_serial(device, monkeypatch):
     def refuse(*args, **kwargs):
         raise OSError("no more processes")
 
+    # Drain the shared registry first: an already-spawned ('thread', 2)
+    # pool would satisfy the call without ever hitting the patched spawn.
+    from repro.runtime import shutdown_shared_pools
+
+    shutdown_shared_pools()
     monkeypatch.setattr(futures_module, "ThreadPoolExecutor", refuse)
     supervisor = ChunkSupervisor()
     with pytest.warns(DegradedExecution, match="spawn failed"):

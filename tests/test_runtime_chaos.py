@@ -229,6 +229,11 @@ def test_killed_process_workers_recover_bit_identically(device, compiled):
     # The executor dropped its broken pool and the supervisor shut down
     # the run-scoped replacement: no orphaned workers survive.
     assert chaos_ex._pool is None
+    # Drain the deliberately long-lived shared registry pools so the
+    # orphan check sees only what this run would have leaked.
+    from repro.runtime import shutdown_shared_pools
+
+    shutdown_shared_pools()
     for child in multiprocessing.active_children():
         child.join(timeout=10)
     assert multiprocessing.active_children() == []
@@ -260,6 +265,9 @@ def test_broken_pool_without_rebuild_degrades_to_serial():
     assert supervisor.last_report.degraded[-2:] == ("process-pool", "serial")
     for got, want in zip(out, expected):
         assert np.array_equal(got, want)
+    from repro.runtime import shutdown_shared_pools
+
+    shutdown_shared_pools()
     for child in multiprocessing.active_children():
         child.join(timeout=10)
     assert multiprocessing.active_children() == []

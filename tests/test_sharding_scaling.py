@@ -1,0 +1,266 @@
+"""Sharded trajectory execution: scaling mechanics and worker caches.
+
+Covers the pieces that make ``n_workers > 0`` actually win without
+changing a single bit of output:
+
+* balanced chunk-group bounds (no empty or oversized groups);
+* fail-fast future collection (a failing chunk surfaces immediately);
+* the worker-side plan cache (rebuilt plans memoized per process, warm
+  across calls on a persistent pool, cold caches still bit-identical);
+* the process-global shared pool registry;
+* row-banded stacked training sweeps (GateInsertion / MCWF executors)
+  over executor-held persistent pools;
+* the training factories forwarding ``n_workers``.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import get_device, paper_model
+from repro.compiler import transpile
+from repro.core.engine import engine_spec
+from repro.core.executors import GateInsertionExecutor, MCWFTrainExecutor
+from repro.core.injection import GATE_INSERTION, InjectionConfig
+from repro.noise import trajectory as traj_mod
+from repro.noise.trajectory import (
+    _balanced_group_bounds,
+    reset_worker_plan_cache,
+    trajectory_probabilities,
+    worker_plan_cache_stats,
+)
+from repro.runtime import pools as pools_mod
+from repro.runtime import (
+    discard_shared_pool,
+    shared_pool,
+    shutdown_shared_pools,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_pools():
+    yield
+    shutdown_shared_pools()
+
+
+@pytest.fixture(scope="module")
+def block():
+    qnn = paper_model(4, 1, 2, 16, 4)
+    device = get_device("santiago")
+    compiled = transpile(qnn.blocks[0], device, 2)
+    rng = np.random.default_rng(3)
+    weights = qnn.init_weights(rng)
+    inputs = rng.normal(0, 1, (3, 16))
+    return device, compiled, weights, inputs
+
+
+def _probs(block, **kwargs):
+    device, compiled, weights, inputs = block
+    call = dict(n_trajectories=20, shard_size=2, rng=5)
+    call.update(kwargs)
+    return trajectory_probabilities(
+        compiled, device.noise_model, weights, inputs, 3, **call
+    )
+
+
+# -- balanced group bounds ----------------------------------------------
+
+
+def test_balanced_group_bounds_match_array_split():
+    for n_items in range(1, 26):
+        for n_groups in range(1, 9):
+            bounds = _balanced_group_bounds(n_items, n_groups)
+            sizes = [b - a for a, b in zip(bounds, bounds[1:])]
+            assert bounds[0] == 0 and bounds[-1] == n_items
+            assert all(s >= 0 for s in sizes)
+            assert max(sizes) - min(s for s in sizes if s) <= 1 if any(sizes) \
+                else True
+            # Same partition numpy's array_split produces.
+            expected = [len(part) for part in
+                        np.array_split(np.arange(n_items), n_groups)]
+            assert sizes == expected
+
+
+def test_balanced_group_bounds_beat_linspace_layout():
+    """The old linspace-derived bounds could produce empty groups next
+    to double-width ones; the balanced layout never does."""
+    bounds = _balanced_group_bounds(10, 4)
+    sizes = [b - a for a, b in zip(bounds, bounds[1:])]
+    assert sizes == [3, 3, 2, 2]
+
+
+# -- bit identity across worker counts and backends ---------------------
+
+
+def test_process_sharded_bit_identical_across_uneven_worker_counts(block):
+    serial = _probs(block)
+    for n_workers in (2, 3):
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            sharded = _probs(block, n_workers=n_workers, pool=pool,
+                             shard_backend="process")
+        assert np.array_equal(serial, sharded)
+
+
+def test_thread_sharded_bit_identical(block):
+    serial = _probs(block)
+    sharded = _probs(block, n_workers=2)
+    assert np.array_equal(serial, sharded)
+
+
+# -- fail-fast dispatch --------------------------------------------------
+
+
+def test_failing_chunk_surfaces_original_error(block, monkeypatch):
+    calls = {"n": 0}
+    real = traj_mod._segment_chunk
+
+    def exploding(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise RuntimeError("chunk exploded")
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(traj_mod, "_segment_chunk", exploding)
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        with pytest.raises(RuntimeError, match="chunk exploded"):
+            _probs(block, n_workers=2, pool=pool)
+
+
+# -- worker-side plan cache ----------------------------------------------
+
+
+def test_worker_plan_cache_warm_across_calls(block):
+    """On a persistent single-worker process pool, the second call must
+    hit the worker-side plan cache instead of re-unpickling/rebuilding."""
+    serial = _probs(block)
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        pool.submit(reset_worker_plan_cache).result()
+        first = _probs(block, n_workers=1, pool=pool,
+                       shard_backend="process")
+        second = _probs(block, n_workers=1, pool=pool,
+                        shard_backend="process")
+        stats = pool.submit(worker_plan_cache_stats).result()
+    assert np.array_equal(serial, first)
+    assert np.array_equal(first, second)
+    assert stats["misses"] == 1
+    assert stats["hits"] >= 1
+    assert stats["entries"] == 1
+
+
+def test_worker_plan_cache_cold_is_still_bit_identical(block):
+    """Fresh pools (cold caches) rebuild the plan and agree exactly."""
+    serial = _probs(block)
+    for _ in range(2):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pool.submit(reset_worker_plan_cache).result()
+            out = _probs(block, n_workers=1, pool=pool,
+                         shard_backend="process")
+        assert np.array_equal(serial, out)
+
+
+# -- shared pool registry ------------------------------------------------
+
+
+def test_shared_pool_registry_reuses_and_discards():
+    a = shared_pool("thread", 2)
+    assert shared_pool("thread", 2) is a
+    assert shared_pool("thread", 3) is not a
+    discard_shared_pool(a)
+    assert shared_pool("thread", 2) is not a
+    with pytest.raises(ValueError):
+        shared_pool("fork_bomb", 2)
+
+
+def test_sharded_call_without_pool_uses_shared_registry(block):
+    shutdown_shared_pools()
+    serial = _probs(block)
+    out = _probs(block, n_workers=2)
+    assert np.array_equal(serial, out)
+    assert ("thread", 2) in pools_mod._POOLS
+    held = pools_mod._POOLS[("thread", 2)]
+    _probs(block, n_workers=2)
+    assert pools_mod._POOLS[("thread", 2)] is held  # reused, not respawned
+
+
+# -- row-banded stacked training sweeps ----------------------------------
+
+
+def test_gate_insertion_banded_matches_serial_and_across_workers(block):
+    device, compiled, weights, inputs = block
+
+    def run(n_workers):
+        ex = GateInsertionExecutor(
+            device.noise_model, rng=7, n_realizations=5, n_workers=n_workers
+        )
+        try:
+            out, _ = ex.forward(compiled, weights, inputs)
+        finally:
+            ex.close()
+        return out
+
+    serial, banded2, banded3 = run(0), run(2), run(3)
+    # Banding regroups the float reductions: tolerance vs serial, but
+    # the fixed per-realization band layout makes every worker count
+    # produce the same bits.
+    assert np.allclose(serial, banded2, atol=1e-10)
+    assert np.array_equal(banded2, banded3)
+
+
+def test_mcwf_banded_pauli_only_matches_serial(block):
+    device, compiled, weights, inputs = block
+
+    def run(n_workers, model):
+        ex = MCWFTrainExecutor(
+            model, rng=9, n_realizations=4, n_workers=n_workers
+        )
+        try:
+            out, _ = ex.forward(compiled, weights, inputs)
+        finally:
+            ex.close()
+        return out
+
+    pauli = device.noise_model
+    serial, banded2, banded3 = (
+        run(0, pauli), run(2, pauli), run(3, pauli)
+    )
+    assert np.allclose(serial, banded2, atol=1e-10)
+    assert np.array_equal(banded2, banded3)
+
+    # Relaxation channels sample jumps from the evolving state, so the
+    # sweep cannot defer op application into bands; n_workers > 0 must
+    # quietly fall back to the serial sweep, bit for bit.
+    relax = device.hardware_model.with_relaxation(
+        {q: (50.0, 60.0) for q in range(device.n_qubits)}, (0.035, 0.30)
+    )
+    assert np.array_equal(run(0, relax), run(2, relax))
+
+
+def test_executor_pool_is_persistent_until_closed(block):
+    device, _, _, _ = block
+    ex = GateInsertionExecutor(device.noise_model, rng=0, n_workers=2)
+    pool = ex._ensure_pool()
+    assert ex._ensure_pool() is pool  # held across calls
+    ex.close()
+    fresh = ex._ensure_pool()
+    assert fresh is not pool
+    ex.close()
+
+
+# -- training factories forward n_workers --------------------------------
+
+
+def test_train_factories_forward_n_workers():
+    device = get_device("santiago")
+    injection = InjectionConfig(GATE_INSERTION, 1.0, n_realizations=2)
+    for name in ("gate_insertion", "mcwf"):
+        factory = engine_spec(name).train.executor_factory
+        ex = factory(device.noise_model, injection, rng=0, n_workers=2)
+        assert ex.n_workers == 2
+        ex.close()
+    # The density engine's fused pass has no row axis to band: the
+    # uniform signature accepts the knob and ignores it.
+    density = engine_spec("density").train.executor_factory(
+        device.noise_model, injection, rng=0, n_workers=2
+    )
+    assert not getattr(density, "n_workers", 0)
