@@ -66,6 +66,12 @@ SPEEDUP_SCENARIOS = frozenset({
     "training_step",
     "stacked_noise_training",
     "fused_inference",
+    # batched stabilizer tableau vs the statevector trajectory sweep on
+    # the same Clifford circuit + Pauli/readout model (widest width the
+    # statevector leg can still reach; the row also records the
+    # wide-only tableau wall-clock).  Collapsing means the tableau
+    # kernels stopped being polynomial-cheap.
+    "stabilizer_trajectory",
     # coalesced serving vs naive per-request dispatch (burst pattern,
     # measured on one host in one run -- machine-independent like the
     # other pairs).  Collapsing means the front door stopped batching.

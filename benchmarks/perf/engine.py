@@ -101,15 +101,18 @@ SCALES = {
     "smoke": dict(batch=8, traj_batch=4, n_trajectories=8, repeats=2,
                   epochs=1, n_train=16, stat_trajectories=64,
                   train_batch=8, ref_repeats=1, n_realizations=4,
-                  shard_size=2, shard_workers=2),
+                  shard_size=2, shard_workers=2,
+                  stab_qubits=10, stab_wide_qubits=32, stab_trajectories=16),
     "quick": dict(batch=64, traj_batch=16, n_trajectories=64, repeats=5,
                   epochs=2, n_train=64, stat_trajectories=256,
                   train_batch=32, ref_repeats=2, n_realizations=8,
-                  shard_size=16, shard_workers=4),
+                  shard_size=16, shard_workers=4,
+                  stab_qubits=12, stab_wide_qubits=56, stab_trajectories=64),
     "full": dict(batch=128, traj_batch=32, n_trajectories=128, repeats=10,
                  epochs=4, n_train=128, stat_trajectories=1024,
                  train_batch=64, ref_repeats=3, n_realizations=16,
-                 shard_size=32, shard_workers=4),
+                 shard_size=32, shard_workers=4,
+                 stab_qubits=14, stab_wide_qubits=64, stab_trajectories=128),
 }
 
 
@@ -503,6 +506,106 @@ def run_benchmarks(
     equiv["trajectory_statistical_dev"] = float(np.abs(p_fused - p_ref).max())
     equiv["trajectory_statistical_tol"] = 6.0 / np.sqrt(n_stat)
 
+    # -- stabilizer tableau vs statevector trajectory sweep -----------------
+    # The batched Aaronson-Gottesman engine runs Clifford circuits under
+    # Pauli+readout noise in polynomial time.  At the widest width the
+    # statevector trajectory sweep can still reach (``stab_qubits``) the
+    # two engines sample the same expectation distribution, so the
+    # tableau's win is recorded as a speedup pair; the wide leg then
+    # times the tableau alone at ``stab_wide_qubits`` -- a width whose
+    # 2^n amplitudes no statevector can hold -- and records absolute
+    # seconds into the same row.
+    from repro.circuits import Circuit
+    from repro.compiler.decompositions import lower_to_basis
+    from repro.compiler.passes import CompiledCircuit
+    from repro.core.engine import engine_spec
+    from repro.noise.model import PauliError
+
+    def _pauli_readout_model(n_q: int) -> NoiseModel:
+        one_q = {}
+        for q in range(n_q):
+            for g in ("sx", "x"):
+                one_q[(g, q)] = PauliError(1e-3, 1e-3, 1e-3)
+        two_q = {
+            (q, q + 1): PauliError(4e-3, 4e-3, 2e-3) for q in range(n_q - 1)
+        }
+        return NoiseModel(
+            n_q, one_q, two_q, np.stack([readout_matrix(0.01, 0.02)] * n_q)
+        )
+
+    def _clifford_compiled(n_q: int, n_gates: int, circ_seed: int):
+        crng = np.random.default_rng(circ_seed)
+        clifford = Circuit(n_q)
+        one_gates = ("h", "s", "x", "sx")
+        for _ in range(n_gates):
+            if n_q > 1 and crng.random() < 0.4:
+                a = int(crng.integers(n_q - 1))
+                clifford.add("cx", (a, a + 1))
+            else:
+                clifford.add(
+                    one_gates[crng.integers(len(one_gates))],
+                    int(crng.integers(n_q)),
+                )
+        lowered = lower_to_basis(clifford)
+        return CompiledCircuit(
+            circuit=lowered,
+            physical_qubits=tuple(range(n_q)),
+            layout={q: q for q in range(n_q)},
+            measure_qubits=tuple(range(n_q)),
+            device_name="bench-line",
+        )
+
+    stab_q, stab_traj = cfg["stab_qubits"], cfg["stab_trajectories"]
+    stab_model = _pauli_readout_model(stab_q)
+    stab_compiled = _clifford_compiled(stab_q, 4 * stab_q, seed)
+    w_none, x_none = np.zeros(0), np.zeros((1, 0))
+    stab_exec = engine_spec("stabilizer").factory(
+        stab_model, rng=7, samples=stab_traj
+    )
+    traj_exec = engine_spec("trajectory").factory(
+        stab_model, rng=7, samples=stab_traj
+    )
+    t_fast = _best_of(
+        lambda: stab_exec.forward(stab_compiled, w_none, x_none),
+        cfg["repeats"],
+    )
+    t_ref = _best_of(
+        lambda: traj_exec.forward(stab_compiled, w_none, x_none),
+        cfg["ref_repeats"],
+    )
+
+    wide_q = cfg["stab_wide_qubits"]
+    wide_model = _pauli_readout_model(wide_q)
+    wide_compiled = _clifford_compiled(wide_q, 4 * wide_q, seed + 1)
+    wide_exec = engine_spec("stabilizer").factory(
+        wide_model, rng=11, samples=stab_traj
+    )
+    t_wide = _best_of(
+        lambda: wide_exec.forward(wide_compiled, w_none, x_none),
+        cfg["repeats"],
+    )
+    bench["stabilizer_trajectory"] = {
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "n_trajectories": stab_traj, "qubits": stab_q,
+        "wide_s": t_wide, "wide_qubits": wide_q,
+    }
+
+    # Both engines sample the same Pauli-channel average, so their
+    # means converge to the same expectations: compare at
+    # ``stat_trajectories`` samples each under independent streams.
+    stab_stat = engine_spec("stabilizer").factory(
+        stab_model, rng=9, samples=n_stat
+    )
+    traj_stat = engine_spec("trajectory").factory(
+        stab_model, rng=10, samples=n_stat
+    )
+    e_stab = stab_stat.forward(stab_compiled, w_none, x_none)[0]
+    e_traj = traj_stat.forward(stab_compiled, w_none, x_none)[0]
+    equiv["stabilizer_statistical_dev"] = float(np.abs(e_stab - e_traj).max())
+    equiv["stabilizer_statistical_tol"] = 6.0 / np.sqrt(n_stat)
+    for executor in (stab_exec, traj_exec, wide_exec, stab_stat, traj_stat):
+        executor.close()
+
     # -- batched training step vs per-sample reference ---------------------
     # Two identically seeded models: the gate-insertion rng streams align,
     # so fast and reference compute the *same* noisy step to float
@@ -684,6 +787,11 @@ def run_benchmarks(
         raise AssertionError(
             "quantum-jump trajectories deviate from the exact density "
             f"channel: {equiv['mcwf_statistical_dev']:.3e}"
+        )
+    if equiv["stabilizer_statistical_dev"] > equiv["stabilizer_statistical_tol"]:
+        raise AssertionError(
+            "stabilizer tableau expectations deviate from the statevector "
+            f"trajectory sweep: {equiv['stabilizer_statistical_dev']:.3e}"
         )
 
     if out_path is not None:

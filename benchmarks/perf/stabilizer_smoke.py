@@ -1,0 +1,188 @@
+"""Stabilizer-engine smoke benchmark.
+
+Times the batched Aaronson-Gottesman tableau engine against the fused
+statevector ``trajectory`` engine on the same Clifford circuit and
+Pauli+readout model at the widest width both can reach, then sweeps the
+tableau alone at a width no statevector can hold (56 qubits at quick
+scale).  Statistical equivalence rides along on every run: two
+independently seeded sampled engines must agree on every Z expectation
+within ``6 / sqrt(n)`` and the harness raises otherwise, so the speedup
+can never be bought by drifting off the statevector answer.
+
+``--check`` turns the shared-width speedup floor and the wide-leg
+wall-clock bound into a nonzero exit for CI.  The floors sit far below
+the measured numbers (~40x at the quick 12-qubit point, widening
+exponentially with width) so a loaded runner cannot flake them; the
+committed-baseline collapse check in ``check_regression.py`` remains
+the tight gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/stabilizer_smoke.py --scale quick
+    PYTHONPATH=src python benchmarks/perf/stabilizer_smoke.py \
+        --scale quick --check   # CI smoke: exit nonzero below floor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.circuits import Circuit
+from repro.compiler.decompositions import lower_to_basis
+from repro.compiler.passes import CompiledCircuit
+from repro.core.engine import engine_spec
+from repro.noise.model import NoiseModel, PauliError, readout_matrix
+
+SCALE_PARAMS = {
+    # Mirrors the stab_* knobs in engine.py SCALES.
+    "smoke": dict(qubits=10, wide_qubits=32, n_trajectories=16, repeats=2,
+                  stat_trajectories=256),
+    "quick": dict(qubits=12, wide_qubits=56, n_trajectories=64, repeats=3,
+                  stat_trajectories=1024),
+    "full": dict(qubits=14, wide_qubits=64, n_trajectories=128, repeats=5,
+                 stat_trajectories=4096),
+}
+
+#: Minimum acceptable tableau-vs-statevector speedup at the shared
+#: width, keyed by scale.  The statevector sweep costs O(2^n) per gate
+#: against the tableau's O(n^2), so the measured ratio grows steeply
+#: with width (~6x at the 10-qubit smoke point, ~40x at the 12-qubit
+#: quick point); the floors absorb runner noise, not kernel regressions
+#: -- those are caught by the committed-baseline gate.
+FLOORS = {"smoke": 1.5, "quick": 10.0, "full": 20.0}
+
+#: Wide-leg wall-clock bound (seconds).  The quick 56-qubit / 64-
+#: trajectory sweep measures ~60 ms on the baseline machine; anything
+#: near this bound means the tableau kernels stopped being polynomial.
+WIDE_BOUND_S = 5.0
+
+
+def _pauli_readout_model(n_q: int) -> NoiseModel:
+    one_q = {}
+    for q in range(n_q):
+        for g in ("sx", "x"):
+            one_q[(g, q)] = PauliError(1e-3, 1e-3, 1e-3)
+    two_q = {(q, q + 1): PauliError(4e-3, 4e-3, 2e-3) for q in range(n_q - 1)}
+    return NoiseModel(
+        n_q, one_q, two_q, np.stack([readout_matrix(0.01, 0.02)] * n_q)
+    )
+
+
+def _clifford_compiled(n_q: int, n_gates: int, seed: int) -> CompiledCircuit:
+    rng = np.random.default_rng(seed)
+    clifford = Circuit(n_q)
+    one_gates = ("h", "s", "x", "sx")
+    for _ in range(n_gates):
+        if n_q > 1 and rng.random() < 0.4:
+            a = int(rng.integers(n_q - 1))
+            clifford.add("cx", (a, a + 1))
+        else:
+            clifford.add(
+                one_gates[rng.integers(len(one_gates))], int(rng.integers(n_q))
+            )
+    lowered = lower_to_basis(clifford)
+    return CompiledCircuit(
+        circuit=lowered,
+        physical_qubits=tuple(range(n_q)),
+        layout={q: q for q in range(n_q)},
+        measure_qubits=tuple(range(n_q)),
+        device_name="bench-line",
+    )
+
+
+def _best_of(f, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_smoke(scale: str = "quick", seed: int = 0) -> dict:
+    """Run the shared-width pair, the wide leg, and the equivalence check."""
+    cfg = SCALE_PARAMS[scale]
+    n_q, n_traj = cfg["qubits"], cfg["n_trajectories"]
+    model = _pauli_readout_model(n_q)
+    compiled = _clifford_compiled(n_q, 4 * n_q, seed)
+    w_none, x_none = np.zeros(0), np.zeros((1, 0))
+
+    stab = engine_spec("stabilizer").factory(model, rng=7, samples=n_traj)
+    traj = engine_spec("trajectory").factory(model, rng=7, samples=n_traj)
+    wide_q = cfg["wide_qubits"]
+    wide_model = _pauli_readout_model(wide_q)
+    wide_compiled = _clifford_compiled(wide_q, 4 * wide_q, seed + 1)
+    wide = engine_spec("stabilizer").factory(wide_model, rng=11, samples=n_traj)
+
+    n_stat = cfg["stat_trajectories"]
+    stab_stat = engine_spec("stabilizer").factory(model, rng=9, samples=n_stat)
+    traj_stat = engine_spec("trajectory").factory(model, rng=10, samples=n_stat)
+    try:
+        t_fast = _best_of(
+            lambda: stab.forward(compiled, w_none, x_none), cfg["repeats"]
+        )
+        t_ref = _best_of(
+            lambda: traj.forward(compiled, w_none, x_none), cfg["repeats"]
+        )
+        t_wide = _best_of(
+            lambda: wide.forward(wide_compiled, w_none, x_none), cfg["repeats"]
+        )
+        e_stab = stab_stat.forward(compiled, w_none, x_none)[0]
+        e_traj = traj_stat.forward(compiled, w_none, x_none)[0]
+    finally:
+        for executor in (stab, traj, wide, stab_stat, traj_stat):
+            executor.close()
+
+    dev = float(np.abs(e_stab - e_traj).max())
+    tol = 6.0 / np.sqrt(n_stat)
+    if dev > tol:
+        raise AssertionError(
+            "stabilizer tableau expectations deviate from the statevector "
+            f"trajectory sweep: {dev:.3e} > {tol:.3e}"
+        )
+    return {
+        "qubits": n_q, "n_trajectories": n_traj,
+        "reference_s": t_ref, "fast_s": t_fast, "speedup": t_ref / t_fast,
+        "wide_qubits": wide_q, "wide_s": t_wide,
+        "statistical_dev": dev, "statistical_tol": tol,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALE_PARAMS), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero below the floor / wide bound")
+    args = parser.parse_args()
+    row = run_smoke(args.scale, args.seed)
+    print(f"shared width ({row['qubits']} qubits, "
+          f"{row['n_trajectories']} trajectories): "
+          f"tableau {row['fast_s']*1e3:.2f} ms vs statevector "
+          f"{row['reference_s']*1e3:.2f} ms -> {row['speedup']:.1f}x")
+    print(f"wide leg ({row['wide_qubits']} qubits): {row['wide_s']*1e3:.2f} ms")
+    print(f"statistical dev {row['statistical_dev']:.3e} "
+          f"(tol {row['statistical_tol']:.3e})")
+    if args.check:
+        floor = FLOORS[args.scale]
+        if row["speedup"] < floor:
+            print(f"FAIL: shared-width speedup {row['speedup']:.2f}x "
+                  f"< floor {floor}x")
+            raise SystemExit(1)
+        if row["wide_s"] > WIDE_BOUND_S:
+            print(f"FAIL: wide sweep took {row['wide_s']:.2f} s "
+                  f"> bound {WIDE_BOUND_S} s")
+            raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ def test_engine_smoke(tmp_path):
                 "mcwf_trajectory",
                 "density_inference", "density_relaxation",
                 "sharded_trajectory", "supervised_trajectory",
+                "stabilizer_trajectory",
                 "training_step", "stacked_noise_training",
                 "fused_inference", "serve_throughput",
                 "serve_chaos_goodput",
@@ -74,6 +75,16 @@ def test_engine_smoke(tmp_path):
     # The fused quantum-jump sweep must stay ahead of the one-trajectory-
     # at-a-time MCWF reference loop.
     assert bench["mcwf_trajectory"]["speedup"] > 1.0
+    # Batched tableau vs statevector trajectories on the same Clifford
+    # circuit: the acceptance bar is >= 20x at quick scale (really ~40x
+    # there); 2.0 absorbs CI noise at the tiny smoke width, where the
+    # statevector sweep is still cheap.  The wide leg must have actually
+    # run at an un-statevector-able width.
+    assert bench["stabilizer_trajectory"]["speedup"] > 2.0
+    assert bench["stabilizer_trajectory"]["wide_qubits"] >= 32
+    assert bench["stabilizer_trajectory"]["wide_s"] > 0.0
+    assert (equiv["stabilizer_statistical_dev"]
+            < equiv["stabilizer_statistical_tol"])
     # The compiled superoperator density engine's acceptance bar is
     # >= 10x (really ~40x; 3.0 absorbs CI noise on tiny smoke sizes).
     assert bench["density_inference"]["speedup"] > 3.0

@@ -43,6 +43,7 @@ from repro.core.executors import (
     GateInsertionExecutor,
     MCWFTrainExecutor,
     NoiselessExecutor,
+    StabilizerEvalExecutor,
     TrajectoryEvalExecutor,
 )
 from repro.noise.model import (
@@ -92,7 +93,11 @@ class EngineCapabilities:
     holds exact engines to ``TOL_EXACT`` and sampled ones to the
     large-N statistical bound).  ``max_qubits`` is the width above
     which the engine refuses (density-matrix backends); None means
-    unbounded.
+    unbounded.  ``clifford_only`` marks engines that additionally
+    screen the *circuit* (the stabilizer tableau runs Clifford gates
+    only): they are skipped by default resolution and preferred only
+    when the caller declares the workload Clifford
+    (``resolve_eval_engine(..., clifford=True)``).
     """
 
     channels: "frozenset[str]" = frozenset()
@@ -101,6 +106,7 @@ class EngineCapabilities:
     shots: bool = False
     shardable: bool = False
     max_qubits: "int | None" = None
+    clifford_only: bool = False
 
 
 @dataclass(frozen=True)
@@ -332,7 +338,7 @@ def create_engine_with_fallback(
 
 
 def resolve_eval_engine(
-    required_channels: "frozenset[str]", widest: int
+    required_channels: "frozenset[str]", widest: int, clifford: bool = False
 ) -> EngineSpec:
     """The preferred evaluation engine for a channel set and width.
 
@@ -345,11 +351,25 @@ def resolve_eval_engine(
     qualify -- a deployment surrogate must be able to model shot noise
     (which also keeps differentiable training backends like gate
     insertion out of evaluation duty).
+
+    ``clifford=True`` declares the workload Clifford-only (RB, Pauli
+    twirling): ``clifford_only`` engines -- the stabilizer tableau,
+    polynomial-time at any width -- are preferred ahead of the general
+    fleet, still subject to the same channel/width screens, so a model
+    whose channels the tableau cannot represent (coherent, relaxation)
+    falls through to density/mcwf exactly as before.  By default
+    ``clifford_only`` engines are skipped: general circuits would fail
+    their admission screen at run time.
     """
-    for spec in _REGISTRY.values():
+    candidates = list(_REGISTRY.values())
+    if clifford:
+        candidates.sort(key=lambda s: not s.capabilities.clifford_only)
+    for spec in candidates:
         caps = spec.capabilities
         if spec.factory is None or not caps.channels or not caps.shots:
             continue  # pseudo engines, noiseless, training-only samplers
+        if caps.clifford_only and not clifford:
+            continue
         if not required_channels <= caps.channels:
             continue
         if caps.max_qubits is not None and widest > caps.max_qubits:
@@ -393,7 +413,8 @@ def capability_matrix() -> str:
     kinds = sorted(ALL_CHANNEL_KINDS)
     header = (
         ["engine"] + kinds
-        + ["grad", "exact", "shots", "shardable", "max qubits", "trains"]
+        + ["grad", "exact", "shots", "shardable", "max qubits",
+           "clifford", "trains"]
     )
     rows = [header]
     for spec in _REGISTRY.values():
@@ -407,6 +428,7 @@ def capability_matrix() -> str:
                 "x" if caps.shots else "-",
                 "x" if caps.shardable else "-",
                 "-" if caps.max_qubits is None else str(caps.max_qubits),
+                "x" if caps.clifford_only else "-",
                 "x" if spec.train is not None else "-",
             ]
         )
@@ -473,6 +495,17 @@ def _mcwf_factory(
         noise_model, n_trajectories=samples, shots=shots,
         noise_factor=noise_factor, rng=rng, n_workers=n_workers,
         unravel="jump", supervisor=supervisor,
+    )
+
+
+def _stabilizer_factory(
+    noise_model, *, rng=None, samples=256, shots=None, noise_factor=1.0,
+    n_workers=0, supervisor=None,
+):
+    return StabilizerEvalExecutor(
+        noise_model, n_trajectories=samples, shots=shots,
+        noise_factor=noise_factor, rng=rng, n_workers=n_workers,
+        supervisor=supervisor,
     )
 
 
@@ -566,6 +599,17 @@ def _register_defaults() -> None:
         ),
         factory=_mcwf_factory,
         train=TrainSupport(executor_factory=_mcwf_train),
+    ))
+    register_engine(EngineSpec(
+        "stabilizer",
+        "batched Aaronson-Gottesman tableau trajectories: Pauli-noise "
+        "sweeps of Clifford circuits in polynomial time at any width "
+        "(admission screened per block)",
+        EngineCapabilities(
+            channels=frozenset({CHANNEL_PAULI, CHANNEL_READOUT}),
+            shots=True, shardable=True, clifford_only=True,
+        ),
+        factory=_stabilizer_factory,
     ))
     register_engine(EngineSpec(
         "noiseless",

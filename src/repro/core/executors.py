@@ -27,6 +27,10 @@ The same compiled block can execute on several backends:
   (``TrainConfig(engine="mcwf")``) -- the stochastic-wavefunction
   counterpart of :class:`DensityTrainExecutor` with no density-matrix
   width bound.
+* :class:`StabilizerEvalExecutor` -- Clifford-tableau trajectories
+  (inference only): Pauli-noise sweeps in polynomial time with no
+  qubit cap, admitting only circuits that pass the Clifford screen
+  (:func:`repro.sim.stabilizer.clifford_ops`).
 
 Every executor is enrolled in the engine registry
 (:mod:`repro.core.engine`) under a name with declared capabilities;
@@ -897,3 +901,251 @@ class TrajectoryEvalExecutor(_WorkerPoolMixin):
 
     def backward(self, cache, grad):  # pragma: no cover - defensive
         raise NotImplementedError("trajectory evaluation is inference-only")
+
+
+#: Default trajectories per tableau chunk.  Tableau chunks are far
+#: cheaper than statevector ones, so the grain is coarser than the
+#: trajectory engine's 16; the layout never depends on the worker
+#: count, keeping sharded output bit-identical to serial.
+_STABILIZER_SHARD_SIZE = 64
+
+
+def _stabilizer_program(compiled, sampler, rz_tolerance: float) -> tuple:
+    """Compile one block into a flat tableau program (pure data, picklable).
+
+    Entries are ``("g", name, qubits)`` tableau gates or ``("p", qubit,
+    cum)`` Pauli-noise sites (``cum`` the sampler's cumulative
+    thresholds), in sweep order: each gate's error sites follow the
+    gate, exactly as the statevector trajectory sweep schedules them.
+    Raises :class:`~repro.sim.stabilizer.NonCliffordCircuitError` when
+    the circuit fails the Clifford screen.
+    """
+    from repro.sim.stabilizer import clifford_ops
+
+    circuit = compiled.circuit
+    ops_by_gate = clifford_ops(circuit, rz_tolerance)
+    pauli_sites, _coherent = sampler.site_table(
+        circuit, compiled.physical_qubits
+    )
+    sites_by_gate: "dict[int, list[tuple[int, np.ndarray]]]" = {}
+    for gate_index, local_q, cum in pauli_sites:
+        sites_by_gate.setdefault(gate_index, []).append(
+            (int(local_q), np.asarray(cum, dtype=float))
+        )
+    steps: "list[tuple]" = []
+    for i in range(len(circuit.gates)):
+        for name, qubits in ops_by_gate[i]:
+            steps.append(("g", name, tuple(qubits)))
+        for local_q, cum in sites_by_gate.get(i, ()):
+            steps.append(("p", local_q, cum))
+    return tuple(steps)
+
+
+def _stabilizer_chunk(steps: tuple, n_qubits: int, n_traj: int, seed) -> np.ndarray:
+    """One tableau trajectory chunk (pure and picklable; seed-rerunnable).
+
+    Runs ``n_traj`` independent noisy tableaus through the program in
+    one batched boolean sweep and returns the ``(n_qubits,)`` *sum* of
+    per-trajectory ``<Z>`` rows -- the caller divides by the global
+    trajectory count after a fixed-order reduction, so serial, sharded
+    and supervised runs accumulate identically.
+    """
+    from repro.sim.stabilizer import BatchedStabilizerState
+
+    rng = np.random.default_rng(seed)
+    state = BatchedStabilizerState(n_qubits, n_traj)
+    for step in steps:
+        if step[0] == "g":
+            state.apply(step[1], step[2])
+        else:
+            _tag, qubit, cum = step
+            u = rng.random(n_traj)
+            choices = (u[:, None] >= cum[None, :]).sum(axis=1)
+            state.apply_pauli_choices(qubit, choices)
+    return state.z_expectations().sum(axis=0)
+
+
+class StabilizerEvalExecutor(_WorkerPoolMixin):
+    """Clifford-tableau trajectory backend: polynomial-time noisy sweeps.
+
+    Runs ``n_trajectories`` Pauli-noise trajectories of a Clifford
+    block through one :class:`~repro.sim.stabilizer
+    .BatchedStabilizerState` boolean-ufunc sweep -- O(gates * B * n)
+    bit operations instead of O(gates * B * 2^n) statevector work --
+    so 50-100+ qubit noise characterization completes in seconds.
+
+    Admission is screened per block by
+    :func:`repro.sim.stabilizer.clifford_ops`: gates must be Clifford,
+    and constant ``rz`` angles within ``rz_tolerance`` of a multiple of
+    pi/2 round onto the tableau (anything else raises
+    :class:`~repro.sim.stabilizer.NonCliffordCircuitError`).  Because
+    admitted circuits carry no free parameters, the expectations are
+    input-independent; a batched ``inputs`` only tiles the output (and
+    draws independent shot noise per row).  Noise models with coherent
+    miscalibration (non-Clifford rotations) or exact relaxation
+    channels are rejected at construction.
+
+    Sharding follows the trajectory engine's contract: chunk layout and
+    per-chunk seed streams depend only on ``shard_size``, never on the
+    worker count, so sharded output is bit-identical to serial, and a
+    ``supervisor`` retries failed chunks bit-identically from their
+    seeds.  Readout error applies analytically to the per-qubit
+    expectations (unscaled model, like every sampled engine); ``shots``
+    adds per-qubit binomial sampling noise.
+    """
+
+    differentiable = False
+
+    def __init__(
+        self,
+        noise_model: "NoiseModel",
+        n_trajectories: int = 256,
+        shots: "int | None" = None,
+        noise_factor: float = 1.0,
+        rng: "int | np.random.Generator | None" = None,
+        n_workers: int = 0,
+        shard_size: "int | None" = None,
+        shard_backend: str = "thread",
+        rz_tolerance: float = 1e-8,
+        supervisor=None,
+    ):
+        from repro.noise.model import CHANNEL_COHERENT
+
+        if shard_backend not in ("thread", "process"):
+            raise ValueError(
+                f"shard_backend must be 'thread' or 'process', got {shard_backend!r}"
+            )
+        if shard_size is not None and int(shard_size) < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+        if n_trajectories < 1:
+            raise ValueError("need at least one trajectory")
+        # Raises on exact (relaxation) channels, naming capable engines.
+        self.sampler = ErrorGateSampler(noise_model, noise_factor)
+        if CHANNEL_COHERENT in noise_model.channel_kinds:
+            raise ValueError(
+                "coherent miscalibration rotations are not Clifford; the "
+                "stabilizer engine cannot represent this noise model -- "
+                "use a statevector or density engine"
+            )
+        self.noise_model = noise_model
+        self.n_trajectories = n_trajectories
+        self.shots = shots
+        self.noise_factor = noise_factor
+        self.rng = as_rng(rng)
+        self.n_workers = n_workers
+        self.shard_size = shard_size
+        self.shard_backend = shard_backend
+        self.rz_tolerance = rz_tolerance
+        if supervisor is True:
+            from repro.runtime.supervisor import ChunkSupervisor
+
+            supervisor = ChunkSupervisor(label="stabilizer")
+        self.supervisor = supervisor
+        self._program_cache: "list[tuple[CompiledCircuit, tuple]]" = []
+        self._init_pool_state()
+
+    def _program(self, compiled: "CompiledCircuit") -> tuple:
+        for cached, program in self._program_cache:
+            if cached is compiled:
+                return program
+        program = _stabilizer_program(compiled, self.sampler, self.rz_tolerance)
+        self._program_cache.append((compiled, program))
+        return program
+
+    def _sweep(self, compiled: "CompiledCircuit") -> np.ndarray:
+        """Mean per-qubit <Z> over the trajectory batch, compact order."""
+        program = self._program(compiled)
+        n = compiled.circuit.n_qubits
+        size = (
+            int(self.shard_size)
+            if self.shard_size is not None
+            else _STABILIZER_SHARD_SIZE
+        )
+        chunks = [size] * (self.n_trajectories // size)
+        if self.n_trajectories % size:
+            chunks.append(self.n_trajectories % size)
+        # One root draw off the executor's generator: the stream layout
+        # depends only on the chunk decomposition, never on workers.
+        root = np.random.SeedSequence(int(self.rng.integers(0, 2**63)))
+        seeds = root.spawn(len(chunks))
+        if self.n_workers > 0 and len(chunks) > 1:
+            results = self._run_sharded(program, n, chunks, seeds)
+        elif self.supervisor is not None:
+            from repro.runtime.supervisor import ChunkTask
+
+            results = self.supervisor.run(
+                [
+                    ChunkTask(i, _stabilizer_chunk, (program, n, count, seed))
+                    for i, (count, seed) in enumerate(zip(chunks, seeds))
+                ]
+            )
+        else:
+            results = [
+                _stabilizer_chunk(program, n, count, seed)
+                for count, seed in zip(chunks, seeds)
+            ]
+        total = np.zeros(n)
+        for result in results:  # fixed chunk-order accumulation
+            total += result
+        return total / self.n_trajectories
+
+    def _run_sharded(self, program, n, chunks, seeds) -> list:
+        pool = self._ensure_pool()
+        if self.supervisor is not None:
+            from repro.runtime.supervisor import ChunkTask
+
+            rebuild = None
+            if self.shard_backend == "process":
+                from concurrent.futures import ProcessPoolExecutor
+
+                def rebuild(workers=self.n_workers):
+                    return ProcessPoolExecutor(max_workers=workers)
+
+            return self.supervisor.run(
+                [
+                    ChunkTask(i, _stabilizer_chunk, (program, n, count, seed))
+                    for i, (count, seed) in enumerate(zip(chunks, seeds))
+                ],
+                pool=pool,
+                rebuild=rebuild,
+            )
+        from repro.noise.trajectory import _collect_fail_fast
+
+        return _collect_fail_fast([
+            pool.submit(_stabilizer_chunk, program, n, count, seed)
+            for count, seed in zip(chunks, seeds)
+        ])
+
+    def forward(
+        self,
+        compiled: "CompiledCircuit",
+        weights: np.ndarray,
+        inputs: np.ndarray,
+    ) -> "tuple[np.ndarray, None]":
+        try:
+            mean = self._sweep(compiled)
+        except BaseException:
+            # Release stranded chunk tasks with the pool (rebuilt lazily
+            # on the next sharded forward), mirroring the trajectory
+            # executor's failure path.
+            self.close()
+            raise
+        if self.supervisor is not None and self.supervisor.last_report.degraded:
+            self.close()
+        readout = np.stack(
+            [self.noise_model.readout_for(p) for p in compiled.physical_qubits]
+        )
+        noisy, _scales = apply_readout_to_expectations(mean[None, :], readout)
+        logical = _gather_logical(noisy, compiled.measure_qubits)
+        batch = 1 if inputs is None else int(np.asarray(inputs).shape[0])
+        logical = np.repeat(logical, batch, axis=0)
+        if self.shots is not None:
+            p_one = np.clip((1.0 - logical) / 2.0, 0.0, 1.0)
+            ones = self.rng.binomial(self.shots, p_one)
+            logical = 1.0 - 2.0 * ones / self.shots
+        return logical, None
+
+    def backward(self, cache, grad):  # pragma: no cover - defensive
+        raise NotImplementedError("stabilizer evaluation is inference-only")

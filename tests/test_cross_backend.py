@@ -128,13 +128,16 @@ class Enrolled:
     measured expectations with no shot sampling.  ``features``/``exact``
     come straight from the spec's declared capabilities, so the
     parametrization generates exactly the supported (engine, mix)
-    pairs.
+    pairs.  ``clifford_only`` engines (the stabilizer tableau) get
+    rotation-free random circuits -- their admission screen rejects
+    generic rotations by design, not by accident.
     """
 
     name: str
     run: "object"
     exact: bool
     features: "frozenset[str]"
+    clifford_only: bool = False
 
 
 def _eval_runner(spec):
@@ -179,7 +182,10 @@ def enrolled_engines() -> "list[Enrolled]":
         caps = spec.capabilities
         if spec.factory is not None:
             rows.append(
-                Enrolled(spec.name, _eval_runner(spec), caps.exact, caps.channels)
+                Enrolled(
+                    spec.name, _eval_runner(spec), caps.exact, caps.channels,
+                    caps.clifford_only,
+                )
             )
         if spec.train is not None and spec.train.executor_factory is not None:
             rows.append(
@@ -214,7 +220,9 @@ _ROTATIONS = ["rx", "ry", "rz"]
 _FIXED_2Q = ["cx", "cz"]
 
 
-def _random_circuit(n_qubits: int, n_gates: int, seed: int):
+def _random_circuit(
+    n_qubits: int, n_gates: int, seed: int, clifford: bool = False
+):
     from repro.circuits import Circuit
 
     rng = np.random.default_rng(seed)
@@ -225,11 +233,18 @@ def _random_circuit(n_qubits: int, n_gates: int, seed: int):
         if roll < 0.4:
             circuit.add(_FIXED_1Q[rng.integers(len(_FIXED_1Q))], q)
         elif roll < 0.75 or n_qubits == 1:
-            circuit.add(
-                _ROTATIONS[rng.integers(len(_ROTATIONS))],
-                q,
-                float(rng.uniform(-np.pi, np.pi)),
-            )
+            if clifford:
+                # Rotation slots become Clifford gates: the lowered
+                # circuit then carries only quarter-turn rz angles,
+                # which the stabilizer admission screen rounds onto
+                # the tableau.
+                circuit.add(_FIXED_1Q[rng.integers(len(_FIXED_1Q))], q)
+            else:
+                circuit.add(
+                    _ROTATIONS[rng.integers(len(_ROTATIONS))],
+                    q,
+                    float(rng.uniform(-np.pi, np.pi)),
+                )
         else:
             a, b = rng.choice(n_qubits, size=2, replace=False)
             circuit.add(_FIXED_2Q[rng.integers(len(_FIXED_2Q))], (int(a), int(b)))
@@ -241,9 +256,9 @@ def device():
     return get_device("santiago")
 
 
-def _compiled_case(device, case):
+def _compiled_case(device, case, clifford: bool = False):
     n_qubits, n_gates, seed = case
-    circuit = _random_circuit(n_qubits, n_gates, seed)
+    circuit = _random_circuit(n_qubits, n_gates, seed, clifford=clifford)
     return transpile(circuit, device, optimization_level=1)
 
 
@@ -295,7 +310,7 @@ SAMPLED_PARAMS = [
 @pytest.mark.parametrize("engine,mix_name,case", SAMPLED_PARAMS)
 def test_sampled_engines_converge_to_reference(engine, mix_name, case, device):
     """Monte-Carlo engines converge to the exact channel at large N."""
-    compiled = _compiled_case(device, case)
+    compiled = _compiled_case(device, case, clifford=engine.clifford_only)
     model = _build_model(device.n_qubits, MIXES[mix_name])
     got = engine.run(compiled, model, None, None, 7)
     want = _run_reference(compiled, model, None, None, 7)

@@ -191,6 +191,53 @@ def test_resolve_eval_engine_prefers_exact_then_sampled():
     assert resolve_eval_engine(relax, 10).name == "mcwf"
 
 
+def test_stabilizer_engine_is_registered():
+    assert "stabilizer" in engine_names()
+    spec = engine_spec("stabilizer")
+    caps = spec.capabilities
+    assert caps.clifford_only
+    assert caps.shots
+    assert caps.shardable
+    assert caps.max_qubits is None  # polynomial cost: no width cap
+    assert not caps.exact
+    assert "clifford" in capability_matrix()
+
+
+def test_resolve_eval_engine_clifford_routing():
+    from repro.core.engine import CHANNEL_COHERENT
+
+    pauli = frozenset({CHANNEL_PAULI})
+    # Default resolution never hands a general circuit to a
+    # Clifford-only engine.
+    assert resolve_eval_engine(pauli, 4).name == "density"
+    assert resolve_eval_engine(pauli, 10).name == "trajectory"
+    # Clifford-aware resolution prefers the tableau at any width...
+    assert resolve_eval_engine(pauli, 4, clifford=True).name == "stabilizer"
+    assert resolve_eval_engine(pauli, 100, clifford=True).name == "stabilizer"
+    # ...but falls back when the model carries channels the tableau
+    # cannot represent.
+    coherent = frozenset({CHANNEL_PAULI, CHANNEL_COHERENT})
+    assert resolve_eval_engine(coherent, 4, clifford=True).name == "density"
+
+
+def test_create_engine_builds_stabilizer_executor():
+    from repro.core.executors import StabilizerEvalExecutor
+
+    model = get_device("santiago").noise_model
+    executor = create_engine("stabilizer", model, samples=32)
+    assert isinstance(executor, StabilizerEvalExecutor)
+    assert executor.n_trajectories == 32
+    assert not executor.differentiable
+
+
+def test_stabilizer_executor_rejects_coherent_models():
+    from repro.core.executors import StabilizerEvalExecutor
+
+    hardware = get_device("santiago").hardware_model
+    with pytest.raises(ValueError, match="Clifford"):
+        StabilizerEvalExecutor(hardware)
+
+
 def test_make_executors_resolve_through_registry():
     from dataclasses import replace
 

@@ -56,6 +56,14 @@ def test_noise_drift_adaptation_example():
     assert "fine-tuning cost" in out
 
 
+def test_wide_noise_characterization_example():
+    out = _run("wide_noise_characterization.py")
+    assert "56 qubits" in out
+    assert "resolved engine: stabilizer" in out
+    assert "noise factor" in out
+    assert "error per Clifford" in out
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -67,6 +75,7 @@ def test_noise_drift_adaptation_example():
         "noise_drift_adaptation.py",
         "characterize_and_mitigate.py",
         "export_and_visualize.py",
+        "wide_noise_characterization.py",
     ],
 )
 def test_example_compiles(name):

@@ -274,6 +274,48 @@ def test_broken_pool_without_rebuild_degrades_to_serial():
 
 
 # ---------------------------------------------------------------------------
+# stabilizer engine under chunk supervision
+# ---------------------------------------------------------------------------
+
+
+def test_stabilizer_chunks_recover_bit_identically(device):
+    """Tableau trajectory chunks are re-runnable pure functions of their
+    spawned seeds, so every injected fault retries bit-identically --
+    same contract as the statevector sweeps, at polynomial cost."""
+    from repro.core.executors import StabilizerEvalExecutor
+
+    circuit = Circuit(3)
+    circuit.add("h", 0)
+    circuit.add("cx", (0, 1))
+    circuit.add("s", 2)
+    circuit.add("cx", (1, 2))
+    circuit.add("h", 1)
+    circuit.add("x", 2)
+    compiled = transpile(circuit, device, optimization_level=1)
+    model = _pauli_model(device.n_qubits)
+
+    base_ex = StabilizerEvalExecutor(
+        model, n_trajectories=32, shots=4096, rng=0, shard_size=8
+    )
+    base, _ = base_ex.forward(compiled, None, None)
+
+    supervisor = ChunkSupervisor(
+        SupervisorConfig(backoff_s=0.0),
+        fault_plan=FaultPlan(chaos_seed(7), rates=ALWAYS_FAULT),
+        label="stabilizer",
+    )
+    chaos_ex = StabilizerEvalExecutor(
+        model, n_trajectories=32, shots=4096, rng=0, shard_size=8,
+        n_workers=2, supervisor=supervisor,
+    )
+    with chaos_ex:
+        got, _ = chaos_ex.forward(compiled, None, None)
+    assert supervisor.last_report.faults_injected > 0
+    assert supervisor.last_report.retries == supervisor.last_report.faults_injected
+    assert np.array_equal(base, got)
+
+
+# ---------------------------------------------------------------------------
 # the seed really is the schedule
 # ---------------------------------------------------------------------------
 
